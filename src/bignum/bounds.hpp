@@ -1,0 +1,46 @@
+// bounds.hpp — the Montgomery-parameter bound theory the paper builds on
+// (§2/§3, Walter CT-RSA 2002 and Iwamura et al.).
+//
+// The paper's efficiency edge over Blum-Paar comes entirely from choosing
+// the smallest R that makes subtraction-free chaining safe.  This module
+// implements the bound arithmetic so the claims can be checked as code:
+// the chaining condition R > 4N (Eq. 2), the per-product output bound
+// T < XY/R + N, the minimal exponent r with 2^r > 4N, and the comparison
+// against Iwamura's R >= 2^(n+2) and Blum-Paar's R = 2^(n+3).
+#pragma once
+
+#include <cstddef>
+
+#include "bignum/biguint.hpp"
+
+namespace mont::bignum {
+
+/// Smallest exponent r such that R = 2^r satisfies Walter's chaining
+/// condition 4N < R.  For an l-bit modulus this is l+2, except when
+/// N < 2^l/... i.e. whenever 4N < 2^(l+1) already holds (N just above a
+/// power of two region boundary it is still l+2; the function computes it
+/// exactly rather than assuming).
+std::size_t MinimalWalterExponent(const BigUInt& modulus);
+
+/// Walter's condition 4N < R for an arbitrary R.
+bool SatisfiesWalterBound(const BigUInt& modulus, const BigUInt& r);
+
+/// Eq. 2 of the paper: for X, Y < 2N and R >= kN the Montgomery output
+/// obeys T < (4/k)N + N.  Returns a strict upper bound on T = (XY + mN)/R
+/// given bounds x_bound/y_bound on the inputs (exclusive).
+BigUInt MontgomeryOutputBound(const BigUInt& x_bound, const BigUInt& y_bound,
+                              const BigUInt& r, const BigUInt& modulus);
+
+/// True when outputs bounded by `bound` can be fed back as inputs, i.e.
+/// bound <= 2N (the closure property Algorithm 2 needs).
+bool IsChainable(const BigUInt& bound, const BigUInt& modulus);
+
+/// Iteration counts the three designs need for an l-bit modulus:
+struct IterationComparison {
+  std::size_t walter;    // this paper: l + 2
+  std::size_t iwamura;   // R >= 2^(n+2) read as a non-strict bound: l + 2
+  std::size_t blum_paar; // R = 2^(n+3): l + 3
+};
+IterationComparison CompareIterationCounts(std::size_t l);
+
+}  // namespace mont::bignum

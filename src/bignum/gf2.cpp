@@ -1,0 +1,134 @@
+#include "bignum/gf2.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mont::bignum {
+
+namespace gf2 {
+
+std::size_t Degree(const BigUInt& poly) {
+  const std::size_t bits = poly.BitLength();
+  return bits == 0 ? 0 : bits - 1;
+}
+
+BigUInt Mul(const BigUInt& a, const BigUInt& b) {
+  BigUInt out;
+  if (a.IsZero() || b.IsZero()) return out;
+  BigUInt shifted = b;
+  const std::size_t bits = a.BitLength();
+  for (std::size_t i = 0; i < bits; ++i) {
+    if (a.Bit(i)) {
+      // out ^= b << i, bit by bit on the limb level via XOR of BigUInts.
+      // BigUInt has no XOR operator; emulate with limb-level work.
+      const std::size_t width =
+          std::max(out.BitLength(), shifted.BitLength());
+      BigUInt next;
+      for (std::size_t bit = 0; bit < width; ++bit) {
+        if (out.Bit(bit) != shifted.Bit(bit)) next.SetBit(bit, true);
+      }
+      out = std::move(next);
+    }
+    shifted <<= 1;
+  }
+  return out;
+}
+
+BigUInt Mod(const BigUInt& a, const BigUInt& f) {
+  if (f.IsZero()) throw std::domain_error("gf2::Mod: zero modulus");
+  BigUInt r = a;
+  const std::size_t df = Degree(f);
+  while (!r.IsZero() && Degree(r) >= df) {
+    const BigUInt aligned = f << (Degree(r) - df);
+    const std::size_t width = r.BitLength();
+    BigUInt next;
+    for (std::size_t bit = 0; bit < width; ++bit) {
+      if (r.Bit(bit) != aligned.Bit(bit)) next.SetBit(bit, true);
+    }
+    r = std::move(next);
+  }
+  return r;
+}
+
+BigUInt MontMul(const BigUInt& a, const BigUInt& b, const BigUInt& f) {
+  if (!f.Bit(0)) throw std::invalid_argument("gf2::MontMul: f(0) must be 1");
+  const std::size_t l = Degree(f);
+  // Same skeleton as the paper's Algorithm 2 with carries removed:
+  // T <- (T + a_i*B + m_i*F) / x, additions are XOR.
+  BigUInt t;
+  for (std::size_t i = 0; i <= l + 1; ++i) {
+    const bool ai = a.Bit(i);
+    const bool mi = t.Bit(0) != (ai && b.Bit(0)) ? true : false;
+    const std::size_t width =
+        std::max({t.BitLength(), b.BitLength(), f.BitLength()}) + 1;
+    BigUInt next;
+    for (std::size_t bit = 0; bit < width; ++bit) {
+      bool v = t.Bit(bit);
+      if (ai) v = v != b.Bit(bit);
+      if (mi) v = v != f.Bit(bit);
+      if (v) next.SetBit(bit, true);
+    }
+    next >>= 1;
+    t = std::move(next);
+  }
+  return t;
+}
+
+}  // namespace gf2
+
+Gf2Field::Gf2Field(BigUInt modulus) : f_(std::move(modulus)) {
+  if (f_.BitLength() < 3 || !f_.Bit(0)) {
+    throw std::invalid_argument("Gf2Field: need deg(f) >= 2 and f(0) = 1");
+  }
+  m_ = gf2::Degree(f_);
+}
+
+BigUInt Gf2Field::Add(const BigUInt& a, const BigUInt& b) const {
+  const std::size_t width = std::max(a.BitLength(), b.BitLength());
+  BigUInt out;
+  for (std::size_t bit = 0; bit < width; ++bit) {
+    if (a.Bit(bit) != b.Bit(bit)) out.SetBit(bit, true);
+  }
+  return out;
+}
+
+BigUInt Gf2Field::Mul(const BigUInt& a, const BigUInt& b) const {
+  return gf2::Mod(gf2::Mul(a, b), f_);
+}
+
+BigUInt Gf2Field::Square(const BigUInt& a) const { return Mul(a, a); }
+
+BigUInt Gf2Field::Pow(const BigUInt& a, const BigUInt& e) const {
+  BigUInt result{1};
+  if (e.IsZero()) return result;
+  const BigUInt base = gf2::Mod(a, f_);
+  for (std::size_t i = e.BitLength(); i-- > 0;) {
+    result = Square(result);
+    if (e.Bit(i)) result = Mul(result, base);
+  }
+  return result;
+}
+
+BigUInt Gf2Field::Inverse(const BigUInt& a) const {
+  if (gf2::Mod(a, f_).IsZero()) {
+    throw std::domain_error("Gf2Field::Inverse of zero");
+  }
+  // a^(2^m - 2) = a^-1 in GF(2^m).
+  BigUInt exponent = BigUInt::PowerOfTwo(m_) - BigUInt{2};
+  return Pow(a, exponent);
+}
+
+Gf2Field Gf2Field::Aes() {
+  return Gf2Field(BigUInt{0x11bu});  // x^8 + x^4 + x^3 + x + 1
+}
+
+Gf2Field Gf2Field::Nist163() {
+  BigUInt f = BigUInt::PowerOfTwo(163);
+  f.SetBit(7, true);
+  f.SetBit(6, true);
+  f.SetBit(3, true);
+  f.SetBit(0, true);
+  return Gf2Field(std::move(f));
+}
+
+}  // namespace mont::bignum

@@ -1,0 +1,68 @@
+// gf2.hpp — GF(2)[x] polynomial arithmetic and GF(2^m) fields.
+//
+// The paper's §2 cites Savaş/Tenca/Koç's dual-field multiplier — the same
+// Montgomery datapath serving both GF(p) and GF(2^m) — and its
+// introduction names GF(2^n) as the other field ECC commonly uses.  This
+// module provides the software side of that extension: carry-less
+// polynomial arithmetic over GF(2) (bit vectors carried by BigUInt), the
+// bit-serial Montgomery multiplication for polynomials on the *same
+// schedule* as the paper's Algorithm 2 (l+2 iterations, R = x^(l+2)), and
+// a GF(2^m) field type.  The hardware counterpart is the Mmmc's dual-field
+// mode: identical cells with the carry chain force-gated to zero.
+#pragma once
+
+#include <cstddef>
+
+#include "bignum/biguint.hpp"
+
+namespace mont::bignum {
+
+/// Polynomials over GF(2), little-endian bits: bit i = coefficient of x^i.
+namespace gf2 {
+
+/// Degree of the polynomial; Degree(0) == 0 by convention (callers check
+/// IsZero when the distinction matters).
+std::size_t Degree(const BigUInt& poly);
+
+/// Carry-less product a(x) * b(x).
+BigUInt Mul(const BigUInt& a, const BigUInt& b);
+
+/// a(x) mod f(x); f must be nonzero.
+BigUInt Mod(const BigUInt& a, const BigUInt& f);
+
+/// Bit-serial Montgomery multiplication for polynomials, mirroring the
+/// paper's Algorithm 2: iterations i = 0..l+1 where l = deg(f), inputs of
+/// degree <= l, result a*b*x^-(l+2) mod f.  f(0) must be 1 (always true
+/// for irreducible f), which makes the quotient digit m_i = t_0 + a_i*b_0.
+BigUInt MontMul(const BigUInt& a, const BigUInt& b, const BigUInt& f);
+
+}  // namespace gf2
+
+/// The finite field GF(2^m) = GF(2)[x]/(f) for an irreducible f of degree m.
+class Gf2Field {
+ public:
+  /// `modulus` is f(x); requires deg >= 2 and f(0) = 1.  Irreducibility is
+  /// the caller's responsibility (standard polynomials are provided below).
+  explicit Gf2Field(BigUInt modulus);
+
+  std::size_t Degree() const { return m_; }
+  const BigUInt& Modulus() const { return f_; }
+
+  BigUInt Add(const BigUInt& a, const BigUInt& b) const;  // XOR
+  BigUInt Mul(const BigUInt& a, const BigUInt& b) const;
+  BigUInt Square(const BigUInt& a) const;
+  /// a^-1 via a^(2^m - 2); throws std::domain_error for a = 0.
+  BigUInt Inverse(const BigUInt& a) const;
+  BigUInt Pow(const BigUInt& a, const BigUInt& e) const;
+
+  /// The AES field GF(2^8), f = x^8 + x^4 + x^3 + x + 1.
+  static Gf2Field Aes();
+  /// The NIST B-163 / K-163 field, f = x^163 + x^7 + x^6 + x^3 + 1.
+  static Gf2Field Nist163();
+
+ private:
+  BigUInt f_;
+  std::size_t m_;
+};
+
+}  // namespace mont::bignum

@@ -1,0 +1,23 @@
+// prime.hpp — primality testing and prime generation for the RSA/ECC layer.
+#pragma once
+
+#include <cstdint>
+
+#include "bignum/biguint.hpp"
+#include "bignum/random.hpp"
+
+namespace mont::bignum {
+
+/// Miller-Rabin probabilistic primality test.
+/// `rounds` random bases are drawn from `rng`; 2 and 3 are always tried
+/// first so small composites are rejected deterministically.
+bool IsProbablePrime(const BigUInt& candidate, RandomBigUInt& rng,
+                     int rounds = 24);
+
+/// Generates a random probable prime with exactly `bits` significant bits.
+/// The top two bits are forced to 1 (so RSA moduli p*q reach full length)
+/// and candidates are sieved by the small primes below 1000 before the
+/// Miller-Rabin rounds.
+BigUInt GeneratePrime(std::size_t bits, RandomBigUInt& rng, int rounds = 24);
+
+}  // namespace mont::bignum

@@ -1,0 +1,105 @@
+#include "bignum/random.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+namespace mont::bignum {
+
+namespace {
+
+std::uint64_t SplitMix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t Rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : state_) word = SplitMix64(sm);
+}
+
+std::uint64_t Xoshiro256::Next() {
+  const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Xoshiro256::NextBelow(std::uint64_t bound) {
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = bound * ((~std::uint64_t{0} / bound));
+  std::uint64_t v = Next();
+  while (v >= limit) v = Next();
+  return v % bound;
+}
+
+BigUInt RandomBigUInt::ExactBits(std::size_t bits) {
+  if (bits == 0) return BigUInt{};
+  BigUInt out;
+  for (std::size_t bit = 0; bit < bits; bit += 64) {
+    const std::uint64_t word = rng_.Next();
+    for (std::size_t i = 0; i < 64 && bit + i < bits; ++i) {
+      out.SetBit(bit + i, (word >> i) & 1u);
+    }
+  }
+  out.SetBit(bits - 1, true);
+  return out;
+}
+
+BigUInt RandomBigUInt::Below(const BigUInt& bound) {
+  const std::size_t bits = bound.BitLength();
+  if (bits == 0) return BigUInt{};
+  // Rejection sampling over [0, 2^bits).
+  for (;;) {
+    BigUInt candidate;
+    for (std::size_t bit = 0; bit < bits; bit += 64) {
+      const std::uint64_t word = rng_.Next();
+      for (std::size_t i = 0; i < 64 && bit + i < bits; ++i) {
+        candidate.SetBit(bit + i, (word >> i) & 1u);
+      }
+    }
+    if (candidate < bound) return candidate;
+  }
+}
+
+BigUInt RandomBigUInt::OddExactBits(std::size_t bits) {
+  BigUInt out = ExactBits(bits);
+  out.SetBit(0, true);
+  return out;
+}
+
+BigUInt RandomBigUInt::BalancedExactBits(std::size_t bits) {
+  if (bits == 0) return BigUInt{};
+  BigUInt out;
+  out.SetBit(bits - 1, true);
+  if (bits == 1) return out;
+  // Choose exactly floor((bits-1)/2) of the remaining positions — together
+  // with the forced top bit this gives Hamming weight round(bits/2).
+  std::vector<std::size_t> positions(bits - 1);
+  std::iota(positions.begin(), positions.end(), std::size_t{0});
+  // Fisher-Yates partial shuffle.
+  const std::size_t want = (bits - 1) / 2;
+  for (std::size_t i = 0; i < want; ++i) {
+    const std::size_t j =
+        i + static_cast<std::size_t>(rng_.NextBelow(positions.size() - i));
+    std::swap(positions[i], positions[j]);
+    out.SetBit(positions[i], true);
+  }
+  return out;
+}
+
+}  // namespace mont::bignum

@@ -1,0 +1,51 @@
+// random.hpp — deterministic random number generation for tests and benches.
+//
+// All randomized workloads in the reproduction are seeded so every run of the
+// test suite and benchmark harness is bit-for-bit reproducible.  The core
+// generator is xoshiro256** (public-domain algorithm by Blackman & Vigna).
+#pragma once
+
+#include <cstdint>
+
+#include "bignum/biguint.hpp"
+
+namespace mont::bignum {
+
+/// xoshiro256** pseudo-random generator with SplitMix64 seeding.
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(std::uint64_t seed);
+
+  /// Uniform 64-bit word.
+  std::uint64_t Next();
+  /// Uniform value in [0, bound); bound must be nonzero.
+  std::uint64_t NextBelow(std::uint64_t bound);
+
+ private:
+  std::uint64_t state_[4];
+};
+
+/// Random-bignum helpers layered over Xoshiro256.
+class RandomBigUInt {
+ public:
+  explicit RandomBigUInt(std::uint64_t seed) : rng_(seed) {}
+
+  /// Uniform value with exactly `bits` significant bits (top bit forced to 1);
+  /// bits == 0 yields zero.
+  BigUInt ExactBits(std::size_t bits);
+  /// Uniform value in [0, bound).
+  BigUInt Below(const BigUInt& bound);
+  /// Uniform odd value with exactly `bits` significant bits (bits >= 1).
+  BigUInt OddExactBits(std::size_t bits);
+  /// Value with exactly `bits` bits whose Hamming weight is as close to
+  /// bits/2 as possible — the "balanced exponent" workload the paper assumes
+  /// when quoting average exponentiation time.
+  BigUInt BalancedExactBits(std::size_t bits);
+
+  Xoshiro256& Engine() { return rng_; }
+
+ private:
+  Xoshiro256 rng_;
+};
+
+}  // namespace mont::bignum

@@ -1,0 +1,59 @@
+#include "core/area_model.hpp"
+
+namespace mont::core {
+
+GateCounts PaperAreaFormula(std::size_t l) {
+  return GateCounts{
+      .xor_gates = 5 * l - 3,
+      .and_gates = 7 * l - 7,
+      .or_gates = 4 * l - 5,
+      .flip_flops = 4 * l,
+  };
+}
+
+GateCounts RightmostCellGates() {
+  // Fig. 1(b): one AND (x*y0), one XOR (m), one OR (c0).
+  return GateCounts{.xor_gates = 1, .and_gates = 1, .or_gates = 1};
+}
+
+GateCounts FirstBitCellGates() {
+  // Fig. 1(c): one FA (2 XOR + 2 AND + 1 OR), two HAs (1 XOR + 1 AND each),
+  // two product ANDs.
+  return GateCounts{.xor_gates = 4, .and_gates = 6, .or_gates = 1};
+}
+
+GateCounts RegularCellGates() {
+  // Fig. 1(a): two FAs, one HA, two product ANDs.
+  return GateCounts{.xor_gates = 5, .and_gates = 7, .or_gates = 2};
+}
+
+GateCounts LeftmostCellGates() {
+  // Fig. 1(d) widened by one carry bit: two FAs plus one product AND
+  // (the paper's single-XOR top merge drops a carry; see DESIGN.md).
+  return GateCounts{.xor_gates = 4, .and_gates = 5, .or_gates = 2};
+}
+
+GateCounts DerivedArrayCombFormula(std::size_t l) {
+  // 1 rightmost + 1 first-bit + (l-2) regular + 1 leftmost cells.
+  const GateCounts rm = RightmostCellGates();
+  const GateCounts fb = FirstBitCellGates();
+  const GateCounts rg = RegularCellGates();
+  const GateCounts lm = LeftmostCellGates();
+  const std::size_t regulars = l - 2;
+  return GateCounts{
+      .xor_gates = rm.xor_gates + fb.xor_gates + lm.xor_gates +
+                   regulars * rg.xor_gates,
+      .and_gates = rm.and_gates + fb.and_gates + lm.and_gates +
+                   regulars * rg.and_gates,
+      .or_gates =
+          rm.or_gates + fb.or_gates + lm.or_gates + regulars * rg.or_gates,
+      .flip_flops = DerivedArrayFlipFlops(l),
+  };
+}
+
+std::size_t DerivedArrayFlipFlops(std::size_t l) {
+  // T (l+2) + C0 (l) + C1 (l-1) + x pipe (l) + m pipe (l) + token (l).
+  return (l + 2) + l + (l - 1) + l + l + l;
+}
+
+}  // namespace mont::core

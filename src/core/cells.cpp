@@ -1,0 +1,52 @@
+#include "core/cells.hpp"
+
+#include "rtl/components.hpp"
+
+namespace mont::core {
+
+using rtl::AdderBit;
+using rtl::FullAdder;
+using rtl::HalfAdder;
+using rtl::Netlist;
+using rtl::NetId;
+
+RightmostCellOut BuildRightmostCell(Netlist& nl, NetId t1_in, NetId x_in,
+                                    NetId y0) {
+  const NetId xy = nl.And(x_in, y0);
+  return RightmostCellOut{
+      .m = nl.Xor(t1_in, xy),
+      .c0 = nl.Or(t1_in, xy),
+  };
+}
+
+InnerCellOut BuildFirstBitCell(Netlist& nl, NetId t2_in, NetId x_in, NetId y1,
+                               NetId m_in, NetId n1, NetId c0_in) {
+  const NetId xy = nl.And(x_in, y1);
+  const NetId mn = nl.And(m_in, n1);
+  const AdderBit fa = FullAdder(nl, t2_in, xy, mn);
+  const AdderBit ha_t = HalfAdder(nl, fa.sum, c0_in);
+  const AdderBit ha_c = HalfAdder(nl, fa.carry, ha_t.carry);
+  return InnerCellOut{.t = ha_t.sum, .c0 = ha_c.sum, .c1 = ha_c.carry};
+}
+
+InnerCellOut BuildRegularCell(Netlist& nl, NetId t_next_in, NetId x_in,
+                              NetId yj, NetId m_in, NetId nj, NetId c0_in,
+                              NetId c1_in) {
+  const NetId xy = nl.And(x_in, yj);
+  const NetId mn = nl.And(m_in, nj);
+  const AdderBit fa1 = FullAdder(nl, t_next_in, xy, mn);
+  const AdderBit ha = HalfAdder(nl, fa1.sum, c0_in);
+  const AdderBit fa2 = FullAdder(nl, fa1.carry, ha.carry, c1_in);
+  return InnerCellOut{.t = ha.sum, .c0 = fa2.sum, .c1 = fa2.carry};
+}
+
+LeftmostCellOut BuildLeftmostCell(Netlist& nl, NetId t_top_in, NetId t_top2_in,
+                                  NetId x_in, NetId yl, NetId c0_in,
+                                  NetId c1_in) {
+  const NetId xy = nl.And(x_in, yl);
+  const AdderBit fa1 = FullAdder(nl, t_top_in, xy, c0_in);
+  const AdderBit fa2 = FullAdder(nl, t_top2_in, fa1.carry, c1_in);
+  return LeftmostCellOut{.t = fa1.sum, .t_top = fa2.sum, .t_top2 = fa2.carry};
+}
+
+}  // namespace mont::core

@@ -1,0 +1,62 @@
+// cells.hpp — gate-level builders for the four systolic-array cell types of
+// the paper's Fig. 1.  Each builder instantiates exactly the gate inventory
+// the figure shows (HA = XOR + AND; FA = two HAs + OR), so the generated
+// netlist's area can be compared against both the paper's closed form and
+// this repo's derived closed form (see area_model.hpp).
+//
+// Port naming follows Eq. (4)–(9): cell j consumes t_{i-1,j+1}, the
+// propagated x_i and m_i, its static operand bits y_j / n_j, and the carries
+// c0_{i,j-1} / c1_{i,j-1} from its right neighbour; it produces t_{i,j} and
+// carries c0_{i,j} / c1_{i,j}.
+#pragma once
+
+#include "rtl/netlist.hpp"
+
+namespace mont::core {
+
+/// Outputs of the rightmost cell (j = 0, Fig. 1(b)): computes
+/// m_i = t_{i-1,1} XOR x_i*y_0 and c0_{i,0} = t_{i-1,1} OR x_i*y_0
+/// (t_{i,0} = 0 identically and is not produced).
+struct RightmostCellOut {
+  rtl::NetId m = rtl::kNoNet;
+  rtl::NetId c0 = rtl::kNoNet;
+};
+RightmostCellOut BuildRightmostCell(rtl::Netlist& nl, rtl::NetId t1_in,
+                                    rtl::NetId x_in, rtl::NetId y0);
+
+/// Outputs of the 1st-bit cell (j = 1, Fig. 1(c)) and of regular cells
+/// (j = 2..l-1, Fig. 1(a)).
+struct InnerCellOut {
+  rtl::NetId t = rtl::kNoNet;
+  rtl::NetId c0 = rtl::kNoNet;
+  rtl::NetId c1 = rtl::kNoNet;
+};
+/// 1st-bit cell: one FA, two HAs, two ANDs (no c1 carry input exists).
+InnerCellOut BuildFirstBitCell(rtl::Netlist& nl, rtl::NetId t2_in,
+                               rtl::NetId x_in, rtl::NetId y1, rtl::NetId m_in,
+                               rtl::NetId n1, rtl::NetId c0_in);
+/// Regular cell: two FAs, one HA, two ANDs.
+InnerCellOut BuildRegularCell(rtl::Netlist& nl, rtl::NetId t_next_in,
+                              rtl::NetId x_in, rtl::NetId yj, rtl::NetId m_in,
+                              rtl::NetId nj, rtl::NetId c0_in,
+                              rtl::NetId c1_in);
+
+/// Outputs of the leftmost cell (j = l, Fig. 1(d), widened): n_l = 0 removes
+/// the m*n product; produces t_{i,l} and the two top bits t_{i,l+1} and
+/// t_{i,l+2}.
+///
+/// The paper's cell (one FA + one XOR) drops a carry when the intermediate
+/// accumulator exceeds 2^(l+2), which legal inputs can reach (DESIGN.md
+/// "Erratum"); the second full adder and the extra top bit close the range.
+struct LeftmostCellOut {
+  rtl::NetId t = rtl::kNoNet;
+  rtl::NetId t_top = rtl::kNoNet;
+  rtl::NetId t_top2 = rtl::kNoNet;
+};
+/// Leftmost cell: two FAs, one AND.
+LeftmostCellOut BuildLeftmostCell(rtl::Netlist& nl, rtl::NetId t_top_in,
+                                  rtl::NetId t_top2_in, rtl::NetId x_in,
+                                  rtl::NetId yl, rtl::NetId c0_in,
+                                  rtl::NetId c1_in);
+
+}  // namespace mont::core

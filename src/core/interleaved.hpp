@@ -1,0 +1,83 @@
+// interleaved.hpp — dual-channel (C-slow) operation of the systolic array.
+//
+// On the 2i+j schedule each cell does useful work only every second cycle;
+// the paper's MUL1/MUL2 alternation is exactly that idle phase.  This
+// module fills the idle phase with a second, independent multiplication:
+// channel A occupies even compute parities, channel B (started one cycle
+// later) the odd ones.  Shared state (T, carries, x/m pipes) naturally
+// time-multiplexes between the channels because every consumer reads
+// values produced exactly one cycle earlier — the single exception is the
+// leftmost cell's two top bits, whose two-cycle self-loop needs one extra
+// register per channel.  Extra hardware: a second X register, a second
+// Y register with a phase-driven mux per cell, a second result register —
+// and throughput doubles: two products in 3l+5 cycles instead of 6l+8.
+//
+// The natural client is right-to-left exponentiation, where the square
+// S <- S^2 and the conditional multiply A <- A*S of one iteration are
+// independent: InterleavedExponentiator runs them as an (A, B) pair,
+// cutting exponentiation latency by ~1.5x over the paper's Algorithm 3 on
+// the same array area (quantified in bench_interleaved).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bignum/biguint.hpp"
+#include "bignum/montgomery.hpp"
+
+namespace mont::core {
+
+/// Cycle-accurate dual-channel Montgomery multiplier for a fixed odd
+/// modulus (GF(p) only).
+class InterleavedMmmc {
+ public:
+  explicit InterleavedMmmc(bignum::BigUInt modulus);
+
+  std::size_t l() const { return l_; }
+  const bignum::BigUInt& Modulus() const { return modulus_; }
+
+  struct PairResult {
+    bignum::BigUInt a;       // x_a * y_a * R^-1 mod 2N
+    bignum::BigUInt b;       // x_b * y_b * R^-1 mod 2N
+    std::uint64_t cycles = 0;  // total, load to last DONE (3l+5)
+  };
+
+  /// Runs the two independent multiplications concurrently.
+  /// All operands must be < 2N.
+  PairResult MultiplyPair(const bignum::BigUInt& x_a,
+                          const bignum::BigUInt& y_a,
+                          const bignum::BigUInt& x_b,
+                          const bignum::BigUInt& y_b);
+
+  /// Cycle count for one pair: channel B finishes one cycle after A.
+  static std::uint64_t PairCycles(std::size_t l) { return 3 * l + 5; }
+
+ private:
+  bignum::BigUInt modulus_;
+  bignum::BigUInt two_n_;
+  std::size_t l_;
+  std::vector<std::uint8_t> n_bits_;
+};
+
+/// Right-to-left exponentiator over the dual-channel array: the square
+/// stream runs on one channel while the accumulate stream uses the other.
+class InterleavedExponentiator {
+ public:
+  explicit InterleavedExponentiator(bignum::BigUInt modulus);
+
+  struct Stats {
+    std::uint64_t paired_issues = 0;   // cycles charged at 3l+5
+    std::uint64_t single_issues = 0;   // cycles charged at 3l+4
+    std::uint64_t total_cycles = 0;
+  };
+
+  bignum::BigUInt ModExp(const bignum::BigUInt& base,
+                         const bignum::BigUInt& exponent,
+                         Stats* stats = nullptr);
+
+ private:
+  bignum::BitSerialMontgomery reference_;
+  InterleavedMmmc circuit_;
+};
+
+}  // namespace mont::core

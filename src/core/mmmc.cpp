@@ -1,0 +1,250 @@
+#include "core/mmmc.hpp"
+
+#include <stdexcept>
+
+#include "core/schedule.hpp"
+
+namespace mont::core {
+
+using bignum::BigUInt;
+
+const char* MmmcStateName(MmmcState state) {
+  switch (state) {
+    case MmmcState::kIdle: return "IDLE";
+    case MmmcState::kMul1: return "MUL1";
+    case MmmcState::kMul2: return "MUL2";
+    case MmmcState::kOut: return "OUT";
+  }
+  return "?";
+}
+
+Mmmc::Mmmc(BigUInt modulus, FieldMode mode)
+    : modulus_(std::move(modulus)), mode_(mode) {
+  if (!modulus_.IsOdd() || modulus_ <= BigUInt{1}) {
+    throw std::invalid_argument(
+        "Mmmc: modulus must be odd > 1 (GF(2^m): f(0) = 1)");
+  }
+  if (mode_ == FieldMode::kGfP) {
+    l_ = modulus_.BitLength();
+    operand_bound_ = modulus_ << 1;
+  } else {
+    if (modulus_.BitLength() < 3) {
+      throw std::invalid_argument("Mmmc: GF(2^m) needs deg(f) >= 2");
+    }
+    l_ = modulus_.BitLength() - 1;  // degree of f
+    operand_bound_ = BigUInt::PowerOfTwo(l_ + 1);  // polynomials of deg <= l
+  }
+  y_bits_.assign(l_ + 1, 0);
+  // In GF(p) mode n_l = 0 by construction (N < 2^l); in GF(2^m) mode bit l
+  // is f's leading coefficient, always 1.
+  n_bits_.assign(l_ + 1, 0);
+  for (std::size_t j = 0; j <= l_; ++j) n_bits_[j] = modulus_.Bit(j) ? 1 : 0;
+  x_reg_.assign(l_ + 1, 0);
+  // t_[0..l+2]: one bit wider than the paper's T register.  The paper's
+  // leftmost cell (Eq. 9) drops a carry for legal inputs — the intermediate
+  // accumulator is bounded by 2(Y+N), which exceeds 2^(l+2) when Y is close
+  // to 2N (counterexample: N=13, x=15, y=22).  The extra top bit plus one
+  // extra full adder closes the range; see DESIGN.md "Erratum".
+  t_.assign(l_ + 3, 0);
+  c0_.assign(l_, 0);
+  c1_.assign(l_, 0);
+  x_pipe_.assign(l_ + 1, 0);
+  m_pipe_.assign(l_ + 1, 0);
+  token_.assign(l_ + 1, 0);
+  result_.assign(l_ + 1, 0);
+}
+
+void Mmmc::ApplyInputs(const BigUInt& x, const BigUInt& y) {
+  if (x >= operand_bound_ || y >= operand_bound_) {
+    throw std::invalid_argument(
+        "Mmmc: operands must be < 2N (GF(2^m): degree <= l)");
+  }
+  pending_x_ = x;
+  pending_y_ = y;
+  start_pending_ = true;
+}
+
+BigUInt Mmmc::Result() const {
+  BigUInt out;
+  for (std::size_t b = 0; b <= l_; ++b) {
+    if (result_[b]) out.SetBit(b, true);
+  }
+  return out;
+}
+
+void Mmmc::StepArray(bool even_cycle) {
+  const std::size_t l = l_;
+  std::vector<std::uint8_t> t_next = t_;
+  std::vector<std::uint8_t> c0_next = c0_;
+  std::vector<std::uint8_t> c1_next = c1_;
+  // Cell j's output registers are clock-enabled on its active phase only.
+  const auto cell_active = [even_cycle](std::size_t j) {
+    return (j % 2 == 0) == even_cycle;
+  };
+  // Dual-field gating: in GF(2^m) mode every carry is forced to zero,
+  // which turns each FA/HA into the XOR the polynomial field needs.
+  const std::uint8_t carry_en = mode_ == FieldMode::kGfP ? 1 : 0;
+
+  // --- combinational cell outputs from current register values ---
+
+  // Rightmost cell (j = 0), Fig. 1(b): one AND, one XOR, one OR.
+  const std::uint8_t x0 = x_reg_[0];
+  const std::uint8_t xy0 = static_cast<std::uint8_t>(x0 & y_bits_[0]);
+  const std::uint8_t m0 = static_cast<std::uint8_t>(t_[1] ^ xy0);
+  if (cell_active(0)) {
+    c0_next[0] = static_cast<std::uint8_t>((t_[1] | xy0) & carry_en);
+  }
+  // t_{i,0} = 0 always (Eq. 6/7); nothing stored.
+
+  // 1st-bit cell (j = 1), Fig. 1(c): one FA, two HAs, two ANDs.
+  if (l >= 2 && cell_active(1)) {
+    const std::uint8_t a = t_[2];
+    const std::uint8_t b = static_cast<std::uint8_t>(x_pipe_[1] & y_bits_[1]);
+    const std::uint8_t c = static_cast<std::uint8_t>(m_pipe_[1] & n_bits_[1]);
+    const std::uint8_t s1 = static_cast<std::uint8_t>(a ^ b ^ c);
+    const std::uint8_t ca =
+        static_cast<std::uint8_t>((a & b) | (a & c) | (b & c));
+    t_next[1] = static_cast<std::uint8_t>(s1 ^ c0_[0]);
+    const std::uint8_t cb = static_cast<std::uint8_t>(s1 & c0_[0]);
+    c0_next[1] = static_cast<std::uint8_t>((ca ^ cb) & carry_en);
+    c1_next[1] = static_cast<std::uint8_t>(ca & cb & carry_en);
+  }
+
+  // Regular cells (j = 2..l-1), Fig. 1(a): two FAs, one HA, two ANDs.
+  for (std::size_t j = 2; j + 1 <= l && j <= l - 1 && l >= 3; ++j) {
+    if (!cell_active(j)) continue;
+    const std::uint8_t a = t_[j + 1];
+    const std::uint8_t b = static_cast<std::uint8_t>(x_pipe_[j] & y_bits_[j]);
+    const std::uint8_t c = static_cast<std::uint8_t>(m_pipe_[j] & n_bits_[j]);
+    const std::uint8_t s1 = static_cast<std::uint8_t>(a ^ b ^ c);
+    const std::uint8_t ca =
+        static_cast<std::uint8_t>((a & b) | (a & c) | (b & c));
+    t_next[j] = static_cast<std::uint8_t>(s1 ^ c0_[j - 1]);
+    const std::uint8_t cb = static_cast<std::uint8_t>(s1 & c0_[j - 1]);
+    c0_next[j] = static_cast<std::uint8_t>((ca ^ cb ^ c1_[j - 1]) & carry_en);
+    c1_next[j] = static_cast<std::uint8_t>(
+        ((ca & cb) | (ca & c1_[j - 1]) | (cb & c1_[j - 1])) & carry_en);
+  }
+
+  // Leftmost cell (j = l), Fig. 1(d) widened by one carry bit: two FAs and
+  // one AND (n_l = 0).  The second FA replaces the paper's single XOR so
+  // the top of the accumulator cannot overflow (see DESIGN.md "Erratum").
+  if (cell_active(l)) {
+    const std::uint8_t a = t_[l + 1];
+    const std::uint8_t b = static_cast<std::uint8_t>(x_pipe_[l] & y_bits_[l]);
+    const std::uint8_t c = c0_[l - 1];
+    // The m*n_l product exists only in GF(2^m) mode (n_l = 1 there, 0 for
+    // integer moduli), where every carry is zero, so XOR-ing it into the
+    // sum is exact.
+    const std::uint8_t mn =
+        static_cast<std::uint8_t>(m_pipe_[l] & n_bits_[l]);
+    t_next[l] = static_cast<std::uint8_t>(a ^ b ^ c ^ mn);
+    const std::uint8_t ca = static_cast<std::uint8_t>(
+        ((a & b) | (a & c) | (b & c)) & carry_en);
+    const std::uint8_t a2 = t_[l + 2];
+    const std::uint8_t c1p = c1_[l - 1];
+    t_next[l + 1] = static_cast<std::uint8_t>(a2 ^ ca ^ c1p);
+    t_next[l + 2] =
+        static_cast<std::uint8_t>(((a2 & ca) | (a2 & c1p) | (ca & c1p)) &
+                                  carry_en);
+  }
+
+  // --- skewed result capture (the datapath T register of Fig. 3) ---
+  for (std::size_t j = 1; j <= l; ++j) {
+    if (!token_[j]) continue;
+    if (j < l) {
+      result_[j - 1] = t_next[j];
+    } else {
+      result_[l - 1] = t_next[l];
+      result_[l] = t_next[l + 1];
+    }
+  }
+
+  // --- latch all registers ---
+  t_ = std::move(t_next);
+  c0_ = std::move(c0_next);
+  c1_ = std::move(c1_next);
+
+  // x/m pipelines shift one cell leftward per cycle.
+  for (std::size_t j = l; j >= 2; --j) {
+    x_pipe_[j] = x_pipe_[j - 1];
+    m_pipe_[j] = m_pipe_[j - 1];
+  }
+  x_pipe_[1] = x0;
+  m_pipe_[1] = m0;
+
+  // Capture token shifts alongside; token_[0] is re-driven by the
+  // comparator in Tick().
+  for (std::size_t j = l; j >= 1; --j) token_[j] = token_[j - 1];
+  token_[0] = 0;
+}
+
+void Mmmc::Tick() {
+  ++cycles_;
+  switch (state_) {
+    case MmmcState::kIdle: {
+      if (!start_pending_) return;
+      start_pending_ = false;
+      // Load operand registers, clear the datapath (Fig. 4 IDLE actions).
+      for (std::size_t b = 0; b <= l_; ++b) {
+        x_reg_[b] = pending_x_.Bit(b) ? 1 : 0;
+        y_bits_[b] = pending_y_.Bit(b) ? 1 : 0;
+      }
+      std::fill(t_.begin(), t_.end(), 0);
+      std::fill(c0_.begin(), c0_.end(), 0);
+      std::fill(c1_.begin(), c1_.end(), 0);
+      std::fill(x_pipe_.begin(), x_pipe_.end(), 0);
+      std::fill(m_pipe_.begin(), m_pipe_.end(), 0);
+      std::fill(token_.begin(), token_.end(), 0);
+      std::fill(result_.begin(), result_.end(), 0);
+      counter_ = 0;
+      state_ = MmmcState::kMul1;
+      return;
+    }
+    case MmmcState::kMul1: {
+      // The comparator launches the capture token in the MUL1 cycle where
+      // the counter first equals l+1 (i.e. compute cycle 2l+2).
+      token_[0] = CountEnd() ? 1 : 0;
+      const bool finishing = token_[l_] != 0;
+      StepArray(/*even_cycle=*/true);
+      state_ = finishing ? MmmcState::kOut : MmmcState::kMul2;
+      return;
+    }
+    case MmmcState::kMul2: {
+      token_[0] = 0;
+      const bool finishing = token_[l_] != 0;
+      StepArray(/*even_cycle=*/false);
+      // Right-shift X, zero-filling the MSB (Fig. 4 MUL2 action), so the
+      // final iterations see x_i = 0.
+      for (std::size_t b = 0; b + 1 <= l_; ++b) x_reg_[b] = x_reg_[b + 1];
+      x_reg_[l_] = 0;
+      ++counter_;
+      state_ = finishing ? MmmcState::kOut : MmmcState::kMul1;
+      return;
+    }
+    case MmmcState::kOut: {
+      state_ = MmmcState::kIdle;
+      return;
+    }
+  }
+}
+
+BigUInt Mmmc::Multiply(const BigUInt& x, const BigUInt& y,
+                       std::uint64_t* cycles_taken) {
+  ApplyInputs(x, y);
+  // Drain a previous OUT state so the measurement starts where the ASM can
+  // sample START (the paper's 3l+4 counts START to DONE).
+  while (state_ != MmmcState::kIdle) Tick();
+  const std::uint64_t begin = cycles_;
+  Tick();  // START sampled: IDLE -> MUL1 with operands loaded
+  while (!Done()) {
+    Tick();
+    if (cycles_ - begin > 8 * (l_ + 4)) {
+      throw std::logic_error("Mmmc: DONE was not reached (FSM stuck)");
+    }
+  }
+  if (cycles_taken != nullptr) *cycles_taken = cycles_ - begin;
+  return Result();
+}
+
+}  // namespace mont::core

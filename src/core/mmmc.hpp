@@ -1,0 +1,136 @@
+// mmmc.hpp — cycle-accurate behavioural model of the Montgomery Modular
+// Multiplication Circuit (paper §4.2–§4.4).
+//
+// The model simulates, clock edge by clock edge, exactly the structure the
+// paper describes:
+//
+//   * a linear systolic array of l+1 cells (rightmost / 1st-bit / regular /
+//     leftmost, Fig. 1) computing Algorithm 2 on the schedule "cell j
+//     processes iteration i at cycle 2i+j" (Fig. 2);
+//   * X / Y / N operand registers, with X shifting right one bit every
+//     second cycle (state MUL2) and zero-filling its MSB;
+//   * an iteration counter (0..l+1) and a comparator raising `count-end`;
+//   * the four-state ASM controller IDLE / MUL1 / MUL2 / OUT (Fig. 4);
+//   * a skewed result-capture register: bit j of the result is captured in
+//     the cycle cell j finishes its last iteration, enabled by a capture
+//     token launched by the comparator and shifted along the array.  This
+//     realises the datapath "T register" of Fig. 3 for a result that is
+//     produced diagonally in time.
+//
+// One multiplication takes exactly 3l+4 clock cycles from the cycle START
+// is sampled to the cycle DONE is asserted — the paper's headline count —
+// which the tests assert for every operand length.
+//
+// The per-cell registered values are exposed so tests can check the cell
+// recurrences (Eq. 4–9) and the invariant t_{i,0} = 0 directly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bignum/biguint.hpp"
+
+namespace mont::core {
+
+/// ASM controller states (paper Fig. 4).
+enum class MmmcState : std::uint8_t { kIdle, kMul1, kMul2, kOut };
+
+const char* MmmcStateName(MmmcState state);
+
+/// Arithmetic field of the datapath (the dual-field extension of §2's
+/// related work, Savaş/Tenca/Koç): kGfP is the paper's integer mode;
+/// kGf2 reuses the identical cells with the carry chain gated to zero,
+/// turning every adder into the XOR the polynomial field needs.
+enum class FieldMode : std::uint8_t { kGfP, kGf2 };
+
+/// Cycle-accurate Montgomery Modular Multiplication Circuit for a fixed
+/// odd modulus N of bit length l.  Computes Algorithm 2:
+/// inputs x, y in [0, 2N) -> output x*y*2^-(l+2) mod N, bounded below 2N.
+class Mmmc {
+ public:
+  /// GF(p) mode: requires an odd modulus > 1 (l = its bit length).
+  /// GF(2^m) mode: `modulus` is the field polynomial f(x) with f(0) = 1
+  /// (l = deg f); operands are polynomials of degree <= l and the result
+  /// is x*y*x^-(l+2) mod f on the same 3l+4-cycle schedule.
+  /// Throws std::invalid_argument on invalid moduli.
+  explicit Mmmc(bignum::BigUInt modulus, FieldMode mode = FieldMode::kGfP);
+
+  std::size_t l() const { return l_; }
+  const bignum::BigUInt& Modulus() const { return modulus_; }
+  FieldMode Mode() const { return mode_; }
+
+  // -- pin-level interface ---------------------------------------------------
+
+  /// Drives the operand inputs and raises START for the next clock edge.
+  /// Throws std::invalid_argument unless x, y < 2N.
+  void ApplyInputs(const bignum::BigUInt& x, const bignum::BigUInt& y);
+
+  /// Advances one clock edge.
+  void Tick();
+
+  /// DONE output: high for exactly the OUT-state cycle.
+  bool Done() const { return state_ == MmmcState::kOut; }
+
+  /// RESULT output bus; valid while Done() is high (and retained after).
+  bignum::BigUInt Result() const;
+
+  MmmcState State() const { return state_; }
+  std::uint64_t CycleCount() const { return cycles_; }
+
+  // -- convenience -----------------------------------------------------------
+
+  /// Runs one complete multiplication (ApplyInputs + Tick until DONE) and
+  /// returns the result.  `cycles_taken`, when non-null, receives the exact
+  /// number of clock edges from START to DONE (always 3l+4).
+  bignum::BigUInt Multiply(const bignum::BigUInt& x, const bignum::BigUInt& y,
+                           std::uint64_t* cycles_taken = nullptr);
+
+  // -- white-box observation for tests/benches --------------------------------
+
+  /// Registered T bits t[1..l+1] (index 0 is the constant t_{i,0} = 0).
+  const std::vector<std::uint8_t>& TBits() const { return t_; }
+  /// Carry registers c0[0..l-1].
+  const std::vector<std::uint8_t>& C0Bits() const { return c0_; }
+  /// Carry registers c1[1..l-1] (index 0 unused).
+  const std::vector<std::uint8_t>& C1Bits() const { return c1_; }
+  /// Counter register (increments in MUL2, holds at l+1).
+  std::uint64_t Counter() const { return counter_; }
+  /// Comparator output (counter == l+1).
+  bool CountEnd() const { return counter_ == l_ + 1; }
+
+ private:
+  /// One compute-cycle step.  `even_cycle` is true in MUL1 cycles (compute
+  /// cycle index k even): cell j latches its output registers only when
+  /// k and j have equal parity — its active phase on the 2i+j schedule.
+  /// The alternating-phase enables are the hardware reason the ASM has two
+  /// multiply states.
+  void StepArray(bool even_cycle);
+
+  bignum::BigUInt modulus_;
+  FieldMode mode_ = FieldMode::kGfP;
+  std::size_t l_;
+  bignum::BigUInt operand_bound_;  // 2N for GF(p); 2^(l+1) for GF(2^m)
+
+  // Static operand bits.
+  std::vector<std::uint8_t> y_bits_;  // y_0..y_l
+  std::vector<std::uint8_t> n_bits_;  // n_0..n_l (n_l = 0)
+
+  // Datapath registers.
+  std::vector<std::uint8_t> x_reg_;    // shift register, LSB presented to cell 0
+  std::vector<std::uint8_t> t_;        // t[0..l+1]; t[0] stays 0
+  std::vector<std::uint8_t> c0_;       // c0[0..l-1]
+  std::vector<std::uint8_t> c1_;       // c1[0..l-1]; produced by cells 1..l-1
+  std::vector<std::uint8_t> x_pipe_;   // x value visible to cell j (j=0 unused)
+  std::vector<std::uint8_t> m_pipe_;   // m value visible to cell j (j=0 unused)
+  std::vector<std::uint8_t> token_;    // capture token at cell j
+  std::vector<std::uint8_t> result_;   // skew-captured result bits [0..l]
+
+  std::uint64_t counter_ = 0;
+  MmmcState state_ = MmmcState::kIdle;
+  bool start_pending_ = false;
+  bignum::BigUInt pending_x_;
+  bignum::BigUInt pending_y_;
+  std::uint64_t cycles_ = 0;
+};
+
+}  // namespace mont::core

@@ -1,0 +1,250 @@
+#include "core/netlist_gen.hpp"
+
+#include <bit>
+#include <stdexcept>
+#include <vector>
+
+#include "core/cells.hpp"
+#include "rtl/components.hpp"
+
+namespace mont::core {
+
+using rtl::Bus;
+using rtl::Netlist;
+using rtl::NetId;
+
+SystolicArrayNetlist BuildSystolicArrayComb(std::size_t l) {
+  if (l < 2) throw std::invalid_argument("BuildSystolicArrayComb: l >= 2");
+  SystolicArrayNetlist out;
+  out.l = l;
+  out.netlist = std::make_unique<Netlist>();
+  Netlist& nl = *out.netlist;
+
+  out.t_in = rtl::InputBus(nl, "t", l + 2);          // t[1..l+2]
+  out.x_in = rtl::InputBus(nl, "x", l + 1);          // per cell 0..l
+  out.m_in = rtl::InputBus(nl, "m", l);              // per cell 1..l
+  out.y_in = rtl::InputBus(nl, "y", l + 1);          // y_0..y_l
+  out.n_in = rtl::InputBus(nl, "n", l);              // n_0..n_{l-1}
+  out.c0_in = rtl::InputBus(nl, "c0", l);            // c0[0..l-1]
+  out.c1_in = rtl::InputBus(nl, "c1", l - 1);        // c1[1..l-1]
+
+  const auto t_reg = [&](std::size_t j) { return out.t_in[j - 1]; };
+  const auto m_reg = [&](std::size_t j) { return out.m_in[j - 1]; };
+  const auto c1_reg = [&](std::size_t j) { return out.c1_in[j - 1]; };
+
+  out.t_out.assign(l + 2, rtl::kNoNet);
+  out.c0_out.assign(l, rtl::kNoNet);
+  out.c1_out.assign(l - 1, rtl::kNoNet);
+
+  const RightmostCellOut cell0 =
+      BuildRightmostCell(nl, t_reg(1), out.x_in[0], out.y_in[0]);
+  out.m_out = cell0.m;
+  out.c0_out[0] = cell0.c0;
+
+  const InnerCellOut cell1 =
+      BuildFirstBitCell(nl, t_reg(2), out.x_in[1], out.y_in[1], m_reg(1),
+                        out.n_in[1], out.c0_in[0]);
+  out.t_out[0] = cell1.t;
+  out.c0_out[1] = cell1.c0;
+  out.c1_out[0] = cell1.c1;
+
+  for (std::size_t j = 2; j <= l - 1; ++j) {
+    const InnerCellOut cell =
+        BuildRegularCell(nl, t_reg(j + 1), out.x_in[j], out.y_in[j], m_reg(j),
+                         out.n_in[j], out.c0_in[j - 1], c1_reg(j - 1));
+    out.t_out[j - 1] = cell.t;
+    out.c0_out[j] = cell.c0;
+    out.c1_out[j - 1] = cell.c1;
+  }
+
+  const LeftmostCellOut cell_l = BuildLeftmostCell(
+      nl, t_reg(l + 1), t_reg(l + 2), out.x_in[l], out.y_in[l],
+      out.c0_in[l - 1], c1_reg(l - 1));
+  out.t_out[l - 1] = cell_l.t;
+  out.t_out[l] = cell_l.t_top;
+  out.t_out[l + 1] = cell_l.t_top2;
+
+  nl.MarkOutput(out.m_out, "m");
+  for (std::size_t j = 0; j < out.t_out.size(); ++j) {
+    nl.MarkOutput(out.t_out[j], "t_out" + std::to_string(j + 1));
+  }
+  for (std::size_t j = 0; j < out.c0_out.size(); ++j) {
+    nl.MarkOutput(out.c0_out[j], "c0_out" + std::to_string(j));
+  }
+  for (std::size_t j = 0; j < out.c1_out.size(); ++j) {
+    nl.MarkOutput(out.c1_out[j], "c1_out" + std::to_string(j + 1));
+  }
+  return out;
+}
+
+MmmcNetlist BuildMmmcNetlist(std::size_t l, bool dual_field) {
+  if (l < 2) throw std::invalid_argument("BuildMmmcNetlist: l >= 2");
+  MmmcNetlist out;
+  out.l = l;
+  out.netlist = std::make_unique<Netlist>();
+  Netlist& nl = *out.netlist;
+
+  // ---- primary ports ----
+  out.start = nl.AddInput("start");
+  out.x_in = rtl::InputBus(nl, "x", l + 1);
+  out.y_in = rtl::InputBus(nl, "y", l + 1);
+  out.n_in = rtl::InputBus(nl, "n", l);
+  // Field select: constant-1 in the single-field build keeps the two
+  // variants structurally aligned (the constant folds away in mapping).
+  const NetId fsel = dual_field ? nl.AddInput("fsel") : nl.Const1();
+  if (dual_field) out.fsel = fsel;
+
+  // ---- controller state (Fig. 4): IDLE=00, MUL1=01, MUL2=10, OUT=11 ----
+  const NetId s0 = nl.Dff(nl.Const0());
+  const NetId s1 = nl.Dff(nl.Const0());
+  out.state_s0 = s0;
+  out.state_s1 = s1;
+  const NetId ns0 = nl.Not(s0);
+  const NetId ns1 = nl.Not(s1);
+  const NetId in_idle = nl.And(ns1, ns0);
+  const NetId in_mul1 = nl.And(ns1, s0);
+  const NetId in_mul2 = nl.And(s1, ns0);
+  const NetId in_out = nl.And(s1, s0);
+  const NetId load = nl.And(in_idle, out.start);
+  const NetId compute = nl.Or(in_mul1, in_mul2);
+
+  // ---- operand registers ----
+  const Bus x_reg =
+      rtl::ShiftRightRegister(nl, out.x_in, load, in_mul2, nl.Const0());
+  const Bus y_reg = rtl::LoadRegister(nl, out.y_in, load);
+  const Bus n_reg = rtl::LoadRegister(nl, out.n_in, load);
+
+  // ---- counter (increments each MUL2 cycle) + comparator ----
+  const std::uint64_t max_count = (3 * static_cast<std::uint64_t>(l) + 3) / 2 + 2;
+  out.counter_width = static_cast<std::size_t>(std::bit_width(max_count));
+  const Bus counter = rtl::Counter(nl, out.counter_width, in_mul2, load);
+  const NetId count_end = rtl::EqualsConstant(nl, counter, l + 1);
+  out.count_end = count_end;
+
+  // ---- array state flip-flops (created first, wired after the cells) ----
+  const auto make_ffs = [&](std::size_t n) {
+    Bus ffs(n);
+    for (auto& ff : ffs) ff = nl.Dff(nl.Const0());
+    return ffs;
+  };
+  Bus t_ff = make_ffs(l + 2);    // t[1..l+2] (index j-1)
+  Bus c0_ff = make_ffs(l);       // c0[0..l-1]
+  Bus c1_ff = make_ffs(l - 1);   // c1[1..l-1] (index j-1)
+  Bus xp_ff = make_ffs(l);       // x pipe into cells 1..l (index j-1)
+  Bus mp_ff = make_ffs(l);       // m pipe into cells 1..l (index j-1)
+  Bus tok_ff = make_ffs(l);      // capture token at cells 1..l (index j-1)
+  Bus res_ff = make_ffs(l + 1);  // result bits 0..l
+  out.result = res_ff;
+
+  // ---- systolic array cells (Fig. 1 / Fig. 2) ----
+  // In the dual-field variant every carry is gated by fsel before it is
+  // registered, so fsel = 0 turns the adders into the XOR network the
+  // polynomial field needs.  The single-field build adds no gates.
+  const auto gate = [&](NetId carry) {
+    return dual_field ? nl.And(fsel, carry) : carry;
+  };
+
+  const RightmostCellOut cell0 =
+      BuildRightmostCell(nl, t_ff[0], x_reg[0], y_reg[0]);
+
+  std::vector<NetId> t_out(l + 3, rtl::kNoNet);  // t_out[1..l+2]
+  std::vector<NetId> c0_out(l, rtl::kNoNet);
+  std::vector<NetId> c1_out(l, rtl::kNoNet);  // c1_out[1..l-1]
+  c0_out[0] = gate(cell0.c0);
+
+  const InnerCellOut cell1 = BuildFirstBitCell(
+      nl, t_ff[1], xp_ff[0], y_reg[1], mp_ff[0], n_reg[1], c0_ff[0]);
+  t_out[1] = cell1.t;
+  c0_out[1] = gate(cell1.c0);
+  c1_out[1] = gate(cell1.c1);
+
+  for (std::size_t j = 2; j <= l - 1; ++j) {
+    const InnerCellOut cell =
+        BuildRegularCell(nl, t_ff[j], xp_ff[j - 1], y_reg[j], mp_ff[j - 1],
+                         n_reg[j], c0_ff[j - 1], c1_ff[j - 2]);
+    t_out[j] = cell.t;
+    c0_out[j] = gate(cell.c0);
+    c1_out[j] = gate(cell.c1);
+  }
+
+  if (!dual_field) {
+    const LeftmostCellOut cell_l =
+        BuildLeftmostCell(nl, t_ff[l], t_ff[l + 1], xp_ff[l - 1], y_reg[l],
+                          c0_ff[l - 1], c1_ff[l - 2]);
+    t_out[l] = cell_l.t;
+    t_out[l + 1] = cell_l.t_top;
+    t_out[l + 2] = cell_l.t_top2;
+  } else {
+    // Dual-field leftmost: a regular cell whose n input is the implicit
+    // top modulus bit (0 for integer N < 2^l; 1 for deg-l f), followed by
+    // the top-bit merge.
+    const NetId n_top = nl.Not(fsel);
+    const InnerCellOut cell_l =
+        BuildRegularCell(nl, t_ff[l], xp_ff[l - 1], y_reg[l], mp_ff[l - 1],
+                         n_top, c0_ff[l - 1], c1_ff[l - 2]);
+    t_out[l] = cell_l.t;
+    const rtl::AdderBit top = rtl::HalfAdder(nl, gate(cell_l.c0), t_ff[l + 1]);
+    t_out[l + 1] = top.sum;
+    t_out[l + 2] = gate(nl.Xor(cell_l.c1, top.carry));
+  }
+
+  // ---- capture token: launched by the comparator in MUL1, then shifted ----
+  const NetId tok0 = nl.And(count_end, in_mul1);
+  const NetId finishing = tok_ff[l - 1];
+
+  // ---- register wiring ----
+  // Cell j's output registers are clock-enabled only on its active phase:
+  // even cells latch in MUL1 (even compute cycles), odd cells in MUL2.
+  // This is what makes the two multiply states of the ASM necessary.
+  const auto phase_en = [&](std::size_t cell) {
+    return (cell % 2 == 0) ? in_mul1 : in_mul2;
+  };
+  for (std::size_t j = 1; j <= l; ++j) {
+    nl.RewireDff(t_ff[j - 1], t_out[j], phase_en(j), load);
+  }
+  // t[l+1] and t[l+2] are both produced by cell l.
+  nl.RewireDff(t_ff[l], t_out[l + 1], phase_en(l), load);
+  nl.RewireDff(t_ff[l + 1], t_out[l + 2], phase_en(l), load);
+  for (std::size_t j = 0; j <= l - 1; ++j) {
+    nl.RewireDff(c0_ff[j], c0_out[j], phase_en(j), load);
+  }
+  for (std::size_t j = 1; j <= l - 1; ++j) {
+    nl.RewireDff(c1_ff[j - 1], c1_out[j], phase_en(j), load);
+  }
+  nl.RewireDff(xp_ff[0], x_reg[0], compute, load);
+  nl.RewireDff(mp_ff[0], cell0.m, compute, load);
+  for (std::size_t j = 2; j <= l; ++j) {
+    nl.RewireDff(xp_ff[j - 1], xp_ff[j - 2], compute, load);
+    nl.RewireDff(mp_ff[j - 1], mp_ff[j - 2], compute, load);
+  }
+  nl.RewireDff(tok_ff[0], tok0, compute, load);
+  for (std::size_t j = 2; j <= l; ++j) {
+    nl.RewireDff(tok_ff[j - 1], tok_ff[j - 2], compute, load);
+  }
+  // Skewed result capture: bit j-1 latches when the token reaches cell j.
+  for (std::size_t j = 1; j <= l - 1; ++j) {
+    nl.RewireDff(res_ff[j - 1], t_out[j], nl.And(tok_ff[j - 1], compute), load);
+  }
+  const NetId cap_l = nl.And(tok_ff[l - 1], compute);
+  nl.RewireDff(res_ff[l - 1], t_out[l], cap_l, load);
+  nl.RewireDff(res_ff[l], t_out[l + 1], cap_l, load);
+
+  // ---- controller next-state logic ----
+  const NetId not_fin = nl.Not(finishing);
+  const NetId go_out = nl.And(finishing, compute);
+  const NetId next_s0 =
+      nl.Or(nl.Or(load, nl.And(in_mul2, not_fin)), go_out);
+  const NetId next_s1 = nl.Or(nl.And(in_mul1, not_fin), go_out);
+  nl.RewireDff(s0, next_s0);
+  nl.RewireDff(s1, next_s1);
+
+  out.done = in_out;
+  nl.MarkOutput(out.done, "done");
+  for (std::size_t b = 0; b < res_ff.size(); ++b) {
+    nl.MarkOutput(res_ff[b], "result" + std::to_string(b));
+  }
+  nl.MarkOutput(out.count_end, "count_end");
+  return out;
+}
+
+}  // namespace mont::core

@@ -1,0 +1,71 @@
+// netlist_gen.hpp — generates the complete Montgomery Modular Multiplication
+// Circuit as a gate-level netlist (the paper's Fig. 3 architecture), for a
+// given operand length l.
+//
+// The generated circuit is the third — and lowest — fidelity level of the
+// reproduction's validation chain:
+//
+//     gate-level netlist sim  ==  behavioural Mmmc  ==  software Algorithm 2
+//
+// It is also the artifact the fpga module maps and times to reproduce the
+// paper's Table 2 (slices / clock period), and the artifact exported as
+// Verilog by the netlist_export example.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "rtl/components.hpp"
+#include "rtl/netlist.hpp"
+
+namespace mont::core {
+
+/// Port map of the generated MMMC.
+struct MmmcNetlist {
+  std::unique_ptr<rtl::Netlist> netlist;
+  rtl::NetId start = rtl::kNoNet;
+  rtl::Bus x_in;      // l+1 bits
+  rtl::Bus y_in;      // l+1 bits
+  rtl::Bus n_in;      // l bits (bit l of N is 0 by definition; in the
+                      // dual-field variant's GF(2^m) mode these are f's
+                      // coefficients 0..l-1, the top one being implicit)
+  rtl::NetId fsel = rtl::kNoNet;  // dual-field only: 1 = GF(p), 0 = GF(2^m)
+  rtl::NetId done = rtl::kNoNet;
+  rtl::Bus result;    // l+1 bits
+  // White-box nets for tests: state encoding and comparator output.
+  rtl::NetId state_s0 = rtl::kNoNet;
+  rtl::NetId state_s1 = rtl::kNoNet;
+  rtl::NetId count_end = rtl::kNoNet;
+  std::size_t l = 0;
+  std::size_t counter_width = 0;
+};
+
+/// Builds the full MMMC (controller + datapath + systolic array) for
+/// operand length l >= 2.  With `dual_field` the circuit gains an `fsel`
+/// input that gates every carry (the Savaş-style dual-field extension):
+/// fsel = 1 behaves exactly like the single-field circuit; fsel = 0
+/// computes the GF(2^m) Montgomery product on the same schedule.
+MmmcNetlist BuildMmmcNetlist(std::size_t l, bool dual_field = false);
+
+/// Builds only the combinational systolic array (l+1 cells) with all cell
+/// ports exposed as primary inputs/outputs — used for the Fig. 2 area and
+/// critical-path experiments where the surrounding registers would blur the
+/// cell-logic gate counts.
+struct SystolicArrayNetlist {
+  std::unique_ptr<rtl::Netlist> netlist;
+  rtl::Bus t_in;    // t[1..l+1] as inputs (index 0 -> t1)
+  rtl::Bus x_in;    // x value per cell j = 0..l
+  rtl::Bus m_in;    // m value per cell j = 1..l (cell 0 derives m)
+  rtl::Bus y_in;    // y_0..y_l
+  rtl::Bus n_in;    // n_1..n_{l-1} (bits used by inner cells)
+  rtl::Bus c0_in;   // c0[0..l-1]
+  rtl::Bus c1_in;   // c1[1..l-1]
+  rtl::Bus t_out;   // t[1..l+1]
+  rtl::Bus c0_out;  // c0[0..l-1]
+  rtl::Bus c1_out;  // c1[1..l-1]
+  rtl::NetId m_out = rtl::kNoNet;
+  std::size_t l = 0;
+};
+SystolicArrayNetlist BuildSystolicArrayComb(std::size_t l);
+
+}  // namespace mont::core

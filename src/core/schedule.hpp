@@ -1,0 +1,68 @@
+// schedule.hpp — the systolic schedule and cycle-count formulas of the paper.
+//
+// Cell j processes iteration i of Algorithm 2 at clock cycle 2i + j
+// (0-based: i = 0..l+1, j = 0..l).  From this single fact every timing
+// number in the paper follows; the formulas here are asserted against the
+// cycle-accurate simulation in the tests.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+namespace mont::core {
+
+/// Clock cycle (0-based, counted from the first compute cycle after the
+/// operand-load edge) at which cell `j` processes iteration `i`.
+constexpr std::uint64_t CellComputeCycle(std::uint64_t i, std::uint64_t j) {
+  return 2 * i + j;
+}
+
+/// Total clock cycles for one Montgomery modular multiplication on the
+/// MMMC, from the cycle START is sampled to the cycle DONE is asserted.
+/// Paper §4.4: 3l + 4.
+constexpr std::uint64_t MultiplyCycles(std::size_t l) {
+  return 3 * static_cast<std::uint64_t>(l) + 4;
+}
+
+/// Pre-computation cycles of the modular exponentiator (paper §4.5):
+/// 2(2(l+2)+1) + l = 5l + 10.
+constexpr std::uint64_t PrecomputeCycles(std::size_t l) {
+  return 5 * static_cast<std::uint64_t>(l) + 10;
+}
+
+/// Post-processing cycles (final Montgomery multiplication by 1): l + 2.
+constexpr std::uint64_t PostprocessCycles(std::size_t l) {
+  return static_cast<std::uint64_t>(l) + 2;
+}
+
+/// Exponentiation cycle count in the paper's accounting (§4.5): the
+/// square-and-multiply chain performs `squarings + multiplications`
+/// MMM operations of 3l+4 cycles each, plus pre- and post-processing.
+constexpr std::uint64_t ExponentiationCycles(std::size_t l,
+                                             std::uint64_t squarings,
+                                             std::uint64_t multiplications) {
+  return (squarings + multiplications) * MultiplyCycles(l) +
+         PrecomputeCycles(l) + PostprocessCycles(l);
+}
+
+/// Paper Eq. (10) lower bound (exponent with exactly one set bit):
+/// 3l^2 + 10l + 12.
+constexpr std::uint64_t ExponentiationLowerBound(std::size_t l) {
+  const auto ll = static_cast<std::uint64_t>(l);
+  return 3 * ll * ll + 10 * ll + 12;
+}
+
+/// Paper Eq. (10) upper bound (all exponent bits set): 6l^2 + 14l + 12.
+constexpr std::uint64_t ExponentiationUpperBound(std::size_t l) {
+  const auto ll = static_cast<std::uint64_t>(l);
+  return 6 * ll * ll + 14 * ll + 12;
+}
+
+/// The paper's "average" exponentiation model (balanced Hamming weight:
+/// l squarings + l/2 multiplications).
+constexpr std::uint64_t ExponentiationAverageCycles(std::size_t l) {
+  const auto ll = static_cast<std::uint64_t>(l);
+  return ExponentiationCycles(l, ll, ll / 2);
+}
+
+}  // namespace mont::core

@@ -1,0 +1,227 @@
+#include "crypto/ecc.hpp"
+
+#include <stdexcept>
+
+namespace mont::crypto {
+
+using bignum::BigUInt;
+
+CurveParams CurveParams::Secp192r1() {
+  CurveParams curve;
+  curve.p = BigUInt::FromHex("fffffffffffffffffffffffffffffffeffffffffffffffff");
+  curve.a = curve.p - BigUInt{3};
+  curve.b = BigUInt::FromHex("64210519e59c80e70fa7e9ab72243049feb8deecc146b9b1");
+  curve.gx = BigUInt::FromHex("188da80eb03090f67cbf20eb43a18800f4ff0afd82ff1012");
+  curve.gy = BigUInt::FromHex("07192b95ffc8da78631011ed6b24cdd573f977a11e794811");
+  curve.order =
+      BigUInt::FromHex("ffffffffffffffffffffffff99def836146bc9b1b4d22831");
+  return curve;
+}
+
+CurveParams CurveParams::Tiny97() {
+  CurveParams curve;
+  curve.p = BigUInt{97};
+  curve.a = BigUInt{2};
+  curve.b = BigUInt{3};
+  curve.gx = BigUInt{3};
+  curve.gy = BigUInt{6};
+  curve.order = BigUInt{5};  // placeholder; tests compute the real order
+  return curve;
+}
+
+bool operator==(const AffinePoint& a, const AffinePoint& b) {
+  if (a.infinity || b.infinity) return a.infinity == b.infinity;
+  return a.x == b.x && a.y == b.y;
+}
+
+Curve::Curve(CurveParams params)
+    : params_(std::move(params)), field_(params_.p) {
+  two_p_ = params_.p << 1;
+  a_mont_ = field_.ToMont(params_.a);
+}
+
+bool Curve::IsOnCurve(const AffinePoint& point) const {
+  if (point.infinity) return true;
+  const BigUInt& p = params_.p;
+  const BigUInt lhs = (point.y * point.y) % p;
+  const BigUInt rhs =
+      (point.x * point.x * point.x + params_.a * point.x + params_.b) % p;
+  return lhs == rhs;
+}
+
+AffinePoint Curve::Negate(const AffinePoint& point) const {
+  if (point.infinity || point.y.IsZero()) return point;
+  return AffinePoint{point.x, params_.p - point.y, false};
+}
+
+AffinePoint Curve::Add(const AffinePoint& lhs, const AffinePoint& rhs) const {
+  if (lhs.infinity) return rhs;
+  if (rhs.infinity) return lhs;
+  const BigUInt& p = params_.p;
+  if (lhs.x == rhs.x) {
+    if ((lhs.y + rhs.y) % p == BigUInt{0}) return AffinePoint::Infinity();
+    return Double(lhs);
+  }
+  // slope = (y2 - y1) / (x2 - x1)
+  BigUInt dy = rhs.y % p;
+  if (dy < lhs.y) dy += p;
+  dy -= lhs.y;
+  BigUInt dx = rhs.x % p;
+  if (dx < lhs.x) dx += p;
+  dx -= lhs.x;
+  const BigUInt slope = (dy * BigUInt::ModInverse(dx, p)) % p;
+  const BigUInt x3 =
+      ((slope * slope) % p + (p << 1) - lhs.x % p - rhs.x % p) % p;
+  const BigUInt y3 =
+      ((slope * ((lhs.x % p + p - x3) % p)) % p + p - lhs.y % p) % p;
+  return AffinePoint{x3, y3, false};
+}
+
+AffinePoint Curve::Double(const AffinePoint& point) const {
+  if (point.infinity || point.y.IsZero()) return AffinePoint::Infinity();
+  const BigUInt& p = params_.p;
+  // slope = (3x^2 + a) / (2y)
+  const BigUInt numerator = (point.x * point.x * BigUInt{3} + params_.a) % p;
+  const BigUInt denominator = (point.y << 1) % p;
+  const BigUInt slope =
+      (numerator * BigUInt::ModInverse(denominator, p)) % p;
+  const BigUInt x3 = ((slope * slope) % p + (p << 1) - (point.x << 1)) % p;
+  const BigUInt y3 =
+      (slope * ((point.x + p - x3) % p) % p + p - point.y % p) % p;
+  return AffinePoint{x3, y3, false};
+}
+
+// ---------------------------------------------------------------------------
+// Jacobian path over Montgomery-domain arithmetic (the hardware model).
+// ---------------------------------------------------------------------------
+
+struct Curve::Jacobian {
+  BigUInt x, y, z;  // Montgomery domain, each in [0, 2p)
+  bool infinity = false;
+};
+
+BigUInt Curve::MulM(const BigUInt& a, const BigUInt& b, EccStats* stats,
+                    bool square) const {
+  if (stats != nullptr) {
+    if (square) {
+      ++stats->field_squares;
+    } else {
+      ++stats->field_mults;
+    }
+  }
+  return field_.MultiplyAlg2(a, b);
+}
+
+BigUInt Curve::AddM(const BigUInt& a, const BigUInt& b) const {
+  BigUInt out = a + b;
+  if (out >= two_p_) out -= two_p_;
+  return out;
+}
+
+BigUInt Curve::SubM(const BigUInt& a, const BigUInt& b) const {
+  BigUInt out = a + two_p_;
+  out -= b;
+  if (out >= two_p_) out -= two_p_;
+  return out;
+}
+
+bool Curve::IsZeroM(const BigUInt& a) const {
+  return a.IsZero() || a == params_.p;
+}
+
+Curve::Jacobian Curve::ToJacobian(const AffinePoint& point) const {
+  if (point.infinity) return Jacobian{{}, {}, {}, true};
+  return Jacobian{field_.ToMont(point.x), field_.ToMont(point.y),
+                  field_.ToMont(BigUInt{1}), false};
+}
+
+AffinePoint Curve::FromJacobian(const Jacobian& point, EccStats* stats) const {
+  if (point.infinity || IsZeroM(point.z)) return AffinePoint::Infinity();
+  // x = X / Z^2, y = Y / Z^3 — inversion done in the plain domain.
+  const BigUInt z = field_.FromMont(point.z);
+  const BigUInt z_inv = BigUInt::ModInverse(z, params_.p);
+  const BigUInt z_inv_m = field_.ToMont(z_inv);
+  const BigUInt z2 = MulM(z_inv_m, z_inv_m, stats, /*square=*/true);
+  const BigUInt x = MulM(point.x, z2, stats, /*square=*/false);
+  const BigUInt z3 = MulM(z2, z_inv_m, stats, /*square=*/false);
+  const BigUInt y = MulM(point.y, z3, stats, /*square=*/false);
+  return AffinePoint{field_.FromMont(x), field_.FromMont(y), false};
+}
+
+Curve::Jacobian Curve::JacobianDouble(const Jacobian& point,
+                                      EccStats* stats) const {
+  if (point.infinity || IsZeroM(point.y)) return Jacobian{{}, {}, {}, true};
+  // Standard dbl-2007-bl-style formulas (general a).
+  const BigUInt xx = MulM(point.x, point.x, stats, true);
+  const BigUInt yy = MulM(point.y, point.y, stats, true);
+  const BigUInt yyyy = MulM(yy, yy, stats, true);
+  const BigUInt zz = MulM(point.z, point.z, stats, true);
+  // S = 4*X*YY
+  const BigUInt xyy = MulM(point.x, yy, stats, false);
+  const BigUInt s = AddM(AddM(xyy, xyy), AddM(xyy, xyy));
+  // M = 3*XX + a*ZZ^2
+  const BigUInt zz2 = MulM(zz, zz, stats, true);
+  const BigUInt azz2 = MulM(a_mont_, zz2, stats, false);
+  const BigUInt m = AddM(AddM(xx, xx), AddM(xx, azz2));
+  // X' = M^2 - 2*S
+  const BigUInt m2 = MulM(m, m, stats, true);
+  const BigUInt x3 = SubM(m2, AddM(s, s));
+  // Y' = M*(S - X') - 8*YYYY
+  BigUInt y8 = AddM(yyyy, yyyy);
+  y8 = AddM(y8, y8);
+  y8 = AddM(y8, y8);
+  const BigUInt y3 = SubM(MulM(m, SubM(s, x3), stats, false), y8);
+  // Z' = 2*Y*Z
+  const BigUInt yz = MulM(point.y, point.z, stats, false);
+  const BigUInt z3 = AddM(yz, yz);
+  return Jacobian{x3, y3, z3, false};
+}
+
+Curve::Jacobian Curve::JacobianAdd(const Jacobian& lhs, const Jacobian& rhs,
+                                   EccStats* stats) const {
+  if (lhs.infinity) return rhs;
+  if (rhs.infinity) return lhs;
+  const BigUInt z1z1 = MulM(lhs.z, lhs.z, stats, true);
+  const BigUInt z2z2 = MulM(rhs.z, rhs.z, stats, true);
+  const BigUInt u1 = MulM(lhs.x, z2z2, stats, false);
+  const BigUInt u2 = MulM(rhs.x, z1z1, stats, false);
+  const BigUInt z2cube = MulM(rhs.z, z2z2, stats, false);
+  const BigUInt z1cube = MulM(lhs.z, z1z1, stats, false);
+  const BigUInt s1 = MulM(lhs.y, z2cube, stats, false);
+  const BigUInt s2 = MulM(rhs.y, z1cube, stats, false);
+  const BigUInt h = SubM(u2, u1);
+  const BigUInt r = SubM(s2, s1);
+  if (IsZeroM(h)) {
+    if (IsZeroM(r)) return JacobianDouble(lhs, stats);
+    return Jacobian{{}, {}, {}, true};
+  }
+  const BigUInt h2 = MulM(h, h, stats, true);
+  const BigUInt h3 = MulM(h2, h, stats, false);
+  const BigUInt u1h2 = MulM(u1, h2, stats, false);
+  // X3 = R^2 - H^3 - 2*U1*H^2
+  const BigUInt r2 = MulM(r, r, stats, true);
+  const BigUInt x3 = SubM(SubM(r2, h3), AddM(u1h2, u1h2));
+  // Y3 = R*(U1*H^2 - X3) - S1*H^3
+  const BigUInt y3 =
+      SubM(MulM(r, SubM(u1h2, x3), stats, false), MulM(s1, h3, stats, false));
+  // Z3 = H*Z1*Z2
+  const BigUInt z1z2 = MulM(lhs.z, rhs.z, stats, false);
+  const BigUInt z3 = MulM(h, z1z2, stats, false);
+  return Jacobian{x3, y3, z3, false};
+}
+
+AffinePoint Curve::ScalarMul(const BigUInt& k, const AffinePoint& point,
+                             EccStats* stats) const {
+  if (k.IsZero() || point.infinity) return AffinePoint::Infinity();
+  const BigUInt k_mod = k % params_.order;
+  if (k_mod.IsZero()) return AffinePoint::Infinity();
+  const Jacobian base = ToJacobian(point);
+  Jacobian acc = base;
+  for (std::size_t i = k_mod.BitLength() - 1; i-- > 0;) {
+    acc = JacobianDouble(acc, stats);
+    if (k_mod.Bit(i)) acc = JacobianAdd(acc, base, stats);
+  }
+  return FromJacobian(acc, stats);
+}
+
+}  // namespace mont::crypto

@@ -1,0 +1,101 @@
+// ecc.hpp — elliptic-curve point multiplication over GF(p), the paper's
+// stated future-work application (§5): "This operation does not require
+// modular exponentiation but modular multiplication only, so all required
+// components are available."
+//
+// Field multiplication runs through the paper's Algorithm 2 (Montgomery,
+// no final subtraction) with values kept in the chainable [0, 2N) window,
+// exactly as the hardware would hold them, and every field multiplication
+// is counted so point-multiplication latency can be quoted in MMMC cycles.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "bignum/biguint.hpp"
+#include "bignum/montgomery.hpp"
+
+namespace mont::crypto {
+
+/// Short Weierstrass curve y^2 = x^3 + ax + b over GF(p).
+struct CurveParams {
+  bignum::BigUInt p;
+  bignum::BigUInt a;
+  bignum::BigUInt b;
+  bignum::BigUInt gx;
+  bignum::BigUInt gy;
+  bignum::BigUInt order;  ///< order of the base point
+
+  /// NIST P-192 / secp192r1 (the ECC size class the paper targets).
+  static CurveParams Secp192r1();
+  /// A tiny curve over GF(97) for exhaustive testing: y^2 = x^3 + 2x + 3.
+  static CurveParams Tiny97();
+};
+
+/// Affine point; `infinity` marks the group identity.
+struct AffinePoint {
+  bignum::BigUInt x;
+  bignum::BigUInt y;
+  bool infinity = false;
+
+  static AffinePoint Infinity() { return AffinePoint{{}, {}, true}; }
+};
+
+bool operator==(const AffinePoint& a, const AffinePoint& b);
+
+/// Field-multiplication counters for the hardware latency model.
+struct EccStats {
+  std::uint64_t field_mults = 0;    // general products
+  std::uint64_t field_squares = 0;  // squarings (same hardware cost)
+  /// Total MMMC cycles at 3l+4 per field multiplication.
+  std::uint64_t ModeledCycles(std::size_t l) const {
+    return (field_mults + field_squares) * (3 * static_cast<std::uint64_t>(l) + 4);
+  }
+};
+
+/// Curve arithmetic engine.
+class Curve {
+ public:
+  explicit Curve(CurveParams params);
+
+  const CurveParams& Params() const { return params_; }
+  AffinePoint Generator() const {
+    return AffinePoint{params_.gx, params_.gy, false};
+  }
+  bool IsOnCurve(const AffinePoint& point) const;
+
+  /// Affine group law (reference implementation with modular inversion).
+  AffinePoint Add(const AffinePoint& lhs, const AffinePoint& rhs) const;
+  AffinePoint Double(const AffinePoint& point) const;
+  AffinePoint Negate(const AffinePoint& point) const;
+
+  /// Scalar multiplication k*P via Jacobian double-and-add over
+  /// Montgomery-domain field arithmetic (the hardware path); `stats`
+  /// accumulates field-multiplication counts when non-null.
+  AffinePoint ScalarMul(const bignum::BigUInt& k, const AffinePoint& point,
+                        EccStats* stats = nullptr) const;
+
+ private:
+  struct Jacobian;  // Montgomery-domain X, Y, Z
+  Jacobian ToJacobian(const AffinePoint& point) const;
+  AffinePoint FromJacobian(const Jacobian& point, EccStats* stats) const;
+  Jacobian JacobianDouble(const Jacobian& point, EccStats* stats) const;
+  Jacobian JacobianAdd(const Jacobian& lhs, const Jacobian& rhs,
+                       EccStats* stats) const;
+
+  // Montgomery-window helpers: values live in [0, 2p).
+  bignum::BigUInt MulM(const bignum::BigUInt& a, const bignum::BigUInt& b,
+                       EccStats* stats, bool square) const;
+  bignum::BigUInt AddM(const bignum::BigUInt& a,
+                       const bignum::BigUInt& b) const;
+  bignum::BigUInt SubM(const bignum::BigUInt& a,
+                       const bignum::BigUInt& b) const;
+  bool IsZeroM(const bignum::BigUInt& a) const;
+
+  CurveParams params_;
+  bignum::BitSerialMontgomery field_;
+  bignum::BigUInt two_p_;
+  bignum::BigUInt a_mont_;
+};
+
+}  // namespace mont::crypto

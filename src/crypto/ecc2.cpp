@@ -1,0 +1,128 @@
+#include "crypto/ecc2.hpp"
+
+#include <stdexcept>
+
+namespace mont::crypto {
+
+using bignum::BigUInt;
+using bignum::Gf2Field;
+
+BinaryCurveParams BinaryCurveParams::Koblitz163() {
+  return BinaryCurveParams{Gf2Field::Nist163().Modulus(), BigUInt{1},
+                           BigUInt{1}};
+}
+
+BinaryCurveParams BinaryCurveParams::Tiny16() {
+  return BinaryCurveParams{BigUInt{0b10011}, BigUInt{1}, BigUInt{1}};
+}
+
+BinaryCurveParams BinaryCurveParams::Aes256() {
+  return BinaryCurveParams{BigUInt{0x11b}, BigUInt{1}, BigUInt{1}};
+}
+
+bool operator==(const BinaryPoint& a, const BinaryPoint& b) {
+  if (a.infinity || b.infinity) return a.infinity == b.infinity;
+  return a.x == b.x && a.y == b.y;
+}
+
+BinaryCurve::BinaryCurve(BinaryCurveParams params)
+    : params_(params), field_(params.f) {
+  if (params_.b.IsZero()) {
+    throw std::invalid_argument("BinaryCurve: b must be nonzero");
+  }
+}
+
+BigUInt BinaryCurve::Mul(const BigUInt& a, const BigUInt& b,
+                         BinaryEccStats* stats) const {
+  if (stats != nullptr) ++stats->field_mults;
+  return field_.Mul(a, b);
+}
+
+BigUInt BinaryCurve::Inv(const BigUInt& a, BinaryEccStats* stats) const {
+  if (stats != nullptr) ++stats->field_inversions;
+  return field_.Inverse(a);
+}
+
+bool BinaryCurve::IsOnCurve(const BinaryPoint& point) const {
+  if (point.infinity) return true;
+  // y^2 + xy == x^3 + a x^2 + b
+  const BigUInt lhs =
+      field_.Add(field_.Square(point.y), field_.Mul(point.x, point.y));
+  const BigUInt x2 = field_.Square(point.x);
+  const BigUInt rhs = field_.Add(
+      field_.Add(field_.Mul(x2, point.x), field_.Mul(params_.a, x2)),
+      params_.b);
+  return lhs == rhs;
+}
+
+BinaryPoint BinaryCurve::Negate(const BinaryPoint& point) const {
+  if (point.infinity) return point;
+  return BinaryPoint{point.x, field_.Add(point.x, point.y), false};
+}
+
+BinaryPoint BinaryCurve::Add(const BinaryPoint& lhs, const BinaryPoint& rhs,
+                             BinaryEccStats* stats) const {
+  if (lhs.infinity) return rhs;
+  if (rhs.infinity) return lhs;
+  if (lhs.x == rhs.x) {
+    if (lhs.y == rhs.y) return Double(lhs, stats);
+    return BinaryPoint::Infinity();  // P + (-P)
+  }
+  // lambda = (y1 + y2) / (x1 + x2)
+  const BigUInt dx = field_.Add(lhs.x, rhs.x);
+  const BigUInt lambda =
+      Mul(field_.Add(lhs.y, rhs.y), Inv(dx, stats), stats);
+  // x3 = lambda^2 + lambda + x1 + x2 + a
+  const BigUInt x3 = field_.Add(
+      field_.Add(field_.Add(Mul(lambda, lambda, stats), lambda), dx),
+      params_.a);
+  // y3 = lambda*(x1 + x3) + x3 + y1
+  const BigUInt y3 = field_.Add(
+      field_.Add(Mul(lambda, field_.Add(lhs.x, x3), stats), x3), lhs.y);
+  return BinaryPoint{x3, y3, false};
+}
+
+BinaryPoint BinaryCurve::Double(const BinaryPoint& point,
+                                BinaryEccStats* stats) const {
+  if (point.infinity || point.x.IsZero()) return BinaryPoint::Infinity();
+  // lambda = x + y/x
+  const BigUInt lambda =
+      field_.Add(point.x, Mul(point.y, Inv(point.x, stats), stats));
+  // x3 = lambda^2 + lambda + a
+  const BigUInt x3 =
+      field_.Add(field_.Add(Mul(lambda, lambda, stats), lambda), params_.a);
+  // y3 = x^2 + (lambda + 1)*x3
+  const BigUInt y3 = field_.Add(
+      Mul(point.x, point.x, stats),
+      Mul(field_.Add(lambda, BigUInt{1}), x3, stats));
+  return BinaryPoint{x3, y3, false};
+}
+
+BinaryPoint BinaryCurve::ScalarMul(const BigUInt& k, const BinaryPoint& point,
+                                   BinaryEccStats* stats) const {
+  if (k.IsZero() || point.infinity) return BinaryPoint::Infinity();
+  BinaryPoint acc = point;
+  for (std::size_t i = k.BitLength() - 1; i-- > 0;) {
+    acc = Double(acc, stats);
+    if (k.Bit(i)) acc = Add(acc, point, stats);
+  }
+  return acc;
+}
+
+std::vector<BinaryPoint> BinaryCurve::EnumeratePoints() const {
+  const std::size_t m = field_.Degree();
+  if (m > 10) {
+    throw std::invalid_argument("EnumeratePoints: field too large");
+  }
+  std::vector<BinaryPoint> points;
+  const std::uint64_t size = 1ull << m;
+  for (std::uint64_t x = 0; x < size; ++x) {
+    for (std::uint64_t y = 0; y < size; ++y) {
+      const BinaryPoint p{BigUInt{x}, BigUInt{y}, false};
+      if (IsOnCurve(p)) points.push_back(p);
+    }
+  }
+  return points;
+}
+
+}  // namespace mont::crypto

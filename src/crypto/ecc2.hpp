@@ -1,0 +1,86 @@
+// ecc2.hpp — elliptic curves over GF(2^m) (binary curves), the second
+// half of the paper's introduction: "Commonly used finite fields in ECC
+// protocols are GF(p) and GF(2^n)."  Together with the dual-field MMMC
+// (core/mmmc.hpp FieldMode::kGf2) this closes the loop: one multiplier
+// architecture serving RSA, prime-field ECC and binary-field ECC.
+//
+// Curve form: y^2 + xy = x^3 + a*x^2 + b over GF(2^m), b != 0.
+#pragma once
+
+#include <cstdint>
+
+#include "bignum/biguint.hpp"
+#include "bignum/gf2.hpp"
+
+namespace mont::crypto {
+
+/// Binary-curve parameters.
+struct BinaryCurveParams {
+  bignum::BigUInt f;  ///< field polynomial
+  bignum::BigUInt a;
+  bignum::BigUInt b;
+
+  /// Koblitz K-163 equation (a = 1, b = 1) over the NIST B/K-163 field.
+  /// (Base-point coordinates are not embedded; tests derive points.)
+  static BinaryCurveParams Koblitz163();
+  /// A tiny curve over GF(2^4), f = x^4 + x + 1, a = 1, b = 1 — small
+  /// enough for exhaustive group checks.
+  static BinaryCurveParams Tiny16();
+  /// A curve over the AES field GF(2^8), a = 1, b = 1.
+  static BinaryCurveParams Aes256();
+};
+
+/// Affine point; `infinity` marks the identity.
+struct BinaryPoint {
+  bignum::BigUInt x;
+  bignum::BigUInt y;
+  bool infinity = false;
+
+  static BinaryPoint Infinity() { return BinaryPoint{{}, {}, true}; }
+};
+
+bool operator==(const BinaryPoint& a, const BinaryPoint& b);
+
+/// Field-operation counters (for the dual-field MMMC latency model: one
+/// field multiplication or inversion step = one 3l+4-cycle MMM pass).
+struct BinaryEccStats {
+  std::uint64_t field_mults = 0;
+  std::uint64_t field_inversions = 0;
+  /// Inversions via Fermat cost ~2m multiplications on the multiplier.
+  std::uint64_t EquivalentMults(std::size_t m) const {
+    return field_mults + field_inversions * 2 * static_cast<std::uint64_t>(m);
+  }
+};
+
+/// Binary-curve arithmetic engine (affine formulas).
+class BinaryCurve {
+ public:
+  explicit BinaryCurve(BinaryCurveParams params);
+
+  const BinaryCurveParams& Params() const { return params_; }
+  std::size_t FieldDegree() const { return field_.Degree(); }
+
+  bool IsOnCurve(const BinaryPoint& point) const;
+  BinaryPoint Negate(const BinaryPoint& point) const;
+  BinaryPoint Add(const BinaryPoint& lhs, const BinaryPoint& rhs,
+                  BinaryEccStats* stats = nullptr) const;
+  BinaryPoint Double(const BinaryPoint& point,
+                     BinaryEccStats* stats = nullptr) const;
+  /// Double-and-add scalar multiplication.
+  BinaryPoint ScalarMul(const bignum::BigUInt& k, const BinaryPoint& point,
+                        BinaryEccStats* stats = nullptr) const;
+
+  /// Enumerates every affine point (exponential; only for tiny fields,
+  /// degree <= 10).
+  std::vector<BinaryPoint> EnumeratePoints() const;
+
+ private:
+  bignum::BigUInt Mul(const bignum::BigUInt& a, const bignum::BigUInt& b,
+                      BinaryEccStats* stats) const;
+  bignum::BigUInt Inv(const bignum::BigUInt& a, BinaryEccStats* stats) const;
+
+  BinaryCurveParams params_;
+  bignum::Gf2Field field_;
+};
+
+}  // namespace mont::crypto

@@ -1,0 +1,73 @@
+#include "crypto/rsa.hpp"
+
+#include <stdexcept>
+
+#include "bignum/montgomery.hpp"
+#include "bignum/prime.hpp"
+
+namespace mont::crypto {
+
+using bignum::BigUInt;
+
+RsaKeyPair GenerateRsaKey(std::size_t modulus_bits,
+                          bignum::RandomBigUInt& rng) {
+  if (modulus_bits < 32 || modulus_bits % 2 != 0) {
+    throw std::invalid_argument("GenerateRsaKey: need even modulus_bits >= 32");
+  }
+  const std::size_t half = modulus_bits / 2;
+  for (;;) {
+    RsaKeyPair key;
+    key.p = bignum::GeneratePrime(half, rng);
+    do {
+      key.q = bignum::GeneratePrime(half, rng);
+    } while (key.q == key.p);
+    key.n = key.p * key.q;
+    if (key.n.BitLength() != modulus_bits) continue;  // forced top bits make
+                                                      // this rare
+    const BigUInt p1 = key.p - BigUInt{1};
+    const BigUInt q1 = key.q - BigUInt{1};
+    const BigUInt lambda = (p1 * q1) / BigUInt::Gcd(p1, q1);
+    key.e = BigUInt{65537};
+    while (!BigUInt::Gcd(key.e, lambda).IsOne()) key.e += BigUInt{2};
+    key.d = BigUInt::ModInverse(key.e, lambda);
+    return key;
+  }
+}
+
+BigUInt RsaPublic(const RsaKeyPair& key, const BigUInt& m) {
+  if (m >= key.n) throw std::invalid_argument("RsaPublic: message >= modulus");
+  const bignum::WordMontgomery ctx(key.n);
+  return ctx.ModExp(m, key.e);
+}
+
+BigUInt RsaPrivate(const RsaKeyPair& key, const BigUInt& c) {
+  if (c >= key.n) throw std::invalid_argument("RsaPrivate: input >= modulus");
+  const bignum::WordMontgomery ctx(key.n);
+  return ctx.ModExp(c, key.d);
+}
+
+BigUInt RsaPrivateCrt(const RsaKeyPair& key, const BigUInt& c) {
+  if (c >= key.n) throw std::invalid_argument("RsaPrivateCrt: input >= modulus");
+  const BigUInt dp = key.d % (key.p - BigUInt{1});
+  const BigUInt dq = key.d % (key.q - BigUInt{1});
+  const bignum::WordMontgomery ctx_p(key.p);
+  const bignum::WordMontgomery ctx_q(key.q);
+  const BigUInt mp = ctx_p.ModExp(c % key.p, dp);
+  const BigUInt mq = ctx_q.ModExp(c % key.q, dq);
+  // Garner recombination: m = mq + q * (q^-1 (mp - mq) mod p).
+  const BigUInt q_inv = BigUInt::ModInverse(key.q % key.p, key.p);
+  BigUInt diff = mp % key.p;
+  const BigUInt mq_mod_p = mq % key.p;
+  if (diff < mq_mod_p) diff += key.p;
+  diff -= mq_mod_p;
+  const BigUInt h = (q_inv * diff) % key.p;
+  return mq + key.q * h;
+}
+
+BigUInt RsaPrivateOnHardwareModel(const RsaKeyPair& key, const BigUInt& c,
+                                  core::ExponentiationStats* stats) {
+  core::Exponentiator exp(key.n, core::Exponentiator::Engine::kFast);
+  return exp.ModExp(c, key.d, stats);
+}
+
+}  // namespace mont::crypto

@@ -1,0 +1,46 @@
+// rsa.hpp — RSA on top of the Montgomery machinery (the paper's §4.5
+// application).  Keys are generated with the repo's own primality testing;
+// encryption/decryption can run either on fast software Montgomery
+// arithmetic or through the hardware-modelled exponentiator so the examples
+// and benches can quote cycle counts for real workloads.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "bignum/biguint.hpp"
+#include "bignum/random.hpp"
+#include "core/exponentiator.hpp"
+
+namespace mont::crypto {
+
+struct RsaKeyPair {
+  bignum::BigUInt n;  ///< modulus p*q
+  bignum::BigUInt e;  ///< public exponent
+  bignum::BigUInt d;  ///< private exponent
+  bignum::BigUInt p;  ///< prime factor
+  bignum::BigUInt q;  ///< prime factor
+};
+
+/// Generates an RSA key with a modulus of exactly `modulus_bits` bits
+/// (modulus_bits must be even and >= 32).  The public exponent is 65537
+/// unless it divides phi, in which case the next Fermat-style candidate is
+/// used.
+RsaKeyPair GenerateRsaKey(std::size_t modulus_bits, bignum::RandomBigUInt& rng);
+
+/// m^e mod n; message must be < n.
+bignum::BigUInt RsaPublic(const RsaKeyPair& key, const bignum::BigUInt& m);
+
+/// c^d mod n, straightforward private-key operation.
+bignum::BigUInt RsaPrivate(const RsaKeyPair& key, const bignum::BigUInt& c);
+
+/// c^d mod n using the CRT (two half-size exponentiations, ~4x faster).
+bignum::BigUInt RsaPrivateCrt(const RsaKeyPair& key, const bignum::BigUInt& c);
+
+/// Private-key operation on the hardware-modelled exponentiator; returns
+/// the exponentiation statistics (cycle counts per the validated model).
+bignum::BigUInt RsaPrivateOnHardwareModel(const RsaKeyPair& key,
+                                          const bignum::BigUInt& c,
+                                          core::ExponentiationStats* stats);
+
+}  // namespace mont::crypto

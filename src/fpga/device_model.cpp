@@ -1,0 +1,112 @@
+#include "fpga/device_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace mont::fpga {
+
+using rtl::kNoNet;
+using rtl::Netlist;
+using rtl::NetId;
+using rtl::Node;
+using rtl::Op;
+
+DeviceParameters DeviceParameters::VirtexE8() { return DeviceParameters{}; }
+
+DeviceParameters DeviceParameters::VirtexE6() {
+  DeviceParameters p;
+  // The -6 grade is roughly 30% slower across the board.
+  p.clk_to_q_ns *= 1.3;
+  p.lut_delay_ns *= 1.3;
+  p.setup_ns *= 1.3;
+  p.net_base_ns *= 1.3;
+  p.net_per_log_fanout_ns *= 1.3;
+  return p;
+}
+
+FpgaReport AnalyzeNetlist(const Netlist& netlist,
+                          const DeviceParameters& device) {
+  const LutMapping mapping = MapToLuts(netlist);
+  FpgaReport report;
+  report.luts = mapping.lut_count;
+  report.flip_flops = mapping.ff_count;
+  report.lut_depth = mapping.max_lut_depth;
+
+  // --- slice packing: a Virtex-E slice holds 2 LUT4s and 2 registers.
+  // LUT/FF pairs share a slice when the LUT drives the FF; the packing
+  // overhead models the fraction where that is impossible.
+  const double lut_slices =
+      static_cast<double>(report.luts) / device.luts_per_slice;
+  const double ff_slices =
+      static_cast<double>(report.flip_flops) / device.ffs_per_slice;
+  report.slices = static_cast<std::size_t>(
+      std::ceil(std::max(lut_slices, ff_slices) *
+                (1.0 + device.packing_overhead)));
+
+  // --- timing: longest register-to-register path over the LUT-root graph.
+  const std::size_t n = netlist.NodeCount();
+  const auto net_delay = [&](NetId driver) {
+    if (netlist.IsFastCarry(driver)) return device.carry_per_bit_ns;
+    const double fanout = std::max<std::uint32_t>(mapping.fanout[driver], 1);
+    const double log_term =
+        std::min(std::log2(1.0 + fanout), device.net_log_fanout_cap);
+    return device.net_base_ns + device.net_per_log_fanout_ns * log_term;
+  };
+
+  // Arrival time at each node's cluster output.  Sources (inputs, DFF
+  // outputs) launch at Tcq.
+  std::vector<double> arrival(n, 0.0);
+  for (NetId id = 0; id < n; ++id) {
+    const Node& node = netlist.NodeAt(id);
+    if (node.op == Op::kDff) arrival[id] = device.clk_to_q_ns;
+    if (node.op == Op::kInput) arrival[id] = device.clk_to_q_ns;  // IOB reg
+  }
+  // Walk clusters in topo order; only LUT roots add delay.
+  //
+  // Absorbed nodes inherit their cluster's arrival lazily: because the
+  // topo order visits operands first, a root's leaves are already final.
+  // A root's leaves are its transitive operands that are themselves roots
+  // or sources; absorbed nodes contribute no delay of their own.
+  const auto leaf_arrival = [&](NetId id, const auto& self) -> double {
+    const Node& node = netlist.NodeAt(id);
+    double best = 0.0;
+    for (const NetId src : {node.a, node.b, node.c}) {
+      if (src == kNoNet) continue;
+      const Op op = netlist.NodeAt(src).op;
+      if (op == Op::kConst0 || op == Op::kConst1) continue;
+      double t;
+      if (!rtl::IsCombinational(op) || mapping.is_root[src]) {
+        t = arrival[src] + net_delay(src);
+      } else {
+        t = self(src, self);  // absorbed into this LUT: no extra delay
+      }
+      best = std::max(best, t);
+    }
+    return best;
+  };
+  double worst = 0.0;
+  for (const NetId id : netlist.TopoOrder()) {
+    if (!mapping.is_root[id]) continue;
+    const double cell_delay = netlist.IsFastCarry(id) ? device.carry_per_bit_ns
+                                                      : device.lut_delay_ns;
+    arrival[id] = leaf_arrival(id, leaf_arrival) + cell_delay;
+  }
+  for (NetId id = 0; id < n; ++id) {
+    const Node& node = netlist.NodeAt(id);
+    if (node.op != Op::kDff) continue;
+    for (const NetId src : {node.a, node.b, node.c}) {
+      if (src == kNoNet) continue;
+      worst = std::max(worst, arrival[src] + net_delay(src));
+    }
+  }
+  report.clock_period_ns = worst + device.setup_ns;
+  if (report.clock_period_ns > 0) {
+    report.fmax_mhz = 1000.0 / report.clock_period_ns;
+  }
+  report.time_area_ns_slices =
+      report.clock_period_ns * static_cast<double>(report.slices);
+  return report;
+}
+
+}  // namespace mont::fpga

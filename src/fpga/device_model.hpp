@@ -1,0 +1,60 @@
+// device_model.hpp — Virtex-E slice-packing and timing model.
+//
+// This is the substitution for the paper's synthesis + place-and-route flow
+// on the Xilinx V812E-BG-560-8.  Given a mapped netlist it produces the two
+// quantities Table 2 reports: occupied slices and the achievable clock
+// period.  The numbers are calibrated to the -8 speed grade (CLB timing
+// from the Virtex-E data sheet era) and reproduce the *shape* of the
+// paper's results: slices linear in l, clock period flat in l.
+//
+// Timing model:  Tclk = Tcq + sum over the critical path of
+// (Tlut + Tnet(fanout)) + Tsu, where Tnet grows logarithmically with the
+// fanout of the driving net (wire-load model).  The systolic datapath has
+// constant LUT depth, so the only l-dependence comes from the high-fanout
+// control enables — matching the paper's observation that the clock
+// frequency is essentially independent of the bit length.
+#pragma once
+
+#include <cstddef>
+
+#include "fpga/lut_mapper.hpp"
+#include "rtl/netlist.hpp"
+
+namespace mont::fpga {
+
+/// Per-element delays in nanoseconds plus packing parameters.
+struct DeviceParameters {
+  double clk_to_q_ns = 0.56;   // Tcko, slice register
+  double lut_delay_ns = 0.47;  // Tilo, LUT4 through-delay
+  double setup_ns = 0.60;      // Tick register setup (incl. clock skew)
+  double net_base_ns = 0.72;   // routing delay at fanout 1
+  double net_per_log_fanout_ns = 0.42;  // extra per log2(fanout)
+  double net_log_fanout_cap = 4.0;  // buffered high-fanout nets saturate
+  double carry_per_bit_ns = 0.06;   // dedicated MUXCY/XORCY chain hop
+  double packing_overhead = 0.12;  // fraction of slices lost to packing
+  std::size_t luts_per_slice = 2;
+  std::size_t ffs_per_slice = 2;
+
+  /// Xilinx Virtex-E, -8 speed grade (the paper's part).
+  static DeviceParameters VirtexE8();
+  /// Slower -6 speed grade, used by the ablation bench.
+  static DeviceParameters VirtexE6();
+};
+
+/// Synthesis-style report for one netlist on one device.
+struct FpgaReport {
+  std::size_t luts = 0;
+  std::size_t flip_flops = 0;
+  std::size_t slices = 0;
+  std::size_t lut_depth = 0;        // LUT levels on the critical path
+  double clock_period_ns = 0;       // Tp
+  double fmax_mhz = 0;
+  double time_area_ns_slices = 0;   // Tp * slices (the paper's TA column)
+};
+
+/// Maps, packs and times a netlist on the modelled device.
+FpgaReport AnalyzeNetlist(const rtl::Netlist& netlist,
+                          const DeviceParameters& device =
+                              DeviceParameters::VirtexE8());
+
+}  // namespace mont::fpga

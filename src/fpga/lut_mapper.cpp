@@ -1,0 +1,114 @@
+#include "fpga/lut_mapper.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace mont::fpga {
+
+using rtl::kNoNet;
+using rtl::Netlist;
+using rtl::NetId;
+using rtl::Node;
+using rtl::Op;
+
+LutMapping MapToLuts(const Netlist& netlist, std::size_t max_inputs) {
+  const std::size_t n = netlist.NodeCount();
+  LutMapping out;
+  out.is_root.assign(n, false);
+  out.depth.assign(n, 0);
+  out.fanout.assign(n, 0);
+
+  // Fanout of every node at the gate level (combinational consumers plus
+  // DFF data/enable/reset pins).
+  std::vector<std::uint32_t> gate_fanout(n, 0);
+  std::vector<bool> feeds_state(n, false);  // drives a DFF pin or output
+  for (NetId id = 0; id < n; ++id) {
+    const Node& node = netlist.NodeAt(id);
+    for (const NetId src : {node.a, node.b, node.c}) {
+      if (src == kNoNet) continue;
+      ++gate_fanout[src];
+      if (node.op == Op::kDff) feeds_state[src] = true;
+    }
+  }
+  for (const auto& [net, name] : netlist.Outputs()) feeds_state[net] = true;
+
+  // Leaf sets of each node's cluster, built in topological order.  Logic
+  // duplication is allowed (standard in LUT mapping): a multi-fanout
+  // operand may be absorbed into each consumer's LUT and still exist as a
+  // root for consumers that could not absorb it.  Absorption is greedy and
+  // partial — operands are merged one at a time while the leaf set fits.
+  std::vector<std::vector<NetId>> leaves(n);
+  for (const NetId id : netlist.TopoOrder()) {
+    const Node& node = netlist.NodeAt(id);
+    // Pass 1: operands that must appear as leaves no matter what.
+    std::set<NetId> merged;
+    std::vector<NetId> absorbable;
+    for (const NetId src : {node.a, node.b, node.c}) {
+      if (src == kNoNet) continue;
+      const Op src_op = netlist.NodeAt(src).op;
+      if (src_op == Op::kConst0 || src_op == Op::kConst1) {
+        continue;  // constants fold into the LUT truth table for free
+      }
+      if (rtl::IsCombinational(src_op) && !feeds_state[src] &&
+          !netlist.IsFastCarry(src)) {
+        absorbable.push_back(src);
+      } else {
+        merged.insert(src);
+      }
+    }
+    // Pass 2: absorb operand cones while the leaf set fits, reserving one
+    // slot for each not-yet-processed absorbable operand.
+    for (std::size_t k = 0; k < absorbable.size(); ++k) {
+      const NetId src = absorbable[k];
+      const std::size_t reserved = absorbable.size() - k - 1;
+      std::set<NetId> trial = merged;
+      trial.insert(leaves[src].begin(), leaves[src].end());
+      // Remaining operands may already be in the set; reserving a slot for
+      // each is conservative but never produces an oversized LUT.
+      if (trial.size() + reserved <= max_inputs) {
+        merged = std::move(trial);
+      } else {
+        merged.insert(src);
+      }
+    }
+    leaves[id].assign(merged.begin(), merged.end());
+  }
+
+  // Roots: nodes that feed state/outputs, plus every node appearing in some
+  // cluster's leaf set (it must be physically realised to drive that LUT).
+  std::vector<bool> is_leaf_somewhere(n, false);
+  for (const NetId id : netlist.TopoOrder()) {
+    for (const NetId leaf : leaves[id]) is_leaf_somewhere[leaf] = true;
+  }
+  for (const NetId id : netlist.TopoOrder()) {
+    out.is_root[id] = feeds_state[id] || is_leaf_somewhere[id];
+  }
+
+  // Depth and fanout over the LUT-root graph.  Fast-carry cells do not add
+  // LUT levels (they ride the dedicated carry chain).
+  for (const NetId id : netlist.TopoOrder()) {
+    std::size_t best = 0;
+    for (const NetId leaf : leaves[id]) {
+      best = std::max(best, out.depth[leaf]);
+    }
+    out.depth[id] = best + (netlist.IsFastCarry(id) ? 0 : 1);
+    if (out.is_root[id]) {
+      out.lut_count += 1;
+      out.max_lut_depth = std::max(out.max_lut_depth, out.depth[id]);
+      for (const NetId leaf : leaves[id]) ++out.fanout[leaf];
+    }
+  }
+  // DFFs also load their sources' nets.
+  for (NetId id = 0; id < n; ++id) {
+    const Node& node = netlist.NodeAt(id);
+    if (node.op == Op::kDff) {
+      ++out.ff_count;
+      for (const NetId src : {node.a, node.b, node.c}) {
+        if (src != kNoNet) ++out.fanout[src];
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace mont::fpga

@@ -1,0 +1,40 @@
+// lut_mapper.hpp — technology mapping of a gate-level netlist onto 4-input
+// lookup tables (the logic element of the paper's Xilinx Virtex-E target).
+//
+// A deterministic greedy cone-packing mapper: walking the netlist in
+// topological order, each combinational node absorbs single-fanout operand
+// cones while the merged leaf set stays within 4 inputs.  Nodes that feed
+// flip-flops or outputs, have multiple fanouts, or cannot be absorbed
+// become LUT roots.  This is intentionally simple (FlowMap-style optimal
+// depth is unnecessary here) but produces realistic LUT counts and depths
+// for the slice/packing and timing models layered on top.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "rtl/netlist.hpp"
+
+namespace mont::fpga {
+
+/// Result of mapping one netlist onto LUT4s.
+struct LutMapping {
+  std::size_t lut_count = 0;
+  std::size_t ff_count = 0;
+  std::size_t max_lut_depth = 0;  // LUT levels on the longest reg-to-reg path
+  /// For each netlist node: true when the node is a LUT root.
+  std::vector<bool> is_root;
+  /// For each netlist node: LUT depth of its cluster root (0 for
+  /// non-combinational nodes).
+  std::vector<std::size_t> depth;
+  /// For each LUT root / source node: number of distinct cluster consumers
+  /// (fanout after mapping; drives the wire-load timing model).
+  std::vector<std::uint32_t> fanout;
+};
+
+/// Maps `netlist` onto LUT4s.  `max_inputs` is exposed for what-if studies
+/// (e.g. LUT3 or LUT5/6 fabrics in the ablation bench).
+LutMapping MapToLuts(const rtl::Netlist& netlist, std::size_t max_inputs = 4);
+
+}  // namespace mont::fpga

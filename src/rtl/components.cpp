@@ -1,0 +1,143 @@
+#include "rtl/components.hpp"
+
+#include <stdexcept>
+
+namespace mont::rtl {
+
+AdderBit HalfAdder(Netlist& nl, NetId a, NetId b) {
+  return AdderBit{nl.Xor(a, b), nl.And(a, b)};
+}
+
+AdderBit FullAdder(Netlist& nl, NetId a, NetId b, NetId cin) {
+  const AdderBit first = HalfAdder(nl, a, b);
+  const AdderBit second = HalfAdder(nl, first.sum, cin);
+  return AdderBit{second.sum, nl.Or(first.carry, second.carry)};
+}
+
+Bus RippleCarryAdder(Netlist& nl, const Bus& a, const Bus& b, NetId cin) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("RippleCarryAdder: width mismatch");
+  }
+  Bus out;
+  out.reserve(a.size() + 1);
+  NetId carry = cin == kNoNet ? nl.Const0() : cin;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const AdderBit bit = FullAdder(nl, a[i], b[i], carry);
+    nl.MarkFastCarry(bit.sum);
+    nl.MarkFastCarry(bit.carry);
+    out.push_back(bit.sum);
+    carry = bit.carry;
+  }
+  out.push_back(carry);
+  return out;
+}
+
+Bus ConstantBus(Netlist& nl, std::uint64_t value, std::size_t width) {
+  Bus out(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    out[i] = ((value >> i) & 1u) ? nl.Const1() : nl.Const0();
+  }
+  return out;
+}
+
+Bus InputBus(Netlist& nl, const std::string& name, std::size_t width) {
+  Bus out(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    out[i] = nl.AddInput(name + "[" + std::to_string(i) + "]");
+  }
+  return out;
+}
+
+Bus LoadRegister(Netlist& nl, const Bus& d, NetId load) {
+  Bus q(d.size());
+  for (std::size_t i = 0; i < d.size(); ++i) q[i] = nl.Dff(d[i], load);
+  return q;
+}
+
+Bus LoadUpdateRegister(Netlist& nl, const Bus& d, NetId load, const Bus& next,
+                       NetId update) {
+  if (d.size() != next.size()) {
+    throw std::invalid_argument("LoadUpdateRegister: width mismatch");
+  }
+  Bus q(d.size());
+  const NetId enable = nl.Or(load, update);
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    // Data mux: load wins over update.
+    q[i] = nl.Dff(nl.Mux(load, next[i], d[i]), enable);
+  }
+  return q;
+}
+
+Bus ShiftRightRegister(Netlist& nl, const Bus& d, NetId load, NetId shift,
+                       NetId fill_msb) {
+  Bus q(d.size());
+  // Create the DFFs first so bit i's input cone can reference bit i+1's q.
+  for (std::size_t i = 0; i < d.size(); ++i) q[i] = nl.Dff(nl.Const0());
+  const NetId enable = nl.Or(load, shift);
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    const NetId shifted_in = (i + 1 < d.size()) ? q[i + 1] : fill_msb;
+    nl.RewireDff(q[i], nl.Mux(load, shifted_in, d[i]), enable);
+  }
+  return q;
+}
+
+Bus Counter(Netlist& nl, std::size_t width, NetId increment, NetId reset) {
+  Bus q(width);
+  for (std::size_t i = 0; i < width; ++i) q[i] = nl.Dff(nl.Const0());
+  // q + 1 via a half-adder chain on the current state; the chain is flagged
+  // as dedicated fast-carry logic (MUXCY/XORCY on the modelled FPGA).
+  NetId carry = nl.Const1();
+  for (std::size_t i = 0; i < width; ++i) {
+    const AdderBit bit = HalfAdder(nl, q[i], carry);
+    nl.MarkFastCarry(bit.sum);
+    nl.MarkFastCarry(bit.carry);
+    nl.RewireDff(q[i], bit.sum, increment, reset);
+    carry = bit.carry;
+  }
+  return q;
+}
+
+NetId EqualsConstant(Netlist& nl, const Bus& bus, std::uint64_t value) {
+  Bus matched(bus.size());
+  for (std::size_t i = 0; i < bus.size(); ++i) {
+    matched[i] = ((value >> i) & 1u) ? nl.Buf(bus[i]) : nl.Not(bus[i]);
+  }
+  return ReduceAnd(nl, matched);
+}
+
+namespace {
+
+NetId ReduceTree(Netlist& nl, const Bus& bus, bool is_and) {
+  if (bus.empty()) return is_and ? nl.Const1() : nl.Const0();
+  Bus level = bus;
+  while (level.size() > 1) {
+    Bus next;
+    next.reserve((level.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+      next.push_back(is_and ? nl.And(level[i], level[i + 1])
+                            : nl.Or(level[i], level[i + 1]));
+    }
+    if (level.size() % 2 == 1) next.push_back(level.back());
+    level = std::move(next);
+  }
+  return level[0];
+}
+
+}  // namespace
+
+NetId ReduceAnd(Netlist& nl, const Bus& bus) { return ReduceTree(nl, bus, true); }
+
+NetId ReduceOr(Netlist& nl, const Bus& bus) { return ReduceTree(nl, bus, false); }
+
+Bus MuxBus(Netlist& nl, NetId sel, const Bus& if0, const Bus& if1) {
+  if (if0.size() != if1.size()) {
+    throw std::invalid_argument("MuxBus: width mismatch");
+  }
+  Bus out(if0.size());
+  for (std::size_t i = 0; i < if0.size(); ++i) {
+    out[i] = nl.Mux(sel, if0[i], if1[i]);
+  }
+  return out;
+}
+
+}  // namespace mont::rtl

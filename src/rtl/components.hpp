@@ -1,0 +1,74 @@
+// components.hpp — reusable structural building blocks over Netlist.
+//
+// The paper's MMMC datapath (Fig. 3) is assembled from exactly these pieces:
+// half/full adders (the Fig. 1 cells), load/shift registers (X, Y, N, T),
+// a counter, and an equality comparator.  Keeping them as a small generic
+// library lets tests cover each block in isolation before the full circuit
+// is generated.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rtl/netlist.hpp"
+
+namespace mont::rtl {
+
+/// A little-endian vector of nets (index 0 = LSB).
+using Bus = std::vector<NetId>;
+
+/// sum/carry pair produced by adder cells.
+struct AdderBit {
+  NetId sum = kNoNet;
+  NetId carry = kNoNet;
+};
+
+/// Half adder: sum = a XOR b, carry = a AND b. 1 XOR + 1 AND.
+AdderBit HalfAdder(Netlist& nl, NetId a, NetId b);
+
+/// Full adder built from two half adders plus an OR on the carries:
+/// 2 XOR + 2 AND + 1 OR, carry chain cin->cout crosses one AND + one OR.
+AdderBit FullAdder(Netlist& nl, NetId a, NetId b, NetId cin);
+
+/// Ripple-carry adder over equal-width buses; returns width+1 bits.
+Bus RippleCarryAdder(Netlist& nl, const Bus& a, const Bus& b,
+                     NetId cin = kNoNet);
+
+/// Bus of constant bits for `value` (width nets, LSB first).
+Bus ConstantBus(Netlist& nl, std::uint64_t value, std::size_t width);
+
+/// Bus of fresh named inputs: name[0..width).
+Bus InputBus(Netlist& nl, const std::string& name, std::size_t width);
+
+/// Parallel-load register: q <= load ? d : q (per-bit DFF with enable).
+Bus LoadRegister(Netlist& nl, const Bus& d, NetId load);
+
+/// Register with parallel load, hold, and an extra update path:
+/// q <= load ? d : (update ? next : q).  Used for the T register, which
+/// either loads 0 or captures the systolic array output.
+Bus LoadUpdateRegister(Netlist& nl, const Bus& d, NetId load, const Bus& next,
+                       NetId update);
+
+/// Right-shift register with parallel load: on load, q <= d; on shift,
+/// q <= {fill_msb, q[width-1:1]}.  This is the paper's X register whose MSB
+/// is refilled with 0 in state MUL2 so the final iterations see x_i = 0.
+Bus ShiftRightRegister(Netlist& nl, const Bus& d, NetId load, NetId shift,
+                       NetId fill_msb);
+
+/// Binary up-counter with synchronous reset; increments when `increment`
+/// is high. Returns the count bus (width bits).
+Bus Counter(Netlist& nl, std::size_t width, NetId increment, NetId reset);
+
+/// Single-net equality test of a bus against a compile-time constant
+/// (AND-reduce of XNOR bits).
+NetId EqualsConstant(Netlist& nl, const Bus& bus, std::uint64_t value);
+
+/// AND/OR-reduce helpers (balanced trees).
+NetId ReduceAnd(Netlist& nl, const Bus& bus);
+NetId ReduceOr(Netlist& nl, const Bus& bus);
+
+/// Per-bit 2:1 mux over buses of equal width.
+Bus MuxBus(Netlist& nl, NetId sel, const Bus& if0, const Bus& if1);
+
+}  // namespace mont::rtl

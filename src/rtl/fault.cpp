@@ -1,0 +1,37 @@
+#include "rtl/fault.hpp"
+
+namespace mont::rtl {
+
+const char* FaultTypeName(FaultType type) {
+  switch (type) {
+    case FaultType::kStuckAt0: return "stuck-at-0";
+    case FaultType::kStuckAt1: return "stuck-at-1";
+    case FaultType::kInvert: return "invert";
+  }
+  return "?";
+}
+
+FaultCoverage RunFaultCampaign(
+    const Netlist& netlist, const std::vector<NetId>& targets,
+    const std::vector<FaultType>& types,
+    const std::function<bool(Simulator&)>& workload) {
+  FaultCoverage coverage;
+  Simulator sim(netlist);
+  for (const NetId net : targets) {
+    for (const FaultType type : types) {
+      sim.ClearFaults();
+      sim.Reset();
+      sim.InjectFault(net, type);
+      FaultResult result;
+      result.net = net;
+      result.type = type;
+      result.detected = workload(sim);
+      ++coverage.injected;
+      if (result.detected) ++coverage.detected;
+      coverage.results.push_back(result);
+    }
+  }
+  return coverage;
+}
+
+}  // namespace mont::rtl

@@ -1,0 +1,53 @@
+// fault.hpp — gate-level fault injection campaigns.
+//
+// Stuck-at fault simulation is the standard way to grade a hardware test
+// bench: a verification flow that cannot distinguish a faulty circuit from
+// a healthy one is not testing anything.  The Simulator supports per-net
+// fault overrides (stuck-at-0 / stuck-at-1 / inversion) applied during
+// evaluation so faults propagate; this header adds the campaign helper
+// that injects a population of faults one at a time and reports how many
+// a given workload detects — used to grade the MMMC's self-checking
+// multiply in the tests and the fault-coverage bench.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "rtl/netlist.hpp"
+#include "rtl/simulator.hpp"
+
+namespace mont::rtl {
+
+const char* FaultTypeName(FaultType type);
+
+/// One injected fault and whether the workload caught it.
+struct FaultResult {
+  NetId net = kNoNet;
+  FaultType type = FaultType::kStuckAt0;
+  bool detected = false;
+};
+
+/// Aggregate of a campaign.
+struct FaultCoverage {
+  std::size_t injected = 0;
+  std::size_t detected = 0;
+  std::vector<FaultResult> results;
+  double Rate() const {
+    return injected == 0 ? 0.0
+                         : static_cast<double>(detected) /
+                               static_cast<double>(injected);
+  }
+};
+
+/// Runs `workload` once per fault in `targets` x `types`.  The workload
+/// receives a simulator with exactly one active fault and returns true if
+/// it detected misbehaviour (wrong result, wrong latency, ...).  The
+/// simulator is Reset() between faults.
+FaultCoverage RunFaultCampaign(
+    const Netlist& netlist, const std::vector<NetId>& targets,
+    const std::vector<FaultType>& types,
+    const std::function<bool(Simulator&)>& workload);
+
+}  // namespace mont::rtl

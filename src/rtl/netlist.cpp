@@ -1,0 +1,240 @@
+#include "rtl/netlist.hpp"
+
+#include <algorithm>
+
+namespace mont::rtl {
+
+const char* OpName(Op op) {
+  switch (op) {
+    case Op::kInput: return "input";
+    case Op::kConst0: return "const0";
+    case Op::kConst1: return "const1";
+    case Op::kBuf: return "buf";
+    case Op::kNot: return "not";
+    case Op::kAnd: return "and";
+    case Op::kOr: return "or";
+    case Op::kXor: return "xor";
+    case Op::kNand: return "nand";
+    case Op::kNor: return "nor";
+    case Op::kXnor: return "xnor";
+    case Op::kMux: return "mux";
+    case Op::kDff: return "dff";
+  }
+  return "?";
+}
+
+bool IsCombinational(Op op) {
+  switch (op) {
+    case Op::kInput:
+    case Op::kConst0:
+    case Op::kConst1:
+    case Op::kDff:
+      return false;
+    default:
+      return true;
+  }
+}
+
+bool IsBinaryGate(Op op) {
+  switch (op) {
+    case Op::kAnd:
+    case Op::kOr:
+    case Op::kXor:
+    case Op::kNand:
+    case Op::kNor:
+    case Op::kXnor:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Netlist::Netlist() {
+  const0_ = Emit(Op::kConst0);
+  const1_ = Emit(Op::kConst1);
+}
+
+NetId Netlist::Emit(Op op, NetId a, NetId b, NetId c) {
+  nodes_.push_back(Node{op, a, b, c});
+  topo_valid_ = false;
+  return static_cast<NetId>(nodes_.size() - 1);
+}
+
+void Netlist::CheckNet(NetId id) const {
+  if (id >= nodes_.size()) {
+    throw std::out_of_range("Netlist: reference to unknown net");
+  }
+}
+
+NetId Netlist::AddInput(const std::string& name) {
+  const NetId id = Emit(Op::kInput);
+  inputs_.emplace_back(id, name);
+  names_[id] = name;
+  return id;
+}
+
+NetId Netlist::Not(NetId a) {
+  CheckNet(a);
+  return Emit(Op::kNot, a);
+}
+
+NetId Netlist::Buf(NetId a) {
+  CheckNet(a);
+  return Emit(Op::kBuf, a);
+}
+
+NetId Netlist::And(NetId a, NetId b) {
+  CheckNet(a);
+  CheckNet(b);
+  return Emit(Op::kAnd, a, b);
+}
+
+NetId Netlist::Or(NetId a, NetId b) {
+  CheckNet(a);
+  CheckNet(b);
+  return Emit(Op::kOr, a, b);
+}
+
+NetId Netlist::Xor(NetId a, NetId b) {
+  CheckNet(a);
+  CheckNet(b);
+  return Emit(Op::kXor, a, b);
+}
+
+NetId Netlist::Nand(NetId a, NetId b) {
+  CheckNet(a);
+  CheckNet(b);
+  return Emit(Op::kNand, a, b);
+}
+
+NetId Netlist::Nor(NetId a, NetId b) {
+  CheckNet(a);
+  CheckNet(b);
+  return Emit(Op::kNor, a, b);
+}
+
+NetId Netlist::Xnor(NetId a, NetId b) {
+  CheckNet(a);
+  CheckNet(b);
+  return Emit(Op::kXnor, a, b);
+}
+
+NetId Netlist::Mux(NetId sel, NetId if0, NetId if1) {
+  CheckNet(sel);
+  CheckNet(if0);
+  CheckNet(if1);
+  return Emit(Op::kMux, sel, if0, if1);
+}
+
+NetId Netlist::Dff(NetId d, NetId enable, NetId sync_reset) {
+  if (d != kNoNet) CheckNet(d);
+  if (enable != kNoNet) CheckNet(enable);
+  if (sync_reset != kNoNet) CheckNet(sync_reset);
+  return Emit(Op::kDff, d, enable, sync_reset);
+}
+
+void Netlist::RewireDff(NetId dff, NetId d, NetId enable, NetId sync_reset) {
+  CheckNet(dff);
+  if (nodes_[dff].op != Op::kDff) {
+    throw std::logic_error("RewireDff: target is not a DFF");
+  }
+  CheckNet(d);
+  if (enable != kNoNet) CheckNet(enable);
+  if (sync_reset != kNoNet) CheckNet(sync_reset);
+  nodes_[dff].a = d;
+  nodes_[dff].b = enable;
+  nodes_[dff].c = sync_reset;
+  topo_valid_ = false;
+}
+
+void Netlist::MarkOutput(NetId net, const std::string& name) {
+  CheckNet(net);
+  outputs_.emplace_back(net, name);
+  names_.emplace(net, name);
+}
+
+void Netlist::NameNet(NetId net, const std::string& name) {
+  CheckNet(net);
+  names_[net] = name;
+}
+
+void Netlist::MarkFastCarry(NetId net) {
+  CheckNet(net);
+  if (fast_carry_.size() < nodes_.size()) fast_carry_.resize(nodes_.size(), 0);
+  fast_carry_[net] = 1;
+}
+
+bool Netlist::IsFastCarry(NetId net) const {
+  return net < fast_carry_.size() && fast_carry_[net] != 0;
+}
+
+std::string Netlist::NetName(NetId id) const {
+  const auto it = names_.find(id);
+  if (it != names_.end()) return it->second;
+  return "n" + std::to_string(id);
+}
+
+NetlistStats Netlist::Stats() const {
+  NetlistStats stats;
+  for (const Node& node : nodes_) {
+    switch (node.op) {
+      case Op::kInput: ++stats.inputs; break;
+      case Op::kAnd:
+      case Op::kNand: ++stats.and_gates; break;
+      case Op::kOr:
+      case Op::kNor: ++stats.or_gates; break;
+      case Op::kXor:
+      case Op::kXnor: ++stats.xor_gates; break;
+      case Op::kNot: ++stats.not_gates; break;
+      case Op::kMux: ++stats.mux_gates; break;
+      case Op::kDff: ++stats.flip_flops; break;
+      default: break;
+    }
+  }
+  return stats;
+}
+
+const std::vector<NetId>& Netlist::TopoOrder() const {
+  if (topo_valid_) return topo_cache_;
+  topo_cache_.clear();
+  topo_cache_.reserve(nodes_.size());
+  // Kahn's algorithm restricted to combinational nodes; DFF outputs,
+  // inputs and constants are sources whose values are known before
+  // combinational settling.
+  std::vector<std::uint8_t> pending(nodes_.size(), 0);
+  std::vector<std::vector<NetId>> fanout(nodes_.size());
+  std::vector<NetId> ready;
+  for (NetId id = 0; id < nodes_.size(); ++id) {
+    const Node& node = nodes_[id];
+    if (!IsCombinational(node.op)) continue;
+    int deps = 0;
+    for (const NetId src : {node.a, node.b, node.c}) {
+      if (src == kNoNet) continue;
+      if (IsCombinational(nodes_[src].op)) {
+        fanout[src].push_back(id);
+        ++deps;
+      }
+    }
+    pending[id] = static_cast<std::uint8_t>(deps);
+    if (deps == 0) ready.push_back(id);
+  }
+  while (!ready.empty()) {
+    const NetId id = ready.back();
+    ready.pop_back();
+    topo_cache_.push_back(id);
+    for (const NetId next : fanout[id]) {
+      if (--pending[next] == 0) ready.push_back(next);
+    }
+  }
+  std::size_t comb_total = 0;
+  for (const Node& node : nodes_) {
+    if (IsCombinational(node.op)) ++comb_total;
+  }
+  if (topo_cache_.size() != comb_total) {
+    throw std::logic_error("Netlist: combinational cycle detected");
+  }
+  topo_valid_ = true;
+  return topo_cache_;
+}
+
+}  // namespace mont::rtl

@@ -1,0 +1,157 @@
+// netlist.hpp — structural gate-level netlist IR.
+//
+// This is the substitution for the paper's FPGA design entry: the systolic
+// array, the MMMC datapath and the controller are generated as explicit
+// gate-level netlists (AND/OR/XOR/... + D flip-flops) so that the same
+// quantities the authors measured after synthesis — gate counts, flip-flop
+// counts, critical-path composition — can be measured here, and so the
+// netlist can be simulated cycle-by-cycle and checked bit-for-bit against
+// both the behavioural hardware model and the software reference.
+//
+// Semantics:
+//  * Combinational ops evaluate instantaneously (levelized evaluation).
+//  * kDff is a positive-edge D flip-flop with optional clock-enable and
+//    optional synchronous reset (reset wins over enable); power-on state 0.
+//  * A single implicit clock drives all flip-flops (the paper's design is
+//    single-clock).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace mont::rtl {
+
+/// Identifier of a net (the output of a node). Dense, starting at 0.
+using NetId = std::uint32_t;
+inline constexpr NetId kNoNet = std::numeric_limits<NetId>::max();
+
+/// Node kinds. Arity: kInput/kConst* none; kNot/kBuf one (a);
+/// two-input gates (a, b); kMux three (sel=a, if0=b, if1=c);
+/// kDff three (d=a, enable=b or kNoNet, sync reset=c or kNoNet).
+enum class Op : std::uint8_t {
+  kInput,
+  kConst0,
+  kConst1,
+  kBuf,
+  kNot,
+  kAnd,
+  kOr,
+  kXor,
+  kNand,
+  kNor,
+  kXnor,
+  kMux,
+  kDff,
+};
+
+/// Human-readable op name ("and", "dff", ...).
+const char* OpName(Op op);
+/// True for every op except kInput, kConst0/1 and kDff.
+bool IsCombinational(Op op);
+/// True for 2-input logic gates (kAnd .. kXnor).
+bool IsBinaryGate(Op op);
+
+struct Node {
+  Op op;
+  NetId a = kNoNet;
+  NetId b = kNoNet;
+  NetId c = kNoNet;
+};
+
+/// Aggregate gate statistics of a netlist (the quantities in the paper's
+/// area formula: XOR/AND/OR gate counts and flip-flop count).
+struct NetlistStats {
+  std::size_t inputs = 0;
+  std::size_t and_gates = 0;   // AND + NAND
+  std::size_t or_gates = 0;    // OR + NOR
+  std::size_t xor_gates = 0;   // XOR + XNOR
+  std::size_t not_gates = 0;
+  std::size_t mux_gates = 0;
+  std::size_t flip_flops = 0;
+  /// Total two-input-gate equivalents (MUX counted as 3, NOT as 1).
+  std::size_t GateEquivalents() const {
+    return and_gates + or_gates + xor_gates + not_gates + 3 * mux_gates;
+  }
+  std::size_t CombinationalNodes() const {
+    return and_gates + or_gates + xor_gates + not_gates + mux_gates;
+  }
+};
+
+/// A gate-level netlist under construction plus named port bookkeeping.
+class Netlist {
+ public:
+  Netlist();
+
+  // -- construction ----------------------------------------------------------
+
+  NetId AddInput(const std::string& name);
+  NetId Const0() const { return const0_; }
+  NetId Const1() const { return const1_; }
+  NetId Not(NetId a);
+  NetId Buf(NetId a);
+  NetId And(NetId a, NetId b);
+  NetId Or(NetId a, NetId b);
+  NetId Xor(NetId a, NetId b);
+  NetId Nand(NetId a, NetId b);
+  NetId Nor(NetId a, NetId b);
+  NetId Xnor(NetId a, NetId b);
+  /// sel ? if1 : if0.
+  NetId Mux(NetId sel, NetId if0, NetId if1);
+  /// D flip-flop; q <= reset ? 0 : (enable ? d : q) on each Tick.
+  NetId Dff(NetId d, NetId enable = kNoNet, NetId sync_reset = kNoNet);
+
+  /// Re-points an existing DFF's data/enable/reset inputs.  Netlists with
+  /// state feedback (registers that hold their own value) are built by
+  /// creating the DFF first and wiring its input cone afterwards.
+  void RewireDff(NetId dff, NetId d, NetId enable = kNoNet,
+                 NetId sync_reset = kNoNet);
+
+  /// Marks a net as a module output under `name` (for export/inspection).
+  void MarkOutput(NetId net, const std::string& name);
+  /// Flags a gate as belonging to a dedicated fast-carry chain (FPGA
+  /// MUXCY/XORCY resources).  Technology mapping keeps such gates out of
+  /// LUT clusters and the timing model charges them carry-chain delays.
+  void MarkFastCarry(NetId net);
+  bool IsFastCarry(NetId net) const;
+  /// Attaches a debug name to any net.
+  void NameNet(NetId net, const std::string& name);
+
+  // -- inspection --------------------------------------------------------------
+
+  std::size_t NodeCount() const { return nodes_.size(); }
+  const Node& NodeAt(NetId id) const { return nodes_.at(id); }
+  const std::vector<std::pair<NetId, std::string>>& Outputs() const {
+    return outputs_;
+  }
+  const std::vector<std::pair<NetId, std::string>>& Inputs() const {
+    return inputs_;
+  }
+  /// Name of a net if one was attached, otherwise "n<id>".
+  std::string NetName(NetId id) const;
+  NetlistStats Stats() const;
+
+  /// Topologically ordered combinational node ids (inputs/consts/DFFs are
+  /// evaluation sources and are excluded).  Throws std::logic_error if a
+  /// combinational cycle exists.  Cached; invalidated by construction calls.
+  const std::vector<NetId>& TopoOrder() const;
+
+ private:
+  NetId Emit(Op op, NetId a = kNoNet, NetId b = kNoNet, NetId c = kNoNet);
+  void CheckNet(NetId id) const;
+
+  std::vector<Node> nodes_;
+  NetId const0_ = kNoNet;
+  NetId const1_ = kNoNet;
+  std::vector<std::pair<NetId, std::string>> inputs_;
+  std::vector<std::pair<NetId, std::string>> outputs_;
+  std::unordered_map<NetId, std::string> names_;
+  std::vector<std::uint8_t> fast_carry_;
+  mutable std::vector<NetId> topo_cache_;
+  mutable bool topo_valid_ = false;
+};
+
+}  // namespace mont::rtl

@@ -1,0 +1,71 @@
+// simulator.hpp — cycle-accurate two-phase simulator for Netlist.
+//
+// Evaluation model: set primary inputs, call Settle() to propagate through
+// the combinational logic (levelized, one pass), then Tick() to advance the
+// single implicit clock by one cycle — all flip-flops sample their data
+// inputs simultaneously from the settled combinational values, then the
+// combinational logic settles again.  This matches a synchronous
+// single-clock FPGA design with registered state, which is exactly the
+// paper's design style.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "rtl/netlist.hpp"
+
+namespace mont::rtl {
+
+/// Fault models for InjectFault (see fault.hpp for campaigns).
+enum class FaultType : std::uint8_t { kStuckAt0, kStuckAt1, kInvert };
+
+class Simulator {
+ public:
+  /// The netlist must outlive the simulator.  All state starts at 0.
+  explicit Simulator(const Netlist& netlist);
+
+  /// Drives a primary input.  Takes effect at the next Settle()/Tick().
+  void SetInput(NetId input, bool value);
+
+  /// Propagates combinational logic from current inputs and register state.
+  void Settle();
+
+  /// One positive clock edge: flip-flops latch, then logic settles.
+  /// Settle() must reflect the current inputs first; Tick() calls it
+  /// internally before latching so callers only need SetInput + Tick.
+  void Tick();
+
+  /// Runs `n` clock cycles with inputs held.
+  void Run(std::size_t n);
+
+  /// Resets all flip-flops to 0 and re-settles.
+  void Reset();
+
+  /// Value of any net after the last Settle()/Tick().
+  bool Peek(NetId net) const { return values_[net] != 0; }
+
+  /// Reads a bus (LSB first) as an integer (at most 64 bits).
+  std::uint64_t PeekBus(const std::vector<NetId>& nets) const;
+
+  /// Number of Tick() calls since construction/Reset().
+  std::uint64_t CycleCount() const { return cycles_; }
+
+  /// Forces a net faulty; applied during every evaluation so the fault
+  /// propagates through downstream logic and state.
+  void InjectFault(NetId net, FaultType type);
+  void ClearFaults();
+  std::size_t ActiveFaults() const { return faults_.size(); }
+
+ private:
+  std::uint8_t Faulted(NetId id, std::uint8_t value) const;
+
+  const Netlist& netlist_;
+  std::vector<std::uint8_t> values_;
+  std::vector<NetId> dffs_;
+  std::vector<std::uint8_t> next_state_;
+  std::uint64_t cycles_ = 0;
+  std::unordered_map<NetId, FaultType> faults_;
+};
+
+}  // namespace mont::rtl

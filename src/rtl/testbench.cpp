@@ -1,0 +1,86 @@
+#include "rtl/testbench.hpp"
+
+#include <sstream>
+
+#include "rtl/simulator.hpp"
+
+namespace mont::rtl {
+
+namespace {
+
+std::string Sym(NetId id) { return "n" + std::to_string(id); }
+
+}  // namespace
+
+std::string ExportTestbench(const Netlist& netlist,
+                            const std::string& module_name,
+                            const std::vector<TestbenchVector>& vectors) {
+  std::ostringstream out;
+  out << "// Self-checking testbench generated from the cycle-accurate "
+         "model.\n";
+  out << "`timescale 1ns/1ps\n";
+  out << "module " << module_name << "_tb;\n";
+  out << "  reg clk = 1'b0;\n";
+  out << "  integer errors = 0;\n";
+  for (const auto& [net, name] : netlist.Inputs()) {
+    out << "  reg " << Sym(net) << " = 1'b0;  // " << name << '\n';
+  }
+  for (const auto& [net, name] : netlist.Outputs()) {
+    out << "  wire out_" << name << ";\n";
+  }
+  out << "\n  " << module_name << " dut (\n    .clk(clk)";
+  for (const auto& [net, name] : netlist.Inputs()) {
+    out << ",\n    ." << Sym(net) << '(' << Sym(net) << ')';
+  }
+  for (const auto& [net, name] : netlist.Outputs()) {
+    out << ",\n    .out_" << name << "(out_" << name << ')';
+  }
+  out << "\n  );\n\n";
+  out << "  always #5 clk = ~clk;\n\n";
+  out << "  initial begin\n";
+  std::size_t index = 0;
+  for (const TestbenchVector& vec : vectors) {
+    out << "    // vector " << index++ << '\n';
+    for (const auto& [net, value] : vec.inputs) {
+      out << "    " << Sym(net) << " = 1'b" << (value ? 1 : 0) << ";\n";
+    }
+    out << "    @(posedge clk); #1;\n";
+    for (const auto& [net, value] : vec.expected) {
+      // Find the output name for the net.
+      for (const auto& [onet, name] : netlist.Outputs()) {
+        if (onet != net) continue;
+        out << "    if (out_" << name << " !== 1'b" << (value ? 1 : 0)
+            << ") begin\n"
+            << "      $display(\"MISMATCH vector " << (index - 1) << " out_"
+            << name << "\");\n      errors = errors + 1;\n    end\n";
+        break;
+      }
+    }
+  }
+  out << "    if (errors == 0) $display(\"PASS: all " << vectors.size()
+      << " vectors\");\n";
+  out << "    else $display(\"FAIL: %0d mismatches\", errors);\n";
+  out << "    $finish;\n  end\nendmodule\n";
+  return out.str();
+}
+
+std::vector<TestbenchVector> RecordVectors(
+    const Netlist& netlist,
+    const std::vector<std::vector<std::pair<NetId, bool>>>& stimulus,
+    std::size_t cycles_per_vector) {
+  Simulator sim(netlist);
+  std::vector<TestbenchVector> vectors;
+  for (const auto& step : stimulus) {
+    TestbenchVector vec;
+    vec.inputs = step;
+    for (const auto& [net, value] : step) sim.SetInput(net, value);
+    sim.Run(cycles_per_vector);
+    for (const auto& [net, name] : netlist.Outputs()) {
+      vec.expected.emplace_back(net, sim.Peek(net));
+    }
+    vectors.push_back(std::move(vec));
+  }
+  return vectors;
+}
+
+}  // namespace mont::rtl

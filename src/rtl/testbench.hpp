@@ -1,0 +1,42 @@
+// testbench.hpp — self-checking Verilog testbench generation.
+//
+// ExportVerilog (verilog.hpp) emits the synthesizable module; this
+// generator emits the matching testbench: stimulus vectors and expected
+// responses are produced by the cycle-accurate simulator, so the exported
+// RTL can be validated in any standard Verilog simulator against the very
+// model this repo verified — closing the loop back to the paper's FPGA
+// flow without needing the original toolchain.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rtl/netlist.hpp"
+
+namespace mont::rtl {
+
+/// One stimulus step: input values applied before a clock edge, plus the
+/// output values expected after it.
+struct TestbenchVector {
+  std::vector<std::pair<NetId, bool>> inputs;    // primary input, value
+  std::vector<std::pair<NetId, bool>> expected;  // marked output net, value
+};
+
+/// Renders a Verilog-2001 testbench for `module_name` (as produced by
+/// ExportVerilog for the same netlist).  Each vector drives the inputs,
+/// waits one clock, and compares the listed outputs, incrementing an error
+/// counter on mismatch; the bench finishes with a PASS/FAIL banner.
+std::string ExportTestbench(const Netlist& netlist,
+                            const std::string& module_name,
+                            const std::vector<TestbenchVector>& vectors);
+
+/// Convenience: runs the netlist on the built-in simulator for
+/// `cycles_per_vector` cycles per stimulus and records all marked outputs
+/// as the expectation, returning ready-to-emit vectors.
+std::vector<TestbenchVector> RecordVectors(
+    const Netlist& netlist,
+    const std::vector<std::vector<std::pair<NetId, bool>>>& stimulus,
+    std::size_t cycles_per_vector = 1);
+
+}  // namespace mont::rtl

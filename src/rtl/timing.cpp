@@ -1,0 +1,101 @@
+#include "rtl/timing.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace mont::rtl {
+
+double DelayModel::DelayOf(Op op) const {
+  switch (op) {
+    case Op::kBuf: return buf_ps;
+    case Op::kNot: return not_ps;
+    case Op::kAnd:
+    case Op::kNand: return and_ps;
+    case Op::kOr:
+    case Op::kNor: return or_ps;
+    case Op::kXor:
+    case Op::kXnor: return xor_ps;
+    case Op::kMux: return mux_ps;
+    default: return 0;
+  }
+}
+
+DelayModel DelayModel::Unit() {
+  DelayModel m;
+  m.buf_ps = m.not_ps = m.and_ps = m.or_ps = m.xor_ps = m.mux_ps = 1;
+  return m;
+}
+
+TimingAnalyzer::TimingAnalyzer(const Netlist& netlist, DelayModel model)
+    : netlist_(netlist), model_(model) {
+  arrival_.assign(netlist_.NodeCount(), 0);
+  levels_.assign(netlist_.NodeCount(), 0);
+  pred_.assign(netlist_.NodeCount(), kNoNet);
+  // Launch points (inputs, constants, DFF q) have arrival 0; propagate in
+  // topological order.
+  for (const NetId id : netlist_.TopoOrder()) {
+    const Node& node = netlist_.NodeAt(id);
+    double best = 0;
+    std::size_t best_levels = 0;
+    NetId best_pred = kNoNet;
+    for (const NetId src : {node.a, node.b, node.c}) {
+      if (src == kNoNet) continue;
+      if (arrival_[src] >= best) {
+        best = arrival_[src];
+        best_levels = levels_[src];
+        best_pred = src;
+      }
+    }
+    arrival_[id] = best + model_.DelayOf(node.op);
+    levels_[id] = best_levels + 1;
+    pred_[id] = best_pred;
+  }
+}
+
+double TimingAnalyzer::ArrivalOf(NetId net) const { return arrival_.at(net); }
+
+TimingReport TimingAnalyzer::CriticalPath() const {
+  // Capture points: DFF fan-ins and marked outputs.
+  NetId worst = kNoNet;
+  double worst_arrival = -1;
+  const auto consider = [&](NetId net) {
+    if (net == kNoNet) return;
+    if (arrival_[net] > worst_arrival) {
+      worst_arrival = arrival_[net];
+      worst = net;
+    }
+  };
+  for (NetId id = 0; id < netlist_.NodeCount(); ++id) {
+    const Node& node = netlist_.NodeAt(id);
+    if (node.op == Op::kDff) {
+      consider(node.a);
+      consider(node.b);
+      consider(node.c);
+    }
+  }
+  for (const auto& [net, name] : netlist_.Outputs()) consider(net);
+
+  TimingReport report;
+  if (worst == kNoNet) return report;
+  report.critical_path_ps = worst_arrival;
+  report.logic_levels = levels_[worst];
+  for (NetId at = worst; at != kNoNet; at = pred_[at]) {
+    report.path.push_back(at);
+    if (!IsCombinational(netlist_.NodeAt(at).op)) break;
+  }
+  std::reverse(report.path.begin(), report.path.end());
+  return report;
+}
+
+std::string TimingReport::Describe(const Netlist& netlist) const {
+  std::ostringstream out;
+  out << "critical path: " << critical_path_ps << " ps over " << logic_levels
+      << " levels:";
+  for (const NetId id : path) {
+    out << ' ' << OpName(netlist.NodeAt(id).op) << '(' << netlist.NetName(id)
+        << ')';
+  }
+  return out.str();
+}
+
+}  // namespace mont::rtl

@@ -1,0 +1,65 @@
+// timing.hpp — static timing analysis over a gate-level netlist.
+//
+// The paper's key timing claim is that the systolic array's critical path is
+// one regular cell — 2·T_FA(cin→cout) + T_HA(cin→cout) — independent of the
+// operand length l.  This analyzer computes the longest register-to-register
+// combinational path (in picoseconds under a configurable per-gate delay
+// model, or in gate levels under the unit model) so that claim can be checked
+// mechanically on the generated netlists.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rtl/netlist.hpp"
+
+namespace mont::rtl {
+
+/// Per-gate propagation delays in picoseconds.  Defaults approximate a
+/// late-1990s FPGA logic fabric (pre-mapping; the fpga module applies its
+/// own LUT-level model after technology mapping).
+struct DelayModel {
+  double buf_ps = 50;
+  double not_ps = 50;
+  double and_ps = 120;
+  double or_ps = 120;
+  double xor_ps = 180;
+  double mux_ps = 150;
+
+  double DelayOf(Op op) const;
+
+  /// Unit-delay model: every combinational gate costs 1 (depth in levels).
+  static DelayModel Unit();
+};
+
+/// Result of a longest-path query.
+struct TimingReport {
+  double critical_path_ps = 0;   ///< launch-to-capture combinational delay
+  std::size_t logic_levels = 0;  ///< gate count along the critical path
+  std::vector<NetId> path;       ///< source ... sink nets along the path
+  std::string Describe(const Netlist& netlist) const;
+};
+
+/// Static timing analyzer.  Launch points: primary inputs and DFF outputs.
+/// Capture points: DFF data/enable/reset inputs and marked outputs.
+class TimingAnalyzer {
+ public:
+  explicit TimingAnalyzer(const Netlist& netlist,
+                          DelayModel model = DelayModel{});
+
+  /// Longest combinational path in the whole netlist.
+  TimingReport CriticalPath() const;
+
+  /// Arrival time (ps) of one net relative to launch points.
+  double ArrivalOf(NetId net) const;
+
+ private:
+  const Netlist& netlist_;
+  DelayModel model_;
+  std::vector<double> arrival_;
+  std::vector<std::size_t> levels_;
+  std::vector<NetId> pred_;  // predecessor on the longest path
+};
+
+}  // namespace mont::rtl

@@ -1,0 +1,20 @@
+// verilog.hpp — structural Verilog export of a Netlist.
+//
+// Emits a synthesizable single-clock Verilog-2001 module so the generated
+// MMMC can be inspected with standard EDA tooling or re-synthesized on a
+// real FPGA, closing the loop with the paper's original flow.
+#pragma once
+
+#include <string>
+
+#include "rtl/netlist.hpp"
+
+namespace mont::rtl {
+
+/// Renders the netlist as a Verilog module named `module_name`.
+/// Primary inputs become input ports, marked outputs become output ports,
+/// and an implicit `clk` port drives all flip-flops.
+std::string ExportVerilog(const Netlist& netlist,
+                          const std::string& module_name);
+
+}  // namespace mont::rtl

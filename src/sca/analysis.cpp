@@ -1,0 +1,98 @@
+#include "sca/analysis.hpp"
+
+#include <cmath>
+
+namespace mont::sca {
+
+using bignum::BigUInt;
+
+std::vector<std::uint32_t> PowerTrace(core::Mmmc& circuit, const BigUInt& x,
+                                      const BigUInt& y) {
+  const auto snapshot = [&] {
+    std::vector<std::uint8_t> state;
+    const auto& t = circuit.TBits();
+    const auto& c0 = circuit.C0Bits();
+    const auto& c1 = circuit.C1Bits();
+    state.reserve(t.size() + c0.size() + c1.size());
+    state.insert(state.end(), t.begin(), t.end());
+    state.insert(state.end(), c0.begin(), c0.end());
+    state.insert(state.end(), c1.begin(), c1.end());
+    return state;
+  };
+
+  while (circuit.State() != core::MmmcState::kIdle) circuit.Tick();
+  circuit.ApplyInputs(x, y);
+  std::vector<std::uint32_t> trace;
+  circuit.Tick();  // load edge (clears the datapath; not part of the trace)
+  std::vector<std::uint8_t> previous = snapshot();
+  while (!circuit.Done()) {
+    circuit.Tick();
+    const std::vector<std::uint8_t> current = snapshot();
+    std::uint32_t toggles = 0;
+    for (std::size_t i = 0; i < current.size(); ++i) {
+      toggles += static_cast<std::uint32_t>(current[i] != previous[i]);
+    }
+    trace.push_back(toggles);
+    previous = std::move(current);
+  }
+  return trace;
+}
+
+SampleStats Summarize(std::span<const double> samples) {
+  SampleStats stats;
+  stats.count = samples.size();
+  if (samples.empty()) return stats;
+  double sum = 0;
+  for (const double v : samples) sum += v;
+  stats.mean = sum / static_cast<double>(samples.size());
+  if (samples.size() > 1) {
+    double ss = 0;
+    for (const double v : samples) {
+      ss += (v - stats.mean) * (v - stats.mean);
+    }
+    stats.variance = ss / static_cast<double>(samples.size() - 1);
+  }
+  return stats;
+}
+
+double WelchT(std::span<const double> a, std::span<const double> b) {
+  const SampleStats sa = Summarize(a);
+  const SampleStats sb = Summarize(b);
+  if (sa.count < 2 || sb.count < 2) return 0;
+  const double se = std::sqrt(sa.variance / static_cast<double>(sa.count) +
+                              sb.variance / static_cast<double>(sb.count));
+  if (se == 0) return 0;
+  return (sa.mean - sb.mean) / se;
+}
+
+TimingOracle::TimingOracle(BigUInt modulus) : ctx_(std::move(modulus)) {}
+
+bool TimingOracle::Alg1SubtractionTaken(const BigUInt& x,
+                                        const BigUInt& y) const {
+  // Re-run Algorithm 1 up to step 5 and test T >= N.
+  const BigUInt& n = ctx_.Modulus();
+  BigUInt t;
+  for (std::size_t i = 0; i < ctx_.l(); ++i) {
+    const bool xi = x.Bit(i);
+    const bool mi = t.Bit(0) ^ (xi && y.Bit(0));
+    if (xi) t += y;
+    if (mi) t += n;
+    t >>= 1;
+  }
+  return t >= n;
+}
+
+std::uint64_t TimingOracle::Alg1Cycles(const BigUInt& x,
+                                       const BigUInt& y) const {
+  const std::uint64_t base = 3 * static_cast<std::uint64_t>(ctx_.l()) + 4;
+  // One comparison cycle always; a ripple subtraction pass when taken.
+  return base + 1 +
+         (Alg1SubtractionTaken(x, y) ? static_cast<std::uint64_t>(ctx_.l()) + 1
+                                     : 0);
+}
+
+std::uint64_t TimingOracle::Alg2Cycles() const {
+  return 3 * static_cast<std::uint64_t>(ctx_.l()) + 4;
+}
+
+}  // namespace mont::sca

@@ -1,0 +1,74 @@
+// analysis.hpp — side-channel analysis of the reproduced hardware.
+//
+// The paper's §5 motivates the subtraction-free Algorithm 2 partly on
+// side-channel grounds: "the optimal bound ... omits completely all
+// reduction steps that are presumed to be vulnerable to side-channel
+// attacks."  This module quantifies that claim on the cycle-accurate
+// models:
+//
+//  * TimingOracle — Algorithm 1's data-dependent final subtraction leaks
+//    one bit (T >= N?) per multiplication through the cycle count, while
+//    Algorithm 2 / the MMMC run in exactly 3l+4 cycles for every input.
+//
+//  * PowerTrace — a Hamming-distance power proxy over the MMMC's datapath
+//    registers (the standard CMOS switching model), one sample per clock
+//    cycle, enabling TVLA-style fixed-vs-random comparisons.
+//
+//  * WelchT — the standard leakage-assessment statistic between two trace
+//    populations.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bignum/biguint.hpp"
+#include "bignum/montgomery.hpp"
+#include "core/mmmc.hpp"
+
+namespace mont::sca {
+
+/// One power sample per clock cycle: the number of datapath register bits
+/// (T, C0, C1) that toggled on that edge, i.e. the Hamming distance of
+/// consecutive states.  Runs a complete multiplication on `circuit`.
+std::vector<std::uint32_t> PowerTrace(core::Mmmc& circuit,
+                                      const bignum::BigUInt& x,
+                                      const bignum::BigUInt& y);
+
+/// Mean/variance summary of a trace (or of per-trace aggregates).
+struct SampleStats {
+  double mean = 0;
+  double variance = 0;  // unbiased
+  std::size_t count = 0;
+};
+SampleStats Summarize(std::span<const double> samples);
+
+/// Welch's t-statistic between two sample populations.  |t| > 4.5 is the
+/// conventional TVLA threshold for "leakage detected".
+double WelchT(std::span<const double> a, std::span<const double> b);
+
+/// Timing behaviour of the two algorithms per multiplication.
+class TimingOracle {
+ public:
+  explicit TimingOracle(bignum::BigUInt modulus);
+
+  /// Algorithm 1 on a sequential datapath: 3l+4 compute cycles plus a
+  /// conditional subtraction pass of l+1 cycles when T >= N (the
+  /// data-dependent step), plus one comparison cycle.
+  std::uint64_t Alg1Cycles(const bignum::BigUInt& x,
+                           const bignum::BigUInt& y) const;
+  /// Whether the Algorithm-1 subtraction fires for these operands (the
+  /// bit an attacker reads from the timing).
+  bool Alg1SubtractionTaken(const bignum::BigUInt& x,
+                            const bignum::BigUInt& y) const;
+  /// Algorithm 2 / MMMC: always exactly 3l+4.
+  std::uint64_t Alg2Cycles() const;
+
+  std::size_t l() const { return ctx_.l(); }
+  const bignum::BitSerialMontgomery& Context() const { return ctx_; }
+
+ private:
+  bignum::BitSerialMontgomery ctx_;
+};
+
+}  // namespace mont::sca

@@ -1,0 +1,257 @@
+// Unit and property tests for the BigUInt arbitrary-precision substrate.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "bignum/biguint.hpp"
+#include "bignum/random.hpp"
+
+namespace mont::bignum {
+namespace {
+
+TEST(BigUIntBasics, DefaultIsZero) {
+  BigUInt z;
+  EXPECT_TRUE(z.IsZero());
+  EXPECT_EQ(z.BitLength(), 0u);
+  EXPECT_EQ(z.ToHex(), "0");
+  EXPECT_EQ(z.ToDec(), "0");
+}
+
+TEST(BigUIntBasics, FromUint64RoundTrips) {
+  for (const std::uint64_t v :
+       {0ull, 1ull, 2ull, 0xffffffffull, 0x100000000ull, 0xdeadbeefcafebabeull,
+        ~0ull}) {
+    const BigUInt big{v};
+    EXPECT_EQ(big.ToUint64(), v);
+  }
+}
+
+TEST(BigUIntBasics, HexRoundTrip) {
+  const std::string hex = "deadbeefcafebabe0123456789abcdef";
+  const BigUInt v = BigUInt::FromHex(hex);
+  EXPECT_EQ(v.ToHex(), hex);
+  EXPECT_EQ(BigUInt::FromHex("0x10").ToUint64(), 16u);
+  EXPECT_EQ(BigUInt::FromHex("000001").ToUint64(), 1u);
+}
+
+TEST(BigUIntBasics, DecRoundTrip) {
+  const std::string dec = "123456789012345678901234567890123456789";
+  EXPECT_EQ(BigUInt::FromDec(dec).ToDec(), dec);
+  EXPECT_EQ(BigUInt::FromDec("0").ToDec(), "0");
+  EXPECT_EQ(BigUInt::FromDec("999999999").ToUint64(), 999999999u);
+  EXPECT_EQ(BigUInt::FromDec("1000000000").ToUint64(), 1000000000u);
+}
+
+TEST(BigUIntBasics, BadInputThrows) {
+  EXPECT_THROW(BigUInt::FromHex(""), std::invalid_argument);
+  EXPECT_THROW(BigUInt::FromHex("xyz"), std::invalid_argument);
+  EXPECT_THROW(BigUInt::FromDec(""), std::invalid_argument);
+  EXPECT_THROW(BigUInt::FromDec("12a"), std::invalid_argument);
+}
+
+TEST(BigUIntBasics, PowerOfTwo) {
+  EXPECT_EQ(BigUInt::PowerOfTwo(0).ToUint64(), 1u);
+  EXPECT_EQ(BigUInt::PowerOfTwo(31).ToUint64(), 0x80000000ull);
+  EXPECT_EQ(BigUInt::PowerOfTwo(32).ToUint64(), 0x100000000ull);
+  EXPECT_EQ(BigUInt::PowerOfTwo(100).BitLength(), 101u);
+}
+
+TEST(BigUIntBasics, BitAccess) {
+  BigUInt v;
+  v.SetBit(0, true);
+  v.SetBit(63, true);
+  v.SetBit(100, true);
+  EXPECT_TRUE(v.Bit(0));
+  EXPECT_TRUE(v.Bit(63));
+  EXPECT_TRUE(v.Bit(100));
+  EXPECT_FALSE(v.Bit(50));
+  EXPECT_FALSE(v.Bit(1000));
+  EXPECT_EQ(v.BitLength(), 101u);
+  EXPECT_EQ(v.PopCount(), 3u);
+  v.SetBit(100, false);
+  EXPECT_EQ(v.BitLength(), 64u);
+}
+
+TEST(BigUIntArithmetic, AdditionCarries) {
+  const BigUInt a = BigUInt::FromHex("ffffffffffffffff");
+  const BigUInt b{1};
+  EXPECT_EQ((a + b).ToHex(), "10000000000000000");
+}
+
+TEST(BigUIntArithmetic, SubtractionBorrows) {
+  const BigUInt a = BigUInt::FromHex("10000000000000000");
+  const BigUInt b{1};
+  EXPECT_EQ((a - b).ToHex(), "ffffffffffffffff");
+  EXPECT_THROW(b - a, std::underflow_error);
+}
+
+TEST(BigUIntArithmetic, MultiplicationSmall) {
+  EXPECT_EQ((BigUInt{0} * BigUInt{12345}).ToUint64(), 0u);
+  EXPECT_EQ((BigUInt{0xffffffffull} * BigUInt{0xffffffffull}).ToHex(),
+            "fffffffe00000001");
+}
+
+TEST(BigUIntArithmetic, KnownProduct) {
+  const BigUInt a = BigUInt::FromDec("123456789123456789123456789");
+  const BigUInt b = BigUInt::FromDec("987654321987654321987654321");
+  EXPECT_EQ((a * b).ToDec(),
+            "121932631356500531591068431581771069347203169112635269");
+}
+
+TEST(BigUIntArithmetic, ShiftInverses) {
+  const BigUInt v = BigUInt::FromHex("123456789abcdef0123456789abcdef");
+  for (const std::size_t shift : {1u, 17u, 32u, 33u, 64u, 129u}) {
+    EXPECT_EQ((v << shift) >> shift, v) << "shift=" << shift;
+  }
+}
+
+TEST(BigUIntArithmetic, DivisionByZeroThrows) {
+  EXPECT_THROW(BigUInt{1} / BigUInt{}, std::domain_error);
+  EXPECT_THROW(BigUInt{1} % BigUInt{}, std::domain_error);
+}
+
+TEST(BigUIntArithmetic, ShortDivision) {
+  const BigUInt a = BigUInt::FromDec("123456789012345678901234567891");
+  EXPECT_EQ((a / BigUInt{7}).ToDec(), "17636684144620811271604938270");
+  EXPECT_EQ((a % BigUInt{7}).ToUint64(), 1u);
+}
+
+TEST(BigUIntArithmetic, CompareOrdering) {
+  const BigUInt a{5}, b{7};
+  EXPECT_LT(a, b);
+  EXPECT_LE(a, a);
+  EXPECT_GT(b, a);
+  EXPECT_GE(b, b);
+  EXPECT_NE(a, b);
+}
+
+// Property: for random a, b (b != 0): a == (a/b)*b + (a%b) and a%b < b.
+TEST(BigUIntProperty, DivModReconstruction) {
+  RandomBigUInt rng(0xd1u);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t abits = 1 + static_cast<std::size_t>(rng.Engine().NextBelow(700));
+    const std::size_t bbits = 1 + static_cast<std::size_t>(rng.Engine().NextBelow(700));
+    const BigUInt a = rng.ExactBits(abits);
+    const BigUInt b = rng.ExactBits(bbits);
+    if (b.IsZero()) continue;
+    BigUInt q, r;
+    BigUInt::DivMod(a, b, q, r);
+    EXPECT_EQ(q * b + r, a);
+    EXPECT_LT(r, b);
+  }
+}
+
+// Property: Karatsuba (large operands) agrees with schoolbook identity
+// (a+b)^2 - (a-b)^2 == 4ab.
+TEST(BigUIntProperty, KaratsubaConsistency) {
+  RandomBigUInt rng(0xca7u);
+  for (int trial = 0; trial < 20; ++trial) {
+    const BigUInt a = rng.ExactBits(2048);
+    const BigUInt b = rng.ExactBits(1900);
+    const BigUInt sum = a + b;
+    const BigUInt diff = a - b;
+    EXPECT_EQ(sum * sum - diff * diff, (a * b) << 2);
+  }
+}
+
+// Property: multiplication is commutative and distributes over addition.
+TEST(BigUIntProperty, RingAxioms) {
+  RandomBigUInt rng(0xabcu);
+  for (int trial = 0; trial < 100; ++trial) {
+    const BigUInt a = rng.ExactBits(300);
+    const BigUInt b = rng.ExactBits(200);
+    const BigUInt c = rng.ExactBits(250);
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_EQ((a + b) + c, a + (b + c));
+  }
+}
+
+TEST(BigUIntNumberTheory, GcdKnownValues) {
+  EXPECT_EQ(BigUInt::Gcd(BigUInt{12}, BigUInt{18}).ToUint64(), 6u);
+  EXPECT_EQ(BigUInt::Gcd(BigUInt{17}, BigUInt{5}).ToUint64(), 1u);
+  EXPECT_EQ(BigUInt::Gcd(BigUInt{0}, BigUInt{5}).ToUint64(), 5u);
+  EXPECT_EQ(BigUInt::Gcd(BigUInt{5}, BigUInt{0}).ToUint64(), 5u);
+  EXPECT_EQ(BigUInt::Gcd(BigUInt{48}, BigUInt{64}).ToUint64(), 16u);
+}
+
+// Property: gcd divides both operands and gcd(ka, kb) = k*gcd(a,b).
+TEST(BigUIntNumberTheory, GcdProperties) {
+  RandomBigUInt rng(0x9cdu);
+  for (int trial = 0; trial < 50; ++trial) {
+    const BigUInt a = rng.ExactBits(128);
+    const BigUInt b = rng.ExactBits(96);
+    const BigUInt g = BigUInt::Gcd(a, b);
+    EXPECT_TRUE((a % g).IsZero());
+    EXPECT_TRUE((b % g).IsZero());
+    const BigUInt k{12345};
+    EXPECT_EQ(BigUInt::Gcd(a * k, b * k), g * k);
+  }
+}
+
+TEST(BigUIntNumberTheory, ModInverse) {
+  const BigUInt m{101};
+  for (std::uint64_t a = 1; a < 101; ++a) {
+    const BigUInt inv = BigUInt::ModInverse(BigUInt{a}, m);
+    EXPECT_EQ(((BigUInt{a} * inv) % m).ToUint64(), 1u) << "a=" << a;
+  }
+  EXPECT_THROW(BigUInt::ModInverse(BigUInt{6}, BigUInt{9}), std::domain_error);
+}
+
+TEST(BigUIntNumberTheory, ModInverseLarge) {
+  RandomBigUInt rng(0x777u);
+  const BigUInt m = rng.OddExactBits(521);
+  for (int trial = 0; trial < 20; ++trial) {
+    const BigUInt a = rng.Below(m);
+    if (a.IsZero() || !BigUInt::Gcd(a, m).IsOne()) continue;
+    const BigUInt inv = BigUInt::ModInverse(a, m);
+    EXPECT_TRUE(((a * inv) % m).IsOne());
+  }
+}
+
+TEST(BigUIntNumberTheory, ModExpKnownValues) {
+  // 2^10 = 1024; 1024 mod 1000 = 24.
+  EXPECT_EQ(BigUInt::ModExp(BigUInt{2}, BigUInt{10}, BigUInt{1000}).ToUint64(),
+            24u);
+  // Fermat: a^(p-1) = 1 mod p for prime p.
+  const BigUInt p{1000003};
+  EXPECT_EQ(BigUInt::ModExp(BigUInt{2}, p - BigUInt{1}, p).ToUint64(), 1u);
+  EXPECT_EQ(BigUInt::ModExp(BigUInt{5}, BigUInt{0}, p).ToUint64(), 1u);
+}
+
+TEST(BigUIntRandom, DeterministicStreams) {
+  Xoshiro256 a(42), b(42), c(43);
+  bool any_diff = false;
+  for (int i = 0; i < 16; ++i) {
+    const std::uint64_t va = a.Next();
+    EXPECT_EQ(va, b.Next());
+    if (va != c.Next()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(BigUIntRandom, ExactBitsHasExactBitLength) {
+  RandomBigUInt rng(7);
+  for (const std::size_t bits : {1u, 2u, 31u, 32u, 33u, 257u, 1024u}) {
+    EXPECT_EQ(rng.ExactBits(bits).BitLength(), bits);
+  }
+}
+
+TEST(BigUIntRandom, BelowStaysBelow) {
+  RandomBigUInt rng(8);
+  const BigUInt bound = BigUInt::FromDec("98765432109876543210");
+  for (int i = 0; i < 100; ++i) EXPECT_LT(rng.Below(bound), bound);
+}
+
+TEST(BigUIntRandom, BalancedHammingWeight) {
+  RandomBigUInt rng(9);
+  for (const std::size_t bits : {16u, 64u, 1024u}) {
+    const BigUInt v = rng.BalancedExactBits(bits);
+    EXPECT_EQ(v.BitLength(), bits);
+    EXPECT_EQ(v.PopCount(), (bits - 1) / 2 + 1);
+  }
+}
+
+}  // namespace
+}  // namespace mont::bignum

@@ -1,0 +1,141 @@
+// Adversarial edge cases for the BigUInt substrate: operand aliasing,
+// boundary limb patterns, the Knuth-D correction paths, and conversion
+// round trips under stress.  These complement test_biguint.cpp's
+// happy-path and property coverage.
+#include <gtest/gtest.h>
+
+#include "bignum/biguint.hpp"
+#include "bignum/random.hpp"
+
+namespace mont::bignum {
+namespace {
+
+TEST(BigUIntAliasing, SelfAddDoubles) {
+  BigUInt a = BigUInt::FromHex("ffffffffffffffffffffffff");
+  const BigUInt expect = a << 1;
+  a += a;
+  EXPECT_EQ(a, expect);
+}
+
+TEST(BigUIntAliasing, SelfSubtractIsZero) {
+  BigUInt a = BigUInt::FromHex("123456789abcdef0f0f0");
+  a -= a;
+  EXPECT_TRUE(a.IsZero());
+}
+
+TEST(BigUIntAliasing, SelfMultiplySquares) {
+  BigUInt a = BigUInt::FromDec("987654321987654321");
+  const BigUInt expect = a * a;
+  a *= a;
+  EXPECT_EQ(a, expect);
+}
+
+TEST(BigUIntAliasing, DivModWithAliasedOutputs) {
+  const BigUInt a = BigUInt::FromDec("123456789123456789123456789");
+  const BigUInt b = BigUInt::FromDec("1000000007");
+  BigUInt q = a, r = b;  // outputs alias the logical inputs' copies
+  BigUInt::DivMod(q, r, q, r);
+  EXPECT_EQ(q * b + r, a);
+}
+
+TEST(BigUIntEdge, ShiftByZeroAndByWholeLimbs) {
+  const BigUInt a = BigUInt::FromHex("deadbeef12345678");
+  EXPECT_EQ(a << 0, a);
+  EXPECT_EQ(a >> 0, a);
+  EXPECT_EQ((a << 32) >> 32, a);
+  EXPECT_EQ((a << 96) >> 96, a);
+  EXPECT_TRUE((a >> 64).IsZero());
+  EXPECT_TRUE((a >> 1000).IsZero());
+  BigUInt zero;
+  EXPECT_TRUE((zero << 123).IsZero());
+}
+
+TEST(BigUIntEdge, AllOnesLimbPatterns) {
+  // (2^k - 1) arithmetic hits every carry/borrow path.
+  for (const std::size_t k : {32u, 64u, 96u, 128u, 160u}) {
+    const BigUInt ones = BigUInt::PowerOfTwo(k) - BigUInt{1};
+    EXPECT_EQ(ones + BigUInt{1}, BigUInt::PowerOfTwo(k));
+    EXPECT_EQ((ones * ones) + (ones << 1) + BigUInt{1},
+              BigUInt::PowerOfTwo(2 * k));
+    EXPECT_EQ(BigUInt::PowerOfTwo(k) - ones, BigUInt{1});
+  }
+}
+
+TEST(BigUIntEdge, KnuthDCorrectionPatterns) {
+  // Structured dividends with saturated limbs drive q-hat over-estimation
+  // (the D3 adjustment loop and the rare D6 add-back).  The property
+  // a = q*b + r, r < b certifies correctness regardless of which path ran.
+  RandomBigUInt rng(0xedbe11u);
+  const BigUInt f32 = BigUInt::PowerOfTwo(32) - BigUInt{1};
+  std::vector<BigUInt> awkward;
+  // Divisors with a maximal top limb and a zero second limb are the
+  // classic add-back triggers.
+  awkward.push_back((f32 << 64) + BigUInt{1});
+  awkward.push_back((f32 << 64) + (f32 << 32));
+  awkward.push_back(BigUInt::PowerOfTwo(95) + BigUInt{1});
+  awkward.push_back((BigUInt::PowerOfTwo(64) - BigUInt{1}) << 32);
+  for (const BigUInt& divisor : awkward) {
+    for (int trial = 0; trial < 40; ++trial) {
+      // Dividends built from the divisor so the top digits nearly match.
+      BigUInt dividend = divisor * rng.ExactBits(64);
+      if (trial % 2 == 0) dividend += rng.Below(divisor);
+      if (trial % 3 == 0) dividend -= BigUInt{1};
+      BigUInt q, r;
+      BigUInt::DivMod(dividend, divisor, q, r);
+      EXPECT_EQ(q * divisor + r, dividend);
+      EXPECT_LT(r, divisor);
+    }
+  }
+}
+
+TEST(BigUIntEdge, KnownAddBackVector) {
+  // The canonical Knuth add-back example scaled to 32-bit digits:
+  // u = 0x7fffffff_80000000_00000000_00000000, v = 0x80000000_00000000_00000001.
+  const BigUInt u = (BigUInt{0x7fffffffull} << 96) + (BigUInt{0x80000000ull} << 64);
+  const BigUInt v = (BigUInt{0x80000000ull} << 64) + BigUInt{1};
+  BigUInt q, r;
+  BigUInt::DivMod(u, v, q, r);
+  EXPECT_EQ(q * v + r, u);
+  EXPECT_LT(r, v);
+  EXPECT_EQ(q.ToUint64(), 0xfffffffeull);
+}
+
+TEST(BigUIntEdge, DecimalStressRoundTrip) {
+  RandomBigUInt rng(0xdec1u);
+  for (int trial = 0; trial < 25; ++trial) {
+    const BigUInt v = rng.ExactBits(
+        1 + static_cast<std::size_t>(rng.Engine().NextBelow(2000)));
+    EXPECT_EQ(BigUInt::FromDec(v.ToDec()), v);
+    EXPECT_EQ(BigUInt::FromHex(v.ToHex()), v);
+  }
+}
+
+TEST(BigUIntEdge, CompareAdjacentValues) {
+  RandomBigUInt rng(0xc0deu);
+  for (int trial = 0; trial < 50; ++trial) {
+    const BigUInt v = rng.ExactBits(200);
+    EXPECT_LT(v, v + BigUInt{1});
+    EXPECT_GT(v, v - BigUInt{1});
+    EXPECT_EQ(BigUInt::Compare(v, v), 0);
+  }
+}
+
+TEST(BigUIntEdge, ModExpDegenerateModuli) {
+  EXPECT_THROW(BigUInt::ModExp(BigUInt{2}, BigUInt{3}, BigUInt{0}),
+               std::domain_error);
+  EXPECT_TRUE(BigUInt::ModExp(BigUInt{2}, BigUInt{3}, BigUInt{1}).IsZero());
+  EXPECT_TRUE(BigUInt::ModExp(BigUInt{0}, BigUInt{0}, BigUInt{7}).IsOne())
+      << "0^0 = 1 by the square-and-multiply convention";
+}
+
+TEST(BigUIntEdge, SetBitClearingNormalizes) {
+  BigUInt v;
+  v.SetBit(100, true);
+  EXPECT_EQ(v.LimbCount(), 4u);
+  v.SetBit(100, false);
+  EXPECT_EQ(v.LimbCount(), 0u) << "clearing the top bit must renormalize";
+  EXPECT_TRUE(v.IsZero());
+}
+
+}  // namespace
+}  // namespace mont::bignum

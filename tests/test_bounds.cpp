@@ -1,0 +1,99 @@
+// Tests for the Montgomery-parameter bound theory (§2/Eq. 2 of the paper,
+// Walter CT-RSA 2002): minimal R, chaining closure, and the empirical
+// sharpness of the bound — R one power of two smaller must actually break
+// chaining for some inputs, showing the paper's R = 2^(l+2) is optimal.
+#include <gtest/gtest.h>
+
+#include "bignum/bounds.hpp"
+#include "bignum/montgomery.hpp"
+#include "bignum/random.hpp"
+
+namespace mont::bignum {
+namespace {
+
+TEST(Bounds, MinimalExponentIsLPlusTwo) {
+  RandomBigUInt rng(0xb0b0u);
+  for (const std::size_t bits : {3u, 8u, 64u, 192u, 1024u}) {
+    const BigUInt n = rng.OddExactBits(bits);
+    EXPECT_EQ(MinimalWalterExponent(n), bits + 2) << "bits=" << bits;
+    EXPECT_TRUE(SatisfiesWalterBound(n, BigUInt::PowerOfTwo(bits + 2)));
+    EXPECT_FALSE(SatisfiesWalterBound(n, BigUInt::PowerOfTwo(bits + 1)))
+        << "one factor of two less must fail for a full-length modulus";
+  }
+}
+
+TEST(Bounds, SmallModulusCanNeedLessThanTopLength) {
+  // N = 5 (l = 3): 4N = 20, minimal R = 32 = 2^5 = 2^(l+2).
+  EXPECT_EQ(MinimalWalterExponent(BigUInt{5}), 5u);
+  // N = 3 (l = 2): 4N = 12, minimal R = 16 = 2^4 = 2^(l+2).
+  EXPECT_EQ(MinimalWalterExponent(BigUInt{3}), 4u);
+}
+
+TEST(Bounds, OutputBoundClosesUnderWalterR) {
+  RandomBigUInt rng(0xb0b1u);
+  for (const std::size_t bits : {8u, 32u, 128u}) {
+    const BigUInt n = rng.OddExactBits(bits);
+    const BigUInt r = BigUInt::PowerOfTwo(bits + 2);
+    const BigUInt two_n = n << 1;
+    // Inputs < 2N -> output bound < 2N: the Eq. 2 closure.
+    const BigUInt bound = MontgomeryOutputBound(two_n, two_n, r, n);
+    EXPECT_TRUE(IsChainable(bound, n)) << "bits=" << bits;
+  }
+}
+
+TEST(Bounds, OutputBoundFailsForSmallerR) {
+  RandomBigUInt rng(0xb0b2u);
+  const BigUInt n = rng.OddExactBits(64);
+  const BigUInt r_small = BigUInt::PowerOfTwo(65);  // 2^(l+1) < 4N
+  const BigUInt two_n = n << 1;
+  const BigUInt bound = MontgomeryOutputBound(two_n, two_n, r_small, n);
+  EXPECT_FALSE(IsChainable(bound, n))
+      << "R below Walter's bound cannot guarantee closure";
+}
+
+// Empirical sharpness: with R = 2^(l+1) there exist chainable inputs whose
+// product escapes [0, 2N) — i.e. the paper could not have used fewer
+// iterations.
+TEST(Bounds, WalterBoundIsEmpiricallySharp) {
+  const BigUInt n{13};  // l = 4
+  const std::size_t r_exp = 5;  // 2^(l+1), one less than the paper's l+2
+  const BigUInt two_n = n << 1;
+  bool escape_found = false;
+  for (std::uint64_t x = 0; x < 26 && !escape_found; ++x) {
+    for (std::uint64_t y = 0; y < 26 && !escape_found; ++y) {
+      // Radix-2 Montgomery with only l+1 iterations (R = 2^(l+1)).
+      BigUInt t;
+      for (std::size_t i = 0; i < r_exp; ++i) {
+        const bool xi = BigUInt{x}.Bit(i);
+        const bool mi = t.Bit(0) ^ (xi && BigUInt{y}.Bit(0));
+        if (xi) t += BigUInt{y};
+        if (mi) t += n;
+        t >>= 1;
+      }
+      if (t >= two_n) escape_found = true;
+    }
+  }
+  EXPECT_TRUE(escape_found)
+      << "R = 2^(l+1) must fail closure for some legal input pair";
+}
+
+TEST(Bounds, IterationComparisonMatchesPaper) {
+  const IterationComparison cmp = CompareIterationCounts(1024);
+  EXPECT_EQ(cmp.walter, 1026u);
+  EXPECT_EQ(cmp.iwamura, 1026u);
+  EXPECT_EQ(cmp.blum_paar, 1027u);
+  EXPECT_LT(cmp.walter, cmp.blum_paar)
+      << "the paper's whole §4.4 argument in one line";
+}
+
+// Cross-check with the real context: BitSerialMontgomery uses exactly the
+// minimal exponent.
+TEST(Bounds, ContextUsesMinimalR) {
+  RandomBigUInt rng(0xb0b3u);
+  const BigUInt n = rng.OddExactBits(96);
+  const BitSerialMontgomery ctx(n);
+  EXPECT_EQ(ctx.R(), BigUInt::PowerOfTwo(MinimalWalterExponent(n)));
+}
+
+}  // namespace
+}  // namespace mont::bignum

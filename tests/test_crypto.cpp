@@ -1,0 +1,208 @@
+// Tests for the application layer: RSA key generation / round trips / CRT,
+// and ECC point multiplication (the paper's future-work direction) with
+// exhaustive checks on a tiny curve plus known-structure checks on P-192.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "bignum/prime.hpp"
+#include "bignum/random.hpp"
+#include "crypto/ecc.hpp"
+#include "crypto/rsa.hpp"
+
+namespace mont::crypto {
+namespace {
+
+using bignum::BigUInt;
+using bignum::RandomBigUInt;
+
+// ---------------------------------------------------------------------------
+// RSA
+// ---------------------------------------------------------------------------
+
+TEST(Rsa, GeneratedKeyShape) {
+  RandomBigUInt rng(0xc001u);
+  const RsaKeyPair key = GenerateRsaKey(128, rng);
+  EXPECT_EQ(key.n.BitLength(), 128u);
+  EXPECT_EQ(key.p * key.q, key.n);
+  EXPECT_TRUE(IsProbablePrime(key.p, rng, 8));
+  EXPECT_TRUE(IsProbablePrime(key.q, rng, 8));
+  // e*d = 1 mod lambda(n)
+  const BigUInt p1 = key.p - BigUInt{1};
+  const BigUInt q1 = key.q - BigUInt{1};
+  const BigUInt lambda = (p1 * q1) / BigUInt::Gcd(p1, q1);
+  EXPECT_TRUE(((key.e * key.d) % lambda).IsOne());
+}
+
+TEST(Rsa, RejectsBadParameters) {
+  RandomBigUInt rng(0xc002u);
+  EXPECT_THROW(GenerateRsaKey(31, rng), std::invalid_argument);
+  EXPECT_THROW(GenerateRsaKey(16, rng), std::invalid_argument);
+}
+
+TEST(Rsa, EncryptDecryptRoundTrip) {
+  RandomBigUInt rng(0xc003u);
+  const RsaKeyPair key = GenerateRsaKey(128, rng);
+  for (int trial = 0; trial < 5; ++trial) {
+    const BigUInt m = rng.Below(key.n);
+    const BigUInt c = RsaPublic(key, m);
+    EXPECT_EQ(RsaPrivate(key, c), m);
+  }
+}
+
+TEST(Rsa, CrtMatchesPlainDecryption) {
+  RandomBigUInt rng(0xc004u);
+  const RsaKeyPair key = GenerateRsaKey(192, rng);
+  for (int trial = 0; trial < 5; ++trial) {
+    const BigUInt m = rng.Below(key.n);
+    const BigUInt c = RsaPublic(key, m);
+    EXPECT_EQ(RsaPrivateCrt(key, c), RsaPrivate(key, c));
+  }
+}
+
+TEST(Rsa, HardwareModelAgreesAndReportsCycles) {
+  RandomBigUInt rng(0xc005u);
+  const RsaKeyPair key = GenerateRsaKey(96, rng);
+  const BigUInt m = rng.Below(key.n);
+  const BigUInt c = RsaPublic(key, m);
+  core::ExponentiationStats stats;
+  EXPECT_EQ(RsaPrivateOnHardwareModel(key, c, &stats), m);
+  EXPECT_GT(stats.measured_mmm_cycles, 0u);
+  EXPECT_EQ(stats.mmm_invocations,
+            stats.squarings + stats.multiplications + 2);
+}
+
+TEST(Rsa, MessageOutOfRangeThrows) {
+  RandomBigUInt rng(0xc006u);
+  const RsaKeyPair key = GenerateRsaKey(64, rng);
+  EXPECT_THROW(RsaPublic(key, key.n), std::invalid_argument);
+  EXPECT_THROW(RsaPrivate(key, key.n + BigUInt{1}), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// ECC
+// ---------------------------------------------------------------------------
+
+TEST(Ecc, TinyCurveGeneratorOnCurve) {
+  const Curve curve(CurveParams::Tiny97());
+  EXPECT_TRUE(curve.IsOnCurve(curve.Generator()));
+  EXPECT_TRUE(curve.IsOnCurve(AffinePoint::Infinity()));
+  EXPECT_FALSE(curve.IsOnCurve(AffinePoint{BigUInt{1}, BigUInt{1}, false}));
+}
+
+// Exhaustive group-law check on the tiny curve: the affine reference and
+// the Montgomery-domain Jacobian path must agree for every scalar.
+TEST(Ecc, TinyCurveScalarMulMatchesRepeatedAddition) {
+  const Curve curve(CurveParams::Tiny97());
+  const AffinePoint g = curve.Generator();
+  AffinePoint acc = AffinePoint::Infinity();
+  for (std::uint64_t k = 0; k <= 120; ++k) {
+    const AffinePoint via_jacobian = curve.ScalarMul(BigUInt{k}, g);
+    EXPECT_EQ(via_jacobian, acc) << "k=" << k;
+    EXPECT_TRUE(curve.IsOnCurve(acc));
+    acc = curve.Add(acc, g);
+  }
+}
+
+TEST(Ecc, TinyCurveGroupOrder) {
+  // Find the order of G by repeated addition; ScalarMul(order) must be the
+  // identity and the order must divide any k*G period.
+  const Curve curve(CurveParams::Tiny97());
+  const AffinePoint g = curve.Generator();
+  AffinePoint acc = g;
+  std::uint64_t order = 1;
+  while (!acc.infinity) {
+    acc = curve.Add(acc, g);
+    ++order;
+    ASSERT_LE(order, 200u);
+  }
+  // Hasse bound: |order - (p+1)| <= 2*sqrt(p) (order divides group order).
+  EXPECT_GT(order, 1u);
+  EXPECT_TRUE(curve.ScalarMul(BigUInt{order}, g).infinity);
+  EXPECT_EQ(curve.ScalarMul(BigUInt{order + 1}, g), g);
+}
+
+TEST(Ecc, AdditionIsCommutativeAndAssociative) {
+  const Curve curve(CurveParams::Tiny97());
+  const AffinePoint g = curve.Generator();
+  const AffinePoint g2 = curve.Double(g);
+  const AffinePoint g3 = curve.Add(g2, g);
+  EXPECT_EQ(curve.Add(g, g2), g3);
+  EXPECT_EQ(curve.Add(curve.Add(g, g2), g3), curve.Add(g, curve.Add(g2, g3)));
+}
+
+TEST(Ecc, NegationAndIdentity) {
+  const Curve curve(CurveParams::Tiny97());
+  const AffinePoint g = curve.Generator();
+  const AffinePoint neg = curve.Negate(g);
+  EXPECT_TRUE(curve.IsOnCurve(neg));
+  EXPECT_TRUE(curve.Add(g, neg).infinity);
+  EXPECT_EQ(curve.Add(g, AffinePoint::Infinity()), g);
+}
+
+TEST(Ecc, P192GeneratorIsOnCurve) {
+  const Curve curve(CurveParams::Secp192r1());
+  EXPECT_TRUE(curve.IsOnCurve(curve.Generator()));
+}
+
+TEST(Ecc, P192OrderAnnihilatesGenerator) {
+  const Curve curve(CurveParams::Secp192r1());
+  // n*G computed as (n-1)*G + G to exercise both add paths; n*G = infinity.
+  const AffinePoint g = curve.Generator();
+  const AffinePoint almost =
+      curve.ScalarMul(curve.Params().order - BigUInt{1}, g);
+  EXPECT_TRUE(curve.IsOnCurve(almost));
+  EXPECT_EQ(almost, curve.Negate(g)) << "(n-1)G must equal -G";
+  EXPECT_TRUE(curve.Add(almost, g).infinity);
+}
+
+TEST(Ecc, P192ScalarMulIsHomomorphic) {
+  RandomBigUInt rng(0xc007u);
+  const Curve curve(CurveParams::Secp192r1());
+  const AffinePoint g = curve.Generator();
+  const BigUInt k1 = rng.ExactBits(64);
+  const BigUInt k2 = rng.ExactBits(64);
+  const AffinePoint lhs = curve.ScalarMul(k1 + k2, g);
+  const AffinePoint rhs = curve.Add(curve.ScalarMul(k1, g),
+                                    curve.ScalarMul(k2, g));
+  EXPECT_EQ(lhs, rhs);
+}
+
+TEST(Ecc, EcdhSharedSecretAgrees) {
+  RandomBigUInt rng(0xc008u);
+  const Curve curve(CurveParams::Secp192r1());
+  const AffinePoint g = curve.Generator();
+  const BigUInt alice = rng.ExactBits(160);
+  const BigUInt bob = rng.ExactBits(160);
+  const AffinePoint alice_pub = curve.ScalarMul(alice, g);
+  const AffinePoint bob_pub = curve.ScalarMul(bob, g);
+  EXPECT_EQ(curve.ScalarMul(alice, bob_pub), curve.ScalarMul(bob, alice_pub));
+}
+
+TEST(Ecc, StatsCountFieldMultiplications) {
+  const Curve curve(CurveParams::Secp192r1());
+  EccStats stats;
+  curve.ScalarMul(BigUInt::FromHex("deadbeefcafebabe"), curve.Generator(),
+                  &stats);
+  EXPECT_GT(stats.field_mults, 0u);
+  EXPECT_GT(stats.field_squares, 0u);
+  // 64-bit scalar: 63 doubles (~11M each) + ~40 adds (~16M each) + the
+  // final Jacobian-to-affine conversion.
+  const std::uint64_t total = stats.field_mults + stats.field_squares;
+  EXPECT_GT(total, 63u * 8);
+  EXPECT_LT(total, 64u * 12 + 45u * 17 + 20);
+  EXPECT_EQ(stats.ModeledCycles(192), total * (3 * 192 + 4));
+}
+
+TEST(Ecc, ScalarReducedModuloOrder) {
+  const Curve curve(CurveParams::Secp192r1());
+  const AffinePoint g = curve.Generator();
+  const BigUInt k{12345};
+  EXPECT_EQ(curve.ScalarMul(k + curve.Params().order, g),
+            curve.ScalarMul(k, g));
+  EXPECT_TRUE(curve.ScalarMul(curve.Params().order, g).infinity);
+  EXPECT_TRUE(curve.ScalarMul(BigUInt{0}, g).infinity);
+}
+
+}  // namespace
+}  // namespace mont::crypto

@@ -1,0 +1,113 @@
+// Tests for binary-curve ECC over GF(2^m): exhaustive group structure on a
+// tiny curve, group laws on the AES-field curve, scalar-multiplication
+// consistency, and the K-163 field plumbing.
+#include <gtest/gtest.h>
+
+#include "bignum/random.hpp"
+#include "crypto/ecc2.hpp"
+
+namespace mont::crypto {
+namespace {
+
+using bignum::BigUInt;
+
+TEST(BinaryCurve, RejectsDegenerateCurve) {
+  BinaryCurveParams params = BinaryCurveParams::Tiny16();
+  params.b = BigUInt{0};
+  EXPECT_THROW(BinaryCurve{params}, std::invalid_argument);
+}
+
+TEST(BinaryCurve, Tiny16PointCountSatisfiesHasse) {
+  const BinaryCurve curve(BinaryCurveParams::Tiny16());
+  const auto points = curve.EnumeratePoints();
+  // Group order = affine points + identity; Hasse: |order - (q+1)| <= 2*sqrt(q).
+  const double order = static_cast<double>(points.size() + 1);
+  EXPECT_GE(order, 17.0 - 8.0);
+  EXPECT_LE(order, 17.0 + 8.0);
+}
+
+TEST(BinaryCurve, Tiny16GroupLawsExhaustive) {
+  const BinaryCurve curve(BinaryCurveParams::Tiny16());
+  const auto points = curve.EnumeratePoints();
+  ASSERT_FALSE(points.empty());
+  for (const BinaryPoint& p : points) {
+    // Negation and identity.
+    const BinaryPoint neg = curve.Negate(p);
+    EXPECT_TRUE(curve.IsOnCurve(neg));
+    EXPECT_TRUE(curve.Add(p, neg).infinity);
+    EXPECT_EQ(curve.Add(p, BinaryPoint::Infinity()), p);
+    // Doubling stays on the curve.
+    EXPECT_TRUE(curve.IsOnCurve(curve.Double(p)));
+  }
+  // Commutativity and associativity on a sample.
+  for (std::size_t i = 0; i < points.size(); i += 3) {
+    for (std::size_t j = 0; j < points.size(); j += 5) {
+      const BinaryPoint sum = curve.Add(points[i], points[j]);
+      EXPECT_TRUE(curve.IsOnCurve(sum));
+      EXPECT_EQ(sum, curve.Add(points[j], points[i]));
+      const BinaryPoint k = points[(i + j) % points.size()];
+      EXPECT_EQ(curve.Add(curve.Add(points[i], points[j]), k),
+                curve.Add(points[i], curve.Add(points[j], k)));
+    }
+  }
+}
+
+TEST(BinaryCurve, Tiny16ScalarMulMatchesRepeatedAddition) {
+  const BinaryCurve curve(BinaryCurveParams::Tiny16());
+  const auto points = curve.EnumeratePoints();
+  const BinaryPoint g = points.front();
+  BinaryPoint acc = BinaryPoint::Infinity();
+  for (std::uint64_t k = 0; k <= 40; ++k) {
+    EXPECT_EQ(curve.ScalarMul(BigUInt{k}, g), acc) << "k=" << k;
+    acc = curve.Add(acc, g);
+  }
+}
+
+TEST(BinaryCurve, AesFieldCurveHomomorphism) {
+  const BinaryCurve curve(BinaryCurveParams::Aes256());
+  const auto points = curve.EnumeratePoints();
+  ASSERT_GT(points.size(), 16u);
+  const BinaryPoint g = points[points.size() / 3];
+  // (k1 + k2) G == k1 G + k2 G.
+  const BigUInt k1{57}, k2{91};
+  EXPECT_EQ(curve.ScalarMul(k1 + k2, g),
+            curve.Add(curve.ScalarMul(k1, g), curve.ScalarMul(k2, g)));
+}
+
+TEST(BinaryCurve, Koblitz163Plumbing) {
+  const BinaryCurve curve(BinaryCurveParams::Koblitz163());
+  EXPECT_EQ(curve.FieldDegree(), 163u);
+  // Derive a point: double-and-add from a constructed point is impossible
+  // without a known generator, but curve membership and negation algebra
+  // can be exercised on synthetic coordinates:
+  const BinaryPoint not_on{BigUInt{2}, BigUInt{3}, false};
+  EXPECT_FALSE(curve.IsOnCurve(not_on));
+  EXPECT_TRUE(curve.IsOnCurve(BinaryPoint::Infinity()));
+}
+
+TEST(BinaryCurve, StatsCountOperations) {
+  const BinaryCurve curve(BinaryCurveParams::Aes256());
+  const auto points = curve.EnumeratePoints();
+  // A point with x = 0 has order 2 and short-circuits the formulas; use a
+  // generic point.
+  BinaryPoint g;
+  for (const BinaryPoint& p : points) {
+    if (!p.x.IsZero()) {
+      g = p;
+      break;
+    }
+  }
+  ASSERT_FALSE(g.x.IsZero());
+  BinaryEccStats stats;
+  curve.ScalarMul(BigUInt{0xf5}, g, &stats);
+  EXPECT_GT(stats.field_mults, 0u);
+  EXPECT_GT(stats.field_inversions, 0u);
+  // Affine double/add: 1 inversion + ~4 multiplications each; 7 doubles +
+  // 4 adds for 0xf5.
+  EXPECT_LE(stats.field_inversions, 16u);
+  EXPECT_GT(stats.EquivalentMults(8), stats.field_mults)
+      << "inversions dominate on the multiplier";
+}
+
+}  // namespace
+}  // namespace mont::crypto

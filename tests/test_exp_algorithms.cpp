@@ -1,0 +1,152 @@
+// Tests for the exponentiation-algorithm design space: all four algorithms
+// agree with plain modular exponentiation, their operation counts follow
+// the known closed forms, and the SPA trace recovery demonstrates the
+// leakage difference between binary L2R and the Montgomery ladder.
+#include <gtest/gtest.h>
+
+#include "bignum/biguint.hpp"
+#include "bignum/random.hpp"
+#include "core/exp_algorithms.hpp"
+
+namespace mont::core {
+namespace {
+
+using bignum::BigUInt;
+using bignum::RandomBigUInt;
+
+class AllAlgorithms : public ::testing::TestWithParam<ExpAlgorithm> {};
+
+TEST_P(AllAlgorithms, MatchesReference) {
+  RandomBigUInt rng(0xa160u);
+  for (const std::size_t bits : {8u, 32u, 96u, 192u}) {
+    const BigUInt n = rng.OddExactBits(bits);
+    const MultiExponentiator exp(n);
+    for (int trial = 0; trial < 4; ++trial) {
+      const BigUInt base = rng.Below(n);
+      const BigUInt e = rng.ExactBits(bits);
+      EXPECT_EQ(exp.ModExp(base, e, GetParam()),
+                BigUInt::ModExp(base, e, n))
+          << ExpAlgorithmName(GetParam()) << " bits=" << bits;
+    }
+  }
+}
+
+TEST_P(AllAlgorithms, EdgeExponents) {
+  RandomBigUInt rng(0xa161u);
+  const BigUInt n = rng.OddExactBits(40);
+  const MultiExponentiator exp(n);
+  const BigUInt base = rng.Below(n);
+  EXPECT_TRUE(exp.ModExp(base, BigUInt{0}, GetParam()).IsOne());
+  EXPECT_EQ(exp.ModExp(base, BigUInt{1}, GetParam()), base);
+  EXPECT_EQ(exp.ModExp(base, BigUInt{2}, GetParam()), (base * base) % n);
+  EXPECT_EQ(exp.ModExp(base, BigUInt{0b1011}, GetParam()),
+            BigUInt::ModExp(base, BigUInt{0b1011}, n));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Algorithms, AllAlgorithms,
+    ::testing::Values(ExpAlgorithm::kLeftToRight, ExpAlgorithm::kRightToLeft,
+                      ExpAlgorithm::kSlidingWindow,
+                      ExpAlgorithm::kMontgomeryLadder),
+    [](const auto& info) {
+      switch (info.param) {
+        case ExpAlgorithm::kLeftToRight: return "LeftToRight";
+        case ExpAlgorithm::kRightToLeft: return "RightToLeft";
+        case ExpAlgorithm::kSlidingWindow: return "SlidingWindow";
+        case ExpAlgorithm::kMontgomeryLadder: return "MontgomeryLadder";
+      }
+      return "unknown";
+    });
+
+TEST(ExpAlgorithms, WindowBitsValidated) {
+  RandomBigUInt rng(0xa162u);
+  const MultiExponentiator exp(rng.OddExactBits(32));
+  EXPECT_THROW(exp.ModExp(BigUInt{2}, BigUInt{5}, ExpAlgorithm::kSlidingWindow,
+                          1),
+               std::invalid_argument);
+  EXPECT_THROW(exp.ModExp(BigUInt{2}, BigUInt{5}, ExpAlgorithm::kSlidingWindow,
+                          9),
+               std::invalid_argument);
+}
+
+TEST(ExpAlgorithms, OperationCountsFollowClosedForms) {
+  RandomBigUInt rng(0xa163u);
+  const std::size_t ebits = 256;
+  const BigUInt n = rng.OddExactBits(ebits);
+  const MultiExponentiator exp(n);
+  const BigUInt base = rng.Below(n);
+  const BigUInt e = rng.ExactBits(ebits);
+  const std::size_t weight = e.PopCount();
+
+  ExpTrace l2r, r2l, win, ladder;
+  exp.ModExp(base, e, ExpAlgorithm::kLeftToRight, 4, &l2r);
+  exp.ModExp(base, e, ExpAlgorithm::kRightToLeft, 4, &r2l);
+  exp.ModExp(base, e, ExpAlgorithm::kSlidingWindow, 4, &win);
+  exp.ModExp(base, e, ExpAlgorithm::kMontgomeryLadder, 4, &ladder);
+
+  // L2R binary: t-1 squarings, weight-1 multiplications.
+  EXPECT_EQ(l2r.squarings, ebits - 1);
+  EXPECT_EQ(l2r.multiplications, weight - 1);
+  // R2L binary: t-1 squarings of the power chain, weight multiplications.
+  EXPECT_EQ(r2l.squarings, ebits - 1);
+  EXPECT_EQ(r2l.multiplications, weight);
+  // Ladder: exactly one square + one multiply per exponent bit.
+  EXPECT_EQ(ladder.squarings, ebits);
+  EXPECT_EQ(ladder.multiplications, ebits);
+  // Sliding window (w=4): strictly fewer multiplications than binary, at
+  // the price of 2^(w-1) table entries.
+  EXPECT_LT(win.multiplications, l2r.multiplications);
+  EXPECT_LE(win.squarings, ebits - 1);
+  EXPECT_GE(win.precompute_mmms, (1u << 3));
+  // Total work ordering for a balanced exponent: window < L2R < ladder.
+  EXPECT_LT(win.TotalMmms(), l2r.TotalMmms());
+  EXPECT_LT(l2r.TotalMmms(), ladder.TotalMmms());
+}
+
+TEST(ExpAlgorithms, ModeledCyclesChargePerMmm) {
+  ExpTrace trace;
+  trace.squarings = 10;
+  trace.multiplications = 5;
+  trace.precompute_mmms = 2;
+  EXPECT_EQ(trace.ModeledCycles(128), 17u * (3 * 128 + 4));
+}
+
+// --- SPA: the trace of L2R binary leaks the exponent; the ladder doesn't.
+TEST(ExpAlgorithms, SpaRecoversExponentFromBinaryL2R) {
+  RandomBigUInt rng(0xa164u);
+  const BigUInt n = rng.OddExactBits(64);
+  const MultiExponentiator exp(n);
+  const BigUInt e = rng.ExactBits(64);
+  ExpTrace trace;
+  exp.ModExp(rng.Below(n), e, ExpAlgorithm::kLeftToRight, 4, &trace);
+  const std::vector<bool> recovered = RecoverExponentFromTrace(trace.operations);
+  // Recovered bits are e's bits below the leading one, MSB first.
+  ASSERT_EQ(recovered.size(), e.BitLength() - 1);
+  for (std::size_t i = 0; i < recovered.size(); ++i) {
+    const std::size_t bit_index = e.BitLength() - 2 - i;
+    EXPECT_EQ(recovered[i], e.Bit(bit_index)) << "position " << i;
+  }
+}
+
+TEST(ExpAlgorithms, SpaLearnsNothingFromLadder) {
+  RandomBigUInt rng(0xa165u);
+  const BigUInt n = rng.OddExactBits(64);
+  const MultiExponentiator exp(n);
+  const BigUInt e1 = rng.ExactBits(64);
+  BigUInt e2 = e1;
+  e2.SetBit(10, !e2.Bit(10));  // different key...
+  ExpTrace t1, t2;
+  exp.ModExp(BigUInt{3}, e1, ExpAlgorithm::kMontgomeryLadder, 4, &t1);
+  exp.ModExp(BigUInt{3}, e2, ExpAlgorithm::kMontgomeryLadder, 4, &t2);
+  EXPECT_EQ(t1.operations, t2.operations)
+      << "...but identical operation sequences: nothing to read";
+  // And the recovery yields a constant pattern independent of the key:
+  // every square is followed by a multiply (except the final one).
+  const auto r1 = RecoverExponentFromTrace(t1.operations);
+  for (std::size_t i = 0; i + 1 < r1.size(); ++i) EXPECT_TRUE(r1[i]);
+  EXPECT_FALSE(r1.back()) << "the trace's one fixed 'false' is positional, "
+                             "not key-dependent";
+}
+
+}  // namespace
+}  // namespace mont::core

@@ -1,0 +1,163 @@
+// Tests for the LUT mapper and the Virtex-E device model: mapping sanity,
+// slice packing arithmetic, the flat-clock-period property (Table 2's key
+// shape) and calibration against the paper's published slice counts.
+#include <gtest/gtest.h>
+
+#include "core/netlist_gen.hpp"
+#include "fpga/device_model.hpp"
+#include "fpga/lut_mapper.hpp"
+#include "rtl/components.hpp"
+#include "rtl/netlist.hpp"
+
+namespace mont::fpga {
+namespace {
+
+TEST(LutMapper, SingleGateIsOneLut) {
+  rtl::Netlist nl;
+  const rtl::NetId a = nl.AddInput("a");
+  const rtl::NetId b = nl.AddInput("b");
+  nl.MarkOutput(nl.And(a, b), "o");
+  const LutMapping map = MapToLuts(nl);
+  EXPECT_EQ(map.lut_count, 1u);
+  EXPECT_EQ(map.ff_count, 0u);
+  EXPECT_EQ(map.max_lut_depth, 1u);
+}
+
+TEST(LutMapper, FourInputConeCollapsesToOneLut) {
+  // o = (a&b) ^ (c|d): 4 distinct inputs, 3 gates -> one LUT4.
+  rtl::Netlist nl;
+  const rtl::NetId a = nl.AddInput("a");
+  const rtl::NetId b = nl.AddInput("b");
+  const rtl::NetId c = nl.AddInput("c");
+  const rtl::NetId d = nl.AddInput("d");
+  nl.MarkOutput(nl.Xor(nl.And(a, b), nl.Or(c, d)), "o");
+  const LutMapping map = MapToLuts(nl);
+  EXPECT_EQ(map.lut_count, 1u);
+  EXPECT_EQ(map.max_lut_depth, 1u);
+}
+
+TEST(LutMapper, FiveInputConeNeedsTwoLuts) {
+  // o = ((a&b) ^ (c|d)) & e: 5 inputs -> 2 LUT levels.
+  rtl::Netlist nl;
+  const rtl::NetId a = nl.AddInput("a");
+  const rtl::NetId b = nl.AddInput("b");
+  const rtl::NetId c = nl.AddInput("c");
+  const rtl::NetId d = nl.AddInput("d");
+  const rtl::NetId e = nl.AddInput("e");
+  nl.MarkOutput(nl.And(nl.Xor(nl.And(a, b), nl.Or(c, d)), e), "o");
+  const LutMapping map = MapToLuts(nl);
+  EXPECT_EQ(map.lut_count, 2u);
+  EXPECT_EQ(map.max_lut_depth, 2u);
+}
+
+TEST(LutMapper, ConstantsFoldForFree) {
+  rtl::Netlist nl;
+  const rtl::NetId a = nl.AddInput("a");
+  nl.MarkOutput(nl.And(a, nl.Const1()), "o");
+  const LutMapping map = MapToLuts(nl);
+  EXPECT_EQ(map.lut_count, 1u);
+}
+
+TEST(LutMapper, CountsFlipFlops) {
+  rtl::Netlist nl;
+  const rtl::NetId a = nl.AddInput("a");
+  const rtl::NetId q1 = nl.Dff(a);
+  nl.Dff(q1);
+  const LutMapping map = MapToLuts(nl);
+  EXPECT_EQ(map.ff_count, 2u);
+}
+
+TEST(LutMapper, DuplicationAllowsSharedSubcones) {
+  // Two outputs both reading a shared 2-input subfunction: duplication
+  // should let each output be a single LUT.
+  rtl::Netlist nl;
+  const rtl::NetId a = nl.AddInput("a");
+  const rtl::NetId b = nl.AddInput("b");
+  const rtl::NetId c = nl.AddInput("c");
+  const rtl::NetId shared = nl.Xor(a, b);
+  nl.MarkOutput(nl.And(shared, c), "o1");
+  nl.MarkOutput(nl.Or(shared, c), "o2");
+  const LutMapping map = MapToLuts(nl);
+  EXPECT_EQ(map.max_lut_depth, 1u);
+  EXPECT_LE(map.lut_count, 2u);
+}
+
+TEST(LutMapper, WiderLutsReduceDepth) {
+  // A 6-input XOR tree: LUT4 needs 2 levels, LUT6 needs 1.
+  rtl::Netlist nl;
+  rtl::Bus in = rtl::InputBus(nl, "i", 6);
+  rtl::NetId x = in[0];
+  for (std::size_t i = 1; i < 6; ++i) x = nl.Xor(x, in[i]);
+  nl.MarkOutput(x, "o");
+  EXPECT_EQ(MapToLuts(nl, 4).max_lut_depth, 2u);
+  EXPECT_EQ(MapToLuts(nl, 6).max_lut_depth, 1u);
+}
+
+TEST(DeviceModel, SlicePackingArithmetic) {
+  // A pure register bank: slices track FF/2 with packing overhead.
+  rtl::Netlist nl;
+  const rtl::NetId d = nl.AddInput("d");
+  for (int i = 0; i < 100; ++i) nl.Dff(d);
+  const FpgaReport report = AnalyzeNetlist(nl);
+  EXPECT_EQ(report.flip_flops, 100u);
+  EXPECT_GE(report.slices, 50u);
+  EXPECT_LE(report.slices, 60u);
+}
+
+TEST(DeviceModel, SlowerGradeIsSlower) {
+  const core::MmmcNetlist gen = core::BuildMmmcNetlist(32);
+  const FpgaReport fast = AnalyzeNetlist(*gen.netlist,
+                                         DeviceParameters::VirtexE8());
+  const FpgaReport slow = AnalyzeNetlist(*gen.netlist,
+                                         DeviceParameters::VirtexE6());
+  EXPECT_GT(slow.clock_period_ns, fast.clock_period_ns);
+  EXPECT_EQ(slow.slices, fast.slices) << "area is grade-independent";
+}
+
+// Table 2's key shape: the clock period of the MMMC is independent of the
+// operand length (the systolic property the paper claims as its headline
+// scalability result).
+TEST(DeviceModel, MmmcClockPeriodFlatAcrossLengths) {
+  double reference = 0;
+  for (const std::size_t l : {32u, 64u, 128u, 256u, 512u}) {
+    const core::MmmcNetlist gen = core::BuildMmmcNetlist(l);
+    const FpgaReport report = AnalyzeNetlist(*gen.netlist);
+    if (reference == 0) reference = report.clock_period_ns;
+    EXPECT_NEAR(report.clock_period_ns, reference, reference * 0.05)
+        << "l=" << l;
+  }
+  // And it lands inside the paper's measured 9.2-10.6 ns band.
+  EXPECT_GT(reference, 9.0);
+  EXPECT_LT(reference, 10.8);
+}
+
+// Slices grow linearly in l and match the paper's Table 2 within 20%.
+TEST(DeviceModel, MmmcSlicesTrackTable2) {
+  const struct {
+    std::size_t l;
+    std::size_t paper_slices;
+  } rows[] = {{32, 225}, {64, 418}, {128, 806},
+              {256, 1548}, {512, 2972}, {1024, 5706}};
+  for (const auto& row : rows) {
+    const core::MmmcNetlist gen = core::BuildMmmcNetlist(row.l);
+    const FpgaReport report = AnalyzeNetlist(*gen.netlist);
+    const double ratio = static_cast<double>(report.slices) /
+                         static_cast<double>(row.paper_slices);
+    EXPECT_GT(ratio, 0.80) << "l=" << row.l << " slices=" << report.slices;
+    EXPECT_LT(ratio, 1.20) << "l=" << row.l << " slices=" << report.slices;
+  }
+}
+
+TEST(DeviceModel, FastCarryKeepsCounterOffCriticalPath) {
+  // A wide counter alone must be far faster than the MMMC datapath.
+  rtl::Netlist nl;
+  const rtl::NetId inc = nl.AddInput("inc");
+  const rtl::NetId rst = nl.AddInput("rst");
+  rtl::Counter(nl, 16, inc, rst);
+  const FpgaReport report = AnalyzeNetlist(nl);
+  EXPECT_LT(report.clock_period_ns, 6.0)
+      << "16-bit carry chain must ride the fast-carry resources";
+}
+
+}  // namespace
+}  // namespace mont::fpga

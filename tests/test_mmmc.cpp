@@ -1,0 +1,239 @@
+// Tests for the cycle-accurate MMMC behavioural model: functional
+// correctness against the software Algorithm-2 reference, the paper's exact
+// cycle count 3l+4, the ASM state sequence, and the cell-level invariants.
+#include <gtest/gtest.h>
+
+#include "bignum/biguint.hpp"
+#include "bignum/montgomery.hpp"
+#include "bignum/random.hpp"
+#include "core/mmmc.hpp"
+#include "core/schedule.hpp"
+
+namespace mont::core {
+namespace {
+
+using bignum::BigUInt;
+using bignum::BitSerialMontgomery;
+using bignum::RandomBigUInt;
+
+TEST(Mmmc, RejectsBadModulus) {
+  EXPECT_THROW(Mmmc(BigUInt{8}), std::invalid_argument);
+  EXPECT_THROW(Mmmc(BigUInt{1}), std::invalid_argument);
+}
+
+TEST(Mmmc, RejectsOutOfRangeOperands) {
+  Mmmc circuit(BigUInt{239});
+  EXPECT_THROW(circuit.ApplyInputs(BigUInt{478}, BigUInt{1}),
+               std::invalid_argument);
+  EXPECT_THROW(circuit.ApplyInputs(BigUInt{1}, BigUInt{478}),
+               std::invalid_argument);
+}
+
+// Exhaustive check against the software reference for a small modulus.
+TEST(Mmmc, MatchesAlg2ReferenceExhaustive) {
+  const BigUInt n{23};
+  Mmmc circuit(n);
+  BitSerialMontgomery reference(n);
+  for (std::uint64_t x = 0; x < 46; ++x) {
+    for (std::uint64_t y = 0; y < 46; ++y) {
+      EXPECT_EQ(circuit.Multiply(BigUInt{x}, BigUInt{y}),
+                reference.MultiplyAlg2(BigUInt{x}, BigUInt{y}))
+          << "x=" << x << " y=" << y;
+    }
+  }
+}
+
+// The paper's headline: one MMM takes exactly 3l+4 clock cycles.
+class MmmcCycleCount : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MmmcCycleCount, ExactlyThreeLPlusFour) {
+  const std::size_t bits = GetParam();
+  RandomBigUInt rng(0x1000 + bits);
+  const BigUInt n = rng.OddExactBits(bits);
+  Mmmc circuit(n);
+  ASSERT_EQ(circuit.l(), bits);
+  const BigUInt two_n = n << 1;
+  for (int trial = 0; trial < 3; ++trial) {
+    const BigUInt x = rng.Below(two_n);
+    const BigUInt y = rng.Below(two_n);
+    std::uint64_t cycles = 0;
+    circuit.Multiply(x, y, &cycles);
+    EXPECT_EQ(cycles, MultiplyCycles(bits)) << "l=" << bits;
+    EXPECT_EQ(cycles, 3 * bits + 4);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BitLengths, MmmcCycleCount,
+                         ::testing::Values(2, 3, 4, 5, 8, 13, 16, 31, 32, 33,
+                                           64, 128, 160, 192, 256));
+
+// Property: outputs are always < 2N and chainable (Walter's bound through
+// the hardware path).
+TEST(MmmcProperty, OutputBoundAndChaining) {
+  RandomBigUInt rng(0x51u);
+  for (const std::size_t bits : {8u, 16u, 24u, 48u}) {
+    const BigUInt n = rng.OddExactBits(bits);
+    Mmmc circuit(n);
+    const BigUInt two_n = n << 1;
+    BigUInt a = rng.Below(two_n);
+    const BigUInt b = rng.Below(two_n);
+    for (int step = 0; step < 8; ++step) {
+      a = circuit.Multiply(a, b);
+      ASSERT_LT(a, two_n);
+    }
+  }
+}
+
+// Property: hardware result is congruent to x*y*R^-1 mod N.
+TEST(MmmcProperty, CongruenceRandom) {
+  RandomBigUInt rng(0x52u);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t bits = 4 + static_cast<std::size_t>(
+                                     rng.Engine().NextBelow(60));
+    const BigUInt n = rng.OddExactBits(bits);
+    Mmmc circuit(n);
+    const BigUInt two_n = n << 1;
+    const BigUInt x = rng.Below(two_n);
+    const BigUInt y = rng.Below(two_n);
+    const BigUInt r = BigUInt::PowerOfTwo(bits + 2);
+    const BigUInt r_inv = BigUInt::ModInverse(r % n, n);
+    EXPECT_EQ(circuit.Multiply(x, y) % n, (x * y * r_inv) % n)
+        << "bits=" << bits;
+  }
+}
+
+TEST(Mmmc, IdentityAndZeroOperands) {
+  const BigUInt n{1000003};
+  Mmmc circuit(n);
+  BitSerialMontgomery reference(n);
+  // 0 * y = 0 through the array.
+  EXPECT_TRUE(circuit.Multiply(BigUInt{0}, BigUInt{12345}).IsZero());
+  EXPECT_TRUE(circuit.Multiply(BigUInt{12345}, BigUInt{0}).IsZero());
+  // Mont(x, R^2 mod N) = x*R mod 2N round-trips through Mont(., 1).
+  const BigUInt x{987654};
+  const BigUInt x_mont = circuit.Multiply(x, reference.RSquaredModN());
+  BigUInt back = circuit.Multiply(x_mont, BigUInt{1});
+  if (back >= n) back -= n;
+  EXPECT_EQ(back, x);
+}
+
+// ASM sequence (Fig. 4): IDLE until START, then MUL1/MUL2 alternation,
+// one OUT cycle with DONE high, then IDLE again.
+TEST(MmmcAsm, StateSequenceMatchesFigure4) {
+  const BigUInt n{45};  // l = 6 -> 22 cycles
+  Mmmc circuit(n);
+  EXPECT_EQ(circuit.State(), MmmcState::kIdle);
+  circuit.Tick();
+  EXPECT_EQ(circuit.State(), MmmcState::kIdle) << "no START -> stay in IDLE";
+
+  circuit.ApplyInputs(BigUInt{7}, BigUInt{9});
+  circuit.Tick();  // load edge
+  EXPECT_EQ(circuit.State(), MmmcState::kMul1);
+  const std::size_t l = circuit.l();
+  // MUL1/MUL2 alternate for 3l+3 compute cycles (the last may be either
+  // parity), then OUT.
+  std::size_t compute_cycles = 0;
+  while (circuit.State() == MmmcState::kMul1 ||
+         circuit.State() == MmmcState::kMul2) {
+    const MmmcState expected =
+        (compute_cycles % 2 == 0) ? MmmcState::kMul1 : MmmcState::kMul2;
+    EXPECT_EQ(circuit.State(), expected) << "cycle " << compute_cycles;
+    EXPECT_FALSE(circuit.Done());
+    circuit.Tick();
+    ++compute_cycles;
+  }
+  EXPECT_EQ(compute_cycles, 3 * l + 3);
+  EXPECT_EQ(circuit.State(), MmmcState::kOut);
+  EXPECT_TRUE(circuit.Done());
+  circuit.Tick();
+  EXPECT_EQ(circuit.State(), MmmcState::kIdle);
+  EXPECT_FALSE(circuit.Done());
+}
+
+// The comparator fires when the counter reaches l+1, i.e. in compute cycle
+// 2l+2 — exactly when the rightmost cell processes the last iteration.
+TEST(MmmcAsm, ComparatorFiresAtCounterLPlusOne) {
+  const BigUInt n{201};  // l = 8
+  Mmmc circuit(n);
+  circuit.ApplyInputs(BigUInt{100}, BigUInt{55});
+  circuit.Tick();  // load
+  const std::size_t l = circuit.l();
+  std::size_t first_count_end_cycle = 0;
+  for (std::size_t k = 0; !circuit.Done(); ++k) {
+    if (circuit.CountEnd() && first_count_end_cycle == 0) {
+      first_count_end_cycle = k;
+    }
+    circuit.Tick();
+  }
+  EXPECT_EQ(first_count_end_cycle, 2 * l + 2);
+}
+
+// White-box invariant: the counter increments only every second cycle
+// (state MUL2), as the ASM chart prescribes.
+TEST(MmmcAsm, CounterIncrementsInMul2Only) {
+  const BigUInt n{119};  // l = 7
+  Mmmc circuit(n);
+  circuit.ApplyInputs(BigUInt{3}, BigUInt{5});
+  circuit.Tick();
+  std::uint64_t prev = circuit.Counter();
+  while (!circuit.Done()) {
+    const MmmcState state = circuit.State();
+    circuit.Tick();
+    const std::uint64_t now = circuit.Counter();
+    if (state == MmmcState::kMul2) {
+      EXPECT_EQ(now, prev + 1);
+    } else {
+      EXPECT_EQ(now, prev);
+    }
+    prev = now;
+  }
+}
+
+// White-box invariant: t_{i,0} = 0 — the stored T value is always even
+// (index 0 of TBits() is the constant 0 slot).
+TEST(MmmcInvariant, StoredTAlwaysEven) {
+  RandomBigUInt rng(0x53u);
+  const BigUInt n = rng.OddExactBits(12);
+  Mmmc circuit(n);
+  const BigUInt two_n = n << 1;
+  circuit.ApplyInputs(rng.Below(two_n), rng.Below(two_n));
+  circuit.Tick();
+  while (!circuit.Done()) {
+    EXPECT_EQ(circuit.TBits()[0], 0u);
+    circuit.Tick();
+  }
+}
+
+// Back-to-back multiplications on one circuit instance must not interfere
+// (all datapath state is cleared on the load edge).
+TEST(Mmmc, BackToBackMultiplicationsIndependent) {
+  RandomBigUInt rng(0x54u);
+  const BigUInt n = rng.OddExactBits(20);
+  Mmmc circuit(n);
+  BitSerialMontgomery reference(n);
+  const BigUInt two_n = n << 1;
+  for (int trial = 0; trial < 10; ++trial) {
+    const BigUInt x = rng.Below(two_n);
+    const BigUInt y = rng.Below(two_n);
+    EXPECT_EQ(circuit.Multiply(x, y), reference.MultiplyAlg2(x, y));
+  }
+}
+
+// Schedule formulas (sanity of the closed forms used by benches).
+TEST(Schedule, ClosedForms) {
+  EXPECT_EQ(CellComputeCycle(0, 0), 0u);
+  EXPECT_EQ(CellComputeCycle(5, 3), 13u);
+  EXPECT_EQ(MultiplyCycles(1024), 3076u);
+  EXPECT_EQ(PrecomputeCycles(1024), 5 * 1024u + 10);
+  EXPECT_EQ(PostprocessCycles(1024), 1026u);
+  EXPECT_EQ(ExponentiationLowerBound(32), 3u * 32 * 32 + 10 * 32 + 12);
+  EXPECT_EQ(ExponentiationUpperBound(32), 6u * 32 * 32 + 14 * 32 + 12);
+  // Eq. 10 endpoints are ExponentiationCycles at weight 0 / weight l.
+  for (const std::size_t l : {32u, 128u, 1024u}) {
+    EXPECT_EQ(ExponentiationCycles(l, l, 0), ExponentiationLowerBound(l));
+    EXPECT_EQ(ExponentiationCycles(l, l, l), ExponentiationUpperBound(l));
+  }
+}
+
+}  // namespace
+}  // namespace mont::core

@@ -1,0 +1,292 @@
+// Gate-level validation: the generated MMMC netlist must match the
+// behavioural cycle-accurate model clock-for-clock and bit-for-bit, the
+// generated array must match the derived closed-form area model exactly,
+// and the critical path must be independent of the operand length.
+#include <gtest/gtest.h>
+
+#include "bignum/biguint.hpp"
+#include "bignum/montgomery.hpp"
+#include "bignum/random.hpp"
+#include "core/area_model.hpp"
+#include "core/cells.hpp"
+#include "core/mmmc.hpp"
+#include "core/netlist_gen.hpp"
+#include "core/schedule.hpp"
+#include "rtl/simulator.hpp"
+#include "rtl/timing.hpp"
+#include "rtl/verilog.hpp"
+
+namespace mont::core {
+namespace {
+
+using bignum::BigUInt;
+using bignum::RandomBigUInt;
+
+// ---------------------------------------------------------------------------
+// Cell truth tables against the recurrence equations (Eq. 5-9).
+// ---------------------------------------------------------------------------
+
+TEST(Cells, RightmostMatchesEq5And7) {
+  rtl::Netlist nl;
+  const rtl::NetId t1 = nl.AddInput("t1");
+  const rtl::NetId x = nl.AddInput("x");
+  const rtl::NetId y0 = nl.AddInput("y0");
+  const RightmostCellOut cell = BuildRightmostCell(nl, t1, x, y0);
+  rtl::Simulator sim(nl);
+  for (int v = 0; v < 8; ++v) {
+    const int vt = v & 1, vx = (v >> 1) & 1, vy = (v >> 2) & 1;
+    sim.SetInput(t1, vt);
+    sim.SetInput(x, vx);
+    sim.SetInput(y0, vy);
+    sim.Settle();
+    const int sum = vt + (vx & vy);  // Eq. 6 with m folded in: 2*c0 + 0
+    EXPECT_EQ(sim.Peek(cell.m), (vt ^ (vx & vy)) != 0) << "Eq. 5";
+    EXPECT_EQ(sim.Peek(cell.c0), sum >= 1) << "Eq. 7";
+  }
+}
+
+TEST(Cells, FirstBitMatchesEq8) {
+  rtl::Netlist nl;
+  const auto in = [&](const char* name) { return nl.AddInput(name); };
+  const rtl::NetId t2 = in("t2"), x = in("x"), y1 = in("y1"), m = in("m"),
+                   n1 = in("n1"), c00 = in("c00");
+  const InnerCellOut cell = BuildFirstBitCell(nl, t2, x, y1, m, n1, c00);
+  rtl::Simulator sim(nl);
+  for (int v = 0; v < 64; ++v) {
+    const int vt = v & 1, vx = (v >> 1) & 1, vy = (v >> 2) & 1,
+              vm = (v >> 3) & 1, vn = (v >> 4) & 1, vc = (v >> 5) & 1;
+    sim.SetInput(t2, vt);
+    sim.SetInput(x, vx);
+    sim.SetInput(y1, vy);
+    sim.SetInput(m, vm);
+    sim.SetInput(n1, vn);
+    sim.SetInput(c00, vc);
+    sim.Settle();
+    const int total = vt + (vx & vy) + (vm & vn) + vc;  // Eq. 8 RHS
+    const int got = (sim.Peek(cell.t) ? 1 : 0) + 2 * (sim.Peek(cell.c0) ? 1 : 0) +
+                    4 * (sim.Peek(cell.c1) ? 1 : 0);
+    EXPECT_EQ(got, total) << "v=" << v;
+  }
+}
+
+TEST(Cells, RegularMatchesEq4) {
+  rtl::Netlist nl;
+  const auto in = [&](const char* name) { return nl.AddInput(name); };
+  const rtl::NetId t = in("t"), x = in("x"), y = in("y"), m = in("m"),
+                   n = in("n"), c0 = in("c0"), c1 = in("c1");
+  const InnerCellOut cell = BuildRegularCell(nl, t, x, y, m, n, c0, c1);
+  rtl::Simulator sim(nl);
+  for (int v = 0; v < 128; ++v) {
+    const int vt = v & 1, vx = (v >> 1) & 1, vy = (v >> 2) & 1,
+              vm = (v >> 3) & 1, vn = (v >> 4) & 1, vc0 = (v >> 5) & 1,
+              vc1 = (v >> 6) & 1;
+    sim.SetInput(t, vt);
+    sim.SetInput(x, vx);
+    sim.SetInput(y, vy);
+    sim.SetInput(m, vm);
+    sim.SetInput(n, vn);
+    sim.SetInput(c0, vc0);
+    sim.SetInput(c1, vc1);
+    sim.Settle();
+    const int total = vt + (vx & vy) + (vm & vn) + vc0 + 2 * vc1;  // Eq. 4 RHS
+    const int got = (sim.Peek(cell.t) ? 1 : 0) + 2 * (sim.Peek(cell.c0) ? 1 : 0) +
+                    4 * (sim.Peek(cell.c1) ? 1 : 0);
+    EXPECT_EQ(got, total) << "v=" << v;
+  }
+}
+
+TEST(Cells, LeftmostMatchesWidenedEq9) {
+  rtl::Netlist nl;
+  const auto in = [&](const char* name) { return nl.AddInput(name); };
+  const rtl::NetId t1 = in("t_l1"), t2 = in("t_l2"), x = in("x"), y = in("y"),
+                   c0 = in("c0"), c1 = in("c1");
+  const LeftmostCellOut cell = BuildLeftmostCell(nl, t1, t2, x, y, c0, c1);
+  rtl::Simulator sim(nl);
+  for (int v = 0; v < 64; ++v) {
+    const int vt1 = v & 1, vt2 = (v >> 1) & 1, vx = (v >> 2) & 1,
+              vy = (v >> 3) & 1, vc0 = (v >> 4) & 1, vc1 = (v >> 5) & 1;
+    sim.SetInput(t1, vt1);
+    sim.SetInput(t2, vt2);
+    sim.SetInput(x, vx);
+    sim.SetInput(y, vy);
+    sim.SetInput(c0, vc0);
+    sim.SetInput(c1, vc1);
+    sim.Settle();
+    // Widened Eq. 9: t_{i-1,l+1} + x*y_l + c0 + 2*(t_{i-1,l+2} + c1).
+    const int total = vt1 + (vx & vy) + vc0 + 2 * (vt2 + vc1);
+    const int got = (sim.Peek(cell.t) ? 1 : 0) +
+                    2 * (sim.Peek(cell.t_top) ? 1 : 0) +
+                    4 * (sim.Peek(cell.t_top2) ? 1 : 0);
+    EXPECT_EQ(got, total) << "v=" << v;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Area: generated array matches the derived closed form exactly; paper's
+// published closed form has the same slope in l.
+// ---------------------------------------------------------------------------
+
+class ArrayArea : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ArrayArea, GeneratedNetlistMatchesDerivedFormula) {
+  const std::size_t l = GetParam();
+  const SystolicArrayNetlist array = BuildSystolicArrayComb(l);
+  const rtl::NetlistStats stats = array.netlist->Stats();
+  const GateCounts expect = DerivedArrayCombFormula(l);
+  EXPECT_EQ(stats.xor_gates, expect.xor_gates);
+  EXPECT_EQ(stats.and_gates, expect.and_gates);
+  EXPECT_EQ(stats.or_gates, expect.or_gates);
+  EXPECT_EQ(stats.flip_flops, 0u) << "combinational view has no registers";
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, ArrayArea,
+                         ::testing::Values(2, 3, 4, 8, 16, 32, 64, 128, 256,
+                                           512, 1024));
+
+TEST(ArrayArea, PaperAndDerivedFormulasShareSlopes) {
+  // Both closed forms are affine in l; compare slopes over a wide range.
+  const GateCounts paper_lo = PaperAreaFormula(64);
+  const GateCounts paper_hi = PaperAreaFormula(1024);
+  const GateCounts ours_lo = DerivedArrayCombFormula(64);
+  const GateCounts ours_hi = DerivedArrayCombFormula(1024);
+  const auto slope = [](std::size_t lo, std::size_t hi) {
+    return static_cast<double>(hi - lo) / (1024 - 64);
+  };
+  EXPECT_EQ(slope(paper_lo.xor_gates, paper_hi.xor_gates),
+            slope(ours_lo.xor_gates, ours_hi.xor_gates))
+      << "XOR slope must be 5 per bit";
+  EXPECT_EQ(slope(paper_lo.and_gates, paper_hi.and_gates),
+            slope(ours_lo.and_gates, ours_hi.and_gates))
+      << "AND slope must be 7 per bit";
+}
+
+// ---------------------------------------------------------------------------
+// Timing: the critical path is the same for every operand length (the
+// paper's key scalability claim).
+// ---------------------------------------------------------------------------
+
+TEST(ArrayTiming, CriticalPathIndependentOfLength) {
+  std::size_t depth_ref = 0;
+  for (const std::size_t l : {4u, 16u, 64u, 256u, 1024u}) {
+    const SystolicArrayNetlist array = BuildSystolicArrayComb(l);
+    const rtl::TimingAnalyzer sta(*array.netlist, rtl::DelayModel::Unit());
+    const std::size_t depth = sta.CriticalPath().logic_levels;
+    if (depth_ref == 0) depth_ref = depth;
+    EXPECT_EQ(depth, depth_ref) << "l=" << l;
+  }
+  // The depth equals one regular cell's product-to-c1 path.
+  EXPECT_LE(depth_ref, 8u);
+  EXPECT_GE(depth_ref, 4u);
+}
+
+TEST(MmmcTiming, FullCircuitPathGrowsOnlyWithControl) {
+  // The full MMMC adds the counter/comparator cone, which grows only
+  // logarithmically: the datapath itself stays constant.
+  const auto depth_of = [](std::size_t l) {
+    const MmmcNetlist mmmc = BuildMmmcNetlist(l);
+    const rtl::TimingAnalyzer sta(*mmmc.netlist, rtl::DelayModel::Unit());
+    return sta.CriticalPath().logic_levels;
+  };
+  const std::size_t d32 = depth_of(32);
+  const std::size_t d256 = depth_of(256);
+  EXPECT_LE(d256, d32 + 4) << "only log-depth control growth allowed";
+}
+
+// ---------------------------------------------------------------------------
+// Full netlist vs behavioural model: bit-for-bit, clock-for-clock.
+// ---------------------------------------------------------------------------
+
+class NetlistVsBehavioural : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(NetlistVsBehavioural, LockstepEquivalence) {
+  const std::size_t bits = GetParam();
+  RandomBigUInt rng(0x9000 + bits);
+  const BigUInt n = rng.OddExactBits(bits);
+  const BigUInt two_n = n << 1;
+
+  const MmmcNetlist gen = BuildMmmcNetlist(bits);
+  rtl::Simulator sim(*gen.netlist);
+  Mmmc model(n);
+
+  // Drive N once.
+  for (std::size_t b = 0; b < bits; ++b) {
+    sim.SetInput(gen.n_in[b], n.Bit(b));
+  }
+
+  for (int trial = 0; trial < 3; ++trial) {
+    const BigUInt x = rng.Below(two_n);
+    const BigUInt y = rng.Below(two_n);
+
+    // Behavioural run.
+    std::uint64_t model_cycles = 0;
+    const BigUInt expect = model.Multiply(x, y, &model_cycles);
+
+    // Gate-level run: drive START for one edge, clock until done.
+    for (std::size_t b = 0; b <= bits; ++b) {
+      sim.SetInput(gen.x_in[b], x.Bit(b));
+      sim.SetInput(gen.y_in[b], y.Bit(b));
+    }
+    sim.SetInput(gen.start, true);
+    sim.Tick();
+    sim.SetInput(gen.start, false);
+    std::uint64_t gate_cycles = 1;
+    while (!sim.Peek(gen.done)) {
+      sim.Tick();
+      ++gate_cycles;
+      ASSERT_LE(gate_cycles, 8 * (bits + 4)) << "netlist FSM stuck";
+    }
+    BigUInt got;
+    for (std::size_t b = 0; b < gen.result.size(); ++b) {
+      if (sim.Peek(gen.result[b])) got.SetBit(b, true);
+    }
+    EXPECT_EQ(got, expect) << "bits=" << bits << " trial=" << trial;
+    EXPECT_EQ(gate_cycles, model_cycles);
+    EXPECT_EQ(gate_cycles, MultiplyCycles(bits));
+    sim.Tick();  // drain OUT -> IDLE before the next multiplication
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BitLengths, NetlistVsBehavioural,
+                         ::testing::Values(2, 3, 4, 5, 6, 7, 8, 12, 16, 24,
+                                           32, 48));
+
+// Exhaustive gate-level check on a tiny modulus.
+TEST(NetlistVsBehavioural, ExhaustiveTinyModulus) {
+  const BigUInt n{13};
+  const std::size_t l = 4;
+  const MmmcNetlist gen = BuildMmmcNetlist(l);
+  rtl::Simulator sim(*gen.netlist);
+  bignum::BitSerialMontgomery reference(n);
+  for (std::size_t b = 0; b < l; ++b) sim.SetInput(gen.n_in[b], n.Bit(b));
+  for (std::uint64_t x = 0; x < 26; ++x) {
+    for (std::uint64_t y = 0; y < 26; ++y) {
+      const BigUInt bx{x}, by{y};
+      for (std::size_t b = 0; b <= l; ++b) {
+        sim.SetInput(gen.x_in[b], bx.Bit(b));
+        sim.SetInput(gen.y_in[b], by.Bit(b));
+      }
+      sim.SetInput(gen.start, true);
+      sim.Tick();
+      sim.SetInput(gen.start, false);
+      while (!sim.Peek(gen.done)) sim.Tick();
+      BigUInt got;
+      for (std::size_t b = 0; b < gen.result.size(); ++b) {
+        if (sim.Peek(gen.result[b])) got.SetBit(b, true);
+      }
+      EXPECT_EQ(got, reference.MultiplyAlg2(bx, by)) << "x=" << x << " y=" << y;
+      sim.Tick();
+    }
+  }
+}
+
+TEST(NetlistExport, MmmcVerilogIsWellFormed) {
+  const MmmcNetlist gen = BuildMmmcNetlist(8);
+  const std::string verilog = rtl::ExportVerilog(*gen.netlist, "mmmc8");
+  EXPECT_NE(verilog.find("module mmmc8"), std::string::npos);
+  EXPECT_NE(verilog.find("out_done"), std::string::npos);
+  EXPECT_NE(verilog.find("out_result0"), std::string::npos);
+  EXPECT_NE(verilog.find("endmodule"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mont::core

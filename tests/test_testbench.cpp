@@ -1,0 +1,74 @@
+// Tests for the self-checking Verilog testbench generator.
+#include <gtest/gtest.h>
+
+#include "core/netlist_gen.hpp"
+#include "rtl/components.hpp"
+#include "rtl/testbench.hpp"
+
+namespace mont::rtl {
+namespace {
+
+TEST(Testbench, RecordsSimulatorBehaviour) {
+  Netlist nl;
+  const NetId a = nl.AddInput("a");
+  const NetId b = nl.AddInput("b");
+  const NetId q = nl.Dff(nl.And(a, b));
+  nl.MarkOutput(q, "q");
+  const auto vectors = RecordVectors(
+      nl, {{{a, true}, {b, true}}, {{a, false}, {b, true}}});
+  ASSERT_EQ(vectors.size(), 2u);
+  // After the first edge q latches 1, after the second it latches 0.
+  EXPECT_EQ(vectors[0].expected.size(), 1u);
+  EXPECT_TRUE(vectors[0].expected[0].second);
+  EXPECT_FALSE(vectors[1].expected[0].second);
+}
+
+TEST(Testbench, EmitsWellFormedVerilog) {
+  Netlist nl;
+  const NetId a = nl.AddInput("a");
+  const NetId q = nl.Dff(a);
+  nl.MarkOutput(q, "q");
+  const auto vectors = RecordVectors(nl, {{{a, true}}, {{a, false}}});
+  const std::string tb = ExportTestbench(nl, "dff1", vectors);
+  EXPECT_NE(tb.find("module dff1_tb;"), std::string::npos);
+  EXPECT_NE(tb.find("dff1 dut ("), std::string::npos);
+  EXPECT_NE(tb.find("always #5 clk = ~clk;"), std::string::npos);
+  EXPECT_NE(tb.find("@(posedge clk)"), std::string::npos);
+  EXPECT_NE(tb.find("PASS: all 2 vectors"), std::string::npos);
+  EXPECT_NE(tb.find("$finish;"), std::string::npos);
+}
+
+TEST(Testbench, MmmcTestbenchCoversAWholeMultiplication) {
+  const std::size_t l = 4;
+  const core::MmmcNetlist gen = core::BuildMmmcNetlist(l);
+  // Stimulus: start pulse with operands x=5, y=9, N=13, then idle cycles
+  // until well past DONE.
+  std::vector<std::vector<std::pair<NetId, bool>>> stimulus;
+  std::vector<std::pair<NetId, bool>> first;
+  first.emplace_back(gen.start, true);
+  for (std::size_t b = 0; b <= l; ++b) {
+    first.emplace_back(gen.x_in[b], (5u >> b) & 1);
+    first.emplace_back(gen.y_in[b], (9u >> b) & 1);
+  }
+  for (std::size_t b = 0; b < l; ++b) {
+    first.emplace_back(gen.n_in[b], (13u >> b) & 1);
+  }
+  stimulus.push_back(first);
+  for (std::size_t k = 0; k < 3 * l + 5; ++k) {
+    stimulus.push_back({{gen.start, false}});
+  }
+  const auto vectors = RecordVectors(*gen.netlist, stimulus);
+  const std::string tb = ExportTestbench(*gen.netlist, "mmmc4", vectors);
+  // DONE must be expected high on exactly one vector.
+  std::size_t done_highs = 0;
+  for (const auto& vec : vectors) {
+    for (const auto& [net, value] : vec.expected) {
+      if (net == gen.done && value) ++done_highs;
+    }
+  }
+  EXPECT_EQ(done_highs, 1u);
+  EXPECT_NE(tb.find("mmmc4 dut"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mont::rtl
