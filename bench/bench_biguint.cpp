@@ -1,0 +1,67 @@
+// bench_biguint — Google-benchmark microbenchmarks of the BigUInt
+// substrate every layer above sits on: schoolbook/Karatsuba
+// multiplication across the threshold, Knuth-D division, modular
+// inversion, and square-and-multiply exponentiation.  These are the
+// software costs that Table 1's "software on a workstation" comparison
+// point is made of.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "bignum/biguint.hpp"
+#include "bignum/random.hpp"
+
+namespace {
+
+using mont::bignum::BigUInt;
+using mont::bignum::RandomBigUInt;
+
+void BM_Multiply(benchmark::State& state) {
+  RandomBigUInt rng(0xb16 + static_cast<std::uint64_t>(state.range(0)));
+  const BigUInt a = rng.ExactBits(static_cast<std::size_t>(state.range(0)));
+  const BigUInt b = rng.ExactBits(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a * b);
+  }
+}
+// 512/1024 sit below the Karatsuba threshold, 4096/16384 above it.
+BENCHMARK(BM_Multiply)->Arg(512)->Arg(1024)->Arg(4096)->Arg(16384);
+
+void BM_DivMod(benchmark::State& state) {
+  RandomBigUInt rng(0xd17 + static_cast<std::uint64_t>(state.range(0)));
+  const BigUInt a = rng.ExactBits(static_cast<std::size_t>(2 * state.range(0)));
+  const BigUInt b = rng.ExactBits(static_cast<std::size_t>(state.range(0)));
+  BigUInt q, r;
+  for (auto _ : state) {
+    BigUInt::DivMod(a, b, q, r);
+    benchmark::DoNotOptimize(q);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_DivMod)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_ModInverse(benchmark::State& state) {
+  RandomBigUInt rng(0x1f4 + static_cast<std::uint64_t>(state.range(0)));
+  const BigUInt m = rng.OddExactBits(static_cast<std::size_t>(state.range(0)));
+  const BigUInt a = rng.Below(m);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BigUInt::ModInverse(a, m));
+  }
+}
+BENCHMARK(BM_ModInverse)->Arg(256)->Arg(1024);
+
+void BM_ModExp(benchmark::State& state) {
+  const std::size_t bits = static_cast<std::size_t>(state.range(0));
+  RandomBigUInt rng(0xe22 + bits);
+  const BigUInt n = rng.OddExactBits(bits);
+  const BigUInt base = rng.Below(n);
+  const BigUInt exp = rng.BalancedExactBits(bits);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BigUInt::ModExp(base, exp, n));
+  }
+}
+BENCHMARK(BM_ModExp)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -3,6 +3,7 @@
 // the generated netlist), verifies each cell's function exhaustively
 // against its recurrence equation, and reports per-cell critical paths.
 #include <cstdio>
+#include <string>
 
 #include "core/area_model.hpp"
 #include "core/cells.hpp"
@@ -32,11 +33,11 @@ CellReport Examine(const char* name, const char* paper, std::size_t n_inputs,
   Netlist nl;
   std::vector<NetId> inputs;
   for (std::size_t i = 0; i < n_inputs; ++i) {
-    inputs.push_back(nl.AddInput("i" + std::to_string(i)));
+    inputs.push_back(nl.AddInput(mont::rtl::IndexedName("i", i)));
   }
   const std::vector<NetId> outputs = build(nl, inputs);
   for (std::size_t i = 0; i < outputs.size(); ++i) {
-    nl.MarkOutput(outputs[i], "o" + std::to_string(i));
+    nl.MarkOutput(outputs[i], mont::rtl::IndexedName("o", i));
   }
   mont::rtl::Simulator sim(nl);
   bool ok = true;

@@ -66,13 +66,13 @@ SystolicArrayNetlist BuildSystolicArrayComb(std::size_t l) {
 
   nl.MarkOutput(out.m_out, "m");
   for (std::size_t j = 0; j < out.t_out.size(); ++j) {
-    nl.MarkOutput(out.t_out[j], "t_out" + std::to_string(j + 1));
+    nl.MarkOutput(out.t_out[j], rtl::IndexedName("t_out", j + 1));
   }
   for (std::size_t j = 0; j < out.c0_out.size(); ++j) {
-    nl.MarkOutput(out.c0_out[j], "c0_out" + std::to_string(j));
+    nl.MarkOutput(out.c0_out[j], rtl::IndexedName("c0_out", j));
   }
   for (std::size_t j = 0; j < out.c1_out.size(); ++j) {
-    nl.MarkOutput(out.c1_out[j], "c1_out" + std::to_string(j + 1));
+    nl.MarkOutput(out.c1_out[j], rtl::IndexedName("c1_out", j + 1));
   }
   return out;
 }
@@ -130,6 +130,9 @@ MmmcNetlist BuildMmmcNetlist(std::size_t l, bool dual_field) {
   Bus t_ff = make_ffs(l + 2);    // t[1..l+2] (index j-1)
   Bus c0_ff = make_ffs(l);       // c0[0..l-1]
   Bus c1_ff = make_ffs(l - 1);   // c1[1..l-1] (index j-1)
+  out.t_probe = t_ff;
+  out.c0_probe = c0_ff;
+  out.c1_probe = c1_ff;
   Bus xp_ff = make_ffs(l);       // x pipe into cells 1..l (index j-1)
   Bus mp_ff = make_ffs(l);       // m pipe into cells 1..l (index j-1)
   Bus tok_ff = make_ffs(l);      // capture token at cells 1..l (index j-1)
@@ -241,7 +244,7 @@ MmmcNetlist BuildMmmcNetlist(std::size_t l, bool dual_field) {
   out.done = in_out;
   nl.MarkOutput(out.done, "done");
   for (std::size_t b = 0; b < res_ff.size(); ++b) {
-    nl.MarkOutput(res_ff[b], "result" + std::to_string(b));
+    nl.MarkOutput(res_ff[b], rtl::IndexedName("result", b));
   }
   nl.MarkOutput(out.count_end, "count_end");
   return out;

@@ -36,6 +36,15 @@ struct MmmcNetlist {
   rtl::NetId state_s0 = rtl::kNoNet;
   rtl::NetId state_s1 = rtl::kNoNet;
   rtl::NetId count_end = rtl::kNoNet;
+  // White-box register probes (not marked as outputs, so they change
+  // neither the exported Verilog nor the FPGA area/timing analysis).
+  // Indexing mirrors Mmmc's register file: t_probe[j-1] is t[j] for
+  // j = 1..l+2, c0_probe[j] is c0[j] for j = 0..l-1, and c1_probe[j-1]
+  // is c1[j] for j = 1..l-1 — so a simulator and the behavioural model
+  // can be compared register-for-register every clock edge (Eq. 4–9).
+  rtl::Bus t_probe;   // l+2 bits
+  rtl::Bus c0_probe;  // l bits
+  rtl::Bus c1_probe;  // l-1 bits
   std::size_t l = 0;
   std::size_t counter_width = 0;
 };

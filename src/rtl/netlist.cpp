@@ -171,7 +171,7 @@ bool Netlist::IsFastCarry(NetId net) const {
 std::string Netlist::NetName(NetId id) const {
   const auto it = names_.find(id);
   if (it != names_.end()) return it->second;
-  return "n" + std::to_string(id);
+  return IndexedName("n", id);
 }
 
 NetlistStats Netlist::Stats() const {

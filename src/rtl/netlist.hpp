@@ -29,6 +29,15 @@ namespace mont::rtl {
 using NetId = std::uint32_t;
 inline constexpr NetId kNoNet = std::numeric_limits<NetId>::max();
 
+/// "<prefix><index>" built by append: operator+(const char*, string&&)
+/// trips GCC 12's bogus -Wrestrict (PR 105651) at -O3, so every indexed
+/// net/port name in the tree goes through this one helper.
+inline std::string IndexedName(const char* prefix, std::uint64_t index) {
+  std::string name(prefix);
+  name += std::to_string(index);
+  return name;
+}
+
 /// Node kinds. Arity: kInput/kConst* none; kNot/kBuf one (a);
 /// two-input gates (a, b); kMux three (sel=a, if0=b, if1=c);
 /// kDff three (d=a, enable=b or kNoNet, sync reset=c or kNoNet).

@@ -8,7 +8,7 @@ namespace mont::rtl {
 
 namespace {
 
-std::string Sym(NetId id) { return "n" + std::to_string(id); }
+std::string Sym(NetId id) { return IndexedName("n", id); }
 
 }  // namespace
 

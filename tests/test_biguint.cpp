@@ -6,6 +6,7 @@
 
 #include "bignum/biguint.hpp"
 #include "bignum/random.hpp"
+#include "testutil.hpp"
 
 namespace mont::bignum {
 namespace {
@@ -128,7 +129,7 @@ TEST(BigUIntArithmetic, CompareOrdering) {
 
 // Property: for random a, b (b != 0): a == (a/b)*b + (a%b) and a%b < b.
 TEST(BigUIntProperty, DivModReconstruction) {
-  RandomBigUInt rng(0xd1u);
+  auto rng = test::TestRng();
   for (int trial = 0; trial < 200; ++trial) {
     const std::size_t abits = 1 + static_cast<std::size_t>(rng.Engine().NextBelow(700));
     const std::size_t bbits = 1 + static_cast<std::size_t>(rng.Engine().NextBelow(700));
@@ -145,7 +146,7 @@ TEST(BigUIntProperty, DivModReconstruction) {
 // Property: Karatsuba (large operands) agrees with schoolbook identity
 // (a+b)^2 - (a-b)^2 == 4ab.
 TEST(BigUIntProperty, KaratsubaConsistency) {
-  RandomBigUInt rng(0xca7u);
+  auto rng = test::TestRng();
   for (int trial = 0; trial < 20; ++trial) {
     const BigUInt a = rng.ExactBits(2048);
     const BigUInt b = rng.ExactBits(1900);
@@ -157,7 +158,7 @@ TEST(BigUIntProperty, KaratsubaConsistency) {
 
 // Property: multiplication is commutative and distributes over addition.
 TEST(BigUIntProperty, RingAxioms) {
-  RandomBigUInt rng(0xabcu);
+  auto rng = test::TestRng();
   for (int trial = 0; trial < 100; ++trial) {
     const BigUInt a = rng.ExactBits(300);
     const BigUInt b = rng.ExactBits(200);
@@ -178,7 +179,7 @@ TEST(BigUIntNumberTheory, GcdKnownValues) {
 
 // Property: gcd divides both operands and gcd(ka, kb) = k*gcd(a,b).
 TEST(BigUIntNumberTheory, GcdProperties) {
-  RandomBigUInt rng(0x9cdu);
+  auto rng = test::TestRng();
   for (int trial = 0; trial < 50; ++trial) {
     const BigUInt a = rng.ExactBits(128);
     const BigUInt b = rng.ExactBits(96);
@@ -200,7 +201,7 @@ TEST(BigUIntNumberTheory, ModInverse) {
 }
 
 TEST(BigUIntNumberTheory, ModInverseLarge) {
-  RandomBigUInt rng(0x777u);
+  auto rng = test::TestRng();
   const BigUInt m = rng.OddExactBits(521);
   for (int trial = 0; trial < 20; ++trial) {
     const BigUInt a = rng.Below(m);
@@ -232,20 +233,20 @@ TEST(BigUIntRandom, DeterministicStreams) {
 }
 
 TEST(BigUIntRandom, ExactBitsHasExactBitLength) {
-  RandomBigUInt rng(7);
+  auto rng = test::TestRng();
   for (const std::size_t bits : {1u, 2u, 31u, 32u, 33u, 257u, 1024u}) {
     EXPECT_EQ(rng.ExactBits(bits).BitLength(), bits);
   }
 }
 
 TEST(BigUIntRandom, BelowStaysBelow) {
-  RandomBigUInt rng(8);
+  auto rng = test::TestRng();
   const BigUInt bound = BigUInt::FromDec("98765432109876543210");
   for (int i = 0; i < 100; ++i) EXPECT_LT(rng.Below(bound), bound);
 }
 
 TEST(BigUIntRandom, BalancedHammingWeight) {
-  RandomBigUInt rng(9);
+  auto rng = test::TestRng();
   for (const std::size_t bits : {16u, 64u, 1024u}) {
     const BigUInt v = rng.BalancedExactBits(bits);
     EXPECT_EQ(v.BitLength(), bits);

@@ -6,6 +6,7 @@
 
 #include "bignum/biguint.hpp"
 #include "bignum/random.hpp"
+#include "testutil.hpp"
 
 namespace mont::bignum {
 namespace {
@@ -65,7 +66,7 @@ TEST(BigUIntEdge, KnuthDCorrectionPatterns) {
   // Structured dividends with saturated limbs drive q-hat over-estimation
   // (the D3 adjustment loop and the rare D6 add-back).  The property
   // a = q*b + r, r < b certifies correctness regardless of which path ran.
-  RandomBigUInt rng(0xedbe11u);
+  auto rng = test::TestRng();
   const BigUInt f32 = BigUInt::PowerOfTwo(32) - BigUInt{1};
   std::vector<BigUInt> awkward;
   // Divisors with a maximal top limb and a zero second limb are the
@@ -101,7 +102,7 @@ TEST(BigUIntEdge, KnownAddBackVector) {
 }
 
 TEST(BigUIntEdge, DecimalStressRoundTrip) {
-  RandomBigUInt rng(0xdec1u);
+  auto rng = test::TestRng();
   for (int trial = 0; trial < 25; ++trial) {
     const BigUInt v = rng.ExactBits(
         1 + static_cast<std::size_t>(rng.Engine().NextBelow(2000)));
@@ -111,7 +112,7 @@ TEST(BigUIntEdge, DecimalStressRoundTrip) {
 }
 
 TEST(BigUIntEdge, CompareAdjacentValues) {
-  RandomBigUInt rng(0xc0deu);
+  auto rng = test::TestRng();
   for (int trial = 0; trial < 50; ++trial) {
     const BigUInt v = rng.ExactBits(200);
     EXPECT_LT(v, v + BigUInt{1});
@@ -126,6 +127,66 @@ TEST(BigUIntEdge, ModExpDegenerateModuli) {
   EXPECT_TRUE(BigUInt::ModExp(BigUInt{2}, BigUInt{3}, BigUInt{1}).IsZero());
   EXPECT_TRUE(BigUInt::ModExp(BigUInt{0}, BigUInt{0}, BigUInt{7}).IsOne())
       << "0^0 = 1 by the square-and-multiply convention";
+}
+
+TEST(BigUIntEdge, ZeroOperandArithmetic) {
+  const BigUInt zero;
+  auto rng = test::TestRng();
+  const BigUInt v = rng.ExactBits(130);
+  EXPECT_EQ(zero + v, v);
+  EXPECT_EQ(v + zero, v);
+  EXPECT_EQ(v - zero, v);
+  EXPECT_TRUE((zero * v).IsZero());
+  EXPECT_TRUE((v * zero).IsZero());
+  EXPECT_TRUE((zero / v).IsZero());
+  EXPECT_TRUE((zero % v).IsZero());
+  EXPECT_TRUE((zero << 77).IsZero());
+  EXPECT_TRUE((zero >> 77).IsZero());
+  EXPECT_EQ(zero.LimbCount(), 0u);
+  EXPECT_EQ(BigUInt::Compare(zero, BigUInt{0}), 0);
+  EXPECT_EQ(BigUInt::Gcd(zero, zero).ToUint64(), 0u);
+}
+
+TEST(BigUIntEdge, OneLimbBoundaryValues) {
+  // Values straddling the one-limb boundary 2^32 and the 2^64 boundary
+  // ToUint64 narrows through.
+  const BigUInt max32 = BigUInt::PowerOfTwo(32) - BigUInt{1};
+  EXPECT_EQ(max32.LimbCount(), 1u);
+  EXPECT_EQ((max32 + BigUInt{1}).LimbCount(), 2u);
+  EXPECT_EQ(((max32 + BigUInt{1}) - BigUInt{1}).LimbCount(), 1u)
+      << "shrinking back across the limb boundary must renormalize";
+  const BigUInt max64 = BigUInt::PowerOfTwo(64) - BigUInt{1};
+  EXPECT_EQ(max64.LimbCount(), 2u);
+  EXPECT_EQ(max64.ToUint64(), ~0ull);
+  EXPECT_EQ((max64 + BigUInt{1}).BitLength(), 65u);
+  EXPECT_EQ((max64 * max64) + (max64 << 1) + BigUInt{1},
+            BigUInt::PowerOfTwo(128));
+}
+
+TEST(BigUIntEdge, CarryChainsAcrossManyLimbs) {
+  // 0xfff...f + 1 must propagate a carry through every limb, and the
+  // subtraction must borrow all the way back down.
+  for (const std::size_t bits : {32u, 64u, 96u, 256u, 1024u}) {
+    const BigUInt ones = BigUInt::PowerOfTwo(bits) - BigUInt{1};
+    EXPECT_EQ(ones + BigUInt{1}, BigUInt::PowerOfTwo(bits)) << bits;
+    EXPECT_EQ(BigUInt::PowerOfTwo(bits) - BigUInt{1}, ones)
+        << "borrow cascade at " << bits;
+    EXPECT_EQ((ones + ones) >> 1, ones) << "doubling carries at " << bits;
+  }
+}
+
+TEST(BigUIntEdge, MulCarryBoundaryIdentity) {
+  // Saturated multiplicands drive the widening carry path; the identity
+  // (2^k - 1) * b == (b << k) - b certifies it against shift/subtract.
+  auto rng = test::TestRng();
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t k =
+        1 + static_cast<std::size_t>(rng.Engine().NextBelow(200));
+    const BigUInt a = BigUInt::PowerOfTwo(k) - BigUInt{1};
+    const BigUInt b =
+        rng.ExactBits(1 + static_cast<std::size_t>(rng.Engine().NextBelow(200)));
+    EXPECT_EQ(a * b, (b << k) - b) << "k=" << k;
+  }
 }
 
 TEST(BigUIntEdge, SetBitClearingNormalizes) {

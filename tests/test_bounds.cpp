@@ -7,12 +7,13 @@
 #include "bignum/bounds.hpp"
 #include "bignum/montgomery.hpp"
 #include "bignum/random.hpp"
+#include "testutil.hpp"
 
 namespace mont::bignum {
 namespace {
 
 TEST(Bounds, MinimalExponentIsLPlusTwo) {
-  RandomBigUInt rng(0xb0b0u);
+  auto rng = test::TestRng();
   for (const std::size_t bits : {3u, 8u, 64u, 192u, 1024u}) {
     const BigUInt n = rng.OddExactBits(bits);
     EXPECT_EQ(MinimalWalterExponent(n), bits + 2) << "bits=" << bits;
@@ -30,7 +31,7 @@ TEST(Bounds, SmallModulusCanNeedLessThanTopLength) {
 }
 
 TEST(Bounds, OutputBoundClosesUnderWalterR) {
-  RandomBigUInt rng(0xb0b1u);
+  auto rng = test::TestRng();
   for (const std::size_t bits : {8u, 32u, 128u}) {
     const BigUInt n = rng.OddExactBits(bits);
     const BigUInt r = BigUInt::PowerOfTwo(bits + 2);
@@ -42,7 +43,7 @@ TEST(Bounds, OutputBoundClosesUnderWalterR) {
 }
 
 TEST(Bounds, OutputBoundFailsForSmallerR) {
-  RandomBigUInt rng(0xb0b2u);
+  auto rng = test::TestRng();
   const BigUInt n = rng.OddExactBits(64);
   const BigUInt r_small = BigUInt::PowerOfTwo(65);  // 2^(l+1) < 4N
   const BigUInt two_n = n << 1;
@@ -89,7 +90,7 @@ TEST(Bounds, IterationComparisonMatchesPaper) {
 // Cross-check with the real context: BitSerialMontgomery uses exactly the
 // minimal exponent.
 TEST(Bounds, ContextUsesMinimalR) {
-  RandomBigUInt rng(0xb0b3u);
+  auto rng = test::TestRng();
   const BigUInt n = rng.OddExactBits(96);
   const BitSerialMontgomery ctx(n);
   EXPECT_EQ(ctx.R(), BigUInt::PowerOfTwo(MinimalWalterExponent(n)));

@@ -9,6 +9,7 @@
 #include "bignum/random.hpp"
 #include "crypto/ecc.hpp"
 #include "crypto/rsa.hpp"
+#include "testutil.hpp"
 
 namespace mont::crypto {
 namespace {
@@ -21,7 +22,7 @@ using bignum::RandomBigUInt;
 // ---------------------------------------------------------------------------
 
 TEST(Rsa, GeneratedKeyShape) {
-  RandomBigUInt rng(0xc001u);
+  auto rng = test::TestRng();
   const RsaKeyPair key = GenerateRsaKey(128, rng);
   EXPECT_EQ(key.n.BitLength(), 128u);
   EXPECT_EQ(key.p * key.q, key.n);
@@ -35,13 +36,13 @@ TEST(Rsa, GeneratedKeyShape) {
 }
 
 TEST(Rsa, RejectsBadParameters) {
-  RandomBigUInt rng(0xc002u);
+  auto rng = test::TestRng();
   EXPECT_THROW(GenerateRsaKey(31, rng), std::invalid_argument);
   EXPECT_THROW(GenerateRsaKey(16, rng), std::invalid_argument);
 }
 
 TEST(Rsa, EncryptDecryptRoundTrip) {
-  RandomBigUInt rng(0xc003u);
+  auto rng = test::TestRng();
   const RsaKeyPair key = GenerateRsaKey(128, rng);
   for (int trial = 0; trial < 5; ++trial) {
     const BigUInt m = rng.Below(key.n);
@@ -51,7 +52,7 @@ TEST(Rsa, EncryptDecryptRoundTrip) {
 }
 
 TEST(Rsa, CrtMatchesPlainDecryption) {
-  RandomBigUInt rng(0xc004u);
+  auto rng = test::TestRng();
   const RsaKeyPair key = GenerateRsaKey(192, rng);
   for (int trial = 0; trial < 5; ++trial) {
     const BigUInt m = rng.Below(key.n);
@@ -61,7 +62,7 @@ TEST(Rsa, CrtMatchesPlainDecryption) {
 }
 
 TEST(Rsa, HardwareModelAgreesAndReportsCycles) {
-  RandomBigUInt rng(0xc005u);
+  auto rng = test::TestRng();
   const RsaKeyPair key = GenerateRsaKey(96, rng);
   const BigUInt m = rng.Below(key.n);
   const BigUInt c = RsaPublic(key, m);
@@ -73,7 +74,7 @@ TEST(Rsa, HardwareModelAgreesAndReportsCycles) {
 }
 
 TEST(Rsa, MessageOutOfRangeThrows) {
-  RandomBigUInt rng(0xc006u);
+  auto rng = test::TestRng();
   const RsaKeyPair key = GenerateRsaKey(64, rng);
   EXPECT_THROW(RsaPublic(key, key.n), std::invalid_argument);
   EXPECT_THROW(RsaPrivate(key, key.n + BigUInt{1}), std::invalid_argument);
@@ -157,7 +158,7 @@ TEST(Ecc, P192OrderAnnihilatesGenerator) {
 }
 
 TEST(Ecc, P192ScalarMulIsHomomorphic) {
-  RandomBigUInt rng(0xc007u);
+  auto rng = test::TestRng();
   const Curve curve(CurveParams::Secp192r1());
   const AffinePoint g = curve.Generator();
   const BigUInt k1 = rng.ExactBits(64);
@@ -169,7 +170,7 @@ TEST(Ecc, P192ScalarMulIsHomomorphic) {
 }
 
 TEST(Ecc, EcdhSharedSecretAgrees) {
-  RandomBigUInt rng(0xc008u);
+  auto rng = test::TestRng();
   const Curve curve(CurveParams::Secp192r1());
   const AffinePoint g = curve.Generator();
   const BigUInt alice = rng.ExactBits(160);

@@ -7,6 +7,7 @@
 #include "bignum/biguint.hpp"
 #include "bignum/random.hpp"
 #include "core/exp_algorithms.hpp"
+#include "testutil.hpp"
 
 namespace mont::core {
 namespace {
@@ -17,7 +18,7 @@ using bignum::RandomBigUInt;
 class AllAlgorithms : public ::testing::TestWithParam<ExpAlgorithm> {};
 
 TEST_P(AllAlgorithms, MatchesReference) {
-  RandomBigUInt rng(0xa160u);
+  auto rng = test::TestRng();
   for (const std::size_t bits : {8u, 32u, 96u, 192u}) {
     const BigUInt n = rng.OddExactBits(bits);
     const MultiExponentiator exp(n);
@@ -32,7 +33,7 @@ TEST_P(AllAlgorithms, MatchesReference) {
 }
 
 TEST_P(AllAlgorithms, EdgeExponents) {
-  RandomBigUInt rng(0xa161u);
+  auto rng = test::TestRng();
   const BigUInt n = rng.OddExactBits(40);
   const MultiExponentiator exp(n);
   const BigUInt base = rng.Below(n);
@@ -59,7 +60,7 @@ INSTANTIATE_TEST_SUITE_P(
     });
 
 TEST(ExpAlgorithms, WindowBitsValidated) {
-  RandomBigUInt rng(0xa162u);
+  auto rng = test::TestRng();
   const MultiExponentiator exp(rng.OddExactBits(32));
   EXPECT_THROW(exp.ModExp(BigUInt{2}, BigUInt{5}, ExpAlgorithm::kSlidingWindow,
                           1),
@@ -70,7 +71,7 @@ TEST(ExpAlgorithms, WindowBitsValidated) {
 }
 
 TEST(ExpAlgorithms, OperationCountsFollowClosedForms) {
-  RandomBigUInt rng(0xa163u);
+  auto rng = test::TestRng();
   const std::size_t ebits = 256;
   const BigUInt n = rng.OddExactBits(ebits);
   const MultiExponentiator exp(n);
@@ -113,7 +114,7 @@ TEST(ExpAlgorithms, ModeledCyclesChargePerMmm) {
 
 // --- SPA: the trace of L2R binary leaks the exponent; the ladder doesn't.
 TEST(ExpAlgorithms, SpaRecoversExponentFromBinaryL2R) {
-  RandomBigUInt rng(0xa164u);
+  auto rng = test::TestRng();
   const BigUInt n = rng.OddExactBits(64);
   const MultiExponentiator exp(n);
   const BigUInt e = rng.ExactBits(64);
@@ -129,7 +130,7 @@ TEST(ExpAlgorithms, SpaRecoversExponentFromBinaryL2R) {
 }
 
 TEST(ExpAlgorithms, SpaLearnsNothingFromLadder) {
-  RandomBigUInt rng(0xa165u);
+  auto rng = test::TestRng();
   const BigUInt n = rng.OddExactBits(64);
   const MultiExponentiator exp(n);
   const BigUInt e1 = rng.ExactBits(64);

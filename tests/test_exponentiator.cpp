@@ -7,6 +7,7 @@
 #include "bignum/random.hpp"
 #include "core/exponentiator.hpp"
 #include "core/schedule.hpp"
+#include "testutil.hpp"
 
 namespace mont::core {
 namespace {
@@ -15,7 +16,7 @@ using bignum::BigUInt;
 using bignum::RandomBigUInt;
 
 TEST(Exponentiator, MatchesReferenceFastEngine) {
-  RandomBigUInt rng(0xe001u);
+  auto rng = test::TestRng();
   for (const std::size_t bits : {8u, 16u, 64u, 160u, 256u}) {
     const BigUInt n = rng.OddExactBits(bits);
     Exponentiator exp(n, Exponentiator::Engine::kFast);
@@ -29,7 +30,7 @@ TEST(Exponentiator, MatchesReferenceFastEngine) {
 }
 
 TEST(Exponentiator, MatchesReferenceCycleAccurateEngine) {
-  RandomBigUInt rng(0xe002u);
+  auto rng = test::TestRng();
   for (const std::size_t bits : {8u, 16u, 32u}) {
     const BigUInt n = rng.OddExactBits(bits);
     Exponentiator exp(n, Exponentiator::Engine::kCycleAccurate);
@@ -43,7 +44,7 @@ TEST(Exponentiator, MatchesReferenceCycleAccurateEngine) {
 }
 
 TEST(Exponentiator, EnginesAgreeOnStatsAndValues) {
-  RandomBigUInt rng(0xe003u);
+  auto rng = test::TestRng();
   const BigUInt n = rng.OddExactBits(24);
   Exponentiator fast(n, Exponentiator::Engine::kFast);
   Exponentiator accurate(n, Exponentiator::Engine::kCycleAccurate);
@@ -64,7 +65,7 @@ TEST(Exponentiator, EnginesAgreeOnStatsAndValues) {
 }
 
 TEST(Exponentiator, OperationCountsMatchExponentShape) {
-  RandomBigUInt rng(0xe004u);
+  auto rng = test::TestRng();
   const BigUInt n = rng.OddExactBits(32);
   Exponentiator exp(n);
   // All-ones exponent of t bits: t-1 squarings, t-1 multiplications.
@@ -88,7 +89,7 @@ class Eq10Bounds : public ::testing::TestWithParam<std::size_t> {};
 
 TEST_P(Eq10Bounds, PaperModelCyclesWithinBounds) {
   const std::size_t l = GetParam();
-  RandomBigUInt rng(0xe005u + l);
+  auto rng = test::TestRng();
   const BigUInt n = rng.OddExactBits(l);
   Exponentiator exp(n);
   for (int trial = 0; trial < 4; ++trial) {
@@ -117,7 +118,7 @@ TEST(Exponentiator, FermatLittleTheorem) {
 }
 
 TEST(Exponentiator, EdgeExponents) {
-  RandomBigUInt rng(0xe006u);
+  auto rng = test::TestRng();
   const BigUInt n = rng.OddExactBits(20);
   Exponentiator exp(n);
   const BigUInt base = rng.Below(n);

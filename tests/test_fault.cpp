@@ -10,6 +10,8 @@
 #include "rtl/components.hpp"
 #include "rtl/fault.hpp"
 #include "rtl/simulator.hpp"
+#include "testutil.hpp"
+#include "testutil_netlist.hpp"
 
 namespace mont::rtl {
 namespace {
@@ -89,10 +91,8 @@ TEST(Fault, CampaignCountsDetections) {
   const auto workload = [&](Simulator& sim) {
     for (std::uint64_t va = 0; va < 16; ++va) {
       for (std::uint64_t vb = 0; vb < 16; ++vb) {
-        for (std::size_t i = 0; i < 4; ++i) {
-          sim.SetInput(a[i], (va >> i) & 1);
-          sim.SetInput(b[i], (vb >> i) & 1);
-        }
+        test::SetBus(sim, a, va);
+        test::SetBus(sim, b, vb);
         sim.Settle();
         if (sim.PeekBus(sum) != va + vb) return true;  // detected
       }
@@ -113,7 +113,7 @@ TEST(Fault, CampaignCountsDetections) {
 TEST(Fault, MmmcCampaignDetectsDatapathFaults) {
   using bignum::BigUInt;
   const std::size_t l = 8;
-  bignum::RandomBigUInt rng(0xfa17u);
+  auto rng = test::TestRng();
   const BigUInt n = rng.OddExactBits(l);
   const bignum::BitSerialMontgomery reference(n);
   const auto gen = core::BuildMmmcNetlist(l);
@@ -122,25 +122,13 @@ TEST(Fault, MmmcCampaignDetectsDatapathFaults) {
   const BigUInt expect = reference.MultiplyAlg2(x, y);
 
   const auto workload = [&](Simulator& sim) {
-    for (std::size_t b = 0; b < l; ++b) sim.SetInput(gen.n_in[b], n.Bit(b));
-    for (std::size_t b = 0; b <= l; ++b) {
-      sim.SetInput(gen.x_in[b], x.Bit(b));
-      sim.SetInput(gen.y_in[b], y.Bit(b));
-    }
-    sim.SetInput(gen.start, true);
-    sim.Tick();
-    sim.SetInput(gen.start, false);
-    std::uint64_t cycles = 1;
-    while (!sim.Peek(gen.done)) {
-      sim.Tick();
-      if (++cycles > 8 * (l + 4)) return true;  // hang: detected
-    }
-    if (cycles != 3 * l + 4) return true;  // latency change: detected
+    test::MmmcNetlistDriver drv(gen, sim);
+    drv.LoadModulus(n);
     BigUInt got;
-    for (std::size_t b = 0; b < gen.result.size(); ++b) {
-      if (sim.Peek(gen.result[b])) got.SetBit(b, true);
-    }
-    return got != expect;  // wrong value: detected
+    std::uint64_t cycles = 0;
+    if (!drv.TryMultiply(x, y, &got, &cycles)) return true;  // hang: detected
+    if (cycles != 3 * l + 4) return true;  // latency change: detected
+    return got != expect;                  // wrong value: detected
   };
 
   // Every 8th node as the target population (deterministic sample).

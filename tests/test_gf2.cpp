@@ -4,12 +4,15 @@
 #include <gtest/gtest.h>
 
 #include "bignum/gf2.hpp"
+#include "bignum/montgomery.hpp"
 #include "bignum/random.hpp"
 #include "core/mmmc.hpp"
 #include "core/netlist_gen.hpp"
 #include "core/schedule.hpp"
 #include "fpga/device_model.hpp"
 #include "rtl/simulator.hpp"
+#include "testutil.hpp"
+#include "testutil_netlist.hpp"
 
 namespace mont::bignum {
 namespace {
@@ -31,7 +34,7 @@ TEST(Gf2Poly, ModKnownValues) {
 }
 
 TEST(Gf2Poly, MulIsCommutativeAndDistributes) {
-  RandomBigUInt rng(0x6f2u);
+  auto rng = test::TestRng();
   for (int trial = 0; trial < 30; ++trial) {
     const BigUInt a = rng.ExactBits(40);
     const BigUInt b = rng.ExactBits(35);
@@ -70,14 +73,14 @@ TEST(Gf2Field, AesFieldAxiomsExhaustiveSample) {
 TEST(Gf2Field, Nist163Shape) {
   const Gf2Field field = Gf2Field::Nist163();
   EXPECT_EQ(field.Degree(), 163u);
-  RandomBigUInt rng(0x6f3u);
+  auto rng = test::TestRng();
   const BigUInt a = rng.ExactBits(160);
   EXPECT_TRUE(field.Mul(a, field.Inverse(a)).IsOne());
 }
 
 // MontMul satisfies result * x^(l+2) = a*b (mod f).
 TEST(Gf2Montgomery, ProductDefinition) {
-  RandomBigUInt rng(0x6f4u);
+  auto rng = test::TestRng();
   for (const std::size_t degree : {8u, 16u, 64u, 163u}) {
     BigUInt f = rng.ExactBits(degree + 1);
     f.SetBit(0, true);
@@ -102,7 +105,7 @@ using bignum::BigUInt;
 using bignum::RandomBigUInt;
 
 TEST(MmmcDualField, Gf2ModeMatchesSoftware) {
-  RandomBigUInt rng(0x6f5u);
+  auto rng = test::TestRng();
   for (const std::size_t degree : {4u, 8u, 16u, 48u}) {
     BigUInt f = rng.ExactBits(degree + 1);
     f.SetBit(0, true);
@@ -145,72 +148,80 @@ TEST(MmmcDualField, AesFieldOnHardware) {
   EXPECT_EQ(product, field.Mul(a, b));
 }
 
+// Cross-domain check against the *other* software stacks.  In GF(p) mode
+// the Mmmc (R = 2^(l+2)) and WordMontgomery (R = 2^(32*limbs)) use
+// different Montgomery parameters, so each result is normalised out of its
+// own domain; both must land on the plain x*y mod n.  In GF(2^k) mode the
+// polynomial domain exit (multiply by x^(l+2) mod f) must agree with the
+// software field product.
+TEST(MmmcDualField, CrossCheckAgainstWordMontgomeryAndGf2Field) {
+  auto rng = test::TestRng();
+  for (const std::size_t bits : {16u, 33u, 64u, 128u}) {
+    const BigUInt n = rng.OddExactBits(bits);
+    Mmmc circuit(n, FieldMode::kGfP);
+    const bignum::WordMontgomery word(n);
+    const BigUInt r_hw = BigUInt::PowerOfTwo(bits + 2);
+    const BigUInt r_sw = BigUInt::PowerOfTwo(32 * word.LimbCount());
+    test::ForEachOperandPair(
+        rng, n, /*trials=*/4, [&](const BigUInt& x, const BigUInt& y) {
+          const BigUInt via_hw = (circuit.Multiply(x, y) * r_hw) % n;
+          const BigUInt via_sw = (word.Multiply(x, y) * r_sw) % n;
+          EXPECT_EQ(via_hw, (x * y) % n) << "bits=" << bits;
+          EXPECT_EQ(via_sw, via_hw) << "bits=" << bits;
+        });
+  }
+  for (const std::size_t degree : {8u, 16u, 48u}) {
+    BigUInt f = rng.ExactBits(degree + 1);
+    f.SetBit(0, true);
+    Mmmc circuit(f, FieldMode::kGf2);
+    for (int trial = 0; trial < 6; ++trial) {
+      const BigUInt a = rng.ExactBits(degree);
+      const BigUInt b = rng.ExactBits(degree);
+      const BigUInt mont = circuit.Multiply(a, b);
+      const BigUInt undone = bignum::gf2::Mod(
+          bignum::gf2::Mul(mont, BigUInt::PowerOfTwo(degree + 2)), f);
+      EXPECT_EQ(undone, bignum::gf2::Mod(bignum::gf2::Mul(a, b), f))
+          << "deg=" << degree;
+    }
+  }
+}
+
 class DualFieldNetlist : public ::testing::TestWithParam<std::size_t> {};
 
 TEST_P(DualFieldNetlist, GfPModeMatchesSingleFieldBehaviour) {
   const std::size_t bits = GetParam();
-  RandomBigUInt rng(0x6f60u + bits);
+  auto rng = test::TestRng();
   const BigUInt n = rng.OddExactBits(bits);
   const MmmcNetlist gen = BuildMmmcNetlist(bits, /*dual_field=*/true);
   ASSERT_NE(gen.fsel, rtl::kNoNet);
-  rtl::Simulator sim(*gen.netlist);
+  test::MmmcNetlistDriver drv(gen);
   Mmmc model(n);
-  sim.SetInput(gen.fsel, true);  // GF(p)
-  for (std::size_t b = 0; b < bits; ++b) sim.SetInput(gen.n_in[b], n.Bit(b));
+  drv.SelectField(/*gfp=*/true);
+  drv.LoadModulus(n);
   const BigUInt two_n = n << 1;
   for (int trial = 0; trial < 3; ++trial) {
     const BigUInt x = rng.Below(two_n);
     const BigUInt y = rng.Below(two_n);
-    for (std::size_t b = 0; b <= bits; ++b) {
-      sim.SetInput(gen.x_in[b], x.Bit(b));
-      sim.SetInput(gen.y_in[b], y.Bit(b));
-    }
-    sim.SetInput(gen.start, true);
-    sim.Tick();
-    sim.SetInput(gen.start, false);
-    while (!sim.Peek(gen.done)) sim.Tick();
-    BigUInt got;
-    for (std::size_t b = 0; b < gen.result.size(); ++b) {
-      if (sim.Peek(gen.result[b])) got.SetBit(b, true);
-    }
-    EXPECT_EQ(got, model.Multiply(x, y)) << "bits=" << bits;
-    sim.Tick();
+    EXPECT_EQ(drv.Multiply(x, y), model.Multiply(x, y)) << "bits=" << bits;
   }
 }
 
 TEST_P(DualFieldNetlist, Gf2ModeMatchesPolynomialMontgomery) {
   const std::size_t degree = GetParam();
-  RandomBigUInt rng(0x6f70u + degree);
+  auto rng = test::TestRng();
   BigUInt f = rng.ExactBits(degree + 1);
   f.SetBit(0, true);
   const MmmcNetlist gen = BuildMmmcNetlist(degree, /*dual_field=*/true);
-  rtl::Simulator sim(*gen.netlist);
-  sim.SetInput(gen.fsel, false);  // GF(2^m)
-  for (std::size_t b = 0; b < degree; ++b) {
-    sim.SetInput(gen.n_in[b], f.Bit(b));
-  }
+  test::MmmcNetlistDriver drv(gen);
+  drv.SelectField(/*gfp=*/false);  // GF(2^m)
+  drv.LoadModulus(f);
   for (int trial = 0; trial < 3; ++trial) {
     const BigUInt a = rng.ExactBits(degree + 1);
     const BigUInt b = rng.ExactBits(degree + 1);
-    for (std::size_t bit = 0; bit <= degree; ++bit) {
-      sim.SetInput(gen.x_in[bit], a.Bit(bit));
-      sim.SetInput(gen.y_in[bit], b.Bit(bit));
-    }
-    sim.SetInput(gen.start, true);
-    sim.Tick();
-    sim.SetInput(gen.start, false);
-    std::uint64_t cycles = 1;
-    while (!sim.Peek(gen.done)) {
-      sim.Tick();
-      ++cycles;
-    }
-    BigUInt got;
-    for (std::size_t bit = 0; bit < gen.result.size(); ++bit) {
-      if (sim.Peek(gen.result[bit])) got.SetBit(bit, true);
-    }
-    EXPECT_EQ(got, bignum::gf2::MontMul(a, b, f)) << "deg=" << degree;
+    std::uint64_t cycles = 0;
+    EXPECT_EQ(drv.Multiply(a, b, &cycles), bignum::gf2::MontMul(a, b, f))
+        << "deg=" << degree;
     EXPECT_EQ(cycles, MultiplyCycles(degree));
-    sim.Tick();
   }
 }
 

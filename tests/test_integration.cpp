@@ -15,6 +15,7 @@
 #include "core/mmmc.hpp"
 #include "crypto/ecc.hpp"
 #include "crypto/rsa.hpp"
+#include "testutil.hpp"
 
 namespace mont {
 namespace {
@@ -26,7 +27,7 @@ using bignum::RandomBigUInt;
 // clock-by-clock MMMC model — every multiplication of the decryption is
 // simulated register-for-register.
 TEST(Integration, RsaOnCycleAccurateCircuit) {
-  RandomBigUInt rng(0x1c71u);
+  auto rng = test::TestRng();
   const crypto::RsaKeyPair key = crypto::GenerateRsaKey(32, rng);
   core::Exponentiator hw(key.n, core::Exponentiator::Engine::kCycleAccurate);
   for (int trial = 0; trial < 3; ++trial) {
@@ -42,7 +43,7 @@ TEST(Integration, RsaOnCycleAccurateCircuit) {
 // Every multiplier in the repo computes the same Montgomery product
 // (after normalising for each design's R).
 TEST(Integration, AllMultipliersAgree) {
-  RandomBigUInt rng(0x1c72u);
+  auto rng = test::TestRng();
   const std::size_t bits = 24;
   const BigUInt n = rng.OddExactBits(bits);
   const BigUInt two_n = n << 1;
@@ -104,7 +105,7 @@ TEST(Integration, DualFieldServesBothCryptosystems) {
 // against the hardware model and the other uses plain affine arithmetic —
 // they must agree, tying the whole stack together.
 TEST(Integration, MixedFidelityEcdh) {
-  RandomBigUInt rng(0x1c73u);
+  auto rng = test::TestRng();
   const crypto::Curve curve(crypto::CurveParams::Secp192r1());
   const crypto::AffinePoint g = curve.Generator();
   const BigUInt a = rng.ExactBits(96);
@@ -122,7 +123,7 @@ TEST(Integration, MixedFidelityEcdh) {
 // Primality, keygen, exponentiation and the interleaved datapath in one
 // flow: generate a prime, run Fermat on the dual-channel exponentiator.
 TEST(Integration, FermatOnInterleavedDatapath) {
-  RandomBigUInt rng(0x1c74u);
+  auto rng = test::TestRng();
   const BigUInt p = bignum::GeneratePrime(24, rng, 12);
   core::InterleavedExponentiator exp(p);
   for (const std::uint64_t base : {2ull, 3ull, 65537ull}) {

@@ -9,6 +9,7 @@
 #include "core/exponentiator.hpp"
 #include "core/interleaved.hpp"
 #include "core/schedule.hpp"
+#include "testutil.hpp"
 
 namespace mont::core {
 namespace {
@@ -49,7 +50,7 @@ class InterleavedSizes : public ::testing::TestWithParam<std::size_t> {};
 
 TEST_P(InterleavedSizes, RandomPairsMatchReference) {
   const std::size_t bits = GetParam();
-  RandomBigUInt rng(0x17e0u + bits);
+  auto rng = test::TestRng();
   const BigUInt n = rng.OddExactBits(bits);
   InterleavedMmmc circuit(n);
   BitSerialMontgomery reference(n);
@@ -79,7 +80,7 @@ TEST(InterleavedMmmc, ThroughputNearlyDoubles) {
 }
 
 TEST(InterleavedExponentiator, MatchesReference) {
-  RandomBigUInt rng(0x17e1u);
+  auto rng = test::TestRng();
   for (const std::size_t bits : {8u, 24u, 48u}) {
     const BigUInt n = rng.OddExactBits(bits);
     InterleavedExponentiator exp(n);
@@ -93,7 +94,7 @@ TEST(InterleavedExponentiator, MatchesReference) {
 }
 
 TEST(InterleavedExponentiator, EdgeExponents) {
-  RandomBigUInt rng(0x17e2u);
+  auto rng = test::TestRng();
   const BigUInt n = rng.OddExactBits(16);
   InterleavedExponentiator exp(n);
   const BigUInt base = rng.Below(n);
@@ -103,7 +104,7 @@ TEST(InterleavedExponentiator, EdgeExponents) {
 }
 
 TEST(InterleavedExponentiator, FasterThanSequentialAlgorithm3) {
-  RandomBigUInt rng(0x17e3u);
+  auto rng = test::TestRng();
   const std::size_t bits = 64;
   const BigUInt n = rng.OddExactBits(bits);
   const BigUInt base = rng.Below(n);

@@ -1,0 +1,112 @@
+// test_lockstep.cpp — deterministic property test tying the two hardware
+// fidelity levels together register-for-register: for a sweep of bit
+// lengths, the behavioural Mmmc and the generated gate-level netlist must
+// agree on every architected register (the Eq. 4–9 cell recurrences held
+// in t/c0/c1, the ASM state, the comparator) after every clock edge, and
+// both must finish in exactly the paper's 3l+4 cycles.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "bignum/biguint.hpp"
+#include "core/mmmc.hpp"
+#include "core/netlist_gen.hpp"
+#include "core/schedule.hpp"
+#include "rtl/simulator.hpp"
+#include "testutil.hpp"
+#include "testutil_netlist.hpp"
+
+namespace mont::core {
+namespace {
+
+using bignum::BigUInt;
+using test::MmmcNetlistDriver;
+
+// Netlist controller encoding (Fig. 4): IDLE=00, MUL1=01, MUL2=10, OUT=11.
+int EncodeState(MmmcState state) {
+  switch (state) {
+    case MmmcState::kIdle: return 0;
+    case MmmcState::kMul1: return 1;
+    case MmmcState::kMul2: return 2;
+    case MmmcState::kOut: return 3;
+  }
+  return -1;
+}
+
+class Lockstep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Lockstep, CellRecurrencesAndCycleCountMatchEveryEdge) {
+  const std::size_t l = GetParam();
+  auto rng = test::TestRng();
+  const BigUInt n = rng.OddExactBits(l);
+  const BigUInt two_n = n << 1;
+
+  const MmmcNetlist gen = BuildMmmcNetlist(l);
+  ASSERT_EQ(gen.t_probe.size(), l + 2);
+  ASSERT_EQ(gen.c0_probe.size(), l);
+  ASSERT_EQ(gen.c1_probe.size(), l - 1);
+  MmmcNetlistDriver drv(gen);
+  Mmmc model(n);
+  drv.LoadModulus(n);
+
+  for (int trial = 0; trial < 3; ++trial) {
+    const BigUInt x = rng.Below(two_n);
+    const BigUInt y = rng.Below(two_n);
+    SCOPED_TRACE("l=" + std::to_string(l) + " x=0x" + x.ToHex() + " y=0x" +
+                 y.ToHex() + " n=0x" + n.ToHex());
+
+    model.ApplyInputs(x, y);
+    drv.Start(x, y);  // one clock edge in the netlist...
+    model.Tick();     // ...and the matching edge in the model
+    std::uint64_t cycles = 1;
+
+    while (true) {
+      // ASM state and comparator.
+      const int gate_state = (drv.sim().Peek(gen.state_s1) ? 2 : 0) |
+                             (drv.sim().Peek(gen.state_s0) ? 1 : 0);
+      ASSERT_EQ(gate_state, EncodeState(model.State())) << "cycle " << cycles;
+      ASSERT_EQ(drv.sim().Peek(gen.count_end), model.CountEnd())
+          << "cycle " << cycles;
+
+      // Cell registers: t[j] (j = 1..l+2), c0[j] (j = 0..l-1), c1[j]
+      // (j = 1..l-1) — the registered values of Eq. 4–9.
+      const auto& t = model.TBits();
+      for (std::size_t j = 1; j <= l + 2; ++j) {
+        ASSERT_EQ(drv.sim().Peek(gen.t_probe[j - 1]), t[j] != 0)
+            << "t[" << j << "] diverged at cycle " << cycles;
+      }
+      const auto& c0 = model.C0Bits();
+      for (std::size_t j = 0; j < l; ++j) {
+        ASSERT_EQ(drv.sim().Peek(gen.c0_probe[j]), c0[j] != 0)
+            << "c0[" << j << "] diverged at cycle " << cycles;
+      }
+      const auto& c1 = model.C1Bits();
+      for (std::size_t j = 1; j < l; ++j) {
+        ASSERT_EQ(drv.sim().Peek(gen.c1_probe[j - 1]), c1[j] != 0)
+            << "c1[" << j << "] diverged at cycle " << cycles;
+      }
+
+      ASSERT_EQ(drv.Done(), model.Done()) << "cycle " << cycles;
+      if (model.Done()) break;
+      ASSERT_LE(cycles, 3 * l + 10) << "neither side reached DONE";
+      model.Tick();
+      drv.Tick();
+      ++cycles;
+    }
+
+    // The paper's headline count, measured identically on both sides.
+    EXPECT_EQ(cycles, MultiplyCycles(l));
+    EXPECT_EQ(cycles, 3 * l + 4);
+    EXPECT_EQ(drv.Result(), model.Result());
+
+    // Drain OUT -> IDLE on both sides before the next trial.
+    model.Tick();
+    drv.Tick();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BitLengths, Lockstep,
+                         ::testing::ValuesIn(test::kGateLevelBitLengths));
+
+}  // namespace
+}  // namespace mont::core

@@ -8,6 +8,7 @@
 #include "bignum/random.hpp"
 #include "core/mmmc.hpp"
 #include "core/schedule.hpp"
+#include "testutil.hpp"
 
 namespace mont::core {
 namespace {
@@ -48,7 +49,7 @@ class MmmcCycleCount : public ::testing::TestWithParam<std::size_t> {};
 
 TEST_P(MmmcCycleCount, ExactlyThreeLPlusFour) {
   const std::size_t bits = GetParam();
-  RandomBigUInt rng(0x1000 + bits);
+  auto rng = test::TestRng();
   const BigUInt n = rng.OddExactBits(bits);
   Mmmc circuit(n);
   ASSERT_EQ(circuit.l(), bits);
@@ -70,7 +71,7 @@ INSTANTIATE_TEST_SUITE_P(BitLengths, MmmcCycleCount,
 // Property: outputs are always < 2N and chainable (Walter's bound through
 // the hardware path).
 TEST(MmmcProperty, OutputBoundAndChaining) {
-  RandomBigUInt rng(0x51u);
+  auto rng = test::TestRng();
   for (const std::size_t bits : {8u, 16u, 24u, 48u}) {
     const BigUInt n = rng.OddExactBits(bits);
     Mmmc circuit(n);
@@ -84,21 +85,20 @@ TEST(MmmcProperty, OutputBoundAndChaining) {
   }
 }
 
-// Property: hardware result is congruent to x*y*R^-1 mod N.
+// Property: hardware result is congruent to x*y*R^-1 mod N, chainable,
+// and survives the boundary operands {0, 1, 2N-1}.
 TEST(MmmcProperty, CongruenceRandom) {
-  RandomBigUInt rng(0x52u);
-  for (int trial = 0; trial < 20; ++trial) {
-    const std::size_t bits = 4 + static_cast<std::size_t>(
-                                     rng.Engine().NextBelow(60));
+  auto rng = test::TestRng();
+  for (const std::size_t bits : {4u, 11u, 24u, 40u, 64u}) {
     const BigUInt n = rng.OddExactBits(bits);
     Mmmc circuit(n);
-    const BigUInt two_n = n << 1;
-    const BigUInt x = rng.Below(two_n);
-    const BigUInt y = rng.Below(two_n);
     const BigUInt r = BigUInt::PowerOfTwo(bits + 2);
-    const BigUInt r_inv = BigUInt::ModInverse(r % n, n);
-    EXPECT_EQ(circuit.Multiply(x, y) % n, (x * y * r_inv) % n)
-        << "bits=" << bits;
+    test::ForEachOperandPair(rng, n << 1, /*trials=*/4,
+                             [&](const BigUInt& x, const BigUInt& y) {
+                               EXPECT_TRUE(test::IsChainableMontProduct(
+                                   circuit.Multiply(x, y), x, y, n, r))
+                                   << "bits=" << bits;
+                             });
   }
 }
 
@@ -192,7 +192,7 @@ TEST(MmmcAsm, CounterIncrementsInMul2Only) {
 // White-box invariant: t_{i,0} = 0 — the stored T value is always even
 // (index 0 of TBits() is the constant 0 slot).
 TEST(MmmcInvariant, StoredTAlwaysEven) {
-  RandomBigUInt rng(0x53u);
+  auto rng = test::TestRng();
   const BigUInt n = rng.OddExactBits(12);
   Mmmc circuit(n);
   const BigUInt two_n = n << 1;
@@ -207,7 +207,7 @@ TEST(MmmcInvariant, StoredTAlwaysEven) {
 // Back-to-back multiplications on one circuit instance must not interfere
 // (all datapath state is cleared on the load edge).
 TEST(Mmmc, BackToBackMultiplicationsIndependent) {
-  RandomBigUInt rng(0x54u);
+  auto rng = test::TestRng();
   const BigUInt n = rng.OddExactBits(20);
   Mmmc circuit(n);
   BitSerialMontgomery reference(n);

@@ -6,6 +6,7 @@
 #include "bignum/montgomery.hpp"
 #include "bignum/prime.hpp"
 #include "bignum/random.hpp"
+#include "testutil.hpp"
 
 namespace mont::bignum {
 namespace {
@@ -32,12 +33,10 @@ TEST(BitSerialMontgomery, ParametersMatchPaper) {
 TEST(BitSerialMontgomery, Alg1MatchesDefinitionExhaustive) {
   const BigUInt n{kSmallN};
   BitSerialMontgomery ctx(n);
-  const BigUInt r1 = BigUInt::PowerOfTwo(ctx.l());
-  const BigUInt r1_inv = BigUInt::ModInverse(r1 % n, n);
   for (std::uint64_t x = 0; x < kSmallN; x += 7) {
     for (std::uint64_t y = 0; y < kSmallN; y += 5) {
-      const BigUInt expect = (BigUInt{x} * BigUInt{y} * r1_inv) % n;
-      EXPECT_EQ(ctx.MultiplyAlg1(BigUInt{x}, BigUInt{y}), expect)
+      EXPECT_EQ(ctx.MultiplyAlg1(BigUInt{x}, BigUInt{y}),
+                test::MontOracle(BigUInt{x}, BigUInt{y}, n, ctx.l()))
           << "x=" << x << " y=" << y;
     }
   }
@@ -48,14 +47,11 @@ TEST(BitSerialMontgomery, Alg1MatchesDefinitionExhaustive) {
 TEST(BitSerialMontgomery, Alg2CongruenceAndBoundExhaustive) {
   const BigUInt n{kSmallN};
   BitSerialMontgomery ctx(n);
-  const BigUInt two_n = n << 1;
-  const BigUInt r_inv = BigUInt::ModInverse(ctx.R() % n, n);
   for (std::uint64_t x = 0; x < 2 * kSmallN; x += 11) {
     for (std::uint64_t y = 0; y < 2 * kSmallN; y += 13) {
-      const BigUInt t = ctx.MultiplyAlg2(BigUInt{x}, BigUInt{y});
-      EXPECT_LT(t, two_n) << "output bound violated";
-      const BigUInt expect = (BigUInt{x} * BigUInt{y} * r_inv) % n;
-      EXPECT_EQ(t % n, expect) << "x=" << x << " y=" << y;
+      EXPECT_TRUE(test::IsChainableMontProduct(
+          ctx.MultiplyAlg2(BigUInt{x}, BigUInt{y}), BigUInt{x}, BigUInt{y}, n,
+          ctx.R()));
     }
   }
 }
@@ -72,8 +68,8 @@ TEST(BitSerialMontgomery, Alg2RejectsOutOfRange) {
 // Property: Algorithm 2 keeps outputs < 2N across random operand sizes, so
 // results can always be fed back as inputs (the paper's chaining property).
 TEST(BitSerialMontgomeryProperty, Alg2OutputsChainable) {
-  RandomBigUInt rng(0x5a5au);
-  for (const std::size_t bits : {8u, 16u, 64u, 160u, 256u}) {
+  auto rng = test::TestRng();
+  for (const std::size_t bits : test::kSoftwareBitLengths) {
     const BigUInt n = rng.OddExactBits(bits);
     BitSerialMontgomery ctx(n);
     const BigUInt two_n = n << 1;
@@ -88,7 +84,7 @@ TEST(BitSerialMontgomeryProperty, Alg2OutputsChainable) {
 
 // Property: ToMont/FromMont round-trips and matches x*R mod N semantics.
 TEST(BitSerialMontgomeryProperty, DomainRoundTrip) {
-  RandomBigUInt rng(0xbeefu);
+  auto rng = test::TestRng();
   for (int trial = 0; trial < 30; ++trial) {
     const BigUInt n = rng.OddExactBits(96);
     BitSerialMontgomery ctx(n);
@@ -101,7 +97,7 @@ TEST(BitSerialMontgomeryProperty, DomainRoundTrip) {
 
 // Property: bit-serial ModExp agrees with the plain BigUInt::ModExp.
 TEST(BitSerialMontgomeryProperty, ModExpMatchesReference) {
-  RandomBigUInt rng(0xe4u);
+  auto rng = test::TestRng();
   for (const std::size_t bits : {8u, 32u, 128u}) {
     const BigUInt n = rng.OddExactBits(bits);
     BitSerialMontgomery ctx(n);
@@ -129,24 +125,23 @@ class WordMontgomeryVariants
     : public ::testing::TestWithParam<WordMontgomery::Variant> {};
 
 TEST_P(WordMontgomeryVariants, MatchesDefinitionRandom) {
-  RandomBigUInt rng(0x1234u);
-  for (const std::size_t bits : {16u, 33u, 64u, 128u, 257u, 512u}) {
+  auto rng = test::TestRng();
+  for (const std::size_t bits : test::kSoftwareBitLengths) {
     const BigUInt n = rng.OddExactBits(bits);
     WordMontgomery ctx(n);
     const BigUInt r = BigUInt::PowerOfTwo(32 * ctx.LimbCount());
-    const BigUInt r_inv = BigUInt::ModInverse(r % n, n);
     for (int trial = 0; trial < 10; ++trial) {
       const BigUInt x = rng.Below(n);
       const BigUInt y = rng.Below(n);
-      const BigUInt got = ctx.Multiply(x, y, GetParam());
-      EXPECT_EQ(got, (x * y * r_inv) % n) << "bits=" << bits;
-      EXPECT_LT(got, n);
+      EXPECT_TRUE(test::IsReducedMontProduct(ctx.Multiply(x, y, GetParam()),
+                                             x, y, n, r))
+          << "bits=" << bits;
     }
   }
 }
 
 TEST_P(WordMontgomeryVariants, ModExpMatchesReference) {
-  RandomBigUInt rng(0x777u);
+  auto rng = test::TestRng();
   const BigUInt n = rng.OddExactBits(256);
   WordMontgomery ctx(n);
   for (int trial = 0; trial < 5; ++trial) {
@@ -171,7 +166,7 @@ INSTANTIATE_TEST_SUITE_P(AllVariants, WordMontgomeryVariants,
                          });
 
 TEST(WordMontgomery, VariantsAgreeWithEachOther) {
-  RandomBigUInt rng(0x88u);
+  auto rng = test::TestRng();
   const BigUInt n = rng.OddExactBits(1024);
   WordMontgomery ctx(n);
   for (int trial = 0; trial < 10; ++trial) {
@@ -186,7 +181,7 @@ TEST(WordMontgomery, VariantsAgreeWithEachOther) {
 }
 
 TEST(WordMontgomery, BitSerialAndWordLevelAgreeOnModExp) {
-  RandomBigUInt rng(0xfaceu);
+  auto rng = test::TestRng();
   const BigUInt n = rng.OddExactBits(160);
   BitSerialMontgomery bit_ctx(n);
   WordMontgomery word_ctx(n);
@@ -198,7 +193,7 @@ TEST(WordMontgomery, BitSerialAndWordLevelAgreeOnModExp) {
 }
 
 TEST(Primality, SmallKnownValues) {
-  RandomBigUInt rng(1);
+  auto rng = test::TestRng();
   EXPECT_FALSE(IsProbablePrime(BigUInt{0}, rng));
   EXPECT_FALSE(IsProbablePrime(BigUInt{1}, rng));
   EXPECT_TRUE(IsProbablePrime(BigUInt{2}, rng));
@@ -211,7 +206,7 @@ TEST(Primality, SmallKnownValues) {
 }
 
 TEST(Primality, CarmichaelNumbersRejected) {
-  RandomBigUInt rng(2);
+  auto rng = test::TestRng();
   // Carmichael numbers fool Fermat tests but not Miller-Rabin.
   for (const std::uint64_t c : {561ull, 1105ull, 1729ull, 41041ull, 825265ull}) {
     EXPECT_FALSE(IsProbablePrime(BigUInt{c}, rng)) << c;
@@ -219,7 +214,7 @@ TEST(Primality, CarmichaelNumbersRejected) {
 }
 
 TEST(Primality, KnownLargePrime) {
-  RandomBigUInt rng(3);
+  auto rng = test::TestRng();
   // 2^127 - 1 is a Mersenne prime; 2^128 - 1 is composite.
   const BigUInt m127 = BigUInt::PowerOfTwo(127) - BigUInt{1};
   const BigUInt m128 = BigUInt::PowerOfTwo(128) - BigUInt{1};
@@ -228,7 +223,7 @@ TEST(Primality, KnownLargePrime) {
 }
 
 TEST(Primality, GeneratePrimeHasRequestedShape) {
-  RandomBigUInt rng(4);
+  auto rng = test::TestRng();
   for (const std::size_t bits : {32u, 64u, 128u}) {
     const BigUInt p = GeneratePrime(bits, rng, 16);
     EXPECT_EQ(p.BitLength(), bits);

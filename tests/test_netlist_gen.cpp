@@ -15,6 +15,8 @@
 #include "rtl/simulator.hpp"
 #include "rtl/timing.hpp"
 #include "rtl/verilog.hpp"
+#include "testutil.hpp"
+#include "testutil_netlist.hpp"
 
 namespace mont::core {
 namespace {
@@ -200,49 +202,28 @@ class NetlistVsBehavioural : public ::testing::TestWithParam<std::size_t> {};
 
 TEST_P(NetlistVsBehavioural, LockstepEquivalence) {
   const std::size_t bits = GetParam();
-  RandomBigUInt rng(0x9000 + bits);
+  auto rng = test::TestRng();
   const BigUInt n = rng.OddExactBits(bits);
   const BigUInt two_n = n << 1;
 
   const MmmcNetlist gen = BuildMmmcNetlist(bits);
-  rtl::Simulator sim(*gen.netlist);
+  test::MmmcNetlistDriver drv(gen);
   Mmmc model(n);
-
-  // Drive N once.
-  for (std::size_t b = 0; b < bits; ++b) {
-    sim.SetInput(gen.n_in[b], n.Bit(b));
-  }
+  drv.LoadModulus(n);
 
   for (int trial = 0; trial < 3; ++trial) {
     const BigUInt x = rng.Below(two_n);
     const BigUInt y = rng.Below(two_n);
 
-    // Behavioural run.
+    // Behavioural run, then the same multiplication gate by gate.
     std::uint64_t model_cycles = 0;
     const BigUInt expect = model.Multiply(x, y, &model_cycles);
+    std::uint64_t gate_cycles = 0;
+    const BigUInt got = drv.Multiply(x, y, &gate_cycles);
 
-    // Gate-level run: drive START for one edge, clock until done.
-    for (std::size_t b = 0; b <= bits; ++b) {
-      sim.SetInput(gen.x_in[b], x.Bit(b));
-      sim.SetInput(gen.y_in[b], y.Bit(b));
-    }
-    sim.SetInput(gen.start, true);
-    sim.Tick();
-    sim.SetInput(gen.start, false);
-    std::uint64_t gate_cycles = 1;
-    while (!sim.Peek(gen.done)) {
-      sim.Tick();
-      ++gate_cycles;
-      ASSERT_LE(gate_cycles, 8 * (bits + 4)) << "netlist FSM stuck";
-    }
-    BigUInt got;
-    for (std::size_t b = 0; b < gen.result.size(); ++b) {
-      if (sim.Peek(gen.result[b])) got.SetBit(b, true);
-    }
     EXPECT_EQ(got, expect) << "bits=" << bits << " trial=" << trial;
     EXPECT_EQ(gate_cycles, model_cycles);
     EXPECT_EQ(gate_cycles, MultiplyCycles(bits));
-    sim.Tick();  // drain OUT -> IDLE before the next multiplication
   }
 }
 
@@ -255,26 +236,14 @@ TEST(NetlistVsBehavioural, ExhaustiveTinyModulus) {
   const BigUInt n{13};
   const std::size_t l = 4;
   const MmmcNetlist gen = BuildMmmcNetlist(l);
-  rtl::Simulator sim(*gen.netlist);
+  test::MmmcNetlistDriver drv(gen);
   bignum::BitSerialMontgomery reference(n);
-  for (std::size_t b = 0; b < l; ++b) sim.SetInput(gen.n_in[b], n.Bit(b));
+  drv.LoadModulus(n);
   for (std::uint64_t x = 0; x < 26; ++x) {
     for (std::uint64_t y = 0; y < 26; ++y) {
       const BigUInt bx{x}, by{y};
-      for (std::size_t b = 0; b <= l; ++b) {
-        sim.SetInput(gen.x_in[b], bx.Bit(b));
-        sim.SetInput(gen.y_in[b], by.Bit(b));
-      }
-      sim.SetInput(gen.start, true);
-      sim.Tick();
-      sim.SetInput(gen.start, false);
-      while (!sim.Peek(gen.done)) sim.Tick();
-      BigUInt got;
-      for (std::size_t b = 0; b < gen.result.size(); ++b) {
-        if (sim.Peek(gen.result[b])) got.SetBit(b, true);
-      }
-      EXPECT_EQ(got, reference.MultiplyAlg2(bx, by)) << "x=" << x << " y=" << y;
-      sim.Tick();
+      EXPECT_EQ(drv.Multiply(bx, by), reference.MultiplyAlg2(bx, by))
+          << "x=" << x << " y=" << y;
     }
   }
 }

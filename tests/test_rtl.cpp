@@ -9,6 +9,7 @@
 #include "rtl/simulator.hpp"
 #include "rtl/timing.hpp"
 #include "rtl/verilog.hpp"
+#include "testutil_netlist.hpp"
 
 namespace mont::rtl {
 namespace {
@@ -206,10 +207,8 @@ TEST_P(RippleAdderWidths, AddsExhaustivelyOrSampled) {
   const std::uint64_t step = width <= 4 ? 1 : ((1ull << width) / 16) | 1;
   for (std::uint64_t va = 0; va < (1ull << width); va += step) {
     for (std::uint64_t vb = 0; vb < (1ull << width); vb += step) {
-      for (std::size_t i = 0; i < width; ++i) {
-        sim.SetInput(a[i], (va >> i) & 1);
-        sim.SetInput(b[i], (vb >> i) & 1);
-      }
+      test::SetBus(sim, a, va);
+      test::SetBus(sim, b, vb);
       sim.Settle();
       EXPECT_EQ(sim.PeekBus(sum), va + vb);
     }
@@ -226,7 +225,7 @@ TEST(Components, LoadRegisterHoldsAndLoads) {
   const NetId load = nl.AddInput("load");
   const Bus q = LoadRegister(nl, d, load);
   Simulator sim(nl);
-  for (std::size_t i = 0; i < 4; ++i) sim.SetInput(d[i], (0xa >> i) & 1);
+  test::SetBus(sim, d, 0xa);
   sim.SetInput(load, false);
   sim.Tick();
   EXPECT_EQ(sim.PeekBus(q), 0u);
@@ -234,7 +233,7 @@ TEST(Components, LoadRegisterHoldsAndLoads) {
   sim.Tick();
   EXPECT_EQ(sim.PeekBus(q), 0xau);
   sim.SetInput(load, false);
-  for (std::size_t i = 0; i < 4; ++i) sim.SetInput(d[i], 0);
+  test::SetBus(sim, d, 0);
   sim.Tick();
   EXPECT_EQ(sim.PeekBus(q), 0xau) << "must hold without load";
 }
@@ -246,7 +245,7 @@ TEST(Components, ShiftRightRegisterShiftsInFill) {
   const NetId shift = nl.AddInput("shift");
   const Bus q = ShiftRightRegister(nl, d, load, shift, nl.Const0());
   Simulator sim(nl);
-  for (std::size_t i = 0; i < 4; ++i) sim.SetInput(d[i], (0b1101 >> i) & 1);
+  test::SetBus(sim, d, 0b1101);
   sim.SetInput(load, true);
   sim.SetInput(shift, false);
   sim.Tick();
@@ -285,7 +284,7 @@ TEST(Components, EqualsConstantMatchesOnlyTarget) {
   const NetId eq = EqualsConstant(nl, v, 37);
   Simulator sim(nl);
   for (std::uint64_t value = 0; value < 64; ++value) {
-    for (std::size_t i = 0; i < 6; ++i) sim.SetInput(v[i], (value >> i) & 1);
+    test::SetBus(sim, v, value);
     sim.Settle();
     EXPECT_EQ(sim.Peek(eq), value == 37u) << value;
   }
@@ -298,7 +297,7 @@ TEST(Components, ReduceHelpers) {
   const NetId any = ReduceOr(nl, v);
   Simulator sim(nl);
   for (std::uint64_t value = 0; value < 32; ++value) {
-    for (std::size_t i = 0; i < 5; ++i) sim.SetInput(v[i], (value >> i) & 1);
+    test::SetBus(sim, v, value);
     sim.Settle();
     EXPECT_EQ(sim.Peek(all), value == 31u);
     EXPECT_EQ(sim.Peek(any), value != 0u);

@@ -8,6 +8,7 @@
 
 #include "bignum/random.hpp"
 #include "sca/analysis.hpp"
+#include "testutil.hpp"
 
 namespace mont::sca {
 namespace {
@@ -32,7 +33,7 @@ TEST(Stats, SummarizeDegenerateCases) {
 
 TEST(Stats, WelchTSeparatesShiftedPopulations) {
   std::vector<double> a, b;
-  RandomBigUInt rng(0x5ca1u);
+  auto rng = test::TestRng();
   for (int i = 0; i < 200; ++i) {
     a.push_back(static_cast<double>(rng.Engine().NextBelow(100)));
     b.push_back(static_cast<double>(rng.Engine().NextBelow(100)) + 50.0);
@@ -42,7 +43,7 @@ TEST(Stats, WelchTSeparatesShiftedPopulations) {
 }
 
 TEST(TimingOracle, Alg2IsConstantTime) {
-  RandomBigUInt rng(0x5ca2u);
+  auto rng = test::TestRng();
   const BigUInt n = rng.OddExactBits(32);
   const TimingOracle oracle(n);
   EXPECT_EQ(oracle.Alg2Cycles(), 3u * 32 + 4);
@@ -57,7 +58,7 @@ TEST(TimingOracle, Alg2IsConstantTime) {
 }
 
 TEST(TimingOracle, Alg1LeaksTheSubtractionBit) {
-  RandomBigUInt rng(0x5ca3u);
+  auto rng = test::TestRng();
   const BigUInt n = rng.OddExactBits(48);
   const TimingOracle oracle(n);
   bool saw_taken = false, saw_not_taken = false;
@@ -117,7 +118,7 @@ TEST(PowerTrace, DeterministicForSameInputs) {
 // the unprotected datapath (there is real data-dependent leakage to find),
 // while the *timing* channel of the MMMC shows nothing.
 TEST(PowerTrace, FixedVsRandomTvla) {
-  RandomBigUInt rng(0x5ca4u);
+  auto rng = test::TestRng();
   const BigUInt n = rng.OddExactBits(24);
   const BigUInt two_n = n << 1;
   core::Mmmc circuit(n);

@@ -4,6 +4,7 @@
 #include "core/netlist_gen.hpp"
 #include "rtl/components.hpp"
 #include "rtl/testbench.hpp"
+#include "testutil_netlist.hpp"
 
 namespace mont::rtl {
 namespace {
@@ -39,21 +40,14 @@ TEST(Testbench, EmitsWellFormedVerilog) {
 }
 
 TEST(Testbench, MmmcTestbenchCoversAWholeMultiplication) {
+  using mont::bignum::BigUInt;
   const std::size_t l = 4;
   const core::MmmcNetlist gen = core::BuildMmmcNetlist(l);
   // Stimulus: start pulse with operands x=5, y=9, N=13, then idle cycles
   // until well past DONE.
   std::vector<std::vector<std::pair<NetId, bool>>> stimulus;
-  std::vector<std::pair<NetId, bool>> first;
-  first.emplace_back(gen.start, true);
-  for (std::size_t b = 0; b <= l; ++b) {
-    first.emplace_back(gen.x_in[b], (5u >> b) & 1);
-    first.emplace_back(gen.y_in[b], (9u >> b) & 1);
-  }
-  for (std::size_t b = 0; b < l; ++b) {
-    first.emplace_back(gen.n_in[b], (13u >> b) & 1);
-  }
-  stimulus.push_back(first);
+  stimulus.push_back(
+      test::MmmcStartStimulus(gen, BigUInt{5}, BigUInt{9}, BigUInt{13}));
   for (std::size_t k = 0; k < 3 * l + 5; ++k) {
     stimulus.push_back({{gen.start, false}});
   }

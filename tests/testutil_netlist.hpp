@@ -1,0 +1,133 @@
+// testutil_netlist.hpp — gate-level companion to testutil.hpp: a pin-level
+// driver for generated MMMC netlists, replacing the hand-rolled
+// set-inputs / pulse-start / tick-until-done loops that used to be copied
+// into every gate-level suite.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/netlist_gen.hpp"
+#include "rtl/simulator.hpp"
+#include "testutil.hpp"
+
+namespace mont::test {
+
+/// Drives every bit of an input bus from the matching bits of `value`.
+inline void SetBus(rtl::Simulator& sim, const rtl::Bus& bus,
+                   std::uint64_t value) {
+  for (std::size_t i = 0; i < bus.size(); ++i) {
+    sim.SetInput(bus[i], ((value >> i) & 1) != 0);
+  }
+}
+
+inline void SetBus(rtl::Simulator& sim, const rtl::Bus& bus,
+                   const bignum::BigUInt& value) {
+  for (std::size_t i = 0; i < bus.size(); ++i) {
+    sim.SetInput(bus[i], value.Bit(i));
+  }
+}
+
+/// The stimulus vector that starts one MMMC multiplication: operands,
+/// modulus, and the START pulse — for testbench-style drivers that want
+/// (net, value) pairs instead of a live simulator.
+inline std::vector<std::pair<rtl::NetId, bool>> MmmcStartStimulus(
+    const core::MmmcNetlist& gen, const bignum::BigUInt& x,
+    const bignum::BigUInt& y, const bignum::BigUInt& n) {
+  std::vector<std::pair<rtl::NetId, bool>> stimulus;
+  stimulus.emplace_back(gen.start, true);
+  for (std::size_t b = 0; b < gen.x_in.size(); ++b) {
+    stimulus.emplace_back(gen.x_in[b], x.Bit(b));
+    stimulus.emplace_back(gen.y_in[b], y.Bit(b));
+  }
+  for (std::size_t b = 0; b < gen.n_in.size(); ++b) {
+    stimulus.emplace_back(gen.n_in[b], n.Bit(b));
+  }
+  return stimulus;
+}
+
+/// Drives a generated MMMC netlist the way the paper's environment drives
+/// the chip: load the modulus once, then each Multiply() presents the
+/// operands, pulses START for one clock edge, and runs to DONE.
+class MmmcNetlistDriver {
+ public:
+  /// Owns a fresh simulator over the generated netlist.
+  explicit MmmcNetlistDriver(const core::MmmcNetlist& gen)
+      : gen_(gen),
+        owned_(std::make_unique<rtl::Simulator>(*gen.netlist)),
+        sim_(*owned_) {}
+
+  /// Borrows an existing simulator (fault campaigns construct their own).
+  MmmcNetlistDriver(const core::MmmcNetlist& gen, rtl::Simulator& sim)
+      : gen_(gen), sim_(sim) {}
+
+  rtl::Simulator& sim() { return sim_; }
+
+  void LoadModulus(const bignum::BigUInt& n) { SetBus(sim_, gen_.n_in, n); }
+
+  /// Dual-field builds only: true selects GF(p), false selects GF(2^m).
+  void SelectField(bool gfp) { sim_.SetInput(gen_.fsel, gfp); }
+
+  /// Presents x, y and pulses START for exactly one clock edge.
+  void Start(const bignum::BigUInt& x, const bignum::BigUInt& y) {
+    SetBus(sim_, gen_.x_in, x);
+    SetBus(sim_, gen_.y_in, y);
+    sim_.SetInput(gen_.start, true);
+    sim_.Tick();
+    sim_.SetInput(gen_.start, false);
+  }
+
+  void Tick() { sim_.Tick(); }
+  bool Done() const { return sim_.Peek(gen_.done); }
+
+  bignum::BigUInt Result() const {
+    bignum::BigUInt out;
+    for (std::size_t b = 0; b < gen_.result.size(); ++b) {
+      if (sim_.Peek(gen_.result[b])) out.SetBit(b, true);
+    }
+    return out;
+  }
+
+  /// One full multiplication.  Returns false if DONE does not arrive within
+  /// `max_cycles` edges (a hung FSM — fault campaigns count that as a
+  /// detection).  On success the OUT state is drained so the next Start()
+  /// begins from IDLE, and `cycles_taken` receives the START-to-DONE edge
+  /// count (always 3l+4 on a healthy circuit).
+  bool TryMultiply(const bignum::BigUInt& x, const bignum::BigUInt& y,
+                   bignum::BigUInt* out,
+                   std::uint64_t* cycles_taken = nullptr,
+                   std::uint64_t max_cycles = 0) {
+    if (max_cycles == 0) max_cycles = 8 * (gen_.l + 4);
+    Start(x, y);
+    std::uint64_t cycles = 1;
+    while (!Done()) {
+      if (cycles >= max_cycles) return false;
+      sim_.Tick();
+      ++cycles;
+    }
+    if (out != nullptr) *out = Result();
+    if (cycles_taken != nullptr) *cycles_taken = cycles;
+    sim_.Tick();  // drain OUT -> IDLE
+    return true;
+  }
+
+  /// Multiply that reports a test failure (and returns zero) on a hang.
+  bignum::BigUInt Multiply(const bignum::BigUInt& x, const bignum::BigUInt& y,
+                           std::uint64_t* cycles_taken = nullptr) {
+    bignum::BigUInt out;
+    if (!TryMultiply(x, y, &out, cycles_taken)) {
+      ADD_FAILURE() << "MMMC netlist FSM hung (l = " << gen_.l << ")";
+    }
+    return out;
+  }
+
+ private:
+  const core::MmmcNetlist& gen_;
+  std::unique_ptr<rtl::Simulator> owned_;
+  rtl::Simulator& sim_;
+};
+
+}  // namespace mont::test
