@@ -2,22 +2,77 @@
 // (controller + datapath).  Prints the control/datapath decomposition of
 // the generated circuit, the control-bit comparison against Blum-Paar
 // (§4.4: log2(l+2)+2 bits here vs 3*ceil(l/u) bits there), and the mapped
-// FPGA resource split.
+// FPGA resource split.  Since the 64-lane engine, every row is also
+// *simulated*: 64 random operand pairs run through the gate-level netlist
+// in one bit-parallel pass and checked against the software Montgomery
+// reference — so the table is backed by a live circuit, not just static
+// stats.  Writes BENCH_fig3_mmmc.json; --smoke caps the sweep at l = 128
+// for the ctest `perf` label.
 #include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <vector>
 
 #include "baseline/blum_paar.hpp"
+#include "bench_json.hpp"
+#include "bignum/montgomery.hpp"
+#include "bignum/random.hpp"
 #include "core/netlist_gen.hpp"
+#include "core/sim_drivers.hpp"
 #include "fpga/device_model.hpp"
+#include "rtl/batch_sim.hpp"
 
-int main() {
+namespace {
+
+using mont::bignum::BigUInt;
+constexpr std::size_t kLanes = mont::rtl::BatchSimulator::kLanes;
+
+/// Runs 64 random operand pairs through the netlist in one batch pass;
+/// returns true (and the observed cycle count) iff every lane matches the
+/// software reference and DONE arrives in the paper's 3l+4 cycles.
+bool VerifyRow(const mont::core::MmmcNetlist& gen,
+               mont::bignum::RandomBigUInt& rng, std::uint64_t* cycles) {
+  const std::size_t l = gen.l;
+  const BigUInt n = rng.OddExactBits(l);
+  const BigUInt two_n = n << 1;
+  const mont::bignum::BitSerialMontgomery reference(n);
+  std::vector<BigUInt> xs, ys;
+  for (std::size_t lane = 0; lane < kLanes; ++lane) {
+    xs.push_back(rng.Below(two_n));
+    ys.push_back(rng.Below(two_n));
+  }
+  mont::core::MmmcBatchSimDriver drv(gen);
+  drv.LoadModulus(n);
+  std::vector<BigUInt> results;
+  if (!drv.TryMultiply(xs, ys, &results, cycles)) return false;  // hung FSM
+  if (*cycles != 3 * l + 4) return false;
+  for (std::size_t lane = 0; lane < kLanes; ++lane) {
+    if (results[lane] != reference.MultiplyAlg2(xs[lane], ys[lane])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
   std::printf("=== Fig. 3: MMMC architecture — controller + datapath ===\n\n");
 
-  std::printf("%6s | %9s %9s %9s | %10s %9s | %12s %14s\n", "l", "gates",
-              "FFs", "LUTs", "slices", "Tp (ns)", "ctl bits", "BP ctl bits");
+  std::printf("%6s | %9s %9s %9s | %10s %9s | %12s %14s | %10s\n", "l",
+              "gates", "FFs", "LUTs", "slices", "Tp (ns)", "ctl bits",
+              "BP ctl bits", "64-ln sim");
   std::printf("-------+-------------------------------+----------------------+"
-              "----------------------------\n");
+              "----------------------------+-----------\n");
+  std::vector<mont::bench::JsonRow> rows;
+  mont::bignum::RandomBigUInt rng(0xf163f163ull);
+  bool all_verified = true;
   for (const std::size_t l : {32u, 64u, 128u, 256u, 512u, 1024u}) {
+    if (smoke && l > 128) continue;
     const auto gen = mont::core::BuildMmmcNetlist(l);
     const auto stats = gen.netlist->Stats();
     const auto fpga = mont::fpga::AnalyzeNetlist(*gen.netlist);
@@ -26,13 +81,29 @@ int main() {
     // Blum-Paar distribute 3-bit command registers across ceil(l/u) PEs
     // (radix-2: u = 1 -> 3l bits of control).
     const std::size_t bp_ctl_bits = 3 * l;
-    std::printf("%6zu | %9zu %9zu %9zu | %10zu %9.3f | %12zu %14zu\n", l,
-                stats.CombinationalNodes(), stats.flip_flops, fpga.luts,
-                fpga.slices, fpga.clock_period_ns, ctl_bits, bp_ctl_bits);
+    std::uint64_t cycles = 0;
+    const bool verified = VerifyRow(gen, rng, &cycles);
+    all_verified = all_verified && verified;
+    std::printf("%6zu | %9zu %9zu %9zu | %10zu %9.3f | %12zu %14zu | %10s\n",
+                l, stats.CombinationalNodes(), stats.flip_flops, fpga.luts,
+                fpga.slices, fpga.clock_period_ns, ctl_bits, bp_ctl_bits,
+                verified ? "OK" : "FAIL");
+    rows.push_back({
+        {"l", l},
+        {"gates", stats.CombinationalNodes()},
+        {"flip_flops", stats.flip_flops},
+        {"luts", fpga.luts},
+        {"slices", fpga.slices},
+        {"clock_period_ns", fpga.clock_period_ns},
+        {"ctl_bits", ctl_bits},
+        {"blum_paar_ctl_bits", bp_ctl_bits},
+        {"sim_verified_lanes", verified ? kLanes : std::size_t{0}},
+        {"sim_cycles", cycles},
+    });
   }
 
-  std::printf("\n--- datapath composition for l = 64 ---\n");
-  {
+  if (!smoke) {
+    std::printf("\n--- datapath composition for l = 64 ---\n");
     const std::size_t l = 64;
     const auto gen = mont::core::BuildMmmcNetlist(l);
     const auto stats = gen.netlist->Stats();
@@ -49,9 +120,12 @@ int main() {
                 static_cast<int>(std::ceil(std::log2(l + 2.0))));
   }
 
+  const std::string path = mont::bench::WriteBenchJson(
+      "fig3_mmmc", rows, {{"smoke", smoke}, {"lanes", kLanes}});
   std::printf("\nThe controller is a constant-size ASM plus a log-width "
               "counter — unlike Blum-Paar's\nper-PE command registers, "
               "control cost does not scale with the datapath, which is\n"
-              "where the clock-frequency advantage comes from (§4.4).\n");
-  return 0;
+              "where the clock-frequency advantage comes from (§4.4).\n"
+              "JSON written to %s\n", path.c_str());
+  return all_verified ? 0 : 1;
 }

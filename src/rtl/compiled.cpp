@@ -1,0 +1,58 @@
+#include "rtl/compiled.hpp"
+
+namespace mont::rtl {
+
+CompiledNetlist::CompiledNetlist(const Netlist& netlist) {
+  net_count_ = netlist.NodeCount();
+  is_input_.assign(net_count_, 0);
+  instr_of_.assign(net_count_, kNoInstruction);
+  dff_index_of_.assign(net_count_, kNoInstruction);
+
+  const std::vector<NetId>& topo = netlist.TopoOrder();
+  op_.reserve(topo.size());
+  a_.reserve(topo.size());
+  b_.reserve(topo.size());
+  c_.reserve(topo.size());
+  out_.reserve(topo.size());
+  const auto slot = [this](NetId id) {
+    return id == kNoNet ? ZeroSlot() : static_cast<std::uint32_t>(id);
+  };
+  for (const NetId id : topo) {
+    const Node& node = netlist.NodeAt(id);
+    instr_of_[id] = static_cast<std::uint32_t>(op_.size());
+    op_.push_back(node.op);
+    a_.push_back(slot(node.a));
+    b_.push_back(slot(node.b));
+    c_.push_back(slot(node.c));
+    out_.push_back(id);
+  }
+
+  for (NetId id = 0; id < net_count_; ++id) {
+    const Node& node = netlist.NodeAt(id);
+    switch (node.op) {
+      case Op::kInput:
+        is_input_[id] = 1;
+        inputs_.push_back(id);
+        break;
+      case Op::kConst1:
+        const1_.push_back(id);
+        break;
+      case Op::kDff: {
+        dff_index_of_[id] = static_cast<std::uint32_t>(dffs_.size());
+        Dff dff;
+        dff.q = id;
+        dff.d = node.a == kNoNet ? static_cast<std::uint32_t>(id)
+                                 : static_cast<std::uint32_t>(node.a);
+        dff.enable = node.b == kNoNet ? OnesSlot()
+                                      : static_cast<std::uint32_t>(node.b);
+        dff.reset = slot(node.c);
+        dffs_.push_back(dff);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+}
+
+}  // namespace mont::rtl

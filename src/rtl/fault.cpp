@@ -1,5 +1,7 @@
 #include "rtl/fault.hpp"
 
+#include <algorithm>
+
 namespace mont::rtl {
 
 const char* FaultTypeName(FaultType type) {
@@ -26,6 +28,43 @@ FaultCoverage RunFaultCampaign(
       result.net = net;
       result.type = type;
       result.detected = workload(sim);
+      ++coverage.injected;
+      if (result.detected) ++coverage.detected;
+      coverage.results.push_back(result);
+    }
+  }
+  return coverage;
+}
+
+FaultCoverage RunFaultCampaignBatch(
+    const Netlist& netlist, const std::vector<NetId>& targets,
+    const std::vector<FaultType>& types,
+    const std::function<std::uint64_t(BatchSimulator&)>& workload) {
+  std::vector<FaultResult> population;
+  for (const NetId net : targets) {
+    for (const FaultType type : types) {
+      population.push_back(FaultResult{net, type, false});
+    }
+  }
+  FaultCoverage coverage;
+  const CompiledNetlist compiled(netlist);
+  BatchSimulator sim(compiled);
+  for (std::size_t base = 0; base < population.size();
+       base += BatchSimulator::kLanes) {
+    const std::size_t pack =
+        std::min(BatchSimulator::kLanes, population.size() - base);
+    sim.ClearFaults();
+    sim.Reset();
+    std::vector<BatchSimulator::LaneFault> pack_faults;
+    for (std::size_t lane = 0; lane < pack; ++lane) {
+      const FaultResult& fault = population[base + lane];
+      pack_faults.push_back({fault.net, fault.type, std::uint64_t{1} << lane});
+    }
+    sim.InjectFaults(pack_faults);
+    const std::uint64_t detected = workload(sim);
+    for (std::size_t lane = 0; lane < pack; ++lane) {
+      FaultResult result = population[base + lane];
+      result.detected = ((detected >> lane) & 1u) != 0;
       ++coverage.injected;
       if (result.detected) ++coverage.detected;
       coverage.results.push_back(result);

@@ -2,113 +2,7 @@
 
 namespace mont::rtl {
 
-Simulator::Simulator(const Netlist& netlist) : netlist_(netlist) {
-  values_.assign(netlist_.NodeCount(), 0);
-  for (NetId id = 0; id < netlist_.NodeCount(); ++id) {
-    const Node& node = netlist_.NodeAt(id);
-    if (node.op == Op::kDff) dffs_.push_back(id);
-    if (node.op == Op::kConst1) values_[id] = 1;
-  }
-  next_state_.assign(dffs_.size(), 0);
-  Settle();
-}
-
-void Simulator::SetInput(NetId input, bool value) {
-  if (netlist_.NodeAt(input).op != Op::kInput) {
-    throw std::logic_error("Simulator::SetInput: net is not a primary input");
-  }
-  values_[input] = value ? 1 : 0;
-}
-
-std::uint8_t Simulator::Faulted(NetId id, std::uint8_t value) const {
-  const auto it = faults_.find(id);
-  if (it == faults_.end()) return value;
-  switch (it->second) {
-    case FaultType::kStuckAt0: return 0;
-    case FaultType::kStuckAt1: return 1;
-    case FaultType::kInvert: return value ^ 1u;
-  }
-  return value;
-}
-
-void Simulator::InjectFault(NetId net, FaultType type) {
-  if (net >= netlist_.NodeCount()) {
-    throw std::out_of_range("Simulator::InjectFault: unknown net");
-  }
-  faults_[net] = type;
-  // Re-apply to already-settled source values.
-  Settle();
-}
-
-void Simulator::ClearFaults() { faults_.clear(); }
-
-void Simulator::Settle() {
-  if (!faults_.empty()) {
-    // Faults on sources (inputs, constants, flip-flop outputs) override
-    // their stored values before propagation.
-    for (const auto& [net, type] : faults_) {
-      if (!IsCombinational(netlist_.NodeAt(net).op)) {
-        values_[net] = Faulted(net, values_[net]);
-      }
-    }
-  }
-  for (const NetId id : netlist_.TopoOrder()) {
-    const Node& node = netlist_.NodeAt(id);
-    const std::uint8_t a = node.a != kNoNet ? values_[node.a] : 0;
-    const std::uint8_t b = node.b != kNoNet ? values_[node.b] : 0;
-    std::uint8_t out = 0;
-    switch (node.op) {
-      case Op::kBuf: out = a; break;
-      case Op::kNot: out = a ^ 1u; break;
-      case Op::kAnd: out = a & b; break;
-      case Op::kOr: out = a | b; break;
-      case Op::kXor: out = a ^ b; break;
-      case Op::kNand: out = (a & b) ^ 1u; break;
-      case Op::kNor: out = (a | b) ^ 1u; break;
-      case Op::kXnor: out = (a ^ b) ^ 1u; break;
-      case Op::kMux: out = a ? values_[node.c] : b; break;
-      default: continue;  // unreachable for TopoOrder contents
-    }
-    values_[id] = faults_.empty() ? out : Faulted(id, out);
-  }
-}
-
-void Simulator::Tick() {
-  Settle();
-  // Phase 1: every DFF samples from the settled pre-edge values.
-  for (std::size_t i = 0; i < dffs_.size(); ++i) {
-    const Node& node = netlist_.NodeAt(dffs_[i]);
-    const std::uint8_t q = values_[dffs_[i]];
-    std::uint8_t next = q;
-    const bool enabled = node.b == kNoNet || values_[node.b] != 0;
-    if (enabled && node.a != kNoNet) next = values_[node.a];
-    if (node.c != kNoNet && values_[node.c] != 0) next = 0;  // sync reset
-    next_state_[i] = next;
-  }
-  // Phase 2: commit simultaneously, then settle the new cycle.
-  for (std::size_t i = 0; i < dffs_.size(); ++i) {
-    values_[dffs_[i]] = next_state_[i];
-  }
-  Settle();
-  ++cycles_;
-}
-
-void Simulator::Run(std::size_t n) {
-  for (std::size_t i = 0; i < n; ++i) Tick();
-}
-
-void Simulator::Reset() {
-  for (const NetId dff : dffs_) values_[dff] = 0;
-  cycles_ = 0;
-  Settle();
-}
-
-std::uint64_t Simulator::PeekBus(const std::vector<NetId>& nets) const {
-  std::uint64_t out = 0;
-  for (std::size_t i = 0; i < nets.size() && i < 64; ++i) {
-    if (Peek(nets[i])) out |= 1ull << i;
-  }
-  return out;
-}
+Simulator::Simulator(const Netlist& netlist)
+    : compiled_(netlist), batch_(compiled_) {}
 
 }  // namespace mont::rtl

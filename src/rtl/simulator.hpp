@@ -7,65 +7,85 @@
 // combinational logic settles again.  This matches a synchronous
 // single-clock FPGA design with registered state, which is exactly the
 // paper's design style.
+//
+// Since the compiled-engine rework this class is a thin single-lane view
+// over the word-packed BatchSimulator: the netlist is lowered once into a
+// CompiledNetlist instruction stream and evaluated with the same code path
+// that serves 64-lane batch runs, so the two engines cannot drift.  Use
+// BatchSimulator directly (batch_sim.hpp) to evaluate 64 independent
+// stimuli or fault lanes per pass.
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
+#include "bignum/biguint.hpp"
+#include "rtl/batch_sim.hpp"
+#include "rtl/compiled.hpp"
 #include "rtl/netlist.hpp"
 
 namespace mont::rtl {
 
-/// Fault models for InjectFault (see fault.hpp for campaigns).
-enum class FaultType : std::uint8_t { kStuckAt0, kStuckAt1, kInvert };
-
 class Simulator {
  public:
-  /// The netlist must outlive the simulator.  All state starts at 0.
+  /// Compiles a private snapshot of `netlist`; later netlist mutations are
+  /// not observed.  All state starts at 0.
   explicit Simulator(const Netlist& netlist);
 
+  /// Non-copyable and non-movable: the internal batch engine references
+  /// the by-value compiled snapshot, so a moved-from instance would leave
+  /// the engine pointing at dead storage.
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
   /// Drives a primary input.  Takes effect at the next Settle()/Tick().
-  void SetInput(NetId input, bool value);
+  void SetInput(NetId input, bool value) {
+    batch_.SetInputAll(input, value);
+  }
 
   /// Propagates combinational logic from current inputs and register state.
-  void Settle();
+  /// A no-op when no input, register or fault changed since the last settle.
+  void Settle() { batch_.Settle(); }
 
   /// One positive clock edge: flip-flops latch, then logic settles.
   /// Settle() must reflect the current inputs first; Tick() calls it
   /// internally before latching so callers only need SetInput + Tick.
-  void Tick();
+  void Tick() { batch_.Tick(); }
 
   /// Runs `n` clock cycles with inputs held.
-  void Run(std::size_t n);
+  void Run(std::size_t n) { batch_.Run(n); }
 
   /// Resets all flip-flops to 0 and re-settles.
-  void Reset();
+  void Reset() { batch_.Reset(); }
 
   /// Value of any net after the last Settle()/Tick().
-  bool Peek(NetId net) const { return values_[net] != 0; }
+  bool Peek(NetId net) const { return (batch_.Peek(net) & 1u) != 0; }
 
-  /// Reads a bus (LSB first) as an integer (at most 64 bits).
-  std::uint64_t PeekBus(const std::vector<NetId>& nets) const;
+  /// Reads a bus (LSB first) as an integer.  Throws std::invalid_argument
+  /// for buses wider than 64 nets — use PeekWide for wide datapaths.
+  std::uint64_t PeekBus(const std::vector<NetId>& nets) const {
+    return batch_.PeekBus(nets, 0);
+  }
+
+  /// Reads an arbitrarily wide bus (LSB first) as a BigUInt.
+  bignum::BigUInt PeekWide(const std::vector<NetId>& nets) const {
+    return batch_.PeekWide(nets, 0);
+  }
 
   /// Number of Tick() calls since construction/Reset().
-  std::uint64_t CycleCount() const { return cycles_; }
+  std::uint64_t CycleCount() const { return batch_.CycleCount(); }
 
   /// Forces a net faulty; applied during every evaluation so the fault
   /// propagates through downstream logic and state.
-  void InjectFault(NetId net, FaultType type);
-  void ClearFaults();
-  std::size_t ActiveFaults() const { return faults_.size(); }
+  void InjectFault(NetId net, FaultType type) {
+    batch_.InjectFault(net, type);
+  }
+  void ClearFaults() { batch_.ClearFaults(); }
+  std::size_t ActiveFaults() const { return batch_.ActiveFaults(); }
 
  private:
-  std::uint8_t Faulted(NetId id, std::uint8_t value) const;
-
-  const Netlist& netlist_;
-  std::vector<std::uint8_t> values_;
-  std::vector<NetId> dffs_;
-  std::vector<std::uint8_t> next_state_;
-  std::uint64_t cycles_ = 0;
-  std::unordered_map<NetId, FaultType> faults_;
+  CompiledNetlist compiled_;
+  BatchSimulator batch_;
 };
 
 }  // namespace mont::rtl

@@ -1,7 +1,10 @@
 #include "rtl/testbench.hpp"
 
+#include <algorithm>
 #include <sstream>
+#include <stdexcept>
 
+#include "rtl/batch_sim.hpp"
 #include "rtl/simulator.hpp"
 
 namespace mont::rtl {
@@ -81,6 +84,40 @@ std::vector<TestbenchVector> RecordVectors(
     vectors.push_back(std::move(vec));
   }
   return vectors;
+}
+
+std::vector<std::vector<TestbenchVector>> RecordVectorsBatch(
+    const Netlist& netlist, const std::vector<StimulusSequence>& sequences,
+    std::size_t cycles_per_vector) {
+  if (sequences.size() > BatchSimulator::kLanes) {
+    throw std::invalid_argument(
+        "RecordVectorsBatch: more than 64 stimulus sequences");
+  }
+  std::size_t steps = 0;
+  for (const StimulusSequence& seq : sequences) {
+    steps = std::max(steps, seq.size());
+  }
+  BatchSimulator sim(netlist);
+  std::vector<std::vector<TestbenchVector>> recorded(sequences.size());
+  for (std::size_t step = 0; step < steps; ++step) {
+    for (std::size_t lane = 0; lane < sequences.size(); ++lane) {
+      if (step >= sequences[lane].size()) continue;
+      for (const auto& [net, value] : sequences[lane][step]) {
+        sim.SetInputLane(net, lane, value);
+      }
+    }
+    sim.Run(cycles_per_vector);
+    for (std::size_t lane = 0; lane < sequences.size(); ++lane) {
+      if (step >= sequences[lane].size()) continue;
+      TestbenchVector vec;
+      vec.inputs = sequences[lane][step];
+      for (const auto& [net, name] : netlist.Outputs()) {
+        vec.expected.emplace_back(net, sim.PeekLane(net, lane));
+      }
+      recorded[lane].push_back(std::move(vec));
+    }
+  }
+  return recorded;
 }
 
 }  // namespace mont::rtl

@@ -39,4 +39,18 @@ std::vector<TestbenchVector> RecordVectors(
     const std::vector<std::vector<std::pair<NetId, bool>>>& stimulus,
     std::size_t cycles_per_vector = 1);
 
+/// One independent stimulus run: the same shape RecordVectors consumes.
+using StimulusSequence = std::vector<std::vector<std::pair<NetId, bool>>>;
+
+/// Batch path: records up to 64 independent stimulus sequences in one
+/// word-packed simulation (sequence k on lane k of a BatchSimulator), each
+/// lane starting from reset state — element k of the result equals
+/// RecordVectors(netlist, sequences[k], cycles_per_vector), at a fraction
+/// of the cost.  Sequences may differ in length and in which inputs they
+/// drive; shorter lanes simply hold their inputs once exhausted.  Throws
+/// std::invalid_argument for more than 64 sequences.
+std::vector<std::vector<TestbenchVector>> RecordVectorsBatch(
+    const Netlist& netlist, const std::vector<StimulusSequence>& sequences,
+    std::size_t cycles_per_vector = 1);
+
 }  // namespace mont::rtl

@@ -1,0 +1,419 @@
+// Lane-equivalence suite for the 64-lane bit-parallel engine: every lane
+// of a BatchSimulator must match a scalar Simulator driven with that
+// lane's stimulus net-for-net after every clock edge — over random
+// netlists exercising all node kinds, over the generated MMMC circuit,
+// and under per-lane fault injection.  Plus the campaign equivalence:
+// a lane-parallel fault campaign reports fault-for-fault the same
+// FaultCoverage as the sequential one.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <vector>
+
+#include "bignum/biguint.hpp"
+#include "core/netlist_gen.hpp"
+#include "rtl/batch_sim.hpp"
+#include "rtl/compiled.hpp"
+#include "rtl/components.hpp"
+#include "rtl/fault.hpp"
+#include "rtl/netlist.hpp"
+#include "rtl/simulator.hpp"
+#include "testutil.hpp"
+#include "testutil_netlist.hpp"
+
+namespace mont::rtl {
+namespace {
+
+using bignum::BigUInt;
+constexpr std::size_t kLanes = BatchSimulator::kLanes;
+
+// ---------------------------------------------------------------------------
+// Random netlists
+// ---------------------------------------------------------------------------
+
+struct RandomNetlist {
+  Netlist netlist;
+  std::vector<NetId> inputs;
+};
+
+/// A random sequential netlist covering every node kind: a pool of inputs
+/// and constants, a soup of random gates over earlier nets (acyclic by
+/// construction), and DFFs with random enable/reset wired after the fact
+/// so state feedback loops occur.
+RandomNetlist BuildRandomNetlist(std::mt19937_64& rng, std::size_t n_inputs,
+                                 std::size_t n_dffs, std::size_t n_gates) {
+  RandomNetlist out;
+  Netlist& nl = out.netlist;
+  std::vector<NetId> pool = {nl.Const0(), nl.Const1()};
+  for (std::size_t i = 0; i < n_inputs; ++i) {
+    const NetId id = nl.AddInput(IndexedName("in", i));
+    out.inputs.push_back(id);
+    pool.push_back(id);
+  }
+  std::vector<NetId> dffs;
+  for (std::size_t i = 0; i < n_dffs; ++i) {
+    const NetId id = nl.Dff(nl.Const0());
+    dffs.push_back(id);
+    pool.push_back(id);
+  }
+  const auto pick = [&] { return pool[rng() % pool.size()]; };
+  for (std::size_t i = 0; i < n_gates; ++i) {
+    NetId id = kNoNet;
+    switch (rng() % 10) {
+      case 0: id = nl.Buf(pick()); break;
+      case 1: id = nl.Not(pick()); break;
+      case 2: id = nl.And(pick(), pick()); break;
+      case 3: id = nl.Or(pick(), pick()); break;
+      case 4: id = nl.Xor(pick(), pick()); break;
+      case 5: id = nl.Nand(pick(), pick()); break;
+      case 6: id = nl.Nor(pick(), pick()); break;
+      case 7: id = nl.Xnor(pick(), pick()); break;
+      default: id = nl.Mux(pick(), pick(), pick()); break;
+    }
+    pool.push_back(id);
+  }
+  for (const NetId dff : dffs) {
+    const NetId enable = rng() % 3 == 0 ? pick() : kNoNet;
+    const NetId reset = rng() % 4 == 0 ? pick() : kNoNet;
+    nl.RewireDff(dff, pick(), enable, reset);
+  }
+  return out;
+}
+
+/// Asserts lane `lane` of `batch` equals `scalar` on every net.
+::testing::AssertionResult LaneMatches(const BatchSimulator& batch,
+                                       const Simulator& scalar,
+                                       const Netlist& nl, std::size_t lane) {
+  for (NetId id = 0; id < nl.NodeCount(); ++id) {
+    const bool b = ((batch.Peek(id) >> lane) & 1u) != 0;
+    const bool s = scalar.Peek(id);
+    if (b != s) {
+      return ::testing::AssertionFailure()
+             << "lane " << lane << " diverged on net " << nl.NetName(id)
+             << " (" << OpName(nl.NodeAt(id).op) << "): batch=" << b
+             << " scalar=" << s;
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+TEST(BatchLaneEquivalence, RandomNetlistsMatchScalarEveryCycleEveryLane) {
+  std::mt19937_64 rng(mont::test::TestSeed());
+  for (int trial = 0; trial < 4; ++trial) {
+    RandomNetlist rn = BuildRandomNetlist(rng, /*n_inputs=*/6, /*n_dffs=*/5,
+                                          /*n_gates=*/60);
+    SCOPED_TRACE("trial " + std::to_string(trial));
+    const CompiledNetlist compiled(rn.netlist);
+    BatchSimulator batch(compiled);
+    std::vector<std::unique_ptr<Simulator>> scalars;
+    for (std::size_t lane = 0; lane < kLanes; ++lane) {
+      scalars.push_back(std::make_unique<Simulator>(rn.netlist));
+    }
+    for (int cycle = 0; cycle < 24; ++cycle) {
+      for (const NetId input : rn.inputs) {
+        const std::uint64_t word = rng();
+        batch.SetInput(input, word);
+        for (std::size_t lane = 0; lane < kLanes; ++lane) {
+          scalars[lane]->SetInput(input, ((word >> lane) & 1u) != 0);
+        }
+      }
+      // Alternate pure settles and clock edges so both paths are compared.
+      if (cycle % 3 == 0) {
+        batch.Settle();
+        for (auto& s : scalars) s->Settle();
+      } else {
+        batch.Tick();
+        for (auto& s : scalars) s->Tick();
+      }
+      for (std::size_t lane = 0; lane < kLanes; ++lane) {
+        ASSERT_TRUE(LaneMatches(batch, *scalars[lane], rn.netlist, lane))
+            << "cycle " << cycle;
+      }
+    }
+  }
+}
+
+TEST(BatchLaneEquivalence, MmmcNetlistMatchesScalarNetForNet) {
+  const std::size_t l = 6;
+  auto brng = mont::test::TestRng();
+  const BigUInt n = brng.OddExactBits(l);
+  const BigUInt two_n = n << 1;
+  const auto gen = core::BuildMmmcNetlist(l);
+
+  std::vector<BigUInt> xs, ys;
+  for (std::size_t lane = 0; lane < kLanes; ++lane) {
+    xs.push_back(brng.Below(two_n));
+    ys.push_back(brng.Below(two_n));
+  }
+
+  // Batch: all 64 operand pairs at once.
+  mont::test::BatchMmmcNetlistDriver batch_drv(gen);
+  batch_drv.LoadModulus(n);
+  // Scalar: one simulator per lane, identical schedule.
+  std::vector<std::unique_ptr<Simulator>> scalars;
+  std::vector<std::unique_ptr<mont::test::MmmcNetlistDriver>> drivers;
+  for (std::size_t lane = 0; lane < kLanes; ++lane) {
+    scalars.push_back(std::make_unique<Simulator>(*gen.netlist));
+    drivers.push_back(
+        std::make_unique<mont::test::MmmcNetlistDriver>(gen, *scalars[lane]));
+    drivers[lane]->LoadModulus(n);
+    mont::test::SetBus(*scalars[lane], gen.x_in, xs[lane]);
+    mont::test::SetBus(*scalars[lane], gen.y_in, ys[lane]);
+    scalars[lane]->SetInput(gen.start, true);
+    scalars[lane]->Tick();
+    scalars[lane]->SetInput(gen.start, false);
+  }
+  batch_drv.Start(xs, ys);
+
+  for (std::uint64_t cycle = 1; cycle <= 3 * l + 5; ++cycle) {
+    for (std::size_t lane = 0; lane < kLanes; ++lane) {
+      ASSERT_TRUE(
+          LaneMatches(batch_drv.sim(), *scalars[lane], *gen.netlist, lane))
+          << "cycle " << cycle;
+    }
+    batch_drv.Tick();
+    for (auto& s : scalars) s->Tick();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Per-lane faults
+// ---------------------------------------------------------------------------
+
+TEST(BatchFaults, LanesAreIsolated) {
+  Netlist nl;
+  const NetId a = nl.AddInput("a");
+  const NetId b = nl.AddInput("b");
+  const NetId g = nl.And(a, b);
+  const NetId out = nl.Or(g, nl.Const0());
+  BatchSimulator sim(nl);
+  sim.SetInputAll(a, true);
+  sim.SetInputAll(b, true);
+  sim.InjectFault(g, FaultType::kStuckAt0, 1ull << 3);
+  sim.InjectFault(g, FaultType::kInvert, 1ull << 7);  // 1 -> 0 as well
+  sim.Settle();
+  EXPECT_EQ(sim.Peek(out), ~((1ull << 3) | (1ull << 7)))
+      << "only the faulted lanes may observe the fault";
+  sim.ClearFaults();
+  sim.Settle();
+  EXPECT_EQ(sim.Peek(out), BatchSimulator::kAllLanes);
+}
+
+TEST(BatchFaults, LastFaultPerLaneWins) {
+  Netlist nl;
+  const NetId a = nl.AddInput("a");
+  const NetId buf = nl.Buf(a);
+  BatchSimulator sim(nl);
+  sim.SetInputAll(a, false);
+  sim.InjectFault(buf, FaultType::kStuckAt0);                  // all lanes
+  sim.InjectFault(buf, FaultType::kStuckAt1, 1ull << 5);      // retarget lane
+  EXPECT_EQ(sim.Peek(buf), 1ull << 5);
+  EXPECT_EQ(sim.ActiveFaults(), 1u) << "same net, one entry";
+}
+
+TEST(BatchFaults, FaultedDffStateMatchesScalarPerLane) {
+  // q <= NOT q toggler with a stuck-at fault on the DFF in one lane only.
+  Netlist nl;
+  const NetId dff = nl.Dff(nl.Const0());
+  const NetId inv = nl.Not(dff);
+  nl.RewireDff(dff, inv);
+  BatchSimulator batch(nl);
+  Simulator healthy(nl), faulty(nl);
+  batch.InjectFault(dff, FaultType::kStuckAt1, 1ull << 9);
+  faulty.InjectFault(dff, FaultType::kStuckAt1);
+  for (int cycle = 0; cycle < 6; ++cycle) {
+    EXPECT_EQ(batch.PeekLane(dff, 0), healthy.Peek(dff)) << "cycle " << cycle;
+    EXPECT_EQ(batch.PeekLane(dff, 9), faulty.Peek(dff)) << "cycle " << cycle;
+    batch.Tick();
+    healthy.Tick();
+    faulty.Tick();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Campaign equivalence: lane-parallel == sequential, fault for fault
+// ---------------------------------------------------------------------------
+
+void ExpectSameCoverage(const FaultCoverage& sequential,
+                        const FaultCoverage& batch) {
+  EXPECT_EQ(sequential.injected, batch.injected);
+  EXPECT_EQ(sequential.detected, batch.detected);
+  ASSERT_EQ(sequential.results.size(), batch.results.size());
+  for (std::size_t i = 0; i < sequential.results.size(); ++i) {
+    EXPECT_EQ(sequential.results[i].net, batch.results[i].net) << i;
+    EXPECT_EQ(sequential.results[i].type, batch.results[i].type) << i;
+    EXPECT_EQ(sequential.results[i].detected, batch.results[i].detected)
+        << "fault " << i << ": net " << sequential.results[i].net << " "
+        << FaultTypeName(sequential.results[i].type);
+  }
+}
+
+TEST(BatchCampaign, AdderCampaignMatchesSequential) {
+  Netlist nl;
+  const Bus a = InputBus(nl, "a", 4);
+  const Bus b = InputBus(nl, "b", 4);
+  const Bus sum = RippleCarryAdder(nl, a, b);
+  // Every net in the circuit, all three fault models.
+  std::vector<NetId> targets;
+  for (NetId id = 0; id < nl.NodeCount(); ++id) targets.push_back(id);
+  const std::vector<FaultType> types = {
+      FaultType::kStuckAt0, FaultType::kStuckAt1, FaultType::kInvert};
+
+  const auto scalar_workload = [&](Simulator& sim) {
+    for (std::uint64_t va = 0; va < 16; ++va) {
+      for (std::uint64_t vb = 0; vb < 16; ++vb) {
+        mont::test::SetBus(sim, a, va);
+        mont::test::SetBus(sim, b, vb);
+        sim.Settle();
+        if (sim.PeekBus(sum) != va + vb) return true;
+      }
+    }
+    return false;
+  };
+  const auto batch_workload = [&](BatchSimulator& sim) {
+    std::uint64_t detected = 0;
+    for (std::uint64_t va = 0; va < 16; ++va) {
+      for (std::uint64_t vb = 0; vb < 16; ++vb) {
+        for (std::size_t i = 0; i < 4; ++i) {
+          sim.SetInputAll(a[i], ((va >> i) & 1u) != 0);
+          sim.SetInputAll(b[i], ((vb >> i) & 1u) != 0);
+        }
+        sim.Settle();
+        // A lane detects the fault if any sum bit is wrong in that lane.
+        for (std::size_t i = 0; i < sum.size(); ++i) {
+          const std::uint64_t expect_bit =
+              (((va + vb) >> i) & 1u) != 0 ? BatchSimulator::kAllLanes : 0;
+          detected |= sim.Peek(sum[i]) ^ expect_bit;
+        }
+      }
+    }
+    return detected;
+  };
+
+  ExpectSameCoverage(RunFaultCampaign(nl, targets, types, scalar_workload),
+                     RunFaultCampaignBatch(nl, targets, types, batch_workload));
+}
+
+TEST(BatchCampaign, MmmcCampaignMatchesSequential) {
+  const std::size_t l = 4;
+  auto brng = mont::test::TestRng();
+  const BigUInt n = brng.OddExactBits(l);
+  const BigUInt two_n = n << 1;
+  const BigUInt x = brng.Below(two_n), y = brng.Below(two_n);
+  const auto gen = core::BuildMmmcNetlist(l);
+
+  // Fault-free expectation, from the very engine under test.
+  mont::test::MmmcNetlistDriver golden(gen);
+  golden.LoadModulus(n);
+  BigUInt expect;
+  ASSERT_TRUE(golden.TryMultiply(x, y, &expect));
+
+  const std::uint64_t kMaxCycles = 8 * (l + 4);
+  const auto scalar_workload = [&](Simulator& sim) {
+    mont::test::MmmcNetlistDriver drv(gen, sim);
+    drv.LoadModulus(n);
+    BigUInt got;
+    std::uint64_t cycles = 0;
+    if (!drv.TryMultiply(x, y, &got, &cycles, kMaxCycles)) return true;
+    if (cycles != 3 * l + 4) return true;
+    return got != expect;
+  };
+  const auto batch_workload = [&](BatchSimulator& sim) {
+    return mont::test::DetectMmmcFaultLanes(sim, gen, n, x, y, expect,
+                                            kMaxCycles);
+  };
+
+  // Deterministic sample of the netlist, all three models.
+  std::vector<NetId> targets;
+  for (NetId id = 2; id < gen.netlist->NodeCount(); id += 3) {
+    targets.push_back(id);
+  }
+  const std::vector<FaultType> types = {
+      FaultType::kStuckAt0, FaultType::kStuckAt1, FaultType::kInvert};
+  const FaultCoverage sequential =
+      RunFaultCampaign(*gen.netlist, targets, types, scalar_workload);
+  const FaultCoverage batch =
+      RunFaultCampaignBatch(*gen.netlist, targets, types, batch_workload);
+  ExpectSameCoverage(sequential, batch);
+  EXPECT_GT(batch.injected, 100u);
+}
+
+// ---------------------------------------------------------------------------
+// Wide/bus peeks and argument checking
+// ---------------------------------------------------------------------------
+
+TEST(BatchSim, PeekBusRejectsWideBusesAndBadLanes) {
+  Netlist nl;
+  const Bus wide = InputBus(nl, "w", 65);
+  BatchSimulator sim(nl);
+  EXPECT_THROW(sim.PeekBus(wide, 0), std::invalid_argument);
+  EXPECT_THROW(sim.PeekBus({wide[0]}, kLanes), std::out_of_range);
+  EXPECT_THROW(sim.SetInputLane(wide[0], kLanes, true), std::out_of_range);
+  EXPECT_NO_THROW(sim.PeekWide(wide, 0));
+}
+
+TEST(BatchSim, PeekWideRoundTripsWideValues) {
+  auto brng = mont::test::TestRng();
+  Netlist nl;
+  const Bus in = InputBus(nl, "w", 100);
+  Bus regs;
+  for (const NetId net : in) regs.push_back(nl.Dff(net));
+  BatchSimulator sim(nl);
+  std::vector<BigUInt> values;
+  for (std::size_t lane = 0; lane < kLanes; ++lane) {
+    values.push_back(brng.ExactBits(100));
+    mont::test::SetBusLane(sim, in, lane, values[lane]);
+  }
+  sim.Tick();
+  for (std::size_t lane = 0; lane < kLanes; ++lane) {
+    EXPECT_EQ(sim.PeekWide(regs, lane), values[lane]) << "lane " << lane;
+    EXPECT_EQ(sim.PeekWide(in, lane), values[lane]) << "lane " << lane;
+  }
+}
+
+TEST(BatchSim, BatchDriverRejectsBadOperandCounts) {
+  const auto gen = core::BuildMmmcNetlist(2);
+  mont::test::BatchMmmcNetlistDriver drv(gen);
+  const std::vector<BigUInt> pair(2, BigUInt{1});
+  const std::vector<BigUInt> too_many(kLanes + 1, BigUInt{1});
+  EXPECT_THROW(drv.Start(too_many, too_many), std::invalid_argument);
+  EXPECT_THROW(drv.Start(pair, {BigUInt{1}}), std::invalid_argument);
+}
+
+TEST(BatchSim, SetInputRejectsNonInputs) {
+  Netlist nl;
+  const NetId a = nl.AddInput("a");
+  const NetId g = nl.Not(a);
+  BatchSimulator sim(nl);
+  EXPECT_THROW(sim.SetInput(g, 1), std::logic_error);
+  EXPECT_THROW(sim.InjectFault(12345, FaultType::kStuckAt0),
+               std::out_of_range);
+}
+
+// The settle-skip optimisation must not change observable behaviour: held
+// inputs and unchanging state produce identical values, and re-driving an
+// input with the same word is still reflected after new edges.
+TEST(BatchSim, SettleSkipPreservesSemantics) {
+  Netlist nl;
+  const NetId d = nl.AddInput("d");
+  const NetId en = nl.AddInput("en");
+  const NetId q = nl.Dff(d, en);
+  const NetId out = nl.Xor(q, d);
+  BatchSimulator sim(nl);
+  sim.SetInputAll(d, true);
+  sim.SetInputAll(en, false);
+  for (int i = 0; i < 3; ++i) {
+    sim.Tick();  // q holds 0; the extra settles are skipped
+    EXPECT_EQ(sim.Peek(q), 0u);
+    EXPECT_EQ(sim.Peek(out), BatchSimulator::kAllLanes);
+  }
+  sim.SetInputAll(en, true);
+  sim.Tick();
+  EXPECT_EQ(sim.Peek(q), BatchSimulator::kAllLanes);
+  EXPECT_EQ(sim.Peek(out), 0u);
+}
+
+}  // namespace
+}  // namespace mont::rtl

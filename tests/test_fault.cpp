@@ -109,7 +109,10 @@ TEST(Fault, CampaignCountsDetections) {
 // The flagship check: single stuck-at faults across the MMMC datapath are
 // overwhelmingly caught by comparing one multiplication against the
 // software reference.  (Faults on e.g. unused high counter bits can be
-// silent — that is expected and quantified.)
+// silent — that is expected and quantified.)  Runs on the lane-parallel
+// campaign engine — 64 faulted circuit copies per simulation pass — which
+// makes an every-other-net population affordable where the sequential
+// engine could only sample every 8th net.
 TEST(Fault, MmmcCampaignDetectsDatapathFaults) {
   using bignum::BigUInt;
   const std::size_t l = 8;
@@ -121,25 +124,19 @@ TEST(Fault, MmmcCampaignDetectsDatapathFaults) {
   const BigUInt x = rng.Below(two_n), y = rng.Below(two_n);
   const BigUInt expect = reference.MultiplyAlg2(x, y);
 
-  const auto workload = [&](Simulator& sim) {
-    test::MmmcNetlistDriver drv(gen, sim);
-    drv.LoadModulus(n);
-    BigUInt got;
-    std::uint64_t cycles = 0;
-    if (!drv.TryMultiply(x, y, &got, &cycles)) return true;  // hang: detected
-    if (cycles != 3 * l + 4) return true;  // latency change: detected
-    return got != expect;                  // wrong value: detected
+  const auto workload = [&](BatchSimulator& sim) {
+    return test::DetectMmmcFaultLanes(sim, gen, n, x, y, expect);
   };
 
-  // Every 8th node as the target population (deterministic sample).
+  // Every other node as the target population (deterministic sample).
   std::vector<NetId> targets;
-  for (NetId id = 2; id < gen.netlist->NodeCount(); id += 8) {
+  for (NetId id = 2; id < gen.netlist->NodeCount(); id += 2) {
     targets.push_back(id);
   }
-  const FaultCoverage coverage =
-      RunFaultCampaign(*gen.netlist, targets,
-                       {FaultType::kStuckAt0, FaultType::kStuckAt1}, workload);
-  EXPECT_GT(coverage.injected, 50u);
+  const FaultCoverage coverage = RunFaultCampaignBatch(
+      *gen.netlist, targets, {FaultType::kStuckAt0, FaultType::kStuckAt1},
+      workload);
+  EXPECT_GT(coverage.injected, 200u);
   EXPECT_GT(coverage.Rate(), 0.55)
       << "single multiply must flag a majority of stuck-at faults";
 }

@@ -158,6 +158,23 @@ TEST(Simulator, SetInputRejectsNonInputs) {
   EXPECT_THROW(sim.SetInput(g, true), std::logic_error);
 }
 
+TEST(Simulator, PeekBusRejectsWideBusesPeekWideReadsThem) {
+  Netlist nl;
+  const Bus wide = InputBus(nl, "w", 70);
+  Simulator sim(nl);
+  bignum::BigUInt expect;
+  for (std::size_t i = 0; i < wide.size(); i += 3) {
+    sim.SetInput(wide[i], true);
+    expect.SetBit(i, true);
+  }
+  sim.Settle();
+  EXPECT_THROW(sim.PeekBus(wide), std::invalid_argument);
+  EXPECT_EQ(sim.PeekWide(wide), expect);
+  // Narrow buses: both views agree.
+  const Bus low(wide.begin(), wide.begin() + 8);
+  EXPECT_EQ(sim.PeekWide(low).ToUint64(), sim.PeekBus(low));
+}
+
 TEST(Components, HalfAdderTruthTable) {
   Netlist nl;
   const NetId a = nl.AddInput("a");

@@ -64,5 +64,48 @@ TEST(Testbench, MmmcTestbenchCoversAWholeMultiplication) {
   EXPECT_NE(tb.find("mmmc4 dut"), std::string::npos);
 }
 
+// The batch recorder must reproduce, lane for lane, exactly what the
+// scalar recorder produces for each sequence run on its own — here with 64
+// MMMC multiplications (64 operand pairs) recorded in a single simulation.
+TEST(Testbench, BatchRecordingMatchesScalarPerSequence) {
+  using mont::bignum::BigUInt;
+  const std::size_t l = 3;
+  const core::MmmcNetlist gen = core::BuildMmmcNetlist(l);
+  auto rng = test::TestRng();
+  const BigUInt n = rng.OddExactBits(l);
+  const BigUInt two_n = n << 1;
+
+  std::vector<StimulusSequence> sequences;
+  for (std::size_t lane = 0; lane < 64; ++lane) {
+    StimulusSequence seq;
+    seq.push_back(
+        test::MmmcStartStimulus(gen, rng.Below(two_n), rng.Below(two_n), n));
+    for (std::size_t k = 0; k < 3 * l + 5; ++k) {
+      seq.push_back({{gen.start, false}});
+    }
+    sequences.push_back(std::move(seq));
+  }
+
+  const auto batch = RecordVectorsBatch(*gen.netlist, sequences);
+  ASSERT_EQ(batch.size(), sequences.size());
+  for (std::size_t lane = 0; lane < sequences.size(); ++lane) {
+    const auto scalar = RecordVectors(*gen.netlist, sequences[lane]);
+    ASSERT_EQ(batch[lane].size(), scalar.size()) << "lane " << lane;
+    for (std::size_t v = 0; v < scalar.size(); ++v) {
+      EXPECT_EQ(batch[lane][v].inputs, scalar[v].inputs);
+      EXPECT_EQ(batch[lane][v].expected, scalar[v].expected)
+          << "lane " << lane << " vector " << v;
+    }
+  }
+}
+
+TEST(Testbench, BatchRecordingRejectsMoreThan64Sequences) {
+  Netlist nl;
+  const NetId a = nl.AddInput("a");
+  nl.MarkOutput(nl.Buf(a), "q");
+  const std::vector<StimulusSequence> sequences(65, {{{a, true}}});
+  EXPECT_THROW(RecordVectorsBatch(nl, sequences), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace mont::rtl

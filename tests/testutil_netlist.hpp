@@ -1,16 +1,18 @@
-// testutil_netlist.hpp — gate-level companion to testutil.hpp: a pin-level
-// driver for generated MMMC netlists, replacing the hand-rolled
+// testutil_netlist.hpp — gate-level companion to testutil.hpp: bus drive
+// helpers plus gtest-flavoured wrappers over the shared MMMC drive
+// protocol (src/core/sim_drivers.hpp), replacing the hand-rolled
 // set-inputs / pulse-start / tick-until-done loops that used to be copied
 // into every gate-level suite.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
-#include <memory>
 #include <utility>
 #include <vector>
 
 #include "core/netlist_gen.hpp"
+#include "core/sim_drivers.hpp"
+#include "rtl/batch_sim.hpp"
 #include "rtl/simulator.hpp"
 #include "testutil.hpp"
 
@@ -26,9 +28,19 @@ inline void SetBus(rtl::Simulator& sim, const rtl::Bus& bus,
 
 inline void SetBus(rtl::Simulator& sim, const rtl::Bus& bus,
                    const bignum::BigUInt& value) {
-  for (std::size_t i = 0; i < bus.size(); ++i) {
-    sim.SetInput(bus[i], value.Bit(i));
-  }
+  core::DriveBus(sim, bus, value);
+}
+
+/// Drives the same value into every lane of a batch simulator's input bus.
+inline void SetBusAllLanes(rtl::BatchSimulator& sim, const rtl::Bus& bus,
+                           const bignum::BigUInt& value) {
+  core::DriveBusAllLanes(sim, bus, value);
+}
+
+/// Drives one lane of a batch simulator's input bus.
+inline void SetBusLane(rtl::BatchSimulator& sim, const rtl::Bus& bus,
+                       std::size_t lane, const bignum::BigUInt& value) {
+  core::DriveBusLane(sim, bus, lane, value);
 }
 
 /// The stimulus vector that starts one MMMC multiplication: operands,
@@ -49,85 +61,73 @@ inline std::vector<std::pair<rtl::NetId, bool>> MmmcStartStimulus(
   return stimulus;
 }
 
-/// Drives a generated MMMC netlist the way the paper's environment drives
-/// the chip: load the modulus once, then each Multiply() presents the
-/// operands, pulses START for one clock edge, and runs to DONE.
-class MmmcNetlistDriver {
+/// Scalar MMMC driver with a Multiply() that reports a gtest failure (and
+/// returns zero) when the FSM hangs.
+class MmmcNetlistDriver : public core::MmmcSimDriver {
  public:
-  /// Owns a fresh simulator over the generated netlist.
-  explicit MmmcNetlistDriver(const core::MmmcNetlist& gen)
-      : gen_(gen),
-        owned_(std::make_unique<rtl::Simulator>(*gen.netlist)),
-        sim_(*owned_) {}
+  using core::MmmcSimDriver::MmmcSimDriver;
 
-  /// Borrows an existing simulator (fault campaigns construct their own).
-  MmmcNetlistDriver(const core::MmmcNetlist& gen, rtl::Simulator& sim)
-      : gen_(gen), sim_(sim) {}
-
-  rtl::Simulator& sim() { return sim_; }
-
-  void LoadModulus(const bignum::BigUInt& n) { SetBus(sim_, gen_.n_in, n); }
-
-  /// Dual-field builds only: true selects GF(p), false selects GF(2^m).
-  void SelectField(bool gfp) { sim_.SetInput(gen_.fsel, gfp); }
-
-  /// Presents x, y and pulses START for exactly one clock edge.
-  void Start(const bignum::BigUInt& x, const bignum::BigUInt& y) {
-    SetBus(sim_, gen_.x_in, x);
-    SetBus(sim_, gen_.y_in, y);
-    sim_.SetInput(gen_.start, true);
-    sim_.Tick();
-    sim_.SetInput(gen_.start, false);
-  }
-
-  void Tick() { sim_.Tick(); }
-  bool Done() const { return sim_.Peek(gen_.done); }
-
-  bignum::BigUInt Result() const {
-    bignum::BigUInt out;
-    for (std::size_t b = 0; b < gen_.result.size(); ++b) {
-      if (sim_.Peek(gen_.result[b])) out.SetBit(b, true);
-    }
-    return out;
-  }
-
-  /// One full multiplication.  Returns false if DONE does not arrive within
-  /// `max_cycles` edges (a hung FSM — fault campaigns count that as a
-  /// detection).  On success the OUT state is drained so the next Start()
-  /// begins from IDLE, and `cycles_taken` receives the START-to-DONE edge
-  /// count (always 3l+4 on a healthy circuit).
-  bool TryMultiply(const bignum::BigUInt& x, const bignum::BigUInt& y,
-                   bignum::BigUInt* out,
-                   std::uint64_t* cycles_taken = nullptr,
-                   std::uint64_t max_cycles = 0) {
-    if (max_cycles == 0) max_cycles = 8 * (gen_.l + 4);
-    Start(x, y);
-    std::uint64_t cycles = 1;
-    while (!Done()) {
-      if (cycles >= max_cycles) return false;
-      sim_.Tick();
-      ++cycles;
-    }
-    if (out != nullptr) *out = Result();
-    if (cycles_taken != nullptr) *cycles_taken = cycles;
-    sim_.Tick();  // drain OUT -> IDLE
-    return true;
-  }
-
-  /// Multiply that reports a test failure (and returns zero) on a hang.
   bignum::BigUInt Multiply(const bignum::BigUInt& x, const bignum::BigUInt& y,
                            std::uint64_t* cycles_taken = nullptr) {
     bignum::BigUInt out;
     if (!TryMultiply(x, y, &out, cycles_taken)) {
-      ADD_FAILURE() << "MMMC netlist FSM hung (l = " << gen_.l << ")";
+      ADD_FAILURE() << "MMMC netlist FSM hung (l = " << gen().l << ")";
     }
     return out;
   }
-
- private:
-  const core::MmmcNetlist& gen_;
-  std::unique_ptr<rtl::Simulator> owned_;
-  rtl::Simulator& sim_;
 };
+
+/// 64-lane MMMC driver with the matching failure-reporting Multiply().
+class BatchMmmcNetlistDriver : public core::MmmcBatchSimDriver {
+ public:
+  using core::MmmcBatchSimDriver::MmmcBatchSimDriver;
+
+  std::vector<bignum::BigUInt> Multiply(
+      const std::vector<bignum::BigUInt>& xs,
+      const std::vector<bignum::BigUInt>& ys,
+      std::uint64_t* cycles_taken = nullptr) {
+    std::vector<bignum::BigUInt> out;
+    if (!TryMultiply(xs, ys, &out, cycles_taken)) {
+      ADD_FAILURE() << "batch MMMC netlist FSM hung (l = " << gen().l << ")";
+      out.assign(xs.size(), bignum::BigUInt{});
+    }
+    return out;
+  }
+};
+
+/// The lane-parallel fault-campaign workload body: multiplies (x, y) on
+/// every lane of `sim` (each lane carrying a different injected fault) and
+/// returns the lanes whose behaviour diverged from a healthy circuit —
+/// wrong result read at that lane's own DONE cycle, DONE at any cycle
+/// other than the paper's 3l+4, or no DONE within `max_cycles` (hung
+/// FSM).  Mirrors, lane for lane, the detection criteria of the scalar
+/// TryMultiply-and-compare workload, which is what makes sequential and
+/// batch campaigns comparable fault-for-fault.
+inline std::uint64_t DetectMmmcFaultLanes(
+    rtl::BatchSimulator& sim, const core::MmmcNetlist& gen,
+    const bignum::BigUInt& n, const bignum::BigUInt& x,
+    const bignum::BigUInt& y, const bignum::BigUInt& expect,
+    std::uint64_t max_cycles = 0) {
+  constexpr std::size_t kLanes = rtl::BatchSimulator::kLanes;
+  if (max_cycles == 0) max_cycles = 8 * (gen.l + 4);
+  core::MmmcBatchSimDriver drv(gen, sim);
+  drv.LoadModulus(n);
+  const std::vector<bignum::BigUInt> xs(kLanes, x), ys(kLanes, y);
+  drv.Start(xs, ys);
+  std::uint64_t detected = 0, done_seen = 0;
+  for (std::uint64_t cycle = 1; cycle <= max_cycles; ++cycle) {
+    const std::uint64_t newly = drv.DoneLanes() & ~done_seen;
+    for (std::size_t lane = 0; lane < kLanes; ++lane) {
+      if (((newly >> lane) & 1u) != 0 && drv.Result(lane) != expect) {
+        detected |= std::uint64_t{1} << lane;  // wrong value
+      }
+    }
+    if (cycle != 3 * gen.l + 4) detected |= newly;  // latency change
+    done_seen |= newly;
+    if (done_seen == rtl::BatchSimulator::kAllLanes) break;
+    drv.Tick();
+  }
+  return detected | ~done_seen;  // hung lanes
+}
 
 }  // namespace mont::test
