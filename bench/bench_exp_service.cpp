@@ -1,0 +1,206 @@
+// bench_exp_service — the batched async exponentiation service under load:
+// jobs/sec versus worker count, pairing on/off, and queue depth.
+//
+// Two throughput views matter and the bench reports both:
+//
+//   * wall jobs/s — host-side service throughput (queue + worker pool
+//     overhead on this machine's cores);
+//   * modelled jobs per gigacycle — throughput of the modelled hardware,
+//     from the per-issue cycle charges (3l+5 per dual-channel MMM pair,
+//     3l+4 per single MMM).  This is where dual-channel pairing shows:
+//     with a deep queue of same-length jobs nearly every MMM issues
+//     paired, so the array retires ~2 MMMs per 3l+5 cycles and the
+//     paired/unpaired ratio approaches 2(3l+4)/(3l+5) ~ 1.97x.
+//
+// The queue-depth sweep demonstrates the scheduling side: pairing needs
+// at least two queued jobs, so depth 1 pairs nothing and the pairing
+// fraction (and modelled throughput) climbs with depth.
+//
+// Writes BENCH_exp_service.json (see bench_json.hpp); --smoke restricts
+// the sweep for the ctest `perf` label.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "bignum/biguint.hpp"
+#include "bignum/random.hpp"
+#include "core/exp_service.hpp"
+#include "core/schedule.hpp"
+
+namespace {
+
+using mont::bignum::BigUInt;
+using mont::core::ExpService;
+using Clock = std::chrono::steady_clock;
+
+struct Workload {
+  std::size_t l = 0;
+  std::vector<BigUInt> moduli;     // one per job (cycled over a small pool)
+  std::vector<BigUInt> bases;
+  std::vector<BigUInt> exponents;
+};
+
+Workload MakeWorkload(std::size_t l, std::size_t jobs, std::uint64_t seed) {
+  Workload load;
+  load.l = l;
+  mont::bignum::RandomBigUInt rng(seed);
+  std::vector<BigUInt> pool;
+  for (int i = 0; i < 4; ++i) pool.push_back(rng.OddExactBits(l));
+  for (std::size_t j = 0; j < jobs; ++j) {
+    const BigUInt& n = pool[j % pool.size()];
+    load.moduli.push_back(n);
+    load.bases.push_back(rng.Below(n));
+    load.exponents.push_back(rng.BalancedExactBits(l));
+  }
+  return load;
+}
+
+struct RunStats {
+  double wall_seconds = 0;
+  double wall_jobs_per_sec = 0;
+  std::uint64_t model_cycles = 0;  // array occupancy across all issues
+  double jobs_per_gigacycle = 0;
+  double paired_fraction = 0;  // jobs that ran co-scheduled
+};
+
+/// Pushes the whole workload with at most `depth` jobs in flight (0 =
+/// unbounded) and accounts wall time and modelled array cycles.
+RunStats RunWorkload(const Workload& load, std::size_t workers, bool pairing,
+                     std::size_t depth = 0) {
+  ExpService::Options options;
+  options.workers = workers;
+  options.enable_pairing = pairing;
+  ExpService service(options);
+
+  const std::size_t jobs = load.moduli.size();
+  RunStats stats;
+  const Clock::time_point begin = Clock::now();
+  std::vector<std::future<ExpService::Result>> futures;
+  futures.reserve(jobs);
+  std::uint64_t paired_jobs = 0;
+  const auto harvest = [&](std::size_t up_to) {
+    for (std::size_t j = futures.size(); j-- > up_to;) {
+      if (!futures[j].valid()) continue;
+      const ExpService::Result result = futures[j].get();
+      if (result.paired) {
+        ++paired_jobs;
+        // Both partners report the group total: attribute half each so
+        // every issue group counts once.
+        stats.model_cycles += result.engine_cycles / 2;
+      } else {
+        stats.model_cycles += result.engine_cycles;
+      }
+    }
+  };
+  for (std::size_t j = 0; j < jobs; ++j) {
+    futures.push_back(
+        service.Submit(load.moduli[j], load.bases[j], load.exponents[j]));
+    if (depth != 0 && futures.size() % depth == 0) {
+      harvest(futures.size() - depth);
+    }
+  }
+  harvest(0);
+  stats.wall_seconds =
+      std::chrono::duration<double>(Clock::now() - begin).count();
+  stats.wall_jobs_per_sec = static_cast<double>(jobs) / stats.wall_seconds;
+  stats.jobs_per_gigacycle =
+      static_cast<double>(jobs) / static_cast<double>(stats.model_cycles) *
+      1e9;
+  stats.paired_fraction =
+      static_cast<double>(paired_jobs) / static_cast<double>(jobs);
+  return stats;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const std::vector<std::size_t> lengths =
+      smoke ? std::vector<std::size_t>{128}
+            : std::vector<std::size_t>{128, 256};
+  const std::size_t jobs = smoke ? 96 : 256;
+  const std::vector<std::size_t> worker_counts =
+      smoke ? std::vector<std::size_t>{1, 2} : std::vector<std::size_t>{1, 2, 4};
+
+  std::vector<mont::bench::JsonRow> rows;
+
+  std::printf("=== ExpService: jobs/s vs workers, dual-channel pairing "
+              "on/off ===\n\n");
+  std::printf("%6s %8s | %-23s | %-23s | %s\n", "", "",
+              "unpaired (1 job/pass)", "paired (2 jobs/pass)", "model");
+  std::printf("%6s %8s | %11s %11s | %11s %11s %7s | %s\n", "l", "workers",
+              "wall j/s", "j/Gcycle", "wall j/s", "j/Gcycle", "paired",
+              "speedup");
+  std::printf("-------+--------+------------------------+------------------"
+              "--------------+--------\n");
+  for (const std::size_t l : lengths) {
+    const Workload load = MakeWorkload(l, jobs, 0x5e1f5e1full + l);
+    for (const std::size_t workers : worker_counts) {
+      const RunStats unpaired = RunWorkload(load, workers, /*pairing=*/false);
+      const RunStats paired = RunWorkload(load, workers, /*pairing=*/true);
+      const double model_speedup =
+          paired.jobs_per_gigacycle / unpaired.jobs_per_gigacycle;
+      std::printf("%6zu %8zu | %11.1f %11.2f | %11.1f %11.2f %6.0f%% | "
+                  "%6.2fx\n",
+                  l, workers, unpaired.wall_jobs_per_sec,
+                  unpaired.jobs_per_gigacycle, paired.wall_jobs_per_sec,
+                  paired.jobs_per_gigacycle, paired.paired_fraction * 100,
+                  model_speedup);
+      rows.push_back({
+          {"phase", "workers"},
+          {"l", l},
+          {"workers", workers},
+          {"jobs", jobs},
+          {"unpaired_wall_jobs_per_sec", unpaired.wall_jobs_per_sec},
+          {"unpaired_jobs_per_gigacycle", unpaired.jobs_per_gigacycle},
+          {"unpaired_model_cycles", unpaired.model_cycles},
+          {"paired_wall_jobs_per_sec", paired.wall_jobs_per_sec},
+          {"paired_jobs_per_gigacycle", paired.jobs_per_gigacycle},
+          {"paired_model_cycles", paired.model_cycles},
+          {"paired_fraction", paired.paired_fraction},
+          {"paired_speedup_model", model_speedup},
+      });
+    }
+  }
+
+  std::printf("\n=== Pairing fraction vs queue depth (l = %zu, 2 workers) "
+              "===\n\n", lengths.front());
+  std::printf("%7s | %9s | %11s | %s\n", "depth", "paired", "j/Gcycle",
+              "wall j/s");
+  std::printf("--------+-----------+-------------+---------\n");
+  {
+    const Workload load =
+        MakeWorkload(lengths.front(), jobs, 0xdeb7full);
+    for (const std::size_t depth : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{8}, std::size_t{0}}) {
+      const RunStats run =
+          RunWorkload(load, /*workers=*/2, /*pairing=*/true, depth);
+      std::printf("%7s | %8.0f%% | %11.2f | %8.1f\n",
+                  depth == 0 ? "inf" : std::to_string(depth).c_str(),
+                  run.paired_fraction * 100, run.jobs_per_gigacycle,
+                  run.wall_jobs_per_sec);
+      rows.push_back({
+          {"phase", "depth"},
+          {"l", lengths.front()},
+          {"depth", depth},  // 0 = unbounded
+          {"jobs", jobs},
+          {"paired_fraction", run.paired_fraction},
+          {"jobs_per_gigacycle", run.jobs_per_gigacycle},
+          {"wall_jobs_per_sec", run.wall_jobs_per_sec},
+      });
+    }
+  }
+
+  const std::string path = mont::bench::WriteBenchJson(
+      "exp_service", rows, {{"smoke", smoke}});
+  std::printf("\njobs/Gcycle = modelled-array throughput (3l+5 per paired "
+              "MMM issue, 3l+4 single);\nwall j/s = host-side service "
+              "throughput.  JSON written to %s\n", path.c_str());
+  return 0;
+}

@@ -9,9 +9,17 @@
 // are run through the exponentiator and the measured MMM cycles are
 // averaged; the paper's closed-form average (l squarings + l/2 multiplies)
 // is printed alongside.  Also prints the Eq. 10 bounds.
+//
+// Writes BENCH_table1.json (see bench_json.hpp) so CI can track model
+// drift against the paper's numbers; --smoke cuts the per-row trial count
+// for the ctest `perf` label.
 #include <cinttypes>
 #include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
+#include "bench_json.hpp"
 #include "bignum/random.hpp"
 #include "core/exponentiator.hpp"
 #include "core/netlist_gen.hpp"
@@ -33,7 +41,13 @@ constexpr PaperRow kPaperTable1[] = {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const int kTrials = smoke ? 1 : 3;
+
   std::printf("=== Table 1: clock period and average modular exponentiation "
               "time ===\n");
   std::printf("(paper: Xilinx V812E-BG-560-8; here: calibrated device model "
@@ -45,6 +59,7 @@ int main() {
   std::printf("-------+----------------------+---------------------------------"
               "+-----------\n");
 
+  std::vector<mont::bench::JsonRow> json_rows;
   mont::bignum::RandomBigUInt rng(0x7ab1e1u);
   for (const PaperRow& row : kPaperTable1) {
     const auto gen = mont::core::BuildMmmcNetlist(row.l);
@@ -55,7 +70,6 @@ int main() {
     // charged the validated 3l+4.)
     const mont::bignum::BigUInt n = rng.OddExactBits(row.l);
     mont::core::Exponentiator exponentiator(n);
-    constexpr int kTrials = 3;
     std::uint64_t total_cycles = 0;
     for (int trial = 0; trial < kTrials; ++trial) {
       const auto base = rng.Below(n);
@@ -73,11 +87,24 @@ int main() {
     const double measured_ms =
         measured_cycles * fpga.clock_period_ns * 1e-6;
 
+    const double formula_ms =
+        static_cast<double>(formula_cycles) * fpga.clock_period_ns * 1e-6;
     std::printf("%6zu | %9.3f %11.3f | %9.3f %10.3f %10.3f | %10.0f\n", row.l,
-                row.tp_ns, fpga.clock_period_ns, row.texp_ms,
-                static_cast<double>(formula_cycles) * fpga.clock_period_ns *
-                    1e-6,
+                row.tp_ns, fpga.clock_period_ns, row.texp_ms, formula_ms,
                 measured_ms, measured_cycles);
+
+    json_rows.push_back({
+        {"l", row.l},
+        {"tp_paper_ns", row.tp_ns},
+        {"tp_model_ns", fpga.clock_period_ns},
+        {"texp_paper_ms", row.texp_ms},
+        {"texp_formula_ms", formula_ms},
+        {"texp_measured_ms", measured_ms},
+        {"avg_measured_cycles", measured_cycles},
+        {"avg_formula_cycles", formula_cycles},
+        {"eq10_lower_cycles", mont::core::ExponentiationLowerBound(row.l)},
+        {"eq10_upper_cycles", mont::core::ExponentiationUpperBound(row.l)},
+    });
   }
 
   std::printf("\n--- Eq. 10 bounds: 3l^2+10l+12 <= T_mod-exp(cycles) <= "
@@ -91,8 +118,10 @@ int main() {
     std::printf("%6zu %14" PRIu64 " %14" PRIu64 " %14" PRIu64 " %14s\n", row.l,
                 lo, avg, hi, (lo <= avg && avg <= hi) ? "yes" : "NO");
   }
+  const std::string path = mont::bench::WriteBenchJson(
+      "table1", json_rows, {{"smoke", smoke}, {"trials", kTrials}});
   std::printf("\nShape check: who wins and where — times scale as l^2 with a "
               "flat clock,\nmatching the paper's Table 1 within the device "
-              "model's calibration band.\n");
+              "model's calibration band.\nJSON written to %s\n", path.c_str());
   return 0;
 }

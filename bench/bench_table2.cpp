@@ -6,8 +6,16 @@
 // Virtex-E device model; T_MMM = (3l+4) * Tp where the cycle count is the
 // one asserted clock-by-clock in the test suite (and re-measured here on
 // the behavioural simulator for every row where that is fast).
+//
+// Writes BENCH_table2.json (see bench_json.hpp) so CI can track model
+// drift against the paper's numbers; --smoke is accepted for symmetry
+// with the other perf-labelled benches (every row is already cheap).
 #include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
+#include "bench_json.hpp"
 #include "bignum/random.hpp"
 #include "core/mmmc.hpp"
 #include "core/netlist_gen.hpp"
@@ -32,7 +40,12 @@ constexpr PaperRow kPaperTable2[] = {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
   std::printf("=== Table 2: slices, clock period, time-area product, T_MMM "
               "===\n");
   std::printf("(paper: Xilinx V812E-BG-560-8 synthesis; here: LUT4 mapping + "
@@ -45,6 +58,7 @@ int main() {
   std::printf("-------+-----------------+---------------------+---------------"
               "--------+-------------------+---------\n");
 
+  std::vector<mont::bench::JsonRow> json_rows;
   mont::bignum::RandomBigUInt rng(0x7ab1e2u);
   for (const PaperRow& row : kPaperTable2) {
     const auto gen = mont::core::BuildMmmcNetlist(row.l);
@@ -68,10 +82,28 @@ int main() {
                 row.tmmm_us, tmmm_us,
                 static_cast<unsigned long long>(simulated),
                 simulated == cycles ? " (=3l+4)" : " MISMATCH");
+
+    json_rows.push_back({
+        {"l", row.l},
+        {"slices_paper", row.slices},
+        {"slices_model", fpga.slices},
+        {"tp_paper_ns", row.tp_ns},
+        {"tp_model_ns", fpga.clock_period_ns},
+        {"ta_paper", row.ta},
+        {"ta_model",
+         fpga.clock_period_ns * static_cast<double>(fpga.slices)},
+        {"tmmm_paper_us", row.tmmm_us},
+        {"tmmm_model_us", tmmm_us},
+        {"simulated_cycles", simulated},
+        {"cycles_match_formula", simulated == cycles},
+    });
   }
 
+  const std::string path =
+      mont::bench::WriteBenchJson("table2", json_rows, {{"smoke", smoke}});
   std::printf("\nShape check: slices linear in l (paper ~5.6/bit, model "
               "within 20%%),\nclock period flat across two orders of "
-              "magnitude of l — the paper's key claim.\n");
+              "magnitude of l — the paper's key claim.\nJSON written to "
+              "%s\n", path.c_str());
   return 0;
 }

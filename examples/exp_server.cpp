@@ -1,0 +1,120 @@
+// exp_server — demo loop for the batched async exponentiation service:
+// a stream of mixed RSA traffic (raw modexp jobs plus CRT sign operations
+// submitted as bonded dual-channel pairs) flows through one ExpService,
+// and the run ends with the serving-layer scorecard: pairing ratio,
+// engine-cache hit rate, and the modelled cycles saved by dual-channel
+// scheduling versus sequential issue.
+//
+//   ./exp_server [requests]     (default 200; the ctest smoke run uses 64)
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "bignum/random.hpp"
+#include "core/exp_service.hpp"
+#include "core/schedule.hpp"
+#include "crypto/rsa.hpp"
+
+using mont::bignum::BigUInt;
+using mont::core::ExpService;
+
+int main(int argc, char** argv) {
+  const std::size_t requests =
+      argc > 1 ? static_cast<std::size_t>(std::strtoul(argv[1], nullptr, 10))
+               : 200;
+
+  std::printf("=== exp_server: batched async modular exponentiation ===\n\n");
+
+  // Two tenants with their own RSA keys, plus a pool of raw-modexp moduli
+  // (as an ECDSA/DH-style side load) — all sharing one service.
+  mont::bignum::RandomBigUInt rng(0x5e12f1ceull);
+  const mont::crypto::RsaKeyPair tenant_a =
+      mont::crypto::GenerateRsaKey(128, rng);
+  const mont::crypto::RsaKeyPair tenant_b =
+      mont::crypto::GenerateRsaKey(96, rng);
+  std::vector<BigUInt> side_moduli;
+  for (const std::size_t bits : {64u, 64u, 96u}) {
+    side_moduli.push_back(rng.OddExactBits(bits));
+  }
+
+  ExpService::Options options;
+  options.workers = 2;
+  options.engine_cache_capacity = 8;
+  ExpService service(options);
+
+  std::atomic<std::uint64_t> completed{0};
+  std::atomic<std::uint64_t> modelled_cycles{0};
+  const auto on_done = [&](const ExpService::Result& result) {
+    ++completed;
+    // Both halves of a pair report the group total; attribute half each.
+    modelled_cycles += result.paired ? result.engine_cycles / 2
+                                     : result.engine_cycles;
+  };
+
+  std::printf("submitting %zu requests (2 RSA tenants + %zu raw-modexp "
+              "keys) ...\n", requests, side_moduli.size());
+  std::size_t crt_ops = 0, raw_ops = 0;
+  for (std::size_t r = 0; r < requests; ++r) {
+    switch (r % 3) {
+      case 0: {  // CRT decrypt (alternating tenants): bonded channel pair
+        const mont::crypto::RsaKeyPair& key = (r % 2 == 0) ? tenant_a
+                                                           : tenant_b;
+        const BigUInt c = rng.Below(key.n);
+        const BigUInt dp = key.d % (key.p - BigUInt{1});
+        const BigUInt dq = key.d % (key.q - BigUInt{1});
+        service.SubmitPair(key.p, c % key.p, dp, key.q, c % key.q, dq);
+        // (A real server recombines the two futures; the demo tracks
+        // completion through the service counters instead.)
+        ++crt_ops;
+        break;
+      }
+      default: {  // raw modexp traffic over the shared side moduli
+        const BigUInt& n = side_moduli[r % side_moduli.size()];
+        service.Submit(n, rng.Below(n), rng.Below(n), on_done);
+        ++raw_ops;
+        break;
+      }
+    }
+  }
+  service.Wait();
+
+  const ExpService::Counters counters = service.Snapshot();
+  const double pair_rate =
+      counters.pair_issues + counters.single_issues == 0
+          ? 0.0
+          : static_cast<double>(2 * counters.pair_issues) /
+                static_cast<double>(2 * counters.pair_issues +
+                                    counters.single_issues);
+  const double hit_rate =
+      counters.engine_cache_hits + counters.engine_cache_misses == 0
+          ? 0.0
+          : static_cast<double>(counters.engine_cache_hits) /
+                static_cast<double>(counters.engine_cache_hits +
+                                    counters.engine_cache_misses);
+
+  std::printf("\n--- serving-layer scorecard -------------------------\n");
+  std::printf("  requests submitted        %12llu  (%zu CRT pairs, %zu raw)\n",
+              static_cast<unsigned long long>(counters.jobs_submitted),
+              crt_ops, raw_ops);
+  std::printf("  jobs completed            %12llu\n",
+              static_cast<unsigned long long>(counters.jobs_completed));
+  std::printf("  callback completions      %12llu\n",
+              static_cast<unsigned long long>(completed.load()));
+  std::printf("  dual-channel issues       %12llu\n",
+              static_cast<unsigned long long>(counters.pair_issues));
+  std::printf("  single issues             %12llu\n",
+              static_cast<unsigned long long>(counters.single_issues));
+  std::printf("  jobs co-scheduled         %11.0f%%\n", pair_rate * 100);
+  std::printf("  engine cache hit rate     %11.0f%%  (%llu hits, %llu "
+              "misses, %llu evictions)\n", hit_rate * 100,
+              static_cast<unsigned long long>(counters.engine_cache_hits),
+              static_cast<unsigned long long>(counters.engine_cache_misses),
+              static_cast<unsigned long long>(counters.engine_cache_evictions));
+  std::printf("  modelled array cycles     %12llu  (callback-tracked jobs)\n",
+              static_cast<unsigned long long>(modelled_cycles.load()));
+  std::printf("\nEvery co-scheduled pair of MMMs costs 3l+5 cycles instead "
+              "of 6l+8 —\nqueue two jobs deep and the array nearly doubles "
+              "its throughput.\n");
+  return counters.jobs_completed == counters.jobs_submitted ? 0 : 1;
+}

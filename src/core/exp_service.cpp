@@ -1,0 +1,463 @@
+#include "core/exp_service.hpp"
+
+#include <exception>
+#include <optional>
+#include <stdexcept>
+
+#include "core/interleaved.hpp"
+
+namespace mont::core {
+
+using bignum::BigUInt;
+using bignum::BitSerialMontgomery;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// ModExpStream — one exponentiation unrolled into its MMM dependency chain
+// ---------------------------------------------------------------------------
+
+// Left-to-right square-and-multiply (§4.5, Algorithm 3) as a stream of MMM
+// requests: NextOperands() exposes the operands of the next multiplication
+// this job needs, Consume() feeds the product back and advances the state
+// machine.  Every MMM depends on the previous one *of the same job*, so two
+// streams can be zipped issue-for-issue onto the two channels of one array
+// without any cross-job hazard.
+class ModExpStream {
+ public:
+  ModExpStream(const BitSerialMontgomery& ctx, const BigUInt& base,
+               const BigUInt& exponent, ExponentiationStats* stats)
+      : ctx_(ctx), exponent_(exponent), stats_(stats) {
+    if (exponent_.IsZero()) {
+      result_ = BigUInt{1} % ctx_.Modulus();
+      phase_ = Phase::kDone;
+      return;
+    }
+    m_ = base % ctx_.Modulus();
+    next_i_ = exponent_.BitLength() - 1;
+    phase_ = Phase::kPre;
+  }
+
+  bool Done() const { return phase_ == Phase::kDone; }
+
+  /// Operands of the next MMM; pointers stay valid until Consume().
+  void NextOperands(const BigUInt** x, const BigUInt** y) const {
+    switch (phase_) {
+      case Phase::kPre:
+        *x = &m_;
+        *y = &ctx_.RSquaredModN();
+        return;
+      case Phase::kSquare:
+        *x = &a_;
+        *y = &a_;
+        return;
+      case Phase::kMultiply:
+        *x = &a_;
+        *y = &m_mont_;
+        return;
+      case Phase::kPost:
+        *x = &a_;
+        *y = &one_;
+        return;
+      case Phase::kDone:
+        break;
+    }
+    throw std::logic_error("ModExpStream: no operands after completion");
+  }
+
+  void Consume(BigUInt product) {
+    if (stats_ != nullptr) ++stats_->mmm_invocations;
+    switch (phase_) {
+      case Phase::kPre:
+        m_mont_ = std::move(product);
+        a_ = m_mont_;
+        AdvanceIteration();
+        return;
+      case Phase::kSquare:
+        a_ = std::move(product);
+        if (stats_ != nullptr) ++stats_->squarings;
+        if (exponent_.Bit(next_i_)) {
+          phase_ = Phase::kMultiply;
+        } else {
+          AdvanceIteration();
+        }
+        return;
+      case Phase::kMultiply:
+        a_ = std::move(product);
+        if (stats_ != nullptr) ++stats_->multiplications;
+        AdvanceIteration();
+        return;
+      case Phase::kPost:
+        result_ = std::move(product);
+        if (result_ >= ctx_.Modulus()) result_ -= ctx_.Modulus();
+        if (stats_ != nullptr) {
+          stats_->paper_model_cycles = ExponentiationCycles(
+              ctx_.l(), stats_->squarings, stats_->multiplications);
+        }
+        phase_ = Phase::kDone;
+        return;
+      case Phase::kDone:
+        break;
+    }
+    throw std::logic_error("ModExpStream: consume after completion");
+  }
+
+  const BigUInt& Result() const { return result_; }
+
+ private:
+  enum class Phase { kPre, kSquare, kMultiply, kPost, kDone };
+
+  // Exponent bit i is handled by the iteration entered when next_i_ == i;
+  // the scan covers bits BitLength()-2 .. 0 (the top bit is the initial A).
+  void AdvanceIteration() {
+    if (next_i_ == 0) {
+      phase_ = Phase::kPost;
+    } else {
+      --next_i_;
+      phase_ = Phase::kSquare;
+    }
+  }
+
+  const BitSerialMontgomery& ctx_;
+  const BigUInt exponent_;
+  ExponentiationStats* stats_;
+  const BigUInt one_{1};
+  BigUInt m_;       // base mod N
+  BigUInt m_mont_;  // base in the Montgomery domain
+  BigUInt a_;       // accumulator
+  BigUInt result_;
+  std::size_t next_i_ = 0;
+  Phase phase_ = Phase::kDone;
+};
+
+/// Runs one stream to completion on its own (single-channel issues only),
+/// charging 3l+4 per MMM.  Shared by the service's unpaired path.
+BigUInt RunSoloStream(const BitSerialMontgomery& ctx, const BigUInt& base,
+                      const BigUInt& exponent, ExponentiationStats* stats,
+                      std::uint64_t* single_issues) {
+  ModExpStream stream(ctx, base, exponent, stats);
+  while (!stream.Done()) {
+    const BigUInt* x = nullptr;
+    const BigUInt* y = nullptr;
+    stream.NextOperands(&x, &y);
+    stream.Consume(ctx.MultiplyAlg2(*x, *y));
+    if (single_issues != nullptr) ++*single_issues;
+  }
+  return stream.Result();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// PairedModExp
+// ---------------------------------------------------------------------------
+
+PairedExpResult PairedModExp(const BitSerialMontgomery& ctx_a,
+                             const BigUInt& base_a, const BigUInt& exp_a,
+                             const BitSerialMontgomery& ctx_b,
+                             const BigUInt& base_b, const BigUInt& exp_b,
+                             PairedEngine engine) {
+  if (ctx_a.l() != ctx_b.l()) {
+    throw std::invalid_argument(
+        "PairedModExp: moduli must have equal bit length to share an array");
+  }
+  const std::size_t l = ctx_a.l();
+  PairedExpResult out;
+  ModExpStream stream_a(ctx_a, base_a, exp_a, &out.stats_a);
+  ModExpStream stream_b(ctx_b, base_b, exp_b, &out.stats_b);
+
+  std::optional<InterleavedMmmc> circuit;
+  if (engine == PairedEngine::kCycleAccurate) {
+    circuit.emplace(ctx_a.Modulus(), ctx_b.Modulus());
+  }
+
+  const BigUInt zero;
+  while (!stream_a.Done() || !stream_b.Done()) {
+    if (!stream_a.Done() && !stream_b.Done()) {
+      // Dual-channel issue: one MMM of each job in 3l+5 cycles.
+      const BigUInt *xa = nullptr, *ya = nullptr, *xb = nullptr, *yb = nullptr;
+      stream_a.NextOperands(&xa, &ya);
+      stream_b.NextOperands(&xb, &yb);
+      BigUInt ra, rb;
+      if (circuit.has_value()) {
+        auto pair = circuit->MultiplyPair(*xa, *ya, *xb, *yb);
+        ra = std::move(pair.a);
+        rb = std::move(pair.b);
+      } else {
+        ra = ctx_a.MultiplyAlg2(*xa, *ya);
+        rb = ctx_b.MultiplyAlg2(*xb, *yb);
+      }
+      stream_a.Consume(std::move(ra));
+      stream_b.Consume(std::move(rb));
+      ++out.stats.paired_issues;
+      out.stats.total_cycles += PairedMultiplyCycles(l);
+    } else {
+      // One stream has drained: the leftover issues singly at 3l+4.
+      const bool a_live = !stream_a.Done();
+      ModExpStream& stream = a_live ? stream_a : stream_b;
+      const BitSerialMontgomery& ctx = a_live ? ctx_a : ctx_b;
+      const BigUInt *x = nullptr, *y = nullptr;
+      stream.NextOperands(&x, &y);
+      BigUInt r;
+      if (circuit.has_value()) {
+        auto pair = a_live ? circuit->MultiplyPair(*x, *y, zero, zero)
+                           : circuit->MultiplyPair(zero, zero, *x, *y);
+        r = a_live ? std::move(pair.a) : std::move(pair.b);
+      } else {
+        r = ctx.MultiplyAlg2(*x, *y);
+      }
+      stream.Consume(std::move(r));
+      ++out.stats.single_issues;
+      out.stats.total_cycles += MultiplyCycles(l);
+    }
+  }
+  out.a = stream_a.Result();
+  out.b = stream_b.Result();
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// ExpService
+// ---------------------------------------------------------------------------
+
+ExpService::ExpService(Options options)
+    : options_(options),
+      cache_(options.engine_cache_capacity == 0 ? 1
+                                                : options.engine_cache_capacity) {
+  if (options_.workers == 0) options_.workers = 1;
+  workers_.reserve(options_.workers);
+  for (std::size_t i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ExpService::~ExpService() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+std::future<ExpService::Result> ExpService::Enqueue(Job job,
+                                                    std::uint64_t key) {
+  std::future<Result> future = job.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    job.id = next_id_++;
+    queue_.Push(job.id, key);
+    pending_.emplace(job.id, std::move(job));
+    ++counters_.jobs_submitted;
+  }
+  cv_.notify_one();
+  return future;
+}
+
+std::future<ExpService::Result> ExpService::Submit(BigUInt modulus,
+                                                   BigUInt base,
+                                                   BigUInt exponent,
+                                                   Callback callback) {
+  if (!modulus.IsOdd() || modulus <= BigUInt{1}) {
+    throw std::invalid_argument("ExpService: modulus must be odd > 1");
+  }
+  Job job;
+  // Opportunistic pairing key: the operand length — any two jobs of equal
+  // l can share one array's two channels.
+  const std::uint64_t key = modulus.BitLength();
+  job.modulus = std::move(modulus);
+  job.base = std::move(base);
+  job.exponent = std::move(exponent);
+  job.callback = std::move(callback);
+  return Enqueue(std::move(job), key);
+}
+
+std::vector<std::future<ExpService::Result>> ExpService::SubmitBatch(
+    const BigUInt& modulus, std::span<const BigUInt> bases,
+    std::span<const BigUInt> exponents) {
+  if (bases.size() != exponents.size()) {
+    throw std::invalid_argument(
+        "ExpService::SubmitBatch: bases/exponents size mismatch");
+  }
+  std::vector<std::future<Result>> futures;
+  futures.reserve(bases.size());
+  for (std::size_t i = 0; i < bases.size(); ++i) {
+    futures.push_back(Submit(modulus, bases[i], exponents[i]));
+  }
+  return futures;
+}
+
+std::pair<std::future<ExpService::Result>, std::future<ExpService::Result>>
+ExpService::SubmitPair(BigUInt modulus_a, BigUInt base_a, BigUInt exponent_a,
+                       BigUInt modulus_b, BigUInt base_b, BigUInt exponent_b) {
+  for (const BigUInt* modulus : {&modulus_a, &modulus_b}) {
+    if (!modulus->IsOdd() || *modulus <= BigUInt{1}) {
+      throw std::invalid_argument("ExpService: modulus must be odd > 1");
+    }
+  }
+  if (modulus_a.BitLength() != modulus_b.BitLength()) {
+    // Unequal lengths cannot share an array; run them as plain jobs.
+    auto first = Submit(std::move(modulus_a), std::move(base_a),
+                        std::move(exponent_a));
+    auto second = Submit(std::move(modulus_b), std::move(base_b),
+                         std::move(exponent_b));
+    return {std::move(first), std::move(second)};
+  }
+  // A bond key is unique to the pair (top bit marks the bonded keyspace),
+  // so the partners can only ever pair with each other.  Both jobs enter
+  // the queue under one lock: a worker must never observe one half of a
+  // bond without the other, or the first half would issue alone.
+  Job job_a, job_b;
+  job_a.modulus = std::move(modulus_a);
+  job_a.base = std::move(base_a);
+  job_a.exponent = std::move(exponent_a);
+  job_b.modulus = std::move(modulus_b);
+  job_b.base = std::move(base_b);
+  job_b.exponent = std::move(exponent_b);
+  std::future<Result> first = job_a.promise.get_future();
+  std::future<Result> second = job_b.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    const std::uint64_t key = (std::uint64_t{1} << 63) | next_bond_key_++;
+    for (Job* job : {&job_a, &job_b}) {
+      job->id = next_id_++;
+      queue_.Push(job->id, key, /*bonded=*/true);
+      pending_.emplace(job->id, std::move(*job));
+      ++counters_.jobs_submitted;
+    }
+  }
+  cv_.notify_all();
+  return {std::move(first), std::move(second)};
+}
+
+void ExpService::Wait() {
+  std::unique_lock<std::mutex> lk(mu_);
+  idle_cv_.wait(lk, [this] { return queue_.Empty() && in_flight_ == 0; });
+}
+
+ExpService::Counters ExpService::Snapshot() const {
+  Counters counters;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    counters = counters_;
+  }
+  {
+    std::lock_guard<std::mutex> lk(cache_mu_);
+    counters.engine_cache_hits = cache_.Hits();
+    counters.engine_cache_misses = cache_.Misses();
+    counters.engine_cache_evictions = cache_.Evictions();
+  }
+  return counters;
+}
+
+std::shared_ptr<const BitSerialMontgomery> ExpService::AcquireContext(
+    const BigUInt& modulus) {
+  const std::string key = modulus.ToHex();
+  {
+    std::lock_guard<std::mutex> lk(cache_mu_);
+    if (auto* hit = cache_.Get(key)) return *hit;
+  }
+  // The R^2-mod-N precomputation is the expensive step the cache
+  // amortizes — do it outside the lock so a miss never stalls workers
+  // hitting other moduli.  Two workers racing on the same cold modulus
+  // may both construct; the first Put wins and the loser adopts it.
+  auto ctx = std::make_shared<const BitSerialMontgomery>(modulus);
+  std::lock_guard<std::mutex> lk(cache_mu_);
+  if (cache_.Contains(key)) return *cache_.Get(key);
+  cache_.Put(key, ctx);
+  return ctx;
+}
+
+void ExpService::WorkerLoop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    cv_.wait(lk, [this] { return stop_ || !queue_.Empty(); });
+    if (queue_.Empty()) {
+      if (stop_) return;
+      continue;
+    }
+    const auto issue = queue_.Pop(options_.enable_pairing);
+    std::vector<Job> group;
+    group.reserve(issue->count);
+    for (std::size_t i = 0; i < issue->count; ++i) {
+      auto it = pending_.find(issue->ids[i]);
+      group.push_back(std::move(it->second));
+      pending_.erase(it);
+    }
+    if (issue->count == 2) {
+      ++counters_.pair_issues;
+    } else {
+      ++counters_.single_issues;
+    }
+    in_flight_ += issue->count;
+    lk.unlock();
+
+    const std::size_t completed = group.size();
+    Execute(std::move(group));
+
+    lk.lock();
+    in_flight_ -= completed;
+    counters_.jobs_completed += completed;
+    if (queue_.Empty() && in_flight_ == 0) idle_cv_.notify_all();
+  }
+}
+
+void ExpService::Execute(std::vector<Job> group) {
+  std::vector<Result> results(group.size());
+  try {
+    if (group.size() == 2) {
+      const auto ctx_a = AcquireContext(group[0].modulus);
+      const auto ctx_b = AcquireContext(group[1].modulus);
+      PairedExpResult paired =
+          PairedModExp(*ctx_a, group[0].base, group[0].exponent, *ctx_b,
+                       group[1].base, group[1].exponent, PairedEngine::kFast);
+      results[0].value = std::move(paired.a);
+      results[1].value = std::move(paired.b);
+      results[0].stats = paired.stats_a;
+      results[1].stats = paired.stats_b;
+      for (Result& result : results) {
+        result.paired = true;
+        result.paired_issues = paired.stats.paired_issues;
+        result.single_issues = paired.stats.single_issues;
+        result.engine_cycles = paired.stats.total_cycles;
+        // The group's array occupancy is the closest per-job measurement
+        // pairing admits (the two MMM streams are interleaved cycle by
+        // cycle); both partners report it, mirroring engine_cycles.
+        result.stats.measured_mmm_cycles = paired.stats.total_cycles;
+      }
+    } else {
+      const auto ctx = AcquireContext(group[0].modulus);
+      Result& result = results[0];
+      result.value = RunSoloStream(*ctx, group[0].base, group[0].exponent,
+                                   &result.stats, &result.single_issues);
+      result.engine_cycles = result.single_issues * MultiplyCycles(ctx->l());
+      result.stats.measured_mmm_cycles = result.engine_cycles;
+    }
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      group[i].promise.set_value(results[i]);
+    }
+  } catch (...) {
+    const std::exception_ptr error = std::current_exception();
+    for (Job& job : group) {
+      try {
+        job.promise.set_exception(error);
+      } catch (const std::future_error&) {
+        // This promise was already fulfilled before the failure.
+      }
+    }
+    return;
+  }
+  // Every promise in the group is fulfilled before any callback runs, so
+  // a misbehaving callback can neither withhold nor poison a partner
+  // job's future (callbacks are documented noexcept-in-spirit; anything
+  // they throw is contained here).
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    if (!group[i].callback) continue;
+    try {
+      group[i].callback(results[i]);
+    } catch (...) {
+    }
+  }
+}
+
+}  // namespace mont::core

@@ -1,0 +1,200 @@
+// exp_service.hpp — the batched, asynchronous modular-exponentiation
+// service: the serving layer between crypto traffic (RSA, ECC) and the
+// paper's exponentiation engines.
+//
+// The paper's endpoint is one modular exponentiator; a deployment serves a
+// *stream* of exponentiations over a handful of hot moduli.  This layer
+// adds exactly what that takes:
+//
+//   * a thread-safe job queue — Submit() returns a std::future (with an
+//     optional completion callback), SubmitBatch() fans a vector of jobs
+//     out, SubmitPair() bonds two jobs for co-scheduling;
+//   * a worker pool whose per-modulus Montgomery contexts are LRU-cached,
+//     so repeated traffic on one key pays the R^2-mod-N precomputation
+//     once (core/schedule.hpp LruCache);
+//   * the pairing scheduler (core/schedule.hpp PairingQueue): two queued
+//     jobs of equal operand length are issued together onto one
+//     dual-channel interleaved array, where each pair of MMMs costs 3l+5
+//     cycles instead of the sequential 2(3l+4) = 6l+8 — throughput per
+//     array nearly doubles whenever the queue is two deep.
+//
+// PairedModExp() is the engine underneath the pairing path and is exposed
+// directly: it zips the MMM streams of two independent exponentiations
+// (which may use two different equal-length moduli — see the dual-modulus
+// InterleavedMmmc) and runs them either on fast software Algorithm 2 with
+// validated cycle charging (kFast) or clock-by-clock on the dual-channel
+// array model (kCycleAccurate).  Both engines are bit-identical; tests
+// assert it.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "bignum/biguint.hpp"
+#include "bignum/montgomery.hpp"
+#include "core/exponentiator.hpp"
+#include "core/schedule.hpp"
+
+namespace mont::core {
+
+/// Engine selection for PairedModExp (mirrors Exponentiator::Engine).
+enum class PairedEngine {
+  kCycleAccurate,  ///< every issue runs on the dual-channel array model
+  kFast,           ///< software Algorithm 2, cycles charged per formula
+};
+
+/// Cycle accounting for one co-scheduled pair of exponentiations.
+struct PairedExpStats {
+  std::uint64_t paired_issues = 0;  ///< dual-channel issues at 3l+5 each
+  std::uint64_t single_issues = 0;  ///< leftover single issues at 3l+4
+  /// Array occupancy for the whole pair:
+  /// paired_issues*(3l+5) + single_issues*(3l+4).
+  std::uint64_t total_cycles = 0;
+};
+
+struct PairedExpResult {
+  bignum::BigUInt a;  ///< base_a^exp_a mod N_a
+  bignum::BigUInt b;  ///< base_b^exp_b mod N_b
+  PairedExpStats stats;
+  ExponentiationStats stats_a;  ///< per-job operation counts (A)
+  ExponentiationStats stats_b;  ///< per-job operation counts (B)
+};
+
+/// Runs two independent modular exponentiations with their MMM streams
+/// zipped onto one dual-channel array: while both jobs still have work,
+/// every issue carries one MMM of each (3l+5 cycles for the two); once the
+/// shorter job drains, the leftover stream issues singly (3l+4).  The two
+/// moduli may differ but must be odd, > 1 and of equal bit length.
+PairedExpResult PairedModExp(const bignum::BitSerialMontgomery& ctx_a,
+                             const bignum::BigUInt& base_a,
+                             const bignum::BigUInt& exp_a,
+                             const bignum::BitSerialMontgomery& ctx_b,
+                             const bignum::BigUInt& base_b,
+                             const bignum::BigUInt& exp_b,
+                             PairedEngine engine = PairedEngine::kFast);
+
+/// Thread-safe batched/async exponentiation service.
+///
+/// Jobs execute on the kFast engine (bit-identical to the cycle-accurate
+/// array, with cycles charged per the validated formulas), so the service
+/// is usable at RSA sizes while still reporting hardware-faithful cycle
+/// accounting per job.
+class ExpService {
+ public:
+  struct Options {
+    std::size_t workers = 2;  ///< worker threads (>= 1; each owns one array)
+    /// Distinct moduli whose Montgomery contexts stay precomputed.
+    std::size_t engine_cache_capacity = 8;
+    /// Issue two equal-length queued jobs per array pass (3l+5 per MMM
+    /// pair); disable to force one job per pass (for A/B benches).
+    bool enable_pairing = true;
+  };
+
+  struct Result {
+    bignum::BigUInt value;  ///< base^exponent mod modulus
+    bool paired = false;    ///< ran co-scheduled with a partner job
+    /// Issue counts and array occupancy of the issue group this job ran
+    /// in (shared by both jobs of a pair; a solo job's MMMs all count as
+    /// single issues).
+    std::uint64_t paired_issues = 0;
+    std::uint64_t single_issues = 0;
+    std::uint64_t engine_cycles = 0;  ///< paired*(3l+5) + single*(3l+4)
+    ExponentiationStats stats;        ///< this job's operation counts
+  };
+
+  using Callback = std::function<void(const Result&)>;
+
+  ExpService() : ExpService(Options{}) {}
+  explicit ExpService(Options options);
+  /// Drains every queued job, then joins the workers.
+  ~ExpService();
+
+  ExpService(const ExpService&) = delete;
+  ExpService& operator=(const ExpService&) = delete;
+
+  /// Enqueues one job; the optional callback runs on the worker thread
+  /// after every future of the job's issue group is fulfilled, and any
+  /// exception it throws is contained (it cannot withhold or poison a
+  /// future).  Throws std::invalid_argument for a modulus that is even
+  /// or <= 1.
+  std::future<Result> Submit(bignum::BigUInt modulus, bignum::BigUInt base,
+                             bignum::BigUInt exponent, Callback callback = {});
+
+  /// Enqueues bases[i]^exponents[i] mod modulus for every i (sizes must
+  /// match).  Same-modulus batches pair with each other naturally.
+  std::vector<std::future<Result>> SubmitBatch(
+      const bignum::BigUInt& modulus, std::span<const bignum::BigUInt> bases,
+      std::span<const bignum::BigUInt> exponents);
+
+  /// Enqueues two jobs bonded for co-scheduling on one dual-channel array
+  /// (e.g. the p- and q-halves of one RSA-CRT operation).  If the moduli
+  /// cannot share an array (unequal bit lengths) or pairing is disabled,
+  /// the jobs still run — just sequentially.
+  std::pair<std::future<Result>, std::future<Result>> SubmitPair(
+      bignum::BigUInt modulus_a, bignum::BigUInt base_a,
+      bignum::BigUInt exponent_a, bignum::BigUInt modulus_b,
+      bignum::BigUInt base_b, bignum::BigUInt exponent_b);
+
+  /// Blocks until every job submitted so far has completed.
+  void Wait();
+
+  struct Counters {
+    std::uint64_t jobs_submitted = 0;
+    std::uint64_t jobs_completed = 0;
+    std::uint64_t pair_issues = 0;    ///< queue pops that ran two jobs
+    std::uint64_t single_issues = 0;  ///< queue pops that ran one job
+    std::uint64_t engine_cache_hits = 0;
+    std::uint64_t engine_cache_misses = 0;
+    std::uint64_t engine_cache_evictions = 0;
+  };
+  Counters Snapshot() const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  struct Job {
+    std::uint64_t id = 0;
+    bignum::BigUInt modulus;
+    bignum::BigUInt base;
+    bignum::BigUInt exponent;
+    std::promise<Result> promise;
+    Callback callback;
+  };
+
+  std::future<Result> Enqueue(Job job, std::uint64_t key);
+  void WorkerLoop();
+  void Execute(std::vector<Job> group);
+  std::shared_ptr<const bignum::BitSerialMontgomery> AcquireContext(
+      const bignum::BigUInt& modulus);
+
+  Options options_;
+
+  mutable std::mutex mu_;            // guards everything below it
+  std::condition_variable cv_;       // queue became non-empty / stopping
+  std::condition_variable idle_cv_;  // queue drained and no job in flight
+  PairingQueue queue_;
+  std::unordered_map<std::uint64_t, Job> pending_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t next_bond_key_ = 0;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+  Counters counters_;
+
+  mutable std::mutex cache_mu_;  // independent of mu_: cache lookups only
+  LruCache<std::string, std::shared_ptr<const bignum::BitSerialMontgomery>>
+      cache_;
+
+  std::vector<std::thread> workers_;  // last member: joins before teardown
+};
+
+}  // namespace mont::core

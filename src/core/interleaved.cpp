@@ -10,22 +10,42 @@ namespace mont::core {
 using bignum::BigUInt;
 
 InterleavedMmmc::InterleavedMmmc(BigUInt modulus)
-    : modulus_(std::move(modulus)) {
-  if (!modulus_.IsOdd() || modulus_ <= BigUInt{1}) {
-    throw std::invalid_argument("InterleavedMmmc: modulus must be odd > 1");
+    : InterleavedMmmc(modulus, modulus) {}
+
+InterleavedMmmc::InterleavedMmmc(BigUInt modulus_a, BigUInt modulus_b) {
+  modulus_[0] = std::move(modulus_a);
+  modulus_[1] = std::move(modulus_b);
+  for (const BigUInt& n : modulus_) {
+    if (!n.IsOdd() || n <= BigUInt{1}) {
+      throw std::invalid_argument("InterleavedMmmc: modulus must be odd > 1");
+    }
   }
-  two_n_ = modulus_ << 1;
-  l_ = modulus_.BitLength();
-  n_bits_.assign(l_ + 1, 0);
-  for (std::size_t j = 0; j < l_; ++j) n_bits_[j] = modulus_.Bit(j) ? 1 : 0;
+  if (modulus_[0].BitLength() != modulus_[1].BitLength()) {
+    throw std::invalid_argument(
+        "InterleavedMmmc: channel moduli must have equal bit length "
+        "(the cell count is shared)");
+  }
+  l_ = modulus_[0].BitLength();
+  for (std::size_t ch = 0; ch < 2; ++ch) {
+    two_n_[ch] = modulus_[ch] << 1;
+    n_bits_[ch].assign(l_ + 1, 0);
+    for (std::size_t j = 0; j < l_; ++j) {
+      n_bits_[ch][j] = modulus_[ch].Bit(j) ? 1 : 0;
+    }
+  }
 }
 
 InterleavedMmmc::PairResult InterleavedMmmc::MultiplyPair(const BigUInt& x_a,
                                                           const BigUInt& y_a,
                                                           const BigUInt& x_b,
                                                           const BigUInt& y_b) {
-  for (const BigUInt* operand : {&x_a, &y_a, &x_b, &y_b}) {
-    if (*operand >= two_n_) {
+  for (const BigUInt* operand : {&x_a, &y_a}) {
+    if (*operand >= two_n_[0]) {
+      throw std::invalid_argument("InterleavedMmmc: operands must be < 2N");
+    }
+  }
+  for (const BigUInt* operand : {&x_b, &y_b}) {
+    if (*operand >= two_n_[1]) {
       throw std::invalid_argument("InterleavedMmmc: operands must be < 2N");
     }
   }
@@ -81,7 +101,7 @@ InterleavedMmmc::PairResult InterleavedMmmc::MultiplyPair(const BigUInt& x_a,
       const std::size_t ch = channel_of(1);
       const std::uint8_t a = l >= 2 ? t[2] : 0;
       const std::uint8_t b = static_cast<std::uint8_t>(x_pipe[1] & y_bits[ch][1]);
-      const std::uint8_t c = static_cast<std::uint8_t>(m_pipe[1] & n_bits_[1]);
+      const std::uint8_t c = static_cast<std::uint8_t>(m_pipe[1] & n_bits_[ch][1]);
       const std::uint8_t s1 = static_cast<std::uint8_t>(a ^ b ^ c);
       const std::uint8_t ca =
           static_cast<std::uint8_t>((a & b) | (a & c) | (b & c));
@@ -96,7 +116,7 @@ InterleavedMmmc::PairResult InterleavedMmmc::MultiplyPair(const BigUInt& x_a,
       const std::size_t ch = channel_of(j);
       const std::uint8_t tin = t[j + 1];
       const std::uint8_t b = static_cast<std::uint8_t>(x_pipe[j] & y_bits[ch][j]);
-      const std::uint8_t c = static_cast<std::uint8_t>(m_pipe[j] & n_bits_[j]);
+      const std::uint8_t c = static_cast<std::uint8_t>(m_pipe[j] & n_bits_[ch][j]);
       const std::uint8_t s1 = static_cast<std::uint8_t>(tin ^ b ^ c);
       const std::uint8_t ca =
           static_cast<std::uint8_t>((tin & b) | (tin & c) | (b & c));

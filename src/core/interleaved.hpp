@@ -27,23 +27,38 @@
 
 namespace mont::core {
 
-/// Cycle-accurate dual-channel Montgomery multiplier for a fixed odd
-/// modulus (GF(p) only).
+/// Cycle-accurate dual-channel Montgomery multiplier (GF(p) only).
+///
+/// The two channels normally share one modulus, but since the modulus
+/// enters each cell only through the n_j AND gate — on the same
+/// phase-driven mux cadence as the Y operand — a second N register per
+/// cell lets the channels serve two *different* odd moduli of equal bit
+/// length (e.g. the p- and q-halves of one RSA-CRT operation).  The
+/// dual-modulus constructor models exactly that: one array, two
+/// independent modular multiplications per 3l+5 cycles.
 class InterleavedMmmc {
  public:
   explicit InterleavedMmmc(bignum::BigUInt modulus);
+  /// Dual-modulus form: channel A reduces modulo `modulus_a`, channel B
+  /// modulo `modulus_b`.  Both must be odd, > 1 and of equal bit length
+  /// (the cell count is shared); throws std::invalid_argument otherwise.
+  InterleavedMmmc(bignum::BigUInt modulus_a, bignum::BigUInt modulus_b);
 
   std::size_t l() const { return l_; }
-  const bignum::BigUInt& Modulus() const { return modulus_; }
+  const bignum::BigUInt& Modulus() const { return modulus_[0]; }
+  /// Per-channel modulus (channel 0 = A, 1 = B).
+  const bignum::BigUInt& Modulus(std::size_t channel) const {
+    return modulus_[channel];
+  }
 
   struct PairResult {
-    bignum::BigUInt a;       // x_a * y_a * R^-1 mod 2N
-    bignum::BigUInt b;       // x_b * y_b * R^-1 mod 2N
+    bignum::BigUInt a;       // x_a * y_a * R^-1 mod 2N_a
+    bignum::BigUInt b;       // x_b * y_b * R^-1 mod 2N_b
     std::uint64_t cycles = 0;  // total, load to last DONE (3l+5)
   };
 
   /// Runs the two independent multiplications concurrently.
-  /// All operands must be < 2N.
+  /// Channel operands must be < 2N of their channel's modulus.
   PairResult MultiplyPair(const bignum::BigUInt& x_a,
                           const bignum::BigUInt& y_a,
                           const bignum::BigUInt& x_b,
@@ -53,10 +68,10 @@ class InterleavedMmmc {
   static std::uint64_t PairCycles(std::size_t l) { return 3 * l + 5; }
 
  private:
-  bignum::BigUInt modulus_;
-  bignum::BigUInt two_n_;
+  bignum::BigUInt modulus_[2];  // per-channel modulus (usually identical)
+  bignum::BigUInt two_n_[2];
   std::size_t l_;
-  std::vector<std::uint8_t> n_bits_;
+  std::vector<std::uint8_t> n_bits_[2];
 };
 
 /// Right-to-left exponentiator over the dual-channel array: the square

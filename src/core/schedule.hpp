@@ -1,13 +1,35 @@
-// schedule.hpp — the systolic schedule and cycle-count formulas of the paper.
+// schedule.hpp — the systolic schedule and cycle-count formulas of the paper,
+// plus the service-level scheduling structures built on them.
 //
 // Cell j processes iteration i of Algorithm 2 at clock cycle 2i + j
 // (0-based: i = 0..l+1, j = 0..l).  From this single fact every timing
 // number in the paper follows; the formulas here are asserted against the
 // cycle-accurate simulation in the tests.
+//
+// The second half of the file holds the two data structures the batched
+// exponentiation service (core/exp_service.hpp) schedules with:
+//
+//   * PairingQueue — a FIFO of job ids tagged with a compatibility key;
+//     popping pairs the oldest job with the oldest later job sharing its
+//     key, so two independent exponentiations can occupy the two channels
+//     of one dual-channel array (two MMMs in 3l+5 cycles instead of 6l+8).
+//     A job with no partner still pops alone — nothing starves.
+//   * LruCache — the per-modulus engine cache: repeated traffic on one
+//     key reuses the precomputed Montgomery context instead of paying
+//     the R^2-mod-N precomputation again.
+//
+// Both are single-threaded building blocks; the service serialises access
+// under its queue mutex.  They are kept here, header-only and std-only,
+// so the scheduler policy is unit-testable without threads.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <cstddef>
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <utility>
 
 namespace mont::core {
 
@@ -64,5 +86,130 @@ constexpr std::uint64_t ExponentiationAverageCycles(std::size_t l) {
   const auto ll = static_cast<std::uint64_t>(l);
   return ExponentiationCycles(l, ll, ll / 2);
 }
+
+/// Cycles for one dual-channel pair issue (two MMMs in flight): channel B
+/// finishes one cycle after channel A, so 3l + 5 for both products.
+constexpr std::uint64_t PairedMultiplyCycles(std::size_t l) {
+  return 3 * static_cast<std::uint64_t>(l) + 5;
+}
+
+// ---------------------------------------------------------------------------
+// Service scheduling structures
+// ---------------------------------------------------------------------------
+
+/// FIFO queue of job ids with same-key pairing on pop.
+///
+/// Keys encode dual-channel compatibility (for the exponentiation service:
+/// the operand bit length l, since both channels of one array share the
+/// cell count).  Ids pushed with `bonded = true` pair only with their bond
+/// partner (the next bonded push with the same key) — used when a caller
+/// such as RSA-CRT wants its two half-exponentiations co-scheduled — while
+/// regular ids pair opportunistically.
+class PairingQueue {
+ public:
+  /// Up to two job ids popped as one dual-channel issue.
+  struct Issue {
+    std::array<std::uint64_t, 2> ids{};
+    std::size_t count = 0;
+    bool bonded = false;
+  };
+
+  void Push(std::uint64_t id, std::uint64_t key, bool bonded = false) {
+    entries_.push_back(Entry{id, key, bonded});
+  }
+
+  /// Pops the oldest entry; with `allow_pairing` it also claims the oldest
+  /// later entry with the same key (bonded entries only claim their bond
+  /// partner; opportunistic entries skip over bonded ones, which are
+  /// reserved for their partners).  FIFO order of first issue is never
+  /// violated, and an unpairable entry still issues alone.
+  std::optional<Issue> Pop(bool allow_pairing = true) {
+    if (entries_.empty()) return std::nullopt;
+    Issue issue;
+    const Entry front = entries_.front();
+    entries_.pop_front();
+    issue.ids[0] = front.id;
+    issue.count = 1;
+    issue.bonded = front.bonded;
+    if (!allow_pairing) return issue;
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->key != front.key) continue;
+      if (it->bonded != front.bonded) continue;
+      issue.ids[1] = it->id;
+      issue.count = 2;
+      entries_.erase(it);
+      break;
+    }
+    return issue;
+  }
+
+  bool Empty() const { return entries_.empty(); }
+  std::size_t Size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    std::uint64_t id;
+    std::uint64_t key;
+    bool bonded;
+  };
+  std::list<Entry> entries_;
+};
+
+/// Least-recently-used cache, the policy behind the service's per-modulus
+/// engine cache.  Get() refreshes recency; Put() evicts the coldest entry
+/// once `capacity` is exceeded.
+template <typename Key, typename Value>
+class LruCache {
+ public:
+  explicit LruCache(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Pointer to the cached value (refreshed to most-recent), or nullptr.
+  /// The pointer is valid until the next Put().
+  Value* Get(const Key& key) {
+    const auto it = index_.find(key);
+    if (it == index_.end()) {
+      ++misses_;
+      return nullptr;
+    }
+    ++hits_;
+    order_.splice(order_.begin(), order_, it->second);
+    return &it->second->second;
+  }
+
+  /// Inserts (or replaces) `key`, evicting the least-recently-used entry
+  /// if the cache would exceed capacity.
+  void Put(const Key& key, Value value) {
+    if (capacity_ == 0) return;
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->second = std::move(value);
+      order_.splice(order_.begin(), order_, it->second);
+      return;
+    }
+    if (order_.size() == capacity_) {
+      index_.erase(order_.back().first);
+      order_.pop_back();
+      ++evictions_;
+    }
+    order_.emplace_front(key, std::move(value));
+    index_[key] = order_.begin();
+  }
+
+  bool Contains(const Key& key) const { return index_.count(key) != 0; }
+  std::size_t Size() const { return order_.size(); }
+  std::size_t Capacity() const { return capacity_; }
+  std::uint64_t Hits() const { return hits_; }
+  std::uint64_t Misses() const { return misses_; }
+  std::uint64_t Evictions() const { return evictions_; }
+
+ private:
+  std::size_t capacity_;
+  std::list<std::pair<Key, Value>> order_;  // most recent first
+  std::unordered_map<Key, typename std::list<std::pair<Key, Value>>::iterator>
+      index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
 
 }  // namespace mont::core

@@ -139,7 +139,13 @@ AffinePoint Curve::FromJacobian(const Jacobian& point, EccStats* stats) const {
   if (point.infinity || IsZeroM(point.z)) return AffinePoint::Infinity();
   // x = X / Z^2, y = Y / Z^3 — inversion done in the plain domain.
   const BigUInt z = field_.FromMont(point.z);
-  const BigUInt z_inv = BigUInt::ModInverse(z, params_.p);
+  return FromJacobianWithInverse(point, BigUInt::ModInverse(z, params_.p),
+                                 stats);
+}
+
+AffinePoint Curve::FromJacobianWithInverse(const Jacobian& point,
+                                           const BigUInt& z_inv,
+                                           EccStats* stats) const {
   const BigUInt z_inv_m = field_.ToMont(z_inv);
   const BigUInt z2 = MulM(z_inv_m, z_inv_m, stats, /*square=*/true);
   const BigUInt x = MulM(point.x, z2, stats, /*square=*/false);
@@ -210,18 +216,65 @@ Curve::Jacobian Curve::JacobianAdd(const Jacobian& lhs, const Jacobian& rhs,
   return Jacobian{x3, y3, z3, false};
 }
 
-AffinePoint Curve::ScalarMul(const BigUInt& k, const AffinePoint& point,
-                             EccStats* stats) const {
-  if (k.IsZero() || point.infinity) return AffinePoint::Infinity();
-  const BigUInt k_mod = k % params_.order;
-  if (k_mod.IsZero()) return AffinePoint::Infinity();
-  const Jacobian base = ToJacobian(point);
+Curve::Jacobian Curve::Ladder(const BigUInt& k_mod, const Jacobian& base,
+                              EccStats* stats) const {
   Jacobian acc = base;
   for (std::size_t i = k_mod.BitLength() - 1; i-- > 0;) {
     acc = JacobianDouble(acc, stats);
     if (k_mod.Bit(i)) acc = JacobianAdd(acc, base, stats);
   }
-  return FromJacobian(acc, stats);
+  return acc;
+}
+
+AffinePoint Curve::ScalarMul(const BigUInt& k, const AffinePoint& point,
+                             EccStats* stats) const {
+  if (k.IsZero() || point.infinity) return AffinePoint::Infinity();
+  const BigUInt k_mod = k % params_.order;
+  if (k_mod.IsZero()) return AffinePoint::Infinity();
+  return FromJacobian(Ladder(k_mod, ToJacobian(point), stats), stats);
+}
+
+std::vector<AffinePoint> Curve::ScalarMulBatch(std::span<const BigUInt> scalars,
+                                               const AffinePoint& point,
+                                               core::ExpService& service,
+                                               EccStats* stats) const {
+  std::vector<AffinePoint> out(scalars.size(), AffinePoint::Infinity());
+  std::vector<Jacobian> accs(scalars.size());
+  std::vector<std::future<core::ExpService::Result>> inversions(
+      scalars.size());
+  std::vector<bool> live(scalars.size(), false);
+
+  // p is prime, so by Fermat z^-1 = z^(p-2) mod p — a modular
+  // exponentiation the service can schedule like any RSA job.  Every
+  // inversion shares the modulus, so queued conversions pair two per
+  // array pass.
+  const BigUInt fermat_exponent = params_.p - BigUInt{2};
+  const Jacobian base =
+      point.infinity ? Jacobian{{}, {}, {}, true} : ToJacobian(point);
+  std::vector<BigUInt> zs;
+  zs.reserve(scalars.size());
+  for (std::size_t i = 0; i < scalars.size(); ++i) {
+    if (scalars[i].IsZero() || point.infinity) continue;
+    const BigUInt k_mod = scalars[i] % params_.order;
+    if (k_mod.IsZero()) continue;
+    accs[i] = Ladder(k_mod, base, stats);
+    if (accs[i].infinity || IsZeroM(accs[i].z)) continue;
+    zs.push_back(field_.FromMont(accs[i].z));
+    live[i] = true;
+  }
+  // Submit every inversion back to back (not interleaved with the much
+  // longer ladders) so the queue actually holds same-modulus jobs at
+  // once and the pairing scheduler can two-pack them.
+  std::size_t next_z = 0;
+  for (std::size_t i = 0; i < scalars.size(); ++i) {
+    if (!live[i]) continue;
+    inversions[i] = service.Submit(params_.p, zs[next_z++], fermat_exponent);
+  }
+  for (std::size_t i = 0; i < scalars.size(); ++i) {
+    if (!live[i]) continue;
+    out[i] = FromJacobianWithInverse(accs[i], inversions[i].get().value, stats);
+  }
+  return out;
 }
 
 }  // namespace mont::crypto

@@ -11,9 +11,12 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
+#include <vector>
 
 #include "bignum/biguint.hpp"
 #include "bignum/montgomery.hpp"
+#include "core/exp_service.hpp"
 
 namespace mont::crypto {
 
@@ -75,10 +78,24 @@ class Curve {
   AffinePoint ScalarMul(const bignum::BigUInt& k, const AffinePoint& point,
                         EccStats* stats = nullptr) const;
 
+  /// Batched scalar multiplication scalars[i]*P driving the exponentiation
+  /// service: the ladders run locally, then every Jacobian->affine field
+  /// inversion is submitted to `service` as the Fermat exponentiation
+  /// z^(p-2) mod p.  All inversions share the modulus p, so the service's
+  /// pairing scheduler packs them two per dual-channel array pass.
+  std::vector<AffinePoint> ScalarMulBatch(
+      std::span<const bignum::BigUInt> scalars, const AffinePoint& point,
+      core::ExpService& service, EccStats* stats = nullptr) const;
+
  private:
   struct Jacobian;  // Montgomery-domain X, Y, Z
   Jacobian ToJacobian(const AffinePoint& point) const;
   AffinePoint FromJacobian(const Jacobian& point, EccStats* stats) const;
+  AffinePoint FromJacobianWithInverse(const Jacobian& point,
+                                      const bignum::BigUInt& z_inv,
+                                      EccStats* stats) const;
+  Jacobian Ladder(const bignum::BigUInt& k_mod, const Jacobian& base,
+                  EccStats* stats) const;
   Jacobian JacobianDouble(const Jacobian& point, EccStats* stats) const;
   Jacobian JacobianAdd(const Jacobian& lhs, const Jacobian& rhs,
                        EccStats* stats) const;

@@ -1,6 +1,8 @@
 #include "crypto/rsa.hpp"
 
 #include <stdexcept>
+#include <string>
+#include <utility>
 
 #include "bignum/montgomery.hpp"
 #include "bignum/prime.hpp"
@@ -46,16 +48,26 @@ BigUInt RsaPrivate(const RsaKeyPair& key, const BigUInt& c) {
   return ctx.ModExp(c, key.d);
 }
 
-BigUInt RsaPrivateCrt(const RsaKeyPair& key, const BigUInt& c) {
-  if (c >= key.n) throw std::invalid_argument("RsaPrivateCrt: input >= modulus");
-  const BigUInt dp = key.d % (key.p - BigUInt{1});
-  const BigUInt dq = key.d % (key.q - BigUInt{1});
-  const bignum::WordMontgomery ctx_p(key.p);
-  const bignum::WordMontgomery ctx_q(key.q);
-  const BigUInt mp = ctx_p.ModExp(c % key.p, dp);
-  const BigUInt mq = ctx_q.ModExp(c % key.q, dq);
-  // Garner recombination: m = mq + q * (q^-1 (mp - mq) mod p).
-  const BigUInt q_inv = BigUInt::ModInverse(key.q % key.p, key.p);
+namespace {
+
+// A CRT key assembled by hand (rather than by GenerateRsaKey) can carry
+// p == q or p*q != n; Garner recombination then returns a well-formed
+// number that is simply the wrong plaintext.  Reject loudly instead.
+void ValidateCrtKey(const RsaKeyPair& key, const char* who) {
+  if (key.p == key.q) {
+    throw std::invalid_argument(std::string(who) +
+                                ": p == q (not a valid CRT key)");
+  }
+  if (key.p * key.q != key.n) {
+    throw std::invalid_argument(std::string(who) + ": p*q != n");
+  }
+}
+
+// Garner recombination: m = mq + q * (q^-1 (mp - mq) mod p).  q_inv is a
+// pure function of the key — callers compute it once (per batch, for
+// RsaSignBatch) rather than per message.
+BigUInt CrtRecombine(const RsaKeyPair& key, const BigUInt& q_inv,
+                     const BigUInt& mp, const BigUInt& mq) {
   BigUInt diff = mp % key.p;
   const BigUInt mq_mod_p = mq % key.p;
   if (diff < mq_mod_p) diff += key.p;
@@ -64,8 +76,93 @@ BigUInt RsaPrivateCrt(const RsaKeyPair& key, const BigUInt& c) {
   return mq + key.q * h;
 }
 
+}  // namespace
+
+BigUInt RsaPrivateCrt(const RsaKeyPair& key, const BigUInt& c) {
+  if (c >= key.n) throw std::invalid_argument("RsaPrivateCrt: input >= modulus");
+  ValidateCrtKey(key, "RsaPrivateCrt");
+  const BigUInt dp = key.d % (key.p - BigUInt{1});
+  const BigUInt dq = key.d % (key.q - BigUInt{1});
+  const bignum::WordMontgomery ctx_p(key.p);
+  const bignum::WordMontgomery ctx_q(key.q);
+  const BigUInt mp = ctx_p.ModExp(c % key.p, dp);
+  const BigUInt mq = ctx_q.ModExp(c % key.q, dq);
+  return CrtRecombine(key, BigUInt::ModInverse(key.q % key.p, key.p), mp, mq);
+}
+
+BigUInt RsaPrivateCrtPaired(const RsaKeyPair& key, const BigUInt& c,
+                            core::PairedExpStats* stats) {
+  if (c >= key.n) {
+    throw std::invalid_argument("RsaPrivateCrtPaired: input >= modulus");
+  }
+  ValidateCrtKey(key, "RsaPrivateCrtPaired");
+  const BigUInt dp = key.d % (key.p - BigUInt{1});
+  const BigUInt dq = key.d % (key.q - BigUInt{1});
+  const bignum::BitSerialMontgomery ctx_p(key.p);
+  const bignum::BitSerialMontgomery ctx_q(key.q);
+  BigUInt mp, mq;
+  if (ctx_p.l() == ctx_q.l()) {
+    // The two half-exponentiations share the array: p on channel A, q on
+    // channel B of one dual-modulus interleaved multiplier.
+    core::PairedExpResult paired = core::PairedModExp(
+        ctx_p, c % key.p, dp, ctx_q, c % key.q, dq, core::PairedEngine::kFast);
+    mp = std::move(paired.a);
+    mq = std::move(paired.b);
+    if (stats != nullptr) *stats = paired.stats;
+  } else {
+    // Unequal prime lengths cannot share cells; issue sequentially.
+    core::Exponentiator exp_p(key.p), exp_q(key.q);
+    core::ExponentiationStats stats_p, stats_q;
+    mp = exp_p.ModExp(c % key.p, dp, &stats_p);
+    mq = exp_q.ModExp(c % key.q, dq, &stats_q);
+    if (stats != nullptr) {
+      stats->paired_issues = 0;
+      stats->single_issues =
+          stats_p.mmm_invocations + stats_q.mmm_invocations;
+      stats->total_cycles =
+          stats_p.measured_mmm_cycles + stats_q.measured_mmm_cycles;
+    }
+  }
+  return CrtRecombine(key, BigUInt::ModInverse(key.q % key.p, key.p), mp, mq);
+}
+
+std::vector<BigUInt> RsaSignBatch(const RsaKeyPair& key,
+                                  std::span<const BigUInt> messages,
+                                  core::ExpService& service) {
+  ValidateCrtKey(key, "RsaSignBatch");
+  // Fail fast before any pair is queued: a bad message mid-span must not
+  // leave earlier jobs burning worker time for futures nobody will read.
+  for (const BigUInt& message : messages) {
+    if (message >= key.n) {
+      throw std::invalid_argument("RsaSignBatch: message >= modulus");
+    }
+  }
+  const BigUInt dp = key.d % (key.p - BigUInt{1});
+  const BigUInt dq = key.d % (key.q - BigUInt{1});
+  const BigUInt q_inv = BigUInt::ModInverse(key.q % key.p, key.p);
+  std::vector<std::pair<std::future<core::ExpService::Result>,
+                        std::future<core::ExpService::Result>>>
+      halves;
+  halves.reserve(messages.size());
+  for (const BigUInt& message : messages) {
+    halves.push_back(service.SubmitPair(key.p, message % key.p, dp, key.q,
+                                        message % key.q, dq));
+  }
+  std::vector<BigUInt> signatures;
+  signatures.reserve(messages.size());
+  for (auto& [future_p, future_q] : halves) {
+    const BigUInt mp = future_p.get().value;
+    const BigUInt mq = future_q.get().value;
+    signatures.push_back(CrtRecombine(key, q_inv, mp, mq));
+  }
+  return signatures;
+}
+
 BigUInt RsaPrivateOnHardwareModel(const RsaKeyPair& key, const BigUInt& c,
                                   core::ExponentiationStats* stats) {
+  if (c >= key.n) {
+    throw std::invalid_argument("RsaPrivateOnHardwareModel: input >= modulus");
+  }
   core::Exponentiator exp(key.n, core::Exponentiator::Engine::kFast);
   return exp.ModExp(c, key.d, stats);
 }

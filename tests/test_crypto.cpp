@@ -78,6 +78,31 @@ TEST(Rsa, MessageOutOfRangeThrows) {
   const RsaKeyPair key = GenerateRsaKey(64, rng);
   EXPECT_THROW(RsaPublic(key, key.n), std::invalid_argument);
   EXPECT_THROW(RsaPrivate(key, key.n + BigUInt{1}), std::invalid_argument);
+  EXPECT_THROW(RsaPrivateCrt(key, key.n), std::invalid_argument);
+  EXPECT_THROW(RsaPrivateCrtPaired(key, key.n), std::invalid_argument);
+  core::ExponentiationStats stats;
+  EXPECT_THROW(RsaPrivateOnHardwareModel(key, key.n, &stats),
+               std::invalid_argument);
+}
+
+// A hand-assembled CRT key with p == q (or p*q != n) would recombine to a
+// well-formed wrong answer; the CRT paths must reject it loudly instead.
+TEST(Rsa, MalformedCrtKeysAreRejected) {
+  auto rng = test::TestRng();
+  const RsaKeyPair key = GenerateRsaKey(64, rng);
+  ASSERT_NE(key.p, key.q);  // GenerateRsaKey must never emit p == q
+
+  RsaKeyPair equal_primes = key;
+  equal_primes.q = equal_primes.p;
+  equal_primes.n = equal_primes.p * equal_primes.p;
+  const BigUInt c = rng.Below(key.p);
+  EXPECT_THROW(RsaPrivateCrt(equal_primes, c), std::invalid_argument);
+  EXPECT_THROW(RsaPrivateCrtPaired(equal_primes, c), std::invalid_argument);
+
+  RsaKeyPair mismatched = key;
+  mismatched.n += BigUInt{2};  // p*q != n
+  EXPECT_THROW(RsaPrivateCrt(mismatched, c), std::invalid_argument);
+  EXPECT_THROW(RsaPrivateCrtPaired(mismatched, c), std::invalid_argument);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,474 @@
+// Tests for the batched async exponentiation service and the paired
+// dual-channel exponentiation engine underneath it:
+//
+//   * PairedModExp fast engine == cycle-accurate dual-channel array ==
+//     scalar oracle, including on two *different* equal-length moduli;
+//   * a 10k-job multi-threaded property/stress run (mixed moduli, mixed
+//     bit lengths, duplicate keys, zero/one/max-bit exponents) checked
+//     bit-for-bit against a scalar Exponentiator oracle;
+//   * determinism: paired and unpaired execution agree exactly;
+//   * stats accounting: paired jobs are charged 3l+5 per MMM pair;
+//   * the crypto entry points (RsaPrivateCrtPaired, RsaSignBatch,
+//     Curve::ScalarMulBatch) driving the service end to end.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "bignum/montgomery.hpp"
+#include "bignum/random.hpp"
+#include "core/exp_service.hpp"
+#include "core/exponentiator.hpp"
+#include "core/interleaved.hpp"
+#include "core/schedule.hpp"
+#include "crypto/ecc.hpp"
+#include "crypto/rsa.hpp"
+#include "testutil.hpp"
+
+namespace mont::core {
+namespace {
+
+using bignum::BigUInt;
+using bignum::BitSerialMontgomery;
+using bignum::RandomBigUInt;
+
+// ---------------------------------------------------------------------------
+// Dual-modulus interleaved array
+// ---------------------------------------------------------------------------
+
+TEST(InterleavedDualModulus, RejectsUnequalBitLengths) {
+  EXPECT_THROW(InterleavedMmmc(BigUInt{23}, BigUInt{257}),
+               std::invalid_argument);
+  EXPECT_THROW(InterleavedMmmc(BigUInt{23}, BigUInt{22}),
+               std::invalid_argument);
+}
+
+TEST(InterleavedDualModulus, ChannelsReduceByTheirOwnModulus) {
+  auto rng = test::TestRng();
+  for (const std::size_t bits : {3u, 4u, 8u, 16u, 33u}) {
+    const BigUInt n_a = rng.OddExactBits(bits);
+    BigUInt n_b = rng.OddExactBits(bits);
+    while (n_b == n_a) n_b = rng.OddExactBits(bits);
+    InterleavedMmmc circuit(n_a, n_b);
+    const BitSerialMontgomery ref_a(n_a), ref_b(n_b);
+    const BigUInt two_na = n_a << 1, two_nb = n_b << 1;
+    for (int trial = 0; trial < 8; ++trial) {
+      const BigUInt xa = rng.Below(two_na), ya = rng.Below(two_na);
+      const BigUInt xb = rng.Below(two_nb), yb = rng.Below(two_nb);
+      const auto pair = circuit.MultiplyPair(xa, ya, xb, yb);
+      EXPECT_EQ(pair.a, ref_a.MultiplyAlg2(xa, ya)) << "bits=" << bits;
+      EXPECT_EQ(pair.b, ref_b.MultiplyAlg2(xb, yb)) << "bits=" << bits;
+      EXPECT_EQ(pair.cycles, InterleavedMmmc::PairCycles(bits));
+    }
+  }
+}
+
+TEST(InterleavedDualModulus, OperandBoundsArePerChannel) {
+  const BigUInt n_a{19}, n_b{29};  // both 5 bits; 2N_a = 38, 2N_b = 58
+  InterleavedMmmc circuit(n_a, n_b);
+  EXPECT_THROW(
+      circuit.MultiplyPair(BigUInt{40}, BigUInt{1}, BigUInt{1}, BigUInt{1}),
+      std::invalid_argument);
+  // 40 < 2N_b is legal on channel B even though it exceeds 2N_a.
+  const auto pair =
+      circuit.MultiplyPair(BigUInt{1}, BigUInt{1}, BigUInt{40}, BigUInt{3});
+  const BitSerialMontgomery ref_b(n_b);
+  EXPECT_EQ(pair.b, ref_b.MultiplyAlg2(BigUInt{40}, BigUInt{3}));
+}
+
+// ---------------------------------------------------------------------------
+// PairedModExp
+// ---------------------------------------------------------------------------
+
+TEST(PairedModExp, FastAndCycleAccurateMatchOracle) {
+  auto rng = test::TestRng();
+  for (const std::size_t bits : {5u, 8u, 10u}) {
+    const BigUInt n_a = rng.OddExactBits(bits);
+    BigUInt n_b = rng.OddExactBits(bits);
+    while (n_b == n_a) n_b = rng.OddExactBits(bits);
+    const BitSerialMontgomery ctx_a(n_a), ctx_b(n_b);
+    for (int trial = 0; trial < 4; ++trial) {
+      const BigUInt base_a = rng.Below(n_a), base_b = rng.Below(n_b);
+      const BigUInt exp_a = rng.ExactBits(bits), exp_b = rng.ExactBits(bits / 2);
+      const auto fast = PairedModExp(ctx_a, base_a, exp_a, ctx_b, base_b,
+                                     exp_b, PairedEngine::kFast);
+      const auto accurate = PairedModExp(ctx_a, base_a, exp_a, ctx_b, base_b,
+                                         exp_b, PairedEngine::kCycleAccurate);
+      EXPECT_EQ(fast.a, BigUInt::ModExp(base_a, exp_a, n_a));
+      EXPECT_EQ(fast.b, BigUInt::ModExp(base_b, exp_b, n_b));
+      EXPECT_EQ(fast.a, accurate.a);
+      EXPECT_EQ(fast.b, accurate.b);
+      EXPECT_EQ(fast.stats.paired_issues, accurate.stats.paired_issues);
+      EXPECT_EQ(fast.stats.single_issues, accurate.stats.single_issues);
+      EXPECT_EQ(fast.stats.total_cycles, accurate.stats.total_cycles);
+    }
+  }
+}
+
+TEST(PairedModExp, ChargesPairCyclesAndBeatsSequentialIssue) {
+  auto rng = test::TestRng();
+  const std::size_t bits = 32;
+  const BigUInt n = rng.OddExactBits(bits);
+  const BitSerialMontgomery ctx(n);
+  const std::size_t l = ctx.l();
+  const BigUInt base_a = rng.Below(n), base_b = rng.Below(n);
+  const BigUInt exp_a = rng.BalancedExactBits(bits);
+  const BigUInt exp_b = rng.BalancedExactBits(bits);
+  const auto paired =
+      PairedModExp(ctx, base_a, exp_a, ctx, base_b, exp_b, PairedEngine::kFast);
+
+  // Cycle identity: every paired issue costs 3l+5, every single 3l+4.
+  EXPECT_EQ(paired.stats.total_cycles,
+            paired.stats.paired_issues * PairedMultiplyCycles(l) +
+                paired.stats.single_issues * MultiplyCycles(l));
+  // The shorter stream is fully paired: issue counts add up to both jobs'
+  // MMM totals.
+  const std::uint64_t ops_a = paired.stats_a.mmm_invocations;
+  const std::uint64_t ops_b = paired.stats_b.mmm_invocations;
+  EXPECT_EQ(paired.stats.paired_issues, std::min(ops_a, ops_b));
+  EXPECT_EQ(paired.stats.single_issues, std::max(ops_a, ops_b) -
+                                            std::min(ops_a, ops_b));
+  // Against sequential issue of the same MMMs, pairing approaches 2x.
+  const std::uint64_t sequential = (ops_a + ops_b) * MultiplyCycles(l);
+  EXPECT_LT(paired.stats.total_cycles, sequential);
+  const double speedup = static_cast<double>(sequential) /
+                         static_cast<double>(paired.stats.total_cycles);
+  EXPECT_GT(speedup, 1.8);
+}
+
+TEST(PairedModExp, EdgeExponents) {
+  auto rng = test::TestRng();
+  const BigUInt n = rng.OddExactBits(16);
+  const BitSerialMontgomery ctx(n);
+  const BigUInt base = rng.Below(n);
+  // Zero exponent on one channel: that stream contributes no MMMs and the
+  // partner runs entirely single-issue.
+  const auto zero_side =
+      PairedModExp(ctx, base, BigUInt{0}, ctx, base, BigUInt{5});
+  EXPECT_TRUE(zero_side.a.IsOne());
+  EXPECT_EQ(zero_side.b, BigUInt::ModExp(base, BigUInt{5}, n));
+  EXPECT_EQ(zero_side.stats.paired_issues, 0u);
+  // Both zero: no MMM at all.
+  const auto both_zero =
+      PairedModExp(ctx, base, BigUInt{0}, ctx, base, BigUInt{0});
+  EXPECT_EQ(both_zero.stats.total_cycles, 0u);
+  // exponent = 1 still round-trips through the Montgomery domain.
+  const auto one = PairedModExp(ctx, base, BigUInt{1}, ctx, base, BigUInt{1});
+  EXPECT_EQ(one.a, base);
+  EXPECT_EQ(one.b, base);
+}
+
+TEST(PairedModExp, RejectsUnequalLengths) {
+  const BitSerialMontgomery ctx_a(BigUInt{23}), ctx_b(BigUInt{257});
+  EXPECT_THROW(PairedModExp(ctx_a, BigUInt{2}, BigUInt{3}, ctx_b, BigUInt{2},
+                            BigUInt{3}),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// ExpService: property/stress suite
+// ---------------------------------------------------------------------------
+
+struct StressJob {
+  std::size_t modulus_index;
+  BigUInt base;
+  BigUInt exponent;
+};
+
+// 10k randomized jobs from multiple submitter threads over a pool of mixed
+// moduli (duplicate bit lengths so opportunistic pairing fires), every
+// result checked bit-for-bit against the scalar Exponentiator oracle.
+TEST(ExpService, StressManyThreadedJobsMatchScalarOracle) {
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kJobsPerThread = 2500;
+
+  // Modulus pool: two distinct moduli per bit length plus one duplicated
+  // entry (same BigUInt twice) so the cache sees repeated keys.
+  auto rng = test::TestRng();
+  std::vector<BigUInt> moduli;
+  for (const std::size_t bits : {8u, 16u, 24u, 32u, 48u, 64u}) {
+    moduli.push_back(rng.OddExactBits(bits));
+    moduli.push_back(rng.OddExactBits(bits));
+  }
+  moduli.push_back(moduli[0]);  // duplicate key
+
+  ExpService::Options options;
+  options.workers = 4;
+  options.engine_cache_capacity = 6;  // smaller than the pool: forces churn
+  ExpService service(options);
+
+  std::vector<std::vector<StressJob>> jobs(kThreads);
+  std::vector<std::vector<std::future<ExpService::Result>>> futures(kThreads);
+  for (auto& lane : futures) lane.resize(kJobsPerThread);
+
+  std::vector<std::thread> submitters;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      RandomBigUInt thread_rng(test::TestSeed(t + 1));
+      for (std::size_t j = 0; j < kJobsPerThread; ++j) {
+        StressJob job;
+        job.modulus_index =
+            static_cast<std::size_t>(thread_rng.Engine().NextBelow(
+                static_cast<std::uint64_t>(moduli.size())));
+        const BigUInt& n = moduli[job.modulus_index];
+        job.base = thread_rng.Below(n << 1);  // also exercises base >= n
+        switch (thread_rng.Engine().NextBelow(8)) {
+          case 0:
+            job.exponent = BigUInt{0};
+            break;
+          case 1:
+            job.exponent = BigUInt{1};
+            break;
+          case 2:
+            // max-bit exponent: all ones at the modulus length.
+            job.exponent = BigUInt::PowerOfTwo(n.BitLength()) - BigUInt{1};
+            break;
+          default:
+            job.exponent = thread_rng.Below(n);
+            break;
+        }
+        futures[t][j] = service.Submit(n, job.base, job.exponent);
+        jobs[t].push_back(std::move(job));
+      }
+    });
+  }
+  for (std::thread& submitter : submitters) submitter.join();
+  service.Wait();
+
+  // Scalar oracle, one engine per modulus (precomputation paid once).
+  std::vector<Exponentiator> oracles;
+  oracles.reserve(moduli.size());
+  for (const BigUInt& n : moduli) oracles.emplace_back(n);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    for (std::size_t j = 0; j < kJobsPerThread; ++j) {
+      const StressJob& job = jobs[t][j];
+      const ExpService::Result result = futures[t][j].get();
+      ASSERT_EQ(result.value,
+                oracles[job.modulus_index].ModExp(job.base, job.exponent))
+          << "thread " << t << " job " << j;
+    }
+  }
+
+  const auto counters = service.Snapshot();
+  EXPECT_EQ(counters.jobs_submitted, kThreads * kJobsPerThread);
+  EXPECT_EQ(counters.jobs_completed, kThreads * kJobsPerThread);
+  // With duplicate bit lengths queued from 4 threads, pairing must fire.
+  EXPECT_GT(counters.pair_issues, 0u);
+  // Repeated moduli must hit the engine cache, and the pool exceeding the
+  // capacity must evict.
+  EXPECT_GT(counters.engine_cache_hits, 0u);
+  EXPECT_GT(counters.engine_cache_evictions, 0u);
+}
+
+// Paired (dual-channel) and unpaired execution must agree bit for bit.
+TEST(ExpService, PairedAndUnpairedAreBitIdentical) {
+  auto rng = test::TestRng();
+  std::vector<BigUInt> moduli;
+  for (const std::size_t bits : {16u, 16u, 32u, 32u}) {
+    moduli.push_back(rng.OddExactBits(bits));
+  }
+  constexpr std::size_t kJobs = 200;
+  std::vector<StressJob> jobs;
+  for (std::size_t j = 0; j < kJobs; ++j) {
+    StressJob job;
+    job.modulus_index = static_cast<std::size_t>(
+        rng.Engine().NextBelow(static_cast<std::uint64_t>(moduli.size())));
+    const BigUInt& n = moduli[job.modulus_index];
+    job.base = rng.Below(n);
+    job.exponent = rng.Below(n);
+    jobs.push_back(std::move(job));
+  }
+
+  const auto run = [&](bool enable_pairing, std::size_t workers) {
+    ExpService::Options options;
+    options.workers = workers;
+    options.enable_pairing = enable_pairing;
+    ExpService service(options);
+    std::vector<std::future<ExpService::Result>> futures;
+    futures.reserve(kJobs);
+    for (const StressJob& job : jobs) {
+      futures.push_back(service.Submit(moduli[job.modulus_index], job.base,
+                                       job.exponent));
+    }
+    std::vector<BigUInt> values;
+    values.reserve(kJobs);
+    std::uint64_t paired_jobs = 0;
+    for (auto& future : futures) {
+      ExpService::Result result = future.get();
+      if (result.paired) ++paired_jobs;
+      values.push_back(std::move(result.value));
+    }
+    return std::pair<std::vector<BigUInt>, std::uint64_t>(std::move(values),
+                                                          paired_jobs);
+  };
+
+  const auto [paired_values, paired_count] = run(/*enable_pairing=*/true, 2);
+  const auto [unpaired_values, unpaired_count] =
+      run(/*enable_pairing=*/false, 1);
+  EXPECT_GT(paired_count, 0u);
+  EXPECT_EQ(unpaired_count, 0u);
+  ASSERT_EQ(paired_values.size(), unpaired_values.size());
+  for (std::size_t j = 0; j < kJobs; ++j) {
+    EXPECT_EQ(paired_values[j], unpaired_values[j]) << "job " << j;
+  }
+}
+
+TEST(ExpService, BondedPairReportsPairCycleAccounting) {
+  auto rng = test::TestRng();
+  const std::size_t bits = 48;
+  const BigUInt n_a = rng.OddExactBits(bits);
+  const BigUInt n_b = rng.OddExactBits(bits);
+  ExpService::Options options;
+  options.workers = 1;
+  ExpService service(options);
+  auto [future_a, future_b] =
+      service.SubmitPair(n_a, rng.Below(n_a), rng.BalancedExactBits(bits),
+                         n_b, rng.Below(n_b), rng.BalancedExactBits(bits));
+  const ExpService::Result result_a = future_a.get();
+  const ExpService::Result result_b = future_b.get();
+  EXPECT_TRUE(result_a.paired);
+  EXPECT_TRUE(result_b.paired);
+  // Both report the same issue group, charged 3l+5 per MMM pair.
+  EXPECT_EQ(result_a.engine_cycles, result_b.engine_cycles);
+  EXPECT_EQ(result_a.paired_issues, result_b.paired_issues);
+  EXPECT_GT(result_a.paired_issues, 0u);
+  EXPECT_EQ(result_a.engine_cycles,
+            result_a.paired_issues * PairedMultiplyCycles(bits) +
+                result_a.single_issues * MultiplyCycles(bits));
+  // And the pair beats running its MMMs sequentially.
+  const std::uint64_t sequential =
+      (result_a.stats.mmm_invocations + result_b.stats.mmm_invocations) *
+      MultiplyCycles(bits);
+  EXPECT_LT(result_a.engine_cycles, sequential);
+}
+
+TEST(ExpService, SubmitBatchAndCallbacks) {
+  auto rng = test::TestRng();
+  const BigUInt n = rng.OddExactBits(32);
+  std::vector<BigUInt> bases, exponents;
+  for (int j = 0; j < 16; ++j) {
+    bases.push_back(rng.Below(n));
+    exponents.push_back(rng.Below(n));
+  }
+  ExpService service;
+  auto futures = service.SubmitBatch(n, bases, exponents);
+  std::atomic<int> callbacks{0};
+  for (int j = 0; j < 4; ++j) {
+    service.Submit(n, bases[j], exponents[j],
+                   [&callbacks](const ExpService::Result&) { ++callbacks; });
+  }
+  service.Wait();
+  EXPECT_EQ(callbacks.load(), 4);
+  ASSERT_EQ(futures.size(), bases.size());
+  Exponentiator oracle(n);
+  for (std::size_t j = 0; j < futures.size(); ++j) {
+    EXPECT_EQ(futures[j].get().value, oracle.ModExp(bases[j], exponents[j]));
+  }
+  EXPECT_THROW(service.SubmitBatch(n, bases, {}), std::invalid_argument);
+}
+
+TEST(ExpService, RejectsBadModuli) {
+  ExpService service;
+  EXPECT_THROW(service.Submit(BigUInt{24}, BigUInt{2}, BigUInt{3}),
+               std::invalid_argument);
+  EXPECT_THROW(service.Submit(BigUInt{1}, BigUInt{2}, BigUInt{3}),
+               std::invalid_argument);
+  EXPECT_THROW(service.SubmitPair(BigUInt{23}, BigUInt{2}, BigUInt{3},
+                                  BigUInt{8}, BigUInt{2}, BigUInt{3}),
+               std::invalid_argument);
+}
+
+TEST(ExpService, EngineCacheReusesHotModulus) {
+  auto rng = test::TestRng();
+  const BigUInt n = rng.OddExactBits(32);
+  ExpService::Options options;
+  options.workers = 1;
+  options.engine_cache_capacity = 2;
+  ExpService service(options);
+  for (int j = 0; j < 6; ++j) {
+    service.Submit(n, rng.Below(n), rng.Below(n)).get();
+  }
+  auto counters = service.Snapshot();
+  EXPECT_EQ(counters.engine_cache_misses, 1u);
+  EXPECT_EQ(counters.engine_cache_hits, 5u);
+  // Rotating through more moduli than the cache holds must evict.
+  for (const std::size_t bits : {16u, 24u, 40u}) {
+    const BigUInt other = rng.OddExactBits(bits);
+    service.Submit(other, rng.Below(other), rng.Below(other)).get();
+  }
+  counters = service.Snapshot();
+  EXPECT_GT(counters.engine_cache_evictions, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Crypto entry points driving the service end to end
+// ---------------------------------------------------------------------------
+
+TEST(ExpServiceCrypto, RsaPrivateCrtPairedMatchesAndSavesCycles) {
+  auto rng = test::TestRng();
+  const crypto::RsaKeyPair key = crypto::GenerateRsaKey(128, rng);
+  for (int trial = 0; trial < 3; ++trial) {
+    const BigUInt m = rng.Below(key.n);
+    const BigUInt c = crypto::RsaPublic(key, m);
+    PairedExpStats stats;
+    EXPECT_EQ(crypto::RsaPrivateCrtPaired(key, c, &stats), m);
+    EXPECT_GT(stats.paired_issues, 0u);
+    const std::size_t l = key.p.BitLength();
+    EXPECT_EQ(stats.total_cycles,
+              stats.paired_issues * PairedMultiplyCycles(l) +
+                  stats.single_issues * MultiplyCycles(l));
+  }
+}
+
+TEST(ExpServiceCrypto, RsaSignBatchMatchesScalarPaths) {
+  auto rng = test::TestRng();
+  const crypto::RsaKeyPair key = crypto::GenerateRsaKey(96, rng);
+  std::vector<BigUInt> messages;
+  for (int j = 0; j < 12; ++j) messages.push_back(rng.Below(key.n));
+  ExpService service;
+  const std::vector<BigUInt> signatures =
+      crypto::RsaSignBatch(key, messages, service);
+  ASSERT_EQ(signatures.size(), messages.size());
+  for (std::size_t j = 0; j < messages.size(); ++j) {
+    EXPECT_EQ(signatures[j], crypto::RsaPrivate(key, messages[j]));
+    EXPECT_EQ(signatures[j], crypto::RsaPrivateCrt(key, messages[j]));
+  }
+  // The CRT halves are bonded pairs: every message pairs its two streams.
+  EXPECT_GT(service.Snapshot().pair_issues, 0u);
+}
+
+TEST(ExpServiceCrypto, EccScalarMulBatchMatchesScalarMul) {
+  const crypto::Curve tiny(crypto::CurveParams::Tiny97());
+  ExpService service;
+  std::vector<BigUInt> scalars;
+  for (std::uint64_t k = 0; k < 9; ++k) scalars.push_back(BigUInt{k});
+  const auto batch = tiny.ScalarMulBatch(scalars, tiny.Generator(), service);
+  ASSERT_EQ(batch.size(), scalars.size());
+  for (std::size_t j = 0; j < scalars.size(); ++j) {
+    EXPECT_EQ(batch[j], tiny.ScalarMul(scalars[j], tiny.Generator()))
+        << "k = " << j;
+  }
+  // Infinity input maps to infinity outputs.
+  const auto at_infinity =
+      tiny.ScalarMulBatch(scalars, crypto::AffinePoint::Infinity(), service);
+  for (const crypto::AffinePoint& point : at_infinity) {
+    EXPECT_TRUE(point.infinity);
+  }
+
+  auto rng = test::TestRng();
+  const crypto::Curve p192(crypto::CurveParams::Secp192r1());
+  std::vector<BigUInt> big_scalars;
+  for (int j = 0; j < 3; ++j) {
+    big_scalars.push_back(rng.Below(p192.Params().order));
+  }
+  const auto big_batch =
+      p192.ScalarMulBatch(big_scalars, p192.Generator(), service);
+  for (std::size_t j = 0; j < big_scalars.size(); ++j) {
+    EXPECT_EQ(big_batch[j], p192.ScalarMul(big_scalars[j], p192.Generator()));
+  }
+}
+
+}  // namespace
+}  // namespace mont::core
