@@ -1,21 +1,36 @@
 // bench_ecc — the paper's §5 future-work direction quantified: elliptic
-// curve point multiplication over GF(p) built from nothing but the MMMC.
-// Prints field-multiplication counts and modelled latency on the Virtex-E
-// for P-192 scalar multiplication, and the ECC-vs-RSA comparison the
-// paper's introduction motivates (equivalent security at smaller sizes).
+// curve point multiplication over GF(p) built from nothing but the MMMC
+// (the curve's field arithmetic runs on the engine registry's bit-serial
+// backend — the paper's Algorithm 2).  Prints field-multiplication counts
+// and modelled latency on the Virtex-E for P-192 scalar multiplication,
+// and the ECC-vs-RSA comparison the paper's introduction motivates
+// (equivalent security at smaller sizes).
+//
+// Writes BENCH_ecc.json (see bench_json.hpp) so CI can track the modelled
+// latencies; --smoke cuts the scalar sweep for the ctest `perf` label.
 #include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
+#include "bench_json.hpp"
 #include "bignum/random.hpp"
 #include "core/netlist_gen.hpp"
 #include "core/schedule.hpp"
 #include "crypto/ecc.hpp"
 #include "fpga/device_model.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using mont::bignum::BigUInt;
   using mont::crypto::Curve;
   using mont::crypto::CurveParams;
   using mont::crypto::EccStats;
+
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  std::vector<mont::bench::JsonRow> json_rows;
 
   std::printf("=== §5 future work: ECC point multiplication on the MMMC ===\n\n");
 
@@ -23,25 +38,41 @@ int main() {
   const std::size_t l = curve.Params().p.BitLength();
   const auto gen = mont::core::BuildMmmcNetlist(l);
   const auto fpga = mont::fpga::AnalyzeNetlist(*gen.netlist);
-  std::printf("curve: secp192r1 (l = %zu), MMMC: %zu slices, Tp = %.3f ns\n\n",
-              l, fpga.slices, fpga.clock_period_ns);
+  std::printf("curve: secp192r1 (l = %zu), MMMC: %zu slices, Tp = %.3f ns, "
+              "field engine: %s\n\n",
+              l, fpga.slices, fpga.clock_period_ns,
+              std::string(curve.FieldEngine().Name()).c_str());
 
   mont::bignum::RandomBigUInt rng(0xecc1u);
   std::printf("%18s | %10s %10s | %12s | %10s\n", "scalar bits", "muls",
               "squares", "MMM cycles", "time (ms)");
   std::printf("-------------------+-----------------------+--------------+----"
               "-------\n");
-  for (const std::size_t kbits : {32u, 64u, 128u, 160u, 192u}) {
+  const std::vector<std::size_t> sweep =
+      smoke ? std::vector<std::size_t>{32u, 64u}
+            : std::vector<std::size_t>{32u, 64u, 128u, 160u, 192u};
+  for (const std::size_t kbits : sweep) {
     const BigUInt k = rng.ExactBits(kbits);
     EccStats stats;
     const auto point = curve.ScalarMul(k, curve.Generator(), &stats);
     const std::uint64_t cycles = stats.ModeledCycles(l);
+    const double ms =
+        static_cast<double>(cycles) * fpga.clock_period_ns * 1e-6;
+    const bool on_curve = curve.IsOnCurve(point);
     std::printf("%18zu | %10llu %10llu | %12llu | %10.3f   %s\n", kbits,
                 static_cast<unsigned long long>(stats.field_mults),
                 static_cast<unsigned long long>(stats.field_squares),
-                static_cast<unsigned long long>(cycles),
-                static_cast<double>(cycles) * fpga.clock_period_ns * 1e-6,
-                curve.IsOnCurve(point) ? "(on curve)" : "(OFF CURVE!)");
+                static_cast<unsigned long long>(cycles), ms,
+                on_curve ? "(on curve)" : "(OFF CURVE!)");
+    json_rows.push_back({
+        {"kind", "scalar_mul"},
+        {"scalar_bits", kbits},
+        {"field_mults", stats.field_mults},
+        {"field_squares", stats.field_squares},
+        {"mmm_cycles", cycles},
+        {"time_ms", ms},
+        {"on_curve", on_curve},
+    });
   }
 
   // --- the introduction's motivation: ECC vs RSA at equivalent security ---
@@ -73,9 +104,22 @@ int main() {
                 rsa_ms / ecc_ms,
                 static_cast<double>(fpga1024.slices) /
                     static_cast<double>(fpga.slices));
+    json_rows.push_back({
+        {"kind", "ecc_vs_rsa"},
+        {"ecc_cycles", ecc_cycles},
+        {"ecc_ms", ecc_ms},
+        {"ecc_slices", fpga.slices},
+        {"rsa_cycles", rsa_cycles},
+        {"rsa_ms", rsa_ms},
+        {"rsa_slices", fpga1024.slices},
+        {"speedup", rsa_ms / ecc_ms},
+    });
   }
+  const std::string path =
+      mont::bench::WriteBenchJson("ecc", json_rows, {{"smoke", smoke}});
   std::printf("\n(\"A cryptographic device dealing with both types of PKC "
               "would be very useful\" — the\nsame MMMC serves both: flat "
-              "clock across l is what makes the dual use work.)\n");
+              "clock across l is what makes the dual use work.)\n"
+              "JSON written to %s\n", path.c_str());
   return 0;
 }

@@ -89,9 +89,9 @@ RunStats RunWorkload(const Workload& load, std::size_t workers, bool pairing,
         ++paired_jobs;
         // Both partners report the group total: attribute half each so
         // every issue group counts once.
-        stats.model_cycles += result.engine_cycles / 2;
+        stats.model_cycles += result.stats.engine_cycles / 2;
       } else {
-        stats.model_cycles += result.engine_cycles;
+        stats.model_cycles += result.stats.engine_cycles;
       }
     }
   };

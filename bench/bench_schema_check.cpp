@@ -1,0 +1,278 @@
+// bench_schema_check — validates BENCH_*.json artifacts against the flat
+// bench schema (bench_json.hpp):
+//
+//   { "bench": <non-empty string>, "schema": 1, <scalar meta...>,
+//     "rows": [ { key: scalar, ... }, ... ] }   // rows non-empty, flat
+//
+// Usage: bench_schema_check <file-or-directory>...
+// Directories are scanned (non-recursively) for BENCH_*.json.  Exits
+// non-zero — failing the CI step / ctest `perf` label — if any artifact
+// is malformed or no artifact is found at all, so a bench that silently
+// stops emitting its JSON breaks the build instead of the trend charts.
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader (objects/arrays/strings/numbers/bools) — just enough
+// structure checking for the flat bench schema; values are not retained
+// beyond what the checks need.
+// ---------------------------------------------------------------------------
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  struct Scalar {
+    enum class Kind { kString, kNumber, kBool } kind = Kind::kString;
+    std::string string_value;
+    double number_value = 0;
+  };
+
+  void Fail(const std::string& why) {
+    std::size_t line = 1;
+    for (std::size_t i = 0; i < at_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') ++line;
+    }
+    std::ostringstream message;
+    message << why << " (line " << line << ")";
+    throw std::runtime_error(message.str());
+  }
+
+  void SkipSpace() {
+    while (at_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[at_]))) {
+      ++at_;
+    }
+  }
+
+  char Peek() {
+    SkipSpace();
+    if (at_ >= text_.size()) Fail("unexpected end of input");
+    return text_[at_];
+  }
+
+  void Expect(char c) {
+    if (Peek() != c) Fail(std::string("expected '") + c + "'");
+    ++at_;
+  }
+
+  bool TryConsume(char c) {
+    SkipSpace();
+    if (at_ < text_.size() && text_[at_] == c) {
+      ++at_;
+      return true;
+    }
+    return false;
+  }
+
+  std::string ParseString() {
+    Expect('"');
+    std::string out;
+    while (true) {
+      if (at_ >= text_.size()) Fail("unterminated string");
+      const char c = text_[at_++];
+      if (c == '"') break;
+      if (c == '\\') {
+        if (at_ >= text_.size()) Fail("unterminated escape");
+        const char esc = text_[at_++];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (at_ + 4 > text_.size()) Fail("truncated \\u escape");
+            for (int i = 0; i < 4; ++i) {
+              if (!std::isxdigit(static_cast<unsigned char>(text_[at_ + i]))) {
+                Fail("bad \\u escape");
+              }
+            }
+            at_ += 4;
+            out += '?';  // code point value irrelevant to the schema
+            break;
+          }
+          default: Fail("unknown escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    return out;
+  }
+
+  Scalar ParseScalar() {
+    Scalar scalar;
+    const char c = Peek();
+    if (c == '"') {
+      scalar.kind = Scalar::Kind::kString;
+      scalar.string_value = ParseString();
+      return scalar;
+    }
+    if (c == 't' || c == 'f') {
+      const char* word = c == 't' ? "true" : "false";
+      for (const char* p = word; *p != '\0'; ++p) {
+        if (at_ >= text_.size() || text_[at_++] != *p) Fail("bad literal");
+      }
+      scalar.kind = Scalar::Kind::kBool;
+      return scalar;
+    }
+    if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) {
+      const std::size_t start = at_;
+      ++at_;
+      while (at_ < text_.size() &&
+             (std::isdigit(static_cast<unsigned char>(text_[at_])) ||
+              text_[at_] == '.' || text_[at_] == 'e' || text_[at_] == 'E' ||
+              text_[at_] == '+' || text_[at_] == '-')) {
+        ++at_;
+      }
+      scalar.kind = Scalar::Kind::kNumber;
+      try {
+        scalar.number_value = std::stod(text_.substr(start, at_ - start));
+      } catch (...) {
+        Fail("malformed number");
+      }
+      return scalar;
+    }
+    Fail("expected a scalar (string/number/bool)");
+    return scalar;  // unreachable
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return at_ >= text_.size();
+  }
+
+ private:
+  const std::string& text_;
+  std::size_t at_ = 0;
+};
+
+/// Parses and validates one artifact; throws std::runtime_error on any
+/// schema violation.
+void CheckArtifact(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open file");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  Parser parser(text);
+
+  bool seen_bench = false, seen_schema = false, seen_rows = false;
+  parser.Expect('{');
+  bool first_member = true;
+  while (true) {
+    if (!first_member) {
+      if (!parser.TryConsume(',')) break;
+    } else if (parser.Peek() == '}') {
+      break;
+    }
+    first_member = false;
+    const std::string key = parser.ParseString();
+    parser.Expect(':');
+    if (key == "bench") {
+      const auto scalar = parser.ParseScalar();
+      if (scalar.kind != Parser::Scalar::Kind::kString ||
+          scalar.string_value.empty()) {
+        parser.Fail("\"bench\" must be a non-empty string");
+      }
+      seen_bench = true;
+    } else if (key == "schema") {
+      const auto scalar = parser.ParseScalar();
+      if (scalar.kind != Parser::Scalar::Kind::kNumber ||
+          scalar.number_value != 1.0) {
+        parser.Fail("\"schema\" must be the number 1");
+      }
+      seen_schema = true;
+    } else if (key == "rows") {
+      parser.Expect('[');
+      std::size_t row_count = 0;
+      if (parser.Peek() != ']') {
+        do {
+          parser.Expect('{');
+          std::size_t member_count = 0;
+          if (parser.Peek() != '}') {
+            do {
+              const std::string row_key = parser.ParseString();
+              if (row_key.empty()) parser.Fail("empty row key");
+              parser.Expect(':');
+              parser.ParseScalar();  // rows are flat: scalars only
+              ++member_count;
+            } while (parser.TryConsume(','));
+          }
+          parser.Expect('}');
+          if (member_count == 0) parser.Fail("empty row object");
+          ++row_count;
+        } while (parser.TryConsume(','));
+      }
+      parser.Expect(']');
+      if (row_count == 0) parser.Fail("\"rows\" must be non-empty");
+      seen_rows = true;
+    } else {
+      parser.ParseScalar();  // meta members are scalars
+    }
+  }
+  parser.Expect('}');
+  if (!parser.AtEnd()) parser.Fail("trailing content after the object");
+  if (!seen_bench) throw std::runtime_error("missing \"bench\"");
+  if (!seen_schema) throw std::runtime_error("missing \"schema\"");
+  if (!seen_rows) throw std::runtime_error("missing \"rows\"");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: bench_schema_check <BENCH_*.json or directory>...\n");
+    return 2;
+  }
+  std::vector<std::filesystem::path> artifacts;
+  for (int i = 1; i < argc; ++i) {
+    const std::filesystem::path arg(argv[i]);
+    if (std::filesystem::is_directory(arg)) {
+      for (const auto& entry : std::filesystem::directory_iterator(arg)) {
+        const std::string name = entry.path().filename().string();
+        if (entry.is_regular_file() && name.rfind("BENCH_", 0) == 0 &&
+            entry.path().extension() == ".json") {
+          artifacts.push_back(entry.path());
+        }
+      }
+    } else {
+      artifacts.push_back(arg);
+    }
+  }
+  if (artifacts.empty()) {
+    std::fprintf(stderr, "bench_schema_check: no BENCH_*.json artifacts "
+                         "found — did the perf benches run?\n");
+    return 1;
+  }
+  int failures = 0;
+  for (const auto& path : artifacts) {
+    try {
+      CheckArtifact(path);
+      std::printf("ok       %s\n", path.string().c_str());
+    } catch (const std::exception& error) {
+      std::printf("MALFORMED %s: %s\n", path.string().c_str(), error.what());
+      ++failures;
+    }
+  }
+  if (failures != 0) {
+    std::fprintf(stderr, "bench_schema_check: %d malformed artifact(s)\n",
+                 failures);
+    return 1;
+  }
+  std::printf("%zu artifact(s) conform to the bench schema\n",
+              artifacts.size());
+  return 0;
+}

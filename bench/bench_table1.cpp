@@ -74,9 +74,9 @@ int main(int argc, char** argv) {
     for (int trial = 0; trial < kTrials; ++trial) {
       const auto base = rng.Below(n);
       const auto exponent = rng.BalancedExactBits(row.l);
-      mont::core::ExponentiationStats stats;
+      mont::core::EngineStats stats;
       exponentiator.ModExp(base, exponent, &stats);
-      total_cycles += stats.measured_mmm_cycles +
+      total_cycles += stats.engine_cycles +
                       mont::core::PrecomputeCycles(row.l) +
                       mont::core::PostprocessCycles(row.l);
     }

@@ -48,8 +48,8 @@ int main(int argc, char** argv) {
   const auto on_done = [&](const ExpService::Result& result) {
     ++completed;
     // Both halves of a pair report the group total; attribute half each.
-    modelled_cycles += result.paired ? result.engine_cycles / 2
-                                     : result.engine_cycles;
+    modelled_cycles += result.paired ? result.stats.engine_cycles / 2
+                                     : result.stats.engine_cycles;
   };
 
   std::printf("submitting %zu requests (2 RSA tenants + %zu raw-modexp "

@@ -50,7 +50,7 @@ int ModMul(const char* n_hex, const char* x_hex, const char* y_hex) {
 int ModExp(const char* n_hex, const char* b_hex, const char* e_hex) {
   const BigUInt n = BigUInt::FromHex(n_hex);
   mont::core::Exponentiator exp(n);
-  mont::core::ExponentiationStats stats;
+  mont::core::EngineStats stats;
   const BigUInt r =
       exp.ModExp(BigUInt::FromHex(b_hex), BigUInt::FromHex(e_hex), &stats);
   std::printf("b^e mod N = 0x%s\n", r.ToHex().c_str());
@@ -58,7 +58,7 @@ int ModExp(const char* n_hex, const char* b_hex, const char* e_hex) {
               "MMMC\n",
               static_cast<unsigned long long>(stats.squarings),
               static_cast<unsigned long long>(stats.multiplications),
-              static_cast<unsigned long long>(stats.measured_mmm_cycles));
+              static_cast<unsigned long long>(stats.engine_cycles));
   return 0;
 }
 

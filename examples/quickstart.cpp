@@ -43,11 +43,10 @@ int main() {
               reference.MultiplyAlg2(x, y) == product ? "yes" : "NO");
 
   // --- 2. full modular exponentiation (paper Algorithm 3) ---
-  mont::core::Exponentiator exponentiator(
-      n, mont::core::Exponentiator::Engine::kCycleAccurate);
+  mont::core::Exponentiator exponentiator(n, "mmmc");
   const BigUInt base{0xdeadbeefull};
   const BigUInt exponent{0x10001ull};  // the RSA public exponent F4
-  mont::core::ExponentiationStats stats;
+  mont::core::EngineStats stats;
   const BigUInt power = exponentiator.ModExp(base, exponent, &stats);
   std::printf("\n%llu^%llu mod N = 0x%s\n",
               static_cast<unsigned long long>(base.ToUint64()),
@@ -57,7 +56,7 @@ int main() {
               "on the circuit\n",
               static_cast<unsigned long long>(stats.squarings),
               static_cast<unsigned long long>(stats.multiplications),
-              static_cast<unsigned long long>(stats.measured_mmm_cycles));
+              static_cast<unsigned long long>(stats.engine_cycles));
   std::printf("  plain-arithmetic check: %s\n",
               BigUInt::ModExp(base, exponent, n) == power ? "ok" : "MISMATCH");
   return 0;

@@ -32,7 +32,7 @@ int main(int argc, char** argv) {
   const mont::bignum::BigUInt ciphertext = RsaPublic(key, message);
   std::printf("ciphertext = 0x%s\n", ciphertext.ToHex().c_str());
 
-  mont::core::ExponentiationStats stats;
+  mont::core::EngineStats stats;
   const mont::bignum::BigUInt decrypted =
       RsaPrivateOnHardwareModel(key, ciphertext, &stats);
   std::printf("decrypted  = 0x%s  -> round trip %s\n",
@@ -44,7 +44,7 @@ int main(int argc, char** argv) {
   // What would this cost on the modelled FPGA?
   const auto gen = mont::core::BuildMmmcNetlist(bits);
   const auto fpga = mont::fpga::AnalyzeNetlist(*gen.netlist);
-  const std::uint64_t total_cycles = stats.measured_mmm_cycles;
+  const std::uint64_t total_cycles = stats.engine_cycles;
   std::printf("\nprivate-key op on the modelled V812E (-8):\n");
   std::printf("  %llu MMMs (%llu squarings + %llu multiplies + pre/post), "
               "%llu cycles\n",

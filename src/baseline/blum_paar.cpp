@@ -10,54 +10,19 @@ namespace mont::baseline {
 
 using bignum::BigUInt;
 
-BlumPaarRadix2::BlumPaarRadix2(BigUInt modulus) : modulus_(std::move(modulus)) {
-  if (!modulus_.IsOdd() || modulus_ <= BigUInt{1}) {
-    throw std::invalid_argument("BlumPaarRadix2: modulus must be odd > 1");
-  }
-  modulus_times_two_ = modulus_ << 1;
-  l_ = modulus_.BitLength();
-  const BigUInt r = R();
-  r2_ = (r * r) % modulus_;
-}
+BlumPaarRadix2::BlumPaarRadix2(BigUInt modulus)
+    : engine_(core::MakeEngine("blum-paar", std::move(modulus))),
+      l_(engine_->l()) {}
 
 BigUInt BlumPaarRadix2::Multiply(const BigUInt& x, const BigUInt& y) const {
-  if (x >= modulus_times_two_ || y >= modulus_times_two_) {
-    throw std::invalid_argument("BlumPaarRadix2: operands must be < 2N");
-  }
-  // Radix-2 Montgomery with l+3 iterations (their R = 2^(l+3)).
-  BigUInt t;
-  for (std::size_t i = 0; i < l_ + 3; ++i) {
-    const bool xi = x.Bit(i);
-    const bool mi = t.Bit(0) ^ (xi && y.Bit(0));
-    if (xi) t += y;
-    if (mi) t += modulus_;
-    t >>= 1;
-  }
-  return t;
+  return engine_->Multiply(x, y);
 }
 
 BigUInt BlumPaarRadix2::ModExp(const BigUInt& base, const BigUInt& exponent,
                                std::uint64_t* mmm_count) const {
-  std::uint64_t count = 0;
-  const auto mmm = [&](const BigUInt& a, const BigUInt& b) {
-    ++count;
-    return Multiply(a, b);
-  };
-  BigUInt out;
-  if (exponent.IsZero()) {
-    out = BigUInt{1} % modulus_;
-  } else {
-    const BigUInt m = base % modulus_;
-    const BigUInt m_mont = mmm(m, r2_);
-    BigUInt a = m_mont;
-    for (std::size_t i = exponent.BitLength() - 1; i-- > 0;) {
-      a = mmm(a, a);
-      if (exponent.Bit(i)) a = mmm(a, m_mont);
-    }
-    out = mmm(a, BigUInt{1});
-    if (out >= modulus_) out -= modulus_;
-  }
-  if (mmm_count != nullptr) *mmm_count = count;
+  core::EngineStats stats;
+  BigUInt out = engine_->ModExp(base, exponent, &stats);
+  if (mmm_count != nullptr) *mmm_count = stats.mmm_invocations;
   return out;
 }
 

@@ -23,12 +23,16 @@
 #include <memory>
 
 #include "bignum/biguint.hpp"
+#include "core/engine.hpp"
 #include "fpga/device_model.hpp"
 #include "rtl/netlist.hpp"
 
 namespace mont::baseline {
 
-/// Blum-Paar radix-2 systolic Montgomery multiplier model.
+/// Blum-Paar radix-2 systolic Montgomery multiplier model.  The
+/// functional arithmetic is the registry's "blum-paar" backend
+/// (core/engine.hpp) — this class adds the PE netlist and clock-period
+/// side of the comparison.
 class BlumPaarRadix2 {
  public:
   /// Requires an odd modulus > 1.
@@ -66,10 +70,8 @@ class BlumPaarRadix2 {
       const fpga::DeviceParameters& device = fpga::DeviceParameters::VirtexE8());
 
  private:
-  bignum::BigUInt modulus_;
-  bignum::BigUInt modulus_times_two_;
+  std::unique_ptr<core::MmmEngine> engine_;
   std::size_t l_ = 0;
-  bignum::BigUInt r2_;
 };
 
 /// Blum-Paar high-radix model [4]: radix 2^u processing elements.

@@ -86,6 +86,8 @@ class WordMontgomery {
   std::size_t LimbCount() const { return n_.size(); }
   /// R mod N (the Montgomery representation of 1).
   const BigUInt& OneMont() const { return one_mont_; }
+  /// R^2 mod N, the domain-entry factor: ToMont(x) == Multiply(x, R^2).
+  const BigUInt& RSquaredModN() const { return r2_mod_n_; }
 
   /// Montgomery product x*y*R^-1 mod N for x, y in [0, N).
   BigUInt Multiply(const BigUInt& x, const BigUInt& y,

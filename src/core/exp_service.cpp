@@ -1,7 +1,7 @@
 #include "core/exp_service.hpp"
 
+#include <algorithm>
 #include <exception>
-#include <optional>
 #include <stdexcept>
 
 #include "core/interleaved.hpp"
@@ -9,7 +9,6 @@
 namespace mont::core {
 
 using bignum::BigUInt;
-using bignum::BitSerialMontgomery;
 
 namespace {
 
@@ -18,22 +17,23 @@ namespace {
 // ---------------------------------------------------------------------------
 
 // Left-to-right square-and-multiply (§4.5, Algorithm 3) as a stream of MMM
-// requests: NextOperands() exposes the operands of the next multiplication
-// this job needs, Consume() feeds the product back and advances the state
-// machine.  Every MMM depends on the previous one *of the same job*, so two
-// streams can be zipped issue-for-issue onto the two channels of one array
-// without any cross-job hazard.
+// requests against one MmmEngine: NextOperands() exposes the operands of
+// the next multiplication this job needs, Consume() feeds the product back
+// and advances the state machine.  Every MMM depends on the previous one
+// *of the same job*, so two streams can be zipped issue-for-issue onto the
+// two channels of one array without any cross-job hazard.  The engine
+// supplies the field semantics (GF(p) or GF(2^m)) via MontFactor/Reduce.
 class ModExpStream {
  public:
-  ModExpStream(const BitSerialMontgomery& ctx, const BigUInt& base,
-               const BigUInt& exponent, ExponentiationStats* stats)
-      : ctx_(ctx), exponent_(exponent), stats_(stats) {
+  ModExpStream(const MmmEngine& engine, const BigUInt& base,
+               const BigUInt& exponent, EngineStats* stats)
+      : engine_(engine), exponent_(exponent), stats_(stats) {
     if (exponent_.IsZero()) {
-      result_ = BigUInt{1} % ctx_.Modulus();
+      result_ = engine_.Reduce(BigUInt{1});
       phase_ = Phase::kDone;
       return;
     }
-    m_ = base % ctx_.Modulus();
+    m_ = engine_.Reduce(base);
     next_i_ = exponent_.BitLength() - 1;
     phase_ = Phase::kPre;
   }
@@ -45,7 +45,7 @@ class ModExpStream {
     switch (phase_) {
       case Phase::kPre:
         *x = &m_;
-        *y = &ctx_.RSquaredModN();
+        *y = &engine_.MontFactor();
         return;
       case Phase::kSquare:
         *x = &a_;
@@ -75,6 +75,7 @@ class ModExpStream {
         return;
       case Phase::kSquare:
         a_ = std::move(product);
+        ++squarings_;
         if (stats_ != nullptr) ++stats_->squarings;
         if (exponent_.Bit(next_i_)) {
           phase_ = Phase::kMultiply;
@@ -84,15 +85,18 @@ class ModExpStream {
         return;
       case Phase::kMultiply:
         a_ = std::move(product);
+        ++multiplications_;
         if (stats_ != nullptr) ++stats_->multiplications;
         AdvanceIteration();
         return;
       case Phase::kPost:
-        result_ = std::move(product);
-        if (result_ >= ctx_.Modulus()) result_ -= ctx_.Modulus();
+        result_ = engine_.Reduce(std::move(product));
         if (stats_ != nullptr) {
-          stats_->paper_model_cycles = ExponentiationCycles(
-              ctx_.l(), stats_->squarings, stats_->multiplications);
+          // Accumulate this job's delta (like every other EngineStats
+          // field), not a figure recomputed from the cumulative counters:
+          // callers may reuse one stats struct across jobs.
+          stats_->paper_model_cycles += ExponentiationCycles(
+              engine_.l(), squarings_, multiplications_);
         }
         phase_ = Phase::kDone;
         return;
@@ -118,11 +122,13 @@ class ModExpStream {
     }
   }
 
-  const BitSerialMontgomery& ctx_;
+  const MmmEngine& engine_;
   const BigUInt exponent_;
-  ExponentiationStats* stats_;
+  EngineStats* stats_;
+  std::uint64_t squarings_ = 0;        // this job's own operation counts,
+  std::uint64_t multiplications_ = 0;  // independent of the caller's struct
   const BigUInt one_{1};
-  BigUInt m_;       // base mod N
+  BigUInt m_;       // base, canonically reduced
   BigUInt m_mont_;  // base in the Montgomery domain
   BigUInt a_;       // accumulator
   BigUInt result_;
@@ -131,17 +137,21 @@ class ModExpStream {
 };
 
 /// Runs one stream to completion on its own (single-channel issues only),
-/// charging 3l+4 per MMM.  Shared by the service's unpaired path.
-BigUInt RunSoloStream(const BitSerialMontgomery& ctx, const BigUInt& base,
-                      const BigUInt& exponent, ExponentiationStats* stats,
-                      std::uint64_t* single_issues) {
-  ModExpStream stream(ctx, base, exponent, stats);
+/// charging the engine's per-multiply model per MMM into `stats`.
+BigUInt RunSoloStream(const MmmEngine& engine, const BigUInt& base,
+                      const BigUInt& exponent, EngineStats* stats) {
+  ModExpStream stream(engine, base, exponent, stats);
+  std::uint64_t issues = 0;
   while (!stream.Done()) {
     const BigUInt* x = nullptr;
     const BigUInt* y = nullptr;
     stream.NextOperands(&x, &y);
-    stream.Consume(ctx.MultiplyAlg2(*x, *y));
-    if (single_issues != nullptr) ++*single_issues;
+    stream.Consume(engine.Multiply(*x, *y));
+    ++issues;
+  }
+  if (stats != nullptr) {
+    stats->single_issues += issues;
+    stats->engine_cycles += issues * engine.MultiplyCyclesModel();
   }
   return stream.Result();
 }
@@ -152,26 +162,56 @@ BigUInt RunSoloStream(const BitSerialMontgomery& ctx, const BigUInt& base,
 // PairedModExp
 // ---------------------------------------------------------------------------
 
-PairedExpResult PairedModExp(const BitSerialMontgomery& ctx_a,
-                             const BigUInt& base_a, const BigUInt& exp_a,
-                             const BitSerialMontgomery& ctx_b,
+PairedExpResult PairedModExp(const MmmEngine& engine_a, const BigUInt& base_a,
+                             const BigUInt& exp_a, const MmmEngine& engine_b,
                              const BigUInt& base_b, const BigUInt& exp_b,
-                             PairedEngine engine) {
-  if (ctx_a.l() != ctx_b.l()) {
+                             InterleavedMmmc* array) {
+  if (engine_a.l() != engine_b.l()) {
     throw std::invalid_argument(
         "PairedModExp: moduli must have equal bit length to share an array");
   }
-  const std::size_t l = ctx_a.l();
-  PairedExpResult out;
-  ModExpStream stream_a(ctx_a, base_a, exp_a, &out.stats_a);
-  ModExpStream stream_b(ctx_b, base_b, exp_b, &out.stats_b);
-
-  std::optional<InterleavedMmmc> circuit;
-  if (engine == PairedEngine::kCycleAccurate) {
-    circuit.emplace(ctx_a.Modulus(), ctx_b.Modulus());
+  if (engine_a.Field() != engine_b.Field()) {
+    throw std::invalid_argument(
+        "PairedModExp: both jobs must operate in the same field");
   }
+  for (const MmmEngine* engine : {&engine_a, &engine_b}) {
+    if (!engine->Caps().pairable_streams) {
+      throw std::invalid_argument(
+          std::string("PairedModExp: backend '") +
+          std::string(engine->Name()) +
+          "' has no dual-channel variant to co-schedule on");
+    }
+  }
+  const std::size_t l = engine_a.l();
+  if (array != nullptr) {
+    if (array->l() != l || array->Modulus(0) != engine_a.Modulus() ||
+        array->Modulus(1) != engine_b.Modulus()) {
+      throw std::invalid_argument(
+          "PairedModExp: array channels must match the engines' moduli");
+    }
+    // The array multiplies with R = 2^(l+2); an engine with another
+    // Montgomery parameter (word-mont, high-radix, blum-paar) would feed
+    // the streams an inconsistent domain-entry factor.
+    for (const MmmEngine* engine : {&engine_a, &engine_b}) {
+      const BigUInt r = BigUInt::PowerOfTwo(l + 2);
+      if (engine->MontFactor() != (r * r) % engine->Modulus()) {
+        throw std::invalid_argument(
+            "PairedModExp: cycle-accurate array needs R = 2^(l+2) engines");
+      }
+    }
+  }
+  PairedExpResult out;
+  ModExpStream stream_a(engine_a, base_a, exp_a, &out.stats_a);
+  ModExpStream stream_b(engine_b, base_b, exp_b, &out.stats_b);
 
-  const BigUInt zero;
+  // Issue accounting follows each engine's own per-multiply model (3l+4
+  // for the paper's array family), so solo and paired execution of the
+  // same job are charged consistently.  A dual-channel pair costs one
+  // cycle over the slower channel's multiply — 3l+5 on the array.
+  const std::uint64_t single_cost_a = engine_a.MultiplyCyclesModel();
+  const std::uint64_t single_cost_b = engine_b.MultiplyCyclesModel();
+  const std::uint64_t pair_cost = std::max(single_cost_a, single_cost_b) + 1;
+
   while (!stream_a.Done() || !stream_b.Done()) {
     if (!stream_a.Done() && !stream_b.Done()) {
       // Dual-channel issue: one MMM of each job in 3l+5 cycles.
@@ -179,36 +219,37 @@ PairedExpResult PairedModExp(const BitSerialMontgomery& ctx_a,
       stream_a.NextOperands(&xa, &ya);
       stream_b.NextOperands(&xb, &yb);
       BigUInt ra, rb;
-      if (circuit.has_value()) {
-        auto pair = circuit->MultiplyPair(*xa, *ya, *xb, *yb);
+      if (array != nullptr) {
+        auto pair = array->MultiplyPair(*xa, *ya, *xb, *yb);
         ra = std::move(pair.a);
         rb = std::move(pair.b);
       } else {
-        ra = ctx_a.MultiplyAlg2(*xa, *ya);
-        rb = ctx_b.MultiplyAlg2(*xb, *yb);
+        ra = engine_a.Multiply(*xa, *ya);
+        rb = engine_b.Multiply(*xb, *yb);
       }
       stream_a.Consume(std::move(ra));
       stream_b.Consume(std::move(rb));
       ++out.stats.paired_issues;
-      out.stats.total_cycles += PairedMultiplyCycles(l);
+      out.stats.engine_cycles += pair_cost;
     } else {
-      // One stream has drained: the leftover issues singly at 3l+4.
+      // One stream has drained: the leftover issues singly.
       const bool a_live = !stream_a.Done();
       ModExpStream& stream = a_live ? stream_a : stream_b;
-      const BitSerialMontgomery& ctx = a_live ? ctx_a : ctx_b;
+      const MmmEngine& engine = a_live ? engine_a : engine_b;
       const BigUInt *x = nullptr, *y = nullptr;
       stream.NextOperands(&x, &y);
       BigUInt r;
-      if (circuit.has_value()) {
-        auto pair = a_live ? circuit->MultiplyPair(*x, *y, zero, zero)
-                           : circuit->MultiplyPair(zero, zero, *x, *y);
+      if (array != nullptr) {
+        const BigUInt zero;
+        auto pair = a_live ? array->MultiplyPair(*x, *y, zero, zero)
+                           : array->MultiplyPair(zero, zero, *x, *y);
         r = a_live ? std::move(pair.a) : std::move(pair.b);
       } else {
-        r = ctx.MultiplyAlg2(*x, *y);
+        r = engine.Multiply(*x, *y);
       }
       stream.Consume(std::move(r));
       ++out.stats.single_issues;
-      out.stats.total_cycles += MultiplyCycles(l);
+      out.stats.engine_cycles += a_live ? single_cost_a : single_cost_b;
     }
   }
   out.a = stream_a.Result();
@@ -221,10 +262,29 @@ PairedExpResult PairedModExp(const BitSerialMontgomery& ctx_a,
 // ---------------------------------------------------------------------------
 
 ExpService::ExpService(Options options)
-    : options_(options),
-      cache_(options.engine_cache_capacity == 0 ? 1
-                                                : options.engine_cache_capacity) {
+    : options_(std::move(options)),
+      cache_(options_.engine_cache_capacity == 0
+                 ? 1
+                 : options_.engine_cache_capacity) {
   if (options_.workers == 0) options_.workers = 1;
+  // Resolve the backend up front so a bad name or a capability mismatch
+  // (e.g. a GF(2^m) service on a GF(p)-only backend) fails at
+  // construction, not on the first worker thread.
+  const EngineRegistry::Entry* entry =
+      EngineRegistry::Global().Find(options_.engine_name);
+  if (entry == nullptr) {
+    throw std::invalid_argument("ExpService: unknown engine '" +
+                                options_.engine_name + "'");
+  }
+  if (options_.engine_options.field == EngineField::kGf2 && !entry->caps.gf2) {
+    throw std::invalid_argument("ExpService: engine '" + options_.engine_name +
+                                "' does not support GF(2^m)");
+  }
+  // The 3l+5-per-pair credit models the C-slow variant of the array
+  // schedule; a backend without pairable streams (word-serial datapaths)
+  // must not report fictitious dual-channel throughput, so pairing is
+  // disabled for it and every job issues solo at its own cycle model.
+  if (!entry->caps.pairable_streams) options_.enable_pairing = false;
   workers_.reserve(options_.workers);
   for (std::size_t i = 0; i < options_.workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -238,6 +298,12 @@ ExpService::~ExpService() {
   }
   cv_.notify_all();
   for (std::thread& worker : workers_) worker.join();
+}
+
+void ExpService::ValidateModulus(const BigUInt& modulus) const {
+  // Same predicate the registry factory will apply on the worker thread —
+  // fail at Submit time instead of poisoning a future later.
+  ValidateEngineModulus(modulus, options_.engine_options.field, "ExpService");
 }
 
 std::future<ExpService::Result> ExpService::Enqueue(Job job,
@@ -258,9 +324,7 @@ std::future<ExpService::Result> ExpService::Submit(BigUInt modulus,
                                                    BigUInt base,
                                                    BigUInt exponent,
                                                    Callback callback) {
-  if (!modulus.IsOdd() || modulus <= BigUInt{1}) {
-    throw std::invalid_argument("ExpService: modulus must be odd > 1");
-  }
+  ValidateModulus(modulus);
   Job job;
   // Opportunistic pairing key: the operand length — any two jobs of equal
   // l can share one array's two channels.
@@ -290,11 +354,8 @@ std::vector<std::future<ExpService::Result>> ExpService::SubmitBatch(
 std::pair<std::future<ExpService::Result>, std::future<ExpService::Result>>
 ExpService::SubmitPair(BigUInt modulus_a, BigUInt base_a, BigUInt exponent_a,
                        BigUInt modulus_b, BigUInt base_b, BigUInt exponent_b) {
-  for (const BigUInt* modulus : {&modulus_a, &modulus_b}) {
-    if (!modulus->IsOdd() || *modulus <= BigUInt{1}) {
-      throw std::invalid_argument("ExpService: modulus must be odd > 1");
-    }
-  }
+  ValidateModulus(modulus_a);
+  ValidateModulus(modulus_b);
   if (modulus_a.BitLength() != modulus_b.BitLength()) {
     // Unequal lengths cannot share an array; run them as plain jobs.
     auto first = Submit(std::move(modulus_a), std::move(base_a),
@@ -350,22 +411,24 @@ ExpService::Counters ExpService::Snapshot() const {
   return counters;
 }
 
-std::shared_ptr<const BitSerialMontgomery> ExpService::AcquireContext(
+std::shared_ptr<const MmmEngine> ExpService::AcquireEngine(
     const BigUInt& modulus) {
   const std::string key = modulus.ToHex();
   {
     std::lock_guard<std::mutex> lk(cache_mu_);
     if (auto* hit = cache_.Get(key)) return *hit;
   }
-  // The R^2-mod-N precomputation is the expensive step the cache
-  // amortizes — do it outside the lock so a miss never stalls workers
-  // hitting other moduli.  Two workers racing on the same cold modulus
-  // may both construct; the first Put wins and the loser adopts it.
-  auto ctx = std::make_shared<const BitSerialMontgomery>(modulus);
+  // The R^2-mod-N precomputation (and for the simulated backends the
+  // netlist build) is the expensive step the cache amortizes — do it
+  // outside the lock so a miss never stalls workers hitting other moduli.
+  // Two workers racing on the same cold modulus may both construct; the
+  // first Put wins and the loser adopts it.
+  std::shared_ptr<const MmmEngine> engine =
+      MakeEngine(options_.engine_name, modulus, options_.engine_options);
   std::lock_guard<std::mutex> lk(cache_mu_);
   if (cache_.Contains(key)) return *cache_.Get(key);
-  cache_.Put(key, ctx);
-  return ctx;
+  cache_.Put(key, engine);
+  return engine;
 }
 
 void ExpService::WorkerLoop() {
@@ -406,32 +469,29 @@ void ExpService::Execute(std::vector<Job> group) {
   std::vector<Result> results(group.size());
   try {
     if (group.size() == 2) {
-      const auto ctx_a = AcquireContext(group[0].modulus);
-      const auto ctx_b = AcquireContext(group[1].modulus);
+      const auto engine_a = AcquireEngine(group[0].modulus);
+      const auto engine_b = AcquireEngine(group[1].modulus);
       PairedExpResult paired =
-          PairedModExp(*ctx_a, group[0].base, group[0].exponent, *ctx_b,
-                       group[1].base, group[1].exponent, PairedEngine::kFast);
+          PairedModExp(*engine_a, group[0].base, group[0].exponent, *engine_b,
+                       group[1].base, group[1].exponent);
       results[0].value = std::move(paired.a);
       results[1].value = std::move(paired.b);
       results[0].stats = paired.stats_a;
       results[1].stats = paired.stats_b;
       for (Result& result : results) {
         result.paired = true;
-        result.paired_issues = paired.stats.paired_issues;
-        result.single_issues = paired.stats.single_issues;
-        result.engine_cycles = paired.stats.total_cycles;
         // The group's array occupancy is the closest per-job measurement
         // pairing admits (the two MMM streams are interleaved cycle by
-        // cycle); both partners report it, mirroring engine_cycles.
-        result.stats.measured_mmm_cycles = paired.stats.total_cycles;
+        // cycle); both partners report the shared issue accounting.
+        result.stats.paired_issues = paired.stats.paired_issues;
+        result.stats.single_issues = paired.stats.single_issues;
+        result.stats.engine_cycles = paired.stats.engine_cycles;
       }
     } else {
-      const auto ctx = AcquireContext(group[0].modulus);
+      const auto engine = AcquireEngine(group[0].modulus);
       Result& result = results[0];
-      result.value = RunSoloStream(*ctx, group[0].base, group[0].exponent,
-                                   &result.stats, &result.single_issues);
-      result.engine_cycles = result.single_issues * MultiplyCycles(ctx->l());
-      result.stats.measured_mmm_cycles = result.engine_cycles;
+      result.value = RunSoloStream(*engine, group[0].base, group[0].exponent,
+                                   &result.stats);
     }
     for (std::size_t i = 0; i < group.size(); ++i) {
       group[i].promise.set_value(results[i]);

@@ -1,6 +1,6 @@
 // exp_service.hpp — the batched, asynchronous modular-exponentiation
 // service: the serving layer between crypto traffic (RSA, ECC) and the
-// paper's exponentiation engines.
+// repo's multiplication backends.
 //
 // The paper's endpoint is one modular exponentiator; a deployment serves a
 // *stream* of exponentiations over a handful of hot moduli.  This layer
@@ -9,22 +9,28 @@
 //   * a thread-safe job queue — Submit() returns a std::future (with an
 //     optional completion callback), SubmitBatch() fans a vector of jobs
 //     out, SubmitPair() bonds two jobs for co-scheduling;
-//   * a worker pool whose per-modulus Montgomery contexts are LRU-cached,
-//     so repeated traffic on one key pays the R^2-mod-N precomputation
-//     once (core/schedule.hpp LruCache);
+//   * a worker pool whose per-modulus multiplication engines are
+//     LRU-cached, so repeated traffic on one key pays the R^2-mod-N
+//     precomputation once (core/schedule.hpp LruCache);
 //   * the pairing scheduler (core/schedule.hpp PairingQueue): two queued
 //     jobs of equal operand length are issued together onto one
 //     dual-channel interleaved array, where each pair of MMMs costs 3l+5
 //     cycles instead of the sequential 2(3l+4) = 6l+8 — throughput per
 //     array nearly doubles whenever the queue is two deep.
 //
+// The multiplication backend is selected per service through the engine
+// registry (Options::engine_name, core/engine.hpp) — any registered
+// datapath serves, and with Options::engine_options.field = kGf2 a
+// dual-field backend serves GF(2^m) jobs (the modulus is the field
+// polynomial f and each job computes a field exponentiation, e.g. the
+// Fermat inversions of BinaryCurve::ScalarMulBatch).
+//
 // PairedModExp() is the engine underneath the pairing path and is exposed
 // directly: it zips the MMM streams of two independent exponentiations
 // (which may use two different equal-length moduli — see the dual-modulus
-// InterleavedMmmc) and runs them either on fast software Algorithm 2 with
-// validated cycle charging (kFast) or clock-by-clock on the dual-channel
-// array model (kCycleAccurate).  Both engines are bit-identical; tests
-// assert it.
+// InterleavedMmmc) through any two backends of equal operand length, and
+// can optionally run every product clock-by-clock on a dual-channel array
+// model.  All execution paths are bit-identical; tests assert it.
 #pragma once
 
 #include <condition_variable>
@@ -41,75 +47,79 @@
 #include <vector>
 
 #include "bignum/biguint.hpp"
-#include "bignum/montgomery.hpp"
-#include "core/exponentiator.hpp"
+#include "core/engine.hpp"
 #include "core/schedule.hpp"
 
 namespace mont::core {
 
-/// Engine selection for PairedModExp (mirrors Exponentiator::Engine).
-enum class PairedEngine {
-  kCycleAccurate,  ///< every issue runs on the dual-channel array model
-  kFast,           ///< software Algorithm 2, cycles charged per formula
-};
-
-/// Cycle accounting for one co-scheduled pair of exponentiations.
-struct PairedExpStats {
-  std::uint64_t paired_issues = 0;  ///< dual-channel issues at 3l+5 each
-  std::uint64_t single_issues = 0;  ///< leftover single issues at 3l+4
-  /// Array occupancy for the whole pair:
-  /// paired_issues*(3l+5) + single_issues*(3l+4).
-  std::uint64_t total_cycles = 0;
-};
+class InterleavedMmmc;
 
 struct PairedExpResult {
-  bignum::BigUInt a;  ///< base_a^exp_a mod N_a
-  bignum::BigUInt b;  ///< base_b^exp_b mod N_b
-  PairedExpStats stats;
-  ExponentiationStats stats_a;  ///< per-job operation counts (A)
-  ExponentiationStats stats_b;  ///< per-job operation counts (B)
+  bignum::BigUInt a;     ///< base_a^exp_a mod N_a
+  bignum::BigUInt b;     ///< base_b^exp_b mod N_b
+  /// Shared issue accounting for the whole pair, charged per the engines'
+  /// own per-multiply models: a dual-channel paired issue costs one cycle
+  /// over the slower channel's multiply (3l+5 on the paper's array, whose
+  /// model is 3l+4), leftovers issue singly at their engine's model.  The
+  /// sum (the array occupancy) lands in engine_cycles.
+  EngineStats stats;
+  EngineStats stats_a;   ///< per-job operation counts (A)
+  EngineStats stats_b;   ///< per-job operation counts (B)
 };
 
 /// Runs two independent modular exponentiations with their MMM streams
 /// zipped onto one dual-channel array: while both jobs still have work,
 /// every issue carries one MMM of each (3l+5 cycles for the two); once the
 /// shorter job drains, the leftover stream issues singly (3l+4).  The two
-/// moduli may differ but must be odd, > 1 and of equal bit length.
-PairedExpResult PairedModExp(const bignum::BitSerialMontgomery& ctx_a,
+/// engines may hold different moduli but must have equal operand length.
+/// With `array` non-null every product additionally runs clock-by-clock on
+/// that dual-modulus interleaved array model (its channels must match the
+/// engines' moduli, and the engines must use the array's Montgomery
+/// parameter R = 2^(l+2) — the bit-serial family); otherwise the engines'
+/// own Multiply computes the products.
+PairedExpResult PairedModExp(const MmmEngine& engine_a,
                              const bignum::BigUInt& base_a,
                              const bignum::BigUInt& exp_a,
-                             const bignum::BitSerialMontgomery& ctx_b,
+                             const MmmEngine& engine_b,
                              const bignum::BigUInt& base_b,
                              const bignum::BigUInt& exp_b,
-                             PairedEngine engine = PairedEngine::kFast);
+                             InterleavedMmmc* array = nullptr);
 
 /// Thread-safe batched/async exponentiation service.
 ///
-/// Jobs execute on the kFast engine (bit-identical to the cycle-accurate
-/// array, with cycles charged per the validated formulas), so the service
-/// is usable at RSA sizes while still reporting hardware-faithful cycle
-/// accounting per job.
+/// Jobs execute on the registry backend named in Options (bit-identical
+/// across backends, with cycles charged per each engine's validated
+/// model), so the service is usable at RSA sizes while still reporting
+/// hardware-faithful cycle accounting per job.
 class ExpService {
  public:
   struct Options {
     std::size_t workers = 2;  ///< worker threads (>= 1; each owns one array)
-    /// Distinct moduli whose Montgomery contexts stay precomputed.
+    /// Distinct moduli whose engines stay precomputed.
     std::size_t engine_cache_capacity = 8;
     /// Issue two equal-length queued jobs per array pass (3l+5 per MMM
     /// pair); disable to force one job per pass (for A/B benches).
+    /// Forced off when the selected backend has no pairable streams
+    /// (EngineCaps::pairable_streams false — the word-serial datapaths),
+    /// so no backend reports fictitious dual-channel throughput.
     bool enable_pairing = true;
+    /// Registry name of the multiplication backend every job runs on.
+    std::string engine_name = "bit-serial";
+    /// Backend construction options; field = kGf2 turns the service into
+    /// a GF(2^m) field-exponentiation service (needs a dual-field
+    /// backend; the constructor throws on a capability mismatch).
+    EngineOptions engine_options;
   };
 
   struct Result {
     bignum::BigUInt value;  ///< base^exponent mod modulus
     bool paired = false;    ///< ran co-scheduled with a partner job
-    /// Issue counts and array occupancy of the issue group this job ran
-    /// in (shared by both jobs of a pair; a solo job's MMMs all count as
-    /// single issues).
-    std::uint64_t paired_issues = 0;
-    std::uint64_t single_issues = 0;
-    std::uint64_t engine_cycles = 0;  ///< paired*(3l+5) + single*(3l+4)
-    ExponentiationStats stats;        ///< this job's operation counts
+    /// This job's operation counts plus the issue accounting of the issue
+    /// group it ran in (shared by both jobs of a pair; a solo job's MMMs
+    /// all count as single issues): engine_cycles is the group's array
+    /// occupancy, charged per the engine's own per-multiply model — on
+    /// the paper's array family, paired*(3l+5) + single*(3l+4).
+    EngineStats stats;
   };
 
   using Callback = std::function<void(const Result&)>;
@@ -125,8 +135,8 @@ class ExpService {
   /// Enqueues one job; the optional callback runs on the worker thread
   /// after every future of the job's issue group is fulfilled, and any
   /// exception it throws is contained (it cannot withhold or poison a
-  /// future).  Throws std::invalid_argument for a modulus that is even
-  /// or <= 1.
+  /// future).  Throws std::invalid_argument for an invalid modulus (GF(p):
+  /// even or <= 1; GF(2^m): deg(f) < 2 or f(0) != 1).
   std::future<Result> Submit(bignum::BigUInt modulus, bignum::BigUInt base,
                              bignum::BigUInt exponent, Callback callback = {});
 
@@ -171,10 +181,11 @@ class ExpService {
     Callback callback;
   };
 
+  void ValidateModulus(const bignum::BigUInt& modulus) const;
   std::future<Result> Enqueue(Job job, std::uint64_t key);
   void WorkerLoop();
   void Execute(std::vector<Job> group);
-  std::shared_ptr<const bignum::BitSerialMontgomery> AcquireContext(
+  std::shared_ptr<const MmmEngine> AcquireEngine(
       const bignum::BigUInt& modulus);
 
   Options options_;
@@ -191,8 +202,7 @@ class ExpService {
   Counters counters_;
 
   mutable std::mutex cache_mu_;  // independent of mu_: cache lookups only
-  LruCache<std::string, std::shared_ptr<const bignum::BitSerialMontgomery>>
-      cache_;
+  LruCache<std::string, std::shared_ptr<const MmmEngine>> cache_;
 
   std::vector<std::thread> workers_;  // last member: joins before teardown
 };

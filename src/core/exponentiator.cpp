@@ -1,62 +1,26 @@
 #include "core/exponentiator.hpp"
 
 #include <stdexcept>
-
-#include "core/schedule.hpp"
+#include <utility>
 
 namespace mont::core {
 
 using bignum::BigUInt;
 
-Exponentiator::Exponentiator(BigUInt modulus, Engine engine)
-    : reference_(std::move(modulus)), engine_(engine) {
-  if (engine_ == Engine::kCycleAccurate) {
-    circuit_.emplace(reference_.Modulus());
-  }
-}
+Exponentiator::Exponentiator(BigUInt modulus, std::string_view engine,
+                             const EngineOptions& options)
+    : engine_(MakeEngine(engine, std::move(modulus), options)) {}
 
-BigUInt Exponentiator::Mmm(const BigUInt& x, const BigUInt& y,
-                           ExponentiationStats* stats) {
-  if (stats != nullptr) ++stats->mmm_invocations;
-  if (engine_ == Engine::kCycleAccurate) {
-    std::uint64_t cycles = 0;
-    BigUInt out = circuit_->Multiply(x, y, &cycles);
-    if (stats != nullptr) stats->measured_mmm_cycles += cycles;
-    return out;
+Exponentiator::Exponentiator(std::unique_ptr<MmmEngine> engine)
+    : engine_(std::move(engine)) {
+  if (engine_ == nullptr) {
+    throw std::invalid_argument("Exponentiator: engine must not be null");
   }
-  if (stats != nullptr) stats->measured_mmm_cycles += MultiplyCycles(l());
-  return reference_.MultiplyAlg2(x, y);
 }
 
 BigUInt Exponentiator::ModExp(const BigUInt& base, const BigUInt& exponent,
-                              ExponentiationStats* stats) {
-  const BigUInt& n = Modulus();
-  if (exponent.IsZero()) return BigUInt{1} % n;
-  const BigUInt m = base % n;
-
-  // Pre-computation: M*R mod 2N = Mont(M, R^2 mod N).
-  const BigUInt m_mont = Mmm(m, reference_.RSquaredModN(), stats);
-
-  // Algorithm 3: A <- M; scan remaining exponent bits left to right.
-  BigUInt a = m_mont;
-  for (std::size_t i = exponent.BitLength() - 1; i-- > 0;) {
-    a = Mmm(a, a, stats);
-    if (stats != nullptr) ++stats->squarings;
-    if (exponent.Bit(i)) {
-      a = Mmm(a, m_mont, stats);
-      if (stats != nullptr) ++stats->multiplications;
-    }
-  }
-
-  // Post-processing: one Montgomery multiplication by 1 removes R.
-  BigUInt out = Mmm(a, BigUInt{1}, stats);
-  if (out >= n) out -= n;
-
-  if (stats != nullptr) {
-    stats->paper_model_cycles =
-        ExponentiationCycles(l(), stats->squarings, stats->multiplications);
-  }
-  return out;
+                              EngineStats* stats) {
+  return engine_->ModExp(base, exponent, stats);
 }
 
 }  // namespace mont::core

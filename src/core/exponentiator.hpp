@@ -2,62 +2,54 @@
 // built from repeated Montgomery modular multiplications, with exact cycle
 // accounting.
 //
-// Two interchangeable engines compute each MMM:
-//   * kCycleAccurate — every multiplication runs on the clock-by-clock Mmmc
-//     model (src/core/mmmc.*), so the cycle counts are measured, not modelled;
-//   * kFast — multiplications use the software Algorithm-2 reference and
-//     cycles are charged per the validated formula 3l+4.  Bit-for-bit the
-//     same results, usable at RSA sizes where full cycle simulation of a
-//     whole exponentiation is unnecessarily slow.
+// Every multiplication runs on a `core::MmmEngine` selected by registry
+// name (core/engine.hpp), so any datapath in the tree is a drop-in:
 //
-// The paper's published cycle model (pre-computation 5l+10, one MMM 3l+4,
-// post-processing l+2, Eq. 10 bounds) is reported alongside the measured
-// count so benches can print paper-vs-measured.
+//   * "bit-serial" (default) — software Algorithm 2, cycles charged per
+//     the validated formula 3l+4; usable at RSA sizes;
+//   * "mmmc" — every multiplication simulated clock edge by clock edge on
+//     the behavioural array model, so cycle counts are measured;
+//   * "netlist-sim", "interleaved", "high-radix", "word-mont",
+//     "blum-paar" — every other registered backend.
+//
+// All backends are bit-identical (asserted in tests/test_engine.cpp); the
+// paper's published cycle model (pre-computation 5l+10, one MMM 3l+4,
+// post-processing l+2, Eq. 10 bounds) is reported in EngineStats alongside
+// the engine's own count so benches can print paper-vs-measured.
 #pragma once
 
 #include <cstdint>
 #include <memory>
-#include <optional>
+#include <string_view>
 
 #include "bignum/biguint.hpp"
-#include "bignum/montgomery.hpp"
-#include "core/mmmc.hpp"
+#include "core/engine.hpp"
 
 namespace mont::core {
 
-/// Cycle/operation accounting for one modular exponentiation.
-struct ExponentiationStats {
-  std::uint64_t squarings = 0;
-  std::uint64_t multiplications = 0;   // conditional multiplies (set bits)
-  std::uint64_t mmm_invocations = 0;   // includes domain entry/exit
-  std::uint64_t measured_mmm_cycles = 0;  // sum over all MMMs actually run
-  std::uint64_t paper_model_cycles = 0;   // paper §4.5 accounting
-};
-
-/// Modular exponentiator over a fixed odd modulus N (bit length l).
+/// Modular exponentiator over a fixed odd modulus N (bit length l),
+/// parameterised by multiplication backend.
 class Exponentiator {
  public:
-  enum class Engine { kCycleAccurate, kFast };
-
+  /// Builds the named registry backend over `modulus` (GF(p)).
   explicit Exponentiator(bignum::BigUInt modulus,
-                         Engine engine = Engine::kFast);
+                         std::string_view engine = "bit-serial",
+                         const EngineOptions& options = {});
+  /// Adopts an already-constructed backend.
+  explicit Exponentiator(std::unique_ptr<MmmEngine> engine);
 
-  std::size_t l() const { return reference_.l(); }
-  const bignum::BigUInt& Modulus() const { return reference_.Modulus(); }
+  std::size_t l() const { return engine_->l(); }
+  const bignum::BigUInt& Modulus() const { return engine_->Modulus(); }
+  const MmmEngine& Engine() const { return *engine_; }
 
   /// base^exponent mod N via left-to-right square-and-multiply with
   /// Montgomery pre-/post-processing exactly as in §4.5.
   bignum::BigUInt ModExp(const bignum::BigUInt& base,
                          const bignum::BigUInt& exponent,
-                         ExponentiationStats* stats = nullptr);
+                         EngineStats* stats = nullptr);
 
  private:
-  bignum::BigUInt Mmm(const bignum::BigUInt& x, const bignum::BigUInt& y,
-                      ExponentiationStats* stats);
-
-  bignum::BitSerialMontgomery reference_;
-  Engine engine_;
-  std::optional<Mmmc> circuit_;
+  std::unique_ptr<MmmEngine> engine_;
 };
 
 }  // namespace mont::core

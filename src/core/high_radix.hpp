@@ -33,6 +33,8 @@ class HighRadixMultiplier {
   bignum::BigUInt R() const;
   /// -N^-1 mod 2^alpha (the quotient-digit constant; 1 when alpha = 1).
   std::uint64_t NPrime() const { return n_prime_; }
+  /// R^2 mod N, the domain-entry factor: ToMont(x) == Multiply(x, R^2).
+  const bignum::BigUInt& RSquaredModN() const { return r2_; }
 
   /// x * y * R^-1 mod N for x, y < 2N; result < 2N (chainable).
   bignum::BigUInt Multiply(const bignum::BigUInt& x,

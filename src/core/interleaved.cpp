@@ -203,19 +203,19 @@ InterleavedExponentiator::InterleavedExponentiator(BigUInt modulus)
 
 BigUInt InterleavedExponentiator::ModExp(const BigUInt& base,
                                          const BigUInt& exponent,
-                                         Stats* stats) {
+                                         EngineStats* stats) {
   const BigUInt& n = reference_.Modulus();
   const std::size_t l = reference_.l();
   const auto charge_single = [&] {
     if (stats != nullptr) {
       ++stats->single_issues;
-      stats->total_cycles += MultiplyCycles(l);
+      stats->engine_cycles += MultiplyCycles(l);
     }
   };
   const auto charge_pair = [&] {
     if (stats != nullptr) {
       ++stats->paired_issues;
-      stats->total_cycles += InterleavedMmmc::PairCycles(l);
+      stats->engine_cycles += InterleavedMmmc::PairCycles(l);
     }
   };
 

@@ -24,6 +24,7 @@
 
 #include "bignum/biguint.hpp"
 #include "bignum/montgomery.hpp"
+#include "core/engine.hpp"
 
 namespace mont::core {
 
@@ -80,15 +81,11 @@ class InterleavedExponentiator {
  public:
   explicit InterleavedExponentiator(bignum::BigUInt modulus);
 
-  struct Stats {
-    std::uint64_t paired_issues = 0;   // cycles charged at 3l+5
-    std::uint64_t single_issues = 0;   // cycles charged at 3l+4
-    std::uint64_t total_cycles = 0;
-  };
-
+  /// Issue accounting lands in the normalized EngineStats: paired_issues
+  /// are charged 3l+5, single_issues 3l+4, their sum in engine_cycles.
   bignum::BigUInt ModExp(const bignum::BigUInt& base,
                          const bignum::BigUInt& exponent,
-                         Stats* stats = nullptr);
+                         EngineStats* stats = nullptr);
 
  private:
   bignum::BitSerialMontgomery reference_;

@@ -34,10 +34,11 @@ bool operator==(const AffinePoint& a, const AffinePoint& b) {
   return a.x == b.x && a.y == b.y;
 }
 
-Curve::Curve(CurveParams params)
-    : params_(std::move(params)), field_(params_.p) {
-  two_p_ = params_.p << 1;
-  a_mont_ = field_.ToMont(params_.a);
+Curve::Curve(CurveParams params, std::string_view engine)
+    : params_(std::move(params)),
+      field_(core::MakeEngine(engine, params_.p)) {
+  window_ = field_->OperandBound();
+  a_mont_ = field_->ToMont(params_.a);
 }
 
 bool Curve::IsOnCurve(const AffinePoint& point) const {
@@ -109,19 +110,21 @@ BigUInt Curve::MulM(const BigUInt& a, const BigUInt& b, EccStats* stats,
       ++stats->field_mults;
     }
   }
-  return field_.MultiplyAlg2(a, b);
+  return field_->Multiply(a, b);
 }
 
 BigUInt Curve::AddM(const BigUInt& a, const BigUInt& b) const {
+  // window_ is a multiple of p, so one conditional subtraction keeps the
+  // sum in-window and congruent.
   BigUInt out = a + b;
-  if (out >= two_p_) out -= two_p_;
+  if (out >= window_) out -= window_;
   return out;
 }
 
 BigUInt Curve::SubM(const BigUInt& a, const BigUInt& b) const {
-  BigUInt out = a + two_p_;
+  BigUInt out = a + window_;
   out -= b;
-  if (out >= two_p_) out -= two_p_;
+  if (out >= window_) out -= window_;
   return out;
 }
 
@@ -131,14 +134,14 @@ bool Curve::IsZeroM(const BigUInt& a) const {
 
 Curve::Jacobian Curve::ToJacobian(const AffinePoint& point) const {
   if (point.infinity) return Jacobian{{}, {}, {}, true};
-  return Jacobian{field_.ToMont(point.x), field_.ToMont(point.y),
-                  field_.ToMont(BigUInt{1}), false};
+  return Jacobian{field_->ToMont(point.x), field_->ToMont(point.y),
+                  field_->ToMont(BigUInt{1}), false};
 }
 
 AffinePoint Curve::FromJacobian(const Jacobian& point, EccStats* stats) const {
   if (point.infinity || IsZeroM(point.z)) return AffinePoint::Infinity();
   // x = X / Z^2, y = Y / Z^3 — inversion done in the plain domain.
-  const BigUInt z = field_.FromMont(point.z);
+  const BigUInt z = field_->FromMont(point.z);
   return FromJacobianWithInverse(point, BigUInt::ModInverse(z, params_.p),
                                  stats);
 }
@@ -146,12 +149,12 @@ AffinePoint Curve::FromJacobian(const Jacobian& point, EccStats* stats) const {
 AffinePoint Curve::FromJacobianWithInverse(const Jacobian& point,
                                            const BigUInt& z_inv,
                                            EccStats* stats) const {
-  const BigUInt z_inv_m = field_.ToMont(z_inv);
+  const BigUInt z_inv_m = field_->ToMont(z_inv);
   const BigUInt z2 = MulM(z_inv_m, z_inv_m, stats, /*square=*/true);
   const BigUInt x = MulM(point.x, z2, stats, /*square=*/false);
   const BigUInt z3 = MulM(z2, z_inv_m, stats, /*square=*/false);
   const BigUInt y = MulM(point.y, z3, stats, /*square=*/false);
-  return AffinePoint{field_.FromMont(x), field_.FromMont(y), false};
+  return AffinePoint{field_->FromMont(x), field_->FromMont(y), false};
 }
 
 Curve::Jacobian Curve::JacobianDouble(const Jacobian& point,
@@ -238,6 +241,12 @@ std::vector<AffinePoint> Curve::ScalarMulBatch(std::span<const BigUInt> scalars,
                                                const AffinePoint& point,
                                                core::ExpService& service,
                                                EccStats* stats) const {
+  // A GF(2^m)-configured service would accept p as a "field polynomial"
+  // (any odd p has f(0) = 1) and compute carry-less nonsense silently.
+  if (service.options().engine_options.field != core::EngineField::kGfP) {
+    throw std::invalid_argument(
+        "Curve::ScalarMulBatch: the service must run a GF(p) engine");
+  }
   std::vector<AffinePoint> out(scalars.size(), AffinePoint::Infinity());
   std::vector<Jacobian> accs(scalars.size());
   std::vector<std::future<core::ExpService::Result>> inversions(
@@ -259,7 +268,7 @@ std::vector<AffinePoint> Curve::ScalarMulBatch(std::span<const BigUInt> scalars,
     if (k_mod.IsZero()) continue;
     accs[i] = Ladder(k_mod, base, stats);
     if (accs[i].infinity || IsZeroM(accs[i].z)) continue;
-    zs.push_back(field_.FromMont(accs[i].z));
+    zs.push_back(field_->FromMont(accs[i].z));
     live[i] = true;
   }
   // Submit every inversion back to back (not interleaved with the much

@@ -3,19 +3,23 @@
 // modular exponentiation but modular multiplication only, so all required
 // components are available."
 //
-// Field multiplication runs through the paper's Algorithm 2 (Montgomery,
-// no final subtraction) with values kept in the chainable [0, 2N) window,
-// exactly as the hardware would hold them, and every field multiplication
-// is counted so point-multiplication latency can be quoted in MMMC cycles.
+// Field multiplication runs through a registry-selected multiplication
+// backend (core/engine.hpp, default "bit-serial" — the paper's Algorithm 2
+// with no final subtraction) with values kept in the engine's own
+// chainable window, exactly as the hardware would hold them, and every
+// field multiplication is counted so point-multiplication latency can be
+// quoted in MMMC cycles.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "bignum/biguint.hpp"
-#include "bignum/montgomery.hpp"
+#include "core/engine.hpp"
 #include "core/exp_service.hpp"
 
 namespace mont::crypto {
@@ -56,12 +60,15 @@ struct EccStats {
   }
 };
 
-/// Curve arithmetic engine.
+/// Curve arithmetic engine.  `engine` names the registry backend the
+/// Montgomery-domain field arithmetic runs on (any GF(p) backend works;
+/// they are bit-identical, differing only in cycle model).
 class Curve {
  public:
-  explicit Curve(CurveParams params);
+  explicit Curve(CurveParams params, std::string_view engine = "bit-serial");
 
   const CurveParams& Params() const { return params_; }
+  const core::MmmEngine& FieldEngine() const { return *field_; }
   AffinePoint Generator() const {
     return AffinePoint{params_.gx, params_.gy, false};
   }
@@ -100,7 +107,9 @@ class Curve {
   Jacobian JacobianAdd(const Jacobian& lhs, const Jacobian& rhs,
                        EccStats* stats) const;
 
-  // Montgomery-window helpers: values live in [0, 2p).
+  // Montgomery-window helpers: values live in [0, window_), where window_
+  // is the engine's chainable operand bound (2p for the array designs, p
+  // for the word-level software backend).
   bignum::BigUInt MulM(const bignum::BigUInt& a, const bignum::BigUInt& b,
                        EccStats* stats, bool square) const;
   bignum::BigUInt AddM(const bignum::BigUInt& a,
@@ -110,8 +119,8 @@ class Curve {
   bool IsZeroM(const bignum::BigUInt& a) const;
 
   CurveParams params_;
-  bignum::BitSerialMontgomery field_;
-  bignum::BigUInt two_p_;
+  std::unique_ptr<core::MmmEngine> field_;
+  bignum::BigUInt window_;
   bignum::BigUInt a_mont_;
 };
 

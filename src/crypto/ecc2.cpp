@@ -1,5 +1,6 @@
 #include "crypto/ecc2.hpp"
 
+#include <optional>
 #include <stdexcept>
 
 namespace mont::crypto {
@@ -25,22 +26,34 @@ bool operator==(const BinaryPoint& a, const BinaryPoint& b) {
   return a.x == b.x && a.y == b.y;
 }
 
-BinaryCurve::BinaryCurve(BinaryCurveParams params)
-    : params_(params), field_(params.f) {
+BinaryCurve::BinaryCurve(BinaryCurveParams params, std::string_view engine)
+    : params_(params),
+      field_(params.f),
+      engine_(core::MakeEngine(engine, params.f,
+                               {.field = core::EngineField::kGf2})) {
   if (params_.b.IsZero()) {
     throw std::invalid_argument("BinaryCurve: b must be nonzero");
   }
+  inv_exponent_ = BigUInt::PowerOfTwo(field_.Degree()) - BigUInt{2};
 }
 
 BigUInt BinaryCurve::Mul(const BigUInt& a, const BigUInt& b,
                          BinaryEccStats* stats) const {
   if (stats != nullptr) ++stats->field_mults;
-  return field_.Mul(a, b);
+  // Plain field product through the Montgomery backend: Mont(a, b) gives
+  // a*b*R^-1, a second pass by R^2 restores the factor — two MMM passes,
+  // exactly what the dual-field array would execute.
+  return engine_->Reduce(
+      engine_->Multiply(engine_->Multiply(a, b), engine_->MontFactor()));
 }
 
 BigUInt BinaryCurve::Inv(const BigUInt& a, BinaryEccStats* stats) const {
   if (stats != nullptr) ++stats->field_inversions;
-  return field_.Inverse(a);
+  if (engine_->Reduce(a).IsZero()) {
+    throw std::domain_error("BinaryCurve: inverse of zero");
+  }
+  // Fermat: a^-1 = a^(2^m - 2), a field exponentiation on the engine.
+  return engine_->ModExp(a, inv_exponent_);
 }
 
 bool BinaryCurve::IsOnCurve(const BinaryPoint& point) const {
@@ -60,18 +73,13 @@ BinaryPoint BinaryCurve::Negate(const BinaryPoint& point) const {
   return BinaryPoint{point.x, field_.Add(point.x, point.y), false};
 }
 
-BinaryPoint BinaryCurve::Add(const BinaryPoint& lhs, const BinaryPoint& rhs,
-                             BinaryEccStats* stats) const {
-  if (lhs.infinity) return rhs;
-  if (rhs.infinity) return lhs;
-  if (lhs.x == rhs.x) {
-    if (lhs.y == rhs.y) return Double(lhs, stats);
-    return BinaryPoint::Infinity();  // P + (-P)
-  }
-  // lambda = (y1 + y2) / (x1 + x2)
+BinaryPoint BinaryCurve::AddWithInverse(const BinaryPoint& lhs,
+                                        const BinaryPoint& rhs,
+                                        const BigUInt& dx_inv,
+                                        BinaryEccStats* stats) const {
   const BigUInt dx = field_.Add(lhs.x, rhs.x);
-  const BigUInt lambda =
-      Mul(field_.Add(lhs.y, rhs.y), Inv(dx, stats), stats);
+  // lambda = (y1 + y2) / (x1 + x2)
+  const BigUInt lambda = Mul(field_.Add(lhs.y, rhs.y), dx_inv, stats);
   // x3 = lambda^2 + lambda + x1 + x2 + a
   const BigUInt x3 = field_.Add(
       field_.Add(field_.Add(Mul(lambda, lambda, stats), lambda), dx),
@@ -82,12 +90,12 @@ BinaryPoint BinaryCurve::Add(const BinaryPoint& lhs, const BinaryPoint& rhs,
   return BinaryPoint{x3, y3, false};
 }
 
-BinaryPoint BinaryCurve::Double(const BinaryPoint& point,
-                                BinaryEccStats* stats) const {
-  if (point.infinity || point.x.IsZero()) return BinaryPoint::Infinity();
+BinaryPoint BinaryCurve::DoubleWithInverse(const BinaryPoint& point,
+                                           const BigUInt& x_inv,
+                                           BinaryEccStats* stats) const {
   // lambda = x + y/x
   const BigUInt lambda =
-      field_.Add(point.x, Mul(point.y, Inv(point.x, stats), stats));
+      field_.Add(point.x, Mul(point.y, x_inv, stats));
   // x3 = lambda^2 + lambda + a
   const BigUInt x3 =
       field_.Add(field_.Add(Mul(lambda, lambda, stats), lambda), params_.a);
@@ -96,6 +104,24 @@ BinaryPoint BinaryCurve::Double(const BinaryPoint& point,
       Mul(point.x, point.x, stats),
       Mul(field_.Add(lambda, BigUInt{1}), x3, stats));
   return BinaryPoint{x3, y3, false};
+}
+
+BinaryPoint BinaryCurve::Add(const BinaryPoint& lhs, const BinaryPoint& rhs,
+                             BinaryEccStats* stats) const {
+  if (lhs.infinity) return rhs;
+  if (rhs.infinity) return lhs;
+  if (lhs.x == rhs.x) {
+    if (lhs.y == rhs.y) return Double(lhs, stats);
+    return BinaryPoint::Infinity();  // P + (-P)
+  }
+  const BigUInt dx = field_.Add(lhs.x, rhs.x);
+  return AddWithInverse(lhs, rhs, Inv(dx, stats), stats);
+}
+
+BinaryPoint BinaryCurve::Double(const BinaryPoint& point,
+                                BinaryEccStats* stats) const {
+  if (point.infinity || point.x.IsZero()) return BinaryPoint::Infinity();
+  return DoubleWithInverse(point, Inv(point.x, stats), stats);
 }
 
 BinaryPoint BinaryCurve::ScalarMul(const BigUInt& k, const BinaryPoint& point,
@@ -107,6 +133,155 @@ BinaryPoint BinaryCurve::ScalarMul(const BigUInt& k, const BinaryPoint& point,
     if (k.Bit(i)) acc = Add(acc, point, stats);
   }
   return acc;
+}
+
+// ---------------------------------------------------------------------------
+// Batched scalar multiplication: inversions through the service
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// One double-and-add ladder unrolled into inversion-sized steps: every
+/// group operation needs exactly one field inversion, so the ladder runs
+/// until it must invert, parks, and resumes when the service delivers
+/// z^(2^m-2).  Degenerate branches (infinity, x = 0, P + (-P)) carry no
+/// inversion and are folded through inline.
+struct LadderState {
+  enum class Stage { kDouble, kAdd };
+  enum class Pending { kNone, kDouble, kAddViaDouble, kAddSlope };
+
+  BinaryPoint acc;
+  std::size_t i = 0;  // remaining iterations; bit i-1 is processed next
+  Stage stage = Stage::kDouble;
+  Pending pending = Pending::kNone;
+  bool done = false;
+};
+
+}  // namespace
+
+std::vector<BinaryPoint> BinaryCurve::ScalarMulBatch(
+    std::span<const BigUInt> scalars, const BinaryPoint& point,
+    core::ExpService& service, BinaryEccStats* stats) const {
+  if (service.options().engine_options.field != core::EngineField::kGf2) {
+    throw std::invalid_argument(
+        "BinaryCurve::ScalarMulBatch: the service must run a GF(2^m) "
+        "engine (Options::engine_options.field = kGf2)");
+  }
+  std::vector<BinaryPoint> out(scalars.size(), BinaryPoint::Infinity());
+  std::vector<LadderState> ladders(scalars.size());
+  for (std::size_t j = 0; j < scalars.size(); ++j) {
+    LadderState& st = ladders[j];
+    if (scalars[j].IsZero() || point.infinity) {
+      st.done = true;
+      continue;
+    }
+    st.acc = point;
+    st.i = scalars[j].BitLength() - 1;
+  }
+
+  const auto finish_double = [&](LadderState& st, const BigUInt& k) {
+    st.stage = k.Bit(st.i - 1) ? LadderState::Stage::kAdd
+                               : LadderState::Stage::kDouble;
+    if (st.stage == LadderState::Stage::kDouble) --st.i;
+  };
+  const auto finish_add = [&](LadderState& st) {
+    --st.i;
+    st.stage = LadderState::Stage::kDouble;
+  };
+
+  // Advances one ladder through its inversion-free steps; returns the
+  // denominator of the next required inversion, or nullopt when done.
+  const auto advance = [&](LadderState& st,
+                           const BigUInt& k) -> std::optional<BigUInt> {
+    for (;;) {
+      if (st.i == 0) {
+        st.done = true;
+        return std::nullopt;
+      }
+      if (st.stage == LadderState::Stage::kDouble) {
+        if (st.acc.infinity || st.acc.x.IsZero()) {
+          st.acc = BinaryPoint::Infinity();
+          finish_double(st, k);
+          continue;
+        }
+        st.pending = LadderState::Pending::kDouble;
+        return st.acc.x;
+      }
+      // Stage::kAdd — acc + point for the just-doubled bit.
+      if (st.acc.infinity) {
+        st.acc = point;
+        finish_add(st);
+        continue;
+      }
+      if (st.acc.x == point.x) {
+        if (st.acc.y == point.y) {
+          if (st.acc.x.IsZero()) {
+            st.acc = BinaryPoint::Infinity();
+            finish_add(st);
+            continue;
+          }
+          st.pending = LadderState::Pending::kAddViaDouble;
+          return st.acc.x;
+        }
+        st.acc = BinaryPoint::Infinity();  // P + (-P)
+        finish_add(st);
+        continue;
+      }
+      st.pending = LadderState::Pending::kAddSlope;
+      return field_.Add(st.acc.x, point.x);
+    }
+  };
+
+  const auto complete = [&](LadderState& st, const BigUInt& k,
+                            const BigUInt& inverse) {
+    switch (st.pending) {
+      case LadderState::Pending::kDouble:
+        st.acc = DoubleWithInverse(st.acc, inverse, stats);
+        finish_double(st, k);
+        break;
+      case LadderState::Pending::kAddViaDouble:
+        st.acc = DoubleWithInverse(st.acc, inverse, stats);
+        finish_add(st);
+        break;
+      case LadderState::Pending::kAddSlope:
+        st.acc = AddWithInverse(st.acc, point, inverse, stats);
+        finish_add(st);
+        break;
+      case LadderState::Pending::kNone:
+        break;
+    }
+    st.pending = LadderState::Pending::kNone;
+  };
+
+  // Lockstep rounds: every active ladder contributes at most one
+  // denominator per round, the whole round is one same-modulus batch, and
+  // the pairing scheduler two-packs the queued inversions per array pass.
+  for (;;) {
+    std::vector<std::size_t> who;
+    std::vector<BigUInt> denominators;
+    for (std::size_t j = 0; j < ladders.size(); ++j) {
+      LadderState& st = ladders[j];
+      if (st.done || st.pending != LadderState::Pending::kNone) continue;
+      if (auto denominator = advance(st, scalars[j])) {
+        who.push_back(j);
+        denominators.push_back(std::move(*denominator));
+      }
+    }
+    if (who.empty()) break;
+    const std::vector<BigUInt> exponents(denominators.size(), inv_exponent_);
+    auto futures = service.SubmitBatch(params_.f, denominators, exponents);
+    for (std::size_t j = 0; j < who.size(); ++j) {
+      complete(ladders[who[j]], scalars[who[j]], futures[j].get().value);
+      if (stats != nullptr) ++stats->field_inversions;
+    }
+  }
+
+  for (std::size_t j = 0; j < scalars.size(); ++j) {
+    if (!ladders[j].done) continue;
+    out[j] = ladders[j].acc;
+    if (scalars[j].IsZero() || point.infinity) out[j] = BinaryPoint::Infinity();
+  }
+  return out;
 }
 
 std::vector<BinaryPoint> BinaryCurve::EnumeratePoints() const {

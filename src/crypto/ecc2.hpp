@@ -4,13 +4,27 @@
 // (core/mmmc.hpp FieldMode::kGf2) this closes the loop: one multiplier
 // architecture serving RSA, prime-field ECC and binary-field ECC.
 //
+// Field multiplications and Fermat inversions run on a registry-selected
+// dual-field multiplication backend (core/engine.hpp, field = kGf2), so
+// the binary-curve workload exercises the same engines — and the same
+// 3l+4 schedule — as the integer paths.  ScalarMulBatch additionally
+// routes every field inversion (a^(2^m-2), ~2m multiplications each)
+// through the async ExpService, where same-length inversions pair two per
+// dual-channel array pass.
+//
 // Curve form: y^2 + xy = x^3 + a*x^2 + b over GF(2^m), b != 0.
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
 
 #include "bignum/biguint.hpp"
 #include "bignum/gf2.hpp"
+#include "core/engine.hpp"
+#include "core/exp_service.hpp"
 
 namespace mont::crypto {
 
@@ -41,24 +55,31 @@ struct BinaryPoint {
 
 bool operator==(const BinaryPoint& a, const BinaryPoint& b);
 
-/// Field-operation counters (for the dual-field MMMC latency model: one
-/// field multiplication or inversion step = one 3l+4-cycle MMM pass).
+/// Field-operation counters (for the dual-field MMMC latency model, in
+/// 3l+4-cycle MMM passes).
 struct BinaryEccStats {
   std::uint64_t field_mults = 0;
   std::uint64_t field_inversions = 0;
-  /// Inversions via Fermat cost ~2m multiplications on the multiplier.
+  /// MMM passes on the multiplier: a plain field multiplication costs two
+  /// Montgomery passes (product, then re-scaling by R^2); a Fermat
+  /// inversion runs as a field exponentiation of ~2m single passes.
   std::uint64_t EquivalentMults(std::size_t m) const {
-    return field_mults + field_inversions * 2 * static_cast<std::uint64_t>(m);
+    return 2 * field_mults +
+           field_inversions * 2 * static_cast<std::uint64_t>(m);
   }
 };
 
-/// Binary-curve arithmetic engine (affine formulas).
+/// Binary-curve arithmetic engine (affine formulas).  `engine` names the
+/// registry backend (must support GF(2^m): "bit-serial", "mmmc" or
+/// "netlist-sim") the field multiplications and inversions run on.
 class BinaryCurve {
  public:
-  explicit BinaryCurve(BinaryCurveParams params);
+  explicit BinaryCurve(BinaryCurveParams params,
+                       std::string_view engine = "bit-serial");
 
   const BinaryCurveParams& Params() const { return params_; }
   std::size_t FieldDegree() const { return field_.Degree(); }
+  const core::MmmEngine& FieldEngine() const { return *engine_; }
 
   bool IsOnCurve(const BinaryPoint& point) const;
   BinaryPoint Negate(const BinaryPoint& point) const;
@@ -70,6 +91,18 @@ class BinaryCurve {
   BinaryPoint ScalarMul(const bignum::BigUInt& k, const BinaryPoint& point,
                         BinaryEccStats* stats = nullptr) const;
 
+  /// Batched scalar multiplication scalars[i]*P with every field inversion
+  /// routed through `service` as the Fermat exponentiation z^(2^m-2) mod f:
+  /// the ladders advance in lockstep rounds, each round's denominators are
+  /// submitted as one same-modulus batch (so the pairing scheduler packs
+  /// them two per dual-channel array pass), and the group operations
+  /// complete as the futures resolve.  The service must be configured for
+  /// GF(2^m) (Options::engine_options.field = kGf2 on a dual-field
+  /// backend); throws std::invalid_argument otherwise.
+  std::vector<BinaryPoint> ScalarMulBatch(
+      std::span<const bignum::BigUInt> scalars, const BinaryPoint& point,
+      core::ExpService& service, BinaryEccStats* stats = nullptr) const;
+
   /// Enumerates every affine point (exponential; only for tiny fields,
   /// degree <= 10).
   std::vector<BinaryPoint> EnumeratePoints() const;
@@ -78,9 +111,19 @@ class BinaryCurve {
   bignum::BigUInt Mul(const bignum::BigUInt& a, const bignum::BigUInt& b,
                       BinaryEccStats* stats) const;
   bignum::BigUInt Inv(const bignum::BigUInt& a, BinaryEccStats* stats) const;
+  /// Group operations with the inversion already supplied (the batch path
+  /// receives inverses from the service).
+  BinaryPoint DoubleWithInverse(const BinaryPoint& point,
+                                const bignum::BigUInt& x_inv,
+                                BinaryEccStats* stats) const;
+  BinaryPoint AddWithInverse(const BinaryPoint& lhs, const BinaryPoint& rhs,
+                             const bignum::BigUInt& dx_inv,
+                             BinaryEccStats* stats) const;
 
   BinaryCurveParams params_;
-  bignum::Gf2Field field_;
+  bignum::Gf2Field field_;  // carry-less add/square (free XOR hardware)
+  std::unique_ptr<core::MmmEngine> engine_;
+  bignum::BigUInt inv_exponent_;  // 2^m - 2 (Fermat)
 };
 
 }  // namespace mont::crypto

@@ -36,16 +36,16 @@ RsaKeyPair GenerateRsaKey(std::size_t modulus_bits,
   }
 }
 
-BigUInt RsaPublic(const RsaKeyPair& key, const BigUInt& m) {
+BigUInt RsaPublic(const RsaKeyPair& key, const BigUInt& m,
+                  std::string_view engine) {
   if (m >= key.n) throw std::invalid_argument("RsaPublic: message >= modulus");
-  const bignum::WordMontgomery ctx(key.n);
-  return ctx.ModExp(m, key.e);
+  return core::MakeEngine(engine, key.n)->ModExp(m, key.e);
 }
 
-BigUInt RsaPrivate(const RsaKeyPair& key, const BigUInt& c) {
+BigUInt RsaPrivate(const RsaKeyPair& key, const BigUInt& c,
+                   std::string_view engine) {
   if (c >= key.n) throw std::invalid_argument("RsaPrivate: input >= modulus");
-  const bignum::WordMontgomery ctx(key.n);
-  return ctx.ModExp(c, key.d);
+  return core::MakeEngine(engine, key.n)->ModExp(c, key.d);
 }
 
 namespace {
@@ -76,59 +76,92 @@ BigUInt CrtRecombine(const RsaKeyPair& key, const BigUInt& q_inv,
   return mq + key.q * h;
 }
 
+// Bellcore/Lenstra fault hygiene: a single fault in one CRT half makes
+// gcd(sig^e - c, n) a prime factor of n, so a CRT signature must never
+// leave the device unverified.  The check is one cheap public
+// exponentiation (e is small); `verify_engine` is a mod-n backend —
+// batch callers hoist one, single-shot callers build a word-mont.
+void VerifyCrtResult(const core::MmmEngine& verify_engine,
+                     const RsaKeyPair& key, const BigUInt& input,
+                     const BigUInt& sig, const char* who) {
+  if (verify_engine.ModExp(sig, key.e) != input) {
+    throw std::runtime_error(
+        std::string(who) +
+        ": CRT fault check failed (sig^e mod n != input); result withheld");
+  }
+}
+
+void VerifyCrtResult(const RsaKeyPair& key, const BigUInt& input,
+                     const BigUInt& sig, const char* who) {
+  VerifyCrtResult(*core::MakeEngine("word-mont", key.n), key, input, sig, who);
+}
+
 }  // namespace
 
-BigUInt RsaPrivateCrt(const RsaKeyPair& key, const BigUInt& c) {
+BigUInt RsaPrivateCrt(const RsaKeyPair& key, const BigUInt& c,
+                      std::string_view engine) {
   if (c >= key.n) throw std::invalid_argument("RsaPrivateCrt: input >= modulus");
   ValidateCrtKey(key, "RsaPrivateCrt");
   const BigUInt dp = key.d % (key.p - BigUInt{1});
   const BigUInt dq = key.d % (key.q - BigUInt{1});
-  const bignum::WordMontgomery ctx_p(key.p);
-  const bignum::WordMontgomery ctx_q(key.q);
-  const BigUInt mp = ctx_p.ModExp(c % key.p, dp);
-  const BigUInt mq = ctx_q.ModExp(c % key.q, dq);
-  return CrtRecombine(key, BigUInt::ModInverse(key.q % key.p, key.p), mp, mq);
+  const BigUInt mp = core::MakeEngine(engine, key.p)->ModExp(c % key.p, dp);
+  const BigUInt mq = core::MakeEngine(engine, key.q)->ModExp(c % key.q, dq);
+  const BigUInt sig =
+      CrtRecombine(key, BigUInt::ModInverse(key.q % key.p, key.p), mp, mq);
+  VerifyCrtResult(key, c, sig, "RsaPrivateCrt");
+  return sig;
 }
 
 BigUInt RsaPrivateCrtPaired(const RsaKeyPair& key, const BigUInt& c,
-                            core::PairedExpStats* stats) {
+                            core::EngineStats* stats,
+                            std::string_view engine) {
   if (c >= key.n) {
     throw std::invalid_argument("RsaPrivateCrtPaired: input >= modulus");
   }
   ValidateCrtKey(key, "RsaPrivateCrtPaired");
   const BigUInt dp = key.d % (key.p - BigUInt{1});
   const BigUInt dq = key.d % (key.q - BigUInt{1});
-  const bignum::BitSerialMontgomery ctx_p(key.p);
-  const bignum::BitSerialMontgomery ctx_q(key.q);
+  const auto engine_p = core::MakeEngine(engine, key.p);
+  const auto engine_q = core::MakeEngine(engine, key.q);
   BigUInt mp, mq;
-  if (ctx_p.l() == ctx_q.l()) {
+  if (engine_p->l() == engine_q->l() && engine_p->Caps().pairable_streams) {
     // The two half-exponentiations share the array: p on channel A, q on
-    // channel B of one dual-modulus interleaved multiplier.
+    // channel B of one dual-modulus interleaved multiplier.  (A backend
+    // without pairable streams falls back to sequential issue below, like
+    // unequal prime lengths.)
     core::PairedExpResult paired = core::PairedModExp(
-        ctx_p, c % key.p, dp, ctx_q, c % key.q, dq, core::PairedEngine::kFast);
+        *engine_p, c % key.p, dp, *engine_q, c % key.q, dq);
     mp = std::move(paired.a);
     mq = std::move(paired.b);
     if (stats != nullptr) *stats = paired.stats;
   } else {
     // Unequal prime lengths cannot share cells; issue sequentially.
-    core::Exponentiator exp_p(key.p), exp_q(key.q);
-    core::ExponentiationStats stats_p, stats_q;
-    mp = exp_p.ModExp(c % key.p, dp, &stats_p);
-    mq = exp_q.ModExp(c % key.q, dq, &stats_q);
+    core::EngineStats stats_p, stats_q;
+    mp = engine_p->ModExp(c % key.p, dp, &stats_p);
+    mq = engine_q->ModExp(c % key.q, dq, &stats_q);
     if (stats != nullptr) {
-      stats->paired_issues = 0;
+      *stats = {};
       stats->single_issues =
           stats_p.mmm_invocations + stats_q.mmm_invocations;
-      stats->total_cycles =
-          stats_p.measured_mmm_cycles + stats_q.measured_mmm_cycles;
+      stats->engine_cycles = stats_p.engine_cycles + stats_q.engine_cycles;
     }
   }
-  return CrtRecombine(key, BigUInt::ModInverse(key.q % key.p, key.p), mp, mq);
+  const BigUInt sig =
+      CrtRecombine(key, BigUInt::ModInverse(key.q % key.p, key.p), mp, mq);
+  VerifyCrtResult(key, c, sig, "RsaPrivateCrtPaired");
+  return sig;
 }
 
 std::vector<BigUInt> RsaSignBatch(const RsaKeyPair& key,
                                   std::span<const BigUInt> messages,
                                   core::ExpService& service) {
+  // A GF(2^m)-configured service would accept p and q as "field
+  // polynomials" (any odd prime has f(0) = 1) and compute carry-less
+  // nonsense that the fault check would then misreport as a fault.
+  if (service.options().engine_options.field != core::EngineField::kGfP) {
+    throw std::invalid_argument(
+        "RsaSignBatch: the service must run a GF(p) engine");
+  }
   ValidateCrtKey(key, "RsaSignBatch");
   // Fail fast before any pair is queued: a bad message mid-span must not
   // leave earlier jobs burning worker time for futures nobody will read.
@@ -150,21 +183,24 @@ std::vector<BigUInt> RsaSignBatch(const RsaKeyPair& key,
   }
   std::vector<BigUInt> signatures;
   signatures.reserve(messages.size());
-  for (auto& [future_p, future_q] : halves) {
-    const BigUInt mp = future_p.get().value;
-    const BigUInt mq = future_q.get().value;
-    signatures.push_back(CrtRecombine(key, q_inv, mp, mq));
+  const auto verify_engine = core::MakeEngine("word-mont", key.n);
+  for (std::size_t i = 0; i < halves.size(); ++i) {
+    const BigUInt mp = halves[i].first.get().value;
+    const BigUInt mq = halves[i].second.get().value;
+    BigUInt sig = CrtRecombine(key, q_inv, mp, mq);
+    VerifyCrtResult(*verify_engine, key, messages[i], sig, "RsaSignBatch");
+    signatures.push_back(std::move(sig));
   }
   return signatures;
 }
 
 BigUInt RsaPrivateOnHardwareModel(const RsaKeyPair& key, const BigUInt& c,
-                                  core::ExponentiationStats* stats) {
+                                  core::EngineStats* stats,
+                                  std::string_view engine) {
   if (c >= key.n) {
     throw std::invalid_argument("RsaPrivateOnHardwareModel: input >= modulus");
   }
-  core::Exponentiator exp(key.n, core::Exponentiator::Engine::kFast);
-  return exp.ModExp(c, key.d, stats);
+  return core::MakeEngine(engine, key.n)->ModExp(c, key.d, stats);
 }
 
 }  // namespace mont::crypto

@@ -1,25 +1,31 @@
 // rsa.hpp — RSA on top of the Montgomery machinery (the paper's §4.5
 // application).  Keys are generated with the repo's own primality testing;
-// encryption/decryption can run either on fast software Montgomery
-// arithmetic or through the hardware-modelled exponentiator so the examples
-// and benches can quote cycle counts for real workloads.
+// every exponentiation runs on a registry-selected multiplication backend
+// (core/engine.hpp) — fast software arithmetic by default, any
+// hardware-modelled datapath by name — so the examples and benches can
+// quote cycle counts for real workloads on any engine.
 //
 // The CRT private-key path maps onto the dual-channel array: its two
 // half-size exponentiations are independent and (for keys from
 // GenerateRsaKey) share a bit length, so RsaPrivateCrtPaired runs them as
 // one co-scheduled pair — two MMMs per 3l+5 cycles — and RsaSignBatch
 // drives a whole message stream through the async ExpService the same way.
+// Every CRT path verifies sig^e mod n against the input before releasing
+// a result (Bellcore/Lenstra fault hygiene): a fault in either
+// half-exponentiation would otherwise leak a factorisation of n through
+// the broken signature.
 #pragma once
 
 #include <cstdint>
 #include <optional>
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "bignum/biguint.hpp"
 #include "bignum/random.hpp"
+#include "core/engine.hpp"
 #include "core/exp_service.hpp"
-#include "core/exponentiator.hpp"
 
 namespace mont::crypto {
 
@@ -37,16 +43,21 @@ struct RsaKeyPair {
 /// used.
 RsaKeyPair GenerateRsaKey(std::size_t modulus_bits, bignum::RandomBigUInt& rng);
 
-/// m^e mod n; message must be < n.
-bignum::BigUInt RsaPublic(const RsaKeyPair& key, const bignum::BigUInt& m);
+/// m^e mod n on the named registry backend; message must be < n.
+bignum::BigUInt RsaPublic(const RsaKeyPair& key, const bignum::BigUInt& m,
+                          std::string_view engine = "word-mont");
 
 /// c^d mod n, straightforward private-key operation.
-bignum::BigUInt RsaPrivate(const RsaKeyPair& key, const bignum::BigUInt& c);
+bignum::BigUInt RsaPrivate(const RsaKeyPair& key, const bignum::BigUInt& c,
+                           std::string_view engine = "word-mont");
 
 /// c^d mod n using the CRT (two half-size exponentiations, ~4x faster).
 /// Throws std::invalid_argument for malformed CRT keys (p == q, or
-/// p*q != n) instead of silently recombining garbage.
-bignum::BigUInt RsaPrivateCrt(const RsaKeyPair& key, const bignum::BigUInt& c);
+/// p*q != n) instead of silently recombining garbage, and verifies the
+/// result against the public exponent before release (std::runtime_error
+/// on a detected fault).
+bignum::BigUInt RsaPrivateCrt(const RsaKeyPair& key, const bignum::BigUInt& c,
+                              std::string_view engine = "word-mont");
 
 /// CRT private-key operation with the two half-size exponentiations
 /// co-scheduled onto one dual-channel array (core::PairedModExp): the p-
@@ -54,14 +65,19 @@ bignum::BigUInt RsaPrivateCrt(const RsaKeyPair& key, const bignum::BigUInt& c);
 /// cycles instead of 6l+8.  Requires p and q of equal bit length (always
 /// true for GenerateRsaKey output); falls back to sequential issue
 /// otherwise.  `stats` reports the pair's issue counts and array cycles.
+/// Before returning, the result is verified against the public exponent
+/// (sig^e mod n == c); std::runtime_error signals a detected fault.
 bignum::BigUInt RsaPrivateCrtPaired(const RsaKeyPair& key,
                                     const bignum::BigUInt& c,
-                                    core::PairedExpStats* stats = nullptr);
+                                    core::EngineStats* stats = nullptr,
+                                    std::string_view engine = "bit-serial");
 
 /// Signs (raw RSA private-key operation, no padding) every message through
 /// `service`: each message's two CRT half-exponentiations are submitted as
 /// one bonded pair, all messages queue concurrently, and the results are
-/// recombined as the futures resolve.  Returns one signature per message.
+/// recombined — and fault-checked against the public exponent — as the
+/// futures resolve.  Returns one signature per message; throws
+/// std::runtime_error if any recombined signature fails verification.
 std::vector<bignum::BigUInt> RsaSignBatch(
     const RsaKeyPair& key, std::span<const bignum::BigUInt> messages,
     core::ExpService& service);
@@ -70,6 +86,7 @@ std::vector<bignum::BigUInt> RsaSignBatch(
 /// the exponentiation statistics (cycle counts per the validated model).
 bignum::BigUInt RsaPrivateOnHardwareModel(const RsaKeyPair& key,
                                           const bignum::BigUInt& c,
-                                          core::ExponentiationStats* stats);
+                                          core::EngineStats* stats,
+                                          std::string_view engine = "bit-serial");
 
 }  // namespace mont::crypto

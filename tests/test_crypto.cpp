@@ -66,9 +66,9 @@ TEST(Rsa, HardwareModelAgreesAndReportsCycles) {
   const RsaKeyPair key = GenerateRsaKey(96, rng);
   const BigUInt m = rng.Below(key.n);
   const BigUInt c = RsaPublic(key, m);
-  core::ExponentiationStats stats;
+  core::EngineStats stats;
   EXPECT_EQ(RsaPrivateOnHardwareModel(key, c, &stats), m);
-  EXPECT_GT(stats.measured_mmm_cycles, 0u);
+  EXPECT_GT(stats.engine_cycles, 0u);
   EXPECT_EQ(stats.mmm_invocations,
             stats.squarings + stats.multiplications + 2);
 }
@@ -80,8 +80,54 @@ TEST(Rsa, MessageOutOfRangeThrows) {
   EXPECT_THROW(RsaPrivate(key, key.n + BigUInt{1}), std::invalid_argument);
   EXPECT_THROW(RsaPrivateCrt(key, key.n), std::invalid_argument);
   EXPECT_THROW(RsaPrivateCrtPaired(key, key.n), std::invalid_argument);
-  core::ExponentiationStats stats;
+  core::EngineStats stats;
   EXPECT_THROW(RsaPrivateOnHardwareModel(key, key.n, &stats),
+               std::invalid_argument);
+}
+
+// Bellcore/Lenstra fault hygiene: a faulty CRT half-exponentiation yields
+// a well-formed wrong signature whose gcd(sig^e - c, n) factors n.  The
+// paired/batch paths verify sig^e mod n against the input and must throw
+// rather than release the broken result.  Fault injection: a corrupted
+// private exponent makes both halves compute a wrong (but well-formed)
+// power — the same observable as a computation fault.
+TEST(Rsa, CrtFaultIsDetectedBeforeRelease) {
+  auto rng = test::TestRng();
+  const RsaKeyPair key = GenerateRsaKey(64, rng);
+  BigUInt m = rng.Below(key.n);
+  if (m <= BigUInt{1}) m = BigUInt{2};
+  const BigUInt c = RsaPublic(key, m);
+  ASSERT_EQ(RsaPrivateCrtPaired(key, c), m);  // healthy path releases
+
+  RsaKeyPair faulted = key;
+  faulted.d = key.d + BigUInt{2};
+  EXPECT_THROW(RsaPrivateCrtPaired(faulted, c), std::runtime_error);
+  EXPECT_THROW(RsaPrivateCrt(faulted, c), std::runtime_error);
+
+  core::ExpService service;
+  const std::vector<BigUInt> messages{c};
+  EXPECT_THROW(RsaSignBatch(faulted, messages, service), std::runtime_error);
+  // The healthy key still signs the same batch.
+  EXPECT_EQ(RsaSignBatch(key, messages, service).at(0), m);
+}
+
+// A backend without pairable streams still computes CRT — sequentially —
+// and a mis-fielded service is a configuration error, not a fault.
+TEST(Rsa, CrtPairedFallsBackForUnpairableBackends) {
+  auto rng = test::TestRng();
+  const RsaKeyPair key = GenerateRsaKey(64, rng);
+  const BigUInt m = rng.Below(key.n);
+  const BigUInt c = RsaPublic(key, m);
+  core::EngineStats stats;
+  EXPECT_EQ(RsaPrivateCrtPaired(key, c, &stats, "word-mont"), m);
+  EXPECT_EQ(stats.paired_issues, 0u);  // word-serial: sequential issue
+  EXPECT_GT(stats.single_issues, 0u);
+
+  core::ExpService::Options gf2;
+  gf2.engine_options.field = core::EngineField::kGf2;
+  core::ExpService gf2_service(gf2);
+  const std::vector<BigUInt> messages{c};
+  EXPECT_THROW(RsaSignBatch(key, messages, gf2_service),
                std::invalid_argument);
 }
 

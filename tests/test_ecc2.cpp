@@ -1,15 +1,26 @@
 // Tests for binary-curve ECC over GF(2^m): exhaustive group structure on a
 // tiny curve, group laws on the AES-field curve, scalar-multiplication
-// consistency, and the K-163 field plumbing.
+// consistency, the K-163 workload end to end (batched ladders with every
+// field inversion routed through the GF(2^m) exponentiation service), and
+// backend interchangeability through the engine registry.
 #include <gtest/gtest.h>
+
+#include <vector>
 
 #include "bignum/random.hpp"
 #include "crypto/ecc2.hpp"
+#include "testutil.hpp"
 
 namespace mont::crypto {
 namespace {
 
 using bignum::BigUInt;
+
+core::ExpService::Options Gf2ServiceOptions() {
+  core::ExpService::Options options;
+  options.engine_options.field = core::EngineField::kGf2;
+  return options;
+}
 
 TEST(BinaryCurve, RejectsDegenerateCurve) {
   BinaryCurveParams params = BinaryCurveParams::Tiny16();
@@ -107,6 +118,94 @@ TEST(BinaryCurve, StatsCountOperations) {
   EXPECT_LE(stats.field_inversions, 16u);
   EXPECT_GT(stats.EquivalentMults(8), stats.field_mults)
       << "inversions dominate on the multiplier";
+}
+
+// The curve arithmetic is backend-agnostic: the cycle-accurate dual-field
+// array produces the same points as the software engine.
+TEST(BinaryCurve, EngineBackendsAreInterchangeable) {
+  const BinaryCurve software(BinaryCurveParams::Tiny16());
+  const BinaryCurve hardware(BinaryCurveParams::Tiny16(), "mmmc");
+  EXPECT_TRUE(hardware.FieldEngine().Caps().cycle_accurate);
+  const auto points = software.EnumeratePoints();
+  const BinaryPoint g = points.front();
+  for (const std::uint64_t k : {1ull, 5ull, 11ull, 23ull}) {
+    EXPECT_EQ(software.ScalarMul(BigUInt{k}, g),
+              hardware.ScalarMul(BigUInt{k}, g))
+        << "k=" << k;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Batched scalar multiplication through the GF(2^m) exponentiation service
+// ---------------------------------------------------------------------------
+
+TEST(BinaryCurve, ScalarMulBatchStressMatchesScalarOracle) {
+  const BinaryCurve curve(BinaryCurveParams::Aes256());
+  const auto points = curve.EnumeratePoints();
+  BinaryPoint g;
+  for (const BinaryPoint& p : points) {
+    if (!p.x.IsZero()) {
+      g = p;
+      break;
+    }
+  }
+  ASSERT_FALSE(g.x.IsZero());
+  core::ExpService service(Gf2ServiceOptions());
+  auto rng = test::TestRng();
+  std::vector<BigUInt> scalars{BigUInt{0}, BigUInt{1}, BigUInt{2}};
+  for (int j = 0; j < 29; ++j) {
+    scalars.push_back(rng.ExactBits(1 + static_cast<std::size_t>(j) % 12));
+  }
+  BinaryEccStats stats;
+  const auto batch = curve.ScalarMulBatch(scalars, g, service, &stats);
+  ASSERT_EQ(batch.size(), scalars.size());
+  for (std::size_t j = 0; j < scalars.size(); ++j) {
+    EXPECT_EQ(batch[j], curve.ScalarMul(scalars[j], g)) << "j=" << j;
+    EXPECT_TRUE(curve.IsOnCurve(batch[j])) << "j=" << j;
+  }
+  EXPECT_GT(stats.field_inversions, 0u);
+  // The lockstep rounds queue same-modulus inversions together, so the
+  // pairing scheduler must two-pack them onto the dual-field array.
+  EXPECT_GT(service.Snapshot().pair_issues, 0u);
+
+  const auto at_infinity =
+      curve.ScalarMulBatch(scalars, BinaryPoint::Infinity(), service);
+  for (const BinaryPoint& point : at_infinity) EXPECT_TRUE(point.infinity);
+}
+
+TEST(BinaryCurve, ScalarMulBatchRejectsGfpService) {
+  const BinaryCurve curve(BinaryCurveParams::Tiny16());
+  core::ExpService service;  // default: GF(p)
+  const std::vector<BigUInt> scalars{BigUInt{3}};
+  EXPECT_THROW(
+      curve.ScalarMulBatch(scalars, BinaryPoint::Infinity(), service),
+      std::invalid_argument);
+}
+
+// K-163 end to end: the NIST/SECG sect163k1 base point, batched scalar
+// ladders, and every GF(2^163) inversion served as a z^(2^163 - 2) job
+// through the registry-selected dual-field engine.
+TEST(BinaryCurve, Koblitz163ScalarMulBatchEndToEnd) {
+  const BinaryCurve curve(BinaryCurveParams::Koblitz163());
+  const BinaryPoint g{
+      BigUInt::FromHex("2fe13c0537bbc11acaa07d793de4e6d5e5c94eee8"),
+      BigUInt::FromHex("289070fb05d38ff58321f2e800536d538ccdaa3d9"), false};
+  ASSERT_TRUE(curve.IsOnCurve(g)) << "sect163k1 base point";
+  core::ExpService service(Gf2ServiceOptions());
+  auto rng = test::TestRng();
+  const std::vector<BigUInt> scalars{BigUInt{1}, rng.ExactBits(8),
+                                     rng.ExactBits(10)};
+  BinaryEccStats stats;
+  const auto batch = curve.ScalarMulBatch(scalars, g, service, &stats);
+  ASSERT_EQ(batch.size(), scalars.size());
+  EXPECT_EQ(batch[0], g);
+  for (std::size_t j = 1; j < scalars.size(); ++j) {
+    EXPECT_TRUE(curve.IsOnCurve(batch[j])) << "j=" << j;
+    EXPECT_EQ(batch[j], curve.ScalarMul(scalars[j], g)) << "j=" << j;
+  }
+  EXPECT_GT(stats.field_inversions, 0u);
+  EXPECT_GT(stats.EquivalentMults(curve.FieldDegree()), stats.field_mults)
+      << "Fermat inversions dominate the multiplier cost at m = 163";
 }
 
 }  // namespace

@@ -17,6 +17,7 @@
 #include <thread>
 #include <vector>
 
+#include "bignum/gf2.hpp"
 #include "bignum/montgomery.hpp"
 #include "bignum/random.hpp"
 #include "core/exp_service.hpp"
@@ -88,39 +89,58 @@ TEST(PairedModExp, FastAndCycleAccurateMatchOracle) {
     const BigUInt n_a = rng.OddExactBits(bits);
     BigUInt n_b = rng.OddExactBits(bits);
     while (n_b == n_a) n_b = rng.OddExactBits(bits);
-    const BitSerialMontgomery ctx_a(n_a), ctx_b(n_b);
+    const auto engine_a = MakeEngine("bit-serial", n_a);
+    const auto engine_b = MakeEngine("bit-serial", n_b);
+    InterleavedMmmc array(n_a, n_b);
     for (int trial = 0; trial < 4; ++trial) {
       const BigUInt base_a = rng.Below(n_a), base_b = rng.Below(n_b);
       const BigUInt exp_a = rng.ExactBits(bits), exp_b = rng.ExactBits(bits / 2);
-      const auto fast = PairedModExp(ctx_a, base_a, exp_a, ctx_b, base_b,
-                                     exp_b, PairedEngine::kFast);
-      const auto accurate = PairedModExp(ctx_a, base_a, exp_a, ctx_b, base_b,
-                                         exp_b, PairedEngine::kCycleAccurate);
+      const auto fast = PairedModExp(*engine_a, base_a, exp_a, *engine_b,
+                                     base_b, exp_b);
+      const auto accurate = PairedModExp(*engine_a, base_a, exp_a, *engine_b,
+                                         base_b, exp_b, &array);
       EXPECT_EQ(fast.a, BigUInt::ModExp(base_a, exp_a, n_a));
       EXPECT_EQ(fast.b, BigUInt::ModExp(base_b, exp_b, n_b));
       EXPECT_EQ(fast.a, accurate.a);
       EXPECT_EQ(fast.b, accurate.b);
       EXPECT_EQ(fast.stats.paired_issues, accurate.stats.paired_issues);
       EXPECT_EQ(fast.stats.single_issues, accurate.stats.single_issues);
-      EXPECT_EQ(fast.stats.total_cycles, accurate.stats.total_cycles);
+      EXPECT_EQ(fast.stats.engine_cycles, accurate.stats.engine_cycles);
     }
   }
+}
+
+// Backends without pairable streams (word-serial datapaths) cannot claim
+// the dual-channel credit: PairedModExp rejects them outright, and the
+// cycle-accurate array path additionally rejects any engine whose
+// Montgomery parameter is not the array's R = 2^(l+2).
+TEST(PairedModExp, RejectsUnpairableBackends) {
+  const BigUInt n{23};
+  InterleavedMmmc array(n, n);
+  const auto word = MakeEngine("word-mont", n);
+  ASSERT_FALSE(word->Caps().pairable_streams);
+  EXPECT_THROW(PairedModExp(*word, BigUInt{2}, BigUInt{3}, *word, BigUInt{2},
+                            BigUInt{3}),
+               std::invalid_argument);
+  EXPECT_THROW(PairedModExp(*word, BigUInt{2}, BigUInt{3}, *word, BigUInt{2},
+                            BigUInt{3}, &array),
+               std::invalid_argument);
 }
 
 TEST(PairedModExp, ChargesPairCyclesAndBeatsSequentialIssue) {
   auto rng = test::TestRng();
   const std::size_t bits = 32;
   const BigUInt n = rng.OddExactBits(bits);
-  const BitSerialMontgomery ctx(n);
-  const std::size_t l = ctx.l();
+  const auto engine = MakeEngine("bit-serial", n);
+  const std::size_t l = engine->l();
   const BigUInt base_a = rng.Below(n), base_b = rng.Below(n);
   const BigUInt exp_a = rng.BalancedExactBits(bits);
   const BigUInt exp_b = rng.BalancedExactBits(bits);
   const auto paired =
-      PairedModExp(ctx, base_a, exp_a, ctx, base_b, exp_b, PairedEngine::kFast);
+      PairedModExp(*engine, base_a, exp_a, *engine, base_b, exp_b);
 
   // Cycle identity: every paired issue costs 3l+5, every single 3l+4.
-  EXPECT_EQ(paired.stats.total_cycles,
+  EXPECT_EQ(paired.stats.engine_cycles,
             paired.stats.paired_issues * PairedMultiplyCycles(l) +
                 paired.stats.single_issues * MultiplyCycles(l));
   // The shorter stream is fully paired: issue counts add up to both jobs'
@@ -132,38 +152,40 @@ TEST(PairedModExp, ChargesPairCyclesAndBeatsSequentialIssue) {
                                             std::min(ops_a, ops_b));
   // Against sequential issue of the same MMMs, pairing approaches 2x.
   const std::uint64_t sequential = (ops_a + ops_b) * MultiplyCycles(l);
-  EXPECT_LT(paired.stats.total_cycles, sequential);
+  EXPECT_LT(paired.stats.engine_cycles, sequential);
   const double speedup = static_cast<double>(sequential) /
-                         static_cast<double>(paired.stats.total_cycles);
+                         static_cast<double>(paired.stats.engine_cycles);
   EXPECT_GT(speedup, 1.8);
 }
 
 TEST(PairedModExp, EdgeExponents) {
   auto rng = test::TestRng();
   const BigUInt n = rng.OddExactBits(16);
-  const BitSerialMontgomery ctx(n);
+  const auto engine = MakeEngine("bit-serial", n);
   const BigUInt base = rng.Below(n);
   // Zero exponent on one channel: that stream contributes no MMMs and the
   // partner runs entirely single-issue.
   const auto zero_side =
-      PairedModExp(ctx, base, BigUInt{0}, ctx, base, BigUInt{5});
+      PairedModExp(*engine, base, BigUInt{0}, *engine, base, BigUInt{5});
   EXPECT_TRUE(zero_side.a.IsOne());
   EXPECT_EQ(zero_side.b, BigUInt::ModExp(base, BigUInt{5}, n));
   EXPECT_EQ(zero_side.stats.paired_issues, 0u);
   // Both zero: no MMM at all.
   const auto both_zero =
-      PairedModExp(ctx, base, BigUInt{0}, ctx, base, BigUInt{0});
-  EXPECT_EQ(both_zero.stats.total_cycles, 0u);
+      PairedModExp(*engine, base, BigUInt{0}, *engine, base, BigUInt{0});
+  EXPECT_EQ(both_zero.stats.engine_cycles, 0u);
   // exponent = 1 still round-trips through the Montgomery domain.
-  const auto one = PairedModExp(ctx, base, BigUInt{1}, ctx, base, BigUInt{1});
+  const auto one =
+      PairedModExp(*engine, base, BigUInt{1}, *engine, base, BigUInt{1});
   EXPECT_EQ(one.a, base);
   EXPECT_EQ(one.b, base);
 }
 
 TEST(PairedModExp, RejectsUnequalLengths) {
-  const BitSerialMontgomery ctx_a(BigUInt{23}), ctx_b(BigUInt{257});
-  EXPECT_THROW(PairedModExp(ctx_a, BigUInt{2}, BigUInt{3}, ctx_b, BigUInt{2},
-                            BigUInt{3}),
+  const auto engine_a = MakeEngine("bit-serial", BigUInt{23});
+  const auto engine_b = MakeEngine("bit-serial", BigUInt{257});
+  EXPECT_THROW(PairedModExp(*engine_a, BigUInt{2}, BigUInt{3}, *engine_b,
+                            BigUInt{2}, BigUInt{3}),
                std::invalid_argument);
 }
 
@@ -331,17 +353,17 @@ TEST(ExpService, BondedPairReportsPairCycleAccounting) {
   EXPECT_TRUE(result_a.paired);
   EXPECT_TRUE(result_b.paired);
   // Both report the same issue group, charged 3l+5 per MMM pair.
-  EXPECT_EQ(result_a.engine_cycles, result_b.engine_cycles);
-  EXPECT_EQ(result_a.paired_issues, result_b.paired_issues);
-  EXPECT_GT(result_a.paired_issues, 0u);
-  EXPECT_EQ(result_a.engine_cycles,
-            result_a.paired_issues * PairedMultiplyCycles(bits) +
-                result_a.single_issues * MultiplyCycles(bits));
+  EXPECT_EQ(result_a.stats.engine_cycles, result_b.stats.engine_cycles);
+  EXPECT_EQ(result_a.stats.paired_issues, result_b.stats.paired_issues);
+  EXPECT_GT(result_a.stats.paired_issues, 0u);
+  EXPECT_EQ(result_a.stats.engine_cycles,
+            result_a.stats.paired_issues * PairedMultiplyCycles(bits) +
+                result_a.stats.single_issues * MultiplyCycles(bits));
   // And the pair beats running its MMMs sequentially.
   const std::uint64_t sequential =
       (result_a.stats.mmm_invocations + result_b.stats.mmm_invocations) *
       MultiplyCycles(bits);
-  EXPECT_LT(result_a.engine_cycles, sequential);
+  EXPECT_LT(result_a.stats.engine_cycles, sequential);
 }
 
 TEST(ExpService, SubmitBatchAndCallbacks) {
@@ -380,6 +402,81 @@ TEST(ExpService, RejectsBadModuli) {
                std::invalid_argument);
 }
 
+// ---------------------------------------------------------------------------
+// Engine selection through the registry
+// ---------------------------------------------------------------------------
+
+TEST(ExpService, NamedBackendsProduceIdenticalResults) {
+  auto rng = test::TestRng();
+  const BigUInt n = rng.OddExactBits(10);
+  const BigUInt base = rng.Below(n);
+  const BigUInt exponent = rng.ExactBits(10);
+  const BigUInt want = BigUInt::ModExp(base, exponent, n);
+  for (const char* name :
+       {"bit-serial", "word-mont", "high-radix", "blum-paar", "mmmc"}) {
+    ExpService::Options options;
+    options.workers = 1;
+    options.engine_name = name;
+    ExpService service(options);
+    std::vector<std::future<ExpService::Result>> futures;
+    for (int j = 0; j < 4; ++j) {
+      futures.push_back(service.Submit(n, base, exponent));
+    }
+    for (auto& future : futures) {
+      EXPECT_EQ(future.get().value, want) << name;
+    }
+    // The pairing credit belongs to the array-schedule family only; a
+    // word-serial backend silently falls back to solo issue.
+    if (!EngineRegistry::Global().Find(name)->caps.pairable_streams) {
+      EXPECT_EQ(service.Snapshot().pair_issues, 0u) << name;
+    }
+  }
+}
+
+TEST(ExpService, RejectsUnknownOrCapabilityMismatchedEngine) {
+  ExpService::Options unknown;
+  unknown.engine_name = "no-such-engine";
+  EXPECT_THROW(ExpService{unknown}, std::invalid_argument);
+
+  ExpService::Options gf2_on_gfp_backend;
+  gf2_on_gfp_backend.engine_name = "word-mont";
+  gf2_on_gfp_backend.engine_options.field = EngineField::kGf2;
+  EXPECT_THROW(ExpService{gf2_on_gfp_backend}, std::invalid_argument);
+}
+
+// A GF(2^m) service: the modulus is the field polynomial and every job is
+// a field exponentiation — here Fermat inversions checked against the
+// software field, exactly what BinaryCurve::ScalarMulBatch submits.
+TEST(ExpService, Gf2FieldExponentiationService) {
+  const BigUInt f{0x11b};  // AES field
+  const bignum::Gf2Field field(f);
+  ExpService::Options options;
+  options.engine_options.field = EngineField::kGf2;
+  ExpService service(options);
+  auto rng = test::TestRng();
+  const BigUInt inv_exponent = BigUInt::PowerOfTwo(8) - BigUInt{2};
+  for (int j = 0; j < 8; ++j) {
+    BigUInt a = rng.Below(BigUInt::PowerOfTwo(8));
+    if (a.IsZero()) a = BigUInt{1};
+    EXPECT_EQ(service.Submit(f, a, inv_exponent).get().value,
+              field.Inverse(a));
+  }
+  // Same-length polynomial jobs pair on the dual-field array like any
+  // other equal-l jobs.
+  std::vector<BigUInt> bases, exponents;
+  for (int j = 1; j <= 8; ++j) {
+    bases.push_back(BigUInt{static_cast<std::uint64_t>(j * 17 % 255 + 1)});
+    exponents.push_back(inv_exponent);
+  }
+  for (auto& future : service.SubmitBatch(f, bases, exponents)) future.get();
+  EXPECT_GT(service.Snapshot().pair_issues, 0u);
+  // Field-polynomial validation: f(0) must be 1 and deg(f) >= 2.
+  EXPECT_THROW(service.Submit(BigUInt{0x12}, BigUInt{1}, BigUInt{1}),
+               std::invalid_argument);
+  EXPECT_THROW(service.Submit(BigUInt{0x3}, BigUInt{1}, BigUInt{1}),
+               std::invalid_argument);
+}
+
 TEST(ExpService, EngineCacheReusesHotModulus) {
   auto rng = test::TestRng();
   const BigUInt n = rng.OddExactBits(32);
@@ -412,11 +509,11 @@ TEST(ExpServiceCrypto, RsaPrivateCrtPairedMatchesAndSavesCycles) {
   for (int trial = 0; trial < 3; ++trial) {
     const BigUInt m = rng.Below(key.n);
     const BigUInt c = crypto::RsaPublic(key, m);
-    PairedExpStats stats;
+    EngineStats stats;
     EXPECT_EQ(crypto::RsaPrivateCrtPaired(key, c, &stats), m);
     EXPECT_GT(stats.paired_issues, 0u);
     const std::size_t l = key.p.BitLength();
-    EXPECT_EQ(stats.total_cycles,
+    EXPECT_EQ(stats.engine_cycles,
               stats.paired_issues * PairedMultiplyCycles(l) +
                   stats.single_issues * MultiplyCycles(l));
   }

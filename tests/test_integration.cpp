@@ -29,13 +29,13 @@ using bignum::RandomBigUInt;
 TEST(Integration, RsaOnCycleAccurateCircuit) {
   auto rng = test::TestRng();
   const crypto::RsaKeyPair key = crypto::GenerateRsaKey(32, rng);
-  core::Exponentiator hw(key.n, core::Exponentiator::Engine::kCycleAccurate);
+  core::Exponentiator hw(key.n, "mmmc");
   for (int trial = 0; trial < 3; ++trial) {
     const BigUInt m = rng.Below(key.n);
     const BigUInt c = crypto::RsaPublic(key, m);
-    core::ExponentiationStats stats;
+    core::EngineStats stats;
     EXPECT_EQ(hw.ModExp(c, key.d, &stats), m);
-    EXPECT_EQ(stats.measured_mmm_cycles,
+    EXPECT_EQ(stats.engine_cycles,
               stats.mmm_invocations * (3 * key.n.BitLength() + 4));
   }
 }
