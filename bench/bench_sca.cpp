@@ -1,113 +1,262 @@
-// bench_sca — quantifies the paper's §5 side-channel argument: Algorithm 2
-// removes the data-dependent reduction that makes Algorithm 1 leak, and
-// the exponentiation algorithm choice determines what an SPA observer
-// learns.  Prints the timing-leak statistics, the TVLA verdicts, and the
-// exponent-recovery results per algorithm.
+// bench_sca — the side-channel lab's reportable numbers, quantifying the
+// paper's §5 argument end to end:
+//
+//   1. timing channel: Algorithm 1's data-dependent subtraction vs the
+//      constant 3l+4 of Algorithm 2 / the MMMC;
+//   2. TVLA: fixed-vs-random Welch-t peak on gate-level power traces of
+//      RSA private exponentiations, unblinded vs base-blinded;
+//   3. CPA/DPA: exponent-recovery rate and measurements-to-disclosure per
+//      leakage model and distinguisher, on unprotected and blinded
+//      executions;
+//   4. capture throughput: traces/s of 1-lane vs 64-lane gate-level
+//      capture (the batch engine is what makes the lab affordable).
+//
+// Emits BENCH_sca.json (bench_json.hpp flat schema) for CI trend
+// tracking; --smoke shrinks every population for the ctest -L perf run.
+#include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <string_view>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "bignum/random.hpp"
-#include "core/exp_algorithms.hpp"
+#include "crypto/rsa.hpp"
 #include "sca/analysis.hpp"
+#include "sca/attack.hpp"
+#include "sca/trace.hpp"
 
-int main() {
-  using mont::bignum::BigUInt;
+namespace {
 
-  std::printf("=== §5: side-channel profile of the reproduced designs ===\n\n");
+using mont::bignum::BigUInt;
+using Clock = std::chrono::steady_clock;
 
-  // --- 1. the timing channel: Algorithm 1 vs Algorithm 2 -------------------
+double Seconds(Clock::time_point begin, Clock::time_point end) {
+  return std::chrono::duration<double>(end - begin).count();
+}
+
+std::vector<BigUInt> RandomBases(mont::bignum::RandomBigUInt& rng,
+                                 const BigUInt& bound, std::size_t count) {
+  std::vector<BigUInt> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) out.push_back(rng.Below(bound));
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::string_view(argv[1]) == "--smoke";
   mont::bignum::RandomBigUInt rng(0x5cabe7c4u);
-  const std::size_t l = 64;
-  const BigUInt n = rng.OddExactBits(l);
-  const mont::sca::TimingOracle oracle(n);
-  std::vector<double> alg1_cycles;
-  std::size_t subtractions = 0;
-  constexpr int kSamples = 2000;
-  for (int i = 0; i < kSamples; ++i) {
-    const BigUInt x = rng.Below(n);
-    const BigUInt y = rng.Below(n);
-    alg1_cycles.push_back(static_cast<double>(oracle.Alg1Cycles(x, y)));
-    subtractions += oracle.Alg1SubtractionTaken(x, y) ? 1 : 0;
-  }
-  const auto alg1_stats = mont::sca::Summarize(alg1_cycles);
-  std::printf("--- timing channel, l = %zu, %d random multiplications ---\n",
-              l, kSamples);
-  std::printf("Algorithm 1: mean %.1f cycles, std %.2f, final subtraction "
-              "taken %.1f%% of the time\n",
-              alg1_stats.mean, std::sqrt(alg1_stats.variance),
-              100.0 * static_cast<double>(subtractions) / kSamples);
-  std::printf("Algorithm 2: %llu cycles, std 0.00 — constant for every "
-              "input (asserted in tests)\n",
-              static_cast<unsigned long long>(oracle.Alg2Cycles()));
-  std::printf("-> each Algorithm-1 multiplication leaks the predicate "
-              "[T >= N] through %zu extra cycles\n\n", l + 1);
+  std::vector<mont::bench::JsonRow> rows;
 
-  // --- 2. power model: fixed-vs-random on the MMMC datapath ----------------
+  std::printf("=== side-channel lab: §5 quantified at gate level%s ===\n\n",
+              smoke ? " (smoke)" : "");
+
+  // --- 1. timing channel ----------------------------------------------------
   {
-    const BigUInt small_n = rng.OddExactBits(24);
-    mont::core::Mmmc circuit(small_n);
-    const BigUInt two_n = small_n << 1;
-    const BigUInt fixed_x = rng.Below(two_n), fixed_y = rng.Below(two_n);
-    std::vector<double> fixed_sum, random_sum;
-    for (int i = 0; i < 100; ++i) {
-      auto f = mont::sca::PowerTrace(circuit, fixed_x, fixed_y);
-      auto r = mont::sca::PowerTrace(circuit, rng.Below(two_n),
-                                     rng.Below(two_n));
-      double fs = 0, rs = 0;
-      for (const auto v : f) fs += v;
-      for (const auto v : r) rs += v;
-      fixed_sum.push_back(fs);
-      random_sum.push_back(rs);
+    const std::size_t l = 64;
+    const int samples = smoke ? 200 : 2000;
+    const BigUInt n = rng.OddExactBits(l);
+    const mont::sca::TimingOracle oracle(n);
+    std::vector<double> alg1_cycles;
+    std::size_t subtractions = 0;
+    for (int i = 0; i < samples; ++i) {
+      const BigUInt x = rng.Below(n);
+      const BigUInt y = rng.Below(n);
+      alg1_cycles.push_back(static_cast<double>(oracle.Alg1Cycles(x, y)));
+      subtractions += oracle.Alg1SubtractionTaken(x, y) ? 1 : 0;
     }
-    const double t = mont::sca::WelchT(fixed_sum, random_sum);
-    std::printf("--- power channel (Hamming-distance proxy), l = 24, 100+100 "
-                "traces ---\n");
-    std::printf("fixed-vs-random Welch t = %.1f (TVLA threshold 4.5): %s\n",
-                t, std::abs(t) > 4.5 ? "LEAKS (as every unmasked datapath "
-                                       "does)" : "no evidence");
-    std::printf("-> constant time does not mean constant power; masking is "
-                "out of the paper's scope\n\n");
+    const auto stats = mont::sca::Summarize(alg1_cycles);
+    const double subtraction_rate =
+        static_cast<double>(subtractions) / samples;
+    std::printf("timing, l=%zu, %d multiplications:\n", l, samples);
+    std::printf("  Algorithm 1: mean %.1f cycles, std %.2f, subtraction "
+                "taken %.1f%%\n",
+                stats.mean, std::sqrt(stats.variance),
+                100.0 * subtraction_rate);
+    std::printf("  Algorithm 2: %llu cycles for every input\n\n",
+                static_cast<unsigned long long>(oracle.Alg2Cycles()));
+    rows.push_back({{"section", "timing"},
+                    {"l", static_cast<unsigned long long>(l)},
+                    {"samples", samples},
+                    {"alg1_mean_cycles", stats.mean},
+                    {"alg1_std_cycles", std::sqrt(stats.variance)},
+                    {"alg1_subtraction_rate", subtraction_rate},
+                    {"alg2_cycles", static_cast<unsigned long long>(
+                                        oracle.Alg2Cycles())}});
   }
 
-  // --- 3. SPA on the exponentiation operation sequence ---------------------
-  std::printf("--- SPA: exponent bits recovered from the MMM operation "
-              "sequence (128-bit key) ---\n");
-  const BigUInt key_n = rng.OddExactBits(128);
-  const mont::core::MultiExponentiator exp(key_n);
-  const BigUInt secret = rng.ExactBits(128);
-  std::printf("%-22s %10s %10s %12s %12s\n", "algorithm", "squares", "mults",
-              "bits leaked", "cycles(3l+4)");
-  for (const auto algorithm :
-       {mont::core::ExpAlgorithm::kLeftToRight,
-        mont::core::ExpAlgorithm::kRightToLeft,
-        mont::core::ExpAlgorithm::kSlidingWindow,
-        mont::core::ExpAlgorithm::kMontgomeryLadder}) {
-    mont::core::ExpTrace trace;
-    exp.ModExp(BigUInt{2}, secret, algorithm, 4, &trace);
-    const auto recovered =
-        mont::core::RecoverExponentFromTrace(trace.operations);
-    // Count positions where the naive S/M parser reproduces the true bit.
-    std::size_t correct = 0;
-    for (std::size_t i = 0; i < recovered.size(); ++i) {
-      const std::size_t bit =
-          secret.BitLength() >= 2 + i ? secret.BitLength() - 2 - i : 0;
-      if (i < secret.BitLength() - 1 && recovered[i] == secret.Bit(bit)) {
-        ++correct;
+  // --- 2. TVLA fixed-vs-random on RSA, unblinded vs blinded ------------------
+  {
+    const std::size_t per_class = smoke ? 8 : 32;
+    const mont::crypto::RsaKeyPair key = mont::crypto::GenerateRsaKey(32, rng);
+    const BigUInt fixed = rng.Below(key.n);
+    const std::vector<BigUInt> fixed_class(per_class, fixed);
+    const auto random_class = RandomBases(rng, key.n, per_class);
+    const auto blind = [&](const BigUInt& c) {
+      return mont::crypto::BlindRsaBase(c, key.e, key.n, rng);
+    };
+    std::vector<BigUInt> fixed_blinded, random_blinded;
+    for (std::size_t i = 0; i < per_class; ++i) {
+      fixed_blinded.push_back(blind(fixed));
+      random_blinded.push_back(blind(random_class[i]));
+    }
+    mont::sca::GateLevelCapture capture(key.n);
+    const double t_unblinded = mont::sca::WelchTPeak(
+        capture.CaptureModExps(fixed_class, key.d),
+        capture.CaptureModExps(random_class, key.d));
+    const double t_blinded = mont::sca::WelchTPeak(
+        capture.CaptureModExps(fixed_blinded, key.d),
+        capture.CaptureModExps(random_blinded, key.d));
+    std::printf("TVLA (l=%zu RSA, %zu traces/class, threshold 4.5):\n",
+                capture.l(), per_class);
+    std::printf("  unblinded |t| = %8.1f  -> %s\n", std::abs(t_unblinded),
+                std::abs(t_unblinded) > 4.5 ? "LEAKS" : "no evidence");
+    std::printf("  blinded   |t| = %8.1f  -> %s\n\n", std::abs(t_blinded),
+                std::abs(t_blinded) > 4.5 ? "LEAKS" : "no evidence");
+    rows.push_back({{"section", "tvla"},
+                    {"l", static_cast<unsigned long long>(capture.l())},
+                    {"traces_per_class",
+                     static_cast<unsigned long long>(per_class)},
+                    {"welch_t_unblinded", std::abs(t_unblinded)},
+                    {"welch_t_blinded", std::abs(t_blinded)},
+                    {"threshold", 4.5},
+                    {"unblinded_leaks", std::abs(t_unblinded) > 4.5},
+                    {"blinded_leaks", std::abs(t_blinded) > 4.5}});
+  }
+
+  // --- 3. CPA/DPA exponent recovery -----------------------------------------
+  {
+    const std::size_t l = 16;
+    const std::size_t exponent_bits = smoke ? 12 : 16;
+    const std::size_t budget = smoke ? 32 : 64;
+    const std::size_t hw_budget = smoke ? 64 : 128;
+    const BigUInt n = rng.OddExactBits(l);
+    const BigUInt d = rng.ExactBits(exponent_bits);
+    const auto bases = RandomBases(rng, n, std::max(budget, hw_budget));
+    std::vector<BigUInt> blinded_bases;
+    for (const BigUInt& c : bases) {
+      blinded_bases.push_back(
+          mont::crypto::BlindRsaBase(c, BigUInt{65537}, n, rng));
+    }
+    mont::sca::GateLevelCapture capture(n);
+    const mont::sca::TraceSet traces = capture.CaptureModExps(bases, d);
+    const mont::sca::TraceSet blinded =
+        capture.CaptureModExps(blinded_bases, d);
+    std::printf("CPA/DPA (l=%zu, %zu-bit exponent):\n", l, exponent_bits);
+    std::printf("  %-10s %-20s %7s %9s %5s\n", "leakage", "distinguisher",
+                "traces", "recovered", "mtd");
+    struct Scenario {
+      mont::sca::Leakage leakage;
+      mont::sca::Distinguisher distinguisher;
+      std::size_t budget;
+    };
+    std::vector<Scenario> scenarios = {
+        {mont::sca::Leakage::kHammingDistanceStates,
+         mont::sca::Distinguisher::kPearsonCpa, budget},
+        {mont::sca::Leakage::kHammingDistanceStates,
+         mont::sca::Distinguisher::kDifferenceOfMeans, budget},
+        {mont::sca::Leakage::kHammingWeightOutput,
+         mont::sca::Distinguisher::kPearsonCpa, hw_budget},
+    };
+    for (const Scenario& scenario : scenarios) {
+      mont::sca::AttackOptions options;
+      options.leakage = scenario.leakage;
+      options.distinguisher = scenario.distinguisher;
+      const mont::sca::CpaAttack attack(n, options);
+      const auto head = traces.Head(scenario.budget);
+      const auto result = attack.Recover(
+          head, {bases.data(), scenario.budget}, d.BitLength());
+      const std::size_t mtd = attack.MeasurementsToDisclosure(
+          head, {bases.data(), scenario.budget}, d, 0.9, 8);
+      const double fraction = result.RecoveredFraction(d);
+      std::printf("  %-10s %-20s %7zu %8.1f%% %5zu\n",
+                  mont::sca::LeakageName(scenario.leakage),
+                  mont::sca::DistinguisherName(scenario.distinguisher),
+                  scenario.budget, 100.0 * fraction, mtd);
+      rows.push_back(
+          {{"section", "cpa"},
+           {"l", static_cast<unsigned long long>(l)},
+           {"exponent_bits", static_cast<unsigned long long>(exponent_bits)},
+           {"leakage", mont::sca::LeakageName(scenario.leakage)},
+           {"distinguisher",
+            mont::sca::DistinguisherName(scenario.distinguisher)},
+           {"trace_budget", static_cast<unsigned long long>(scenario.budget)},
+           {"recovered_fraction", fraction},
+           {"measurements_to_disclosure",
+            static_cast<unsigned long long>(mtd)}});
+    }
+    // Countermeasure closure at the default model's budget.
+    const mont::sca::CpaAttack attack(n);
+    const auto blinded_result = attack.Recover(
+        blinded.Head(budget), {bases.data(), budget}, d.BitLength());
+    const double blinded_fraction = blinded_result.RecoveredFraction(d);
+    const std::size_t blinded_mtd = attack.MeasurementsToDisclosure(
+        blinded.Head(budget), {bases.data(), budget}, d, 0.9, 8);
+    std::printf("  blinded executions, same attack:      %8.1f%% %5zu "
+                "(chance; blinding closes the channel)\n\n",
+                100.0 * blinded_fraction, blinded_mtd);
+    rows.push_back({{"section", "cpa_blinded"},
+                    {"l", static_cast<unsigned long long>(l)},
+                    {"exponent_bits",
+                     static_cast<unsigned long long>(exponent_bits)},
+                    {"trace_budget", static_cast<unsigned long long>(budget)},
+                    {"recovered_fraction", blinded_fraction},
+                    {"measurements_to_disclosure",
+                     static_cast<unsigned long long>(blinded_mtd)}});
+  }
+
+  // --- 4. capture throughput: 1-lane vs 64-lane ------------------------------
+  {
+    const std::size_t l = smoke ? 16 : 32;
+    const std::size_t passes = smoke ? 2 : 8;
+    const BigUInt n = rng.OddExactBits(l);
+    const BigUInt two_n = n << 1;
+    mont::sca::GateLevelCapture capture(n);
+    const auto xs = RandomBases(rng, two_n, 64);
+    const auto ys = RandomBases(rng, two_n, 64);
+    // Scalar: one stimulus per simulation pass.
+    const auto scalar_begin = Clock::now();
+    std::size_t scalar_traces = 0;
+    for (std::size_t pass = 0; pass < passes; ++pass) {
+      for (std::size_t i = 0; i < 8; ++i) {
+        const std::vector<BigUInt> x1{xs[i]}, y1{ys[i]};
+        capture.CaptureMultiplications(x1, y1);
+        ++scalar_traces;
       }
     }
-    const double rate = recovered.empty()
-                            ? 0.0
-                            : 100.0 * static_cast<double>(correct) /
-                                  static_cast<double>(secret.BitLength() - 1);
-    std::printf("%-22s %10llu %10llu %11.1f%% %12llu\n",
-                mont::core::ExpAlgorithmName(algorithm),
-                static_cast<unsigned long long>(trace.squarings),
-                static_cast<unsigned long long>(trace.multiplications), rate,
-                static_cast<unsigned long long>(trace.ModeledCycles(128)));
+    const double scalar_seconds = Seconds(scalar_begin, Clock::now());
+    // Batched: 64 stimuli per pass.
+    const auto batch_begin = Clock::now();
+    std::size_t batch_traces = 0;
+    for (std::size_t pass = 0; pass < passes; ++pass) {
+      batch_traces += capture.CaptureMultiplications(xs, ys).Count();
+    }
+    const double batch_seconds = Seconds(batch_begin, Clock::now());
+    const double scalar_rate =
+        static_cast<double>(scalar_traces) / scalar_seconds;
+    const double batch_rate = static_cast<double>(batch_traces) / batch_seconds;
+    std::printf("capture throughput (l=%zu, %zu nets, %zu samples/trace):\n",
+                capture.l(), capture.TrackedNetCount(),
+                capture.SamplesPerMultiplication());
+    std::printf("  1-lane : %10.0f traces/s\n", scalar_rate);
+    std::printf("  64-lane: %10.0f traces/s  (%.1fx)\n\n", batch_rate,
+                batch_rate / scalar_rate);
+    rows.push_back({{"section", "capture_throughput"},
+                    {"l", static_cast<unsigned long long>(capture.l())},
+                    {"nets", static_cast<unsigned long long>(
+                                 capture.TrackedNetCount())},
+                    {"samples_per_trace",
+                     static_cast<unsigned long long>(
+                         capture.SamplesPerMultiplication())},
+                    {"scalar_traces_per_s", scalar_rate},
+                    {"batch_traces_per_s", batch_rate},
+                    {"batch_speedup", batch_rate / scalar_rate}});
   }
-  std::printf("\n(100%% for left-to-right binary = full key recovery from "
-              "one trace; ~50%% = guessing.\nThe ladder pays ~1.5x the "
-              "multiplications for a key-independent sequence.)\n");
+
+  const std::string path = mont::bench::WriteBenchJson(
+      "sca", rows, {{"smoke", smoke}, {"lanes", 64}});
+  std::printf("wrote %s\n", path.c_str());
   return 0;
 }

@@ -263,6 +263,7 @@ PairedExpResult PairedModExp(const MmmEngine& engine_a, const BigUInt& base_a,
 
 ExpService::ExpService(Options options)
     : options_(std::move(options)),
+      blind_rng_(options_.blind_seed),
       cache_(options_.engine_cache_capacity == 0
                  ? 1
                  : options_.engine_cache_capacity) {
@@ -282,9 +283,11 @@ ExpService::ExpService(Options options)
   }
   // The 3l+5-per-pair credit models the C-slow variant of the array
   // schedule; a backend without pairable streams (word-serial datapaths)
-  // must not report fictitious dual-channel throughput, so pairing is
-  // disabled for it and every job issues solo at its own cycle model.
-  if (!entry->caps.pairable_streams) options_.enable_pairing = false;
+  // must not report fictitious dual-channel throughput.  That is
+  // enforced per job — non-pairable jobs get solo queue keys at Submit
+  // and Execute falls back to solo issue for bonded pairs — rather than
+  // by disabling pairing service-wide, so jobs whose JobOptions override
+  // selects a pairable backend still co-schedule.
   workers_.reserve(options_.workers);
   for (std::size_t i = 0; i < options_.workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -306,6 +309,34 @@ void ExpService::ValidateModulus(const BigUInt& modulus) const {
   ValidateEngineModulus(modulus, options_.engine_options.field, "ExpService");
 }
 
+const std::string& ExpService::ResolveEngineName(
+    const JobOptions& options) const {
+  if (options.engine_name.empty()) return options_.engine_name;
+  // Per-job override: apply the same checks the constructor applied to
+  // the default backend, at Submit time instead of on a worker thread.
+  const EngineRegistry::Entry* entry =
+      EngineRegistry::Global().Find(options.engine_name);
+  if (entry == nullptr) {
+    throw std::invalid_argument("ExpService: unknown engine '" +
+                                options.engine_name + "'");
+  }
+  if (options_.engine_options.field == EngineField::kGf2 && !entry->caps.gf2) {
+    throw std::invalid_argument("ExpService: engine '" + options.engine_name +
+                                "' does not support GF(2^m)");
+  }
+  return options.engine_name;
+}
+
+BigUInt ExpService::EffectiveExponent(const Job& job) {
+  if (job.options.exponent_blind_order.IsZero()) return job.exponent;
+  BigUInt k;
+  {
+    std::lock_guard<std::mutex> lk(blind_mu_);
+    k = blind_rng_.ExactBits(job.options.exponent_blind_bits);
+  }
+  return job.exponent + k * job.options.exponent_blind_order;
+}
+
 std::future<ExpService::Result> ExpService::Enqueue(Job job,
                                                     std::uint64_t key) {
   std::future<Result> future = job.promise.get_future();
@@ -324,14 +355,37 @@ std::future<ExpService::Result> ExpService::Submit(BigUInt modulus,
                                                    BigUInt base,
                                                    BigUInt exponent,
                                                    Callback callback) {
+  return Submit(std::move(modulus), std::move(base), std::move(exponent),
+                JobOptions{}, std::move(callback));
+}
+
+std::future<ExpService::Result> ExpService::Submit(BigUInt modulus,
+                                                   BigUInt base,
+                                                   BigUInt exponent,
+                                                   JobOptions job_options,
+                                                   Callback callback) {
   ValidateModulus(modulus);
+  const EngineRegistry::Entry* entry =
+      EngineRegistry::Global().Find(ResolveEngineName(job_options));
+  if (!job_options.exponent_blind_order.IsZero() &&
+      job_options.exponent_blind_bits == 0) {
+    throw std::invalid_argument(
+        "ExpService: exponent_blind_bits must be >= 1 when blinding");
+  }
   Job job;
   // Opportunistic pairing key: the operand length — any two jobs of equal
-  // l can share one array's two channels.
-  const std::uint64_t key = modulus.BitLength();
+  // l can share one array's two channels.  A job on a backend without
+  // pairable streams gets a key of its own instead, so the scheduler
+  // never hands it a partner its datapath cannot co-schedule.
+  std::uint64_t key = modulus.BitLength();
+  if (!entry->caps.pairable_streams) {
+    std::lock_guard<std::mutex> lk(mu_);
+    key = (std::uint64_t{1} << 62) | next_solo_key_++;
+  }
   job.modulus = std::move(modulus);
   job.base = std::move(base);
   job.exponent = std::move(exponent);
+  job.options = std::move(job_options);
   job.callback = std::move(callback);
   return Enqueue(std::move(job), key);
 }
@@ -412,8 +466,10 @@ ExpService::Counters ExpService::Snapshot() const {
 }
 
 std::shared_ptr<const MmmEngine> ExpService::AcquireEngine(
-    const BigUInt& modulus) {
-  const std::string key = modulus.ToHex();
+    const std::string& engine_name, const BigUInt& modulus) {
+  // Hex digits never collide with the separator, so (engine, modulus)
+  // pairs key uniquely — jobs on different backends share one cache.
+  const std::string key = engine_name + ':' + modulus.ToHex();
   {
     std::lock_guard<std::mutex> lk(cache_mu_);
     if (auto* hit = cache_.Get(key)) return *hit;
@@ -424,7 +480,7 @@ std::shared_ptr<const MmmEngine> ExpService::AcquireEngine(
   // Two workers racing on the same cold modulus may both construct; the
   // first Put wins and the loser adopts it.
   std::shared_ptr<const MmmEngine> engine =
-      MakeEngine(options_.engine_name, modulus, options_.engine_options);
+      MakeEngine(engine_name, modulus, options_.engine_options);
   std::lock_guard<std::mutex> lk(cache_mu_);
   if (cache_.Contains(key)) return *cache_.Get(key);
   cache_.Put(key, engine);
@@ -447,11 +503,6 @@ void ExpService::WorkerLoop() {
       group.push_back(std::move(it->second));
       pending_.erase(it);
     }
-    if (issue->count == 2) {
-      ++counters_.pair_issues;
-    } else {
-      ++counters_.single_issues;
-    }
     in_flight_ += issue->count;
     lk.unlock();
 
@@ -467,36 +518,73 @@ void ExpService::WorkerLoop() {
 
 void ExpService::Execute(std::vector<Job> group) {
   std::vector<Result> results(group.size());
+  bool pair_executed = false;
+  // Issue accounting records what actually ran — a popped pair whose
+  // backends could not co-schedule executes (and is counted) as two solo
+  // issues, never as fictitious dual-channel throughput.  Counters are
+  // published before the promises resolve, so a caller observing a
+  // completed future observes its issue already counted.
+  bool counted = false;
+  const auto count_issues = [&] {
+    if (counted) return;  // a throw after counting must not count twice
+    counted = true;
+    std::lock_guard<std::mutex> lk(mu_);
+    if (pair_executed) {
+      ++counters_.pair_issues;
+    } else {
+      counters_.single_issues += group.size();
+    }
+  };
   try {
     if (group.size() == 2) {
-      const auto engine_a = AcquireEngine(group[0].modulus);
-      const auto engine_b = AcquireEngine(group[1].modulus);
-      PairedExpResult paired =
-          PairedModExp(*engine_a, group[0].base, group[0].exponent, *engine_b,
-                       group[1].base, group[1].exponent);
-      results[0].value = std::move(paired.a);
-      results[1].value = std::move(paired.b);
-      results[0].stats = paired.stats_a;
-      results[1].stats = paired.stats_b;
-      for (Result& result : results) {
-        result.paired = true;
-        // The group's array occupancy is the closest per-job measurement
-        // pairing admits (the two MMM streams are interleaved cycle by
-        // cycle); both partners report the shared issue accounting.
-        result.stats.paired_issues = paired.stats.paired_issues;
-        result.stats.single_issues = paired.stats.single_issues;
-        result.stats.engine_cycles = paired.stats.engine_cycles;
+      const auto engine_a =
+          AcquireEngine(ResolveEngineName(group[0].options), group[0].modulus);
+      const auto engine_b =
+          AcquireEngine(ResolveEngineName(group[1].options), group[1].modulus);
+      // Per-job engine overrides can bond two backends on one issue —
+      // any mix works as long as both model pairable array streams of
+      // equal operand length (a bonded SubmitPair of unequal-capability
+      // jobs falls back to solo issues instead of failing).
+      if (engine_a->Caps().pairable_streams &&
+          engine_b->Caps().pairable_streams &&
+          engine_a->l() == engine_b->l() &&
+          engine_a->Field() == engine_b->Field()) {
+        PairedExpResult paired = PairedModExp(
+            *engine_a, group[0].base, EffectiveExponent(group[0]), *engine_b,
+            group[1].base, EffectiveExponent(group[1]));
+        results[0].value = std::move(paired.a);
+        results[1].value = std::move(paired.b);
+        results[0].stats = paired.stats_a;
+        results[1].stats = paired.stats_b;
+        for (Result& result : results) {
+          result.paired = true;
+          // The group's array occupancy is the closest per-job
+          // measurement pairing admits (the two MMM streams are
+          // interleaved cycle by cycle); both partners report the shared
+          // issue accounting.
+          result.stats.paired_issues = paired.stats.paired_issues;
+          result.stats.single_issues = paired.stats.single_issues;
+          result.stats.engine_cycles = paired.stats.engine_cycles;
+        }
+        pair_executed = true;
       }
-    } else {
-      const auto engine = AcquireEngine(group[0].modulus);
-      Result& result = results[0];
-      result.value = RunSoloStream(*engine, group[0].base, group[0].exponent,
-                                   &result.stats);
     }
+    if (!pair_executed) {
+      for (std::size_t i = 0; i < group.size(); ++i) {
+        const auto engine = AcquireEngine(ResolveEngineName(group[i].options),
+                                          group[i].modulus);
+        Result& result = results[i];
+        result.value = RunSoloStream(*engine, group[i].base,
+                                     EffectiveExponent(group[i]),
+                                     &result.stats);
+      }
+    }
+    count_issues();
     for (std::size_t i = 0; i < group.size(); ++i) {
       group[i].promise.set_value(results[i]);
     }
   } catch (...) {
+    count_issues();
     const std::exception_ptr error = std::current_exception();
     for (Job& job : group) {
       try {

@@ -23,7 +23,9 @@
 // datapath serves, and with Options::engine_options.field = kGf2 a
 // dual-field backend serves GF(2^m) jobs (the modulus is the field
 // polynomial f and each job computes a field exponentiation, e.g. the
-// Fermat inversions of BinaryCurve::ScalarMulBatch).
+// Fermat inversions of BinaryCurve::ScalarMulBatch).  Individual jobs
+// may override the backend and request exponent blinding (the sca lab's
+// schedule countermeasure) through JobOptions.
 //
 // PairedModExp() is the engine underneath the pairing path and is exposed
 // directly: it zips the MMM streams of two independent exponentiations
@@ -47,6 +49,7 @@
 #include <vector>
 
 #include "bignum/biguint.hpp"
+#include "bignum/random.hpp"
 #include "core/engine.hpp"
 #include "core/schedule.hpp"
 
@@ -98,17 +101,44 @@ class ExpService {
     /// Distinct moduli whose engines stay precomputed.
     std::size_t engine_cache_capacity = 8;
     /// Issue two equal-length queued jobs per array pass (3l+5 per MMM
-    /// pair); disable to force one job per pass (for A/B benches).
-    /// Forced off when the selected backend has no pairable streams
-    /// (EngineCaps::pairable_streams false — the word-serial datapaths),
-    /// so no backend reports fictitious dual-channel throughput.
+    /// pair); disable to force one job per pass (for A/B benches).  Jobs
+    /// on a backend without pairable streams
+    /// (EngineCaps::pairable_streams false — the word-serial datapaths)
+    /// always issue solo regardless, so no backend reports fictitious
+    /// dual-channel throughput.
     bool enable_pairing = true;
-    /// Registry name of the multiplication backend every job runs on.
+    /// Registry name of the multiplication backend a job runs on when it
+    /// does not carry its own JobOptions::engine_name override.
     std::string engine_name = "bit-serial";
     /// Backend construction options; field = kGf2 turns the service into
     /// a GF(2^m) field-exponentiation service (needs a dual-field
-    /// backend; the constructor throws on a capability mismatch).
+    /// backend; the constructor throws on a capability mismatch).  These
+    /// options apply to per-job engine overrides too.
     EngineOptions engine_options;
+    /// Seed of the service's exponent-blinding stream (deterministic;
+    /// used only by jobs that request JobOptions::exponent_blind_order).
+    std::uint64_t blind_seed = 0x0b11d5eedull;
+  };
+
+  /// Per-job execution options (the service-wide Options stay the
+  /// defaults).
+  struct JobOptions {
+    /// Registry backend for this job; empty falls back to
+    /// Options::engine_name.  Validated at Submit time (unknown name or a
+    /// field-capability mismatch throws std::invalid_argument).  Jobs on
+    /// different backends coexist in one service — the engine cache keys
+    /// on (engine, modulus) — and two equal-length jobs still co-schedule
+    /// when both backends have pairable streams; a job on a non-pairable
+    /// backend always issues solo.
+    std::string engine_name;
+    /// Non-zero: exponent randomization — the job executes with
+    /// exponent + k * exponent_blind_order for a fresh random k per
+    /// execution (same result whenever the order is a multiple of the
+    /// base's multiplicative order; the reported stats then count the
+    /// blinded exponent's operations).
+    bignum::BigUInt exponent_blind_order;
+    /// Bit width of the per-execution random k.
+    std::size_t exponent_blind_bits = 16;
   };
 
   struct Result {
@@ -140,6 +170,13 @@ class ExpService {
   std::future<Result> Submit(bignum::BigUInt modulus, bignum::BigUInt base,
                              bignum::BigUInt exponent, Callback callback = {});
 
+  /// Enqueues one job with per-job options (engine override and/or
+  /// exponent blinding).  Throws std::invalid_argument for an invalid
+  /// modulus, an unknown engine name, or a field-capability mismatch.
+  std::future<Result> Submit(bignum::BigUInt modulus, bignum::BigUInt base,
+                             bignum::BigUInt exponent, JobOptions options,
+                             Callback callback = {});
+
   /// Enqueues bases[i]^exponents[i] mod modulus for every i (sizes must
   /// match).  Same-modulus batches pair with each other naturally.
   std::vector<std::future<Result>> SubmitBatch(
@@ -161,8 +198,12 @@ class ExpService {
   struct Counters {
     std::uint64_t jobs_submitted = 0;
     std::uint64_t jobs_completed = 0;
-    std::uint64_t pair_issues = 0;    ///< queue pops that ran two jobs
-    std::uint64_t single_issues = 0;  ///< queue pops that ran one job
+    /// Issues that actually co-scheduled two jobs onto one dual-channel
+    /// array.  A bonded pair whose backends cannot pair (no pairable
+    /// streams, unequal lengths) executes — and is counted — as two
+    /// solo issues instead.
+    std::uint64_t pair_issues = 0;
+    std::uint64_t single_issues = 0;  ///< jobs issued solo
     std::uint64_t engine_cache_hits = 0;
     std::uint64_t engine_cache_misses = 0;
     std::uint64_t engine_cache_evictions = 0;
@@ -177,16 +218,25 @@ class ExpService {
     bignum::BigUInt modulus;
     bignum::BigUInt base;
     bignum::BigUInt exponent;
+    JobOptions options;
     std::promise<Result> promise;
     Callback callback;
   };
 
   void ValidateModulus(const bignum::BigUInt& modulus) const;
+  /// Resolves a job's effective backend name and validates it (must be
+  /// registered and support the service's field).
+  const std::string& ResolveEngineName(const JobOptions& options) const;
+  /// The exponent a job actually executes with (blinding applied).
+  bignum::BigUInt EffectiveExponent(const Job& job);
   std::future<Result> Enqueue(Job job, std::uint64_t key);
   void WorkerLoop();
+  /// Runs one issue group and publishes its pair/single issue counters
+  /// (before the promises resolve): a 2-job group counts one pair issue
+  /// only when it really co-scheduled on a dual-channel array.
   void Execute(std::vector<Job> group);
   std::shared_ptr<const MmmEngine> AcquireEngine(
-      const bignum::BigUInt& modulus);
+      const std::string& engine_name, const bignum::BigUInt& modulus);
 
   Options options_;
 
@@ -197,9 +247,13 @@ class ExpService {
   std::unordered_map<std::uint64_t, Job> pending_;
   std::uint64_t next_id_ = 1;
   std::uint64_t next_bond_key_ = 0;
+  std::uint64_t next_solo_key_ = 0;
   std::size_t in_flight_ = 0;
   bool stop_ = false;
   Counters counters_;
+
+  std::mutex blind_mu_;  // guards blind_rng_ only
+  bignum::RandomBigUInt blind_rng_;
 
   mutable std::mutex cache_mu_;  // independent of mu_: cache lookups only
   LruCache<std::string, std::shared_ptr<const MmmEngine>> cache_;

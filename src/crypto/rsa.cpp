@@ -96,18 +96,125 @@ void VerifyCrtResult(const RsaKeyPair& key, const BigUInt& input,
   VerifyCrtResult(*core::MakeEngine("word-mont", key.n), key, input, sig, who);
 }
 
+// d + k*order for a fresh k of `bits` bits (k's top bit is forced, so the
+// exponent really is randomized); bits == 0 returns d unchanged.
+BigUInt BlindExponent(const BigUInt& d, const BigUInt& order,
+                      std::size_t bits, bignum::RandomBigUInt& rng) {
+  if (bits == 0) return d;
+  return d + rng.ExactBits(bits) * order;
+}
+
+// The shared CRT core (half exponentiations + Garner recombination) —
+// one copy serves the plain and blinded paths, so fault-check or
+// recombination fixes cannot diverge between them.  Callers validate the
+// key, choose the half exponents, and verify the released signature.
+BigUInt CrtExponentiate(const RsaKeyPair& key, const BigUInt& input,
+                        const BigUInt& dp, const BigUInt& dq,
+                        std::string_view engine) {
+  const BigUInt mp = core::MakeEngine(engine, key.p)->ModExp(input % key.p, dp);
+  const BigUInt mq = core::MakeEngine(engine, key.q)->ModExp(input % key.q, dq);
+  return CrtRecombine(key, BigUInt::ModInverse(key.q % key.p, key.p), mp, mq);
+}
+
+// The base-blinding step itself: c -> c * r^e mod n.
+BigUInt BlindBaseWith(const BigUInt& c, const BigUInt& e, const BigUInt& n,
+                      const core::MmmEngine& engine,
+                      const RsaBlindingUnit& unit) {
+  return (c * engine.ModExp(unit.r, e)) % n;
+}
+
 }  // namespace
+
+RsaBlindingUnit MakeRsaBlindingUnit(const BigUInt& n,
+                                    bignum::RandomBigUInt& rng) {
+  // Random candidates below n are almost never non-units for RSA moduli,
+  // so the rejection loop is effectively one draw.
+  for (;;) {
+    BigUInt r = rng.Below(n);
+    if (r <= BigUInt{1}) continue;
+    if (!BigUInt::Gcd(r, n).IsOne()) continue;
+    BigUInt r_inv = BigUInt::ModInverse(r, n);
+    return {std::move(r), std::move(r_inv)};
+  }
+}
+
+BigUInt BlindRsaBase(const BigUInt& c, const BigUInt& e, const BigUInt& n,
+                     bignum::RandomBigUInt& rng) {
+  return BlindBaseWith(c, e, n, *core::MakeEngine("word-mont", n),
+                       MakeRsaBlindingUnit(n, rng));
+}
+
+BigUInt RsaLambda(const RsaKeyPair& key) {
+  if (key.p * key.q != key.n) {
+    throw std::invalid_argument("RsaLambda: p*q != n");
+  }
+  const BigUInt p1 = key.p - BigUInt{1};
+  const BigUInt q1 = key.q - BigUInt{1};
+  return (p1 * q1) / BigUInt::Gcd(p1, q1);
+}
+
+BigUInt RsaPrivateBlinded(const RsaKeyPair& key, const BigUInt& c,
+                          bignum::RandomBigUInt& rng,
+                          const RsaBlindingOptions& options,
+                          std::string_view engine) {
+  if (c >= key.n) {
+    throw std::invalid_argument("RsaPrivateBlinded: input >= modulus");
+  }
+  const auto eng = core::MakeEngine(engine, key.n);
+  BigUInt input = c;
+  RsaBlindingUnit unit;
+  if (options.blind_base) {
+    unit = MakeRsaBlindingUnit(key.n, rng);
+    input = BlindBaseWith(input, key.e, key.n, *eng, unit);
+  }
+  BigUInt d_eff = key.d;
+  if (options.exponent_blind_bits > 0) {
+    // Exponent randomization needs the group order, i.e. the key's
+    // factorization — RsaLambda rejects keys whose p/q are not the real
+    // factors instead of silently computing a wrong-order blinding.
+    d_eff = BlindExponent(key.d, RsaLambda(key), options.exponent_blind_bits,
+                          rng);
+  }
+  BigUInt m = eng->ModExp(input, d_eff);
+  if (options.blind_base) m = (m * unit.r_inv) % key.n;
+  return m;
+}
+
+BigUInt RsaPrivateCrtBlinded(const RsaKeyPair& key, const BigUInt& c,
+                             bignum::RandomBigUInt& rng,
+                             const RsaBlindingOptions& options,
+                             std::string_view engine) {
+  if (c >= key.n) {
+    throw std::invalid_argument("RsaPrivateCrtBlinded: input >= modulus");
+  }
+  ValidateCrtKey(key, "RsaPrivateCrtBlinded");
+  BigUInt input = c;
+  RsaBlindingUnit unit;
+  if (options.blind_base) {
+    // Blind once mod n, before the CRT split, so *both* half-
+    // exponentiations run on residues of the blinded value.
+    unit = MakeRsaBlindingUnit(key.n, rng);
+    input = BlindBaseWith(input, key.e, key.n,
+                          *core::MakeEngine(engine, key.n), unit);
+  }
+  const BigUInt p1 = key.p - BigUInt{1};
+  const BigUInt q1 = key.q - BigUInt{1};
+  BigUInt sig = CrtExponentiate(
+      key, input, BlindExponent(key.d % p1, p1, options.exponent_blind_bits, rng),
+      BlindExponent(key.d % q1, q1, options.exponent_blind_bits, rng), engine);
+  if (options.blind_base) sig = (sig * unit.r_inv) % key.n;
+  // Fault hygiene checks the released (unblinded) signature against the
+  // original input — a fault anywhere in the blinded pipeline is caught.
+  VerifyCrtResult(key, c, sig, "RsaPrivateCrtBlinded");
+  return sig;
+}
 
 BigUInt RsaPrivateCrt(const RsaKeyPair& key, const BigUInt& c,
                       std::string_view engine) {
   if (c >= key.n) throw std::invalid_argument("RsaPrivateCrt: input >= modulus");
   ValidateCrtKey(key, "RsaPrivateCrt");
-  const BigUInt dp = key.d % (key.p - BigUInt{1});
-  const BigUInt dq = key.d % (key.q - BigUInt{1});
-  const BigUInt mp = core::MakeEngine(engine, key.p)->ModExp(c % key.p, dp);
-  const BigUInt mq = core::MakeEngine(engine, key.q)->ModExp(c % key.q, dq);
-  const BigUInt sig =
-      CrtRecombine(key, BigUInt::ModInverse(key.q % key.p, key.p), mp, mq);
+  const BigUInt sig = CrtExponentiate(key, c, key.d % (key.p - BigUInt{1}),
+                                      key.d % (key.q - BigUInt{1}), engine);
   VerifyCrtResult(key, c, sig, "RsaPrivateCrt");
   return sig;
 }

@@ -14,6 +14,11 @@
 // a result (Bellcore/Lenstra fault hygiene): a fault in either
 // half-exponentiation would otherwise leak a factorisation of n through
 // the broken signature.
+//
+// The blinded private-key paths (RsaBlindingOptions) are the sca lab's
+// countermeasure: base blinding by r^e and/or exponent randomization by
+// k*lambda(n), bit-identical to the unblinded paths and validated at gate
+// level in tests/test_sca_attack.cpp (CPA collapses to chance).
 #pragma once
 
 #include <cstdint>
@@ -50,6 +55,67 @@ bignum::BigUInt RsaPublic(const RsaKeyPair& key, const bignum::BigUInt& m,
 /// c^d mod n, straightforward private-key operation.
 bignum::BigUInt RsaPrivate(const RsaKeyPair& key, const bignum::BigUInt& c,
                            std::string_view engine = "word-mont");
+
+/// Side-channel blinding for the private-key paths (the countermeasure
+/// the sca lab's CPA engine validates: blinded executions degrade the
+/// attack to chance while the outputs stay bit-identical).
+struct RsaBlindingOptions {
+  /// Multiplicative base blinding: the exponentiation runs on
+  /// c * r^e mod n for a fresh unit r per call and the result is
+  /// unblinded with r^-1 — the device never exponentiates a value the
+  /// attacker can predict intermediates from.
+  bool blind_base = true;
+  /// Exponent randomization: adds k * lambda(n) (plain path) or
+  /// k * (p-1) / k * (q-1) (CRT halves) with a fresh k of this many bits
+  /// per call, randomizing the square/multiply schedule.  0 disables it.
+  std::size_t exponent_blind_bits = 0;
+};
+
+/// A multiplicative blinding unit r (1 < r < n, gcd(r, n) = 1) and its
+/// inverse mod n — the randomness behind base blinding.  Exposed so the
+/// sca lab's benches and tests blind executions over arbitrary moduli
+/// with the same rejection rule the RSA paths use.
+struct RsaBlindingUnit {
+  bignum::BigUInt r;
+  bignum::BigUInt r_inv;
+};
+RsaBlindingUnit MakeRsaBlindingUnit(const bignum::BigUInt& n,
+                                    bignum::RandomBigUInt& rng);
+
+/// The base-blinding step on its own: c * r^e mod n for a fresh unit r —
+/// exactly what the blinded private-key paths feed their exponentiation.
+/// Exposed so the sca lab's captures trace the production blinding step
+/// rather than a re-implementation.  (The unit is discarded: capture-side
+/// callers never unblind.)
+bignum::BigUInt BlindRsaBase(const bignum::BigUInt& c,
+                             const bignum::BigUInt& e,
+                             const bignum::BigUInt& n,
+                             bignum::RandomBigUInt& rng);
+
+/// Carmichael lambda(n) = lcm(p-1, q-1), the exponent-blinding group
+/// order.  Throws std::invalid_argument unless key.p * key.q == key.n.
+bignum::BigUInt RsaLambda(const RsaKeyPair& key);
+
+/// Blinded c^d mod n: bit-identical to RsaPrivate for every input, with
+/// the intermediate values (and optionally the operation schedule)
+/// decorrelated from c.  `rng` supplies the blinding randomness (callers
+/// seed it; all repo randomness is deterministic by seed).
+bignum::BigUInt RsaPrivateBlinded(const RsaKeyPair& key,
+                                  const bignum::BigUInt& c,
+                                  bignum::RandomBigUInt& rng,
+                                  const RsaBlindingOptions& options = {},
+                                  std::string_view engine = "word-mont");
+
+/// Blinded CRT private-key operation: base blinding is applied mod n
+/// before the halves split (so both half-exponentiations run on blinded
+/// residues), exponent blinding per CRT half, recombination unblinds, and
+/// the Bellcore/Lenstra sig^e check runs against the *original* input
+/// before release.  Bit-identical to RsaPrivateCrt.
+bignum::BigUInt RsaPrivateCrtBlinded(const RsaKeyPair& key,
+                                     const bignum::BigUInt& c,
+                                     bignum::RandomBigUInt& rng,
+                                     const RsaBlindingOptions& options = {},
+                                     std::string_view engine = "word-mont");
 
 /// c^d mod n using the CRT (two half-size exponentiations, ~4x faster).
 /// Throws std::invalid_argument for malformed CRT keys (p == q, or

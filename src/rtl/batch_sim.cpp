@@ -146,6 +146,64 @@ void BatchSimulator::Tick() {
     Settle();
   }
   ++cycles_;
+  if (toggle_capture_) AccumulateToggles();
+}
+
+void BatchSimulator::EnableToggleCapture(std::span<const NetId> nets) {
+  toggle_nets_.clear();
+  if (nets.empty()) {
+    toggle_nets_.reserve(compiled_.NetCount());
+    for (NetId id = 0; id < compiled_.NetCount(); ++id) {
+      toggle_nets_.push_back(id);
+    }
+  } else {
+    for (const NetId id : nets) {
+      if (!compiled_.ValidNet(id)) {
+        throw std::out_of_range(
+            "BatchSimulator::EnableToggleCapture: unknown net");
+      }
+    }
+    toggle_nets_.assign(nets.begin(), nets.end());
+  }
+  toggle_prev_.resize(toggle_nets_.size());
+  for (std::size_t i = 0; i < toggle_nets_.size(); ++i) {
+    toggle_prev_[i] = words_[toggle_nets_[i]];
+  }
+  toggle_counts_.fill(0);
+  toggle_capture_ = true;
+}
+
+void BatchSimulator::DisableToggleCapture() {
+  toggle_capture_ = false;
+  toggle_nets_.clear();
+  toggle_prev_.clear();
+  toggle_counts_.fill(0);
+}
+
+void BatchSimulator::AccumulateToggles() {
+  // Vertical (bit-sliced) counters: plane p holds bit p of every lane's
+  // running count, so one XOR word updates all 64 lane counts in the few
+  // word ops its ripple carry needs.  32 planes cover any NetId count.
+  constexpr std::size_t kPlanes = 32;
+  std::uint64_t planes[kPlanes] = {};
+  const std::size_t n = toggle_nets_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t current = words_[toggle_nets_[i]];
+    std::uint64_t carry = current ^ toggle_prev_[i];
+    toggle_prev_[i] = current;
+    for (std::size_t p = 0; carry != 0 && p < kPlanes; ++p) {
+      const std::uint64_t next = planes[p] & carry;
+      planes[p] ^= carry;
+      carry = next;
+    }
+  }
+  for (std::size_t lane = 0; lane < kLanes; ++lane) {
+    std::uint32_t count = 0;
+    for (std::size_t p = 0; p < kPlanes; ++p) {
+      count |= static_cast<std::uint32_t>((planes[p] >> lane) & 1u) << p;
+    }
+    toggle_counts_[lane] = count;
+  }
 }
 
 void BatchSimulator::Run(std::size_t n) {

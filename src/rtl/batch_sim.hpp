@@ -20,9 +20,11 @@
 // are stable even under invert faults.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <map>
+#include <span>
 #include <vector>
 
 #include "bignum/biguint.hpp"
@@ -87,6 +89,28 @@ class BatchSimulator {
   bignum::BigUInt PeekWide(const std::vector<NetId>& nets,
                            std::size_t lane) const;
 
+  // -- toggle accounting (power-trace capture hook) ---------------------------
+  //
+  // The side-channel lab's power model is CMOS switching activity: one
+  // sample per clock cycle counting the nets whose value changed on that
+  // edge, independently for each of the 64 lanes.  The accumulation is
+  // bit-sliced (vertical counters): adding one net's 64-lane XOR word
+  // costs O(carry depth) word ops instead of 64 popcounts, so capture
+  // stays a small constant factor on top of plain simulation.
+
+  /// Enables per-cycle toggle accounting over `nets` (empty = every net of
+  /// the circuit).  The snapshot taken here is the baseline the next
+  /// Tick()'s counts are measured against.  Throws std::out_of_range for
+  /// an unknown net.
+  void EnableToggleCapture(std::span<const NetId> nets = {});
+  void DisableToggleCapture();
+  bool ToggleCaptureEnabled() const { return toggle_capture_; }
+  /// Per-lane count of tracked nets that changed across the most recent
+  /// Tick() (all zeros before the first Tick() after enabling).
+  const std::array<std::uint32_t, kLanes>& ToggleCounts() const {
+    return toggle_counts_;
+  }
+
   // -- fault injection --------------------------------------------------------
 
   /// One fault of a bulk injection: `type` forced onto `net` on the lanes
@@ -131,6 +155,8 @@ class BatchSimulator {
   }
   static void CheckLane(std::size_t lane);
   void Init();
+  /// Folds this Tick's net changes into toggle_counts_ (capture enabled).
+  void AccumulateToggles();
   /// Un-faulted value of a source net (== words_[net] when not faulted).
   std::uint64_t RawOf(NetId net) const;
   /// Re-derives the evaluation-phase fault tables from faults_.
@@ -144,6 +170,13 @@ class BatchSimulator {
   std::vector<std::uint64_t> next_state_;
   std::uint64_t cycles_ = 0;
   bool dirty_ = true;
+
+  /// Toggle accounting: tracked nets, their previous post-Tick values, and
+  /// the per-lane counts of the most recent Tick.
+  bool toggle_capture_ = false;
+  std::vector<NetId> toggle_nets_;
+  std::vector<std::uint64_t> toggle_prev_;
+  std::array<std::uint32_t, kLanes> toggle_counts_{};
 
   /// Authoritative sparse fault store (ordered => deterministic tables).
   std::map<NetId, FaultMasks> faults_;

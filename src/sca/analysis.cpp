@@ -2,12 +2,36 @@
 
 #include <cmath>
 
+#include "sca/trace.hpp"
+
 namespace mont::sca {
 
 using bignum::BigUInt;
 
 std::vector<std::uint32_t> PowerTrace(core::Mmmc& circuit, const BigUInt& x,
                                       const BigUInt& y) {
+  // Routed through the gate-level lab: capture the multiplication on the
+  // generated netlist and report the datapath-register toggle counts.
+  CaptureOptions options;
+  options.datapath_only = true;
+  options.field = circuit.Mode();
+  GateLevelCapture capture(circuit.Modulus(), options);
+  const std::vector<BigUInt> xs{x};
+  const std::vector<BigUInt> ys{y};
+  const TraceSet set = capture.CaptureMultiplications(xs, ys);
+  // Drop the load-edge sample: the legacy proxy's 3l+3 samples start at
+  // the first compute cycle.
+  std::vector<std::uint32_t> trace;
+  trace.reserve(set.Samples() - 1);
+  for (std::size_t s = 1; s < set.Samples(); ++s) {
+    trace.push_back(static_cast<std::uint32_t>(set.At(0, s)));
+  }
+  return trace;
+}
+
+std::vector<std::uint32_t> ModelRegisterTrace(core::Mmmc& circuit,
+                                              const BigUInt& x,
+                                              const BigUInt& y) {
   const auto snapshot = [&] {
     std::vector<std::uint8_t> state;
     const auto& t = circuit.TBits();
@@ -53,6 +77,29 @@ SampleStats Summarize(std::span<const double> samples) {
     stats.variance = ss / static_cast<double>(samples.size() - 1);
   }
   return stats;
+}
+
+double PearsonCorrelation(std::span<const double> a,
+                          std::span<const double> b) {
+  const std::size_t n = a.size();
+  if (n != b.size() || n < 2) return 0;
+  double mean_a = 0, mean_b = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    mean_a += a[i];
+    mean_b += b[i];
+  }
+  mean_a /= static_cast<double>(n);
+  mean_b /= static_cast<double>(n);
+  double cov = 0, var_a = 0, var_b = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double da = a[i] - mean_a;
+    const double db = b[i] - mean_b;
+    cov += da * db;
+    var_a += da * da;
+    var_b += db * db;
+  }
+  if (var_a <= 0 || var_b <= 0) return 0;
+  return cov / std::sqrt(var_a * var_b);
 }
 
 double WelchT(std::span<const double> a, std::span<const double> b) {

@@ -10,12 +10,20 @@
 //    one bit (T >= N?) per multiplication through the cycle count, while
 //    Algorithm 2 / the MMMC run in exactly 3l+4 cycles for every input.
 //
-//  * PowerTrace — a Hamming-distance power proxy over the MMMC's datapath
-//    registers (the standard CMOS switching model), one sample per clock
-//    cycle, enabling TVLA-style fixed-vs-random comparisons.
+//  * PowerTrace — the datapath power proxy, one sample per clock cycle,
+//    enabling TVLA-style fixed-vs-random comparisons.  Since the
+//    side-channel lab landed this is *measured at gate level*: the legacy
+//    signature is routed through sca/trace.hpp's GateLevelCapture, so the
+//    samples are real netlist register toggles, not the former 3-register
+//    software proxy.  (ModelRegisterTrace keeps the software
+//    Hamming-distance replay available — it is the CPA engine's
+//    kHammingDistanceStates leakage predictor.)
 //
 //  * WelchT — the standard leakage-assessment statistic between two trace
 //    populations.
+//
+// Trace capture, the TraceSet store, and the CPA/DPA attack engine live
+// in sca/trace.hpp and sca/attack.hpp.
 #pragma once
 
 #include <cstdint>
@@ -28,12 +36,25 @@
 
 namespace mont::sca {
 
-/// One power sample per clock cycle: the number of datapath register bits
-/// (T, C0, C1) that toggled on that edge, i.e. the Hamming distance of
-/// consecutive states.  Runs a complete multiplication on `circuit`.
+/// One power sample per clock cycle of a complete multiplication: the
+/// number of datapath register bits (the T/C0/C1 probe registers of the
+/// generated netlist) that toggled on that edge.  Legacy proxy signature,
+/// now measured on the gate-level circuit for `circuit`'s modulus and
+/// field via GateLevelCapture (3l+3 samples — the load edge is excluded,
+/// as the behavioural proxy always did).  Builds a netlist per call; hot
+/// loops should hold a GateLevelCapture (sca/trace.hpp) instead.
 std::vector<std::uint32_t> PowerTrace(core::Mmmc& circuit,
                                       const bignum::BigUInt& x,
                                       const bignum::BigUInt& y);
+
+/// The software Hamming-distance replay over the behavioural model's
+/// T/C0/C1 registers (the former PowerTrace implementation): one
+/// predicted sample per compute cycle, 3l+3 of them.  This is the
+/// cycle-accurate leakage *predictor* behind the CPA engine's
+/// kHammingDistanceStates hypothesis (sca/attack.hpp).
+std::vector<std::uint32_t> ModelRegisterTrace(core::Mmmc& circuit,
+                                              const bignum::BigUInt& x,
+                                              const bignum::BigUInt& y);
 
 /// Mean/variance summary of a trace (or of per-trace aggregates).
 struct SampleStats {
@@ -46,6 +67,12 @@ SampleStats Summarize(std::span<const double> samples);
 /// Welch's t-statistic between two sample populations.  |t| > 4.5 is the
 /// conventional TVLA threshold for "leakage detected".
 double WelchT(std::span<const double> a, std::span<const double> b);
+
+/// Pearson correlation coefficient between two equal-length series — the
+/// CPA statistic and the trace-alignment objective.  Returns 0 for
+/// degenerate inputs (fewer than two points, or either side constant).
+double PearsonCorrelation(std::span<const double> a,
+                          std::span<const double> b);
 
 /// Timing behaviour of the two algorithms per multiplication.
 class TimingOracle {

@@ -1,0 +1,232 @@
+#include "sca/attack.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/mmmc.hpp"
+#include "sca/analysis.hpp"
+
+namespace mont::sca {
+
+using bignum::BigUInt;
+
+const char* LeakageName(Leakage leakage) {
+  switch (leakage) {
+    case Leakage::kHammingWeightOutput: return "hw-output";
+    case Leakage::kHammingDistanceStates: return "hd-states";
+  }
+  return "?";
+}
+
+const char* DistinguisherName(Distinguisher distinguisher) {
+  switch (distinguisher) {
+    case Distinguisher::kPearsonCpa: return "pearson-cpa";
+    case Distinguisher::kDifferenceOfMeans: return "difference-of-means";
+  }
+  return "?";
+}
+
+std::size_t AttackResult::CorrectBits(const BigUInt& truth) const {
+  std::size_t correct = 0;
+  for (const BitResult& bit : bits) {
+    if (truth.Bit(bit.bit_index) == bit.guess) ++correct;
+  }
+  return correct;
+}
+
+double AttackResult::RecoveredFraction(const BigUInt& truth) const {
+  if (bits.empty()) return 1.0;
+  return static_cast<double>(CorrectBits(truth)) /
+         static_cast<double>(bits.size());
+}
+
+namespace {
+
+/// |Pearson| of hypothesis vs one trace column; 0 when either side is
+/// constant (e.g. control-only cycles).
+double AbsCorrelation(std::span<const double> h, std::span<const double> t) {
+  return std::abs(PearsonCorrelation(h, t));
+}
+
+double Median(std::vector<double> values) {
+  std::sort(values.begin(), values.end());
+  const std::size_t n = values.size();
+  if (n == 0) return 0;
+  return n % 2 == 1 ? values[n / 2]
+                    : 0.5 * (values[n / 2 - 1] + values[n / 2]);
+}
+
+}  // namespace
+
+CpaAttack::CpaAttack(BigUInt modulus, AttackOptions options)
+    : options_(options), ctx_(std::move(modulus)) {}
+
+double CpaAttack::ScoreWindow(
+    const TraceSet& traces, const std::vector<std::vector<double>>& hypotheses,
+    std::size_t window_start) const {
+  const std::size_t window = 3 * ctx_.l() + 4;
+  if (window_start + window > traces.Samples()) return 0;  // beyond the trace
+  const std::size_t n = traces.Count();
+  std::vector<double> column;
+  if (options_.distinguisher == Distinguisher::kDifferenceOfMeans) {
+    // DPA: partition traces by the hypothesis (reduced to a scalar) above
+    // vs below its median; peak |Welch t| over the window distinguishes.
+    std::vector<double> selector(n, 0);
+    for (std::size_t j = 0; j < n; ++j) {
+      for (const double v : hypotheses[j]) selector[j] += v;
+    }
+    const double median = Median(selector);
+    double best = 0;
+    std::vector<double> high, low;
+    for (std::size_t s = window_start; s < window_start + window; ++s) {
+      traces.Column(s, column);
+      high.clear();
+      low.clear();
+      for (std::size_t j = 0; j < n; ++j) {
+        (selector[j] > median ? high : low).push_back(column[j]);
+      }
+      best = std::max(best, std::abs(WelchT(high, low)));
+    }
+    return best;
+  }
+  // CPA: peak |Pearson| over the window.  A scalar hypothesis correlates
+  // against every column; a per-cycle hypothesis (length 3l+3, predicted
+  // for the cycles after the load edge) correlates column-for-column.
+  double best = 0;
+  if (hypotheses.empty()) return 0;
+  if (hypotheses[0].size() == 1) {
+    std::vector<double> h(n);
+    for (std::size_t j = 0; j < n; ++j) h[j] = hypotheses[j][0];
+    // The predicted output's strongest signatures: per-cycle columns of
+    // its producing MMM, that window's total switching energy, and the
+    // load edge one sample past the window (where the predicted value is
+    // written into the next MMM's operand registers).
+    std::vector<double> energy(n, 0);
+    const std::size_t stop = std::min(window_start + window + 1,
+                                      traces.Samples());
+    for (std::size_t s = window_start; s < stop; ++s) {
+      traces.Column(s, column);
+      best = std::max(best, AbsCorrelation(h, column));
+      for (std::size_t j = 0; j < n; ++j) energy[j] += column[j];
+    }
+    best = std::max(best, AbsCorrelation(h, energy));
+    return best;
+  }
+  const std::size_t cycles = hypotheses[0].size();
+  std::vector<double> h(n);
+  for (std::size_t k = 0; k < cycles; ++k) {
+    const std::size_t s = window_start + 1 + k;  // +1 skips the load edge
+    if (s >= window_start + window) break;
+    for (std::size_t j = 0; j < n; ++j) h[j] = hypotheses[j][k];
+    traces.Column(s, column);
+    best = std::max(best, AbsCorrelation(h, column));
+  }
+  return best;
+}
+
+AttackResult CpaAttack::Recover(const TraceSet& traces,
+                                std::span<const BigUInt> bases,
+                                std::size_t exponent_bits) const {
+  if (traces.Count() != bases.size()) {
+    throw std::invalid_argument("CpaAttack::Recover: one base per trace");
+  }
+  if (exponent_bits < 2) {
+    throw std::invalid_argument("CpaAttack::Recover: exponent_bits < 2");
+  }
+  if (traces.Count() < 2) {
+    throw std::invalid_argument("CpaAttack::Recover: need >= 2 traces");
+  }
+  const std::size_t n = traces.Count();
+  // Replay state: the attacker runs the same Algorithm-2 arithmetic the
+  // device runs, starting from the known bases.
+  std::vector<BigUInt> m_mont(n), a(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    m_mont[j] = ctx_.MultiplyAlg2(bases[j] % ctx_.Modulus(),
+                                  ctx_.RSquaredModN());
+    a[j] = m_mont[j];
+  }
+  std::size_t mmms_done = 1;  // the pre-computation MMM
+  core::Mmmc model(ctx_.Modulus());  // the state-HD predictor's replay core
+
+  AttackResult result;
+  result.recovered = BigUInt{0};
+  result.recovered.SetBit(exponent_bits - 1, true);
+  const std::size_t targeted =
+      options_.bits_to_recover == 0
+          ? exponent_bits - 1
+          : std::min(options_.bits_to_recover, exponent_bits - 1);
+
+  std::vector<std::vector<double>> hypotheses(n);
+  std::vector<BigUInt> squared(n), v(n);
+  const BigUInt one{1};
+  for (std::size_t idx = 0; idx < targeted; ++idx) {
+    const std::size_t bit_pos = exponent_bits - 2 - idx;
+    for (std::size_t j = 0; j < n; ++j) {
+      squared[j] = ctx_.MultiplyAlg2(a[j], a[j]);
+    }
+    double score[2] = {0, 0};
+    for (int guess = 0; guess < 2; ++guess) {
+      // Accumulator entering the next MMM under this guess, and that next
+      // MMM's operands (a squaring, or the post-processing Mont(A, 1)
+      // when this was the last exponent bit).
+      for (std::size_t j = 0; j < n; ++j) {
+        v[j] = guess == 1 ? ctx_.MultiplyAlg2(squared[j], m_mont[j])
+                          : squared[j];
+      }
+      const bool next_is_post = bit_pos == 0;
+      for (std::size_t j = 0; j < n; ++j) {
+        const BigUInt& x = v[j];
+        const BigUInt& y = next_is_post ? one : v[j];
+        if (options_.leakage == Leakage::kHammingWeightOutput) {
+          hypotheses[j] = {
+              static_cast<double>(ctx_.MultiplyAlg2(x, y).PopCount())};
+        } else {
+          const auto predicted = ModelRegisterTrace(model, x, y);
+          hypotheses[j].assign(predicted.begin(), predicted.end());
+        }
+      }
+      const std::size_t window_start =
+          (mmms_done + 1 + static_cast<std::size_t>(guess)) *
+          (3 * ctx_.l() + 4);
+      score[guess] = ScoreWindow(traces, hypotheses, window_start);
+    }
+    BitResult bit;
+    bit.bit_index = bit_pos;
+    bit.score_zero = score[0];
+    bit.score_one = score[1];
+    bit.guess = score[1] > score[0];
+    const double total = score[0] + score[1];
+    bit.confidence =
+        total > 0 ? std::max(score[0], score[1]) / total : 0.5;
+    result.bits.push_back(bit);
+    result.recovered.SetBit(bit_pos, bit.guess);
+    // Commit the replay to the chosen branch.  The guess loop's last
+    // iteration (guess 1) left Mont(squared, m_mont) in v, so no
+    // recomputation is needed either way.
+    for (std::size_t j = 0; j < n; ++j) {
+      a[j] = bit.guess ? std::move(v[j]) : std::move(squared[j]);
+    }
+    mmms_done += 1 + static_cast<std::size_t>(bit.guess);
+  }
+  return result;
+}
+
+std::size_t CpaAttack::MeasurementsToDisclosure(
+    const TraceSet& traces, std::span<const BigUInt> bases,
+    const BigUInt& truth, double fraction, std::size_t step) const {
+  if (step == 0) step = 1;
+  for (std::size_t budget = std::min(step, traces.Count());;
+       budget += step) {
+    budget = std::min(budget, traces.Count());
+    if (budget >= 2) {
+      const AttackResult result =
+          Recover(traces.Head(budget), bases.first(budget), truth.BitLength());
+      if (result.RecoveredFraction(truth) >= fraction) return budget;
+    }
+    if (budget == traces.Count()) break;
+  }
+  return 0;
+}
+
+}  // namespace mont::sca

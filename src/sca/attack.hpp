@@ -1,0 +1,121 @@
+// attack.hpp — the CPA/DPA attack engine of the side-channel lab.
+//
+// Target: the §4.5 left-to-right square-and-multiply modular
+// exponentiation running on the MMMC, as captured at gate level by
+// sca/trace.hpp (GateLevelCapture::CaptureModExps).  The attacker knows
+// the modulus, the per-trace bases, and the exponent bit length; the
+// secret is the exponent (an RSA private key d in the paper's
+// application).
+//
+// The attack recovers exponent bits MSB-first.  For bit i, with the
+// already-recovered prefix fixed, each guess g predicts the accumulator
+// value that enters the *next* multiplication, replays that multiplication
+// through a software model, and correlates the predicted leakage with the
+// trace samples in the guess's own next-MMM window:
+//
+//  * Leakage::kHammingWeightOutput — h_j = HW(predicted MMM output), the
+//    classic single-point CPA hypothesis;
+//  * Leakage::kHammingDistanceStates — per-cycle Hamming distance of the
+//    predicted MMMC datapath registers (the cycle-accurate core::Mmmc
+//    replay, Eq. 4–9), a multi-sample template-strength hypothesis.
+//
+// Distinguishers: Pearson correlation (CPA) or a difference-of-means
+// partition on the hypothesis (DPA), both scored as the peak statistic
+// over the window.  Because wrong guesses predict values the device never
+// computes, their statistics collapse; per-bit confidence is the score
+// margin.  MeasurementsToDisclosure() reports the smallest trace budget
+// that reaches a target recovery fraction — the lab's headline metric for
+// countermeasure closure (blinding pushes it beyond any budget).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "bignum/biguint.hpp"
+#include "bignum/montgomery.hpp"
+#include "sca/trace.hpp"
+
+namespace mont::sca {
+
+/// Pluggable leakage hypothesis (what the attacker predicts per trace).
+enum class Leakage : std::uint8_t {
+  kHammingWeightOutput,
+  kHammingDistanceStates,
+};
+const char* LeakageName(Leakage leakage);
+
+/// Statistic comparing hypothesis and measurement.
+enum class Distinguisher : std::uint8_t {
+  kPearsonCpa,
+  kDifferenceOfMeans,
+};
+const char* DistinguisherName(Distinguisher distinguisher);
+
+struct AttackOptions {
+  Leakage leakage = Leakage::kHammingDistanceStates;
+  Distinguisher distinguisher = Distinguisher::kPearsonCpa;
+  /// Exponent bits to recover below the (implicit, always-1) MSB;
+  /// 0 = all of them.
+  std::size_t bits_to_recover = 0;
+};
+
+/// One recovered exponent bit.
+struct BitResult {
+  std::size_t bit_index = 0;  ///< exponent bit position (MSB-1 downward)
+  bool guess = false;         ///< recovered value
+  double score_zero = 0;      ///< distinguisher peak under guess 0
+  double score_one = 0;       ///< distinguisher peak under guess 1
+  /// best/(best+other) in [0.5, 1]; 0.5 = no evidence either way.
+  double confidence = 0.5;
+};
+
+struct AttackResult {
+  std::vector<BitResult> bits;  ///< in recovery order (MSB-1 downward)
+  bignum::BigUInt recovered;    ///< assembled exponent (MSB set, guessed
+                                ///< bits below; untargeted bits zero)
+  /// Bits of `truth` (over the targeted positions) the attack got right.
+  std::size_t CorrectBits(const bignum::BigUInt& truth) const;
+  /// CorrectBits as a fraction of the targeted bits (1.0 when none).
+  double RecoveredFraction(const bignum::BigUInt& truth) const;
+};
+
+/// CPA/DPA engine over traces of base^exponent mod N executions captured
+/// by GateLevelCapture::CaptureModExps (R = 2^(l+2) Algorithm-2 MMMs,
+/// 3l+4 samples per MMM).
+class CpaAttack {
+ public:
+  explicit CpaAttack(bignum::BigUInt modulus, AttackOptions options = {});
+
+  const AttackOptions& Options() const { return options_; }
+  std::size_t l() const { return ctx_.l(); }
+
+  /// Recovers the exponent from `traces` (trace j was captured with base
+  /// bases[j]; exponent_bits is the known secret bit length).  Throws
+  /// std::invalid_argument on size mismatch or exponent_bits < 2.
+  AttackResult Recover(const TraceSet& traces,
+                       std::span<const bignum::BigUInt> bases,
+                       std::size_t exponent_bits) const;
+
+  /// Smallest prefix of `traces` whose attack recovers at least
+  /// `fraction` of the targeted bits of `truth`, stepping the budget by
+  /// `step` traces; 0 when even the full set fails.
+  std::size_t MeasurementsToDisclosure(const TraceSet& traces,
+                                       std::span<const bignum::BigUInt> bases,
+                                       const bignum::BigUInt& truth,
+                                       double fraction = 1.0,
+                                       std::size_t step = 8) const;
+
+ private:
+  /// Distinguisher peak for one guess: hypotheses per trace (scalar or
+  /// per-cycle vector) against the window starting at `window_start`.
+  double ScoreWindow(const TraceSet& traces,
+                     const std::vector<std::vector<double>>& hypotheses,
+                     std::size_t window_start) const;
+
+  AttackOptions options_;
+  bignum::BitSerialMontgomery ctx_;
+};
+
+}  // namespace mont::sca

@@ -1,0 +1,319 @@
+#include "sca/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "bignum/gf2.hpp"
+#include "core/sim_drivers.hpp"
+#include "sca/analysis.hpp"
+
+namespace mont::sca {
+
+using bignum::BigUInt;
+
+// ---------------------------------------------------------------------------
+// TraceSet
+// ---------------------------------------------------------------------------
+
+void TraceSet::Append(std::span<const double> trace) {
+  if (count_ == 0) {
+    samples_ = trace.size();
+  } else if (trace.size() != samples_) {
+    throw std::invalid_argument("TraceSet::Append: sample-count mismatch");
+  }
+  data_.insert(data_.end(), trace.begin(), trace.end());
+  ++count_;
+}
+
+void TraceSet::Column(std::size_t sample, std::vector<double>& out) const {
+  if (sample >= samples_) {
+    throw std::out_of_range("TraceSet::Column: sample out of range");
+  }
+  out.resize(count_);
+  for (std::size_t i = 0; i < count_; ++i) out[i] = At(i, sample);
+}
+
+TraceSet TraceSet::Head(std::size_t count) const {
+  if (count > count_) {
+    throw std::out_of_range("TraceSet::Head: count exceeds trace count");
+  }
+  TraceSet out;
+  for (std::size_t i = 0; i < count; ++i) out.Append(Trace(i));
+  return out;
+}
+
+std::vector<double> TraceSet::MeanTrace() const {
+  std::vector<double> mean(samples_, 0.0);
+  if (count_ == 0) return mean;
+  for (std::size_t i = 0; i < count_; ++i) {
+    for (std::size_t j = 0; j < samples_; ++j) mean[j] += At(i, j);
+  }
+  for (double& v : mean) v /= static_cast<double>(count_);
+  return mean;
+}
+
+double TraceSet::TraceEnergy(std::size_t trace) const {
+  double sum = 0;
+  for (const double v : Trace(trace)) sum += v;
+  return sum;
+}
+
+double GaussianSample(bignum::Xoshiro256& rng) {
+  // Box–Muller on two uniforms in (0, 1]; 2^-64 offsets keep log() finite.
+  const double u1 =
+      (static_cast<double>(rng.Next() >> 11) + 1.0) / 9007199254740993.0;
+  const double u2 =
+      static_cast<double>(rng.Next() >> 11) / 9007199254740992.0;
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * 3.14159265358979323846 * u2);
+}
+
+void TraceSet::AddGaussianNoise(double sigma, bignum::Xoshiro256& rng) {
+  if (sigma <= 0) return;
+  for (double& v : data_) v += sigma * GaussianSample(rng);
+}
+
+void TraceSet::AddGaussianNoise(double sigma, std::uint64_t seed) {
+  bignum::Xoshiro256 rng(seed);
+  AddGaussianNoise(sigma, rng);
+}
+
+TraceSet TraceSet::Compress(std::size_t factor) const {
+  if (factor == 0) {
+    throw std::invalid_argument("TraceSet::Compress: factor must be >= 1");
+  }
+  TraceSet out;
+  std::vector<double> row;
+  for (std::size_t i = 0; i < count_; ++i) {
+    row.clear();
+    for (std::size_t j = 0; j < samples_; j += factor) {
+      double sum = 0;
+      for (std::size_t k = j; k < std::min(j + factor, samples_); ++k) {
+        sum += At(i, k);
+      }
+      row.push_back(sum);
+    }
+    out.Append(row);
+  }
+  return out;
+}
+
+TraceSet TraceSet::AlignTo(std::span<const double> reference,
+                           std::size_t max_shift) const {
+  if (reference.size() != samples_) {
+    throw std::invalid_argument("TraceSet::AlignTo: reference length mismatch");
+  }
+  TraceSet out;
+  std::vector<double> shifted(samples_);
+  std::vector<double> best(samples_);
+  const auto shift_index = [this](std::ptrdiff_t i) {
+    // Edge-padded source index.
+    if (i < 0) return std::size_t{0};
+    if (static_cast<std::size_t>(i) >= samples_) return samples_ - 1;
+    return static_cast<std::size_t>(i);
+  };
+  for (std::size_t t = 0; t < count_; ++t) {
+    double best_corr = -2;
+    const std::span<const double> trace = Trace(t);
+    for (std::ptrdiff_t s = -static_cast<std::ptrdiff_t>(max_shift);
+         s <= static_cast<std::ptrdiff_t>(max_shift); ++s) {
+      for (std::size_t j = 0; j < samples_; ++j) {
+        shifted[j] = trace[shift_index(static_cast<std::ptrdiff_t>(j) + s)];
+      }
+      const double corr = PearsonCorrelation(reference, shifted);
+      if (corr > best_corr) {
+        best_corr = corr;
+        best = shifted;
+      }
+    }
+    out.Append(best);
+  }
+  return out;
+}
+
+double WelchTPeak(const TraceSet& a, const TraceSet& b) {
+  if (a.Samples() != b.Samples()) {
+    throw std::invalid_argument("WelchTPeak: sample-count mismatch");
+  }
+  double peak = 0;
+  std::vector<double> column_a, column_b;
+  for (std::size_t s = 0; s < a.Samples(); ++s) {
+    a.Column(s, column_a);
+    b.Column(s, column_b);
+    peak = std::max(peak, std::abs(WelchT(column_a, column_b)));
+  }
+  return peak;
+}
+
+// ---------------------------------------------------------------------------
+// GateLevelCapture
+// ---------------------------------------------------------------------------
+
+GateLevelCapture::GateLevelCapture(BigUInt modulus,
+                                   const CaptureOptions& options)
+    : options_(options),
+      modulus_(std::move(modulus)),
+      gen_(core::BuildMmmcNetlist(
+          options.field == core::FieldMode::kGf2
+              ? bignum::gf2::Degree(modulus_)
+              : modulus_.BitLength(),
+          /*dual_field=*/options.field == core::FieldMode::kGf2)),
+      sim_(std::make_unique<rtl::BatchSimulator>(*gen_.netlist)),
+      ctx_(modulus_),
+      noise_rng_(options.noise_seed) {
+  // BitSerialMontgomery's constructor has already rejected even or trivial
+  // moduli (a GF(2^m) polynomial with f(0) = 1 is odd, so it passes too);
+  // the netlist generator rejects l < 2.
+  core::DriveBusAllLanes(*sim_, gen_.n_in, modulus_);
+  if (gen_.fsel != rtl::kNoNet) {
+    sim_->SetInputAll(gen_.fsel, options_.field == core::FieldMode::kGfP);
+  }
+  sim_->SetInputAll(gen_.start, false);
+  sim_->Settle();
+  if (options_.datapath_only) {
+    std::vector<rtl::NetId> tracked;
+    for (const rtl::Bus* bus : {&gen_.t_probe, &gen_.c0_probe, &gen_.c1_probe}) {
+      tracked.insert(tracked.end(), bus->begin(), bus->end());
+    }
+    tracked_net_count_ = tracked.size();
+    sim_->EnableToggleCapture(tracked);
+  } else {
+    tracked_net_count_ = gen_.netlist->NodeCount();
+    sim_->EnableToggleCapture();
+  }
+}
+
+BigUInt GateLevelCapture::LaneResult(std::size_t lane) const {
+  return sim_->PeekWide(gen_.result, lane);
+}
+
+void GateLevelCapture::RunOneMmm(const std::vector<BigUInt>& xs,
+                                 const std::vector<BigUInt>& ys,
+                                 std::vector<std::vector<double>>& rows) {
+  // Present operand pair k on lane k (idle lanes multiply 0 by 0).
+  for (std::size_t i = 0; i < gen_.x_in.size(); ++i) {
+    std::uint64_t wx = 0, wy = 0;
+    for (std::size_t lane = 0; lane < xs.size(); ++lane) {
+      if (xs[lane].Bit(i)) wx |= std::uint64_t{1} << lane;
+      if (ys[lane].Bit(i)) wy |= std::uint64_t{1} << lane;
+    }
+    sim_->SetInput(gen_.x_in[i], wx);
+    sim_->SetInput(gen_.y_in[i], wy);
+  }
+  const auto record = [&] {
+    const auto& counts = sim_->ToggleCounts();
+    for (std::size_t lane = 0; lane < rows.size(); ++lane) {
+      rows[lane].push_back(static_cast<double>(counts[lane]));
+    }
+  };
+  sim_->SetInputAll(gen_.start, true);
+  sim_->Tick();  // START edge: operand load — sample 0 of this MMM
+  record();
+  sim_->SetInputAll(gen_.start, false);
+  const std::size_t budget = 8 * (gen_.l + 4);
+  std::size_t cycles = 1;
+  while (sim_->Peek(gen_.done) != rtl::BatchSimulator::kAllLanes) {
+    if (cycles >= budget) {
+      throw std::runtime_error("GateLevelCapture: DONE never arrived");
+    }
+    sim_->Tick();
+    record();
+    ++cycles;
+  }
+  // Drain OUT -> IDLE so the next START is sampled from IDLE.  The drain
+  // edge is control-only housekeeping between multiplications and is not
+  // part of any MMM's 3l+4-sample window.
+  sim_->Tick();
+}
+
+void GateLevelCapture::ApplyNoise(TraceSet& set) {
+  set.AddGaussianNoise(options_.noise_sigma, noise_rng_);
+}
+
+TraceSet GateLevelCapture::CaptureMultiplications(
+    std::span<const BigUInt> xs, std::span<const BigUInt> ys) {
+  if (xs.size() != ys.size()) {
+    throw std::invalid_argument(
+        "GateLevelCapture::CaptureMultiplications: size mismatch");
+  }
+  const BigUInt bound = options_.field == core::FieldMode::kGf2
+                            ? BigUInt::PowerOfTwo(gen_.l + 1)
+                            : (modulus_ << 1);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (xs[i] >= bound || ys[i] >= bound) {
+      throw std::invalid_argument(
+          "GateLevelCapture::CaptureMultiplications: operand outside window");
+    }
+  }
+  TraceSet out;
+  std::vector<BigUInt> chunk_x, chunk_y;
+  for (std::size_t at = 0; at < xs.size();
+       at += rtl::BatchSimulator::kLanes) {
+    const std::size_t n =
+        std::min(rtl::BatchSimulator::kLanes, xs.size() - at);
+    chunk_x.assign(xs.begin() + at, xs.begin() + at + n);
+    chunk_y.assign(ys.begin() + at, ys.begin() + at + n);
+    std::vector<std::vector<double>> rows(n);
+    RunOneMmm(chunk_x, chunk_y, rows);
+    for (const auto& row : rows) out.Append(row);
+  }
+  ApplyNoise(out);
+  return out;
+}
+
+TraceSet GateLevelCapture::CaptureModExps(std::span<const BigUInt> bases,
+                                          const BigUInt& exponent) {
+  if (options_.field != core::FieldMode::kGfP) {
+    throw std::logic_error(
+        "GateLevelCapture::CaptureModExps: GF(p) circuits only");
+  }
+  if (exponent.IsZero()) {
+    throw std::invalid_argument(
+        "GateLevelCapture::CaptureModExps: exponent must be nonzero");
+  }
+  for (const BigUInt& base : bases) {
+    if (base >= modulus_) {
+      throw std::invalid_argument(
+          "GateLevelCapture::CaptureModExps: base must be < modulus");
+    }
+  }
+  TraceSet out;
+  const BigUInt one{1};
+  for (std::size_t at = 0; at < bases.size();
+       at += rtl::BatchSimulator::kLanes) {
+    const std::size_t n =
+        std::min(rtl::BatchSimulator::kLanes, bases.size() - at);
+    std::vector<std::vector<double>> rows(n);
+    std::vector<BigUInt> x(n), y(n);
+    // Pre-computation: M~ = Mont(M, R^2) — §4.5's first MMM.
+    for (std::size_t k = 0; k < n; ++k) {
+      x[k] = bases[at + k];
+      y[k] = ctx_.RSquaredModN();
+    }
+    RunOneMmm(x, y, rows);
+    std::vector<BigUInt> m_mont(n), a(n);
+    for (std::size_t k = 0; k < n; ++k) {
+      m_mont[k] = LaneResult(k);
+      a[k] = m_mont[k];
+    }
+    // Left-to-right scan: every intermediate feeds back from the device's
+    // own RESULT bus, so the traces are of a self-contained execution.
+    for (std::size_t i = exponent.BitLength() - 1; i-- > 0;) {
+      RunOneMmm(a, a, rows);
+      for (std::size_t k = 0; k < n; ++k) a[k] = LaneResult(k);
+      if (exponent.Bit(i)) {
+        RunOneMmm(a, m_mont, rows);
+        for (std::size_t k = 0; k < n; ++k) a[k] = LaneResult(k);
+      }
+    }
+    // Post-processing: Mont(A, 1) strips R.
+    for (std::size_t k = 0; k < n; ++k) y[k] = one;
+    RunOneMmm(a, y, rows);
+    for (const auto& row : rows) out.Append(row);
+  }
+  ApplyNoise(out);
+  return out;
+}
+
+}  // namespace mont::sca

@@ -152,6 +152,83 @@ TEST(Rsa, MalformedCrtKeysAreRejected) {
 }
 
 // ---------------------------------------------------------------------------
+// RSA blinding (the sca lab's countermeasure; closure is asserted at gate
+// level in test_sca_attack.cpp — here: functional equivalence)
+// ---------------------------------------------------------------------------
+
+// Acceptance: blinded outputs bit-identical to unblinded on a randomized
+// sweep, for every option combination and both private-key paths.
+TEST(RsaBlinding, BlindedMatchesUnblindedOnRandomSweep) {
+  auto rng = test::TestRng();
+  bignum::RandomBigUInt blind_rng(test::TestSeed(1));
+  for (const std::size_t bits : {64u, 96u}) {
+    const RsaKeyPair key = GenerateRsaKey(bits, rng);
+    for (int trial = 0; trial < 6; ++trial) {
+      const BigUInt c = rng.Below(key.n);
+      const BigUInt expected = RsaPrivate(key, c);
+      for (const bool blind_base : {true, false}) {
+        for (const std::size_t blind_bits : {std::size_t{0}, std::size_t{16}}) {
+          const RsaBlindingOptions options{blind_base, blind_bits};
+          EXPECT_EQ(RsaPrivateBlinded(key, c, blind_rng, options), expected)
+              << "bits=" << bits << " base=" << blind_base
+              << " exp_bits=" << blind_bits;
+          EXPECT_EQ(RsaPrivateCrtBlinded(key, c, blind_rng, options), expected)
+              << "bits=" << bits << " base=" << blind_base
+              << " exp_bits=" << blind_bits;
+        }
+      }
+    }
+  }
+}
+
+// Base blinding must actually randomize what the device exponentiates:
+// two blinded runs of the same input consume different blinding units
+// (observable here only through the rng stream advancing), yet agree.
+TEST(RsaBlinding, FreshRandomnessPerCallSameResult) {
+  auto rng = test::TestRng();
+  const RsaKeyPair key = GenerateRsaKey(64, rng);
+  const BigUInt c = rng.Below(key.n);
+  bignum::RandomBigUInt blind_rng(test::TestSeed(2));
+  const BigUInt first = RsaPrivateBlinded(key, c, blind_rng);
+  const BigUInt second = RsaPrivateBlinded(key, c, blind_rng);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(first, RsaPrivate(key, c));
+}
+
+TEST(RsaBlinding, RejectsBadInputsAndKeys) {
+  auto rng = test::TestRng();
+  const RsaKeyPair key = GenerateRsaKey(64, rng);
+  bignum::RandomBigUInt blind_rng(test::TestSeed(3));
+  EXPECT_THROW(RsaPrivateBlinded(key, key.n, blind_rng),
+               std::invalid_argument);
+  EXPECT_THROW(RsaPrivateCrtBlinded(key, key.n, blind_rng),
+               std::invalid_argument);
+  // Exponent blinding needs the real factorization for the group order.
+  RsaKeyPair mismatched = key;
+  mismatched.n += BigUInt{2};
+  const BigUInt c = rng.Below(key.n);
+  EXPECT_THROW(RsaPrivateBlinded(mismatched, c % mismatched.n, blind_rng,
+                                 RsaBlindingOptions{true, 16}),
+               std::invalid_argument);
+  EXPECT_THROW(RsaPrivateCrtBlinded(mismatched, c % mismatched.n, blind_rng),
+               std::invalid_argument);
+}
+
+// The CRT-blinded path keeps the Bellcore/Lenstra fault check: corrupt
+// the private exponent and the fault must be detected, not released.
+TEST(RsaBlinding, CrtBlindedStillDetectsFaults) {
+  auto rng = test::TestRng();
+  const RsaKeyPair key = GenerateRsaKey(64, rng);
+  bignum::RandomBigUInt blind_rng(test::TestSeed(4));
+  RsaKeyPair faulty = key;
+  faulty.d += RsaLambda(key);  // same signatures...
+  faulty.d += BigUInt{1};   // ...then corrupted
+  const BigUInt c = rng.Below(key.n);
+  EXPECT_THROW(RsaPrivateCrtBlinded(faulty, c, blind_rng),
+               std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
 // ECC
 // ---------------------------------------------------------------------------
 

@@ -12,8 +12,10 @@
 //     Curve::ScalarMulBatch) driving the service end to end.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <future>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -497,6 +499,217 @@ TEST(ExpService, EngineCacheReusesHotModulus) {
   }
   counters = service.Snapshot();
   EXPECT_GT(counters.engine_cache_evictions, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Per-job options: engine overrides and exponent blinding
+// ---------------------------------------------------------------------------
+
+// Mixed-engine stress: jobs carrying per-job backend overrides (including
+// none) interleave on one service from several submitter threads; every
+// result must match the scalar oracle regardless of which datapath served
+// it, and overridden engines must key the cache separately.
+TEST(ExpServiceJobOptions, MixedEngineStressMatchesScalarOracle) {
+  constexpr std::size_t kThreads = 3;
+  constexpr std::size_t kJobsPerThread = 120;
+  const std::array<const char*, 4> engines = {"", "bit-serial", "word-mont",
+                                              "mmmc"};
+  auto rng = test::TestRng();
+  std::vector<BigUInt> moduli;
+  for (const std::size_t bits : {12u, 16u, 16u, 24u}) {
+    moduli.push_back(rng.OddExactBits(bits));
+  }
+
+  ExpService::Options options;
+  options.workers = 3;
+  ExpService service(options);
+
+  struct MixedJob {
+    std::size_t modulus_index = 0;
+    std::size_t engine_index = 0;
+    BigUInt base;
+    BigUInt exponent;
+  };
+  std::vector<std::vector<MixedJob>> jobs(kThreads);
+  std::vector<std::vector<std::future<ExpService::Result>>> futures(kThreads);
+  for (auto& lane : futures) lane.resize(kJobsPerThread);
+  std::vector<std::thread> submitters;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      RandomBigUInt thread_rng(test::TestSeed(t + 17));
+      for (std::size_t j = 0; j < kJobsPerThread; ++j) {
+        MixedJob job;
+        job.modulus_index = static_cast<std::size_t>(
+            thread_rng.Engine().NextBelow(moduli.size()));
+        job.engine_index = static_cast<std::size_t>(
+            thread_rng.Engine().NextBelow(engines.size()));
+        const BigUInt& n = moduli[job.modulus_index];
+        job.base = thread_rng.Below(n);
+        job.exponent = thread_rng.Below(n);
+        ExpService::JobOptions job_options;
+        job_options.engine_name = engines[job.engine_index];
+        futures[t][j] = service.Submit(n, job.base, job.exponent,
+                                       std::move(job_options));
+        jobs[t].push_back(std::move(job));
+      }
+    });
+  }
+  for (std::thread& submitter : submitters) submitter.join();
+  service.Wait();
+
+  std::vector<Exponentiator> oracles;
+  oracles.reserve(moduli.size());
+  for (const BigUInt& n : moduli) oracles.emplace_back(n);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    for (std::size_t j = 0; j < kJobsPerThread; ++j) {
+      const MixedJob& job = jobs[t][j];
+      const ExpService::Result result = futures[t][j].get();
+      ASSERT_EQ(result.value,
+                oracles[job.modulus_index].ModExp(job.base, job.exponent))
+          << "thread " << t << " job " << j << " engine '"
+          << engines[job.engine_index] << "'";
+      // word-mont has no pairable streams: such a job must never have
+      // been co-scheduled onto a dual-channel array.
+      if (std::string_view(engines[job.engine_index]) == "word-mont") {
+        EXPECT_FALSE(result.paired);
+      }
+    }
+  }
+  const auto counters = service.Snapshot();
+  EXPECT_EQ(counters.jobs_completed, kThreads * kJobsPerThread);
+  // Pairable jobs of equal length still pair around the solo overrides.
+  EXPECT_GT(counters.pair_issues, 0u);
+}
+
+TEST(ExpServiceJobOptions, OverrideFallsBackToServiceDefault) {
+  auto rng = test::TestRng();
+  const BigUInt n = rng.OddExactBits(24);
+  ExpService::Options options;
+  options.workers = 1;
+  options.engine_name = "high-radix";
+  ExpService service(options);
+  const BigUInt base = rng.Below(n);
+  const BigUInt exponent = rng.Below(n);
+  // Empty override = the service's engine; explicit override = its own.
+  const BigUInt via_default =
+      service.Submit(n, base, exponent, ExpService::JobOptions{}).get().value;
+  ExpService::JobOptions override_options;
+  override_options.engine_name = "mmmc";
+  const BigUInt via_override =
+      service.Submit(n, base, exponent, override_options).get().value;
+  EXPECT_EQ(via_default, via_override);
+  EXPECT_EQ(via_default, Exponentiator(n).ModExp(base, exponent));
+  // Both backends (and only those) populated the cache.
+  const auto counters = service.Snapshot();
+  EXPECT_EQ(counters.engine_cache_misses, 2u);
+}
+
+// A non-pairable *default* backend must not disable pairing for jobs
+// whose override selects a pairable one: the word-serial default issues
+// solo (its jobs carry solo queue keys), while bit-serial override jobs
+// of equal length still co-schedule.
+TEST(ExpServiceJobOptions, PairableOverridesPairOnNonPairableDefault) {
+  auto rng = test::TestRng();
+  const BigUInt n = rng.OddExactBits(20);
+  ExpService::Options options;
+  options.workers = 1;
+  options.engine_name = "word-mont";
+  ExpService service(options);
+  ExpService::JobOptions pairable;
+  pairable.engine_name = "bit-serial";
+  Exponentiator oracle(n);
+  std::vector<BigUInt> bases, exponents;
+  std::vector<std::future<ExpService::Result>> defaults, overridden;
+  for (int j = 0; j < 60; ++j) {
+    bases.push_back(rng.Below(n));
+    exponents.push_back(rng.Below(n));
+    defaults.push_back(service.Submit(n, bases.back(), exponents.back()));
+    overridden.push_back(
+        service.Submit(n, bases.back(), exponents.back(), pairable));
+  }
+  for (int j = 0; j < 60; ++j) {
+    const ExpService::Result via_default = defaults[j].get();
+    const ExpService::Result via_override = overridden[j].get();
+    const BigUInt want = oracle.ModExp(bases[j], exponents[j]);
+    ASSERT_EQ(via_default.value, want);
+    ASSERT_EQ(via_override.value, want);
+    EXPECT_FALSE(via_default.paired) << "word-serial default must issue solo";
+  }
+  EXPECT_GT(service.Snapshot().pair_issues, 0u)
+      << "equal-length pairable overrides must co-schedule";
+}
+
+// A bonded SubmitPair on a non-pairable backend pops as a bonded group
+// but executes as two solo issues — and the counters must say so rather
+// than report fictitious dual-channel throughput.
+TEST(ExpServiceJobOptions, BondedPairOnNonPairableBackendCountsSoloIssues) {
+  auto rng = test::TestRng();
+  const BigUInt n_a = rng.OddExactBits(16);
+  const BigUInt n_b = rng.OddExactBits(16);
+  ExpService::Options options;
+  options.workers = 1;
+  options.engine_name = "word-mont";
+  ExpService service(options);
+  const BigUInt base = BigUInt{7}, exponent = BigUInt{13};
+  auto [first, second] = service.SubmitPair(n_a, base, exponent, n_b, base,
+                                            exponent);
+  const ExpService::Result result_a = first.get();
+  const ExpService::Result result_b = second.get();
+  EXPECT_EQ(result_a.value, BigUInt::ModExp(base, exponent, n_a));
+  EXPECT_EQ(result_b.value, BigUInt::ModExp(base, exponent, n_b));
+  EXPECT_FALSE(result_a.paired);
+  EXPECT_FALSE(result_b.paired);
+  const auto counters = service.Snapshot();
+  EXPECT_EQ(counters.pair_issues, 0u);
+  EXPECT_EQ(counters.single_issues, 2u);
+}
+
+TEST(ExpServiceJobOptions, RejectsUnknownOrMismatchedOverride) {
+  auto rng = test::TestRng();
+  const BigUInt n = rng.OddExactBits(16);
+  ExpService service;
+  ExpService::JobOptions bad_name;
+  bad_name.engine_name = "no-such-engine";
+  EXPECT_THROW(service.Submit(n, BigUInt{2}, BigUInt{3}, bad_name),
+               std::invalid_argument);
+  ExpService::JobOptions blind_no_bits;
+  blind_no_bits.exponent_blind_order = BigUInt{6};
+  blind_no_bits.exponent_blind_bits = 0;
+  EXPECT_THROW(service.Submit(n, BigUInt{2}, BigUInt{3}, blind_no_bits),
+               std::invalid_argument);
+  // GF(2^m) service: a GF(p)-only override must be rejected at Submit.
+  ExpService::Options gf2_options;
+  gf2_options.engine_name = "bit-serial";
+  gf2_options.engine_options.field = EngineField::kGf2;
+  ExpService gf2_service(gf2_options);
+  const BigUInt f{0b1011};  // x^3 + x + 1
+  ExpService::JobOptions gfp_only;
+  gfp_only.engine_name = "word-mont";
+  EXPECT_THROW(gf2_service.Submit(f, BigUInt{0b10}, BigUInt{3}, gfp_only),
+               std::invalid_argument);
+}
+
+// Exponent blinding through the service: same results as unblinded jobs
+// (the blinding order is a multiple of every base's order), randomized
+// schedule visible as extra MMM invocations in the stats.
+TEST(ExpServiceJobOptions, ExponentBlindingSameValuesMoreOperations) {
+  auto rng = test::TestRng();
+  const crypto::RsaKeyPair key = crypto::GenerateRsaKey(64, rng);
+  const BigUInt lambda = crypto::RsaLambda(key);
+  ExpService service;
+  for (int trial = 0; trial < 4; ++trial) {
+    const BigUInt base = rng.Below(key.n);
+    const BigUInt exponent = rng.Below(key.n);
+    const ExpService::Result plain =
+        service.Submit(key.n, base, exponent).get();
+    ExpService::JobOptions blind;
+    blind.exponent_blind_order = lambda;
+    blind.exponent_blind_bits = 12;
+    const ExpService::Result blinded =
+        service.Submit(key.n, base, exponent, blind).get();
+    EXPECT_EQ(blinded.value, plain.value);
+    EXPECT_GT(blinded.stats.mmm_invocations, plain.stats.mmm_invocations);
+  }
 }
 
 // ---------------------------------------------------------------------------
