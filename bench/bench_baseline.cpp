@@ -3,18 +3,33 @@
 // full 1024-bit exponentiation time, plus the radix and final-subtraction
 // ablations called out in DESIGN.md.
 #include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "baseline/blum_paar.hpp"
+#include "bench_json.hpp"
 #include "bignum/random.hpp"
 #include "core/high_radix.hpp"
 #include "core/netlist_gen.hpp"
 #include "core/schedule.hpp"
 #include "fpga/device_model.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using mont::baseline::BlumPaarRadix2;
   using mont::baseline::FinalSubtractionModel;
   using mont::baseline::HighRadixModel;
+
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const std::vector<std::size_t> sweep =
+      smoke ? std::vector<std::size_t>{32, 64, 128, 256}
+            : std::vector<std::size_t>{32, 64, 128, 256, 512, 1024};
+  // The radix ablation rebuilds the full netlist; smoke uses a shorter l.
+  const std::size_t ablation_l = smoke ? 256 : 1024;
+  std::vector<mont::bench::JsonRow> rows;
 
   std::printf("=== §2/§4.4: this design vs Blum-Paar radix-2 ===\n\n");
 
@@ -24,7 +39,7 @@ int main() {
               "BP T(us)", "speedup");
   std::printf("-------+-------------------------+---------------------+-------"
               "------------------+---------\n");
-  for (const std::size_t l : {32u, 64u, 128u, 256u, 512u, 1024u}) {
+  for (const std::size_t l : sweep) {
     const auto gen = mont::core::BuildMmmcNetlist(l);
     const double our_tp =
         mont::fpga::AnalyzeNetlist(*gen.netlist).clock_period_ns;
@@ -36,6 +51,17 @@ int main() {
                 l, static_cast<unsigned long long>(our_cycles),
                 static_cast<unsigned long long>(bp_cycles), our_tp, bp_tp,
                 ours_us, bp_us, bp_us / ours_us);
+    rows.push_back({
+        {"phase", "vs_blum_paar"},
+        {"l", l},
+        {"our_cycles", our_cycles},
+        {"bp_cycles", bp_cycles},
+        {"our_tp_ns", our_tp},
+        {"bp_tp_ns", bp_tp},
+        {"our_t_us", ours_us},
+        {"bp_t_us", bp_us},
+        {"speedup", bp_us / ours_us},
+    });
   }
   std::printf("\n(The win comes from (a) R = 2^(l+2): l+2 iterations instead "
               "of l+3, and (b) pure-\ncombinational 1-bit cells: no per-PE "
@@ -58,11 +84,11 @@ int main() {
   }
 
   // --- radix ablation (Blum-Paar high-radix [4]) ---
-  std::printf("\n=== ablation: radix 2^u at l = 1024 ===\n");
+  std::printf("\n=== ablation: radix 2^u at l = %zu ===\n", ablation_l);
   std::printf("%8s %12s %12s %14s\n", "radix", "cycles", "Tp (ns)",
               "T_MMM (us)");
   {
-    const std::size_t l = 1024;
+    const std::size_t l = ablation_l;
     const auto gen = mont::core::BuildMmmcNetlist(l);
     const double our_tp =
         mont::fpga::AnalyzeNetlist(*gen.netlist).clock_period_ns;
@@ -71,12 +97,30 @@ int main() {
                 our_tp,
                 static_cast<double>(mont::core::MultiplyCycles(l)) * our_tp *
                     1e-3);
+    rows.push_back({
+        {"phase", "radix_ablation"},
+        {"l", l},
+        {"radix_bits", 1},
+        {"cycles", mont::core::MultiplyCycles(l)},
+        {"tp_ns", our_tp},
+        {"t_mmm_us",
+         static_cast<double>(mont::core::MultiplyCycles(l)) * our_tp * 1e-3},
+    });
     for (const std::size_t u : {4u, 8u, 16u}) {
       const HighRadixModel model{.radix_bits = u};
       const double tp = model.ClockPeriodNs();
       std::printf("%8zu %12llu %12.3f %14.3f\n", u,
                   static_cast<unsigned long long>(model.MultiplyCycles(l)), tp,
                   static_cast<double>(model.MultiplyCycles(l)) * tp * 1e-3);
+      rows.push_back({
+          {"phase", "radix_ablation"},
+          {"l", l},
+          {"radix_bits", u},
+          {"cycles", model.MultiplyCycles(l)},
+          {"tp_ns", tp},
+          {"t_mmm_us",
+           static_cast<double>(model.MultiplyCycles(l)) * tp * 1e-3},
+      });
     }
     // Functional cross-check of the radix-2^u datapath implementation.
     mont::bignum::RandomBigUInt rng(0xbb02u);
@@ -107,9 +151,20 @@ int main() {
                 static_cast<unsigned long long>(alg2),
                 100.0 * static_cast<double>(alg1 - alg2) /
                     static_cast<double>(alg1));
+    rows.push_back({
+        {"phase", "final_subtraction"},
+        {"l", l},
+        {"alg1_cycles", alg1},
+        {"alg2_cycles", alg2},
+        {"saved_percent", 100.0 * static_cast<double>(alg1 - alg2) /
+                              static_cast<double>(alg1)},
+    });
   }
+  const std::string path = mont::bench::WriteBenchJson(
+      "baseline", rows, {{"smoke", smoke}});
   std::printf("(plus the removed comparator/subtractor area, and constant-"
               "time operation — the paper\nnotes the reduction step is "
-              "presumed vulnerable to side-channel attacks)\n");
+              "presumed vulnerable to side-channel attacks)\nJSON written "
+              "to %s\n", path.c_str());
   return 0;
 }

@@ -1,13 +1,19 @@
-// bench_biguint — Google-benchmark microbenchmarks of the BigUInt
-// substrate every layer above sits on: schoolbook/Karatsuba
-// multiplication across the threshold, Knuth-D division, modular
-// inversion, and square-and-multiply exponentiation.  These are the
-// software costs that Table 1's "software on a workstation" comparison
-// point is made of.
-#include <benchmark/benchmark.h>
+// bench_biguint — microbenchmarks of the BigUInt substrate every layer
+// above sits on: schoolbook/Karatsuba multiplication across the
+// threshold, Knuth-D division, modular inversion, and square-and-multiply
+// exponentiation.  These are the software costs that Table 1's "software
+// on a workstation" comparison point is made of.
+//
+// Self-timed (bench_timer.hpp, no benchmark-framework dependency).
+// Writes BENCH_biguint.json; wall_* keys are host-dependent and exempt
+// from the CI drift gate.  --smoke shortens the measurement windows.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
-#include <cstdint>
-
+#include "bench_json.hpp"
+#include "bench_timer.hpp"
 #include "bignum/biguint.hpp"
 #include "bignum/random.hpp"
 
@@ -16,52 +22,72 @@ namespace {
 using mont::bignum::BigUInt;
 using mont::bignum::RandomBigUInt;
 
-void BM_Multiply(benchmark::State& state) {
-  RandomBigUInt rng(0xb16 + static_cast<std::uint64_t>(state.range(0)));
-  const BigUInt a = rng.ExactBits(static_cast<std::size_t>(state.range(0)));
-  const BigUInt b = rng.ExactBits(static_cast<std::size_t>(state.range(0)));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(a * b);
-  }
-}
-// 512/1024 sit below the Karatsuba threshold, 4096/16384 above it.
-BENCHMARK(BM_Multiply)->Arg(512)->Arg(1024)->Arg(4096)->Arg(16384);
-
-void BM_DivMod(benchmark::State& state) {
-  RandomBigUInt rng(0xd17 + static_cast<std::uint64_t>(state.range(0)));
-  const BigUInt a = rng.ExactBits(static_cast<std::size_t>(2 * state.range(0)));
-  const BigUInt b = rng.ExactBits(static_cast<std::size_t>(state.range(0)));
-  BigUInt q, r;
-  for (auto _ : state) {
-    BigUInt::DivMod(a, b, q, r);
-    benchmark::DoNotOptimize(q);
-    benchmark::DoNotOptimize(r);
-  }
-}
-BENCHMARK(BM_DivMod)->Arg(256)->Arg(1024)->Arg(4096);
-
-void BM_ModInverse(benchmark::State& state) {
-  RandomBigUInt rng(0x1f4 + static_cast<std::uint64_t>(state.range(0)));
-  const BigUInt m = rng.OddExactBits(static_cast<std::size_t>(state.range(0)));
-  const BigUInt a = rng.Below(m);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(BigUInt::ModInverse(a, m));
-  }
-}
-BENCHMARK(BM_ModInverse)->Arg(256)->Arg(1024);
-
-void BM_ModExp(benchmark::State& state) {
-  const std::size_t bits = static_cast<std::size_t>(state.range(0));
-  RandomBigUInt rng(0xe22 + bits);
-  const BigUInt n = rng.OddExactBits(bits);
-  const BigUInt base = rng.Below(n);
-  const BigUInt exp = rng.BalancedExactBits(bits);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(BigUInt::ModExp(base, exp, n));
-  }
-}
-BENCHMARK(BM_ModExp)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
-
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const double window = smoke ? 0.01 : 0.25;  // seconds per measurement
+
+  std::vector<mont::bench::JsonRow> rows;
+  std::printf("=== BigUInt substrate microbenchmarks ===\n\n");
+  std::printf("%-12s %8s | %12s %12s\n", "op", "bits", "iters", "ns/op");
+  std::printf("---------------------+---------------------------\n");
+  const auto report = [&](const char* op, std::size_t bits,
+                          const mont::bench::TimedResult& timed) {
+    std::printf("%-12s %8zu | %12llu %12.1f\n", op, bits,
+                static_cast<unsigned long long>(timed.iterations),
+                timed.wall_ns_per_op);
+    rows.push_back({
+        {"op", op},
+        {"bits", bits},
+        {"iterations", timed.iterations},
+        {"wall_ns_per_op", timed.wall_ns_per_op},
+    });
+  };
+
+  // 512/1024 sit below the Karatsuba threshold, 4096/16384 above it.
+  for (const std::size_t bits : {512u, 1024u, 4096u, 16384u}) {
+    RandomBigUInt rng(0xb16 + bits);
+    const BigUInt a = rng.ExactBits(bits);
+    const BigUInt b = rng.ExactBits(bits);
+    report("multiply", bits, mont::bench::TimeIt([&] {
+      mont::bench::KeepAlive(a * b);
+    }, window));
+  }
+  for (const std::size_t bits : {256u, 1024u, 4096u}) {
+    RandomBigUInt rng(0xd17 + bits);
+    const BigUInt a = rng.ExactBits(2 * bits);
+    const BigUInt b = rng.ExactBits(bits);
+    BigUInt q, r;
+    report("divmod", bits, mont::bench::TimeIt([&] {
+      BigUInt::DivMod(a, b, q, r);
+      mont::bench::KeepAlive(q);
+      mont::bench::KeepAlive(r);
+    }, window));
+  }
+  for (const std::size_t bits : {256u, 1024u}) {
+    RandomBigUInt rng(0x1f4 + bits);
+    const BigUInt m = rng.OddExactBits(bits);
+    const BigUInt a = rng.Below(m);
+    report("mod_inverse", bits, mont::bench::TimeIt([&] {
+      mont::bench::KeepAlive(BigUInt::ModInverse(a, m));
+    }, window));
+  }
+  for (const std::size_t bits : {256u, 1024u}) {
+    RandomBigUInt rng(0xe22 + bits);
+    const BigUInt n = rng.OddExactBits(bits);
+    const BigUInt base = rng.Below(n);
+    const BigUInt exp = rng.BalancedExactBits(bits);
+    report("mod_exp", bits, mont::bench::TimeIt([&] {
+      mont::bench::KeepAlive(BigUInt::ModExp(base, exp, n));
+    }, window));
+  }
+
+  const std::string path = mont::bench::WriteBenchJson(
+      "biguint", rows, {{"smoke", smoke}});
+  std::printf("\nJSON written to %s\n", path.c_str());
+  return 0;
+}

@@ -16,12 +16,27 @@
 // at least two queued jobs, so depth 1 pairs nothing and the pairing
 // fraction (and modelled throughput) climbs with depth.
 //
-// Writes BENCH_exp_service.json (see bench_json.hpp); --smoke restricts
-// the sweep for the ctest `perf` label.
+// The multi-tenant stress section runs on the DeterministicExecutor —
+// the same scheduling core as the threaded service, driven by a virtual
+// clock — because on a small CI box wall-clock throughput of a worker
+// pool measures the host, not the scheduler.  Virtual time measures the
+// modelled arrays: per-job latency percentiles (p50/p95/p99) and
+// saturation throughput (jobs per array-gigacycle of occupancy) are
+// exact and replayable.  The v2 stealing scheduler must beat the v1
+// shared queue by >= 1.2x jobs/Gcycle on the bursty mixed-tenant trace
+// (stress_speedup_model); bench_drift_check gates that ratio in CI.
+//
+// Writes BENCH_exp_service.json and BENCH_scheduler.json (see
+// bench_json.hpp); --smoke restricts the sweep for the ctest `perf`
+// label.
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <set>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "bench_json.hpp"
@@ -33,7 +48,9 @@
 namespace {
 
 using mont::bignum::BigUInt;
+using mont::core::DeterministicExecutor;
 using mont::core::ExpService;
+using mont::core::SchedulerKind;
 using Clock = std::chrono::steady_clock;
 
 struct Workload {
@@ -111,6 +128,153 @@ RunStats RunWorkload(const Workload& load, std::size_t workers, bool pairing,
       1e9;
   stats.paired_fraction =
       static_cast<double>(paired_jobs) / static_cast<double>(jobs);
+  return stats;
+}
+
+// ---------------------------------------------------------------------------
+// Multi-tenant bursty stress on the deterministic executor
+// ---------------------------------------------------------------------------
+
+struct TenantJob {
+  std::size_t pool_index = 0;   // modulus pool entry
+  const char* engine = "";      // per-job engine override ("" = default)
+  BigUInt base, exponent;
+  std::uint64_t arrival = 0;    // virtual tick
+};
+
+struct StressTrace {
+  std::vector<BigUInt> pool;
+  std::vector<TenantJob> jobs;  // sorted by arrival
+  std::uint64_t mean_gap = 0;
+};
+
+/// Virtual duration of one solo job at bit length l (default backend).
+std::uint64_t CalibrateSoloTicks(const BigUInt& n, const BigUInt& base,
+                                 const BigUInt& exponent) {
+  ExpService::Options options;
+  options.workers = 1;
+  DeterministicExecutor calibrate(options);
+  calibrate.SubmitAt(0, n, base, exponent);
+  calibrate.RunUntilIdle();
+  const auto& record = calibrate.Records().at(0);
+  return record.finish_tick - record.start_tick;
+}
+
+/// Seeded bursty mixed-tenant trace: three tenants (128-bit default
+/// engine, 256-bit default engine, 128-bit word-mont override) with
+/// Poisson inter-burst gaps and geometric burst sizes, tuned so the v1
+/// scheduler's per-worker utilisation sits near 0.8 — loaded enough to
+/// queue, sparse enough that a shared FIFO rarely holds two equal-length
+/// jobs at once.
+StressTrace MakeStressTrace(std::size_t jobs, std::size_t workers,
+                            std::uint64_t seed) {
+  StressTrace trace;
+  mont::bignum::RandomBigUInt rng(seed);
+  // Pool: two moduli per bit length so the engine cache sees churn.
+  for (int i = 0; i < 2; ++i) trace.pool.push_back(rng.OddExactBits(128));
+  for (int i = 0; i < 2; ++i) trace.pool.push_back(rng.OddExactBits(256));
+
+  const std::uint64_t solo_128 = CalibrateSoloTicks(
+      trace.pool[0], rng.Below(trace.pool[0]), rng.Below(trace.pool[0]));
+  const std::uint64_t solo_256 = CalibrateSoloTicks(
+      trace.pool[2], rng.Below(trace.pool[2]), rng.Below(trace.pool[2]));
+
+  // Tenant mix and the implied mean cost per arrival (word-mont runs on
+  // the modelled word datapath but is charged its engine's cycles; the
+  // 128-bit estimate is close enough for load tuning).
+  const double mean_cost = 0.60 * static_cast<double>(solo_128) +
+                           0.25 * static_cast<double>(solo_256) +
+                           0.15 * static_cast<double>(solo_128);
+  const double utilization = 0.8;
+  trace.mean_gap = static_cast<std::uint64_t>(
+      mean_cost / (static_cast<double>(workers) * utilization));
+
+  std::uint64_t tick = 0;
+  std::size_t burst_left = 0;
+  for (std::size_t j = 0; j < jobs; ++j) {
+    if (burst_left == 0) {
+      // Geometric burst size (mean 2), exponential gap between bursts
+      // scaled so the long-run arrival rate stays 1/mean_gap.
+      burst_left = 1;
+      while (burst_left < 4 && rng.Engine().NextBelow(2) == 0) ++burst_left;
+      const double u =
+          (static_cast<double>(rng.Engine().NextBelow(1u << 20)) + 1.0) /
+          static_cast<double>(1u << 20);
+      tick += static_cast<std::uint64_t>(
+          -2.0 * static_cast<double>(trace.mean_gap) * std::log(u));
+    }
+    --burst_left;
+    TenantJob job;
+    const std::uint64_t tenant = rng.Engine().NextBelow(20);
+    if (tenant < 12) {  // 60%: 128-bit, default (pairable) engine
+      job.pool_index = rng.Engine().NextBelow(2);
+    } else if (tenant < 17) {  // 25%: 256-bit, default engine
+      job.pool_index = 2 + rng.Engine().NextBelow(2);
+    } else {  // 15%: 128-bit on the word-serial datapath (never pairs)
+      job.pool_index = rng.Engine().NextBelow(2);
+      job.engine = "word-mont";
+    }
+    const BigUInt& n = trace.pool[job.pool_index];
+    job.base = rng.Below(n);
+    job.exponent = rng.Below(n);
+    job.arrival = tick;
+    trace.jobs.push_back(std::move(job));
+  }
+  return trace;
+}
+
+struct StressStats {
+  std::uint64_t busy_cycles = 0;   // array occupancy, groups counted once
+  double jobs_per_gigacycle = 0;
+  double paired_fraction = 0;
+  std::uint64_t makespan = 0;
+  std::uint64_t p50 = 0, p95 = 0, p99 = 0;  // virtual latency (cycles)
+  ExpService::Counters counters;
+};
+
+StressStats RunStress(const StressTrace& trace, SchedulerKind kind,
+                      std::size_t workers, std::uint64_t unpair_timeout) {
+  ExpService::Options options;
+  options.workers = workers;
+  options.scheduler = kind;
+  options.unpair_timeout = unpair_timeout;
+  options.engine_cache_capacity = 6;
+  DeterministicExecutor exec(options);
+  for (const TenantJob& job : trace.jobs) {
+    mont::core::ExpJobOptions job_options;
+    job_options.engine_name = job.engine;
+    exec.SubmitAt(job.arrival, trace.pool[job.pool_index], job.base,
+                  job.exponent, job_options);
+  }
+  exec.RunUntilIdle();
+
+  StressStats stats;
+  stats.counters = exec.Snapshot();
+  stats.makespan = exec.Now();
+  std::set<std::tuple<std::size_t, std::uint64_t, std::uint64_t>> groups;
+  std::vector<std::uint64_t> latencies;
+  std::uint64_t paired = 0;
+  for (const auto& record : exec.Records()) {
+    groups.emplace(record.worker, record.start_tick, record.finish_tick);
+    latencies.push_back(record.finish_tick - record.submit_tick);
+    if (record.paired) ++paired;
+  }
+  for (const auto& [worker, start, finish] : groups) {
+    stats.busy_cycles += finish - start;
+  }
+  std::sort(latencies.begin(), latencies.end());
+  const auto percentile = [&](double p) {
+    const std::size_t index = static_cast<std::size_t>(
+        p * static_cast<double>(latencies.size() - 1));
+    return latencies[index];
+  };
+  stats.p50 = percentile(0.50);
+  stats.p95 = percentile(0.95);
+  stats.p99 = percentile(0.99);
+  stats.jobs_per_gigacycle = static_cast<double>(trace.jobs.size()) /
+                             static_cast<double>(stats.busy_cycles) * 1e9;
+  stats.paired_fraction = static_cast<double>(paired) /
+                          static_cast<double>(trace.jobs.size());
   return stats;
 }
 
@@ -197,10 +361,107 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --- multi-tenant bursty stress: v2 stealing vs v1 shared queue ------
+  const std::size_t stress_jobs = smoke ? 96 : 320;
+  const std::size_t stress_workers = 4;
+  const StressTrace trace =
+      MakeStressTrace(stress_jobs, stress_workers, 0x57e55eedull);
+  // Hold at most a few inter-arrival gaps: long enough that a same-key
+  // partner usually arrives, short enough to bound added latency.
+  const std::uint64_t unpair_timeout = 4 * trace.mean_gap;
+  const StressStats v1 = RunStress(trace, SchedulerKind::kSharedQueue,
+                                   stress_workers, unpair_timeout);
+  const StressStats v2 = RunStress(trace, SchedulerKind::kStealing,
+                                   stress_workers, unpair_timeout);
+  const double stress_speedup =
+      v2.jobs_per_gigacycle / v1.jobs_per_gigacycle;
+
+  std::printf("\n=== Multi-tenant bursty stress (deterministic executor, "
+              "%zu jobs, %zu workers) ===\n\n", stress_jobs, stress_workers);
+  std::printf("3 tenants: 60%% 128-bit + 25%% 256-bit on the systolic "
+              "array, 15%% word-mont overrides;\nbursty Poisson arrivals, "
+              "mean gap %llu cycles, unpair timeout %llu cycles.\n\n",
+              static_cast<unsigned long long>(trace.mean_gap),
+              static_cast<unsigned long long>(unpair_timeout));
+  std::printf("%-18s | %10s %8s | %10s %10s %10s | %9s\n", "scheduler",
+              "j/Gcycle", "paired", "p50", "p95", "p99", "makespan");
+  const auto print_stress = [&](const char* name, const StressStats& s) {
+    std::printf("%-18s | %10.2f %7.0f%% | %10llu %10llu %10llu | %9llu\n",
+                name, s.jobs_per_gigacycle, s.paired_fraction * 100,
+                static_cast<unsigned long long>(s.p50),
+                static_cast<unsigned long long>(s.p95),
+                static_cast<unsigned long long>(s.p99),
+                static_cast<unsigned long long>(s.makespan));
+  };
+  print_stress("v1 shared queue", v1);
+  print_stress("v2 stealing", v2);
+  std::printf("\nsaturation speedup (jobs per array-gigacycle, v2/v1): "
+              "%.2fx  (gate: >= 1.2x)\n", stress_speedup);
+
+  const auto stress_row = [&](const char* name, const StressStats& s) {
+    return mont::bench::JsonRow{
+        {"phase", "stress"},
+        {"scheduler", name},
+        {"jobs", stress_jobs},
+        {"workers", stress_workers},
+        {"busy_cycles", s.busy_cycles},
+        {"jobs_per_gigacycle", s.jobs_per_gigacycle},
+        {"paired_fraction", s.paired_fraction},
+        {"latency_p50_cycles", s.p50},
+        {"latency_p95_cycles", s.p95},
+        {"latency_p99_cycles", s.p99},
+        {"makespan_cycles", s.makespan},
+        {"steals", s.counters.steals},
+        {"holds", s.counters.holds},
+        {"unpair_timeouts", s.counters.unpair_timeouts},
+    };
+  };
+  rows.push_back(stress_row("shared_queue", v1));
+  rows.push_back(stress_row("stealing", v2));
+  rows.push_back({
+      {"phase", "stress_summary"},
+      {"jobs", stress_jobs},
+      {"workers", stress_workers},
+      {"mean_gap_cycles", trace.mean_gap},
+      {"unpair_timeout_cycles", unpair_timeout},
+      {"stress_speedup_model", stress_speedup},
+      {"meets_1_2x_gate", stress_speedup >= 1.2},
+  });
+
   const std::string path = mont::bench::WriteBenchJson(
       "exp_service", rows, {{"smoke", smoke}});
+
+  // Scheduler micro-metrics as their own artifact, so scheduling-policy
+  // drift (holds, steals, batch shapes) is gated independently of the
+  // throughput numbers above.
+  std::vector<mont::bench::JsonRow> sched_rows;
+  const auto sched_row = [&](const char* name, const StressStats& s) {
+    return mont::bench::JsonRow{
+        {"scheduler", name},
+        {"jobs", stress_jobs},
+        {"pair_issues", s.counters.pair_issues},
+        {"single_issues", s.counters.single_issues},
+        {"steals", s.counters.steals},
+        {"holds", s.counters.holds},
+        {"hold_pairs", s.counters.hold_pairs},
+        {"unpair_timeouts", s.counters.unpair_timeouts},
+        {"batch_acquires", s.counters.batch_acquires},
+        {"max_batch_claimed", s.counters.max_batch_claimed},
+        {"engine_cache_hits", s.counters.engine_cache_hits},
+        {"engine_cache_misses", s.counters.engine_cache_misses},
+    };
+  };
+  sched_rows.push_back(sched_row("shared_queue", v1));
+  sched_rows.push_back(sched_row("stealing", v2));
+  const std::string sched_path = mont::bench::WriteBenchJson(
+      "scheduler", sched_rows,
+      {{"smoke", smoke},
+       {"unpair_timeout_cycles", unpair_timeout},
+       {"max_batch", 8}});
+
   std::printf("\njobs/Gcycle = modelled-array throughput (3l+5 per paired "
               "MMM issue, 3l+4 single);\nwall j/s = host-side service "
-              "throughput.  JSON written to %s\n", path.c_str());
-  return 0;
+              "throughput.  JSON written to %s and %s\n", path.c_str(),
+              sched_path.c_str());
+  return stress_speedup >= 1.2 ? 0 : 1;
 }

@@ -4,9 +4,16 @@
 // against its recurrence equation — 64 input combinations per bit-parallel
 // simulation pass (the whole truth table of every cell fits in at most two
 // passes) — and reports per-cell critical paths.
+//
+// Writes BENCH_fig1_cells.json (see bench_json.hpp) for the CI drift
+// gate; the sweep is exhaustive and cheap, so --smoke only tags the
+// artifact's meta.
 #include <cstdio>
+#include <cstring>
 #include <string>
+#include <vector>
 
+#include "bench_json.hpp"
 #include "core/area_model.hpp"
 #include "core/cells.hpp"
 #include "rtl/batch_sim.hpp"
@@ -79,7 +86,11 @@ std::uint64_t Bit(std::uint64_t v, int i) { return (v >> i) & 1; }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
   std::printf("=== Fig. 1: systolic array cells — gate inventory, function, "
               "critical path ===\n\n");
 
@@ -146,8 +157,25 @@ int main() {
                 r.depth_levels, r.delay_ps);
   }
 
+  std::vector<mont::bench::JsonRow> rows;
+  bool all_verified = true;
+  for (const CellReport& r : reports) {
+    all_verified = all_verified && r.verified;
+    rows.push_back({
+        {"cell", r.name},
+        {"verified", r.verified},
+        {"xor_gates", r.counts.xor_gates},
+        {"and_gates", r.counts.and_gates},
+        {"or_gates", r.counts.or_gates},
+        {"logic_levels", r.depth_levels},
+        {"critical_path_ps", r.delay_ps},
+    });
+  }
+  const std::string path = mont::bench::WriteBenchJson(
+      "fig1_cells", rows, {{"smoke", smoke}});
+
   std::printf("\nThe regular cell dominates the array; its registered path "
               "(2 FA + 1 HA per the paper)\nsets the clock and is the same "
-              "for every operand length.\n");
-  return 0;
+              "for every operand length.\nJSON written to %s\n", path.c_str());
+  return all_verified ? 0 : 1;
 }

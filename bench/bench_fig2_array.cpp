@@ -4,15 +4,35 @@
 // this repo's derived closed form, and the exact counts measured on the
 // generated netlist; then shows that the critical path (in gate levels and
 // picoseconds) does not depend on l.
+//
+// Writes BENCH_fig2_array.json (see bench_json.hpp) for the CI drift
+// gate; --smoke trims the length sweep for the ctest `perf` label.
 #include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
+#include "bench_json.hpp"
 #include "core/area_model.hpp"
 #include "core/netlist_gen.hpp"
 #include "rtl/timing.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using mont::core::DerivedArrayCombFormula;
   using mont::core::PaperAreaFormula;
+
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const std::vector<std::size_t> area_sweep =
+      smoke ? std::vector<std::size_t>{32, 64, 128, 256}
+            : std::vector<std::size_t>{32, 64, 128, 256, 512, 1024};
+  const std::vector<std::size_t> path_sweep =
+      smoke ? std::vector<std::size_t>{4, 16, 64, 256}
+            : std::vector<std::size_t>{4, 16, 64, 256, 1024};
+
+  std::vector<mont::bench::JsonRow> rows;
 
   std::printf("=== Fig. 2 / §4.3: systolic array area and critical path ===\n\n");
   std::printf("--- gate counts: paper formula vs derived formula vs generated "
@@ -23,7 +43,7 @@ int main() {
               "derived", "meas");
   std::printf("-------+-------------------------+-------------------------+----"
               "---------------------\n");
-  for (const std::size_t l : {32u, 64u, 128u, 256u, 512u, 1024u}) {
+  for (const std::size_t l : area_sweep) {
     const auto paper = PaperAreaFormula(l);
     const auto derived = DerivedArrayCombFormula(l);
     const auto array = mont::core::BuildSystolicArrayComb(l);
@@ -32,6 +52,21 @@ int main() {
                 paper.xor_gates, derived.xor_gates, stats.xor_gates,
                 paper.and_gates, derived.and_gates, stats.and_gates,
                 paper.or_gates, derived.or_gates, stats.or_gates);
+    rows.push_back({
+        {"phase", "area"},
+        {"l", l},
+        {"paper_xor", paper.xor_gates},
+        {"derived_xor", derived.xor_gates},
+        {"measured_xor", stats.xor_gates},
+        {"paper_and", paper.and_gates},
+        {"derived_and", derived.and_gates},
+        {"measured_and", stats.and_gates},
+        {"paper_or", paper.or_gates},
+        {"derived_or", derived.or_gates},
+        {"measured_or", stats.or_gates},
+        {"paper_flip_flops", PaperAreaFormula(l).flip_flops},
+        {"derived_flip_flops", mont::core::DerivedArrayFlipFlops(l)},
+    });
   }
   std::printf("\nNote: the derived counts differ from the paper's by small "
               "constants (XOR, AND) and in\nthe OR slope — the paper does not "
@@ -50,15 +85,24 @@ int main() {
 
   std::printf("\n--- critical path independence (the scalability claim) ---\n");
   std::printf("%6s %10s %12s\n", "l", "levels", "path (ps)");
-  for (const std::size_t l : {4u, 16u, 64u, 256u, 1024u}) {
+  for (const std::size_t l : path_sweep) {
     const auto array = mont::core::BuildSystolicArrayComb(l);
     const mont::rtl::TimingAnalyzer unit(*array.netlist,
                                          mont::rtl::DelayModel::Unit());
     const mont::rtl::TimingAnalyzer ps(*array.netlist, mont::rtl::DelayModel{});
     std::printf("%6zu %10zu %12.0f\n", l, unit.CriticalPath().logic_levels,
                 ps.CriticalPath().critical_path_ps);
+    rows.push_back({
+        {"phase", "critical_path"},
+        {"l", l},
+        {"logic_levels", unit.CriticalPath().logic_levels},
+        {"critical_path_ps", ps.CriticalPath().critical_path_ps},
+    });
   }
+  const std::string path = mont::bench::WriteBenchJson(
+      "fig2_array", rows, {{"smoke", smoke}});
   std::printf("\nPaper: critical path = 2 T_FA(cin->cout) + T_HA(cin->cout), "
-              "independent of l. Confirmed.\n");
+              "independent of l. Confirmed.\nJSON written to %s\n",
+              path.c_str());
   return 0;
 }

@@ -3,18 +3,33 @@
 // multiplication (states, counter, comparator, X-register shifts), prints
 // the per-state cycle occupancy for a sweep of l, and verifies the DONE
 // latency 3l+4 on every row.
+//
+// Writes BENCH_fig4_asm.json (see bench_json.hpp) for the CI drift gate;
+// --smoke trims the occupancy sweep for the ctest `perf` label.
 #include <cstdio>
+#include <cstring>
 #include <map>
+#include <string>
+#include <vector>
 
+#include "bench_json.hpp"
 #include "bignum/random.hpp"
 #include "core/mmmc.hpp"
 #include "core/schedule.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using mont::bignum::BigUInt;
   using mont::core::Mmmc;
   using mont::core::MmmcState;
   using mont::core::MmmcStateName;
+
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const std::vector<std::size_t> sweep =
+      smoke ? std::vector<std::size_t>{8, 16, 32, 64}
+            : std::vector<std::size_t>{8, 16, 32, 64, 128, 256};
 
   std::printf("=== Fig. 4: ASM of the Montgomery modular multiplier ===\n\n");
 
@@ -48,8 +63,10 @@ int main() {
   std::printf("--- state occupancy per multiplication ---\n");
   std::printf("%6s %6s %6s %6s %6s %8s %10s\n", "l", "IDLE", "MUL1", "MUL2",
               "OUT", "total", "=3l+4?");
+  std::vector<mont::bench::JsonRow> rows;
+  bool all_match = true;
   mont::bignum::RandomBigUInt rng(0xf14u);
-  for (const std::size_t bits : {8u, 16u, 32u, 64u, 128u, 256u}) {
+  for (const std::size_t bits : sweep) {
     const BigUInt n = rng.OddExactBits(bits);
     Mmmc circuit(n);
     circuit.ApplyInputs(rng.Below(n << 1), rng.Below(n << 1));
@@ -70,10 +87,24 @@ int main() {
                 static_cast<unsigned long long>(occupancy[MmmcState::kOut]),
                 static_cast<unsigned long long>(total),
                 total == mont::core::MultiplyCycles(bits) ? "yes" : "NO");
+    all_match = all_match && total == mont::core::MultiplyCycles(bits);
+    rows.push_back({
+        {"l", bits},
+        {"idle_cycles", occupancy[MmmcState::kIdle]},
+        {"mul1_cycles", occupancy[MmmcState::kMul1]},
+        {"mul2_cycles", occupancy[MmmcState::kMul2]},
+        {"out_cycles", occupancy[MmmcState::kOut]},
+        {"total_cycles", total},
+        {"formula_cycles", mont::core::MultiplyCycles(bits)},
+        {"matches_formula", total == mont::core::MultiplyCycles(bits)},
+    });
   }
+  const std::string path = mont::bench::WriteBenchJson(
+      "fig4_asm", rows, {{"smoke", smoke}});
 
   std::printf("\nMUL1/MUL2 alternate (even/odd compute phases); the counter "
               "increments in MUL2 only\nand the comparator fires at counter "
-              "== l+1, launching the skewed result capture.\n");
-  return 0;
+              "== l+1, launching the skewed result capture.\nJSON written to "
+              "%s\n", path.c_str());
+  return all_match ? 0 : 1;
 }

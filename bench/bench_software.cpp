@@ -1,11 +1,21 @@
 // bench_software — §3 context: Montgomery multiplication avoids the trial
-// division that dominates naive modular arithmetic.  Google-benchmark
-// microbenchmarks of the software layers: division-based modular
-// multiplication vs the word-level Montgomery variants (CIOS / SOS / FIPS),
-// the radix-2 Algorithms 1 and 2, the Karatsuba threshold, and the
-// throughput of the three hardware-model fidelity levels.
-#include <benchmark/benchmark.h>
+// division that dominates naive modular arithmetic.  Microbenchmarks of
+// the software layers: division-based modular multiplication vs the
+// word-level Montgomery variants (CIOS / SOS / FIPS), the radix-2
+// Algorithms 1 and 2, the Karatsuba threshold, and the throughput of the
+// hardware-model fidelity levels.
+//
+// Self-timed (bench_timer.hpp, no benchmark-framework dependency).
+// Writes BENCH_software.json; wall_* keys are host-dependent and exempt
+// from the CI drift gate.  --smoke shortens the measurement windows and
+// trims the gate-level sweep.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
+#include "bench_json.hpp"
+#include "bench_timer.hpp"
 #include "bignum/biguint.hpp"
 #include "bignum/montgomery.hpp"
 #include "bignum/random.hpp"
@@ -30,98 +40,115 @@ struct Fixture {
   }
 };
 
-void BM_DivisionModMul(benchmark::State& state) {
-  const Fixture f(static_cast<std::size_t>(state.range(0)));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize((f.x * f.y) % f.n);
-  }
-}
-BENCHMARK(BM_DivisionModMul)->Arg(256)->Arg(1024)->Arg(2048);
-
-template <WordMontgomery::Variant V>
-void BM_WordMontgomery(benchmark::State& state) {
-  const Fixture f(static_cast<std::size_t>(state.range(0)));
-  const WordMontgomery ctx(f.n);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(ctx.Multiply(f.x, f.y, V));
-  }
-}
-BENCHMARK_TEMPLATE(BM_WordMontgomery, WordMontgomery::Variant::kCios)
-    ->Name("BM_MontgomeryCIOS")->Arg(256)->Arg(1024)->Arg(2048);
-BENCHMARK_TEMPLATE(BM_WordMontgomery, WordMontgomery::Variant::kSos)
-    ->Name("BM_MontgomerySOS")->Arg(256)->Arg(1024)->Arg(2048);
-BENCHMARK_TEMPLATE(BM_WordMontgomery, WordMontgomery::Variant::kFips)
-    ->Name("BM_MontgomeryFIPS")->Arg(256)->Arg(1024)->Arg(2048);
-
-void BM_BitSerialAlg1(benchmark::State& state) {
-  const Fixture f(static_cast<std::size_t>(state.range(0)));
-  const BitSerialMontgomery ctx(f.n);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(ctx.MultiplyAlg1(f.x, f.y));
-  }
-}
-BENCHMARK(BM_BitSerialAlg1)->Arg(256)->Arg(1024);
-
-void BM_BitSerialAlg2(benchmark::State& state) {
-  const Fixture f(static_cast<std::size_t>(state.range(0)));
-  const BitSerialMontgomery ctx(f.n);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(ctx.MultiplyAlg2(f.x, f.y));
-  }
-}
-BENCHMARK(BM_BitSerialAlg2)->Arg(256)->Arg(1024);
-
-void BM_Multiplication(benchmark::State& state) {
-  RandomBigUInt rng(0x3141u);
-  const std::size_t bits = static_cast<std::size_t>(state.range(0));
-  const BigUInt a = rng.ExactBits(bits);
-  const BigUInt b = rng.ExactBits(bits);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(a * b);
-  }
-}
-// Around the Karatsuba threshold (24 limbs = 768 bits) and beyond.
-BENCHMARK(BM_Multiplication)->Arg(512)->Arg(768)->Arg(1536)->Arg(4096)->Arg(16384);
-
-void BM_ModExpWordLevel(benchmark::State& state) {
-  const Fixture f(static_cast<std::size_t>(state.range(0)));
-  const WordMontgomery ctx(f.n);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(ctx.ModExp(f.x, f.y));
-  }
-}
-BENCHMARK(BM_ModExpWordLevel)->Arg(256)->Arg(512)->Arg(1024)->Unit(benchmark::kMillisecond);
-
-// Hardware-model fidelity levels: host cost of simulating one MMM.
-void BM_SimBehavioural(benchmark::State& state) {
-  const Fixture f(static_cast<std::size_t>(state.range(0)));
-  mont::core::Mmmc circuit(f.n);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(circuit.Multiply(f.x, f.y));
-  }
-}
-BENCHMARK(BM_SimBehavioural)->Arg(64)->Arg(256)->Arg(1024)->Unit(benchmark::kMicrosecond);
-
-void BM_SimGateLevel(benchmark::State& state) {
-  const std::size_t bits = static_cast<std::size_t>(state.range(0));
-  const Fixture f(bits);
-  const auto gen = mont::core::BuildMmmcNetlist(bits);
-  mont::rtl::Simulator sim(*gen.netlist);
-  for (std::size_t b = 0; b < bits; ++b) sim.SetInput(gen.n_in[b], f.n.Bit(b));
-  for (auto _ : state) {
-    for (std::size_t b = 0; b <= bits; ++b) {
-      sim.SetInput(gen.x_in[b], f.x.Bit(b));
-      sim.SetInput(gen.y_in[b], f.y.Bit(b));
-    }
-    sim.SetInput(gen.start, true);
-    sim.Tick();
-    sim.SetInput(gen.start, false);
-    while (!sim.Peek(gen.done)) sim.Tick();
-    sim.Tick();
-  }
-}
-BENCHMARK(BM_SimGateLevel)->Arg(16)->Arg(64)->Arg(128)->Unit(benchmark::kMillisecond);
-
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const double window = smoke ? 0.01 : 0.25;  // seconds per measurement
+
+  std::vector<mont::bench::JsonRow> rows;
+  std::printf("=== software layers: modular multiplication and simulation "
+              "cost ===\n\n");
+  std::printf("%-22s %8s | %12s %12s\n", "op", "bits", "iters", "ns/op");
+  std::printf("-------------------------------+---------------------------\n");
+  const auto report = [&](const char* op, std::size_t bits,
+                          const mont::bench::TimedResult& timed) {
+    std::printf("%-22s %8zu | %12llu %12.1f\n", op, bits,
+                static_cast<unsigned long long>(timed.iterations),
+                timed.wall_ns_per_op);
+    rows.push_back({
+        {"op", op},
+        {"bits", bits},
+        {"iterations", timed.iterations},
+        {"wall_ns_per_op", timed.wall_ns_per_op},
+    });
+  };
+
+  for (const std::size_t bits : {256u, 1024u, 2048u}) {
+    const Fixture f(bits);
+    report("division_modmul", bits, mont::bench::TimeIt([&] {
+      mont::bench::KeepAlive((f.x * f.y) % f.n);
+    }, window));
+    const WordMontgomery ctx(f.n);
+    report("montgomery_cios", bits, mont::bench::TimeIt([&] {
+      mont::bench::KeepAlive(
+          ctx.Multiply(f.x, f.y, WordMontgomery::Variant::kCios));
+    }, window));
+    report("montgomery_sos", bits, mont::bench::TimeIt([&] {
+      mont::bench::KeepAlive(
+          ctx.Multiply(f.x, f.y, WordMontgomery::Variant::kSos));
+    }, window));
+    report("montgomery_fips", bits, mont::bench::TimeIt([&] {
+      mont::bench::KeepAlive(
+          ctx.Multiply(f.x, f.y, WordMontgomery::Variant::kFips));
+    }, window));
+  }
+
+  for (const std::size_t bits : {256u, 1024u}) {
+    const Fixture f(bits);
+    const BitSerialMontgomery ctx(f.n);
+    report("bitserial_alg1", bits, mont::bench::TimeIt([&] {
+      mont::bench::KeepAlive(ctx.MultiplyAlg1(f.x, f.y));
+    }, window));
+    report("bitserial_alg2", bits, mont::bench::TimeIt([&] {
+      mont::bench::KeepAlive(ctx.MultiplyAlg2(f.x, f.y));
+    }, window));
+  }
+
+  // Around the Karatsuba threshold (24 limbs = 768 bits) and beyond.
+  for (const std::size_t bits : {512u, 768u, 1536u, 4096u, 16384u}) {
+    RandomBigUInt rng(0x3141u);
+    const BigUInt a = rng.ExactBits(bits);
+    const BigUInt b = rng.ExactBits(bits);
+    report("multiplication", bits, mont::bench::TimeIt([&] {
+      mont::bench::KeepAlive(a * b);
+    }, window));
+  }
+
+  for (const std::size_t bits : {256u, 512u, 1024u}) {
+    const Fixture f(bits);
+    const WordMontgomery ctx(f.n);
+    report("modexp_word_level", bits, mont::bench::TimeIt([&] {
+      mont::bench::KeepAlive(ctx.ModExp(f.x, f.y));
+    }, window));
+  }
+
+  // Hardware-model fidelity levels: host cost of simulating one MMM.
+  for (const std::size_t bits : {64u, 256u, 1024u}) {
+    const Fixture f(bits);
+    mont::core::Mmmc circuit(f.n);
+    report("sim_behavioural", bits, mont::bench::TimeIt([&] {
+      mont::bench::KeepAlive(circuit.Multiply(f.x, f.y));
+    }, window));
+  }
+  const std::vector<std::size_t> gate_sweep =
+      smoke ? std::vector<std::size_t>{16, 64}
+            : std::vector<std::size_t>{16, 64, 128};
+  for (const std::size_t bits : gate_sweep) {
+    const Fixture f(bits);
+    const auto gen = mont::core::BuildMmmcNetlist(bits);
+    mont::rtl::Simulator sim(*gen.netlist);
+    for (std::size_t b = 0; b < bits; ++b) {
+      sim.SetInput(gen.n_in[b], f.n.Bit(b));
+    }
+    report("sim_gate_level", bits, mont::bench::TimeIt([&] {
+      for (std::size_t b = 0; b <= bits; ++b) {
+        sim.SetInput(gen.x_in[b], f.x.Bit(b));
+        sim.SetInput(gen.y_in[b], f.y.Bit(b));
+      }
+      sim.SetInput(gen.start, true);
+      sim.Tick();
+      sim.SetInput(gen.start, false);
+      while (!sim.Peek(gen.done)) sim.Tick();
+      sim.Tick();
+    }, window));
+  }
+
+  const std::string path = mont::bench::WriteBenchJson(
+      "software", rows, {{"smoke", smoke}});
+  std::printf("\nJSON written to %s\n", path.c_str());
+  return 0;
+}

@@ -1,0 +1,54 @@
+// bench_timer.hpp — a minimal self-calibrating timing loop, so the
+// microbenchmark binaries carry no external benchmark-framework
+// dependency.  Wall-clock numbers are host-dependent by nature; the CI
+// drift gate skips keys named wall_* (see bench_drift_check.cpp), so
+// benches report them for humans and trend plots, not as a hard gate.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace mont::bench {
+
+/// Keeps `value` observable so the timed expression is not optimized out.
+template <typename T>
+inline void KeepAlive(const T& value) {
+  asm volatile("" : : "g"(&value) : "memory");
+}
+
+struct TimedResult {
+  std::uint64_t iterations = 0;
+  double wall_seconds = 0;     ///< total time of the final measured batch
+  double wall_ns_per_op = 0;
+};
+
+/// Runs `fn` in growing batches until one batch spans at least
+/// `min_seconds`, then reports that batch.  One warmup call pays lazy
+/// initialisation outside the measurement.
+template <typename Fn>
+TimedResult TimeIt(Fn&& fn, double min_seconds) {
+  using Clock = std::chrono::steady_clock;
+  fn();  // warmup
+  std::uint64_t n = 1;
+  for (;;) {
+    const Clock::time_point begin = Clock::now();
+    for (std::uint64_t i = 0; i < n; ++i) fn();
+    const double elapsed =
+        std::chrono::duration<double>(Clock::now() - begin).count();
+    if (elapsed >= min_seconds || n >= (1ull << 30)) {
+      TimedResult result;
+      result.iterations = n;
+      result.wall_seconds = elapsed;
+      result.wall_ns_per_op = elapsed / static_cast<double>(n) * 1e9;
+      return result;
+    }
+    // Aim past the threshold in one more batch, growing at least 2x.
+    const double scale =
+        elapsed > 0 ? (1.5 * min_seconds) / elapsed : 2.0;
+    const std::uint64_t next = static_cast<std::uint64_t>(
+        static_cast<double>(n) * (scale > 2.0 ? scale : 2.0));
+    n = next > n ? next : n + 1;
+  }
+}
+
+}  // namespace mont::bench

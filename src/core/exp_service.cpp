@@ -1,6 +1,9 @@
 #include "core/exp_service.hpp"
 
 #include <algorithm>
+#include <array>
+#include <chrono>
+#include <limits>
 #include <exception>
 #include <stdexcept>
 
@@ -258,39 +261,196 @@ PairedExpResult PairedModExp(const MmmEngine& engine_a, const BigUInt& base_a,
 }
 
 // ---------------------------------------------------------------------------
+// ExecutionCore
+// ---------------------------------------------------------------------------
+
+ExecutionCore::ExecutionCore(std::string engine_name,
+                             EngineOptions engine_options,
+                             std::size_t cache_capacity,
+                             std::uint64_t blind_seed)
+    : engine_name_(std::move(engine_name)),
+      engine_options_(engine_options),
+      blind_rng_(blind_seed),
+      cache_(cache_capacity == 0 ? 1 : cache_capacity) {
+  // Resolve the backend up front so a bad name or a capability mismatch
+  // (e.g. a GF(2^m) service on a GF(p)-only backend) fails at
+  // construction, not on the first worker thread.
+  const EngineRegistry::Entry* entry =
+      EngineRegistry::Global().Find(engine_name_);
+  if (entry == nullptr) {
+    throw std::invalid_argument("ExpService: unknown engine '" + engine_name_ +
+                                "'");
+  }
+  if (engine_options_.field == EngineField::kGf2 && !entry->caps.gf2) {
+    throw std::invalid_argument("ExpService: engine '" + engine_name_ +
+                                "' does not support GF(2^m)");
+  }
+}
+
+void ExecutionCore::ValidateModulus(const BigUInt& modulus) const {
+  // Same predicate the registry factory will apply on the worker thread —
+  // fail at Submit time instead of poisoning a future later.
+  ValidateEngineModulus(modulus, engine_options_.field, "ExpService");
+}
+
+const std::string& ExecutionCore::ResolveEngineName(
+    const ExpJobOptions& options) const {
+  if (options.engine_name.empty()) return engine_name_;
+  // Per-job override: apply the same checks the constructor applied to
+  // the default backend, at Submit time instead of on a worker thread.
+  const EngineRegistry::Entry* entry =
+      EngineRegistry::Global().Find(options.engine_name);
+  if (entry == nullptr) {
+    throw std::invalid_argument("ExpService: unknown engine '" +
+                                options.engine_name + "'");
+  }
+  if (engine_options_.field == EngineField::kGf2 && !entry->caps.gf2) {
+    throw std::invalid_argument("ExpService: engine '" + options.engine_name +
+                                "' does not support GF(2^m)");
+  }
+  return options.engine_name;
+}
+
+bool ExecutionCore::Pairable(const ExpJobOptions& options) const {
+  return EngineRegistry::Global()
+      .Find(ResolveEngineName(options))
+      ->caps.pairable_streams;
+}
+
+BigUInt ExecutionCore::EffectiveExponent(const JobSpec& spec) {
+  if (spec.options.exponent_blind_order.IsZero()) return spec.exponent;
+  BigUInt k;
+  {
+    std::lock_guard<std::mutex> lk(blind_mu_);
+    k = blind_rng_.ExactBits(spec.options.exponent_blind_bits);
+  }
+  return spec.exponent + k * spec.options.exponent_blind_order;
+}
+
+std::shared_ptr<const MmmEngine> ExecutionCore::AcquireEngine(
+    const std::string& engine_name, const BigUInt& modulus) {
+  // Hex digits never collide with the separator, so (engine, modulus)
+  // pairs key uniquely — jobs on different backends share one cache.
+  const std::string key = engine_name + ':' + modulus.ToHex();
+  {
+    std::lock_guard<std::mutex> lk(cache_mu_);
+    if (auto* hit = cache_.Get(key)) return *hit;
+  }
+  // The R^2-mod-N precomputation (and for the simulated backends the
+  // netlist build) is the expensive step the cache amortizes — do it
+  // outside the lock so a miss never stalls workers hitting other moduli.
+  // Two workers racing on the same cold modulus may both construct; the
+  // first Put wins and the loser adopts it.
+  std::shared_ptr<const MmmEngine> engine =
+      MakeEngine(engine_name, modulus, engine_options_);
+  std::lock_guard<std::mutex> lk(cache_mu_);
+  if (cache_.Contains(key)) return *cache_.Get(key);
+  cache_.Put(key, engine);
+  return engine;
+}
+
+std::uint64_t ExecutionCore::CacheHits() const {
+  std::lock_guard<std::mutex> lk(cache_mu_);
+  return cache_.Hits();
+}
+
+std::uint64_t ExecutionCore::CacheMisses() const {
+  std::lock_guard<std::mutex> lk(cache_mu_);
+  return cache_.Misses();
+}
+
+std::uint64_t ExecutionCore::CacheEvictions() const {
+  std::lock_guard<std::mutex> lk(cache_mu_);
+  return cache_.Evictions();
+}
+
+ExecutionCore::Outcome ExecutionCore::RunGroup(
+    std::span<const JobSpec* const> group) {
+  Outcome outcome;
+  outcome.results.resize(group.size());
+  try {
+    if (group.size() == 2) {
+      const auto engine_a =
+          AcquireEngine(ResolveEngineName(group[0]->options),
+                        group[0]->modulus);
+      const auto engine_b =
+          AcquireEngine(ResolveEngineName(group[1]->options),
+                        group[1]->modulus);
+      // Per-job engine overrides can bond two backends on one issue —
+      // any mix works as long as both model pairable array streams of
+      // equal operand length (a bonded SubmitPair of unequal-capability
+      // jobs falls back to solo issues instead of failing).
+      if (engine_a->Caps().pairable_streams &&
+          engine_b->Caps().pairable_streams &&
+          engine_a->l() == engine_b->l() &&
+          engine_a->Field() == engine_b->Field()) {
+        PairedExpResult paired = PairedModExp(
+            *engine_a, group[0]->base, EffectiveExponent(*group[0]),
+            *engine_b, group[1]->base, EffectiveExponent(*group[1]));
+        outcome.results[0].value = std::move(paired.a);
+        outcome.results[1].value = std::move(paired.b);
+        outcome.results[0].stats = paired.stats_a;
+        outcome.results[1].stats = paired.stats_b;
+        for (ExpResult& result : outcome.results) {
+          result.paired = true;
+          // The group's array occupancy is the closest per-job
+          // measurement pairing admits (the two MMM streams are
+          // interleaved cycle by cycle); both partners report the shared
+          // issue accounting.
+          result.stats.paired_issues = paired.stats.paired_issues;
+          result.stats.single_issues = paired.stats.single_issues;
+          result.stats.engine_cycles = paired.stats.engine_cycles;
+        }
+        outcome.paired = true;
+      }
+    }
+    if (!outcome.paired) {
+      for (std::size_t i = 0; i < group.size(); ++i) {
+        const auto engine = AcquireEngine(
+            ResolveEngineName(group[i]->options), group[i]->modulus);
+        ExpResult& result = outcome.results[i];
+        result.value =
+            RunSoloStream(*engine, group[i]->base,
+                          EffectiveExponent(*group[i]), &result.stats);
+      }
+    }
+  } catch (...) {
+    outcome.error = std::current_exception();
+  }
+  return outcome;
+}
+
+// ---------------------------------------------------------------------------
 // ExpService
 // ---------------------------------------------------------------------------
 
 ExpService::ExpService(Options options)
     : options_(std::move(options)),
-      blind_rng_(options_.blind_seed),
-      cache_(options_.engine_cache_capacity == 0
-                 ? 1
-                 : options_.engine_cache_capacity) {
+      core_(options_.engine_name, options_.engine_options,
+            options_.engine_cache_capacity, options_.blind_seed) {
   if (options_.workers == 0) options_.workers = 1;
-  // Resolve the backend up front so a bad name or a capability mismatch
-  // (e.g. a GF(2^m) service on a GF(p)-only backend) fails at
-  // construction, not on the first worker thread.
-  const EngineRegistry::Entry* entry =
-      EngineRegistry::Global().Find(options_.engine_name);
-  if (entry == nullptr) {
-    throw std::invalid_argument("ExpService: unknown engine '" +
-                                options_.engine_name + "'");
-  }
-  if (options_.engine_options.field == EngineField::kGf2 && !entry->caps.gf2) {
-    throw std::invalid_argument("ExpService: engine '" + options_.engine_name +
-                                "' does not support GF(2^m)");
+  if (options_.max_batch == 0) options_.max_batch = 1;
+  clock_ = options_.clock != nullptr ? options_.clock : &steady_clock_;
+  if (options_.scheduler == SchedulerKind::kStealing) {
+    StealScheduler::Config config;
+    config.workers = options_.workers;
+    config.enable_pairing = options_.enable_pairing;
+    config.work_stealing = options_.work_stealing;
+    config.unpair_timeout = options_.unpair_timeout;
+    config.max_batch = options_.max_batch;
+    sched_ = std::make_unique<StealScheduler>(config);
   }
   // The 3l+5-per-pair credit models the C-slow variant of the array
   // schedule; a backend without pairable streams (word-serial datapaths)
   // must not report fictitious dual-channel throughput.  That is
-  // enforced per job — non-pairable jobs get solo queue keys at Submit
-  // and Execute falls back to solo issue for bonded pairs — rather than
-  // by disabling pairing service-wide, so jobs whose JobOptions override
-  // selects a pairable backend still co-schedule.
+  // enforced per job — non-pairable jobs never enter the pairing
+  // keyspace and RunGroup falls back to solo issue for bonded pairs —
+  // rather than by disabling pairing service-wide, so jobs whose
+  // ExpJobOptions override selects a pairable backend still co-schedule.
+  cont_thread_ = std::thread([this] { ContinuationLoop(); });
   workers_.reserve(options_.workers);
   for (std::size_t i = 0; i < options_.workers; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -301,49 +461,30 @@ ExpService::~ExpService() {
   }
   cv_.notify_all();
   for (std::thread& worker : workers_) worker.join();
-}
-
-void ExpService::ValidateModulus(const BigUInt& modulus) const {
-  // Same predicate the registry factory will apply on the worker thread —
-  // fail at Submit time instead of poisoning a future later.
-  ValidateEngineModulus(modulus, options_.engine_options.field, "ExpService");
-}
-
-const std::string& ExpService::ResolveEngineName(
-    const JobOptions& options) const {
-  if (options.engine_name.empty()) return options_.engine_name;
-  // Per-job override: apply the same checks the constructor applied to
-  // the default backend, at Submit time instead of on a worker thread.
-  const EngineRegistry::Entry* entry =
-      EngineRegistry::Global().Find(options.engine_name);
-  if (entry == nullptr) {
-    throw std::invalid_argument("ExpService: unknown engine '" +
-                                options.engine_name + "'");
-  }
-  if (options_.engine_options.field == EngineField::kGf2 && !entry->caps.gf2) {
-    throw std::invalid_argument("ExpService: engine '" + options.engine_name +
-                                "' does not support GF(2^m)");
-  }
-  return options.engine_name;
-}
-
-BigUInt ExpService::EffectiveExponent(const Job& job) {
-  if (job.options.exponent_blind_order.IsZero()) return job.exponent;
-  BigUInt k;
+  // Workers are gone, so no callback can post further work after this
+  // point: drain the continuation queue, then retire its thread.  Every
+  // pending CRT recombination posted by a drained job still runs.
   {
-    std::lock_guard<std::mutex> lk(blind_mu_);
-    k = blind_rng_.ExactBits(job.options.exponent_blind_bits);
+    std::lock_guard<std::mutex> lk(cont_mu_);
+    cont_stop_ = true;
   }
-  return job.exponent + k * job.options.exponent_blind_order;
+  cont_cv_.notify_all();
+  cont_thread_.join();
 }
 
-std::future<ExpService::Result> ExpService::Enqueue(Job job,
-                                                    std::uint64_t key) {
+std::uint64_t ExpService::NowTicks() const { return clock_->Now(); }
+
+std::future<ExpService::Result> ExpService::Enqueue(Job job, std::uint64_t key,
+                                                    bool pairable) {
   std::future<Result> future = job.promise.get_future();
   {
     std::lock_guard<std::mutex> lk(mu_);
     job.id = next_id_++;
-    queue_.Push(job.id, key);
+    if (sched_ != nullptr) {
+      sched_->Submit(job.id, key, pairable, NowTicks());
+    } else {
+      queue_.Push(job.id, key);
+    }
     pending_.emplace(job.id, std::move(job));
     ++counters_.jobs_submitted;
   }
@@ -364,9 +505,8 @@ std::future<ExpService::Result> ExpService::Submit(BigUInt modulus,
                                                    BigUInt exponent,
                                                    JobOptions job_options,
                                                    Callback callback) {
-  ValidateModulus(modulus);
-  const EngineRegistry::Entry* entry =
-      EngineRegistry::Global().Find(ResolveEngineName(job_options));
+  core_.ValidateModulus(modulus);
+  const bool pairable = core_.Pairable(job_options);
   if (!job_options.exponent_blind_order.IsZero() &&
       job_options.exponent_blind_bits == 0) {
     throw std::invalid_argument(
@@ -374,20 +514,21 @@ std::future<ExpService::Result> ExpService::Submit(BigUInt modulus,
   }
   Job job;
   // Opportunistic pairing key: the operand length — any two jobs of equal
-  // l can share one array's two channels.  A job on a backend without
-  // pairable streams gets a key of its own instead, so the scheduler
-  // never hands it a partner its datapath cannot co-schedule.
+  // l can share one array's two channels.  Under the v1 shared queue a
+  // job on a backend without pairable streams gets a key of its own
+  // instead (the v2 scheduler takes the pairable flag directly), so the
+  // scheduler never hands it a partner its datapath cannot co-schedule.
   std::uint64_t key = modulus.BitLength();
-  if (!entry->caps.pairable_streams) {
+  if (!pairable && sched_ == nullptr) {
     std::lock_guard<std::mutex> lk(mu_);
     key = (std::uint64_t{1} << 62) | next_solo_key_++;
   }
-  job.modulus = std::move(modulus);
-  job.base = std::move(base);
-  job.exponent = std::move(exponent);
-  job.options = std::move(job_options);
+  job.spec.modulus = std::move(modulus);
+  job.spec.base = std::move(base);
+  job.spec.exponent = std::move(exponent);
+  job.spec.options = std::move(job_options);
   job.callback = std::move(callback);
-  return Enqueue(std::move(job), key);
+  return Enqueue(std::move(job), key, pairable);
 }
 
 std::vector<std::future<ExpService::Result>> ExpService::SubmitBatch(
@@ -408,8 +549,8 @@ std::vector<std::future<ExpService::Result>> ExpService::SubmitBatch(
 std::pair<std::future<ExpService::Result>, std::future<ExpService::Result>>
 ExpService::SubmitPair(BigUInt modulus_a, BigUInt base_a, BigUInt exponent_a,
                        BigUInt modulus_b, BigUInt base_b, BigUInt exponent_b) {
-  ValidateModulus(modulus_a);
-  ValidateModulus(modulus_b);
+  core_.ValidateModulus(modulus_a);
+  core_.ValidateModulus(modulus_b);
   if (modulus_a.BitLength() != modulus_b.BitLength()) {
     // Unequal lengths cannot share an array; run them as plain jobs.
     auto first = Submit(std::move(modulus_a), std::move(base_a),
@@ -418,36 +559,58 @@ ExpService::SubmitPair(BigUInt modulus_a, BigUInt base_a, BigUInt exponent_a,
                          std::move(exponent_b));
     return {std::move(first), std::move(second)};
   }
-  // A bond key is unique to the pair (top bit marks the bonded keyspace),
-  // so the partners can only ever pair with each other.  Both jobs enter
-  // the queue under one lock: a worker must never observe one half of a
-  // bond without the other, or the first half would issue alone.
   Job job_a, job_b;
-  job_a.modulus = std::move(modulus_a);
-  job_a.base = std::move(base_a);
-  job_a.exponent = std::move(exponent_a);
-  job_b.modulus = std::move(modulus_b);
-  job_b.base = std::move(base_b);
-  job_b.exponent = std::move(exponent_b);
+  job_a.spec.modulus = std::move(modulus_a);
+  job_a.spec.base = std::move(base_a);
+  job_a.spec.exponent = std::move(exponent_a);
+  job_b.spec.modulus = std::move(modulus_b);
+  job_b.spec.base = std::move(base_b);
+  job_b.spec.exponent = std::move(exponent_b);
   std::future<Result> first = job_a.promise.get_future();
   std::future<Result> second = job_b.promise.get_future();
   {
     std::lock_guard<std::mutex> lk(mu_);
-    const std::uint64_t key = (std::uint64_t{1} << 63) | next_bond_key_++;
-    for (Job* job : {&job_a, &job_b}) {
-      job->id = next_id_++;
-      queue_.Push(job->id, key, /*bonded=*/true);
-      pending_.emplace(job->id, std::move(*job));
-      ++counters_.jobs_submitted;
+    job_a.id = next_id_++;
+    job_b.id = next_id_++;
+    if (sched_ != nullptr) {
+      // The v2 scheduler forms the bonded group at submit time: a worker
+      // can never observe one half without the other.
+      sched_->SubmitBonded(job_a.id, job_b.id, NowTicks());
+    } else {
+      // A bond key is unique to the pair (top bit marks the bonded
+      // keyspace), so the partners can only ever pair with each other.
+      // Both jobs enter the queue under one lock: a worker must never
+      // observe one half of a bond without the other, or the first half
+      // would issue alone.
+      const std::uint64_t key = (std::uint64_t{1} << 63) | next_bond_key_++;
+      queue_.Push(job_a.id, key, /*bonded=*/true);
+      queue_.Push(job_b.id, key, /*bonded=*/true);
     }
+    pending_.emplace(job_a.id, std::move(job_a));
+    pending_.emplace(job_b.id, std::move(job_b));
+    counters_.jobs_submitted += 2;
   }
   cv_.notify_all();
   return {std::move(first), std::move(second)};
 }
 
+void ExpService::Post(std::function<void()> continuation) {
+  {
+    std::lock_guard<std::mutex> lk(cont_mu_);
+    continuations_.push(std::move(continuation));
+  }
+  cont_cv_.notify_one();
+}
+
+bool ExpService::QueueDrainedLocked() const {
+  const bool queue_empty =
+      sched_ != nullptr ? sched_->Idle() : queue_.Empty();
+  return queue_empty && in_flight_ == 0;
+}
+
 void ExpService::Wait() {
   std::unique_lock<std::mutex> lk(mu_);
-  idle_cv_.wait(lk, [this] { return queue_.Empty() && in_flight_ == 0; });
+  idle_cv_.wait(lk, [this] { return QueueDrainedLocked(); });
 }
 
 ExpService::Counters ExpService::Snapshot() const {
@@ -455,157 +618,474 @@ ExpService::Counters ExpService::Snapshot() const {
   {
     std::lock_guard<std::mutex> lk(mu_);
     counters = counters_;
+    if (sched_ != nullptr) {
+      const StealScheduler::Stats& stats = sched_->GetStats();
+      counters.steals = stats.steals;
+      counters.holds = stats.holds;
+      counters.hold_pairs = stats.hold_pairs;
+      counters.unpair_timeouts = stats.unpair_timeouts;
+      counters.batch_acquires = stats.batch_acquires;
+      counters.max_batch_claimed = stats.max_batch_claimed;
+    }
   }
-  {
-    std::lock_guard<std::mutex> lk(cache_mu_);
-    counters.engine_cache_hits = cache_.Hits();
-    counters.engine_cache_misses = cache_.Misses();
-    counters.engine_cache_evictions = cache_.Evictions();
-  }
+  counters.engine_cache_hits = core_.CacheHits();
+  counters.engine_cache_misses = core_.CacheMisses();
+  counters.engine_cache_evictions = core_.CacheEvictions();
   return counters;
 }
 
-std::shared_ptr<const MmmEngine> ExpService::AcquireEngine(
-    const std::string& engine_name, const BigUInt& modulus) {
-  // Hex digits never collide with the separator, so (engine, modulus)
-  // pairs key uniquely — jobs on different backends share one cache.
-  const std::string key = engine_name + ':' + modulus.ToHex();
-  {
-    std::lock_guard<std::mutex> lk(cache_mu_);
-    if (auto* hit = cache_.Get(key)) return *hit;
-  }
-  // The R^2-mod-N precomputation (and for the simulated backends the
-  // netlist build) is the expensive step the cache amortizes — do it
-  // outside the lock so a miss never stalls workers hitting other moduli.
-  // Two workers racing on the same cold modulus may both construct; the
-  // first Put wins and the loser adopts it.
-  std::shared_ptr<const MmmEngine> engine =
-      MakeEngine(engine_name, modulus, options_.engine_options);
-  std::lock_guard<std::mutex> lk(cache_mu_);
-  if (cache_.Contains(key)) return *cache_.Get(key);
-  cache_.Put(key, engine);
-  return engine;
-}
-
-void ExpService::WorkerLoop() {
-  std::unique_lock<std::mutex> lk(mu_);
+bool ExpService::AcquireIssues(std::size_t index,
+                               std::unique_lock<std::mutex>& lk,
+                               std::vector<StealScheduler::Issue>* issues) {
   for (;;) {
-    cv_.wait(lk, [this] { return stop_ || !queue_.Empty(); });
-    if (queue_.Empty()) {
-      if (stop_) return;
+    if (sched_ != nullptr) {
+      // While draining, every held job's deadline is treated as expired
+      // so nothing waits out a timeout the pool no longer needs.
+      const std::uint64_t now =
+          stop_ ? std::numeric_limits<std::uint64_t>::max() : NowTicks();
+      sched_->AcquireBatch(index, now, issues);
+      if (!issues->empty()) return true;
+      if (stop_) return false;
+      const auto deadline = sched_->NextHoldDeadline();
+      if (!deadline.has_value()) {
+        cv_.wait(lk);
+      } else if (options_.clock != nullptr) {
+        // An injected clock's ticks don't map onto wall time, so the
+        // timed wait degrades to a poll (test-only configuration).
+        cv_.wait_for(lk, std::chrono::microseconds(100));
+      } else {
+        cv_.wait_until(lk, std::chrono::steady_clock::time_point(
+                               std::chrono::nanoseconds(*deadline)));
+      }
       continue;
     }
-    const auto issue = queue_.Pop(options_.enable_pairing);
-    std::vector<Job> group;
-    group.reserve(issue->count);
-    for (std::size_t i = 0; i < issue->count; ++i) {
-      auto it = pending_.find(issue->ids[i]);
-      group.push_back(std::move(it->second));
-      pending_.erase(it);
+    cv_.wait(lk, [this] { return stop_ || !queue_.Empty(); });
+    if (queue_.Empty()) {
+      if (stop_) return false;
+      continue;
     }
-    in_flight_ += issue->count;
-    lk.unlock();
-
-    const std::size_t completed = group.size();
-    Execute(std::move(group));
-
-    lk.lock();
-    in_flight_ -= completed;
-    counters_.jobs_completed += completed;
-    if (queue_.Empty() && in_flight_ == 0) idle_cv_.notify_all();
+    const auto popped = queue_.Pop(options_.enable_pairing);
+    StealScheduler::Issue issue;
+    issue.ids = popped->ids;
+    issue.count = popped->count;
+    issue.bonded = popped->bonded;
+    issues->push_back(issue);
+    return true;
   }
 }
 
-void ExpService::Execute(std::vector<Job> group) {
-  std::vector<Result> results(group.size());
-  bool pair_executed = false;
-  // Issue accounting records what actually ran — a popped pair whose
-  // backends could not co-schedule executes (and is counted) as two solo
-  // issues, never as fictitious dual-channel throughput.  Counters are
-  // published before the promises resolve, so a caller observing a
-  // completed future observes its issue already counted.
-  bool counted = false;
-  const auto count_issues = [&] {
-    if (counted) return;  // a throw after counting must not count twice
-    counted = true;
-    std::lock_guard<std::mutex> lk(mu_);
-    if (pair_executed) {
-      ++counters_.pair_issues;
-    } else {
-      counters_.single_issues += group.size();
-    }
+void ExpService::WorkerLoop(std::size_t index) {
+  struct Unit {
+    StealScheduler::Issue issue;
+    std::vector<Job> jobs;
   };
-  try {
-    if (group.size() == 2) {
-      const auto engine_a =
-          AcquireEngine(ResolveEngineName(group[0].options), group[0].modulus);
-      const auto engine_b =
-          AcquireEngine(ResolveEngineName(group[1].options), group[1].modulus);
-      // Per-job engine overrides can bond two backends on one issue —
-      // any mix works as long as both model pairable array streams of
-      // equal operand length (a bonded SubmitPair of unequal-capability
-      // jobs falls back to solo issues instead of failing).
-      if (engine_a->Caps().pairable_streams &&
-          engine_b->Caps().pairable_streams &&
-          engine_a->l() == engine_b->l() &&
-          engine_a->Field() == engine_b->Field()) {
-        PairedExpResult paired = PairedModExp(
-            *engine_a, group[0].base, EffectiveExponent(group[0]), *engine_b,
-            group[1].base, EffectiveExponent(group[1]));
-        results[0].value = std::move(paired.a);
-        results[1].value = std::move(paired.b);
-        results[0].stats = paired.stats_a;
-        results[1].stats = paired.stats_b;
-        for (Result& result : results) {
-          result.paired = true;
-          // The group's array occupancy is the closest per-job
-          // measurement pairing admits (the two MMM streams are
-          // interleaved cycle by cycle); both partners report the shared
-          // issue accounting.
-          result.stats.paired_issues = paired.stats.paired_issues;
-          result.stats.single_issues = paired.stats.single_issues;
-          result.stats.engine_cycles = paired.stats.engine_cycles;
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    std::vector<StealScheduler::Issue> issues;
+    if (!AcquireIssues(index, lk, &issues)) return;
+    std::vector<Unit> units;
+    units.reserve(issues.size());
+    std::size_t claimed = 0;
+    for (const StealScheduler::Issue& issue : issues) {
+      Unit unit;
+      unit.issue = issue;
+      unit.jobs.reserve(issue.count);
+      for (std::size_t i = 0; i < issue.count; ++i) {
+        auto it = pending_.find(issue.ids[i]);
+        unit.jobs.push_back(std::move(it->second));
+        pending_.erase(it);
+      }
+      claimed += issue.count;
+      units.push_back(std::move(unit));
+    }
+    in_flight_ += claimed;
+    lk.unlock();
+
+    for (Unit& unit : units) {
+      std::array<const ExecutionCore::JobSpec*, 2> specs{};
+      for (std::size_t i = 0; i < unit.jobs.size(); ++i) {
+        specs[i] = &unit.jobs[i].spec;
+      }
+      ExecutionCore::Outcome outcome = core_.RunGroup(
+          std::span<const ExecutionCore::JobSpec* const>(specs.data(),
+                                                         unit.jobs.size()));
+      // Scheduling provenance rides on every result, so callers can
+      // audit steal/unpair decisions per job, not just in aggregate.
+      for (ExpResult& result : outcome.results) {
+        result.stolen = unit.issue.stolen;
+        result.unpaired_by_timeout = unit.issue.unpaired_by_timeout;
+      }
+      // Issue accounting records what actually ran — a 2-job group whose
+      // backends could not co-schedule executes (and is counted) as two
+      // solo issues, never as fictitious dual-channel throughput.
+      // Counters (and the scheduler's in-flight accounting, which gates
+      // the hold-for-pairing heuristic) are published before the
+      // promises resolve, so a caller observing a completed future
+      // observes its issue already counted.
+      lk.lock();
+      if (outcome.paired) {
+        ++counters_.pair_issues;
+      } else {
+        counters_.single_issues += unit.jobs.size();
+      }
+      // The scheduler's in-flight accounting (which gates the
+      // hold-for-pairing heuristic) retires before the promises resolve,
+      // so a caller submitting right after .get() sees an idle pool.
+      if (sched_ != nullptr) sched_->OnGroupDone();
+      lk.unlock();
+
+      if (outcome.error != nullptr) {
+        for (Job& job : unit.jobs) {
+          try {
+            job.promise.set_exception(outcome.error);
+          } catch (const std::future_error&) {
+            // This promise was already fulfilled before the failure.
+          }
         }
-        pair_executed = true;
+      } else {
+        // Every promise in the group is fulfilled before any callback
+        // runs, so a misbehaving callback can neither withhold nor
+        // poison a partner job's future (callbacks are documented
+        // noexcept-in-spirit; anything they throw is contained here).
+        for (std::size_t i = 0; i < unit.jobs.size(); ++i) {
+          unit.jobs[i].promise.set_value(outcome.results[i]);
+        }
+        for (std::size_t i = 0; i < unit.jobs.size(); ++i) {
+          if (!unit.jobs[i].callback) continue;
+          try {
+            unit.jobs[i].callback(outcome.results[i]);
+          } catch (...) {
+          }
+        }
       }
+      // jobs_completed / in_flight_ retire only after the callbacks, so
+      // Wait() returning guarantees every completion hook has run.
+      lk.lock();
+      counters_.jobs_completed += unit.jobs.size();
+      in_flight_ -= unit.jobs.size();
+      const bool drained = QueueDrainedLocked();
+      lk.unlock();
+      if (drained) idle_cv_.notify_all();
     }
-    if (!pair_executed) {
-      for (std::size_t i = 0; i < group.size(); ++i) {
-        const auto engine = AcquireEngine(ResolveEngineName(group[i].options),
-                                          group[i].modulus);
-        Result& result = results[i];
-        result.value = RunSoloStream(*engine, group[i].base,
-                                     EffectiveExponent(group[i]),
-                                     &result.stats);
-      }
-    }
-    count_issues();
-    for (std::size_t i = 0; i < group.size(); ++i) {
-      group[i].promise.set_value(results[i]);
-    }
-  } catch (...) {
-    count_issues();
-    const std::exception_ptr error = std::current_exception();
-    for (Job& job : group) {
-      try {
-        job.promise.set_exception(error);
-      } catch (const std::future_error&) {
-        // This promise was already fulfilled before the failure.
-      }
-    }
-    return;
+    lk.lock();
   }
-  // Every promise in the group is fulfilled before any callback runs, so
-  // a misbehaving callback can neither withhold nor poison a partner
-  // job's future (callbacks are documented noexcept-in-spirit; anything
-  // they throw is contained here).
-  for (std::size_t i = 0; i < group.size(); ++i) {
-    if (!group[i].callback) continue;
+}
+
+void ExpService::ContinuationLoop() {
+  std::unique_lock<std::mutex> lk(cont_mu_);
+  for (;;) {
+    cont_cv_.wait(lk,
+                  [this] { return cont_stop_ || !continuations_.empty(); });
+    if (continuations_.empty()) {
+      if (cont_stop_) return;
+      continue;
+    }
+    std::function<void()> continuation = std::move(continuations_.front());
+    continuations_.pop();
+    lk.unlock();
     try {
-      group[i].callback(results[i]);
+      continuation();
+    } catch (...) {
+      // Continuations are fire-and-forget; errors surface through the
+      // promises they own, never by killing the drain thread.
+    }
+    lk.lock();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DeterministicExecutor
+// ---------------------------------------------------------------------------
+
+DeterministicExecutor::DeterministicExecutor(ExpService::Options options)
+    : options_(std::move(options)),
+      core_(options_.engine_name, options_.engine_options,
+            options_.engine_cache_capacity, options_.blind_seed) {
+  if (options_.workers == 0) options_.workers = 1;
+  if (options_.max_batch == 0) options_.max_batch = 1;
+  if (options_.scheduler == SchedulerKind::kStealing) {
+    StealScheduler::Config config;
+    config.workers = options_.workers;
+    config.enable_pairing = options_.enable_pairing;
+    config.work_stealing = options_.work_stealing;
+    config.unpair_timeout = options_.unpair_timeout;
+    config.max_batch = options_.max_batch;
+    sched_ = std::make_unique<StealScheduler>(config);
+  }
+  worker_busy_.assign(options_.workers, false);
+}
+
+void DeterministicExecutor::Schedule(std::uint64_t tick,
+                                     std::function<void()> action) {
+  Event event;
+  event.tick = std::max(tick, now_);
+  event.seq = next_seq_++;
+  event.action = std::move(action);
+  events_.push(std::move(event));
+}
+
+void DeterministicExecutor::EnterQueue(Job job, std::uint64_t key,
+                                       bool pairable) {
+  job.submit_tick = now_;
+  const std::uint64_t id = job.id;
+  ++counters_.jobs_submitted;
+  if (sched_ != nullptr) {
+    sched_->Submit(id, key, pairable, now_);
+  } else {
+    queue_.Push(id, key);
+  }
+  pending_.emplace(id, std::move(job));
+}
+
+std::future<DeterministicExecutor::Result> DeterministicExecutor::SubmitAt(
+    std::uint64_t tick, BigUInt modulus, BigUInt base, BigUInt exponent,
+    ExpJobOptions job_options, Callback callback) {
+  core_.ValidateModulus(modulus);
+  const bool pairable = core_.Pairable(job_options);
+  if (!job_options.exponent_blind_order.IsZero() &&
+      job_options.exponent_blind_bits == 0) {
+    throw std::invalid_argument(
+        "ExpService: exponent_blind_bits must be >= 1 when blinding");
+  }
+  auto job = std::make_shared<Job>();
+  job->id = next_id_++;
+  job->spec.modulus = std::move(modulus);
+  job->spec.base = std::move(base);
+  job->spec.exponent = std::move(exponent);
+  job->spec.options = std::move(job_options);
+  job->callback = std::move(callback);
+  std::future<Result> future = job->promise.get_future();
+  std::uint64_t key = job->spec.modulus.BitLength();
+  if (!pairable && sched_ == nullptr) {
+    key = (std::uint64_t{1} << 62) | next_solo_key_++;
+  }
+  Schedule(tick, [this, job, key, pairable] {
+    EnterQueue(std::move(*job), key, pairable);
+    TryDispatch();
+  });
+  return future;
+}
+
+std::pair<std::future<DeterministicExecutor::Result>,
+          std::future<DeterministicExecutor::Result>>
+DeterministicExecutor::SubmitPairAt(std::uint64_t tick, BigUInt modulus_a,
+                                    BigUInt base_a, BigUInt exponent_a,
+                                    BigUInt modulus_b, BigUInt base_b,
+                                    BigUInt exponent_b) {
+  core_.ValidateModulus(modulus_a);
+  core_.ValidateModulus(modulus_b);
+  if (modulus_a.BitLength() != modulus_b.BitLength()) {
+    auto first = SubmitAt(tick, std::move(modulus_a), std::move(base_a),
+                          std::move(exponent_a));
+    auto second = SubmitAt(tick, std::move(modulus_b), std::move(base_b),
+                           std::move(exponent_b));
+    return {std::move(first), std::move(second)};
+  }
+  auto job_a = std::make_shared<Job>();
+  auto job_b = std::make_shared<Job>();
+  job_a->id = next_id_++;
+  job_b->id = next_id_++;
+  job_a->spec.modulus = std::move(modulus_a);
+  job_a->spec.base = std::move(base_a);
+  job_a->spec.exponent = std::move(exponent_a);
+  job_b->spec.modulus = std::move(modulus_b);
+  job_b->spec.base = std::move(base_b);
+  job_b->spec.exponent = std::move(exponent_b);
+  std::future<Result> first = job_a->promise.get_future();
+  std::future<Result> second = job_b->promise.get_future();
+  Schedule(tick, [this, job_a, job_b] {
+    job_a->submit_tick = now_;
+    job_b->submit_tick = now_;
+    counters_.jobs_submitted += 2;
+    if (sched_ != nullptr) {
+      sched_->SubmitBonded(job_a->id, job_b->id, now_);
+    } else {
+      const std::uint64_t key = (std::uint64_t{1} << 63) | next_bond_key_++;
+      queue_.Push(job_a->id, key, /*bonded=*/true);
+      queue_.Push(job_b->id, key, /*bonded=*/true);
+    }
+    pending_.emplace(job_a->id, std::move(*job_a));
+    pending_.emplace(job_b->id, std::move(*job_b));
+    TryDispatch();
+  });
+  return {std::move(first), std::move(second)};
+}
+
+void DeterministicExecutor::PostAt(std::uint64_t tick,
+                                   std::function<void()> continuation) {
+  Schedule(tick, [continuation = std::move(continuation)] {
+    try {
+      continuation();
     } catch (...) {
     }
+  });
+}
+
+std::vector<StealScheduler::Issue> DeterministicExecutor::AcquireFor(
+    std::size_t worker) {
+  std::vector<StealScheduler::Issue> issues;
+  if (sched_ != nullptr) {
+    sched_->AcquireBatch(worker, now_, &issues);
+    return issues;
   }
+  const auto popped = queue_.Pop(options_.enable_pairing);
+  if (popped.has_value()) {
+    StealScheduler::Issue issue;
+    issue.ids = popped->ids;
+    issue.count = popped->count;
+    issue.bonded = popped->bonded;
+    issues.push_back(issue);
+  }
+  return issues;
+}
+
+void DeterministicExecutor::ScheduleHoldWake() {
+  if (sched_ == nullptr) return;
+  bool any_idle = false;
+  for (const bool busy : worker_busy_) any_idle = any_idle || !busy;
+  if (!any_idle) return;
+  const auto deadline = sched_->NextHoldDeadline();
+  if (!deadline.has_value()) return;
+  const std::uint64_t tick = std::max(*deadline, now_);
+  if (hold_wake_scheduled_ && hold_wake_tick_ <= tick) return;
+  hold_wake_scheduled_ = true;
+  hold_wake_tick_ = tick;
+  Schedule(tick, [this] {
+    hold_wake_scheduled_ = false;
+    TryDispatch();
+  });
+}
+
+void DeterministicExecutor::TryDispatch() {
+  struct Unit {
+    StealScheduler::Issue issue;
+    std::vector<Job> jobs;
+    ExecutionCore::Outcome outcome;
+    std::uint64_t start = 0;
+  };
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (std::size_t w = 0; w < worker_busy_.size(); ++w) {
+      if (worker_busy_[w]) continue;
+      std::vector<StealScheduler::Issue> issues = AcquireFor(w);
+      if (issues.empty()) continue;
+      progress = true;
+      worker_busy_[w] = true;
+      std::uint64_t start = now_;
+      for (const StealScheduler::Issue& issue : issues) {
+        auto unit = std::make_shared<Unit>();
+        unit->issue = issue;
+        unit->jobs.reserve(issue.count);
+        for (std::size_t i = 0; i < issue.count; ++i) {
+          auto it = pending_.find(issue.ids[i]);
+          unit->jobs.push_back(std::move(it->second));
+          pending_.erase(it);
+        }
+        std::array<const ExecutionCore::JobSpec*, 2> specs{};
+        for (std::size_t i = 0; i < unit->jobs.size(); ++i) {
+          specs[i] = &unit->jobs[i].spec;
+        }
+        // The values are computed eagerly (they are time-independent);
+        // only the *completion* is timestamped, at the group's modelled
+        // array occupancy past its start tick.
+        unit->outcome = core_.RunGroup(
+            std::span<const ExecutionCore::JobSpec* const>(
+                specs.data(), unit->jobs.size()));
+        std::uint64_t duration = 0;
+        if (unit->outcome.error == nullptr) {
+          if (unit->outcome.paired) {
+            duration = unit->outcome.results[0].stats.engine_cycles;
+          } else {
+            for (const ExpResult& result : unit->outcome.results) {
+              duration += result.stats.engine_cycles;
+            }
+          }
+        }
+        unit->start = start;
+        const std::uint64_t finish = start + duration;
+        Schedule(finish, [this, unit, w] {
+          if (unit->outcome.paired) {
+            ++counters_.pair_issues;
+          } else {
+            counters_.single_issues += unit->jobs.size();
+          }
+          counters_.jobs_completed += unit->jobs.size();
+          if (sched_ != nullptr) sched_->OnGroupDone();
+          for (std::size_t i = 0; i < unit->jobs.size(); ++i) {
+            JobRecord record;
+            record.id = unit->jobs[i].id;
+            record.submit_tick = unit->jobs[i].submit_tick;
+            record.start_tick = unit->start;
+            record.finish_tick = now_;
+            record.worker = w;
+            record.paired = unit->outcome.paired;
+            record.stolen = unit->issue.stolen;
+            record.unpaired_by_timeout = unit->issue.unpaired_by_timeout;
+            record.bonded = unit->issue.bonded;
+            records_.push_back(record);
+          }
+          if (unit->outcome.error != nullptr) {
+            for (Job& job : unit->jobs) {
+              try {
+                job.promise.set_exception(unit->outcome.error);
+              } catch (const std::future_error&) {
+              }
+            }
+            return;
+          }
+          for (std::size_t i = 0; i < unit->jobs.size(); ++i) {
+            ExpResult& result = unit->outcome.results[i];
+            result.stolen = unit->issue.stolen;
+            result.unpaired_by_timeout = unit->issue.unpaired_by_timeout;
+            unit->jobs[i].promise.set_value(result);
+          }
+          for (std::size_t i = 0; i < unit->jobs.size(); ++i) {
+            if (!unit->jobs[i].callback) continue;
+            try {
+              unit->jobs[i].callback(unit->outcome.results[i]);
+            } catch (...) {
+            }
+          }
+        });
+        start = finish;
+      }
+      Schedule(start, [this, w] {
+        worker_busy_[w] = false;
+        TryDispatch();
+      });
+    }
+  }
+  ScheduleHoldWake();
+}
+
+void DeterministicExecutor::RunUntilIdle() {
+  if (running_) return;  // re-entrant call from a callback: outer loop runs
+  running_ = true;
+  while (!events_.empty()) {
+    Event event = std::move(const_cast<Event&>(events_.top()));
+    events_.pop();
+    now_ = event.tick;
+    event.action();
+  }
+  running_ = false;
+}
+
+ExpService::Counters DeterministicExecutor::Snapshot() const {
+  ExpService::Counters counters = counters_;
+  if (sched_ != nullptr) {
+    const StealScheduler::Stats& stats = sched_->GetStats();
+    counters.steals = stats.steals;
+    counters.holds = stats.holds;
+    counters.hold_pairs = stats.hold_pairs;
+    counters.unpair_timeouts = stats.unpair_timeouts;
+    counters.batch_acquires = stats.batch_acquires;
+    counters.max_batch_claimed = stats.max_batch_claimed;
+  }
+  counters.engine_cache_hits = core_.CacheHits();
+  counters.engine_cache_misses = core_.CacheMisses();
+  counters.engine_cache_evictions = core_.CacheEvictions();
+  return counters;
 }
 
 }  // namespace mont::core

@@ -8,15 +8,26 @@
 //
 //   * a thread-safe job queue — Submit() returns a std::future (with an
 //     optional completion callback), SubmitBatch() fans a vector of jobs
-//     out, SubmitPair() bonds two jobs for co-scheduling;
+//     out, SubmitPair() bonds two jobs for co-scheduling, and Post()
+//     hands a continuation (e.g. RSA-CRT recombination + fault check) to
+//     a dedicated thread so it never blocks a worker's array;
 //   * a worker pool whose per-modulus multiplication engines are
 //     LRU-cached, so repeated traffic on one key pays the R^2-mod-N
 //     precomputation once (core/schedule.hpp LruCache);
-//   * the pairing scheduler (core/schedule.hpp PairingQueue): two queued
+//   * the v2 scheduler (core/schedule.hpp StealScheduler): per-worker
+//     deques with cross-worker work stealing, hold-for-pairing with an
+//     age-based unpair timeout, and adaptive batch claims — two queued
 //     jobs of equal operand length are issued together onto one
 //     dual-channel interleaved array, where each pair of MMMs costs 3l+5
-//     cycles instead of the sequential 2(3l+4) = 6l+8 — throughput per
-//     array nearly doubles whenever the queue is two deep.
+//     cycles instead of the sequential 2(3l+4) = 6l+8.  The v1 shared
+//     PairingQueue is selectable via Options::scheduler for A/B benches.
+//
+// Every scheduling decision is tick-driven behind an injectable Clock,
+// and the threaded ExpService is a thin shell over the same scheduler +
+// execution code (ExecutionCore) that the single-threaded
+// DeterministicExecutor replays in virtual time — which is how the
+// stealing/unpair/pipelining policy is unit-tested and benchmarked
+// deterministically on any host.
 //
 // The multiplication backend is selected per service through the engine
 // registry (Options::engine_name, core/engine.hpp) — any registered
@@ -25,7 +36,7 @@
 // polynomial f and each job computes a field exponentiation, e.g. the
 // Fermat inversions of BinaryCurve::ScalarMulBatch).  Individual jobs
 // may override the backend and request exponent blinding (the sca lab's
-// schedule countermeasure) through JobOptions.
+// schedule countermeasure) through ExpJobOptions.
 //
 // PairedModExp() is the engine underneath the pairing path and is exposed
 // directly: it zips the MMM streams of two independent exponentiations
@@ -37,10 +48,12 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
+#include <queue>
 #include <span>
 #include <string>
 #include <thread>
@@ -88,6 +101,118 @@ PairedExpResult PairedModExp(const MmmEngine& engine_a,
                              const bignum::BigUInt& exp_b,
                              InterleavedMmmc* array = nullptr);
 
+/// Which scheduling core dispatches jobs to workers.
+enum class SchedulerKind {
+  /// V1 (PR 3): one shared PairingQueue, pairing resolved at pop time.
+  /// Kept as the A/B baseline bench_exp_service compares against.
+  kSharedQueue,
+  /// V2: per-worker deques + work stealing + hold-for-pairing with an
+  /// age-based unpair timeout + adaptive batch claims (StealScheduler).
+  kStealing,
+};
+
+/// Per-job execution options (the service-wide Options stay the
+/// defaults).
+struct ExpJobOptions {
+  /// Registry backend for this job; empty falls back to
+  /// Options::engine_name.  Validated at Submit time (unknown name or a
+  /// field-capability mismatch throws std::invalid_argument).  Jobs on
+  /// different backends coexist in one service — the engine cache keys
+  /// on (engine, modulus) — and two equal-length jobs still co-schedule
+  /// when both backends have pairable streams; a job on a non-pairable
+  /// backend always issues solo.
+  std::string engine_name;
+  /// Non-zero: exponent randomization — the job executes with
+  /// exponent + k * exponent_blind_order for a fresh random k per
+  /// execution (same result whenever the order is a multiple of the
+  /// base's multiplicative order; the reported stats then count the
+  /// blinded exponent's operations).
+  bignum::BigUInt exponent_blind_order;
+  /// Bit width of the per-execution random k.
+  std::size_t exponent_blind_bits = 16;
+};
+
+struct ExpResult {
+  bignum::BigUInt value;  ///< base^exponent mod modulus
+  bool paired = false;    ///< ran co-scheduled with a partner job
+  /// The issue group was stolen from another worker's deque (v2).
+  bool stolen = false;
+  /// Held for a partner that never came and released solo by the
+  /// age-based unpair timeout (v2).
+  bool unpaired_by_timeout = false;
+  /// This job's operation counts plus the issue accounting of the issue
+  /// group it ran in (shared by both jobs of a pair; a solo job's MMMs
+  /// all count as single issues): engine_cycles is the group's array
+  /// occupancy, charged per the engine's own per-multiply model — on
+  /// the paper's array family, paired*(3l+5) + single*(3l+4).
+  EngineStats stats;
+};
+
+// ---------------------------------------------------------------------------
+// ExecutionCore — the execution substrate shared by the threaded service
+// and the deterministic executor
+// ---------------------------------------------------------------------------
+
+/// Everything needed to run one issue group, with no opinion about
+/// threads or time: backend resolution + validation, the per-(engine,
+/// modulus) LRU engine cache, the exponent-blinding stream, and the
+/// paired/solo group runner.  ExpService workers and the
+/// DeterministicExecutor both execute through one of these, so the two
+/// paths cannot diverge.
+class ExecutionCore {
+ public:
+  ExecutionCore(std::string engine_name, EngineOptions engine_options,
+                std::size_t cache_capacity, std::uint64_t blind_seed);
+
+  struct JobSpec {
+    bignum::BigUInt modulus;
+    bignum::BigUInt base;
+    bignum::BigUInt exponent;
+    ExpJobOptions options;
+  };
+
+  struct Outcome {
+    std::vector<ExpResult> results;  ///< one per job, in group order
+    bool paired = false;             ///< really co-scheduled dual-channel
+    std::exception_ptr error;        ///< set => results are invalid
+  };
+
+  /// Runs one issue group (1 or 2 jobs): a 2-job group co-schedules via
+  /// PairedModExp when both backends pair and lengths/fields match,
+  /// otherwise every job runs solo.  Never throws — failures land in
+  /// Outcome::error.
+  Outcome RunGroup(std::span<const JobSpec* const> group);
+
+  /// Validates a modulus for this core's field (throws
+  /// std::invalid_argument), same predicate the engine factory applies.
+  void ValidateModulus(const bignum::BigUInt& modulus) const;
+  /// Resolves a job's effective backend name and validates it (must be
+  /// registered and support the service's field).
+  const std::string& ResolveEngineName(const ExpJobOptions& options) const;
+  /// Whether the job's backend models pairable dual-channel streams.
+  bool Pairable(const ExpJobOptions& options) const;
+  std::shared_ptr<const MmmEngine> AcquireEngine(
+      const std::string& engine_name, const bignum::BigUInt& modulus);
+
+  const std::string& engine_name() const { return engine_name_; }
+  const EngineOptions& engine_options() const { return engine_options_; }
+  std::uint64_t CacheHits() const;
+  std::uint64_t CacheMisses() const;
+  std::uint64_t CacheEvictions() const;
+
+ private:
+  bignum::BigUInt EffectiveExponent(const JobSpec& spec);
+
+  std::string engine_name_;
+  EngineOptions engine_options_;
+
+  std::mutex blind_mu_;  // guards blind_rng_ only
+  bignum::RandomBigUInt blind_rng_;
+
+  mutable std::mutex cache_mu_;  // independent of the service mutex
+  mutable LruCache<std::string, std::shared_ptr<const MmmEngine>> cache_;
+};
+
 /// Thread-safe batched/async exponentiation service.
 ///
 /// Jobs execute on the registry backend named in Options (bit-identical
@@ -108,7 +233,7 @@ class ExpService {
     /// dual-channel throughput.
     bool enable_pairing = true;
     /// Registry name of the multiplication backend a job runs on when it
-    /// does not carry its own JobOptions::engine_name override.
+    /// does not carry its own ExpJobOptions::engine_name override.
     std::string engine_name = "bit-serial";
     /// Backend construction options; field = kGf2 turns the service into
     /// a GF(2^m) field-exponentiation service (needs a dual-field
@@ -116,47 +241,35 @@ class ExpService {
     /// options apply to per-job engine overrides too.
     EngineOptions engine_options;
     /// Seed of the service's exponent-blinding stream (deterministic;
-    /// used only by jobs that request JobOptions::exponent_blind_order).
+    /// used only by jobs that request ExpJobOptions::exponent_blind_order).
     std::uint64_t blind_seed = 0x0b11d5eedull;
+
+    // --- scheduler v2 knobs --------------------------------------------
+    /// Scheduling core (v2 stealing by default; v1 shared queue for A/B).
+    SchedulerKind scheduler = SchedulerKind::kStealing;
+    /// Ticks (nanoseconds on the default clock) a lone hot-key job may
+    /// be held waiting for a pairing partner before the age-based unpair
+    /// timeout releases it solo.
+    std::uint64_t unpair_timeout = 200'000;
+    /// Idle workers steal the oldest group from other deques (v2 only).
+    bool work_stealing = true;
+    /// Upper bound of one adaptive batch claim (v2 only; >= 1).
+    std::size_t max_batch = 8;
+    /// Injected tick source for the scheduler's timing decisions; null
+    /// uses a steady nanosecond clock.  Tests inject a ManualClock (the
+    /// timed waits then poll).  Must outlive the service.
+    const Clock* clock = nullptr;
   };
 
-  /// Per-job execution options (the service-wide Options stay the
-  /// defaults).
-  struct JobOptions {
-    /// Registry backend for this job; empty falls back to
-    /// Options::engine_name.  Validated at Submit time (unknown name or a
-    /// field-capability mismatch throws std::invalid_argument).  Jobs on
-    /// different backends coexist in one service — the engine cache keys
-    /// on (engine, modulus) — and two equal-length jobs still co-schedule
-    /// when both backends have pairable streams; a job on a non-pairable
-    /// backend always issues solo.
-    std::string engine_name;
-    /// Non-zero: exponent randomization — the job executes with
-    /// exponent + k * exponent_blind_order for a fresh random k per
-    /// execution (same result whenever the order is a multiple of the
-    /// base's multiplicative order; the reported stats then count the
-    /// blinded exponent's operations).
-    bignum::BigUInt exponent_blind_order;
-    /// Bit width of the per-execution random k.
-    std::size_t exponent_blind_bits = 16;
-  };
-
-  struct Result {
-    bignum::BigUInt value;  ///< base^exponent mod modulus
-    bool paired = false;    ///< ran co-scheduled with a partner job
-    /// This job's operation counts plus the issue accounting of the issue
-    /// group it ran in (shared by both jobs of a pair; a solo job's MMMs
-    /// all count as single issues): engine_cycles is the group's array
-    /// occupancy, charged per the engine's own per-multiply model — on
-    /// the paper's array family, paired*(3l+5) + single*(3l+4).
-    EngineStats stats;
-  };
-
+  using JobOptions = ExpJobOptions;
+  using Result = ExpResult;
   using Callback = std::function<void(const Result&)>;
 
   ExpService() : ExpService(Options{}) {}
   explicit ExpService(Options options);
-  /// Drains every queued job, then joins the workers.
+  /// Drains every queued job and every posted continuation, then joins
+  /// the workers — no future is abandoned, and no callback or
+  /// continuation runs after destruction completes.
   ~ExpService();
 
   ExpService(const ExpService&) = delete;
@@ -192,6 +305,14 @@ class ExpService {
       bignum::BigUInt exponent_a, bignum::BigUInt modulus_b,
       bignum::BigUInt base_b, bignum::BigUInt exponent_b);
 
+  /// Hands a continuation to the service's continuation thread — the
+  /// pipelined-CRT hook: a job callback posts recombination + fault
+  /// check here so the worker's array moves straight to the next issue.
+  /// Continuations run in post order; exceptions are contained; the
+  /// destructor drains every posted continuation before returning.
+  /// Continuations must not Submit new jobs once destruction has begun.
+  void Post(std::function<void()> continuation);
+
   /// Blocks until every job submitted so far has completed.
   void Wait();
 
@@ -207,6 +328,13 @@ class ExpService {
     std::uint64_t engine_cache_hits = 0;
     std::uint64_t engine_cache_misses = 0;
     std::uint64_t engine_cache_evictions = 0;
+    // --- v2 scheduler counters (zero under kSharedQueue) ---------------
+    std::uint64_t steals = 0;           ///< groups taken from another deque
+    std::uint64_t holds = 0;            ///< jobs held waiting for a partner
+    std::uint64_t hold_pairs = 0;       ///< holds that found a partner
+    std::uint64_t unpair_timeouts = 0;  ///< holds released solo by timeout
+    std::uint64_t batch_acquires = 0;   ///< multi-group batch claims
+    std::uint64_t max_batch_claimed = 0;
   };
   Counters Snapshot() const;
 
@@ -215,35 +343,31 @@ class ExpService {
  private:
   struct Job {
     std::uint64_t id = 0;
-    bignum::BigUInt modulus;
-    bignum::BigUInt base;
-    bignum::BigUInt exponent;
-    JobOptions options;
+    ExecutionCore::JobSpec spec;
     std::promise<Result> promise;
     Callback callback;
   };
 
-  void ValidateModulus(const bignum::BigUInt& modulus) const;
-  /// Resolves a job's effective backend name and validates it (must be
-  /// registered and support the service's field).
-  const std::string& ResolveEngineName(const JobOptions& options) const;
-  /// The exponent a job actually executes with (blinding applied).
-  bignum::BigUInt EffectiveExponent(const Job& job);
-  std::future<Result> Enqueue(Job job, std::uint64_t key);
-  void WorkerLoop();
-  /// Runs one issue group and publishes its pair/single issue counters
-  /// (before the promises resolve): a 2-job group counts one pair issue
-  /// only when it really co-scheduled on a dual-channel array.
-  void Execute(std::vector<Job> group);
-  std::shared_ptr<const MmmEngine> AcquireEngine(
-      const std::string& engine_name, const bignum::BigUInt& modulus);
+  std::uint64_t NowTicks() const;
+  std::future<Result> Enqueue(Job job, std::uint64_t key, bool pairable);
+  void WorkerLoop(std::size_t index);
+  /// Acquires the next issue batch for `index`, waiting as needed.
+  /// Returns false when the worker should exit (stopping and drained).
+  bool AcquireIssues(std::size_t index, std::unique_lock<std::mutex>& lk,
+                     std::vector<StealScheduler::Issue>* issues);
+  bool QueueDrainedLocked() const;
+  void ContinuationLoop();
 
   Options options_;
+  ExecutionCore core_;
+  SteadyClock steady_clock_;
+  const Clock* clock_ = nullptr;
 
   mutable std::mutex mu_;            // guards everything below it
   std::condition_variable cv_;       // queue became non-empty / stopping
   std::condition_variable idle_cv_;  // queue drained and no job in flight
-  PairingQueue queue_;
+  PairingQueue queue_;               // v1 core (kSharedQueue)
+  std::unique_ptr<StealScheduler> sched_;  // v2 core (kStealing)
   std::unordered_map<std::uint64_t, Job> pending_;
   std::uint64_t next_id_ = 1;
   std::uint64_t next_bond_key_ = 0;
@@ -252,13 +376,121 @@ class ExpService {
   bool stop_ = false;
   Counters counters_;
 
-  std::mutex blind_mu_;  // guards blind_rng_ only
-  bignum::RandomBigUInt blind_rng_;
+  std::mutex cont_mu_;  // guards the continuation queue only
+  std::condition_variable cont_cv_;
+  std::queue<std::function<void()>> continuations_;
+  bool cont_stop_ = false;
 
-  mutable std::mutex cache_mu_;  // independent of mu_: cache lookups only
-  LruCache<std::string, std::shared_ptr<const MmmEngine>> cache_;
-
+  std::thread cont_thread_;
   std::vector<std::thread> workers_;  // last member: joins before teardown
+};
+
+// ---------------------------------------------------------------------------
+// DeterministicExecutor — the scheduler in virtual time
+// ---------------------------------------------------------------------------
+
+/// Single-threaded discrete-event replay of the service: the same
+/// ExecutionCore runs the jobs and the same scheduling core (v1 or v2,
+/// per Options::scheduler) makes every dispatch decision, but time is a
+/// virtual tick counter and "workers" are simulated array channels whose
+/// job durations are the modelled engine cycles.  Every stealing /
+/// hold / unpair / batch decision is therefore an exact, replayable
+/// function of the submitted workload — the property tests and the
+/// multi-tenant stress bench run here, immune to host timing.
+///
+/// Usage: schedule arrivals with SubmitAt()/SubmitPairAt()/PostAt(),
+/// then RunUntilIdle().  Callbacks fire at the job's virtual completion
+/// tick and may schedule further work (at >= Now()).
+class DeterministicExecutor {
+ public:
+  using Result = ExpResult;
+  using Callback = std::function<void(const Result&)>;
+
+  explicit DeterministicExecutor(ExpService::Options options);
+
+  std::future<Result> SubmitAt(std::uint64_t tick, bignum::BigUInt modulus,
+                               bignum::BigUInt base, bignum::BigUInt exponent,
+                               ExpJobOptions job_options = {},
+                               Callback callback = {});
+  std::pair<std::future<Result>, std::future<Result>> SubmitPairAt(
+      std::uint64_t tick, bignum::BigUInt modulus_a, bignum::BigUInt base_a,
+      bignum::BigUInt exponent_a, bignum::BigUInt modulus_b,
+      bignum::BigUInt base_b, bignum::BigUInt exponent_b);
+  /// Runs `continuation` at the given virtual tick (clamped to Now()).
+  void PostAt(std::uint64_t tick, std::function<void()> continuation);
+
+  /// Processes events until nothing remains; Now() then holds the last
+  /// completion tick (the virtual makespan).
+  void RunUntilIdle();
+  std::uint64_t Now() const { return now_; }
+
+  /// Per-job completion record — the bench derives latency percentiles
+  /// and the tests assert scheduling decisions from these.
+  struct JobRecord {
+    std::uint64_t id = 0;
+    std::uint64_t submit_tick = 0;
+    std::uint64_t start_tick = 0;
+    std::uint64_t finish_tick = 0;
+    std::size_t worker = 0;
+    bool paired = false;
+    bool stolen = false;
+    bool unpaired_by_timeout = false;
+    bool bonded = false;
+  };
+  const std::vector<JobRecord>& Records() const { return records_; }
+
+  ExpService::Counters Snapshot() const;
+  /// V2 scheduler stats (null under kSharedQueue).
+  const StealScheduler::Stats* SchedulerStats() const {
+    return sched_ ? &sched_->GetStats() : nullptr;
+  }
+
+ private:
+  struct Job {
+    std::uint64_t id = 0;
+    ExecutionCore::JobSpec spec;
+    std::promise<Result> promise;
+    Callback callback;
+    std::uint64_t submit_tick = 0;
+  };
+  struct Event {
+    std::uint64_t tick = 0;
+    std::uint64_t seq = 0;  ///< schedule order: total, deterministic tie-break
+    std::function<void()> action;
+  };
+  struct EventAfter {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.tick != b.tick ? a.tick > b.tick : a.seq > b.seq;
+    }
+  };
+
+  void Schedule(std::uint64_t tick, std::function<void()> action);
+  void EnterQueue(Job job, std::uint64_t key, bool pairable);
+  void TryDispatch();
+  /// Claims the next issues for an idle worker (mode-dependent).
+  std::vector<StealScheduler::Issue> AcquireFor(std::size_t worker);
+  void ScheduleHoldWake();
+
+  ExpService::Options options_;
+  ExecutionCore core_;
+  std::unique_ptr<StealScheduler> sched_;  // kStealing
+  PairingQueue queue_;                     // kSharedQueue
+
+  std::priority_queue<Event, std::vector<Event>, EventAfter> events_;
+  std::uint64_t now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  bool running_ = false;
+
+  std::unordered_map<std::uint64_t, Job> pending_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t next_bond_key_ = 0;
+  std::uint64_t next_solo_key_ = 0;
+  std::vector<bool> worker_busy_;
+  std::uint64_t hold_wake_tick_ = 0;
+  bool hold_wake_scheduled_ = false;
+
+  ExpService::Counters counters_;
+  std::vector<JobRecord> records_;
 };
 
 }  // namespace mont::core

@@ -1,0 +1,266 @@
+// schedule.cpp — the v2 scheduling core (StealScheduler) and the steady
+// tick source.  The policy here is pure and externally synchronised; the
+// threaded ExpService and the DeterministicExecutor are both thin shells
+// over exactly this code, which is what makes the scheduler's behaviour
+// unit-testable tick by tick.
+#include "core/schedule.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <stdexcept>
+
+namespace mont::core {
+
+std::uint64_t SteadyClock::Now() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void ManualClock::Set(std::uint64_t tick) {
+  if (tick < now_) {
+    throw std::invalid_argument("ManualClock: time must not move backwards");
+  }
+  now_ = tick;
+}
+
+StealScheduler::StealScheduler(Config config) : config_(config) {
+  if (config_.workers == 0) config_.workers = 1;
+  if (config_.max_batch == 0) config_.max_batch = 1;
+  deques_.resize(config_.workers);
+}
+
+bool StealScheduler::RecordArrivalAndClassify(std::uint64_t key,
+                                              std::uint64_t now) {
+  KeyTraffic& traffic = traffic_[key];
+  bool hot = false;
+  if (traffic.has_arrival) {
+    const std::uint64_t gap = now - traffic.last_arrival;
+    // EWMA with weight 1/4 on the newest gap: one slow outlier does not
+    // instantly demote a hot key, a genuinely cold key stays cold.
+    traffic.ewma_gap =
+        traffic.has_gap ? (3 * traffic.ewma_gap + gap) / 4 : gap;
+    traffic.has_gap = true;
+    hot = traffic.ewma_gap <= config_.unpair_timeout;
+  }
+  traffic.last_arrival = now;
+  traffic.has_arrival = true;
+  return hot;
+}
+
+void StealScheduler::Dispatch(Group group) {
+  // Least-loaded deque; ties resolve round-robin so equal-load dispatch
+  // spreads instead of piling onto worker 0.
+  std::size_t best = rr_cursor_ % config_.workers;
+  for (std::size_t i = 0; i < config_.workers; ++i) {
+    const std::size_t candidate = (rr_cursor_ + i) % config_.workers;
+    if (deques_[candidate].size() < deques_[best].size()) best = candidate;
+  }
+  rr_cursor_ = (best + 1) % config_.workers;
+  queued_jobs_ += group.count;
+  ++stats_.dispatched_groups;
+  deques_[best].push_back(std::move(group));
+  if (deques_[best].back().open_solo) {
+    open_solos_[deques_[best].back().key] = &deques_[best].back();
+  }
+}
+
+void StealScheduler::Submit(std::uint64_t id, std::uint64_t key,
+                            bool pairable, std::uint64_t now) {
+  if (!config_.enable_pairing || !pairable) {
+    Group solo;
+    solo.ids[0] = id;
+    solo.count = 1;
+    solo.key = key;
+    solo.arrival = now;
+    Dispatch(std::move(solo));
+    return;
+  }
+  const bool hot = RecordArrivalAndClassify(key, now);
+  // 1. A held partner on this key: form the pair and dispatch it.
+  for (auto it = waiting_.begin(); it != waiting_.end(); ++it) {
+    if (it->key != key) continue;
+    Group pair;
+    pair.ids[0] = it->id;
+    pair.ids[1] = id;
+    pair.count = 2;
+    pair.key = key;
+    pair.arrival = it->arrival;
+    waiting_.erase(it);
+    // The held job leaves the hold count before the pair re-enters the
+    // queued count, or Idle() would never come back true.
+    --queued_jobs_;
+    ++stats_.pairs_formed;
+    ++stats_.hold_pairs;
+    Dispatch(std::move(pair));
+    return;
+  }
+  // 2. An un-acquired solo group on this key: join it in place (this is
+  //    what the v1 queue gets from pairing-at-pop; v2 keeps it).
+  const auto open = open_solos_.find(key);
+  if (open != open_solos_.end()) {
+    Group* group = open->second;
+    group->ids[1] = id;
+    group->count = 2;
+    group->open_solo = false;
+    open_solos_.erase(open);
+    ++queued_jobs_;
+    ++stats_.pairs_formed;
+    return;
+  }
+  // 3. Lone job.  On a hot key, while the pool has other work to chew
+  //    on, hold it for a partner — the age timeout bounds the wait.
+  if (hot && PoolBusy()) {
+    Held held;
+    held.id = id;
+    held.key = key;
+    held.arrival = now;
+    held.ready_at = now + config_.unpair_timeout;
+    waiting_.push_back(held);
+    ++queued_jobs_;
+    ++stats_.holds;
+    return;
+  }
+  // 4. Cold key or idle pool: dispatch immediately, but leave the group
+  //    open for a same-key arrival to join before a worker claims it.
+  Group solo;
+  solo.ids[0] = id;
+  solo.count = 1;
+  solo.key = key;
+  solo.arrival = now;
+  solo.open_solo = true;
+  Dispatch(std::move(solo));
+}
+
+void StealScheduler::SubmitBonded(std::uint64_t id_a, std::uint64_t id_b,
+                                  std::uint64_t now) {
+  if (!config_.enable_pairing) {
+    // Matches the v1 semantics: with pairing disabled the bonded halves
+    // still execute, just as two solo issues.
+    Group first, second;
+    first.ids[0] = id_a;
+    first.count = 1;
+    first.arrival = now;
+    second.ids[0] = id_b;
+    second.count = 1;
+    second.arrival = now;
+    Dispatch(std::move(first));
+    Dispatch(std::move(second));
+    return;
+  }
+  Group pair;
+  pair.ids[0] = id_a;
+  pair.ids[1] = id_b;
+  pair.count = 2;
+  pair.bonded = true;
+  pair.arrival = now;
+  ++stats_.bonded_groups;
+  Dispatch(std::move(pair));
+}
+
+StealScheduler::Issue StealScheduler::PopGroup(std::size_t worker,
+                                               bool stolen) {
+  Group group = std::move(deques_[worker].front());
+  deques_[worker].pop_front();
+  if (group.open_solo) open_solos_.erase(group.key);
+  Issue issue;
+  issue.ids = group.ids;
+  issue.count = group.count;
+  issue.bonded = group.bonded;
+  issue.stolen = stolen;
+  issue.arrival = group.arrival;
+  if (stolen) ++stats_.steals;
+  queued_jobs_ -= group.count;
+  ++in_flight_groups_;
+  return issue;
+}
+
+std::optional<StealScheduler::Issue> StealScheduler::Acquire(
+    std::size_t worker, std::uint64_t now) {
+  // Oldest ready held job (deadline reached, partner never came).
+  auto ready = waiting_.end();
+  for (auto it = waiting_.begin(); it != waiting_.end(); ++it) {
+    if (it->ready_at > now) continue;
+    if (ready == waiting_.end() || it->arrival < ready->arrival) ready = it;
+  }
+  const bool own = !deques_[worker].empty();
+  // Oldest-arrival wins between the worker's own deque front and the
+  // ready held job, so holding can delay a job by at most its timeout —
+  // never starve it behind fresher deque traffic.
+  if (own && (ready == waiting_.end() ||
+              deques_[worker].front().arrival <= ready->arrival)) {
+    return PopGroup(worker, /*stolen=*/false);
+  }
+  if (ready != waiting_.end()) {
+    Issue issue;
+    issue.ids[0] = ready->id;
+    issue.count = 1;
+    issue.unpaired_by_timeout = true;
+    issue.arrival = ready->arrival;
+    waiting_.erase(ready);
+    ++stats_.unpair_timeouts;
+    --queued_jobs_;
+    ++in_flight_groups_;
+    return issue;
+  }
+  if (config_.work_stealing) {
+    for (std::size_t i = 1; i < config_.workers; ++i) {
+      const std::size_t victim = (worker + i) % config_.workers;
+      if (deques_[victim].empty()) continue;
+      return PopGroup(victim, /*stolen=*/true);
+    }
+  }
+  return std::nullopt;
+}
+
+std::size_t StealScheduler::AcquireBatch(std::size_t worker,
+                                         std::uint64_t now,
+                                         std::vector<Issue>* out) {
+  std::size_t ready_groups = 0;
+  for (const auto& deque : deques_) ready_groups += deque.size();
+  for (const Held& held : waiting_) {
+    if (held.ready_at <= now) ++ready_groups;
+  }
+  const std::size_t target = std::clamp<std::size_t>(
+      ready_groups / config_.workers, 1, config_.max_batch);
+  std::size_t claimed = 0;
+  while (claimed < target) {
+    auto issue = Acquire(worker, now);
+    if (!issue.has_value()) break;
+    out->push_back(*issue);
+    ++claimed;
+  }
+  if (claimed > 1) {
+    ++stats_.batch_acquires;
+    stats_.max_batch_claimed = std::max<std::uint64_t>(
+        stats_.max_batch_claimed, claimed);
+  }
+  return claimed;
+}
+
+void StealScheduler::OnGroupDone() {
+  if (in_flight_groups_ == 0) {
+    throw std::logic_error("StealScheduler: OnGroupDone without Acquire");
+  }
+  --in_flight_groups_;
+}
+
+std::optional<std::uint64_t> StealScheduler::NextHoldDeadline() const {
+  std::optional<std::uint64_t> deadline;
+  for (const Held& held : waiting_) {
+    if (!deadline.has_value() || held.ready_at < *deadline) {
+      deadline = held.ready_at;
+    }
+  }
+  return deadline;
+}
+
+bool StealScheduler::Idle() const { return queued_jobs_ == 0; }
+
+std::size_t StealScheduler::QueueDepth(std::size_t worker) const {
+  return deques_[worker].size();
+}
+
+}  // namespace mont::core

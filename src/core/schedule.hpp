@@ -6,30 +6,40 @@
 // number in the paper follows; the formulas here are asserted against the
 // cycle-accurate simulation in the tests.
 //
-// The second half of the file holds the two data structures the batched
+// The second half of the file holds the data structures the batched
 // exponentiation service (core/exp_service.hpp) schedules with:
 //
-//   * PairingQueue — a FIFO of job ids tagged with a compatibility key;
-//     popping pairs the oldest job with the oldest later job sharing its
-//     key, so two independent exponentiations can occupy the two channels
-//     of one dual-channel array (two MMMs in 3l+5 cycles instead of 6l+8).
-//     A job with no partner still pops alone — nothing starves.
+//   * PairingQueue — the v1 scheduler: a single FIFO of job ids tagged
+//     with a compatibility key; popping pairs the oldest job with the
+//     oldest later job sharing its key, so two independent
+//     exponentiations can occupy the two channels of one dual-channel
+//     array (two MMMs in 3l+5 cycles instead of 6l+8).  A job with no
+//     partner still pops alone — nothing starves.  Kept as the A/B
+//     baseline the v2 scheduler is benchmarked against.
+//   * StealScheduler — the v2 scheduler: per-worker deques with
+//     cross-worker work stealing, hold-for-pairing with an age-based
+//     unpair timeout (a lone job on a hot key briefly waits for a
+//     partner instead of issuing solo), and adaptive batch claims under
+//     backlog.  Every timing decision takes an explicit tick, so the
+//     whole policy replays deterministically under a virtual clock.
 //   * LruCache — the per-modulus engine cache: repeated traffic on one
 //     key reuses the precomputed Montgomery context instead of paying
 //     the R^2-mod-N precomputation again.
 //
-// Both are single-threaded building blocks; the service serialises access
-// under its queue mutex.  They are kept here, header-only and std-only,
-// so the scheduler policy is unit-testable without threads.
+// All are single-threaded building blocks; the service serialises access
+// under its queue mutex.  They are kept here, std-only, so the scheduler
+// policy is unit-testable without threads.
 #pragma once
 
 #include <array>
 #include <cstdint>
 #include <cstddef>
+#include <deque>
 #include <list>
 #include <optional>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 namespace mont::core {
 
@@ -153,6 +163,202 @@ class PairingQueue {
     bool bonded;
   };
   std::list<Entry> entries_;
+};
+
+// ---------------------------------------------------------------------------
+// Clocks — every scheduler timing decision goes through one of these
+// ---------------------------------------------------------------------------
+
+/// Monotonic tick source.  The threaded service reads nanoseconds from
+/// SteadyClock; tests and the DeterministicExecutor drive a ManualClock,
+/// so every hold/unpair/steal decision replays exactly from a seed.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Current tick.  Must never decrease.
+  virtual std::uint64_t Now() const = 0;
+};
+
+/// Wall time: nanoseconds on std::chrono::steady_clock.
+class SteadyClock final : public Clock {
+ public:
+  std::uint64_t Now() const override;
+};
+
+/// Hand-advanced virtual time for deterministic tests.
+class ManualClock final : public Clock {
+ public:
+  explicit ManualClock(std::uint64_t start = 0) : now_(start) {}
+  std::uint64_t Now() const override { return now_; }
+  void Advance(std::uint64_t ticks) { now_ += ticks; }
+  /// Jumps to an absolute tick (must not move backwards).
+  void Set(std::uint64_t tick);
+
+ private:
+  std::uint64_t now_;
+};
+
+// ---------------------------------------------------------------------------
+// StealScheduler — the v2 scheduling core
+// ---------------------------------------------------------------------------
+
+/// Scheduler v2: per-worker deques + work stealing + adaptive pairing.
+///
+/// The v1 PairingQueue pairs whatever happens to be queued at pop time,
+/// so under sparse arrivals (shallow queue) almost everything issues
+/// solo and the dual-channel array runs at half throughput; and one
+/// shared queue serialises every worker on one lock.  V2 fixes both:
+///
+///   * Formed issue groups (pairs, bonded pairs, solos) are dispatched
+///     to the least-loaded worker's deque; an idle worker whose own
+///     deque is empty *steals* the oldest group from the first
+///     non-empty victim deque in ring order, so one hot modulus — or
+///     one slow group — can never idle the pool.
+///   * A lone pairable job on a *hot* key (same-key inter-arrival EWMA
+///     within `unpair_timeout`) is briefly held for a partner instead
+///     of issuing solo; the age-based unpair timeout releases it solo
+///     no later than `unpair_timeout` ticks after arrival, so
+///     low-traffic moduli are paired opportunistically but never
+///     starved.  Cold keys — and any job while the pool is otherwise
+///     idle — dispatch immediately.
+///   * Under backlog a worker claims an adaptive batch of up to
+///     `max_batch` groups per acquisition (≈ ready groups / workers),
+///     amortising queue-lock traffic without hurting light-load
+///     latency.
+///
+/// The class is externally synchronised (the service holds its queue
+/// mutex) and entirely tick-driven: Submit/Acquire take the current
+/// tick, so the policy is a pure deterministic function of the call
+/// sequence — the property tests replay it against a reference model.
+class StealScheduler {
+ public:
+  struct Config {
+    std::size_t workers = 2;
+    bool enable_pairing = true;
+    /// Idle workers steal from other deques (ring order, oldest first).
+    bool work_stealing = true;
+    /// Ticks a lone hot-key job may be held waiting for a partner.
+    std::uint64_t unpair_timeout = 200'000;
+    /// Upper bound of one adaptive batch claim (lower bound is 1).
+    std::size_t max_batch = 8;
+  };
+
+  /// One acquired issue group: up to two job ids co-scheduled on one
+  /// dual-channel array, plus how the scheduler arrived at the issue.
+  struct Issue {
+    std::array<std::uint64_t, 2> ids{};
+    std::size_t count = 0;
+    bool bonded = false;
+    /// Taken from another worker's deque.
+    bool stolen = false;
+    /// Issued solo after being held for a partner that never came.
+    bool unpaired_by_timeout = false;
+    /// Submit tick of the group's oldest member.
+    std::uint64_t arrival = 0;
+  };
+
+  struct Stats {
+    std::uint64_t dispatched_groups = 0;  ///< groups that entered a deque
+    std::uint64_t pairs_formed = 0;       ///< opportunistic pairs (all paths)
+    std::uint64_t bonded_groups = 0;
+    std::uint64_t holds = 0;         ///< jobs held waiting for a partner
+    std::uint64_t hold_pairs = 0;    ///< holds that found a partner in time
+    std::uint64_t unpair_timeouts = 0;  ///< holds released solo by the timeout
+    std::uint64_t steals = 0;
+    std::uint64_t batch_acquires = 0;     ///< AcquireBatch calls claiming > 1
+    std::uint64_t max_batch_claimed = 0;  ///< largest single batch
+  };
+
+  explicit StealScheduler(Config config);
+
+  /// Submits one job.  `pairable` marks a job whose backend can share a
+  /// dual-channel array; non-pairable jobs always dispatch as solo
+  /// groups.  A pairable job pairs with a held partner or an
+  /// un-acquired solo group on the same key; a lone hot-key job is held
+  /// until `now + unpair_timeout` (cold keys and an otherwise-idle pool
+  /// dispatch immediately).
+  void Submit(std::uint64_t id, std::uint64_t key, bool pairable,
+              std::uint64_t now);
+
+  /// Submits two jobs bonded into one group (RSA-CRT halves).  With
+  /// pairing disabled they dispatch as two solo groups instead.
+  void SubmitBonded(std::uint64_t id_a, std::uint64_t id_b,
+                    std::uint64_t now);
+
+  /// Claims one group for `worker`: the oldest-arrival of {own deque
+  /// front, oldest ready held job}; otherwise steals the front (oldest)
+  /// group of the first non-empty deque in ring order from worker+1.
+  std::optional<Issue> Acquire(std::size_t worker, std::uint64_t now);
+
+  /// Claims an adaptive batch: up to clamp(ready/workers, 1, max_batch)
+  /// groups via repeated Acquire.  Appends to `out`, returns the count.
+  std::size_t AcquireBatch(std::size_t worker, std::uint64_t now,
+                           std::vector<Issue>* out);
+
+  /// A group finished executing (enables the pool-busy hold predicate).
+  void OnGroupDone();
+
+  /// Earliest tick at which a currently-held job becomes claimable, if
+  /// any job is held.  The threaded service bounds its waits with this.
+  std::optional<std::uint64_t> NextHoldDeadline() const;
+
+  /// True when nothing is queued (deques and hold buffer empty).
+  bool Idle() const;
+  /// Jobs queued but not yet acquired.
+  std::size_t PendingJobs() const { return queued_jobs_; }
+  /// Groups currently executing (Acquire'd, not yet OnGroupDone'd).
+  std::size_t InFlightGroups() const { return in_flight_groups_; }
+  std::size_t QueueDepth(std::size_t worker) const;
+  std::size_t HeldJobs() const { return waiting_.size(); }
+  const Stats& GetStats() const { return stats_; }
+  const Config& GetConfig() const { return config_; }
+
+ private:
+  /// A formed issue group parked in a worker deque.
+  struct Group {
+    std::array<std::uint64_t, 2> ids{};
+    std::size_t count = 0;
+    bool bonded = false;
+    std::uint64_t key = 0;
+    std::uint64_t arrival = 0;
+    /// Still upgradeable: a later same-key submit may join this group
+    /// while it sits un-acquired in a deque.
+    bool open_solo = false;
+  };
+  /// A lone hot-key job held back for a partner.
+  struct Held {
+    std::uint64_t id = 0;
+    std::uint64_t key = 0;
+    std::uint64_t arrival = 0;
+    std::uint64_t ready_at = 0;  ///< arrival + unpair_timeout
+  };
+  struct KeyTraffic {
+    std::uint64_t last_arrival = 0;
+    std::uint64_t ewma_gap = 0;
+    bool has_arrival = false;
+    bool has_gap = false;
+  };
+
+  void Dispatch(Group group);
+  Issue PopGroup(std::size_t worker, bool stolen);
+  /// True when holding a job could overlap useful work elsewhere.
+  bool PoolBusy() const {
+    return queued_jobs_ > 0 || in_flight_groups_ > 0;
+  }
+  /// Records a same-key arrival and returns true when the key is "hot"
+  /// (expected partner gap within the unpair timeout).
+  bool RecordArrivalAndClassify(std::uint64_t key, std::uint64_t now);
+
+  Config config_;
+  std::vector<std::deque<Group>> deques_;
+  std::list<Held> waiting_;  // arrival order; every entry has a deadline
+  /// key -> un-acquired open solo group (upgrade target), if any.
+  std::unordered_map<std::uint64_t, Group*> open_solos_;
+  std::unordered_map<std::uint64_t, KeyTraffic> traffic_;
+  std::size_t rr_cursor_ = 0;  // round-robin tie-break for dispatch
+  std::size_t queued_jobs_ = 0;
+  std::size_t in_flight_groups_ = 0;
+  Stats stats_;
 };
 
 /// Least-recently-used cache, the policy behind the service's per-modulus

@@ -1,8 +1,11 @@
 #include "crypto/rsa.hpp"
 
+#include <atomic>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "bignum/montgomery.hpp"
 #include "bignum/prime.hpp"
@@ -279,25 +282,87 @@ std::vector<BigUInt> RsaSignBatch(const RsaKeyPair& key,
   }
   const BigUInt dp = key.d % (key.p - BigUInt{1});
   const BigUInt dq = key.d % (key.q - BigUInt{1});
-  const BigUInt q_inv = BigUInt::ModInverse(key.q % key.p, key.p);
+
+  // Pipelined CRT: the p- and q-halves go in as *independent* jobs, so
+  // each half completes on its own (the scheduler pairs equal-length
+  // halves opportunistically — same message or across messages) and the
+  // second-arriving half posts Garner recombination + the
+  // Bellcore/Lenstra fault check to the service's continuation thread.
+  // No worker array ever stalls on recombination, and a slow q-half
+  // can't block the next message's p-half from issuing.
+  //
+  // Everything a callback/continuation touches is owned by shared state
+  // (no references into this frame): if a Submit throws mid-batch, the
+  // in-flight halves of earlier messages still complete safely.
+  struct BatchContext {
+    RsaKeyPair key;
+    BigUInt q_inv;
+    std::shared_ptr<const core::MmmEngine> verify_engine;
+  };
+  struct MessageState {
+    BigUInt message;
+    BigUInt mp, mq;
+    std::atomic<int> remaining{2};
+    std::promise<BigUInt> signature;
+  };
+  auto context = std::make_shared<BatchContext>();
+  context->key = key;
+  context->q_inv = BigUInt::ModInverse(key.q % key.p, key.p);
+  context->verify_engine = core::MakeEngine("word-mont", key.n);
+
   std::vector<std::pair<std::future<core::ExpService::Result>,
                         std::future<core::ExpService::Result>>>
       halves;
+  std::vector<std::future<BigUInt>> recombined;
   halves.reserve(messages.size());
+  recombined.reserve(messages.size());
   for (const BigUInt& message : messages) {
-    halves.push_back(service.SubmitPair(key.p, message % key.p, dp, key.q,
-                                        message % key.q, dq));
+    auto state = std::make_shared<MessageState>();
+    state->message = message;
+    recombined.push_back(state->signature.get_future());
+    // Whichever half lands second owns the continuation handoff.  The
+    // acq_rel decrement makes both halves' writes visible to it (and,
+    // through the continuation queue, to the recombining thread).
+    const auto finish_half = [&service, context, state] {
+      if (state->remaining.fetch_sub(1, std::memory_order_acq_rel) != 1) {
+        return;
+      }
+      service.Post([context, state] {
+        try {
+          BigUInt sig = CrtRecombine(context->key, context->q_inv, state->mp,
+                                     state->mq);
+          VerifyCrtResult(*context->verify_engine, context->key,
+                          state->message, sig, "RsaSignBatch");
+          state->signature.set_value(std::move(sig));
+        } catch (...) {
+          state->signature.set_exception(std::current_exception());
+        }
+      });
+    };
+    auto p_half = service.Submit(
+        key.p, message % key.p, dp,
+        [state, finish_half](const core::ExpService::Result& result) {
+          state->mp = result.value;
+          finish_half();
+        });
+    auto q_half = service.Submit(
+        key.q, message % key.q, dq,
+        [state, finish_half](const core::ExpService::Result& result) {
+          state->mq = result.value;
+          finish_half();
+        });
+    halves.emplace_back(std::move(p_half), std::move(q_half));
+  }
+  // Half futures resolve unconditionally (value or exception), so they
+  // are waited first — a failed half means its callback never ran and
+  // the recombination future would never materialise.
+  for (auto& pair : halves) {
+    pair.first.get();
+    pair.second.get();
   }
   std::vector<BigUInt> signatures;
   signatures.reserve(messages.size());
-  const auto verify_engine = core::MakeEngine("word-mont", key.n);
-  for (std::size_t i = 0; i < halves.size(); ++i) {
-    const BigUInt mp = halves[i].first.get().value;
-    const BigUInt mq = halves[i].second.get().value;
-    BigUInt sig = CrtRecombine(key, q_inv, mp, mq);
-    VerifyCrtResult(*verify_engine, key, messages[i], sig, "RsaSignBatch");
-    signatures.push_back(std::move(sig));
-  }
+  for (auto& future : recombined) signatures.push_back(future.get());
   return signatures;
 }
 

@@ -139,10 +139,12 @@ bignum::BigUInt RsaPrivateCrtPaired(const RsaKeyPair& key,
                                     std::string_view engine = "bit-serial");
 
 /// Signs (raw RSA private-key operation, no padding) every message through
-/// `service`: each message's two CRT half-exponentiations are submitted as
-/// one bonded pair, all messages queue concurrently, and the results are
-/// recombined — and fault-checked against the public exponent — as the
-/// futures resolve.  Returns one signature per message; throws
+/// `service` with a pipelined CRT: each message's p-half and q-half are
+/// submitted as independent jobs (the scheduler pairs equal-length halves
+/// opportunistically, including across messages), and whichever half lands
+/// second posts Garner recombination plus the Bellcore/Lenstra fault check
+/// to the service's continuation thread — workers never stall on
+/// recombination.  Returns one signature per message; throws
 /// std::runtime_error if any recombined signature fails verification.
 std::vector<bignum::BigUInt> RsaSignBatch(
     const RsaKeyPair& key, std::span<const bignum::BigUInt> messages,

@@ -14,9 +14,13 @@
 
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <future>
+#include <set>
 #include <string_view>
 #include <thread>
+#include <tuple>
+#include <utility>
 #include <vector>
 
 #include "bignum/gf2.hpp"
@@ -745,7 +749,8 @@ TEST(ExpServiceCrypto, RsaSignBatchMatchesScalarPaths) {
     EXPECT_EQ(signatures[j], crypto::RsaPrivate(key, messages[j]));
     EXPECT_EQ(signatures[j], crypto::RsaPrivateCrt(key, messages[j]));
   }
-  // The CRT halves are bonded pairs: every message pairs its two streams.
+  // The pipelined CRT submits halves independently; the scheduler still
+  // pairs the equal-length streams (same message or across messages).
   EXPECT_GT(service.Snapshot().pair_issues, 0u);
 }
 
@@ -777,6 +782,363 @@ TEST(ExpServiceCrypto, EccScalarMulBatchMatchesScalarMul) {
       p192.ScalarMulBatch(big_scalars, p192.Generator(), service);
   for (std::size_t j = 0; j < big_scalars.size(); ++j) {
     EXPECT_EQ(big_batch[j], p192.ScalarMul(big_scalars[j], p192.Generator()));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DeterministicExecutor: the virtual-clock scheduler harness.  Every
+// hold/steal/unpair decision replays from the submit trace alone, so
+// these tests pin down scheduling *behaviour*, not just results.
+// ---------------------------------------------------------------------------
+
+// Sums the array-busy virtual cycles across records, counting each
+// issue group (a paired group shares one start/finish) exactly once.
+std::uint64_t BusyCycles(
+    const std::vector<DeterministicExecutor::JobRecord>& records) {
+  std::set<std::tuple<std::size_t, std::uint64_t, std::uint64_t>> groups;
+  for (const auto& record : records) {
+    groups.emplace(record.worker, record.start_tick, record.finish_tick);
+  }
+  std::uint64_t busy = 0;
+  for (const auto& [worker, start, finish] : groups) busy += finish - start;
+  return busy;
+}
+
+// Virtual duration of one solo job on `n` under the default backend.
+std::uint64_t CalibrateSoloTicks(const BigUInt& n, const BigUInt& base,
+                                 const BigUInt& exponent) {
+  ExpService::Options options;
+  options.workers = 1;
+  DeterministicExecutor calibrate(options);
+  calibrate.SubmitAt(0, n, base, exponent);
+  calibrate.RunUntilIdle();
+  const auto& record = calibrate.Records().at(0);
+  return record.finish_tick - record.start_tick;
+}
+
+TEST(DeterministicExecutor, VirtualClockDrivesHoldPairAndUnpairDecisions) {
+  auto rng = test::TestRng();
+  const BigUInt n = rng.OddExactBits(48);
+  const BigUInt base = rng.Below(n);
+  const BigUInt exponent = rng.Below(n);
+  const std::uint64_t solo_ticks = CalibrateSoloTicks(n, base, exponent);
+  ASSERT_GT(solo_ticks, 0u);
+
+  ExpService::Options options;
+  options.workers = 1;
+  options.unpair_timeout = solo_ticks / 4;
+  DeterministicExecutor exec(options);
+  // t=0: idle pool, dispatches immediately and occupies the one worker.
+  exec.SubmitAt(0, n, base, exponent);
+  // Two fast arrivals make the key hot; the pool is busy, so the lone
+  // third arrival is held and pairs when the fourth shows up in time.
+  exec.SubmitAt(10, n, base, exponent);
+  exec.SubmitAt(20, n, base, exponent);
+  // A fourth arrival after the pair forms is held again — and this
+  // time no partner ever comes, so the age timeout releases it solo.
+  exec.SubmitAt(30, n, base, exponent);
+  exec.RunUntilIdle();
+
+  const auto counters = exec.Snapshot();
+  EXPECT_EQ(counters.jobs_completed, 4u);
+  ASSERT_NE(exec.SchedulerStats(), nullptr);
+  EXPECT_EQ(exec.SchedulerStats()->holds, 2u);
+  EXPECT_EQ(exec.SchedulerStats()->hold_pairs, 1u);
+  EXPECT_EQ(exec.SchedulerStats()->unpair_timeouts, 1u);
+
+  const auto& records = exec.Records();
+  ASSERT_EQ(records.size(), 4u);
+  // Job ids 2 and 3 form the hold-pair; job 4 is the timeout victim.
+  EXPECT_FALSE(records[0].paired);
+  EXPECT_TRUE(records[1].paired);
+  EXPECT_TRUE(records[2].paired);
+  EXPECT_EQ(records[1].start_tick, records[2].start_tick);
+  EXPECT_FALSE(records[3].paired);
+  EXPECT_TRUE(records[3].unpaired_by_timeout);
+  // The timeout victim cannot start before its hold deadline expires.
+  EXPECT_GE(records[3].start_tick, 30 + options.unpair_timeout);
+
+  // All four virtual runs computed the real answer.
+  const BigUInt expected = Exponentiator(n).ModExp(base, exponent);
+  // (Submit order == record order: ids are assigned at SubmitAt.)
+  for (const auto& record : records) {
+    EXPECT_GT(record.finish_tick, record.start_tick);
+    EXPECT_GE(record.start_tick, record.submit_tick);
+  }
+  DeterministicExecutor check(options);
+  auto future = check.SubmitAt(0, n, base, exponent);
+  check.RunUntilIdle();
+  EXPECT_EQ(future.get().value, expected);
+}
+
+TEST(DeterministicExecutor, IdleWorkersStealFromLoadedDeques) {
+  auto rng = test::TestRng();
+  // Wildly uneven job sizes: the worker that lands the small jobs
+  // drains its deque early and must steal the big ones' backlog.
+  const BigUInt small = rng.OddExactBits(12);
+  const BigUInt big = rng.OddExactBits(64);
+  ExpService::Options options;
+  options.workers = 4;
+  DeterministicExecutor exec(options);
+  std::vector<std::future<ExpService::Result>> futures;
+  for (int j = 0; j < 24; ++j) {
+    const BigUInt& n = (j % 4 == 0) ? small : big;
+    futures.push_back(exec.SubmitAt(0, n, rng.Below(n), rng.Below(n)));
+  }
+  exec.RunUntilIdle();
+  ASSERT_NE(exec.SchedulerStats(), nullptr);
+  EXPECT_GT(exec.SchedulerStats()->steals, 0u);
+  bool any_stolen_record = false;
+  for (const auto& record : exec.Records()) {
+    any_stolen_record = any_stolen_record || record.stolen;
+  }
+  EXPECT_TRUE(any_stolen_record);
+  for (auto& future : futures) future.get();
+
+  // The same burst with stealing disabled issues every group from its
+  // own deque.
+  ExpService::Options fixed = options;
+  fixed.work_stealing = false;
+  DeterministicExecutor pinned(fixed);
+  for (int j = 0; j < 24; ++j) {
+    const BigUInt& n = (j % 4 == 0) ? small : big;
+    pinned.SubmitAt(0, n, rng.Below(n), rng.Below(n));
+  }
+  pinned.RunUntilIdle();
+  EXPECT_EQ(pinned.SchedulerStats()->steals, 0u);
+  // Stealing can only help the virtual makespan.
+  EXPECT_LE(exec.Now(), pinned.Now());
+}
+
+TEST(DeterministicExecutor, ReplayFromSameTraceIsBitIdentical) {
+  const auto run = [] {
+    auto rng = test::TestRng();
+    std::vector<BigUInt> moduli;
+    for (const std::size_t bits : {24u, 24u, 48u}) {
+      moduli.push_back(rng.OddExactBits(bits));
+    }
+    ExpService::Options options;
+    options.workers = 3;
+    options.unpair_timeout = 30'000;
+    DeterministicExecutor exec(options);
+    std::uint64_t tick = 0;
+    for (int j = 0; j < 40; ++j) {
+      const BigUInt& n = moduli[static_cast<std::size_t>(
+          rng.Engine().NextBelow(moduli.size()))];
+      exec.SubmitAt(tick, n, rng.Below(n), rng.Below(n));
+      tick += rng.Engine().NextBelow(20'000);
+    }
+    exec.RunUntilIdle();
+    return std::make_tuple(exec.Records(), exec.Snapshot(), exec.Now());
+  };
+  const auto [records_a, counters_a, makespan_a] = run();
+  const auto [records_b, counters_b, makespan_b] = run();
+  EXPECT_EQ(makespan_a, makespan_b);
+  EXPECT_EQ(counters_a.pair_issues, counters_b.pair_issues);
+  EXPECT_EQ(counters_a.steals, counters_b.steals);
+  EXPECT_EQ(counters_a.unpair_timeouts, counters_b.unpair_timeouts);
+  ASSERT_EQ(records_a.size(), records_b.size());
+  for (std::size_t j = 0; j < records_a.size(); ++j) {
+    EXPECT_EQ(records_a[j].id, records_b[j].id);
+    EXPECT_EQ(records_a[j].start_tick, records_b[j].start_tick);
+    EXPECT_EQ(records_a[j].finish_tick, records_b[j].finish_tick);
+    EXPECT_EQ(records_a[j].worker, records_b[j].worker);
+    EXPECT_EQ(records_a[j].paired, records_b[j].paired);
+    EXPECT_EQ(records_a[j].stolen, records_b[j].stolen);
+  }
+}
+
+// The acceptance scenario in the small: on sparse same-key traffic that
+// keeps the pool moderately loaded, the v1 shared queue almost never
+// finds two jobs queued together (workers drain it too fast), while the
+// v2 hold-for-pairing converts the same trace into dual-channel pairs.
+// Array capacity per job — saturation throughput — must improve >= 1.2x.
+TEST(DeterministicExecutor, StealingSchedulerBeatsSharedQueueOnSparseTraffic) {
+  auto rng = test::TestRng();
+  const BigUInt n = rng.OddExactBits(64);
+  const BigUInt base = rng.Below(n);
+  const BigUInt exponent = rng.Below(n);
+  const std::uint64_t solo_ticks = CalibrateSoloTicks(n, base, exponent);
+  const std::uint64_t gap = (solo_ticks * 3) / 5;  // per-worker load ~0.83
+  constexpr int kJobs = 60;
+
+  const auto run = [&](SchedulerKind kind) {
+    ExpService::Options options;
+    options.workers = 2;
+    options.scheduler = kind;
+    options.unpair_timeout = solo_ticks;
+    DeterministicExecutor exec(options);
+    for (int j = 0; j < kJobs; ++j) {
+      exec.SubmitAt(static_cast<std::uint64_t>(j) * gap, n, base, exponent);
+    }
+    exec.RunUntilIdle();
+    return std::make_pair(exec.Records(), exec.Snapshot());
+  };
+  const auto [records_v1, counters_v1] = run(SchedulerKind::kSharedQueue);
+  const auto [records_v2, counters_v2] = run(SchedulerKind::kStealing);
+  EXPECT_EQ(counters_v1.jobs_completed, kJobs);
+  EXPECT_EQ(counters_v2.jobs_completed, kJobs);
+  // v1 meets an idle worker at almost every arrival: mostly solo issue.
+  // v2 pairs the bulk of the trace through held partners.
+  EXPECT_GT(counters_v2.pair_issues, 2 * counters_v1.pair_issues);
+  const std::uint64_t busy_v1 = BusyCycles(records_v1);
+  const std::uint64_t busy_v2 = BusyCycles(records_v2);
+  ASSERT_GT(busy_v2, 0u);
+  // Jobs per array-cycle: the dual-channel pairs must buy >= 1.2x.
+  const double speedup =
+      static_cast<double>(busy_v1) / static_cast<double>(busy_v2);
+  EXPECT_GE(speedup, 1.2) << "busy_v1=" << busy_v1 << " busy_v2=" << busy_v2;
+}
+
+// ---------------------------------------------------------------------------
+// Threaded service: bursty multi-tenant stress and shutdown drain
+// ---------------------------------------------------------------------------
+
+// Three tenants fire bursts of mixed-size, mixed-engine jobs while a
+// fourth runs pipelined-CRT RsaSignBatch against the same pool.  Every
+// result must match the scalar oracle and the counters must be truthful.
+TEST(ExpService, BurstyMultiTenantStressMatchesOracles) {
+  auto rng = test::TestRng();
+  std::vector<BigUInt> moduli;
+  for (const std::size_t bits : {128u, 128u, 256u, 256u, 512u}) {
+    moduli.push_back(rng.OddExactBits(bits));
+  }
+  const crypto::RsaKeyPair rsa_key = crypto::GenerateRsaKey(128, rng);
+  const std::array<const char*, 3> engines = {"", "bit-serial", "word-mont"};
+
+  ExpService::Options options;
+  options.workers = 4;
+  options.engine_cache_capacity = 4;  // smaller than the modulus pool
+  options.unpair_timeout = 100'000;   // 100us: plausible for these sizes
+  ExpService service(options);
+
+  constexpr std::size_t kTenants = 3;
+  constexpr std::size_t kBursts = 5;
+  constexpr std::size_t kBurstJobs = 8;
+  struct TenantJob {
+    std::size_t modulus_index = 0;
+    std::size_t engine_index = 0;
+    BigUInt base;
+    BigUInt exponent;
+  };
+  std::vector<std::vector<TenantJob>> jobs(kTenants);
+  std::vector<std::vector<std::future<ExpService::Result>>> futures(kTenants);
+  std::vector<std::thread> tenants;
+  for (std::size_t t = 0; t < kTenants; ++t) {
+    tenants.emplace_back([&, t] {
+      RandomBigUInt tenant_rng(test::TestSeed(t + 101));
+      for (std::size_t burst = 0; burst < kBursts; ++burst) {
+        for (std::size_t j = 0; j < kBurstJobs; ++j) {
+          TenantJob job;
+          job.modulus_index = static_cast<std::size_t>(
+              tenant_rng.Engine().NextBelow(moduli.size()));
+          job.engine_index = static_cast<std::size_t>(
+              tenant_rng.Engine().NextBelow(engines.size()));
+          const BigUInt& n = moduli[job.modulus_index];
+          job.base = tenant_rng.Below(n);
+          job.exponent = tenant_rng.Below(n);
+          ExpService::JobOptions job_options;
+          job_options.engine_name = engines[job.engine_index];
+          futures[t].push_back(service.Submit(n, job.base, job.exponent,
+                                              std::move(job_options)));
+          jobs[t].push_back(std::move(job));
+        }
+        // Idle gap between bursts: lets the pool drain so the next
+        // burst exercises the idle->burst transition, not a steady
+        // backlog.
+        std::this_thread::sleep_for(std::chrono::microseconds(300));
+      }
+    });
+  }
+  // The RSA tenant interleaves two pipelined-CRT batches.
+  std::vector<BigUInt> messages;
+  for (int j = 0; j < 6; ++j) messages.push_back(rng.Below(rsa_key.n));
+  std::vector<BigUInt> signatures_a, signatures_b;
+  std::thread rsa_tenant([&] {
+    signatures_a = crypto::RsaSignBatch(rsa_key, messages, service);
+    signatures_b = crypto::RsaSignBatch(rsa_key, messages, service);
+  });
+  for (std::thread& tenant : tenants) tenant.join();
+  rsa_tenant.join();
+  service.Wait();
+
+  std::vector<Exponentiator> oracles;
+  oracles.reserve(moduli.size());
+  for (const BigUInt& n : moduli) oracles.emplace_back(n);
+  for (std::size_t t = 0; t < kTenants; ++t) {
+    ASSERT_EQ(futures[t].size(), jobs[t].size());
+    for (std::size_t j = 0; j < futures[t].size(); ++j) {
+      const TenantJob& job = jobs[t][j];
+      ASSERT_EQ(futures[t][j].get().value,
+                oracles[job.modulus_index].ModExp(job.base, job.exponent))
+          << "tenant " << t << " job " << j;
+    }
+  }
+  // Pipelined CRT is bit-identical to the scalar private-key oracle.
+  ASSERT_EQ(signatures_a.size(), messages.size());
+  for (std::size_t j = 0; j < messages.size(); ++j) {
+    EXPECT_EQ(signatures_a[j], crypto::RsaPrivate(rsa_key, messages[j]));
+    EXPECT_EQ(signatures_b[j], signatures_a[j]);
+  }
+
+  // Counter truthfulness: conservation across issue modes and the hold
+  // ledger balancing out once the pool is drained.
+  const auto counters = service.Snapshot();
+  const std::uint64_t total =
+      kTenants * kBursts * kBurstJobs + 2 * 2 * messages.size();
+  EXPECT_EQ(counters.jobs_submitted, total);
+  EXPECT_EQ(counters.jobs_completed, total);
+  EXPECT_EQ(2 * counters.pair_issues + counters.single_issues, total);
+  EXPECT_EQ(counters.holds, counters.hold_pairs + counters.unpair_timeouts);
+  EXPECT_GT(counters.pair_issues, 0u);
+  EXPECT_GT(counters.engine_cache_hits, 0u);
+}
+
+// Regression for the shutdown drain: destroying the service with jobs
+// still queued — including bonded pairs and callback-posted
+// continuations — must resolve every future and run every continuation
+// before the destructor returns.  No callback may run after destruction.
+TEST(ExpService, ShutdownDrainsInFlightBondedPairsAndContinuations) {
+  auto rng = test::TestRng();
+  const BigUInt n = rng.OddExactBits(96);
+  for (int round = 0; round < 20; ++round) {
+    std::vector<std::future<ExpService::Result>> futures;
+    std::pair<std::future<ExpService::Result>, std::future<ExpService::Result>>
+        bonded;
+    auto callbacks = std::make_shared<std::atomic<int>>(0);
+    auto continuations = std::make_shared<std::atomic<int>>(0);
+    constexpr int kJobs = 12;
+    {
+      ExpService::Options options;
+      options.workers = 2;
+      ExpService service(options);
+      for (int j = 0; j < kJobs; ++j) {
+        futures.push_back(service.Submit(
+            n, rng.Below(n), rng.Below(n),
+            [&service, callbacks, continuations](const ExpService::Result&) {
+              callbacks->fetch_add(1, std::memory_order_relaxed);
+              service.Post([continuations] {
+                continuations->fetch_add(1, std::memory_order_relaxed);
+              });
+            }));
+      }
+      bonded = service.SubmitPair(n, rng.Below(n), rng.Below(n), n,
+                                  rng.Below(n), rng.Below(n));
+      // Destructor runs here, racing the freshly queued work.
+    }
+    EXPECT_EQ(callbacks->load(), kJobs) << "round " << round;
+    EXPECT_EQ(continuations->load(), kJobs) << "round " << round;
+    for (auto& future : futures) {
+      ASSERT_EQ(future.wait_for(std::chrono::seconds(0)),
+                std::future_status::ready);
+      future.get();
+    }
+    ASSERT_EQ(bonded.first.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    ASSERT_EQ(bonded.second.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    bonded.first.get();
+    bonded.second.get();
   }
 }
 

@@ -126,6 +126,314 @@ TEST(PairingQueue, RandomizedConservationAndOrder) {
 }
 
 // ---------------------------------------------------------------------------
+// Clock sources
+// ---------------------------------------------------------------------------
+
+TEST(ClockSource, ManualClockAdvancesAndRejectsBackwardsSet) {
+  ManualClock clock(100);
+  EXPECT_EQ(clock.Now(), 100u);
+  clock.Advance(50);
+  EXPECT_EQ(clock.Now(), 150u);
+  clock.Set(150);  // no-op jump to the same tick is fine
+  clock.Set(400);
+  EXPECT_EQ(clock.Now(), 400u);
+  EXPECT_THROW(clock.Set(399), std::invalid_argument);
+}
+
+TEST(ClockSource, SteadyClockIsMonotone) {
+  SteadyClock clock;
+  const std::uint64_t a = clock.Now();
+  const std::uint64_t b = clock.Now();
+  EXPECT_LE(a, b);
+}
+
+// ---------------------------------------------------------------------------
+// StealScheduler (v2: per-worker deques, stealing, hold/unpair, batching)
+// ---------------------------------------------------------------------------
+
+StealScheduler::Config TwoWorkerConfig() {
+  StealScheduler::Config config;
+  config.workers = 2;
+  config.unpair_timeout = 100;
+  return config;
+}
+
+TEST(StealScheduler, SoloSubmitOnIdlePoolDispatchesImmediately) {
+  StealScheduler sched(TwoWorkerConfig());
+  // Even a key with hot traffic must not be held while the pool has
+  // nothing else to do — holding then would only add latency.
+  sched.Submit(1, 7, /*pairable=*/true, /*now=*/0);
+  EXPECT_EQ(sched.HeldJobs(), 0u);
+  auto issue = sched.Acquire(0, 0);
+  ASSERT_TRUE(issue.has_value());
+  EXPECT_EQ(issue->count, 1u);
+  EXPECT_EQ(issue->ids[0], 1u);
+  sched.OnGroupDone();
+  EXPECT_TRUE(sched.Idle());
+}
+
+TEST(StealScheduler, OpenSoloGroupUpgradesToPairInPlace) {
+  StealScheduler sched(TwoWorkerConfig());
+  sched.Submit(1, 7, true, 0);
+  sched.Submit(2, 7, true, 10);  // joins id 1's un-acquired solo group
+  auto issue = sched.Acquire(0, 10);
+  ASSERT_TRUE(issue.has_value());
+  EXPECT_EQ(issue->count, 2u);
+  EXPECT_EQ(issue->ids[0], 1u);
+  EXPECT_EQ(issue->ids[1], 2u);
+  EXPECT_EQ(sched.GetStats().pairs_formed, 1u);
+  sched.OnGroupDone();
+  EXPECT_TRUE(sched.Idle());
+}
+
+TEST(StealScheduler, HotKeyHoldsForPartnerWhilePoolBusy) {
+  StealScheduler sched(TwoWorkerConfig());
+  // Establish a hot gap on key 7, then keep the pool busy so the next
+  // lone arrival is worth holding.
+  sched.Submit(1, 7, true, 0);
+  sched.Submit(2, 7, true, 10);  // gap 10 << timeout 100: key is hot
+  auto pair = sched.Acquire(0, 10);
+  ASSERT_TRUE(pair.has_value());  // in flight: pool is busy
+  sched.Submit(3, 7, true, 20);
+  EXPECT_EQ(sched.HeldJobs(), 1u);
+  EXPECT_EQ(sched.GetStats().holds, 1u);
+  ASSERT_TRUE(sched.NextHoldDeadline().has_value());
+  EXPECT_EQ(*sched.NextHoldDeadline(), 120u);
+  // Held jobs are invisible to Acquire before their deadline.
+  EXPECT_FALSE(sched.Acquire(1, 30).has_value());
+  // The partner arrives in time: hold pays off.
+  sched.Submit(4, 7, true, 40);
+  EXPECT_EQ(sched.HeldJobs(), 0u);
+  auto held_pair = sched.Acquire(1, 40);
+  ASSERT_TRUE(held_pair.has_value());
+  EXPECT_EQ(held_pair->count, 2u);
+  EXPECT_EQ(held_pair->ids[0], 3u);
+  EXPECT_EQ(held_pair->ids[1], 4u);
+  EXPECT_EQ(sched.GetStats().hold_pairs, 1u);
+  sched.OnGroupDone();
+  sched.OnGroupDone();
+  EXPECT_TRUE(sched.Idle());
+}
+
+TEST(StealScheduler, AgeTimeoutReleasesHeldJobSolo) {
+  StealScheduler sched(TwoWorkerConfig());
+  sched.Submit(1, 7, true, 0);
+  sched.Submit(2, 7, true, 10);
+  auto pair = sched.Acquire(0, 10);
+  ASSERT_TRUE(pair.has_value());
+  sched.Submit(3, 7, true, 20);
+  ASSERT_EQ(sched.HeldJobs(), 1u);
+  // Deadline is 120; at 119 the job is still held, at 120 it issues
+  // solo and is flagged as unpaired by the timeout.
+  EXPECT_FALSE(sched.Acquire(1, 119).has_value());
+  auto solo = sched.Acquire(1, 120);
+  ASSERT_TRUE(solo.has_value());
+  EXPECT_EQ(solo->count, 1u);
+  EXPECT_EQ(solo->ids[0], 3u);
+  EXPECT_TRUE(solo->unpaired_by_timeout);
+  EXPECT_EQ(sched.GetStats().unpair_timeouts, 1u);
+  sched.OnGroupDone();
+  sched.OnGroupDone();
+  EXPECT_TRUE(sched.Idle());
+}
+
+TEST(StealScheduler, StealTakesVictimsOldestGroupInRingOrder) {
+  StealScheduler::Config config = TwoWorkerConfig();
+  config.workers = 3;
+  StealScheduler sched(config);
+  // Distinct non-pairable jobs spread across deques (least-loaded with
+  // round-robin tie-break: ids 1,2,3 land on workers 0,1,2).
+  sched.Submit(1, 100, /*pairable=*/false, 0);
+  sched.Submit(2, 101, /*pairable=*/false, 1);
+  sched.Submit(3, 102, /*pairable=*/false, 2);
+  // Worker 1 drains its own deque first...
+  auto own = sched.Acquire(1, 10);
+  ASSERT_TRUE(own.has_value());
+  EXPECT_FALSE(own->stolen);
+  EXPECT_EQ(own->ids[0], 2u);
+  // ...then steals in ring order from worker 2 before worker 0.
+  auto stolen = sched.Acquire(1, 10);
+  ASSERT_TRUE(stolen.has_value());
+  EXPECT_TRUE(stolen->stolen);
+  EXPECT_EQ(stolen->ids[0], 3u);
+  EXPECT_EQ(sched.GetStats().steals, 1u);
+  // With stealing disabled an empty own deque means no work.
+  StealScheduler::Config no_steal = config;
+  no_steal.work_stealing = false;
+  StealScheduler fixed(no_steal);
+  fixed.Submit(1, 100, false, 0);
+  EXPECT_FALSE(fixed.Acquire(2, 0).has_value());
+}
+
+TEST(StealScheduler, BondedPairsNeverSplitAndSkipHolds) {
+  StealScheduler sched(TwoWorkerConfig());
+  sched.SubmitBonded(1, 2, 0);
+  auto issue = sched.Acquire(0, 0);
+  ASSERT_TRUE(issue.has_value());
+  EXPECT_TRUE(issue->bonded);
+  EXPECT_EQ(issue->count, 2u);
+  EXPECT_EQ(issue->ids[0], 1u);
+  EXPECT_EQ(issue->ids[1], 2u);
+  sched.OnGroupDone();
+  // With pairing disabled bonded submits degrade to two solo groups.
+  StealScheduler::Config solo_config = TwoWorkerConfig();
+  solo_config.enable_pairing = false;
+  StealScheduler solo(solo_config);
+  solo.SubmitBonded(1, 2, 0);
+  std::size_t jobs = 0;
+  while (auto got = solo.Acquire(0, 0)) {
+    EXPECT_EQ(got->count, 1u);
+    EXPECT_FALSE(got->bonded);
+    jobs += got->count;
+    solo.OnGroupDone();
+  }
+  EXPECT_EQ(jobs, 2u);
+}
+
+TEST(StealScheduler, AdaptiveBatchScalesWithBacklogAndCapsAtMaxBatch) {
+  StealScheduler::Config config = TwoWorkerConfig();
+  config.max_batch = 4;
+  StealScheduler sched(config);
+  // Backlog of 12 non-pairable groups over 2 workers: target is
+  // clamp(12 / 2, 1, 4) = 4.
+  for (std::uint64_t id = 1; id <= 12; ++id) {
+    sched.Submit(id, 200 + id, /*pairable=*/false, 0);
+  }
+  std::vector<StealScheduler::Issue> issues;
+  EXPECT_EQ(sched.AcquireBatch(0, 0, &issues), 4u);
+  EXPECT_EQ(issues.size(), 4u);
+  EXPECT_EQ(sched.GetStats().batch_acquires, 1u);
+  EXPECT_EQ(sched.GetStats().max_batch_claimed, 4u);
+  // A near-empty pool claims exactly one (never zero while work exists).
+  for (int i = 0; i < 4; ++i) sched.OnGroupDone();
+  issues.clear();
+  while (sched.AcquireBatch(1, 0, &issues) != 0) {
+    for (std::size_t i = 0; i < issues.size(); ++i) sched.OnGroupDone();
+    issues.clear();
+  }
+  EXPECT_TRUE(sched.Idle());
+  StealScheduler light(config);
+  light.Submit(1, 300, false, 0);
+  issues.clear();
+  EXPECT_EQ(light.AcquireBatch(0, 0, &issues), 1u);
+}
+
+// Model check: a seeded stream of submits, bonded submits, acquires,
+// completions, and clock advances, validated against a brute-force
+// reference model of what may legally issue.
+TEST(StealScheduler, RandomizedModelConservationAndNoStarvation) {
+  auto rng = test::TestRng();
+  for (std::uint64_t round = 0; round < 8; ++round) {
+    StealScheduler::Config config;
+    config.workers = 1 + rng.Engine().NextBelow(4);
+    config.unpair_timeout = 50 + rng.Engine().NextBelow(200);
+    config.max_batch = 1 + rng.Engine().NextBelow(8);
+    config.work_stealing = rng.Engine().NextBelow(4) != 0;
+    StealScheduler sched(config);
+
+    std::map<std::uint64_t, std::uint64_t> key_of;       // reference model
+    std::map<std::uint64_t, std::uint64_t> bond_partner;
+    std::set<std::uint64_t> outstanding;                  // submitted, unissued
+    std::set<std::uint64_t> issued;
+    std::uint64_t next_id = 1;
+    std::uint64_t now = 0;
+    std::size_t in_flight = 0;
+
+    const auto check_issue = [&](const StealScheduler::Issue& issue) {
+      ASSERT_GE(issue.count, 1u);
+      ASSERT_LE(issue.count, 2u);
+      for (std::size_t i = 0; i < issue.count; ++i) {
+        const std::uint64_t id = issue.ids[i];
+        ASSERT_TRUE(outstanding.count(id)) << "issued unknown id " << id;
+        outstanding.erase(id);
+        ASSERT_TRUE(issued.insert(id).second) << "id issued twice: " << id;
+      }
+      if (issue.bonded) {
+        ASSERT_EQ(issue.count, 2u);
+        ASSERT_EQ(bond_partner.at(issue.ids[0]), issue.ids[1]);
+      } else if (issue.count == 2) {
+        ASSERT_EQ(key_of.at(issue.ids[0]), key_of.at(issue.ids[1]))
+            << "opportunistic pair across keys";
+      }
+      ++in_flight;
+    };
+
+    for (int step = 0; step < 600; ++step) {
+      switch (rng.Engine().NextBelow(6)) {
+        case 0:
+        case 1: {  // pairable submit on a small key space
+          const std::uint64_t key = rng.Engine().NextBelow(3);
+          key_of[next_id] = key;
+          outstanding.insert(next_id);
+          sched.Submit(next_id, key, true, now);
+          ++next_id;
+          break;
+        }
+        case 2: {  // non-pairable submit
+          const std::uint64_t key = 50 + rng.Engine().NextBelow(3);
+          key_of[next_id] = key;
+          outstanding.insert(next_id);
+          sched.Submit(next_id, key, false, now);
+          ++next_id;
+          break;
+        }
+        case 3: {  // bonded submit
+          key_of[next_id] = 90;
+          key_of[next_id + 1] = 91;
+          bond_partner[next_id] = next_id + 1;
+          outstanding.insert(next_id);
+          outstanding.insert(next_id + 1);
+          sched.SubmitBonded(next_id, next_id + 1, now);
+          next_id += 2;
+          break;
+        }
+        case 4: {  // acquire from a random worker
+          const std::size_t worker = rng.Engine().NextBelow(config.workers);
+          if (auto issue = sched.Acquire(worker, now)) check_issue(*issue);
+          break;
+        }
+        default: {  // time passes; maybe retire an in-flight group
+          now += 1 + rng.Engine().NextBelow(40);
+          if (in_flight > 0 && rng.Engine().NextBelow(2) == 0) {
+            sched.OnGroupDone();
+            --in_flight;
+          }
+          break;
+        }
+      }
+      // Conservation invariant: the scheduler's queued count always
+      // matches the reference model's outstanding set.
+      ASSERT_EQ(sched.PendingJobs(), outstanding.size());
+    }
+
+    // Drain: advance past every hold deadline and acquire round-robin.
+    // No-starvation means every submitted id eventually issues.
+    now += config.unpair_timeout + 1;
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (std::size_t worker = 0; worker < config.workers; ++worker) {
+        while (auto issue = sched.Acquire(worker, now)) {
+          check_issue(*issue);
+          progress = true;
+        }
+      }
+      now += config.unpair_timeout + 1;
+      if (!sched.Idle()) progress = true;
+    }
+    ASSERT_TRUE(outstanding.empty()) << "starved jobs remain";
+    ASSERT_TRUE(sched.Idle());
+    ASSERT_EQ(issued.size(), key_of.size());
+    while (in_flight > 0) {
+      sched.OnGroupDone();
+      --in_flight;
+    }
+    ASSERT_EQ(sched.InFlightGroups(), 0u);
+    EXPECT_THROW(sched.OnGroupDone(), std::logic_error);
+  }
+}
+
+// ---------------------------------------------------------------------------
 // LruCache (the per-modulus engine cache policy)
 // ---------------------------------------------------------------------------
 
