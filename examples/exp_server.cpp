@@ -1,120 +1,281 @@
-// exp_server — demo loop for the batched async exponentiation service:
-// a stream of mixed RSA traffic (raw modexp jobs plus CRT sign operations
-// submitted as bonded dual-channel pairs) flows through one ExpService,
-// and the run ends with the serving-layer scorecard: pairing ratio,
-// engine-cache hit rate, and the modelled cycles saved by dual-channel
-// scheduling versus sequential issue.
+// exp_server — the signing service front-end, end to end.
 //
-//   ./exp_server [requests]     (default 200; the ctest smoke run uses 64)
-#include <atomic>
+// One server::SigningService (multi-tenant keystore, token-bucket
+// admission, priority shedding, deadlines, Bellcore-gated CRT signing
+// over core::ExpService) is driven three ways:
+//
+//   ./exp_server             demo: two tenants — one polite, one
+//                            flooding — push PKCS#1 v1.5 sign requests
+//                            through the full wire codec; the run ends
+//                            with the service scorecard (verified
+//                            signatures, typed backpressure/shed counts,
+//                            conservation of the job-level counters).
+//   ./exp_server --smoke     bounded self-test for ctest: one tenant,
+//                            one signature signed through the retrying
+//                            client and verified against the public key,
+//                            plus one oversize frame rejected at the
+//                            transport with FRAME_TOO_LARGE.  Exits
+//                            nonzero on any failure.
+//   ./exp_server --tcp PORT  thin TCP adapter (POSIX sockets): accepts
+//                            connections, splits each byte stream with
+//                            the same FrameReader the in-proc transport
+//                            uses, answers each frame through
+//                            HandleRequestSync, and closes the
+//                            connection on an oversize prefix after
+//                            answering FRAME_TOO_LARGE.  Serves until
+//                            killed.
+//
+// The adapter is deliberately thin: framing, the oversize check and the
+// status taxonomy all live in src/server/ and are identical between the
+// socket path and the in-process path the tests and bench exercise.
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "bignum/random.hpp"
-#include "core/exp_service.hpp"
-#include "core/schedule.hpp"
+#include "crypto/pkcs1.hpp"
 #include "crypto/rsa.hpp"
+#include "server/client.hpp"
+#include "server/keystore.hpp"
+#include "server/signing_service.hpp"
+#include "server/transport.hpp"
+#include "server/wire.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define MONT_HAVE_SOCKETS 1
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
 
 using mont::bignum::BigUInt;
-using mont::core::ExpService;
+namespace server = mont::server;
 
-int main(int argc, char** argv) {
-  const std::size_t requests =
-      argc > 1 ? static_cast<std::size_t>(std::strtoul(argv[1], nullptr, 10))
-               : 200;
+namespace {
 
-  std::printf("=== exp_server: batched async modular exponentiation ===\n\n");
-
-  // Two tenants with their own RSA keys, plus a pool of raw-modexp moduli
-  // (as an ECDSA/DH-style side load) — all sharing one service.
+server::Keystore DemoKeystore(mont::crypto::RsaKeyPair* out_key) {
+  // Deterministic 512-bit demo key: smallest modulus PKCS#1/SHA-256
+  // allows, so keygen and signing stay fast enough for a smoke test.
   mont::bignum::RandomBigUInt rng(0x5e12f1ceull);
-  const mont::crypto::RsaKeyPair tenant_a =
-      mont::crypto::GenerateRsaKey(128, rng);
-  const mont::crypto::RsaKeyPair tenant_b =
-      mont::crypto::GenerateRsaKey(96, rng);
-  std::vector<BigUInt> side_moduli;
-  for (const std::size_t bits : {64u, 64u, 96u}) {
-    side_moduli.push_back(rng.OddExactBits(bits));
+  *out_key = mont::crypto::GenerateRsaKey(512, rng);
+
+  server::Keystore keystore;
+  server::TenantConfig polite;
+  polite.name = "polite";
+  polite.priority = 12;
+  polite.burst = 64;
+  keystore.AddTenant(1, polite);
+  keystore.AddKey(1, 1, *out_key);
+
+  server::TenantConfig flood;
+  flood.name = "flood";
+  flood.priority = 2;   // shed first under overload
+  flood.burst = 8;      // tight token bucket: excess gets backpressure
+  flood.refill_period_ticks = 1'000'000'000;  // 1 token/s — exhausts fast
+  flood.max_in_flight = 8;
+  keystore.AddTenant(2, flood);
+  keystore.AddKey(2, 1, *out_key);
+  return keystore;
+}
+
+int RunSmoke() {
+  mont::crypto::RsaKeyPair key;
+  server::Keystore keystore = DemoKeystore(&key);
+  server::SigningService service(std::move(keystore));
+  server::InProcTransport transport(service);
+  server::SigningClient client(transport);
+
+  // 1. One signature through the full wire path, verified against the
+  //    public key.
+  const std::vector<std::uint8_t> message = {'s', 'm', 'o', 'k', 'e'};
+  const server::SigningClient::Outcome outcome =
+      client.Sign(/*tenant_id=*/1, /*key_id=*/1, message);
+  if (outcome.status != server::StatusCode::kOk) {
+    std::fprintf(stderr, "smoke: sign failed with %s\n",
+                 server::StatusCodeName(outcome.status));
+    return 1;
+  }
+  const BigUInt signature = BigUInt::FromBytesBE(outcome.signature);
+  if (!mont::crypto::RsaVerifyPkcs1V15(key, message, signature)) {
+    std::fprintf(stderr, "smoke: signature did not verify\n");
+    return 1;
   }
 
-  ExpService::Options options;
-  options.workers = 2;
-  options.engine_cache_capacity = 8;
-  ExpService service(options);
-
-  std::atomic<std::uint64_t> completed{0};
-  std::atomic<std::uint64_t> modelled_cycles{0};
-  const auto on_done = [&](const ExpService::Result& result) {
-    ++completed;
-    // Both halves of a pair report the group total; attribute half each.
-    modelled_cycles += result.paired ? result.stats.engine_cycles / 2
-                                     : result.stats.engine_cycles;
-  };
-
-  std::printf("submitting %zu requests (2 RSA tenants + %zu raw-modexp "
-              "keys) ...\n", requests, side_moduli.size());
-  std::size_t crt_ops = 0, raw_ops = 0;
-  for (std::size_t r = 0; r < requests; ++r) {
-    switch (r % 3) {
-      case 0: {  // CRT decrypt (alternating tenants): bonded channel pair
-        const mont::crypto::RsaKeyPair& key = (r % 2 == 0) ? tenant_a
-                                                           : tenant_b;
-        const BigUInt c = rng.Below(key.n);
-        const BigUInt dp = key.d % (key.p - BigUInt{1});
-        const BigUInt dq = key.d % (key.q - BigUInt{1});
-        service.SubmitPair(key.p, c % key.p, dp, key.q, c % key.q, dq);
-        // (A real server recombines the two futures; the demo tracks
-        // completion through the service counters instead.)
-        ++crt_ops;
-        break;
-      }
-      default: {  // raw modexp traffic over the shared side moduli
-        const BigUInt& n = side_moduli[r % side_moduli.size()];
-        service.Submit(n, rng.Below(n), rng.Below(n), on_done);
-        ++raw_ops;
-        break;
-      }
-    }
+  // 2. An oversize length prefix must be rejected at the transport with
+  //    the typed code, without ever reaching the service.
+  std::vector<std::uint8_t> oversize = {0xff, 0xff, 0xff, 0x7f};
+  auto rejected = transport.CallRaw(std::move(oversize)).get();
+  if (!rejected.has_value() ||
+      rejected->status != server::StatusCode::kFrameTooLarge) {
+    std::fprintf(stderr, "smoke: oversize frame not rejected as "
+                         "FRAME_TOO_LARGE\n");
+    return 1;
   }
   service.Wait();
+  std::printf("smoke OK: 1 verified signature, oversize frame rejected\n");
+  return 0;
+}
 
-  const ExpService::Counters counters = service.Snapshot();
-  const double pair_rate =
-      counters.pair_issues + counters.single_issues == 0
-          ? 0.0
-          : static_cast<double>(2 * counters.pair_issues) /
-                static_cast<double>(2 * counters.pair_issues +
-                                    counters.single_issues);
-  const double hit_rate =
-      counters.engine_cache_hits + counters.engine_cache_misses == 0
-          ? 0.0
-          : static_cast<double>(counters.engine_cache_hits) /
-                static_cast<double>(counters.engine_cache_hits +
-                                    counters.engine_cache_misses);
+int RunDemo(std::size_t requests) {
+  std::printf("=== exp_server: multi-tenant RSA signing service ===\n\n");
+  mont::crypto::RsaKeyPair key;
+  server::Keystore keystore = DemoKeystore(&key);
 
-  std::printf("\n--- serving-layer scorecard -------------------------\n");
-  std::printf("  requests submitted        %12llu  (%zu CRT pairs, %zu raw)\n",
-              static_cast<unsigned long long>(counters.jobs_submitted),
-              crt_ops, raw_ops);
-  std::printf("  jobs completed            %12llu\n",
-              static_cast<unsigned long long>(counters.jobs_completed));
-  std::printf("  callback completions      %12llu\n",
-              static_cast<unsigned long long>(completed.load()));
-  std::printf("  dual-channel issues       %12llu\n",
-              static_cast<unsigned long long>(counters.pair_issues));
-  std::printf("  single issues             %12llu\n",
-              static_cast<unsigned long long>(counters.single_issues));
-  std::printf("  jobs co-scheduled         %11.0f%%\n", pair_rate * 100);
-  std::printf("  engine cache hit rate     %11.0f%%  (%llu hits, %llu "
-              "misses, %llu evictions)\n", hit_rate * 100,
-              static_cast<unsigned long long>(counters.engine_cache_hits),
-              static_cast<unsigned long long>(counters.engine_cache_misses),
-              static_cast<unsigned long long>(counters.engine_cache_evictions));
-  std::printf("  modelled array cycles     %12llu  (callback-tracked jobs)\n",
-              static_cast<unsigned long long>(modelled_cycles.load()));
-  std::printf("\nEvery co-scheduled pair of MMMs costs 3l+5 cycles instead "
-              "of 6l+8 —\nqueue two jobs deep and the array nearly doubles "
-              "its throughput.\n");
-  return counters.jobs_completed == counters.jobs_submitted ? 0 : 1;
+  server::SigningService::Options options;
+  options.service.workers = 2;
+  options.admission.queue_high_watermark = 8;
+  server::SigningService service(std::move(keystore), options);
+  server::InProcTransport transport(service);
+  server::SigningClient polite(transport);
+  server::RetryPolicy no_retry;
+  no_retry.max_attempts = 1;  // the flooder takes its typed refusals
+  server::SigningClient flooder(transport, no_retry);
+
+  std::printf("tenant 1 (polite, prio 12) and tenant 2 (flood, prio 2, "
+              "8-token bucket)\nsubmitting %zu requests each ...\n",
+              requests);
+  std::size_t polite_ok = 0, flood_ok = 0, verify_failures = 0;
+  std::thread polite_thread([&] {
+    for (std::size_t i = 0; i < requests; ++i) {
+      std::vector<std::uint8_t> message = {'p', static_cast<std::uint8_t>(i)};
+      const auto outcome = polite.Sign(1, 1, message);
+      if (outcome.status != server::StatusCode::kOk) continue;
+      ++polite_ok;
+      if (!mont::crypto::RsaVerifyPkcs1V15(
+              key, message, BigUInt::FromBytesBE(outcome.signature))) {
+        ++verify_failures;
+      }
+    }
+  });
+  std::thread flood_thread([&] {
+    for (std::size_t i = 0; i < requests; ++i) {
+      std::vector<std::uint8_t> message = {'f', static_cast<std::uint8_t>(i)};
+      const auto outcome = flooder.Sign(2, 1, message);
+      if (outcome.status == server::StatusCode::kOk) ++flood_ok;
+    }
+  });
+  polite_thread.join();
+  flood_thread.join();
+  service.Wait();
+
+  const server::SigningService::Counters counters = service.Snapshot();
+  const mont::core::ExpService::Counters jobs = service.ServiceSnapshot();
+  std::printf("\n--- signing-service scorecard -----------------------\n");
+  std::printf("  requests seen             %12llu\n",
+              static_cast<unsigned long long>(counters.requests));
+  std::printf("  admitted                  %12llu\n",
+              static_cast<unsigned long long>(counters.admitted));
+  std::printf("  signatures released (ok)  %12llu  (polite %zu, flood %zu)\n",
+              static_cast<unsigned long long>(counters.ok), polite_ok,
+              flood_ok);
+  std::printf("  backpressure (typed)      %12llu\n",
+              static_cast<unsigned long long>(counters.rejected_backpressure));
+  std::printf("  shed under overload       %12llu\n",
+              static_cast<unsigned long long>(counters.shed_overload));
+  std::printf("  faults caught (Bellcore)  %12llu\n",
+              static_cast<unsigned long long>(counters.faults_caught));
+  std::printf("  bad signatures released   %12llu\n",
+              static_cast<unsigned long long>(counters.bad_signatures_released));
+  std::printf("  CRT half-jobs submitted   %12llu  (completed %llu, "
+              "cancelled %llu)\n",
+              static_cast<unsigned long long>(jobs.jobs_submitted),
+              static_cast<unsigned long long>(jobs.jobs_completed),
+              static_cast<unsigned long long>(jobs.deadline_exceeded));
+  std::printf("  signature verify failures %12zu\n", verify_failures);
+  std::printf("\nEvery refusal above is a *typed* status a client can act "
+              "on — nothing\nwas silently dropped, and no signature skipped "
+              "the Bellcore gate.\n");
+
+  const bool conserved =
+      jobs.jobs_submitted == jobs.jobs_completed + jobs.deadline_exceeded;
+  const bool healthy_served = polite_ok > 0;
+  return (verify_failures == 0 && counters.bad_signatures_released == 0 &&
+          conserved && healthy_served)
+             ? 0
+             : 1;
+}
+
+#ifdef MONT_HAVE_SOCKETS
+void ServeConnection(server::SigningService& service, int fd) {
+  server::FrameReader reader(service.MaxFrameBytes());
+  std::uint8_t buffer[4096];
+  for (;;) {
+    const ssize_t got = ::read(fd, buffer, sizeof buffer);
+    if (got <= 0) break;
+    reader.Feed(std::span<const std::uint8_t>(buffer,
+                                              static_cast<std::size_t>(got)));
+    if (reader.OversizeError()) {
+      server::SignResponse refusal;
+      refusal.status = server::StatusCode::kFrameTooLarge;
+      const auto frame = server::Frame(server::EncodeSignResponse(refusal));
+      (void)!::write(fd, frame.data(), frame.size());
+      break;  // the stream cannot be resynced — close the connection
+    }
+    while (auto payload = reader.Next()) {
+      const server::SignResponse response =
+          service.HandleRequestSync(std::move(*payload));
+      const auto frame = server::Frame(server::EncodeSignResponse(response));
+      if (::write(fd, frame.data(), frame.size()) < 0) break;
+    }
+  }
+  ::close(fd);
+}
+
+int RunTcp(std::uint16_t port) {
+  mont::crypto::RsaKeyPair key;
+  server::SigningService service(DemoKeystore(&key));
+
+  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listener < 0) {
+    std::perror("socket");
+    return 1;
+  }
+  const int one = 1;
+  ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0 ||
+      ::listen(listener, 16) < 0) {
+    std::perror("bind/listen");
+    ::close(listener);
+    return 1;
+  }
+  std::printf("signing service listening on 127.0.0.1:%u "
+              "(tenant 1 key 1; Ctrl-C to stop)\n", port);
+  for (;;) {
+    const int fd = ::accept(listener, nullptr, nullptr);
+    if (fd < 0) break;
+    std::thread(ServeConnection, std::ref(service), fd).detach();
+  }
+  ::close(listener);
+  return 0;
+}
+#endif  // MONT_HAVE_SOCKETS
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--smoke") == 0) {
+    return RunSmoke();
+  }
+  if (argc > 1 && std::strcmp(argv[1], "--tcp") == 0) {
+#ifdef MONT_HAVE_SOCKETS
+    const long port = argc > 2 ? std::strtol(argv[2], nullptr, 10) : 7451;
+    return RunTcp(static_cast<std::uint16_t>(port));
+#else
+    std::fprintf(stderr, "--tcp requires POSIX sockets (unavailable on this "
+                         "platform); use the in-proc demo instead\n");
+    return 1;
+#endif
+  }
+  const std::size_t requests =
+      argc > 1 ? static_cast<std::size_t>(std::strtoul(argv[1], nullptr, 10))
+               : 48;
+  return RunDemo(requests);
 }

@@ -43,6 +43,24 @@ BigUInt BigUInt::FromHex(std::string_view hex) {
   return out;
 }
 
+BigUInt BigUInt::FromBytesBE(std::span<const std::uint8_t> bytes) {
+  BigUInt out;
+  out.limbs_.assign((bytes.size() + 3) / 4, 0);
+  std::size_t shift = 0;
+  std::size_t limb = 0;
+  // bytes[size-1] is the least significant byte; walk it into limb 0 up.
+  for (std::size_t i = bytes.size(); i-- > 0;) {
+    out.limbs_[limb] |= static_cast<Limb>(bytes[i]) << shift;
+    shift += 8;
+    if (shift == kLimbBits) {
+      shift = 0;
+      ++limb;
+    }
+  }
+  out.Normalize();
+  return out;
+}
+
 BigUInt BigUInt::FromDec(std::string_view dec) {
   if (dec.empty()) throw std::invalid_argument("BigUInt::FromDec: empty string");
   BigUInt out;
@@ -458,6 +476,18 @@ BigUInt BigUInt::ModExp(const BigUInt& base, const BigUInt& exponent,
     if (exponent.Bit(i)) result = (result * b) % modulus;
   }
   return result;
+}
+
+std::vector<std::uint8_t> BigUInt::ToBytesBE(std::size_t min_length) const {
+  const std::size_t natural = (BitLength() + 7) / 8;
+  const std::size_t length = std::max(natural, min_length);
+  std::vector<std::uint8_t> out(length, 0);
+  for (std::size_t i = 0; i < natural; ++i) {
+    // Byte i of the value (little-endian index) lands at out[length-1-i].
+    const Limb limb = limbs_[i / 4];
+    out[length - 1 - i] = static_cast<std::uint8_t>(limb >> (8 * (i % 4)));
+  }
+  return out;
 }
 
 std::string BigUInt::ToHex() const {

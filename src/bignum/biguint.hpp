@@ -48,6 +48,9 @@ class BigUInt {
   static BigUInt PowerOfTwo(std::size_t exponent);
   /// Builds a value from raw little-endian limbs (normalizes a copy).
   static BigUInt FromLimbs(std::span<const Limb> limbs);
+  /// Parses a big-endian byte string (the RFC 8017 OS2IP primitive; an
+  /// empty span reads as zero).
+  static BigUInt FromBytesBE(std::span<const std::uint8_t> bytes);
 
   // -- observers -------------------------------------------------------------
 
@@ -135,6 +138,11 @@ class BigUInt {
   std::string ToHex() const;
   /// Decimal string.
   std::string ToDec() const;
+  /// Big-endian byte string, left-padded with zeros to at least
+  /// `min_length` bytes (the RFC 8017 I2OSP primitive).  A value needing
+  /// more than `min_length` bytes gets its natural length — never
+  /// truncated.  Zero with min_length 0 yields an empty vector.
+  std::vector<std::uint8_t> ToBytesBE(std::size_t min_length = 0) const;
 
  private:
   void Normalize();

@@ -31,6 +31,7 @@ EngineStats& EngineStats::operator+=(const EngineStats& other) {
   single_issues += other.single_issues;
   engine_cycles += other.engine_cycles;
   paper_model_cycles += other.paper_model_cycles;
+  cancelled += other.cancelled;
   return *this;
 }
 

@@ -89,6 +89,9 @@ struct EngineStats {
   std::uint64_t engine_cycles = 0;
   /// The paper's §4.5 closed-form accounting for the same operation mix.
   std::uint64_t paper_model_cycles = 0;
+  /// Jobs cancelled before engine dispatch (deadline expiry); such a job
+  /// performed no MMM work, so every other field stays zero for it.
+  std::uint64_t cancelled = 0;
 
   EngineStats& operator+=(const EngineStats& other);
 };

@@ -702,13 +702,42 @@ void ExpService::WorkerLoop(std::size_t index) {
     lk.unlock();
 
     for (Unit& unit : units) {
+      // Fault-injection/observability hook (chaos harness): runs before
+      // the deadline gate so a stalled worker realistically turns into
+      // deadline misses downstream.  Exceptions are contained.
+      if (options_.worker_observer) {
+        try {
+          options_.worker_observer(index);
+        } catch (...) {
+        }
+      }
+      // Deadline gate: claim time is the last point before engine
+      // dispatch.  Expired jobs are dropped here — they consume no array
+      // time, their futures resolve with ExpResult::cancelled, and their
+      // callbacks still fire.  A pair with one expired half issues solo.
+      std::vector<Job> expired;
+      {
+        const std::uint64_t now_ticks = NowTicks();
+        const auto live_end = std::stable_partition(
+            unit.jobs.begin(), unit.jobs.end(), [&](const Job& job) {
+              const std::uint64_t deadline = job.spec.options.deadline;
+              return deadline == 0 || now_ticks < deadline;
+            });
+        for (auto it = live_end; it != unit.jobs.end(); ++it) {
+          expired.push_back(std::move(*it));
+        }
+        unit.jobs.erase(live_end, unit.jobs.end());
+      }
       std::array<const ExecutionCore::JobSpec*, 2> specs{};
       for (std::size_t i = 0; i < unit.jobs.size(); ++i) {
         specs[i] = &unit.jobs[i].spec;
       }
-      ExecutionCore::Outcome outcome = core_.RunGroup(
-          std::span<const ExecutionCore::JobSpec* const>(specs.data(),
-                                                         unit.jobs.size()));
+      ExecutionCore::Outcome outcome;
+      if (!unit.jobs.empty()) {
+        outcome = core_.RunGroup(
+            std::span<const ExecutionCore::JobSpec* const>(specs.data(),
+                                                           unit.jobs.size()));
+      }
       // Scheduling provenance rides on every result, so callers can
       // audit steal/unpair decisions per job, not just in aggregate.
       for (ExpResult& result : outcome.results) {
@@ -728,12 +757,22 @@ void ExpService::WorkerLoop(std::size_t index) {
       } else {
         counters_.single_issues += unit.jobs.size();
       }
+      counters_.deadline_exceeded += expired.size();
       // The scheduler's in-flight accounting (which gates the
       // hold-for-pairing heuristic) retires before the promises resolve,
       // so a caller submitting right after .get() sees an idle pool.
       if (sched_ != nullptr) sched_->OnGroupDone();
       lk.unlock();
 
+      // Expired jobs resolve first (promises before any callback), with
+      // the typed cancelled result — never an exception, so pipelined
+      // callers (CRT halves) observe the cancellation and can unwind.
+      ExpResult cancelled_result;
+      cancelled_result.cancelled = true;
+      cancelled_result.stats.cancelled = 1;
+      for (Job& job : expired) {
+        job.promise.set_value(cancelled_result);
+      }
       if (outcome.error != nullptr) {
         for (Job& job : unit.jobs) {
           try {
@@ -758,11 +797,18 @@ void ExpService::WorkerLoop(std::size_t index) {
           }
         }
       }
+      for (Job& job : expired) {
+        if (!job.callback) continue;
+        try {
+          job.callback(cancelled_result);
+        } catch (...) {
+        }
+      }
       // jobs_completed / in_flight_ retire only after the callbacks, so
       // Wait() returning guarantees every completion hook has run.
       lk.lock();
       counters_.jobs_completed += unit.jobs.size();
-      in_flight_ -= unit.jobs.size();
+      in_flight_ -= unit.jobs.size() + expired.size();
       const bool drained = QueueDrainedLocked();
       lk.unlock();
       if (drained) idle_cv_.notify_all();
@@ -859,11 +905,51 @@ std::future<DeterministicExecutor::Result> DeterministicExecutor::SubmitAt(
   if (!pairable && sched_ == nullptr) {
     key = (std::uint64_t{1} << 62) | next_solo_key_++;
   }
+  const std::uint64_t deadline = job->spec.options.deadline;
+  const std::uint64_t id = job->id;
   Schedule(tick, [this, job, key, pairable] {
     EnterQueue(std::move(*job), key, pairable);
     TryDispatch();
   });
+  if (deadline != 0) {
+    // Exact-tick cancellation: the event fires at the deadline (never
+    // before the submit event — same tick, later seq) and releases the
+    // job if it is still queued or held for pairing.
+    Schedule(std::max(tick, deadline), [this, id] { CancelIfQueued(id); });
+  }
   return future;
+}
+
+void DeterministicExecutor::CancelIfQueued(std::uint64_t id) {
+  const auto it = pending_.find(id);
+  if (it == pending_.end()) return;  // already claimed by a worker
+  const bool removed =
+      sched_ != nullptr ? sched_->Cancel(id) : queue_.Remove(id);
+  if (!removed) return;
+  Job job = std::move(it->second);
+  pending_.erase(it);
+  FinishCancelled(std::move(job));
+}
+
+void DeterministicExecutor::FinishCancelled(Job job) {
+  ++counters_.deadline_exceeded;
+  JobRecord record;
+  record.id = job.id;
+  record.submit_tick = job.submit_tick;
+  record.start_tick = now_;
+  record.finish_tick = now_;
+  record.cancelled = true;
+  records_.push_back(record);
+  ExpResult result;
+  result.cancelled = true;
+  result.stats.cancelled = 1;
+  job.promise.set_value(result);
+  if (job.callback) {
+    try {
+      job.callback(result);
+    } catch (...) {
+    }
+  }
 }
 
 std::pair<std::future<DeterministicExecutor::Result>,
@@ -981,6 +1067,26 @@ void DeterministicExecutor::TryDispatch() {
           auto it = pending_.find(issue.ids[i]);
           unit->jobs.push_back(std::move(it->second));
           pending_.erase(it);
+        }
+        // Claim-time deadline gate (mirrors the threaded worker): a job
+        // claimed at the very tick its deadline fires — before the
+        // cancellation event ran — is still cancelled, never dispatched.
+        {
+          const auto live_end = std::stable_partition(
+              unit->jobs.begin(), unit->jobs.end(), [this](const Job& job) {
+                const std::uint64_t deadline = job.spec.options.deadline;
+                return deadline == 0 || now_ < deadline;
+              });
+          for (auto it = live_end; it != unit->jobs.end(); ++it) {
+            FinishCancelled(std::move(*it));
+          }
+          unit->jobs.erase(live_end, unit->jobs.end());
+        }
+        if (unit->jobs.empty()) {
+          // The whole group expired: retire it without occupying the
+          // worker's virtual array for any ticks.
+          if (sched_ != nullptr) sched_->OnGroupDone();
+          continue;
         }
         std::array<const ExecutionCore::JobSpec*, 2> specs{};
         for (std::size_t i = 0; i < unit->jobs.size(); ++i) {

@@ -130,10 +130,22 @@ struct ExpJobOptions {
   bignum::BigUInt exponent_blind_order;
   /// Bit width of the per-execution random k.
   std::size_t exponent_blind_bits = 16;
+  /// Absolute deadline on the service clock (0 = none).  A job whose
+  /// deadline has passed when a worker claims it is *cancelled before
+  /// engine dispatch*: its future resolves with ExpResult::cancelled set
+  /// (value empty, stats.cancelled = 1), its callback still fires, and
+  /// the service counts it under Counters::deadline_exceeded.  A job
+  /// already handed to an engine is never aborted mid-multiply — the
+  /// deadline bounds queueing, not execution.
+  std::uint64_t deadline = 0;
 };
 
 struct ExpResult {
   bignum::BigUInt value;  ///< base^exponent mod modulus
+  /// The job's ExpJobOptions::deadline expired before engine dispatch:
+  /// `value` is empty and no MMM work was performed (stats.cancelled = 1,
+  /// everything else zero).  Callers must check this before using value.
+  bool cancelled = false;
   bool paired = false;    ///< ran co-scheduled with a partner job
   /// The issue group was stolen from another worker's deque (v2).
   bool stolen = false;
@@ -259,6 +271,11 @@ class ExpService {
     /// uses a steady nanosecond clock.  Tests inject a ManualClock (the
     /// timed waits then poll).  Must outlive the service.
     const Clock* clock = nullptr;
+    /// Fault-injection/observability hook: called by each worker thread,
+    /// outside the service lock, immediately before it executes an issue
+    /// group.  The chaos harness uses it to stall a worker; it must not
+    /// call back into the service.  Null disables it.
+    std::function<void(std::size_t worker)> worker_observer;
   };
 
   using JobOptions = ExpJobOptions;
@@ -318,7 +335,13 @@ class ExpService {
 
   struct Counters {
     std::uint64_t jobs_submitted = 0;
+    /// Jobs that executed to completion.  Conservation: on a drained
+    /// service, jobs_submitted == jobs_completed + deadline_exceeded.
     std::uint64_t jobs_completed = 0;
+    /// Jobs cancelled at claim time because their deadline had passed —
+    /// dropped before engine dispatch, futures resolved with
+    /// ExpResult::cancelled (no silent drops).
+    std::uint64_t deadline_exceeded = 0;
     /// Issues that actually co-scheduled two jobs onto one dual-channel
     /// array.  A bonded pair whose backends cannot pair (no pairable
     /// streams, unequal lengths) executes — and is counted — as two
@@ -436,6 +459,9 @@ class DeterministicExecutor {
     bool stolen = false;
     bool unpaired_by_timeout = false;
     bool bonded = false;
+    /// Deadline expired in queue; finish_tick is the exact cancellation
+    /// tick (== the deadline when it expired while queued/held).
+    bool cancelled = false;
   };
   const std::vector<JobRecord>& Records() const { return records_; }
 
@@ -466,6 +492,12 @@ class DeterministicExecutor {
 
   void Schedule(std::uint64_t tick, std::function<void()> action);
   void EnterQueue(Job job, std::uint64_t key, bool pairable);
+  /// Deadline event: if `id` is still queued (un-claimed, possibly held
+  /// for pairing), releases it from the scheduler and resolves it
+  /// cancelled at the current tick.  No-op once the job was dispatched.
+  void CancelIfQueued(std::uint64_t id);
+  /// Resolves `job` as deadline-cancelled at the current tick.
+  void FinishCancelled(Job job);
   void TryDispatch();
   /// Claims the next issues for an idle worker (mode-dependent).
   std::vector<StealScheduler::Issue> AcquireFor(std::size_t worker);

@@ -160,59 +160,102 @@ void StealScheduler::SubmitBonded(std::uint64_t id_a, std::uint64_t id_b,
   Dispatch(std::move(pair));
 }
 
-StealScheduler::Issue StealScheduler::PopGroup(std::size_t worker,
-                                               bool stolen) {
+std::optional<StealScheduler::Issue> StealScheduler::PopGroup(
+    std::size_t worker, bool stolen) {
   Group group = std::move(deques_[worker].front());
   deques_[worker].pop_front();
   if (group.open_solo) open_solos_.erase(group.key);
   Issue issue;
-  issue.ids = group.ids;
-  issue.count = group.count;
-  issue.bonded = group.bonded;
+  for (std::size_t i = 0; i < group.count; ++i) {
+    if (group.cancelled[i]) continue;
+    issue.ids[issue.count++] = group.ids[i];
+  }
+  if (issue.count == 0) return std::nullopt;  // every slot was cancelled
+  // A pair whose partner was cancelled issues as a plain solo.
+  issue.bonded = group.bonded && issue.count == 2;
   issue.stolen = stolen;
   issue.arrival = group.arrival;
   if (stolen) ++stats_.steals;
-  queued_jobs_ -= group.count;
+  queued_jobs_ -= issue.count;
   ++in_flight_groups_;
   return issue;
 }
 
 std::optional<StealScheduler::Issue> StealScheduler::Acquire(
     std::size_t worker, std::uint64_t now) {
-  // Oldest ready held job (deadline reached, partner never came).
-  auto ready = waiting_.end();
+  // The outer loop only repeats when a popped group turns out to be a
+  // fully-cancelled shell, which is discarded and costs nothing.
+  for (;;) {
+    // Oldest ready held job (deadline reached, partner never came).
+    auto ready = waiting_.end();
+    for (auto it = waiting_.begin(); it != waiting_.end(); ++it) {
+      if (it->ready_at > now) continue;
+      if (ready == waiting_.end() || it->arrival < ready->arrival) ready = it;
+    }
+    const bool own = !deques_[worker].empty();
+    // Oldest-arrival wins between the worker's own deque front and the
+    // ready held job, so holding can delay a job by at most its timeout —
+    // never starve it behind fresher deque traffic.
+    if (own && (ready == waiting_.end() ||
+                deques_[worker].front().arrival <= ready->arrival)) {
+      if (auto issue = PopGroup(worker, /*stolen=*/false)) return issue;
+      continue;
+    }
+    if (ready != waiting_.end()) {
+      Issue issue;
+      issue.ids[0] = ready->id;
+      issue.count = 1;
+      issue.unpaired_by_timeout = true;
+      issue.arrival = ready->arrival;
+      waiting_.erase(ready);
+      ++stats_.unpair_timeouts;
+      --queued_jobs_;
+      ++in_flight_groups_;
+      return issue;
+    }
+    if (config_.work_stealing) {
+      bool popped_shell = false;
+      for (std::size_t i = 1; i < config_.workers; ++i) {
+        const std::size_t victim = (worker + i) % config_.workers;
+        if (deques_[victim].empty()) continue;
+        if (auto issue = PopGroup(victim, /*stolen=*/true)) return issue;
+        popped_shell = true;
+        break;
+      }
+      if (popped_shell) continue;
+    }
+    return std::nullopt;
+  }
+}
+
+bool StealScheduler::Cancel(std::uint64_t id) {
+  // Held jobs are plain list entries: release immediately.
   for (auto it = waiting_.begin(); it != waiting_.end(); ++it) {
-    if (it->ready_at > now) continue;
-    if (ready == waiting_.end() || it->arrival < ready->arrival) ready = it;
-  }
-  const bool own = !deques_[worker].empty();
-  // Oldest-arrival wins between the worker's own deque front and the
-  // ready held job, so holding can delay a job by at most its timeout —
-  // never starve it behind fresher deque traffic.
-  if (own && (ready == waiting_.end() ||
-              deques_[worker].front().arrival <= ready->arrival)) {
-    return PopGroup(worker, /*stolen=*/false);
-  }
-  if (ready != waiting_.end()) {
-    Issue issue;
-    issue.ids[0] = ready->id;
-    issue.count = 1;
-    issue.unpaired_by_timeout = true;
-    issue.arrival = ready->arrival;
-    waiting_.erase(ready);
-    ++stats_.unpair_timeouts;
+    if (it->id != id) continue;
+    waiting_.erase(it);
     --queued_jobs_;
-    ++in_flight_groups_;
-    return issue;
+    ++stats_.cancelled;
+    return true;
   }
-  if (config_.work_stealing) {
-    for (std::size_t i = 1; i < config_.workers; ++i) {
-      const std::size_t victim = (worker + i) % config_.workers;
-      if (deques_[victim].empty()) continue;
-      return PopGroup(victim, /*stolen=*/true);
+  // Queued groups are tombstoned in place (open_solos_ holds pointers
+  // into the deques, so elements are never erased mid-deque).
+  for (auto& deque : deques_) {
+    for (Group& group : deque) {
+      for (std::size_t i = 0; i < group.count; ++i) {
+        if (group.ids[i] != id || group.cancelled[i]) continue;
+        group.cancelled[i] = true;
+        if (group.open_solo) {
+          // No longer a valid upgrade target.
+          open_solos_.erase(group.key);
+          group.open_solo = false;
+        }
+        --queued_jobs_;
+        ++stats_.cancelled;
+        return true;
+      }
     }
   }
-  return std::nullopt;
+  return false;
 }
 
 std::size_t StealScheduler::AcquireBatch(std::size_t worker,

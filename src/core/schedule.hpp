@@ -153,6 +153,17 @@ class PairingQueue {
     return issue;
   }
 
+  /// Removes a queued id (deadline cancellation before dispatch).  Returns
+  /// false when the id is not queued (already popped or never pushed).
+  bool Remove(std::uint64_t id) {
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->id != id) continue;
+      entries_.erase(it);
+      return true;
+    }
+    return false;
+  }
+
   bool Empty() const { return entries_.empty(); }
   std::size_t Size() const { return entries_.size(); }
 
@@ -267,6 +278,7 @@ class StealScheduler {
     std::uint64_t steals = 0;
     std::uint64_t batch_acquires = 0;     ///< AcquireBatch calls claiming > 1
     std::uint64_t max_batch_claimed = 0;  ///< largest single batch
+    std::uint64_t cancelled = 0;  ///< jobs removed by Cancel before acquire
   };
 
   explicit StealScheduler(Config config);
@@ -294,6 +306,14 @@ class StealScheduler {
   /// groups via repeated Acquire.  Appends to `out`, returns the count.
   std::size_t AcquireBatch(std::size_t worker, std::uint64_t now,
                            std::vector<Issue>* out);
+
+  /// Cancels a queued job (deadline expiry): a held job is released from
+  /// the hold buffer; a job parked in a deque group is tombstoned in
+  /// place — deque slots are never erased, because open_solos_ holds
+  /// pointers into the deques — and skipped when the group is popped.
+  /// Returns false when the id is not queued (already acquired, finished,
+  /// or unknown); jobs already in flight cannot be cancelled here.
+  bool Cancel(std::uint64_t id);
 
   /// A group finished executing (enables the pool-busy hold predicate).
   void OnGroupDone();
@@ -324,6 +344,9 @@ class StealScheduler {
     /// Still upgradeable: a later same-key submit may join this group
     /// while it sits un-acquired in a deque.
     bool open_solo = false;
+    /// Per-slot tombstones set by Cancel; tombstoned slots are dropped
+    /// when the group is popped (a fully-tombstoned group pops empty).
+    std::array<bool, 2> cancelled{};
   };
   /// A lone hot-key job held back for a partner.
   struct Held {
@@ -340,7 +363,10 @@ class StealScheduler {
   };
 
   void Dispatch(Group group);
-  Issue PopGroup(std::size_t worker, bool stolen);
+  /// Pops the front group of `worker`'s deque, dropping tombstoned slots.
+  /// Returns nullopt — and does not count an in-flight group — when every
+  /// slot was cancelled (the shell is simply discarded).
+  std::optional<Issue> PopGroup(std::size_t worker, bool stolen);
   /// True when holding a job could overlap useful work elsewhere.
   bool PoolBusy() const {
     return queued_jobs_ > 0 || in_flight_groups_ > 0;

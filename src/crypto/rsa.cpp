@@ -366,6 +366,17 @@ std::vector<BigUInt> RsaSignBatch(const RsaKeyPair& key,
   return signatures;
 }
 
+BigUInt RsaCrtRecombine(const RsaKeyPair& key, const BigUInt& q_inv,
+                        const BigUInt& mp, const BigUInt& mq) {
+  return CrtRecombine(key, q_inv, mp, mq);
+}
+
+bool RsaCrtResultOk(const core::MmmEngine& verify_engine,
+                    const RsaKeyPair& key, const BigUInt& input,
+                    const BigUInt& sig) {
+  return verify_engine.ModExp(sig, key.e) == input;
+}
+
 BigUInt RsaPrivateOnHardwareModel(const RsaKeyPair& key, const BigUInt& c,
                                   core::EngineStats* stats,
                                   std::string_view engine) {

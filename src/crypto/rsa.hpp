@@ -150,6 +150,23 @@ std::vector<bignum::BigUInt> RsaSignBatch(
     const RsaKeyPair& key, std::span<const bignum::BigUInt> messages,
     core::ExpService& service);
 
+/// Garner recombination m = mq + q * ((q^-1 (mp - mq)) mod p), with
+/// q_inv = q^-1 mod p precomputed by the caller (it is a pure function of
+/// the key).  Exposed for pipelined-CRT callers (RsaSignBatch-style
+/// continuations, the signing service) that recombine off-worker.
+bignum::BigUInt RsaCrtRecombine(const RsaKeyPair& key,
+                                const bignum::BigUInt& q_inv,
+                                const bignum::BigUInt& mp,
+                                const bignum::BigUInt& mq);
+
+/// The Bellcore/Lenstra release gate as a predicate: sig^e mod n == input
+/// on `verify_engine` (a mod-n backend the caller hoists once per key).
+/// Callers that can retry (the signing service) branch on this; the
+/// throwing paths above keep throwing.
+bool RsaCrtResultOk(const core::MmmEngine& verify_engine,
+                    const RsaKeyPair& key, const bignum::BigUInt& input,
+                    const bignum::BigUInt& sig);
+
 /// Private-key operation on the hardware-modelled exponentiator; returns
 /// the exponentiation statistics (cycle counts per the validated model).
 bignum::BigUInt RsaPrivateOnHardwareModel(const RsaKeyPair& key,

@@ -1,0 +1,104 @@
+// admission.cpp — token buckets and the watermark/priority shed policy.
+#include "server/admission.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mont::server {
+
+void TokenBucket::Refill(std::uint64_t now) {
+  if (!primed_) {
+    tokens_ = capacity_;
+    last_refill_ = now;
+    primed_ = true;
+    return;
+  }
+  if (period_ == 0) return;
+  if (now <= last_refill_) return;
+  const std::uint64_t earned = (now - last_refill_) / period_;
+  if (earned == 0) return;
+  tokens_ = std::min(capacity_, tokens_ + earned);
+  // Advance by whole periods only, so fractional progress carries over.
+  last_refill_ += earned * period_;
+}
+
+bool TokenBucket::TryAcquire(std::uint64_t now) {
+  Refill(now);
+  if (period_ == 0) return true;  // unlimited rate
+  if (tokens_ == 0) return false;
+  --tokens_;
+  return true;
+}
+
+std::uint64_t TokenBucket::Available(std::uint64_t now) {
+  Refill(now);
+  return period_ == 0 ? capacity_ : tokens_;
+}
+
+void AdmissionController::RegisterTenant(std::uint32_t tenant_id,
+                                         const TenantConfig& config) {
+  TenantState state;
+  state.bucket = TokenBucket(config.burst, config.refill_period_ticks);
+  state.max_in_flight = config.max_in_flight;
+  state.priority = std::clamp(config.priority, 0, kMaxPriority);
+  tenants_[tenant_id] = state;
+}
+
+int AdmissionController::PriorityCutoff(std::size_t depth) const {
+  const std::size_t watermark = config_.queue_high_watermark;
+  if (watermark == 0 || depth < watermark) return 0;
+  // Linear ramp: cutoff 1 at the watermark, kMaxPriority + 1 (shed
+  // everything) at twice the watermark.
+  const std::size_t over = depth - watermark;
+  const std::size_t cutoff =
+      1 + (over * static_cast<std::size_t>(kMaxPriority)) / watermark;
+  return static_cast<int>(
+      std::min<std::size_t>(cutoff, static_cast<std::size_t>(kMaxPriority) + 1));
+}
+
+AdmissionDecision AdmissionController::Admit(std::uint32_t tenant_id,
+                                             std::uint64_t now) {
+  const auto it = tenants_.find(tenant_id);
+  if (it == tenants_.end()) {
+    throw std::logic_error("AdmissionController: tenant not registered");
+  }
+  TenantState& tenant = it->second;
+  AdmissionDecision decision;
+  // Gate 1 — per-tenant backpressure.  The in-flight bound is checked
+  // before the bucket so a refused request does not burn a token.
+  if (tenant.in_flight >= tenant.max_in_flight) {
+    decision.reason = StatusCode::kRejectedBackpressure;
+    return decision;
+  }
+  // Gate 2 — global overload shedding by priority.  Checked before the
+  // bucket too: a shed request should not also drain the tenant's budget.
+  if (tenant.priority < PriorityCutoff(global_in_flight_)) {
+    decision.reason = StatusCode::kShedOverload;
+    return decision;
+  }
+  if (!tenant.bucket.TryAcquire(now)) {
+    decision.reason = StatusCode::kRejectedBackpressure;
+    return decision;
+  }
+  ++tenant.in_flight;
+  ++global_in_flight_;
+  decision.admitted = true;
+  return decision;
+}
+
+void AdmissionController::OnComplete(std::uint32_t tenant_id) {
+  const auto it = tenants_.find(tenant_id);
+  if (it == tenants_.end() || it->second.in_flight == 0 ||
+      global_in_flight_ == 0) {
+    throw std::logic_error("AdmissionController: OnComplete without Admit");
+  }
+  --it->second.in_flight;
+  --global_in_flight_;
+}
+
+std::size_t AdmissionController::TenantInFlight(std::uint32_t tenant_id) const {
+  const auto it = tenants_.find(tenant_id);
+  return it == tenants_.end() ? 0 : it->second.in_flight;
+}
+
+}  // namespace mont::server

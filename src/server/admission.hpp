@@ -1,0 +1,100 @@
+// admission.hpp — per-tenant token-bucket admission control and global
+// overload shedding for the signing service.
+//
+// Two independent gates, applied in order:
+//
+//   1. Per-tenant backpressure (REJECTED_BACKPRESSURE): a deterministic
+//      integer token bucket (burst capacity, one token per
+//      refill_period_ticks) plus an in-flight bound.  A tenant that
+//      floods only ever exhausts *its own* budget.
+//   2. Global overload shedding (SHED_OVERLOAD): when total admitted
+//      in-flight work passes the queue-depth watermark, a priority
+//      cutoff rises linearly with depth — at the watermark every tenant
+//      is still admitted, at 2x the watermark even the highest priority
+//      (15) is shed.  Low-priority tenants are shed first, and the
+//      cutoff is a pure function of (depth, priority): deterministic,
+//      monotone, no randomness.
+//
+// Everything is tick-driven (the caller passes the clock value) and
+// integer-only, so admission decisions replay bit-identically in tests.
+// Externally synchronised by the service's mutex.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "server/keystore.hpp"
+#include "server/wire.hpp"
+
+namespace mont::server {
+
+/// Deterministic integer token bucket: `capacity` tokens, one refilled
+/// every `refill_period_ticks` (0 = unlimited rate).
+class TokenBucket {
+ public:
+  TokenBucket() = default;
+  TokenBucket(std::uint64_t capacity, std::uint64_t refill_period_ticks)
+      : capacity_(capacity), period_(refill_period_ticks) {}
+
+  /// Consumes one token if available at `now`; refill is computed lazily
+  /// from whole elapsed periods, so the bucket never drifts.
+  bool TryAcquire(std::uint64_t now);
+  std::uint64_t Available(std::uint64_t now);
+
+ private:
+  void Refill(std::uint64_t now);
+
+  std::uint64_t capacity_ = 0;
+  std::uint64_t period_ = 0;
+  std::uint64_t tokens_ = 0;
+  std::uint64_t last_refill_ = 0;
+  bool primed_ = false;  ///< first use fills the bucket to capacity
+};
+
+struct AdmissionDecision {
+  bool admitted = false;
+  /// kRejectedBackpressure or kShedOverload when refused.
+  StatusCode reason = StatusCode::kOk;
+};
+
+class AdmissionController {
+ public:
+  struct Config {
+    /// Global admitted-in-flight depth at which shedding starts; at
+    /// 2 * watermark every request is shed.
+    std::size_t queue_high_watermark = 64;
+  };
+  inline static constexpr int kMaxPriority = 15;
+
+  explicit AdmissionController(Config config) : config_(config) {}
+
+  /// Registers a tenant's bucket/bounds from its config.
+  void RegisterTenant(std::uint32_t tenant_id, const TenantConfig& config);
+
+  /// Admission decision for one request of `tenant_id` at tick `now`.
+  /// An admitted request MUST later be retired with OnComplete.
+  AdmissionDecision Admit(std::uint32_t tenant_id, std::uint64_t now);
+  void OnComplete(std::uint32_t tenant_id);
+
+  /// The priority a tenant needs to be admitted at global depth `depth`:
+  /// 0 below the watermark, rising linearly to kMaxPriority + 1 at twice
+  /// the watermark.
+  int PriorityCutoff(std::size_t depth) const;
+
+  std::size_t GlobalInFlight() const { return global_in_flight_; }
+  std::size_t TenantInFlight(std::uint32_t tenant_id) const;
+
+ private:
+  struct TenantState {
+    TokenBucket bucket;
+    std::size_t max_in_flight = 0;
+    std::size_t in_flight = 0;
+    int priority = 0;
+  };
+
+  Config config_;
+  std::unordered_map<std::uint32_t, TenantState> tenants_;
+  std::size_t global_in_flight_ = 0;
+};
+
+}  // namespace mont::server

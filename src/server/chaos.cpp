@@ -1,0 +1,99 @@
+// chaos.cpp — deterministic fault injection decisions.
+#include "server/chaos.hpp"
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace mont::server {
+
+ChaosLayer::ChaosLayer(ChaosOptions options)
+    : options_(options), rng_(options.seed) {}
+
+bool ChaosLayer::Draw(double rate) {
+  if (rate <= 0.0) return false;
+  if (rate >= 1.0) return true;
+  // 53-bit uniform draw — deterministic per seed, platform-independent.
+  const std::uint64_t word = rng_.Next() >> 11;
+  const double u = static_cast<double>(word) * 0x1.0p-53;
+  return u < rate;
+}
+
+void ChaosLayer::OnWorkerIssue(std::size_t worker) {
+  if (options_.stall_worker < 0 ||
+      static_cast<std::size_t>(options_.stall_worker) != worker) {
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++counters_.worker_stalls;
+  }
+  if (options_.stall_micros > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(options_.stall_micros));
+  }
+}
+
+bool ChaosLayer::ShouldCorruptCrtHalf() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (!Draw(options_.corrupt_crt_rate)) return false;
+  ++counters_.crt_corruptions;
+  return true;
+}
+
+void ChaosLayer::CorruptValue(bignum::BigUInt& value) {
+  std::size_t bit;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    const std::size_t bits = value.BitLength();
+    bit = bits == 0 ? 0 : static_cast<std::size_t>(rng_.NextBelow(bits));
+  }
+  // XOR one bit: add it when clear, subtract when set.
+  const bignum::BigUInt mask = bignum::BigUInt::PowerOfTwo(bit);
+  if (value.Bit(bit)) {
+    value -= mask;
+  } else {
+    value += mask;
+  }
+}
+
+bool ChaosLayer::ShouldDropRequest() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (!Draw(options_.drop_request_rate)) return false;
+  ++counters_.requests_dropped;
+  return true;
+}
+
+bool ChaosLayer::ShouldDropResponse() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (!Draw(options_.drop_response_rate)) return false;
+  ++counters_.responses_dropped;
+  return true;
+}
+
+bool ChaosLayer::MaybeGarbleFrame(std::vector<std::uint8_t>& frame) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (frame.empty() || !Draw(options_.garble_frame_rate)) return false;
+  // Garble past the length prefix so the frame still parses as a frame —
+  // the *payload* decode must catch it (bad magic/field/trailing bytes).
+  const std::size_t lo = frame.size() > 4 ? 4 : 0;
+  const std::size_t index =
+      lo + static_cast<std::size_t>(rng_.NextBelow(frame.size() - lo));
+  frame[index] ^= static_cast<std::uint8_t>(1 + rng_.NextBelow(255));
+  ++counters_.frames_garbled;
+  return true;
+}
+
+std::uint64_t ChaosLayer::SlowTenantDelayMicros(std::uint32_t tenant_id) const {
+  if (options_.slow_tenant < 0 ||
+      static_cast<std::uint64_t>(options_.slow_tenant) != tenant_id) {
+    return 0;
+  }
+  return options_.slow_tenant_micros;
+}
+
+ChaosLayer::Counters ChaosLayer::Snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return counters_;
+}
+
+}  // namespace mont::server

@@ -1,0 +1,82 @@
+// client.cpp — retry loop with deterministic exponential backoff.
+#include "server/client.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+namespace mont::server {
+
+bool SigningClient::MayRetry(StatusCode status, bool idempotent) {
+  switch (status) {
+    // Definitely not executed AND transient: always safe to retry.
+    case StatusCode::kRejectedBackpressure:
+    case StatusCode::kShedOverload:
+    case StatusCode::kInternalRetrying:
+      return true;
+    // Ambiguous — the signature may have been computed server-side.
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kTransportTimeout:
+      return idempotent;
+    // Permanent (malformed, unknown tenant/key, oversize) or pointless
+    // (shutting down, already ok): never retried.
+    default:
+      return false;
+  }
+}
+
+std::uint64_t SigningClient::BackoffMicros(std::size_t attempt) {
+  const std::size_t shift = std::min<std::size_t>(attempt == 0 ? 0 : attempt - 1, 20);
+  std::uint64_t delay = policy_.base_backoff_micros << shift;
+  delay = std::min(delay, policy_.max_backoff_micros);
+  if (delay == 0) return 0;
+  const std::uint64_t half = delay / 2;
+  std::lock_guard<std::mutex> lk(rng_mu_);
+  return half + rng_.NextBelow(delay - half + 1);
+}
+
+SigningClient::Outcome SigningClient::Sign(
+    std::uint32_t tenant_id, std::uint32_t key_id,
+    std::span<const std::uint8_t> message, std::uint64_t deadline_ticks,
+    bool idempotent) {
+  Outcome outcome;
+  for (std::size_t attempt = 1; attempt <= policy_.max_attempts; ++attempt) {
+    outcome.attempts = attempt;
+    SignRequest request;
+    request.type = RequestType::kSign;
+    request.request_id =
+        next_request_id_.fetch_add(1, std::memory_order_relaxed);
+    request.tenant_id = tenant_id;
+    request.key_id = key_id;
+    request.deadline_ticks = deadline_ticks;
+    request.message.assign(message.begin(), message.end());
+
+    auto future = transport_.Call(request);
+    std::optional<SignResponse> response;
+    if (future.wait_for(std::chrono::microseconds(
+            policy_.attempt_timeout_micros)) == std::future_status::ready) {
+      response = future.get();
+    }
+    if (!response) {
+      outcome.status = StatusCode::kTransportTimeout;
+    } else {
+      outcome.status = response->status;
+      if (response->status == StatusCode::kOk) {
+        outcome.signature = std::move(response->payload);
+        return outcome;
+      }
+    }
+    if (!MayRetry(outcome.status, idempotent) ||
+        attempt == policy_.max_attempts) {
+      return outcome;
+    }
+    const std::uint64_t backoff = BackoffMicros(attempt);
+    if (backoff > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(backoff));
+    }
+  }
+  return outcome;
+}
+
+}  // namespace mont::server

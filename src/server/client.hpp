@@ -1,0 +1,69 @@
+// client.hpp — the retrying signing client.
+//
+// The retry policy encodes the safety half of the error taxonomy
+// (wire.hpp): statuses where the server *definitely did not execute* the
+// request (backpressure, shed, exhausted internal retries) are always
+// retryable; *ambiguous* statuses (deadline exceeded, transport timeout —
+// the signature may have been computed) are retryable only when the
+// caller declared the request idempotent; permanent errors (malformed,
+// unknown tenant/key, oversize, shutting down) are never retried.
+// Backoff is exponential with deterministic seeded jitter, so tests
+// replay the exact retry schedule.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "bignum/random.hpp"
+#include "server/transport.hpp"
+#include "server/wire.hpp"
+
+namespace mont::server {
+
+struct RetryPolicy {
+  std::size_t max_attempts = 4;
+  std::uint64_t base_backoff_micros = 200;
+  std::uint64_t max_backoff_micros = 5'000;
+  /// Per-attempt wait on the transport future before declaring
+  /// kTransportTimeout.
+  std::uint64_t attempt_timeout_micros = 30'000'000;
+  std::uint64_t jitter_seed = 0x7e57c11e;
+};
+
+class SigningClient {
+ public:
+  explicit SigningClient(InProcTransport& transport, RetryPolicy policy = {})
+      : transport_(transport), policy_(policy), rng_(policy.jitter_seed) {}
+
+  struct Outcome {
+    StatusCode status = StatusCode::kTransportTimeout;
+    std::vector<std::uint8_t> signature;  ///< set iff status == kOk
+    std::size_t attempts = 0;
+  };
+
+  /// Signs `message` with retries per policy.  `idempotent` gates retries
+  /// of the ambiguous statuses; a non-idempotent request is NEVER resent
+  /// after kDeadlineExceeded or a transport timeout.
+  Outcome Sign(std::uint32_t tenant_id, std::uint32_t key_id,
+               std::span<const std::uint8_t> message,
+               std::uint64_t deadline_ticks = 0, bool idempotent = true);
+
+  /// The taxonomy's retry rule, exposed for tests.
+  static bool MayRetry(StatusCode status, bool idempotent);
+
+  /// Deterministic backoff for the given 1-based failed attempt:
+  /// exponential from base to max, jittered to [delay/2, delay].
+  std::uint64_t BackoffMicros(std::size_t attempt);
+
+ private:
+  InProcTransport& transport_;
+  RetryPolicy policy_;
+  std::mutex rng_mu_;
+  bignum::Xoshiro256 rng_;
+  std::atomic<std::uint64_t> next_request_id_{1};
+};
+
+}  // namespace mont::server

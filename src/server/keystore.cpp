@@ -1,0 +1,50 @@
+// keystore.cpp — tenant/key registry for the signing service.
+#include "server/keystore.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace mont::server {
+
+void Keystore::AddTenant(std::uint32_t tenant_id, TenantConfig config) {
+  tenants_[tenant_id].config = std::move(config);
+}
+
+void Keystore::AddKey(std::uint32_t tenant_id, std::uint32_t key_id,
+                      crypto::RsaKeyPair key) {
+  const auto it = tenants_.find(tenant_id);
+  if (it == tenants_.end()) {
+    throw std::invalid_argument("Keystore::AddKey: unknown tenant");
+  }
+  it->second.keys[key_id] = std::move(key);
+}
+
+const TenantConfig* Keystore::FindTenant(std::uint32_t tenant_id) const {
+  const auto it = tenants_.find(tenant_id);
+  return it == tenants_.end() ? nullptr : &it->second.config;
+}
+
+const crypto::RsaKeyPair* Keystore::FindKey(std::uint32_t tenant_id,
+                                            std::uint32_t key_id) const {
+  const auto it = tenants_.find(tenant_id);
+  if (it == tenants_.end()) return nullptr;
+  const auto key = it->second.keys.find(key_id);
+  return key == it->second.keys.end() ? nullptr : &key->second;
+}
+
+void Keystore::ForEachKey(
+    const std::function<void(std::uint32_t, std::uint32_t,
+                             const crypto::RsaKeyPair&)>& fn) const {
+  for (const auto& [tenant_id, tenant] : tenants_) {
+    for (const auto& [key_id, key] : tenant.keys) fn(tenant_id, key_id, key);
+  }
+}
+
+std::vector<std::uint32_t> Keystore::TenantIds() const {
+  std::vector<std::uint32_t> ids;
+  ids.reserve(tenants_.size());
+  for (const auto& [id, tenant] : tenants_) ids.push_back(id);
+  return ids;
+}
+
+}  // namespace mont::server

@@ -1,0 +1,62 @@
+// keystore.hpp — per-tenant key material and service-level tenant config.
+//
+// The keystore is configured up front (AddTenant/AddKey) and then read-only
+// while the service runs, so lookups need no lock.  Each tenant carries its
+// admission-control parameters (token bucket, in-flight bound) and its
+// shedding priority; each key is a full RSA CRT keypair served as
+// PKCS#1 v1.5 signatures.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "crypto/rsa.hpp"
+
+namespace mont::server {
+
+struct TenantConfig {
+  std::string name;
+  /// Shedding priority, higher = more important (kept last under
+  /// overload).  Range 0..15.
+  int priority = 8;
+  /// Token bucket: `burst` tokens capacity, one token refilled every
+  /// `refill_period_ticks` clock ticks (0 = unlimited rate).
+  std::uint64_t burst = 16;
+  std::uint64_t refill_period_ticks = 0;
+  /// Per-tenant in-flight bound (admitted, not yet responded).
+  std::size_t max_in_flight = 32;
+};
+
+class Keystore {
+ public:
+  /// Registers a tenant (replaces an existing config for the id).
+  void AddTenant(std::uint32_t tenant_id, TenantConfig config);
+  /// Registers a signing key under a tenant.  Throws std::invalid_argument
+  /// when the tenant is unknown.
+  void AddKey(std::uint32_t tenant_id, std::uint32_t key_id,
+              crypto::RsaKeyPair key);
+
+  const TenantConfig* FindTenant(std::uint32_t tenant_id) const;
+  const crypto::RsaKeyPair* FindKey(std::uint32_t tenant_id,
+                                    std::uint32_t key_id) const;
+
+  std::vector<std::uint32_t> TenantIds() const;
+  std::size_t TenantCount() const { return tenants_.size(); }
+  /// Visits every (tenant_id, key_id, key) — the service prepares its
+  /// per-key CRT context from this at construction.
+  void ForEachKey(
+      const std::function<void(std::uint32_t, std::uint32_t,
+                               const crypto::RsaKeyPair&)>& fn) const;
+
+ private:
+  struct Tenant {
+    TenantConfig config;
+    std::unordered_map<std::uint32_t, crypto::RsaKeyPair> keys;
+  };
+  std::unordered_map<std::uint32_t, Tenant> tenants_;
+};
+
+}  // namespace mont::server

@@ -1,0 +1,340 @@
+// signing_service.cpp — the signing front-end's request lifecycle.
+//
+// The shutdown/retry interlock in one place: every (re)submission of a
+// request's CRT half-jobs happens under mu_ with shutting_down_ checked,
+// and ~SigningService sets shutting_down_ under mu_ *before* destroying
+// the ExpService.  A submit therefore either happens-before shutdown (and
+// the ExpService destructor drains it — every callback and continuation
+// still runs) or observes the flag and answers kShuttingDown instead.
+// Either way each admitted request gets exactly one response and no
+// future is abandoned.
+#include "server/signing_service.hpp"
+
+#include <cstring>
+#include <future>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace mont::server {
+
+namespace {
+
+std::vector<std::uint8_t> DetailBytes(const char* detail) {
+  const std::size_t length = detail == nullptr ? 0 : std::strlen(detail);
+  return std::vector<std::uint8_t>(detail, detail + length);
+}
+
+}  // namespace
+
+SigningService::SigningService(Keystore keystore, Options options)
+    : keystore_(std::move(keystore)),
+      options_(std::move(options)),
+      max_frame_bytes_(options_.max_frame_bytes),
+      chaos_(options_.chaos),
+      admission_(options_.admission) {
+  clock_ = options_.service.clock != nullptr ? options_.service.clock
+                                             : &steady_clock_;
+  for (const std::uint32_t tenant_id : keystore_.TenantIds()) {
+    admission_.RegisterTenant(tenant_id, *keystore_.FindTenant(tenant_id));
+  }
+  keystore_.ForEachKey([this](std::uint32_t tenant_id, std::uint32_t key_id,
+                              const crypto::RsaKeyPair& key) {
+    using bignum::BigUInt;
+    if (key.p == key.q || key.p * key.q != key.n) {
+      throw std::invalid_argument(
+          "SigningService: malformed CRT key (tenant " +
+          std::to_string(tenant_id) + ", key " + std::to_string(key_id) + ")");
+    }
+    PreparedKey prepared;
+    prepared.key = &key;
+    prepared.modulus_bytes = (key.n.BitLength() + 7) / 8;
+    if (prepared.modulus_bytes < crypto::kPkcs1MinModulusBytes) {
+      throw std::invalid_argument(
+          "SigningService: modulus too small for PKCS#1 v1.5 / SHA-256 "
+          "(need >= 62 bytes)");
+    }
+    const BigUInt one{1};
+    prepared.dp = key.d % (key.p - one);
+    prepared.dq = key.d % (key.q - one);
+    prepared.q_inv = BigUInt::ModInverse(key.q % key.p, key.p);
+    prepared.verify_engine = core::MakeEngine("word-mont", key.n);
+    keys_[KeySlot(tenant_id, key_id)] = std::move(prepared);
+  });
+  auto service_options = options_.service;
+  if (chaos_ != nullptr) {
+    ChaosLayer* chaos = chaos_;
+    service_options.worker_observer = [chaos](std::size_t worker) {
+      chaos->OnWorkerIssue(worker);
+    };
+  }
+  service_ = std::make_unique<core::ExpService>(std::move(service_options));
+  exp_ = service_.get();
+}
+
+SigningService::~SigningService() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    shutting_down_ = true;
+  }
+  // Drains every queued half-job and continuation; each in-flight request
+  // reaches Finish before this returns.
+  service_.reset();
+}
+
+std::uint64_t SigningService::NowTicks() const { return clock_->Now(); }
+
+void SigningService::RespondRejected(const ResponseFn& respond,
+                                     std::uint64_t request_id,
+                                     StatusCode status, const char* detail) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    BumpLocked(status);
+  }
+  if (!respond) return;
+  SignResponse response;
+  response.status = status;
+  response.request_id = request_id;
+  response.payload = DetailBytes(detail);
+  try {
+    respond(std::move(response));
+  } catch (...) {
+  }
+}
+
+void SigningService::HandleRequest(std::vector<std::uint8_t> payload,
+                                   ResponseFn respond) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++counters_.requests;
+  }
+  const auto request = DecodeSignRequest(payload);
+  if (!request) {
+    RespondRejected(respond, 0, StatusCode::kMalformedRequest,
+                    "undecodable request payload");
+    return;
+  }
+  if (request->type == RequestType::kPing) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      ++counters_.pings;
+    }
+    if (respond) {
+      SignResponse response;
+      response.request_id = request->request_id;
+      try {
+        respond(std::move(response));
+      } catch (...) {
+      }
+    }
+    return;
+  }
+  if (keystore_.FindTenant(request->tenant_id) == nullptr) {
+    RespondRejected(respond, request->request_id, StatusCode::kUnknownTenant,
+                    "unknown tenant");
+    return;
+  }
+  const auto key_it = keys_.find(KeySlot(request->tenant_id, request->key_id));
+  if (key_it == keys_.end()) {
+    RespondRejected(respond, request->request_id, StatusCode::kUnknownKey,
+                    "unknown key for tenant");
+    return;
+  }
+  const PreparedKey& prepared = key_it->second;
+  // The message representative is computed outside the lock (hashing is
+  // the request's only unbounded-input work).
+  bignum::BigUInt em =
+      crypto::EmsaPkcs1V15Encode(request->message, prepared.modulus_bytes);
+  const std::uint64_t now = NowTicks();
+
+  std::unique_lock<std::mutex> lk(mu_);
+  if (shutting_down_) {
+    lk.unlock();
+    RespondRejected(respond, request->request_id, StatusCode::kShuttingDown,
+                    "service shutting down");
+    return;
+  }
+  const AdmissionDecision decision = admission_.Admit(request->tenant_id, now);
+  if (!decision.admitted) {
+    lk.unlock();
+    RespondRejected(respond, request->request_id, decision.reason,
+                    decision.reason == StatusCode::kShedOverload
+                        ? "shed: overload priority cutoff"
+                        : "backpressure: tenant budget exhausted");
+    return;
+  }
+  ++counters_.admitted;
+  ++in_flight_;
+
+  auto state = std::make_shared<RequestState>();
+  state->request_id = request->request_id;
+  state->tenant_id = request->tenant_id;
+  state->key = &prepared;
+  state->em = std::move(em);
+  state->deadline =
+      request->deadline_ticks == 0 ? 0 : now + request->deadline_ticks;
+  state->respond = std::move(respond);
+  SubmitHalvesLocked(state);
+}
+
+SignResponse SigningService::HandleRequestSync(
+    std::vector<std::uint8_t> payload) {
+  std::promise<SignResponse> promise;
+  std::future<SignResponse> future = promise.get_future();
+  HandleRequest(std::move(payload), [&promise](SignResponse response) {
+    promise.set_value(std::move(response));
+  });
+  return future.get();
+}
+
+void SigningService::SubmitHalvesLocked(
+    const std::shared_ptr<RequestState>& state) {
+  state->remaining.store(2, std::memory_order_relaxed);
+  state->p_cancelled = false;
+  state->q_cancelled = false;
+  const crypto::RsaKeyPair& key = *state->key->key;
+  core::ExpJobOptions job_options;
+  job_options.deadline = state->deadline;
+  exp_->Submit(key.p, state->em % key.p, state->key->dp, job_options,
+               [this, state](const core::ExpResult& result) {
+                 state->mp = result.value;
+                 state->p_cancelled = result.cancelled;
+                 OnHalfDone(state);
+               });
+  exp_->Submit(key.q, state->em % key.q, state->key->dq, job_options,
+               [this, state](const core::ExpResult& result) {
+                 state->mq = result.value;
+                 state->q_cancelled = result.cancelled;
+                 OnHalfDone(state);
+               });
+}
+
+void SigningService::OnHalfDone(const std::shared_ptr<RequestState>& state) {
+  // acq_rel: the half that arrives second observes the first half's
+  // mp/mq write before posting recombination.
+  if (state->remaining.fetch_sub(1, std::memory_order_acq_rel) != 1) return;
+  exp_->Post([this, state] { Recombine(state); });
+}
+
+void SigningService::Recombine(const std::shared_ptr<RequestState>& state) {
+  if (state->p_cancelled || state->q_cancelled) {
+    Finish(state, StatusCode::kDeadlineExceeded,
+           DetailBytes("deadline expired before engine dispatch"));
+    return;
+  }
+  // Chaos compute-fault injection: flip a bit of the p-half *after* the
+  // engines ran and *before* recombination — exactly the fault class the
+  // Bellcore check exists for.
+  if (chaos_ != nullptr && chaos_->ShouldCorruptCrtHalf()) {
+    chaos_->CorruptValue(state->mp);
+  }
+  const PreparedKey& prepared = *state->key;
+  const bignum::BigUInt signature =
+      crypto::RsaCrtRecombine(*prepared.key, prepared.q_inv, state->mp,
+                              state->mq);
+  if (!crypto::RsaCrtResultOk(*prepared.verify_engine, *prepared.key,
+                              state->em, signature)) {
+    bool shutdown = false;
+    bool retried = false;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      ++counters_.faults_caught;
+      shutdown = shutting_down_;
+      if (!shutdown && state->attempts < options_.max_internal_retries) {
+        ++state->attempts;
+        ++counters_.internal_retries;
+        SubmitHalvesLocked(state);
+        retried = true;
+      }
+    }
+    if (!retried) {
+      Finish(state,
+             shutdown ? StatusCode::kShuttingDown
+                      : StatusCode::kInternalRetrying,
+             DetailBytes(shutdown
+                             ? "service shutting down during internal retry"
+                             : "compute fault persisted across retries; "
+                               "no signature released"));
+    }
+    return;
+  }
+  Finish(state, StatusCode::kOk,
+         signature.ToBytesBE(prepared.modulus_bytes));
+}
+
+void SigningService::Finish(const std::shared_ptr<RequestState>& state,
+                            StatusCode status,
+                            std::vector<std::uint8_t> payload) {
+  SignResponse response;
+  response.status = status;
+  response.request_id = state->request_id;
+  response.payload = std::move(payload);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    admission_.OnComplete(state->tenant_id);
+    BumpLocked(status);
+    --in_flight_;
+    if (in_flight_ == 0) idle_cv_.notify_all();
+  }
+  if (state->respond) {
+    try {
+      state->respond(std::move(response));
+    } catch (...) {
+    }
+  }
+}
+
+void SigningService::BumpLocked(StatusCode status) {
+  switch (status) {
+    case StatusCode::kOk:
+      ++counters_.ok;
+      break;
+    case StatusCode::kRejectedBackpressure:
+      ++counters_.rejected_backpressure;
+      break;
+    case StatusCode::kShedOverload:
+      ++counters_.shed_overload;
+      break;
+    case StatusCode::kDeadlineExceeded:
+      ++counters_.deadline_exceeded;
+      break;
+    case StatusCode::kInternalRetrying:
+      ++counters_.retry_exhausted;
+      break;
+    case StatusCode::kUnknownTenant:
+      ++counters_.unknown_tenant;
+      break;
+    case StatusCode::kUnknownKey:
+      ++counters_.unknown_key;
+      break;
+    case StatusCode::kMalformedRequest:
+      ++counters_.malformed;
+      break;
+    case StatusCode::kShuttingDown:
+      ++counters_.shutdown_refused;
+      break;
+    default:
+      break;
+  }
+}
+
+void SigningService::Wait() {
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    idle_cv_.wait(lk, [this] { return in_flight_ == 0; });
+  }
+  // Also drain the ExpService so job-level counters have settled (the
+  // last response can fire before its worker retires the issue group).
+  exp_->Wait();
+}
+
+SigningService::Counters SigningService::Snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return counters_;
+}
+
+core::ExpService::Counters SigningService::ServiceSnapshot() const {
+  return exp_->Snapshot();
+}
+
+}  // namespace mont::server

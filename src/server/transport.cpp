@@ -1,0 +1,67 @@
+// transport.cpp — in-process framed transport with chaos fault points.
+#include "server/transport.hpp"
+
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <utility>
+
+namespace mont::server {
+
+std::future<std::optional<SignResponse>> InProcTransport::Call(
+    const SignRequest& request) {
+  return CallRaw(Frame(EncodeSignRequest(request)), request.tenant_id);
+}
+
+std::future<std::optional<SignResponse>> InProcTransport::CallRaw(
+    std::vector<std::uint8_t> frame, std::uint32_t tenant_hint) {
+  auto promise =
+      std::make_shared<std::promise<std::optional<SignResponse>>>();
+  std::future<std::optional<SignResponse>> future = promise->get_future();
+
+  if (chaos_ != nullptr) {
+    const std::uint64_t delay = chaos_->SlowTenantDelayMicros(tenant_hint);
+    if (delay > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(delay));
+    }
+    if (chaos_->ShouldDropRequest()) {
+      // The frame vanished on the wire: the caller sees a timeout.
+      promise->set_value(std::nullopt);
+      return future;
+    }
+    chaos_->MaybeGarbleFrame(frame);
+  }
+
+  FrameReader reader(service_.MaxFrameBytes());
+  reader.Feed(frame);
+  if (reader.OversizeError()) {
+    SignResponse response;
+    response.status = StatusCode::kFrameTooLarge;
+    promise->set_value(std::move(response));
+    return future;
+  }
+  auto payload = reader.Next();
+  if (!payload) {
+    // Truncated frame: nothing to hand the service — the stream would
+    // stay silent until more bytes arrive, so the caller times out.
+    promise->set_value(std::nullopt);
+    return future;
+  }
+
+  ChaosLayer* chaos = chaos_;
+  service_.HandleRequest(
+      std::move(*payload), [promise, chaos](SignResponse response) {
+        if (chaos != nullptr && chaos->ShouldDropResponse()) {
+          promise->set_value(std::nullopt);
+          return;
+        }
+        // Round-trip the response through the codec too, so in-proc
+        // callers exercise the exact bytes a socket would carry.
+        const auto decoded =
+            DecodeSignResponse(EncodeSignResponse(response));
+        promise->set_value(decoded);
+      });
+  return future;
+}
+
+}  // namespace mont::server

@@ -1,0 +1,53 @@
+// transport.hpp — the in-process byte transport: the same framed wire
+// bytes a TCP adapter would move, without sockets.
+//
+// Call() serialises the request through the full codec path — encode,
+// frame, FrameReader split, decode — on both directions, so every test
+// and bench that uses it exercises the real wire.  A ChaosLayer attached
+// here injects *transport* faults:
+//
+//   * dropped request/response frames resolve the future with nullopt
+//     (what a client-side timeout looks like — ambiguous by design);
+//   * garbled frames reach the service and come back MALFORMED_REQUEST;
+//   * the slow tenant's calls are delayed before the service sees them.
+//
+// An oversize frame is rejected at the transport with kFrameTooLarge and
+// never reaches the service — the same check examples/exp_server.cpp's
+// TCP adapter applies per connection.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <optional>
+#include <vector>
+
+#include "server/chaos.hpp"
+#include "server/signing_service.hpp"
+#include "server/wire.hpp"
+
+namespace mont::server {
+
+class InProcTransport {
+ public:
+  /// `chaos` is optional and not owned; both must outlive the transport.
+  explicit InProcTransport(SigningService& service,
+                           ChaosLayer* chaos = nullptr)
+      : service_(service), chaos_(chaos) {}
+
+  /// Sends one request; the future resolves with the decoded response, or
+  /// nullopt when the request or response frame was dropped (client must
+  /// treat that as a timeout).
+  std::future<std::optional<SignResponse>> Call(const SignRequest& request);
+
+  /// Raw-bytes variant (malformed/oversize-frame tests): `frame` is a
+  /// complete length-prefixed frame; `tenant_hint` routes the slow-tenant
+  /// delay (0 = none).
+  std::future<std::optional<SignResponse>> CallRaw(
+      std::vector<std::uint8_t> frame, std::uint32_t tenant_hint = 0);
+
+ private:
+  SigningService& service_;
+  ChaosLayer* chaos_ = nullptr;
+};
+
+}  // namespace mont::server

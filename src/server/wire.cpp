@@ -1,0 +1,217 @@
+// wire.cpp — serialization for the length-prefixed signing protocol.
+#include "server/wire.hpp"
+
+namespace mont::server {
+
+namespace {
+
+void PutU16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void PutU32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void PutU64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+/// Bounds-checked little-endian cursor; any overrun poisons the read.
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint64_t Take(std::size_t bytes) {
+    if (failed_ || data_.size() - pos_ < bytes) {
+      failed_ = true;
+      return 0;
+    }
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < bytes; ++i) {
+      v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += bytes;
+    return v;
+  }
+
+  std::vector<std::uint8_t> TakeBytes(std::size_t count) {
+    if (failed_ || data_.size() - pos_ < count) {
+      failed_ = true;
+      return {};
+    }
+    std::vector<std::uint8_t> out(data_.begin() + pos_,
+                                  data_.begin() + pos_ + count);
+    pos_ += count;
+    return out;
+  }
+
+  bool Done() const { return !failed_ && pos_ == data_.size(); }
+  bool Failed() const { return failed_; }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kRejectedBackpressure:
+      return "REJECTED_BACKPRESSURE";
+    case StatusCode::kShedOverload:
+      return "SHED_OVERLOAD";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+    case StatusCode::kInternalRetrying:
+      return "INTERNAL_RETRYING";
+    case StatusCode::kUnknownTenant:
+      return "UNKNOWN_TENANT";
+    case StatusCode::kUnknownKey:
+      return "UNKNOWN_KEY";
+    case StatusCode::kMalformedRequest:
+      return "MALFORMED_REQUEST";
+    case StatusCode::kFrameTooLarge:
+      return "FRAME_TOO_LARGE";
+    case StatusCode::kShuttingDown:
+      return "SHUTTING_DOWN";
+    case StatusCode::kTransportTimeout:
+      return "TRANSPORT_TIMEOUT";
+  }
+  return "UNKNOWN";
+}
+
+bool DefinitelyNotExecuted(StatusCode code) {
+  switch (code) {
+    case StatusCode::kRejectedBackpressure:
+    case StatusCode::kShedOverload:
+    case StatusCode::kInternalRetrying:  // result withheld, never released
+    case StatusCode::kUnknownTenant:
+    case StatusCode::kUnknownKey:
+    case StatusCode::kMalformedRequest:
+    case StatusCode::kFrameTooLarge:
+    case StatusCode::kShuttingDown:
+      return true;
+    case StatusCode::kOk:
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kTransportTimeout:
+      return false;
+  }
+  return false;
+}
+
+std::vector<std::uint8_t> EncodeSignRequest(const SignRequest& request) {
+  std::vector<std::uint8_t> out;
+  out.reserve(32 + request.message.size());
+  PutU16(out, kWireMagic);
+  out.push_back(kWireVersion);
+  out.push_back(static_cast<std::uint8_t>(request.type));
+  PutU64(out, request.request_id);
+  PutU32(out, request.tenant_id);
+  PutU32(out, request.key_id);
+  PutU64(out, request.deadline_ticks);
+  PutU32(out, static_cast<std::uint32_t>(request.message.size()));
+  out.insert(out.end(), request.message.begin(), request.message.end());
+  return out;
+}
+
+std::vector<std::uint8_t> EncodeSignResponse(const SignResponse& response) {
+  std::vector<std::uint8_t> out;
+  out.reserve(20 + response.payload.size());
+  PutU16(out, kWireMagic);
+  out.push_back(kWireVersion);
+  out.push_back(static_cast<std::uint8_t>(response.status));
+  PutU64(out, response.request_id);
+  PutU32(out, static_cast<std::uint32_t>(response.payload.size()));
+  out.insert(out.end(), response.payload.begin(), response.payload.end());
+  return out;
+}
+
+std::optional<SignRequest> DecodeSignRequest(
+    std::span<const std::uint8_t> payload) {
+  Reader reader(payload);
+  if (reader.Take(2) != kWireMagic) return std::nullopt;
+  if (reader.Take(1) != kWireVersion) return std::nullopt;
+  const std::uint64_t type = reader.Take(1);
+  if (type != static_cast<std::uint64_t>(RequestType::kSign) &&
+      type != static_cast<std::uint64_t>(RequestType::kPing)) {
+    return std::nullopt;
+  }
+  SignRequest request;
+  request.type = static_cast<RequestType>(type);
+  request.request_id = reader.Take(8);
+  request.tenant_id = static_cast<std::uint32_t>(reader.Take(4));
+  request.key_id = static_cast<std::uint32_t>(reader.Take(4));
+  request.deadline_ticks = reader.Take(8);
+  const std::size_t msg_len = static_cast<std::size_t>(reader.Take(4));
+  request.message = reader.TakeBytes(msg_len);
+  // Trailing garbage is a malformed request, not ignorable padding.
+  if (!reader.Done()) return std::nullopt;
+  return request;
+}
+
+std::optional<SignResponse> DecodeSignResponse(
+    std::span<const std::uint8_t> payload) {
+  Reader reader(payload);
+  if (reader.Take(2) != kWireMagic) return std::nullopt;
+  if (reader.Take(1) != kWireVersion) return std::nullopt;
+  const std::uint64_t status = reader.Take(1);
+  if (status > static_cast<std::uint64_t>(StatusCode::kTransportTimeout)) {
+    return std::nullopt;
+  }
+  SignResponse response;
+  response.status = static_cast<StatusCode>(status);
+  response.request_id = reader.Take(8);
+  const std::size_t len = static_cast<std::size_t>(reader.Take(4));
+  response.payload = reader.TakeBytes(len);
+  if (!reader.Done()) return std::nullopt;
+  return response;
+}
+
+std::vector<std::uint8_t> Frame(std::span<const std::uint8_t> payload) {
+  std::vector<std::uint8_t> out;
+  out.reserve(4 + payload.size());
+  PutU32(out, static_cast<std::uint32_t>(payload.size()));
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+void FrameReader::Feed(std::span<const std::uint8_t> bytes) {
+  if (oversize_) return;
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+  for (;;) {
+    if (buffer_.size() < 4) return;
+    // The prefix is serialized little-endian; reassemble portably.
+    const std::uint32_t length =
+        static_cast<std::uint32_t>(buffer_[0]) |
+             (static_cast<std::uint32_t>(buffer_[1]) << 8) |
+             (static_cast<std::uint32_t>(buffer_[2]) << 16) |
+             (static_cast<std::uint32_t>(buffer_[3]) << 24);
+    if (length > max_frame_bytes_) {
+      oversize_ = true;
+      buffer_.clear();
+      return;
+    }
+    if (buffer_.size() - 4 < length) return;
+    ready_.emplace_back(buffer_.begin() + 4, buffer_.begin() + 4 + length);
+    buffer_.erase(buffer_.begin(), buffer_.begin() + 4 + length);
+  }
+}
+
+std::optional<std::vector<std::uint8_t>> FrameReader::Next() {
+  if (ready_.empty()) return std::nullopt;
+  std::vector<std::uint8_t> payload = std::move(ready_.front());
+  ready_.pop_front();
+  return payload;
+}
+
+}  // namespace mont::server

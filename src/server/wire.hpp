@@ -1,0 +1,132 @@
+// wire.hpp — the signing service's length-prefixed binary wire protocol.
+//
+// Framing: every message travels as  u32-LE payload length || payload.
+// FrameReader incrementally splits a byte stream into payloads and
+// enforces the maximum frame size (an oversize length prefix is a typed,
+// non-recoverable stream error — the TCP adapter answers FRAME_TOO_LARGE
+// and closes).  All integers are little-endian; no field is host-order.
+//
+// Request payload (kSign / kPing):
+//   u16 magic 'MS' | u8 version | u8 type | u64 request_id | u32 tenant_id
+//   | u32 key_id | u64 deadline_ticks (relative, 0 = none) | u32 msg_len
+//   | msg bytes
+// Response payload:
+//   u16 magic 'MS' | u8 version | u8 status | u64 request_id
+//   | u32 payload_len | payload (signature bytes for kOk, UTF-8 detail
+//   otherwise)
+//
+// The status taxonomy is the service's whole error contract: every
+// admission / deadline / overload / fault outcome maps to exactly one
+// typed code, so clients can implement retry policy without parsing
+// strings — and the chaos suite can assert "shed requests get typed
+// errors" mechanically.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace mont::server {
+
+inline constexpr std::uint16_t kWireMagic = 0x4d53;  // "MS"
+inline constexpr std::uint8_t kWireVersion = 1;
+/// Default frame-size ceiling (requests this service handles are tiny; a
+/// larger prefix is an attack or a corrupted stream, not a workload).
+inline constexpr std::size_t kDefaultMaxFrameBytes = 64 * 1024;
+
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  /// Per-tenant admission refused the request (token bucket empty or the
+  /// tenant's in-flight bound reached).  Definitely not executed.
+  kRejectedBackpressure = 1,
+  /// Global overload shedding dropped the request (queue-depth watermark
+  /// + tenant priority cutoff).  Definitely not executed.
+  kShedOverload = 2,
+  /// The request's deadline expired before its jobs reached an engine.
+  kDeadlineExceeded = 3,
+  /// A compute fault was caught by the Bellcore check on every internal
+  /// retry attempt; no (bad) signature was ever released.
+  kInternalRetrying = 4,
+  kUnknownTenant = 5,
+  kUnknownKey = 6,
+  kMalformedRequest = 7,
+  kFrameTooLarge = 8,
+  kShuttingDown = 9,
+  /// Client-side synthetic code: no response arrived in time (the
+  /// request may or may not have executed — ambiguous!).  Never sent on
+  /// the wire by the server.
+  kTransportTimeout = 10,
+};
+
+const char* StatusCodeName(StatusCode code);
+
+/// True for outcomes where the request definitely did not execute, so a
+/// retry is safe even for non-idempotent requests.  kDeadlineExceeded and
+/// kTransportTimeout are *ambiguous* (the work may have run) and return
+/// false — the client may retry those only when the caller marked the
+/// request idempotent.
+bool DefinitelyNotExecuted(StatusCode code);
+
+enum class RequestType : std::uint8_t {
+  kSign = 1,
+  kPing = 2,
+};
+
+struct SignRequest {
+  RequestType type = RequestType::kSign;
+  std::uint64_t request_id = 0;
+  std::uint32_t tenant_id = 0;
+  std::uint32_t key_id = 0;
+  /// Relative deadline in service-clock ticks (nanoseconds on the real
+  /// clock); 0 = no deadline.
+  std::uint64_t deadline_ticks = 0;
+  std::vector<std::uint8_t> message;
+};
+
+struct SignResponse {
+  StatusCode status = StatusCode::kOk;
+  std::uint64_t request_id = 0;
+  /// Signature bytes (big-endian, modulus-length) for kOk; a short UTF-8
+  /// detail string otherwise.
+  std::vector<std::uint8_t> payload;
+};
+
+/// Serializes a request/response into a *payload* (no length prefix).
+std::vector<std::uint8_t> EncodeSignRequest(const SignRequest& request);
+std::vector<std::uint8_t> EncodeSignResponse(const SignResponse& response);
+
+/// Parses a payload; nullopt on bad magic/version/type or truncation.
+std::optional<SignRequest> DecodeSignRequest(
+    std::span<const std::uint8_t> payload);
+std::optional<SignResponse> DecodeSignResponse(
+    std::span<const std::uint8_t> payload);
+
+/// Wraps a payload in the u32-LE length prefix.
+std::vector<std::uint8_t> Frame(std::span<const std::uint8_t> payload);
+
+/// Incremental stream splitter: feed bytes in arbitrary chunks, pop
+/// complete payloads.  A length prefix above `max_frame_bytes` puts the
+/// reader into a permanent error state (the stream cannot be resynced).
+class FrameReader {
+ public:
+  explicit FrameReader(std::size_t max_frame_bytes = kDefaultMaxFrameBytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  /// Appends stream bytes and extracts any completed frames.
+  void Feed(std::span<const std::uint8_t> bytes);
+  /// Pops the next completed payload, if any.
+  std::optional<std::vector<std::uint8_t>> Next();
+  /// The stream declared a frame larger than max_frame_bytes.
+  bool OversizeError() const { return oversize_; }
+
+ private:
+  std::size_t max_frame_bytes_;
+  std::vector<std::uint8_t> buffer_;
+  std::deque<std::vector<std::uint8_t>> ready_;
+  bool oversize_ = false;
+};
+
+}  // namespace mont::server

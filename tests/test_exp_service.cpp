@@ -12,6 +12,7 @@
 //     Curve::ScalarMulBatch) driving the service end to end.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <array>
 #include <atomic>
 #include <chrono>
@@ -946,6 +947,138 @@ TEST(DeterministicExecutor, ReplayFromSameTraceIsBitIdentical) {
     EXPECT_EQ(records_a[j].paired, records_b[j].paired);
     EXPECT_EQ(records_a[j].stolen, records_b[j].stolen);
   }
+}
+
+// Deadline semantics in virtual time: a job whose deadline expires while
+// it is *held for pairing* is released from the hold buffer and cancelled
+// at the exact deadline tick — and the whole schedule, including the
+// cancellation, replays bit-identically.
+TEST(DeterministicExecutor, DeadlineCancelsHeldJobAtExactTick) {
+  auto rng = test::TestRng();
+  const BigUInt n = rng.OddExactBits(48);
+  const BigUInt base = rng.Below(n);
+  const BigUInt exponent = rng.Below(n);
+  const std::uint64_t solo_ticks = CalibrateSoloTicks(n, base, exponent);
+  ASSERT_GT(solo_ticks, 8u);
+
+  const auto run = [&] {
+    ExpService::Options options;
+    options.workers = 1;
+    // Hold window far beyond the deadline: without cancellation the held
+    // job would wait this long for a partner.
+    options.unpair_timeout = solo_ticks * 4;
+    DeterministicExecutor exec(options);
+    // t=0 occupies the one worker; two fast same-key arrivals make the
+    // key hot and pair with each other; the fourth arrival is then held
+    // for a partner that never comes.
+    exec.SubmitAt(0, n, base, exponent);
+    exec.SubmitAt(10, n, base, exponent);
+    exec.SubmitAt(20, n, base, exponent);
+    const std::uint64_t deadline = 30 + solo_ticks / 2;
+    ExpJobOptions doomed;
+    doomed.deadline = deadline;
+    bool callback_fired = false;
+    bool callback_cancelled = false;
+    auto future = exec.SubmitAt(30, n, base, exponent, doomed,
+                                [&](const ExpService::Result& result) {
+                                  callback_fired = true;
+                                  callback_cancelled = result.cancelled;
+                                });
+    exec.RunUntilIdle();
+
+    // The doomed job resolved as cancelled — typed result, not an
+    // exception, and its callback still fired.
+    auto result = future.get();
+    EXPECT_TRUE(result.cancelled);
+    EXPECT_TRUE(callback_fired);
+    EXPECT_TRUE(callback_cancelled);
+    EXPECT_EQ(result.stats.cancelled, 1u);
+
+    const auto counters = exec.Snapshot();
+    EXPECT_EQ(counters.jobs_submitted, 4u);
+    EXPECT_EQ(counters.deadline_exceeded, 1u);
+    // Conservation: submitted == completed + deadline_exceeded.
+    EXPECT_EQ(counters.jobs_submitted,
+              counters.jobs_completed + counters.deadline_exceeded);
+    EXPECT_EQ(exec.SchedulerStats()->cancelled, 1u);
+
+    const auto& records = exec.Records();
+    EXPECT_EQ(records.size(), 4u);
+    // Records land in completion order; find the doomed job by its id
+    // (ids are assigned in SubmitAt order, so it is id 4).
+    const auto doomed_record =
+        std::find_if(records.begin(), records.end(),
+                     [](const auto& record) { return record.id == 4; });
+    EXPECT_NE(doomed_record, records.end());
+    if (doomed_record != records.end()) {
+      EXPECT_TRUE(doomed_record->cancelled);
+      // Cancelled at the exact deadline tick, not at the next scheduler
+      // poll and not at the unpair timeout.
+      EXPECT_EQ(doomed_record->finish_tick, deadline);
+    }
+    return std::make_pair(exec.Records(), exec.Now());
+  };
+
+  const auto [records_a, makespan_a] = run();
+  const auto [records_b, makespan_b] = run();
+  EXPECT_EQ(makespan_a, makespan_b);
+  ASSERT_EQ(records_a.size(), records_b.size());
+  for (std::size_t j = 0; j < records_a.size(); ++j) {
+    EXPECT_EQ(records_a[j].start_tick, records_b[j].start_tick);
+    EXPECT_EQ(records_a[j].finish_tick, records_b[j].finish_tick);
+    EXPECT_EQ(records_a[j].cancelled, records_b[j].cancelled);
+    EXPECT_EQ(records_a[j].worker, records_b[j].worker);
+  }
+}
+
+// A deadline that is already in the past at dispatch time cancels the job
+// even when a worker is free the moment it arrives (claim-time gate).
+TEST(DeterministicExecutor, ExpiredDeadlineCancelsBeforeDispatch) {
+  auto rng = test::TestRng();
+  const BigUInt n = rng.OddExactBits(32);
+  ExpService::Options options;
+  options.workers = 2;
+  DeterministicExecutor exec(options);
+  ExpJobOptions expired;
+  expired.deadline = 100;
+  auto doomed = exec.SubmitAt(100, n, rng.Below(n), rng.Below(n), expired);
+  auto live = exec.SubmitAt(100, n, rng.Below(n), rng.Below(n));
+  exec.RunUntilIdle();
+  EXPECT_TRUE(doomed.get().cancelled);
+  EXPECT_FALSE(live.get().cancelled);
+  const auto counters = exec.Snapshot();
+  EXPECT_EQ(counters.deadline_exceeded, 1u);
+  EXPECT_EQ(counters.jobs_submitted,
+            counters.jobs_completed + counters.deadline_exceeded);
+}
+
+// Threaded service: the same deadline contract (claim-time cancellation,
+// typed result, callback fires, counters conserve) under real threads.
+TEST(ExpService, DeadlineCancelledJobResolvesTypedAndConserves) {
+  auto rng = test::TestRng();
+  const BigUInt n = rng.OddExactBits(64);
+  ExpService::Options options;
+  options.workers = 2;
+  ExpService service(options);
+  // A 1-tick (1 ns) deadline is always in the past by the time a worker
+  // claims the job.
+  ExpJobOptions doomed_options;
+  doomed_options.deadline = 1;
+  std::atomic<bool> callback_cancelled{false};
+  auto doomed = service.Submit(n, rng.Below(n), rng.Below(n), doomed_options,
+                               [&](const ExpService::Result& result) {
+                                 callback_cancelled = result.cancelled;
+                               });
+  auto live = service.Submit(n, rng.Below(n), rng.Below(n));
+  service.Wait();
+  EXPECT_TRUE(doomed.get().cancelled);
+  EXPECT_TRUE(callback_cancelled);
+  EXPECT_FALSE(live.get().cancelled);
+  const auto counters = service.Snapshot();
+  EXPECT_EQ(counters.jobs_submitted, 2u);
+  EXPECT_EQ(counters.deadline_exceeded, 1u);
+  EXPECT_EQ(counters.jobs_submitted,
+            counters.jobs_completed + counters.deadline_exceeded);
 }
 
 // The acceptance scenario in the small: on sparse same-key traffic that

@@ -338,6 +338,7 @@ TEST(StealScheduler, RandomizedModelConservationAndNoStarvation) {
     std::uint64_t next_id = 1;
     std::uint64_t now = 0;
     std::size_t in_flight = 0;
+    std::uint64_t cancelled_total = 0;
 
     const auto check_issue = [&](const StealScheduler::Issue& issue) {
       ASSERT_GE(issue.count, 1u);
@@ -359,7 +360,7 @@ TEST(StealScheduler, RandomizedModelConservationAndNoStarvation) {
     };
 
     for (int step = 0; step < 600; ++step) {
-      switch (rng.Engine().NextBelow(6)) {
+      switch (rng.Engine().NextBelow(7)) {
         case 0:
         case 1: {  // pairable submit on a small key space
           const std::uint64_t key = rng.Engine().NextBelow(3);
@@ -390,6 +391,21 @@ TEST(StealScheduler, RandomizedModelConservationAndNoStarvation) {
         case 4: {  // acquire from a random worker
           const std::size_t worker = rng.Engine().NextBelow(config.workers);
           if (auto issue = sched.Acquire(worker, now)) check_issue(*issue);
+          break;
+        }
+        case 5: {  // deadline cancellation of a random queued job
+          if (outstanding.empty()) {
+            // Cancelling an unknown / already-issued id must be a no-op.
+            ASSERT_FALSE(sched.Cancel(next_id + 1000));
+            break;
+          }
+          auto it = outstanding.begin();
+          std::advance(it, rng.Engine().NextBelow(outstanding.size()));
+          const std::uint64_t id = *it;
+          ASSERT_TRUE(sched.Cancel(id)) << "queued id not cancellable: " << id;
+          ASSERT_FALSE(sched.Cancel(id)) << "id cancelled twice: " << id;
+          outstanding.erase(it);
+          ++cancelled_total;
           break;
         }
         default: {  // time passes; maybe retire an in-flight group
@@ -423,7 +439,10 @@ TEST(StealScheduler, RandomizedModelConservationAndNoStarvation) {
     }
     ASSERT_TRUE(outstanding.empty()) << "starved jobs remain";
     ASSERT_TRUE(sched.Idle());
-    ASSERT_EQ(issued.size(), key_of.size());
+    // Counter conservation: every submitted job either issued or was
+    // cancelled — nothing lost, nothing duplicated.
+    ASSERT_EQ(issued.size() + cancelled_total, key_of.size());
+    ASSERT_EQ(sched.GetStats().cancelled, cancelled_total);
     while (in_flight > 0) {
       sched.OnGroupDone();
       --in_flight;
