@@ -1,0 +1,144 @@
+// analysis_report — the netlist verification gate.
+//
+// Runs the full static-analysis pass (structural lint + secret-taint
+// dataflow) and the 64-lane differential soundness crosscheck over every
+// generated circuit family:
+//
+//   * the MMMC (single- and dual-field),
+//   * the bare systolic cell array,
+//   * the modular exponentiator (plain and masked-exponent).
+//
+// Prints one block per circuit and writes BENCH_analysis.json.  With
+// --strict, exits non-zero when any circuit has a hard lint finding, a
+// stale waiver, a crosscheck violation, or when the masked exponentiator
+// fails to show the blinding cut (its Secret logic cone must be strictly
+// smaller than the unmasked twin's).  CI runs exactly that as a gate.
+//
+// The emitted counts are structural, not timed, so the artifact is stable
+// across machines: drift against bench/baseline/BENCH_analysis.json means
+// a generator or analysis-rule change, never noise.
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/crosscheck.hpp"
+#include "analysis/lint.hpp"
+#include "analysis/taint.hpp"
+#include "bench_json.hpp"
+#include "core/netlist_gen.hpp"
+
+namespace {
+
+struct Circuit {
+  std::string name;
+  std::unique_ptr<mont::rtl::Netlist> netlist;
+  std::size_t crosscheck_ticks = 0;
+};
+
+struct Verdict {
+  bool ok = true;
+  std::vector<mont::bench::JsonRow> rows;
+  // Secret logic-cone sizes of the two exponentiator variants.
+  std::size_t exp_secret_logic = 0;
+  std::size_t exp_masked_secret_logic = 0;
+};
+
+void Analyze(const Circuit& circuit, Verdict& verdict) {
+  using namespace mont::analysis;
+  const mont::rtl::Netlist& nl = *circuit.netlist;
+  std::printf("=== %s (%zu nets) ===\n", circuit.name.c_str(), nl.NodeCount());
+
+  const LintReport lint = RunLint(nl);
+  std::fputs(FormatLintReport(nl, lint).c_str(), stdout);
+  if (!lint.Clean() || !lint.stale_waivers.empty()) verdict.ok = false;
+
+  const TaintReport taint = AnalyzeTaint(nl);
+  std::fputs(FormatTaintSummary(nl, taint).c_str(), stdout);
+
+  CrosscheckOptions xopts;
+  xopts.ticks = circuit.crosscheck_ticks;
+  const CrosscheckResult xc = RunDifferentialCrosscheck(nl, taint, xopts);
+  std::fputs(FormatCrosscheckResult(nl, xc).c_str(), stdout);
+  if (!xc.Sound()) verdict.ok = false;
+  std::printf("\n");
+
+  const auto count = [&](TaintLabel l) {
+    return taint.logic_counts[static_cast<std::size_t>(l)];
+  };
+  if (circuit.name == "exp6") verdict.exp_secret_logic = count(TaintLabel::kSecret);
+  if (circuit.name == "exp6_masked") {
+    verdict.exp_masked_secret_logic = count(TaintLabel::kSecret);
+  }
+  verdict.rows.push_back({
+      {"circuit", circuit.name},
+      {"nets", nl.NodeCount()},
+      {"lint_findings", lint.findings.size()},
+      {"lint_waived", lint.waived.size()},
+      {"lint_stale_waivers", lint.stale_waivers.size()},
+      {"max_depth", lint.max_depth},
+      {"max_fanout", lint.max_fanout},
+      {"clean_logic", count(TaintLabel::kClean)},
+      {"random_logic", count(TaintLabel::kRandom)},
+      {"blinded_logic", count(TaintLabel::kBlinded)},
+      {"secret_logic", count(TaintLabel::kSecret)},
+      {"taint_sweeps", taint.sweeps},
+      {"crosscheck_secret_bits", xc.secret_bits},
+      {"crosscheck_violations", xc.violations.size()},
+      {"crosscheck_differing_nets", xc.differing_nets},
+      {"crosscheck_coverage_fraction", xc.tainted_coverage},
+  });
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool strict = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--strict") == 0) strict = true;
+    // --smoke accepted for bench-runner uniformity; the circuits are
+    // already sized so the full run IS the smoke run (structural counts
+    // must match the committed baseline bit-for-bit either way).
+  }
+
+  using mont::core::BuildExponentiatorNetlist;
+  using mont::core::BuildMmmcNetlist;
+  using mont::core::BuildSystolicArrayComb;
+  using mont::core::ExponentiatorNetlistOptions;
+
+  std::vector<Circuit> circuits;
+  circuits.push_back({"mmmc8", BuildMmmcNetlist(8).netlist, 512});
+  circuits.push_back(
+      {"mmmc8_dual", BuildMmmcNetlist(8, /*dual_field=*/true).netlist, 512});
+  circuits.push_back({"cells8", BuildSystolicArrayComb(8).netlist, 64});
+  circuits.push_back({"exp6", BuildExponentiatorNetlist(6).netlist, 1024});
+  ExponentiatorNetlistOptions masked;
+  masked.mask_exponent = true;
+  circuits.push_back(
+      {"exp6_masked", BuildExponentiatorNetlist(6, masked).netlist, 1024});
+
+  Verdict verdict;
+  for (const Circuit& circuit : circuits) Analyze(circuit, verdict);
+
+  const bool cut_shown =
+      verdict.exp_masked_secret_logic < verdict.exp_secret_logic;
+  std::printf("blinding cut: masked exponentiator has %zu secret logic "
+              "net(s) vs %zu unmasked — %s\n",
+              verdict.exp_masked_secret_logic, verdict.exp_secret_logic,
+              cut_shown ? "cut shown" : "NO CUT");
+  if (!cut_shown) verdict.ok = false;
+
+  const std::string path = mont::bench::WriteBenchJson(
+      "analysis", verdict.rows,
+      {{"strict", strict}, {"circuits", verdict.rows.size()}});
+  std::printf("wrote %s\n", path.c_str());
+
+  if (strict && !verdict.ok) {
+    std::printf("analysis_report --strict: FAILING (see findings above)\n");
+    return 1;
+  }
+  std::printf("analysis_report: %s\n", verdict.ok ? "OK" : "FINDINGS PRESENT");
+  return 0;
+}

@@ -1,0 +1,272 @@
+#include "analysis/lint.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace mont::analysis {
+
+using rtl::kNoNet;
+using rtl::NetId;
+using rtl::Netlist;
+using rtl::Node;
+using rtl::Op;
+
+const char* LintRuleName(LintRule rule) {
+  switch (rule) {
+    case LintRule::kCombLoop: return "comb-loop";
+    case LintRule::kFloatingOperand: return "floating-operand";
+    case LintRule::kUnusedNet: return "unused-net";
+    case LintRule::kDeadNet: return "dead-net";
+    case LintRule::kDuplicatePortName: return "duplicate-port-name";
+    case LintRule::kAliasedOutput: return "aliased-output";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Required operand slot count by op (optional DFF enable/reset excluded).
+std::size_t RequiredOperands(Op op) {
+  switch (op) {
+    case Op::kInput:
+    case Op::kConst0:
+    case Op::kConst1:
+      return 0;
+    case Op::kBuf:
+    case Op::kNot:
+    case Op::kDff:  // d only; enable/reset are legitimately kNoNet
+      return 1;
+    case Op::kAnd:
+    case Op::kOr:
+    case Op::kXor:
+    case Op::kNand:
+    case Op::kNor:
+    case Op::kXnor:
+      return 2;
+    case Op::kMux:
+      return 3;
+  }
+  return 0;
+}
+
+const char* SlotName(Op op, int slot) {
+  if (op == Op::kMux) return slot == 0 ? "sel" : slot == 1 ? "if0" : "if1";
+  if (op == Op::kDff) return slot == 0 ? "d" : slot == 1 ? "enable" : "reset";
+  return slot == 0 ? "a" : slot == 1 ? "b" : "c";
+}
+
+}  // namespace
+
+LintReport RunLint(const Netlist& nl) {
+  LintReport report;
+  const std::size_t n = nl.NodeCount();
+  std::vector<LintFinding> raw;
+
+  // ---- floating operands ----
+  for (NetId id = 0; id < n; ++id) {
+    const Node& node = nl.NodeAt(id);
+    const std::size_t required = RequiredOperands(node.op);
+    const NetId slots[3] = {node.a, node.b, node.c};
+    for (std::size_t s = 0; s < required; ++s) {
+      if (slots[s] == kNoNet) {
+        raw.push_back({LintRule::kFloatingOperand, id,
+                       std::string(rtl::OpName(node.op)) + " operand '" +
+                           SlotName(node.op, static_cast<int>(s)) +
+                           "' is unconnected"});
+      }
+    }
+  }
+
+  // ---- combinational loops (own Kahn pass; never throws) ----
+  {
+    std::vector<std::uint32_t> pending(n, 0);
+    std::vector<std::vector<NetId>> comb_fanout(n);
+    std::vector<NetId> ready;
+    std::size_t comb_total = 0;
+    for (NetId id = 0; id < n; ++id) {
+      const Node& node = nl.NodeAt(id);
+      if (!rtl::IsCombinational(node.op)) continue;
+      ++comb_total;
+      std::uint32_t deps = 0;
+      for (const NetId src : rtl::FaninOf(node)) {
+        if (rtl::IsCombinational(nl.NodeAt(src).op)) {
+          comb_fanout[src].push_back(id);
+          ++deps;
+        }
+      }
+      pending[id] = deps;
+      if (deps == 0) ready.push_back(id);
+    }
+    std::vector<NetId> order;
+    order.reserve(comb_total);
+    while (!ready.empty()) {
+      const NetId id = ready.back();
+      ready.pop_back();
+      order.push_back(id);
+      for (const NetId next : comb_fanout[id]) {
+        if (--pending[next] == 0) ready.push_back(next);
+      }
+    }
+    if (order.size() != comb_total) {
+      for (NetId id = 0; id < n; ++id) {
+        if (rtl::IsCombinational(nl.NodeAt(id).op) && pending[id] != 0) {
+          raw.push_back({LintRule::kCombLoop, id,
+                         "on or downstream of a combinational cycle"});
+        }
+      }
+    } else {
+      // Acyclic: structural depth profile rides on the same order.
+      std::vector<std::size_t> depth(n, 0);
+      // Kahn's stack order is not level order, so compute depths by a
+      // second pass in id order repeated via the recorded order instead.
+      std::vector<NetId> topo_sorted = order;
+      // `order` is a valid topological order (every node appears after
+      // its combinational fanin), so one forward pass suffices.
+      for (const NetId id : topo_sorted) {
+        std::size_t d = 0;
+        for (const NetId src : rtl::FaninOf(nl.NodeAt(id))) {
+          d = std::max(d, depth[src] + 1);
+        }
+        depth[id] = d;
+        report.max_depth = std::max(report.max_depth, d);
+      }
+      report.depth_histogram.assign(report.max_depth + 1, 0);
+      for (NetId id = 0; id < n; ++id) ++report.depth_histogram[depth[id]];
+    }
+  }
+
+  // ---- fanout profile + unused / dead nets ----
+  const std::vector<std::vector<NetId>> fanout = nl.BuildFanout();
+  std::vector<std::uint8_t> is_output(n, 0);
+  for (const auto& [net, name] : nl.Outputs()) is_output[net] = 1;
+  for (NetId id = 0; id < n; ++id) {
+    report.max_fanout = std::max(report.max_fanout, fanout[id].size());
+  }
+  report.fanout_histogram.assign(report.max_fanout + 1, 0);
+  for (NetId id = 0; id < n; ++id) {
+    ++report.fanout_histogram[fanout[id].size()];
+  }
+
+  for (NetId id = 0; id < n; ++id) {
+    const Op op = nl.NodeAt(id).op;
+    if (op == Op::kConst0 || op == Op::kConst1) continue;  // always present
+    if (fanout[id].empty() && !is_output[id]) {
+      raw.push_back({LintRule::kUnusedNet, id,
+                     std::string(rtl::OpName(op)) +
+                         " drives nothing and is not an output"});
+    }
+  }
+
+  // Dead nets: backward reachability from outputs; waived nets count as
+  // roots so a waiver covers its whole otherwise-unobservable fanin cone.
+  {
+    std::vector<std::uint8_t> reached(n, 0);
+    std::vector<NetId> stack;
+    for (const auto& [net, name] : nl.Outputs()) {
+      if (!reached[net]) {
+        reached[net] = 1;
+        stack.push_back(net);
+      }
+    }
+    for (const auto& [net, reason] : nl.LintWaivers()) {
+      if (!reached[net]) {
+        reached[net] = 1;
+        stack.push_back(net);
+      }
+    }
+    while (!stack.empty()) {
+      const NetId id = stack.back();
+      stack.pop_back();
+      for (const NetId src : rtl::FaninOf(nl.NodeAt(id))) {
+        if (!reached[src]) {
+          reached[src] = 1;
+          stack.push_back(src);
+        }
+      }
+    }
+    for (NetId id = 0; id < n; ++id) {
+      const Op op = nl.NodeAt(id).op;
+      if (op == Op::kConst0 || op == Op::kConst1) continue;
+      if (!reached[id] && !fanout[id].empty()) {
+        raw.push_back({LintRule::kDeadNet, id,
+                       "no path from this net to any output"});
+      }
+    }
+  }
+
+  // ---- port-name collisions / output aliasing ----
+  {
+    std::unordered_map<std::string, NetId> seen;
+    for (const auto& [net, name] : nl.Inputs()) {
+      const auto [it, inserted] = seen.emplace(name, net);
+      if (!inserted) {
+        raw.push_back({LintRule::kDuplicatePortName, net,
+                       "input name '" + name + "' already used by net " +
+                           std::to_string(it->second)});
+      }
+    }
+    seen.clear();
+    std::unordered_map<NetId, std::string> exported;
+    for (const auto& [net, name] : nl.Outputs()) {
+      const auto [it, inserted] = seen.emplace(name, net);
+      if (!inserted) {
+        raw.push_back({LintRule::kDuplicatePortName, net,
+                       "output name '" + name + "' already used by net " +
+                           std::to_string(it->second)});
+      }
+      const auto [eit, fresh] = exported.emplace(net, name);
+      if (!fresh && eit->second != name) {
+        raw.push_back({LintRule::kAliasedOutput, net,
+                       "net exported as both '" + eit->second + "' and '" +
+                           name + "'"});
+      }
+    }
+  }
+
+  // ---- waiver routing ----
+  std::unordered_map<NetId, std::string> waiver_reason;
+  for (const auto& [net, reason] : nl.LintWaivers()) {
+    waiver_reason.emplace(net, reason);
+  }
+  std::unordered_set<NetId> used_waivers;
+  for (LintFinding& finding : raw) {
+    const auto it = waiver_reason.find(finding.net);
+    if (it != waiver_reason.end()) {
+      used_waivers.insert(finding.net);
+      finding.detail += " [waived: " + it->second + "]";
+      report.waived.push_back(std::move(finding));
+    } else {
+      report.findings.push_back(std::move(finding));
+    }
+  }
+  for (const auto& [net, reason] : nl.LintWaivers()) {
+    if (!used_waivers.count(net)) report.stale_waivers.push_back(net);
+  }
+  return report;
+}
+
+std::string FormatLintReport(const Netlist& nl, const LintReport& report) {
+  std::ostringstream os;
+  os << "lint: " << report.findings.size() << " finding(s), "
+     << report.waived.size() << " waived, " << report.stale_waivers.size()
+     << " stale waiver(s)\n";
+  for (const LintFinding& f : report.findings) {
+    os << "  [" << LintRuleName(f.rule) << "] net " << f.net << " ("
+       << nl.NetName(f.net) << "): " << f.detail << "\n";
+  }
+  for (const LintFinding& f : report.waived) {
+    os << "  waived [" << LintRuleName(f.rule) << "] net " << f.net << " ("
+       << nl.NetName(f.net) << "): " << f.detail << "\n";
+  }
+  for (const NetId net : report.stale_waivers) {
+    os << "  stale waiver on net " << net << " (" << nl.NetName(net)
+       << "): no finding to waive\n";
+  }
+  os << "  depth: max " << report.max_depth << "; fanout: max "
+     << report.max_fanout << "\n";
+  return os.str();
+}
+
+}  // namespace mont::analysis

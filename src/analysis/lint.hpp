@@ -1,0 +1,83 @@
+// lint.hpp — structural sanity checks over a gate-level netlist.
+//
+// The netlist builder API makes many classic RTL defects impossible (every
+// net has exactly one driver; operands must exist before use), but the
+// graph-editing accessors (RewireDff / RewireOperand) and plain generator
+// bugs can still produce circuits that simulate but are wrong or wasteful.
+// RunLint finds, without simulating:
+//
+//   kCombLoop        a combinational cycle (the simulator would refuse to
+//                    levelize; lint localises the nets on the cycle).
+//   kFloatingOperand a required operand slot left kNoNet (a DFF whose data
+//                    input was never rewired, a gate gutted by rewiring).
+//   kUnusedNet       a net nothing consumes: not an output, zero fanout.
+//   kDeadNet         a net with fanout whose entire forward cone misses
+//                    every output (work that cannot be observed).
+//   kDuplicatePortName  two inputs, or two outputs, under one name (the
+//                    Verilog export would emit a name collision).
+//   kAliasedOutput   one net exported as two different output ports.
+//
+// Findings on nets covered by Netlist::WaiveLint are reported separately
+// (with the recorded reason) instead of failing; waivers that match no
+// finding are flagged as stale so they cannot rot.  The report also
+// carries the fanout and combinational-depth histograms — the structural
+// profile the paper's area/critical-path discussion cares about.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "rtl/netlist.hpp"
+
+namespace mont::analysis {
+
+enum class LintRule : std::uint8_t {
+  kCombLoop,
+  kFloatingOperand,
+  kUnusedNet,
+  kDeadNet,
+  kDuplicatePortName,
+  kAliasedOutput,
+};
+
+/// "comb-loop" / "floating-operand" / ... (stable CLI/JSON identifiers).
+const char* LintRuleName(LintRule rule);
+
+struct LintFinding {
+  LintRule rule;
+  rtl::NetId net = rtl::kNoNet;
+  /// Human-readable specifics: the slot that floats, the colliding name,
+  /// or — for waived findings — the waiver's recorded reason.
+  std::string detail;
+};
+
+struct LintReport {
+  /// Hard findings: a circuit shipped by a generator should have none.
+  std::vector<LintFinding> findings;
+  /// Findings suppressed by Netlist::WaiveLint, with the waiver reason.
+  std::vector<LintFinding> waived;
+  /// Waived nets with nothing to waive (stale after a generator change).
+  std::vector<rtl::NetId> stale_waivers;
+
+  /// Structural profile (combinational depth is only populated when the
+  /// netlist is acyclic): histogram[d] = nets whose depth is d, where
+  /// inputs/constants/DFF outputs have depth 0.
+  std::vector<std::size_t> depth_histogram;
+  std::size_t max_depth = 0;
+  /// histogram[f] = nets with fanout f, capped at the last bucket.
+  std::vector<std::size_t> fanout_histogram;
+  std::size_t max_fanout = 0;
+
+  bool Clean() const { return findings.empty(); }
+};
+
+/// Runs every rule.  Never throws on defective graphs — combinational
+/// loops are a finding, not an error.
+LintReport RunLint(const rtl::Netlist& netlist);
+
+/// Renders findings + histogram summary (the analysis_report text block).
+std::string FormatLintReport(const rtl::Netlist& netlist,
+                             const LintReport& report);
+
+}  // namespace mont::analysis

@@ -1,0 +1,345 @@
+#include "analysis/taint.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+namespace mont::analysis {
+
+using rtl::kNoNet;
+using rtl::NetId;
+using rtl::Netlist;
+using rtl::Node;
+using rtl::Op;
+
+const char* TaintLabelName(TaintLabel label) {
+  switch (label) {
+    case TaintLabel::kClean: return "clean";
+    case TaintLabel::kRandom: return "random";
+    case TaintLabel::kBlinded: return "blinded";
+    case TaintLabel::kSecret: return "secret";
+  }
+  return "?";
+}
+
+namespace {
+
+/// A (label, mask set) value plus the operand net that justifies it.
+struct Taint {
+  TaintLabel label = TaintLabel::kClean;
+  std::uint64_t mask = 0;
+  NetId parent = kNoNet;
+};
+
+TaintLabel Max(TaintLabel a, TaintLabel b) { return a >= b ? a : b; }
+
+/// XOR-like combination (kXor/kXnor): linear over GF(2), so this is where
+/// masking happens — a Random operand with provably fresh (disjoint)
+/// groups blinds a Secret one; overlapping groups may cancel and unmask.
+Taint XorJoin(const Taint& x, const Taint& y) {
+  const bool disjoint = (x.mask & y.mask) == 0;
+  // Sort so a.label >= b.label.
+  const Taint& a = x.label >= y.label ? x : y;
+  const Taint& b = x.label >= y.label ? y : x;
+  Taint out;
+  out.mask = a.mask | b.mask;
+  out.parent = DependsOnSecret(a.label) ? a.parent : kNoNet;
+  switch (a.label) {
+    case TaintLabel::kClean:
+      out.label = TaintLabel::kClean;
+      break;
+    case TaintLabel::kRandom:
+      // Random (+) Random may cancel, but the result is still a function
+      // of randomness/public inputs only; the union mask over-approximates
+      // which groups it may involve.
+      out.label = TaintLabel::kRandom;
+      break;
+    case TaintLabel::kBlinded:
+      // A fresh (disjoint) Random or an independently-Blinded share keeps
+      // the masking argument; overlap may strip the mask.
+      out.label = (b.label != TaintLabel::kSecret && disjoint)
+                      ? TaintLabel::kBlinded
+                      : TaintLabel::kSecret;
+      break;
+    case TaintLabel::kSecret:
+      // The blinding rule itself: secret XOR fresh randomness.
+      out.label = (b.label == TaintLabel::kRandom && disjoint)
+                      ? TaintLabel::kBlinded
+                      : TaintLabel::kSecret;
+      break;
+  }
+  if (!DependsOnSecret(out.label)) out.parent = kNoNet;
+  return out;
+}
+
+/// Nonlinear combination (kAnd/kOr/kNand/kNor, and any gate fed a tainted
+/// control): the output's distribution couples both operands, so Blinded
+/// survives only with pairwise-disjoint masks (the standard first-order
+/// argument for AND of independent shares).
+Taint NonlinearJoin(const Taint& x, const Taint& y) {
+  const bool disjoint = (x.mask & y.mask) == 0;
+  const Taint& a = x.label >= y.label ? x : y;
+  const Taint& b = x.label >= y.label ? y : x;
+  Taint out;
+  out.mask = a.mask | b.mask;
+  out.parent = DependsOnSecret(a.label) ? a.parent : kNoNet;
+  switch (a.label) {
+    case TaintLabel::kClean:
+    case TaintLabel::kRandom:
+      out.label = a.label;
+      break;
+    case TaintLabel::kBlinded:
+      out.label = (b.label == TaintLabel::kClean ||
+                   (disjoint && b.label != TaintLabel::kSecret))
+                      ? TaintLabel::kBlinded
+                      : TaintLabel::kSecret;
+      break;
+    case TaintLabel::kSecret:
+      out.label = TaintLabel::kSecret;
+      break;
+  }
+  if (!DependsOnSecret(out.label)) out.parent = kNoNet;
+  return out;
+}
+
+/// Disjunctive combination: the output equals exactly one of the operands
+/// (a MUX whose select, or a DFF whose enable/reset, is secret-independent).
+/// Labels join by max and masks by union with no overlap escalation —
+/// recirculating registers (shift chains, hold muxes) whose data already
+/// shares mask groups stay Blinded instead of collapsing to Secret.
+Taint DisjunctiveJoin(const Taint& x, const Taint& y) {
+  const Taint& a = x.label >= y.label ? x : y;
+  Taint out;
+  out.label = a.label;
+  out.mask = x.mask | y.mask;
+  out.parent = DependsOnSecret(out.label) ? a.parent : kNoNet;
+  return out;
+}
+
+}  // namespace
+
+TaintReport AnalyzeTaint(const Netlist& nl) {
+  const std::size_t n = nl.NodeCount();
+  std::vector<Taint> taint(n);
+
+  // Densify mask groups into bit positions; group 64+ lump into bit 63.
+  std::unordered_map<unsigned, unsigned> group_bit;
+  bool overflowed = false;
+  const auto bit_of = [&](unsigned group) -> std::uint64_t {
+    auto it = group_bit.find(group);
+    if (it == group_bit.end()) {
+      unsigned bit = static_cast<unsigned>(group_bit.size());
+      if (bit >= 64) {
+        bit = 63;
+        overflowed = true;
+      }
+      it = group_bit.emplace(group, bit).first;
+    }
+    return std::uint64_t{1} << it->second;
+  };
+
+  // Forced source annotations (applicable to any net, joined every sweep).
+  std::vector<std::uint8_t> forced_secret(n, 0);
+  std::vector<std::uint64_t> forced_mask(n, 0);
+  std::vector<std::uint8_t> forced_random(n, 0);
+  for (const NetId net : nl.SecretNets()) forced_secret[net] = 1;
+  for (const auto& [net, group] : nl.RandomNets()) {
+    forced_random[net] = 1;
+    forced_mask[net] |= bit_of(group);
+  }
+
+  const auto apply_forced = [&](NetId id, Taint& t) {
+    if (forced_secret[id]) {
+      t.label = TaintLabel::kSecret;
+      t.parent = kNoNet;  // a source is its own witness
+    } else if (forced_random[id]) {
+      t.label = Max(t.label, TaintLabel::kRandom);
+    }
+    t.mask |= forced_mask[id];
+  };
+
+  // Transfer function of one node given current operand taints.  An
+  // operand's taint is read with its parent field re-pointed at the
+  // operand itself, so the join functions' parent propagation builds the
+  // witness edge net -> contributing operand.
+  const auto at = [&](NetId src) -> Taint {
+    if (src == kNoNet) return Taint{};
+    Taint t = taint[src];
+    t.parent = src;
+    return t;
+  };
+  const auto transfer = [&](const Node& node) -> Taint {
+    switch (node.op) {
+      case Op::kInput:
+      case Op::kConst0:
+      case Op::kConst1:
+        return Taint{};
+      case Op::kBuf:
+      case Op::kNot:
+        return at(node.a);
+      case Op::kXor:
+      case Op::kXnor:
+        return XorJoin(at(node.a), at(node.b));
+      case Op::kAnd:
+      case Op::kOr:
+      case Op::kNand:
+      case Op::kNor:
+        return NonlinearJoin(at(node.a), at(node.b));
+      case Op::kMux: {
+        const Taint sel = at(node.a);
+        const Taint data = DisjunctiveJoin(at(node.b), at(node.c));
+        if (DependsOnSecret(sel.label)) {
+          // A tainted select couples itself into the output value.
+          return NonlinearJoin(sel, data);
+        }
+        Taint out = data;
+        out.label = Max(out.label, sel.label);  // Random select => >= Random
+        out.mask |= sel.mask;
+        return out;
+      }
+      case Op::kDff:
+        // Handled separately (needs the node's own id for the q operand).
+        return Taint{};
+    }
+    return Taint{};
+  };
+
+  // Sources first: inputs/constants take their forced annotations once.
+  for (NetId id = 0; id < n; ++id) {
+    const Op op = nl.NodeAt(id).op;
+    if (op == Op::kInput || op == Op::kConst0 || op == Op::kConst1) {
+      apply_forced(id, taint[id]);
+    }
+  }
+
+  // Fixpoint: combinational nets in topological order, then every DFF
+  // against its (d, enable, reset, q) operands, until no label or mask
+  // changes.  Join with the previous value (labels only ever increase,
+  // masks only ever grow), so termination is by lattice height.
+  const std::vector<NetId>& topo = nl.TopoOrder();
+  std::size_t sweeps = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    ++sweeps;
+    const auto join_into = [&](NetId id, Taint computed) {
+      apply_forced(id, computed);
+      Taint& cur = taint[id];
+      const TaintLabel joined = Max(cur.label, computed.label);
+      const std::uint64_t mask = cur.mask | computed.mask;
+      if (joined != cur.label || mask != cur.mask) {
+        if (joined != cur.label) {
+          cur.parent =
+              computed.label >= cur.label ? computed.parent : cur.parent;
+        }
+        cur.label = joined;
+        cur.mask = mask;
+        changed = true;
+      }
+    };
+    for (const NetId id : topo) join_into(id, transfer(nl.NodeAt(id)));
+    for (NetId id = 0; id < n; ++id) {
+      const Node& node = nl.NodeAt(id);
+      if (node.op != Op::kDff) continue;
+      const Taint d = at(node.a);
+      const Taint en = at(node.b);
+      const Taint rst = at(node.c);
+      Taint next;
+      if (DependsOnSecret(en.label) || DependsOnSecret(rst.label)) {
+        // Tainted control: the register's value couples with it.
+        next = NonlinearJoin(NonlinearJoin(en, rst),
+                             DisjunctiveJoin(d, taint[id]));
+      } else {
+        // q' is exactly one of {0, d, q}: disjunctive join, plus the
+        // control's own (<= Random) contribution.
+        next = DisjunctiveJoin(d, taint[id]);
+        next.label = Max(next.label, Max(en.label, rst.label));
+        next.mask |= en.mask | rst.mask;
+      }
+      join_into(id, next);
+    }
+  }
+
+  TaintReport report;
+  report.label.resize(n);
+  report.mask.resize(n);
+  report.taint_parent.resize(n);
+  report.sweeps = sweeps;
+  report.mask_groups_overflowed = overflowed;
+  for (NetId id = 0; id < n; ++id) {
+    report.label[id] = taint[id].label;
+    report.mask[id] = taint[id].mask;
+    report.taint_parent[id] = taint[id].parent;
+    const auto slot = static_cast<std::size_t>(taint[id].label);
+    ++report.counts[slot];
+    const Op op = nl.NodeAt(id).op;
+    if (op != Op::kInput && op != Op::kConst0 && op != Op::kConst1) {
+      ++report.logic_counts[slot];
+    }
+  }
+  return report;
+}
+
+std::vector<NetId> TaintReport::NetsWithLabel(TaintLabel l) const {
+  std::vector<NetId> out;
+  for (NetId id = 0; id < label.size(); ++id) {
+    if (label[id] == l) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<NetId> TaintReport::WitnessPath(NetId net) const {
+  std::vector<NetId> path;
+  if (net >= label.size() || !DependsOnSecret(label[net])) return path;
+  NetId cur = net;
+  // Parent chains cannot be longer than the net count (each hop moves to
+  // a net that was tainted no later); the bound guards corrupted input.
+  while (cur != kNoNet && path.size() <= label.size()) {
+    path.push_back(cur);
+    cur = taint_parent[cur];
+  }
+  return path;
+}
+
+std::string FormatTaintSummary(const Netlist& nl, const TaintReport& report) {
+  std::ostringstream os;
+  os << "taint: ";
+  for (int l = 0; l < 4; ++l) {
+    if (l) os << ", ";
+    os << report.counts[l] << " "
+       << TaintLabelName(static_cast<TaintLabel>(l));
+  }
+  os << " (logic only: ";
+  for (int l = 0; l < 4; ++l) {
+    if (l) os << ", ";
+    os << report.logic_counts[l] << " "
+       << TaintLabelName(static_cast<TaintLabel>(l));
+  }
+  os << "); fixpoint in " << report.sweeps << " sweeps\n";
+  if (report.mask_groups_overflowed) {
+    os << "  note: >64 mask groups; overflow groups lumped (conservative)\n";
+  }
+  // One witness: the highest-id Secret net (deep in the cone) back to its
+  // source, capped for readability.
+  const std::vector<NetId> secrets =
+      report.NetsWithLabel(TaintLabel::kSecret);
+  if (!secrets.empty()) {
+    const std::vector<NetId> path = report.WitnessPath(secrets.back());
+    os << "  witness (" << path.size() << " hops): ";
+    constexpr std::size_t kShow = 6;
+    bool first = true;
+    for (std::size_t i = 0; i < path.size(); ++i) {
+      if (path.size() > 2 * kShow && i >= kShow && i + kShow < path.size()) {
+        if (i == kShow) os << " -> ...";
+        continue;
+      }
+      if (!first) os << " -> ";
+      first = false;
+      os << nl.NetName(path[i]);
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace mont::analysis

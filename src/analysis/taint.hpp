@@ -1,0 +1,108 @@
+// taint.hpp — masking-aware secret-taint dataflow over a gate-level netlist.
+//
+// Classifies every net of an rtl::Netlist by how its value relates to the
+// secret sources (Netlist::MarkSecret) and fresh-randomness sources
+// (Netlist::MarkRandom) annotated on the circuit:
+//
+//             Clean  <  Random  <  Blinded  <  Secret
+//
+//   Clean    a function of public inputs and constants only.
+//   Random   a function of public inputs and fresh randomness only —
+//            still independent of the secret.
+//   Blinded  depends on the secret, but every first-order marginal is
+//            independent of it: the secret is additively masked by fresh
+//            randomness the analysis can prove was not cancelled (a
+//            boolean share, e XOR r).
+//   Secret   depends on the secret with no masking guarantee.
+//
+// The lattice is a sound over-approximation in one specific, dynamically
+// checkable sense (crosscheck.hpp exercises it): a net labelled Clean or
+// Random is a function of non-secret sources only, so flipping secret
+// input bits — with all other inputs, including the masks, held fixed —
+// can never change its value.  The Blinded/Secret distinction then adds
+// the first-order masking argument on top: a Blinded net's distribution
+// over the masks is the same for every secret value, which is exactly the
+// property PR 5's CPA/DPA engine fails to exploit on masked circuits.
+//
+// Mask bookkeeping: every net carries the set of mask groups (bitset,
+// up to 64 dense groups; more overflow-lump into one bit, conservatively
+// preventing further disjointness proofs) whose randomness its value may
+// involve.  XOR with a Random operand whose groups are disjoint from the
+// other operand's is the blinding step (Secret -> Blinded); any operation
+// that re-combines overlapping groups may cancel the mask and escalates
+// to Secret.  Nonlinear gates (AND/OR/NAND/NOR) keep Blinded only for
+// operands with pairwise-disjoint masks; MUX selects and DFF enables that
+// are Clean/Random give the disjunctive join (the output equals exactly
+// one operand, so shift-register recirculation does not "mix" masks).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rtl/netlist.hpp"
+
+namespace mont::analysis {
+
+/// Taint lattice, ordered: join = max.
+enum class TaintLabel : std::uint8_t {
+  kClean = 0,
+  kRandom = 1,
+  kBlinded = 2,
+  kSecret = 3,
+};
+
+/// "clean" / "random" / "blinded" / "secret".
+const char* TaintLabelName(TaintLabel label);
+
+/// Depends on the secret at all (Blinded or Secret)?
+inline bool DependsOnSecret(TaintLabel label) {
+  return label >= TaintLabel::kBlinded;
+}
+
+/// Result of one taint fixpoint over a netlist.
+struct TaintReport {
+  /// Per-net label, indexed by NetId.
+  std::vector<TaintLabel> label;
+  /// Per-net mask-group bitset (which fresh-randomness groups the value
+  /// may involve).  Group numbers are densified in first-seen order.
+  std::vector<std::uint64_t> mask;
+  /// Per-net witness edge: the operand that made this net tainted
+  /// (kNoNet for sources and untainted nets).  Chains of these edges walk
+  /// back to a secret source — see WitnessPath.
+  std::vector<rtl::NetId> taint_parent;
+  /// Net counts by label: counts[static_cast<int>(label)].
+  std::array<std::size_t, 4> counts{};
+  /// Counts restricted to logic (combinational gates + flip-flops),
+  /// excluding inputs and constants — the "how much of the circuit is in
+  /// the secret cone" metric the blinded/unblinded comparison uses.
+  std::array<std::size_t, 4> logic_counts{};
+  /// Sweeps until fixpoint (>= 2: one to converge, one to confirm).
+  std::size_t sweeps = 0;
+  /// More than 64 distinct mask groups were annotated; the overflow
+  /// groups share one bit, so their disjointness can no longer be proven
+  /// and combinations involving them escalate conservatively.
+  bool mask_groups_overflowed = false;
+
+  TaintLabel LabelOf(rtl::NetId net) const { return label.at(net); }
+  /// Nets with the given label, in id order.
+  std::vector<rtl::NetId> NetsWithLabel(TaintLabel l) const;
+  /// Walks taint_parent edges from `net` back to a source: the returned
+  /// path starts at `net` and ends at a net with no tainted parent (a
+  /// secret source for Secret/Blinded nets).  Empty if `net` is untainted.
+  std::vector<rtl::NetId> WitnessPath(rtl::NetId net) const;
+};
+
+/// Runs the taint dataflow to fixpoint.  Requires a combinationally
+/// acyclic netlist (uses Netlist::TopoOrder; run lint first on untrusted
+/// graphs).  Secret/random annotations may sit on any net — a marked net
+/// is forced to at least that label no matter what drives it.
+TaintReport AnalyzeTaint(const rtl::Netlist& netlist);
+
+/// Renders a per-label summary plus the witness path of one worst net —
+/// the human-readable block analysis_report prints per circuit.
+std::string FormatTaintSummary(const rtl::Netlist& netlist,
+                               const TaintReport& report);
+
+}  // namespace mont::analysis

@@ -1,15 +1,22 @@
 // netlist_gen.hpp — generates the complete Montgomery Modular Multiplication
 // Circuit as a gate-level netlist (the paper's Fig. 3 architecture), for a
-// given operand length l.
+// given operand length l, plus a full left-to-right modular exponentiator
+// (the paper's §4.5 flow) built around one embedded MMMC.
 //
-// The generated circuit is the third — and lowest — fidelity level of the
+// The generated circuits are the third — and lowest — fidelity level of the
 // reproduction's validation chain:
 //
 //     gate-level netlist sim  ==  behavioural Mmmc  ==  software Algorithm 2
 //
-// It is also the artifact the fpga module maps and times to reproduce the
-// paper's Table 2 (slices / clock period), and the artifact exported as
+// The MMMC is also the artifact the fpga module maps and times to reproduce
+// the paper's Table 2 (slices / clock period), and the artifact exported as
 // Verilog by the netlist_export example.
+//
+// Security annotations: the exponent input bus of the exponentiator (and the
+// operand buses of the MMMC, which carry key-derived values during an
+// exponentiation) are marked as secret sources on the netlist, and the
+// masked variant's mask bus as fresh randomness — analysis::TaintAnalysis
+// consumes these to classify every net as Clean/Random/Blinded/Secret.
 #pragma once
 
 #include <cstddef>
@@ -20,9 +27,12 @@
 
 namespace mont::core {
 
-/// Port map of the generated MMMC.
-struct MmmcNetlist {
-  std::unique_ptr<rtl::Netlist> netlist;
+/// Port map of a generated MMMC: every field is a net id (or bus of net
+/// ids) inside some rtl::Netlist.  Split from MmmcNetlist so the same
+/// circuit can either stand alone (BuildMmmcNetlist, ports are primary
+/// inputs/outputs) or be embedded as a sub-block of a larger circuit
+/// (BuildMmmcInto, ports are internal nets).
+struct MmmcPorts {
   rtl::NetId start = rtl::kNoNet;
   rtl::Bus x_in;      // l+1 bits
   rtl::Bus y_in;      // l+1 bits
@@ -49,17 +59,35 @@ struct MmmcNetlist {
   std::size_t counter_width = 0;
 };
 
+/// A standalone MMMC: the port map plus ownership of its netlist.
+struct MmmcNetlist : MmmcPorts {
+  std::unique_ptr<rtl::Netlist> netlist;
+};
+
 /// Builds the full MMMC (controller + datapath + systolic array) for
 /// operand length l >= 2.  With `dual_field` the circuit gains an `fsel`
 /// input that gates every carry (the Savaş-style dual-field extension):
 /// fsel = 1 behaves exactly like the single-field circuit; fsel = 0
 /// computes the GF(2^m) Montgomery product on the same schedule.
+/// The x/y operand buses are annotated as secret sources (they carry
+/// key-derived values when the MMMC runs inside an exponentiation).
 MmmcNetlist BuildMmmcNetlist(std::size_t l, bool dual_field = false);
+
+/// Emits the same MMMC into an existing netlist, with caller-provided port
+/// nets: `start`, the operand/modulus buses (x and y of width l+1, n of
+/// width l) and — for dual_field only — `fsel` may be any nets of `nl`
+/// (primary inputs or internal logic).  Marks no outputs and annotates no
+/// secrets; the returned port map's done/result/probe nets are internal.
+MmmcPorts BuildMmmcInto(rtl::Netlist& nl, std::size_t l, bool dual_field,
+                        rtl::NetId start, const rtl::Bus& x_in,
+                        const rtl::Bus& y_in, const rtl::Bus& n_in,
+                        rtl::NetId fsel = rtl::kNoNet);
 
 /// Builds only the combinational systolic array (l+1 cells) with all cell
 /// ports exposed as primary inputs/outputs — used for the Fig. 2 area and
 /// critical-path experiments where the surrounding registers would blur the
-/// cell-logic gate counts.
+/// cell-logic gate counts.  The x and m streams (key-derived during an
+/// exponentiation) are annotated as secret sources.
 struct SystolicArrayNetlist {
   std::unique_ptr<rtl::Netlist> netlist;
   rtl::Bus t_in;    // t[1..l+1] as inputs (index 0 -> t1)
@@ -76,5 +104,42 @@ struct SystolicArrayNetlist {
   std::size_t l = 0;
 };
 SystolicArrayNetlist BuildSystolicArrayComb(std::size_t l);
+
+/// Options of the generated exponentiator.
+struct ExponentiatorNetlistOptions {
+  /// Store the exponent as two boolean shares (e XOR r, r) refreshed from
+  /// the r_in mask bus at load, recombining one bit at a time at the scan
+  /// point — the gate-level equivalent of PR 5's key blinding.  The taint
+  /// pass must show the cut: the key register file is Blinded instead of
+  /// Secret, and only the recombination cone stays Secret.
+  bool mask_exponent = false;
+};
+
+/// Port map of the generated left-to-right modular exponentiator.
+///
+/// The circuit runs the §4.5 binary method, square-and-multiply-ALWAYS
+/// (one squaring MMM plus one multiply MMM per exponent bit, the multiply
+/// committed only when the bit is 1), so the control schedule — and the
+/// DONE latency of exactly l scan steps — is independent of the exponent.
+/// Operands are exchanged in the Montgomery domain: x_in is x·R mod N,
+/// one_in is R mod N, and result is x^e·R mod N (R = 2^(l+2)).
+struct ExponentiatorNetlist {
+  std::unique_ptr<rtl::Netlist> netlist;
+  rtl::NetId start = rtl::kNoNet;
+  rtl::Bus x_in;     // l+1 bits: base, Montgomery form
+  rtl::Bus one_in;   // l+1 bits: R mod N
+  rtl::Bus e_in;     // l bits: exponent, scanned MSB-first — secret source
+  rtl::Bus n_in;     // l bits: modulus
+  rtl::Bus r_in;     // l bits: fresh mask (masked variant only, else empty)
+  rtl::NetId done = rtl::kNoNet;  // one-cycle pulse, result then readable
+  rtl::Bus result;   // l+1 bits: x^e·R mod N (holds until the next start)
+  MmmcPorts mmmc;    // the embedded multiplier's (internal) port map
+  std::size_t l = 0;
+  bool masked = false;
+};
+
+/// Builds the exponentiator for operand length l >= 2 (GF(p) only).
+ExponentiatorNetlist BuildExponentiatorNetlist(
+    std::size_t l, const ExponentiatorNetlistOptions& options = {});
 
 }  // namespace mont::core

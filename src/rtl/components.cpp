@@ -81,6 +81,19 @@ Bus ShiftRightRegister(Netlist& nl, const Bus& d, NetId load, NetId shift,
   return q;
 }
 
+Bus ShiftLeftRegister(Netlist& nl, const Bus& d, NetId load, NetId shift,
+                      NetId fill_lsb) {
+  Bus q(d.size());
+  // Create the DFFs first so bit i's input cone can reference bit i-1's q.
+  for (std::size_t i = 0; i < d.size(); ++i) q[i] = nl.Dff(nl.Const0());
+  const NetId enable = nl.Or(load, shift);
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    const NetId shifted_in = (i > 0) ? q[i - 1] : fill_lsb;
+    nl.RewireDff(q[i], nl.Mux(load, shifted_in, d[i]), enable);
+  }
+  return q;
+}
+
 Bus Counter(Netlist& nl, std::size_t width, NetId increment, NetId reset) {
   Bus q(width);
   for (std::size_t i = 0; i < width; ++i) q[i] = nl.Dff(nl.Const0());
@@ -94,6 +107,10 @@ Bus Counter(Netlist& nl, std::size_t width, NetId increment, NetId reset) {
     nl.RewireDff(q[i], bit.sum, increment, reset);
     carry = bit.carry;
   }
+  // The MSB's carry-out (overflow) is deliberately unconnected: counters
+  // are sized so the count wraps are unreachable, and the carry chain is
+  // emitted uniformly so every stage maps to the same MUXCY/XORCY pair.
+  nl.WaiveLint(carry, "counter overflow carry, intentionally unconnected");
   return q;
 }
 

@@ -56,6 +56,12 @@ Bus LoadUpdateRegister(Netlist& nl, const Bus& d, NetId load, const Bus& next,
 Bus ShiftRightRegister(Netlist& nl, const Bus& d, NetId load, NetId shift,
                        NetId fill_msb);
 
+/// Left-shift register with parallel load: on load, q <= d; on shift,
+/// q <= {q[width-2:0], fill_lsb}.  The exponentiator's key register scans
+/// the exponent MSB-first through bit width-1 of this bus.
+Bus ShiftLeftRegister(Netlist& nl, const Bus& d, NetId load, NetId shift,
+                      NetId fill_lsb);
+
 /// Binary up-counter with synchronous reset; increments when `increment`
 /// is high. Returns the count bus (width bits).
 Bus Counter(Netlist& nl, std::size_t width, NetId increment, NetId reset);

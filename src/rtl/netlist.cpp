@@ -35,6 +35,14 @@ bool IsCombinational(Op op) {
   }
 }
 
+NodeFanin FaninOf(const Node& node) {
+  NodeFanin fanin;
+  for (const NetId src : {node.a, node.b, node.c}) {
+    if (src != kNoNet) fanin.nets[fanin.count++] = src;
+  }
+  return fanin;
+}
+
 bool IsBinaryGate(Op op) {
   switch (op) {
     case Op::kAnd:
@@ -147,6 +155,40 @@ void Netlist::RewireDff(NetId dff, NetId d, NetId enable, NetId sync_reset) {
   topo_valid_ = false;
 }
 
+void Netlist::RewireOperand(NetId node, int slot, NetId src) {
+  CheckNet(node);
+  Node& n = nodes_[node];
+  if (n.op == Op::kInput || n.op == Op::kConst0 || n.op == Op::kConst1) {
+    throw std::logic_error("RewireOperand: source nodes have no operands");
+  }
+  if (slot < 0 || slot > 2) {
+    throw std::out_of_range("RewireOperand: slot must be 0, 1 or 2");
+  }
+  if (src != kNoNet) CheckNet(src);
+  (slot == 0 ? n.a : slot == 1 ? n.b : n.c) = src;
+  topo_valid_ = false;
+}
+
+void Netlist::MarkSecret(NetId net) {
+  CheckNet(net);
+  if (!IsSecret(net)) secret_nets_.push_back(net);
+}
+
+bool Netlist::IsSecret(NetId net) const {
+  return std::find(secret_nets_.begin(), secret_nets_.end(), net) !=
+         secret_nets_.end();
+}
+
+void Netlist::MarkRandom(NetId net, unsigned mask_group) {
+  CheckNet(net);
+  random_nets_.emplace_back(net, mask_group);
+}
+
+void Netlist::WaiveLint(NetId net, const std::string& reason) {
+  CheckNet(net);
+  lint_waivers_.emplace_back(net, reason);
+}
+
 void Netlist::MarkOutput(NetId net, const std::string& name) {
   CheckNet(net);
   outputs_.emplace_back(net, name);
@@ -192,6 +234,16 @@ NetlistStats Netlist::Stats() const {
     }
   }
   return stats;
+}
+
+std::vector<std::vector<NetId>> Netlist::BuildFanout() const {
+  std::vector<std::vector<NetId>> fanout(nodes_.size());
+  for (NetId id = 0; id < nodes_.size(); ++id) {
+    for (const NetId src : FaninOf(nodes_[id])) {
+      if (src < nodes_.size()) fanout[src].push_back(id);
+    }
+  }
+  return fanout;
 }
 
 const std::vector<NetId>& Netlist::TopoOrder() const {

@@ -16,11 +16,13 @@
 //    single-clock).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <limits>
 #include <stdexcept>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 namespace mont::rtl {
@@ -71,6 +73,17 @@ struct Node {
   NetId c = kNoNet;
 };
 
+/// The operand nets a node actually consumes (kNoNet slots dropped), in
+/// slot order — the one place the per-op operand convention is decoded for
+/// graph walkers (topo sort, taint propagation, lint reachability).
+struct NodeFanin {
+  std::array<NetId, 3> nets{kNoNet, kNoNet, kNoNet};
+  std::size_t count = 0;
+  const NetId* begin() const { return nets.data(); }
+  const NetId* end() const { return nets.data() + count; }
+};
+NodeFanin FaninOf(const Node& node);
+
 /// Aggregate gate statistics of a netlist (the quantities in the paper's
 /// area formula: XOR/AND/OR gate counts and flip-flop count).
 struct NetlistStats {
@@ -119,6 +132,14 @@ class Netlist {
   void RewireDff(NetId dff, NetId d, NetId enable = kNoNet,
                  NetId sync_reset = kNoNet);
 
+  /// Re-points one operand slot (0 = a, 1 = b, 2 = c) of an existing gate.
+  /// Unlike the builder calls this can create defective graphs on purpose —
+  /// combinational loops, floating operands (src = kNoNet) — which is what
+  /// the structural lint's tests and fault-modelling experiments need.
+  /// Throws std::logic_error for source nodes (inputs/constants have no
+  /// operands) and std::out_of_range for an unknown node or source net.
+  void RewireOperand(NetId node, int slot, NetId src);
+
   /// Marks a net as a module output under `name` (for export/inspection).
   void MarkOutput(NetId net, const std::string& name);
   /// Flags a gate as belonging to a dedicated fast-carry chain (FPGA
@@ -128,6 +149,31 @@ class Netlist {
   bool IsFastCarry(NetId net) const;
   /// Attaches a debug name to any net.
   void NameNet(NetId net, const std::string& name);
+
+  // -- security annotations (consumed by analysis::TaintAnalysis) -------------
+
+  /// Marks a net as a secret source: key/exponent input bits, or any net
+  /// whose value is derived from key material outside this netlist.
+  void MarkSecret(NetId net);
+  bool IsSecret(NetId net) const;
+  const std::vector<NetId>& SecretNets() const { return secret_nets_; }
+
+  /// Marks a net as a fresh-randomness source.  `mask_group` identifies the
+  /// random variable: nets sharing a group carry the *same* randomness (so
+  /// XOR-ing them can cancel), different groups are independent.  Blinding
+  /// one secret bit per fresh group is what moves taint Secret -> Blinded.
+  void MarkRandom(NetId net, unsigned mask_group);
+  const std::vector<std::pair<NetId, unsigned>>& RandomNets() const {
+    return random_nets_;
+  }
+
+  /// Waives a structural-lint finding on `net` with a recorded reason
+  /// (e.g. a register kept for port regularity that the logic never reads).
+  /// Lint reports waived nets separately instead of failing on them.
+  void WaiveLint(NetId net, const std::string& reason);
+  const std::vector<std::pair<NetId, std::string>>& LintWaivers() const {
+    return lint_waivers_;
+  }
 
   // -- inspection --------------------------------------------------------------
 
@@ -148,6 +194,11 @@ class Netlist {
   /// combinational cycle exists.  Cached; invalidated by construction calls.
   const std::vector<NetId>& TopoOrder() const;
 
+  /// Fanout adjacency: element i lists the nodes consuming net i (a node
+  /// with the same net in two slots appears twice).  Built on demand — an
+  /// O(nets) walk — not cached.
+  std::vector<std::vector<NetId>> BuildFanout() const;
+
  private:
   NetId Emit(Op op, NetId a = kNoNet, NetId b = kNoNet, NetId c = kNoNet);
   void CheckNet(NetId id) const;
@@ -158,6 +209,9 @@ class Netlist {
   std::vector<std::pair<NetId, std::string>> inputs_;
   std::vector<std::pair<NetId, std::string>> outputs_;
   std::unordered_map<NetId, std::string> names_;
+  std::vector<NetId> secret_nets_;
+  std::vector<std::pair<NetId, unsigned>> random_nets_;
+  std::vector<std::pair<NetId, std::string>> lint_waivers_;
   std::vector<std::uint8_t> fast_carry_;
   mutable std::vector<NetId> topo_cache_;
   mutable bool topo_valid_ = false;

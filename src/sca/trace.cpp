@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "analysis/taint.hpp"
 #include "bignum/gf2.hpp"
 #include "core/sim_drivers.hpp"
 #include "sca/analysis.hpp"
@@ -171,10 +172,24 @@ GateLevelCapture::GateLevelCapture(BigUInt modulus,
   }
   sim_->SetInputAll(gen_.start, false);
   sim_->Settle();
+  if (options_.datapath_only && options_.secret_cone_only) {
+    throw std::invalid_argument(
+        "GateLevelCapture: datapath_only and secret_cone_only are exclusive");
+  }
   if (options_.datapath_only) {
     std::vector<rtl::NetId> tracked;
     for (const rtl::Bus* bus : {&gen_.t_probe, &gen_.c0_probe, &gen_.c1_probe}) {
       tracked.insert(tracked.end(), bus->begin(), bus->end());
+    }
+    tracked_net_count_ = tracked.size();
+    sim_->EnableToggleCapture(tracked);
+  } else if (options_.secret_cone_only) {
+    const analysis::TaintReport taint = analysis::AnalyzeTaint(*gen_.netlist);
+    std::vector<rtl::NetId> tracked;
+    for (std::size_t id = 0; id < gen_.netlist->NodeCount(); ++id) {
+      if (analysis::DependsOnSecret(taint.LabelOf(static_cast<rtl::NetId>(id)))) {
+        tracked.push_back(static_cast<rtl::NetId>(id));
+      }
     }
     tracked_net_count_ = tracked.size();
     sim_->EnableToggleCapture(tracked);

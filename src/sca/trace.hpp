@@ -109,6 +109,13 @@ struct CaptureOptions {
   /// Count only the MMMC datapath register nets (the t/c0/c1 probe
   /// buses) instead of every net — the legacy PowerTrace proxy's view.
   bool datapath_only = false;
+  /// Count only the nets the static taint pass (analysis::AnalyzeTaint)
+  /// places in the secret cone (Blinded or Secret).  This is the
+  /// attacker's best case: every sampled toggle is key-dependent, none of
+  /// the Clean control/counter switching dilutes the signal — useful for
+  /// bounding CPA/DPA data complexity from above.  Mutually exclusive
+  /// with datapath_only (std::invalid_argument if both are set).
+  bool secret_cone_only = false;
   /// Field of the generated circuit (kGf2 builds the dual-field netlist
   /// with fsel tied to GF(2^m); the modulus is then the field polynomial).
   core::FieldMode field = core::FieldMode::kGfP;

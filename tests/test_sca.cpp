@@ -142,6 +142,38 @@ TEST(PowerTrace, MatchesGateLevelDatapathCaptureAndModelReplay) {
       << "software register replay == netlist register toggles";
 }
 
+// secret_cone_only restricts the power model to the nets the static taint
+// pass (analysis/) proves key-dependent: a strict subset of the circuit
+// that still switches every cycle the datapath is active.
+TEST(PowerTrace, SecretConeCaptureTracksAStrictSubset) {
+  const BigUInt n{65537};
+  CaptureOptions full;
+  GateLevelCapture all_nets(n, full);
+  CaptureOptions cone;
+  cone.secret_cone_only = true;
+  GateLevelCapture secret_cone(n, cone);
+  EXPECT_GT(secret_cone.TrackedNetCount(), 0u);
+  EXPECT_LT(secret_cone.TrackedNetCount(), all_nets.TrackedNetCount());
+
+  const std::vector<BigUInt> xs{BigUInt{12345}}, ys{BigUInt{54321}};
+  const TraceSet cone_set = secret_cone.CaptureMultiplications(xs, ys);
+  const TraceSet full_set = all_nets.CaptureMultiplications(xs, ys);
+  ASSERT_EQ(cone_set.Samples(), full_set.Samples());
+  // Every cone sample is part of the corresponding full sample, and the
+  // cone carries real activity of its own.
+  double cone_total = 0;
+  for (std::size_t s = 0; s < cone_set.Samples(); ++s) {
+    EXPECT_LE(cone_set.At(0, s), full_set.At(0, s)) << "sample " << s;
+    cone_total += cone_set.At(0, s);
+  }
+  EXPECT_GT(cone_total, 0.0);
+
+  CaptureOptions both;
+  both.datapath_only = true;
+  both.secret_cone_only = true;
+  EXPECT_THROW(GateLevelCapture(n, both), std::invalid_argument);
+}
+
 TEST(PowerTrace, DeterministicForSameInputs) {
   const BigUInt n{65537};
   core::Mmmc circuit(n);
