@@ -280,13 +280,26 @@ void CompareRow(const std::string& artifact, std::size_t row_index,
       case Value::Kind::kNumber:
         if (!NumbersAgree(base_val.number_value, cur_val.number_value,
                           Classify(key))) {
-          char buf[160];
+          // Name the artifact, row and key with both values and the
+          // percent delta, so a red CI run reads as "what moved, by how
+          // much" without opening either JSON file.
+          const double base_num = base_val.number_value;
+          const double cur_num = cur_val.number_value;
+          char delta[48];
+          if (base_num != 0.0) {
+            std::snprintf(delta, sizeof delta, "%+.2f%%",
+                          100.0 * (cur_num - base_num) / std::fabs(base_num));
+          } else {
+            std::snprintf(delta, sizeof delta, "baseline was 0");
+          }
+          char buf[256];
           std::snprintf(buf, sizeof buf,
-                        "%s '%s': %g -> %g (outside %s tolerance)",
-                        where.c_str(), key.c_str(), base_val.number_value,
-                        cur_val.number_value,
-                        Classify(key) == Tolerance::kLenient ? "lenient"
-                                                             : "strict");
+                        "%s key '%s': baseline %g -> current %g (%s, outside "
+                        "%s tolerance)",
+                        where.c_str(), key.c_str(), base_num, cur_num, delta,
+                        Classify(key) == Tolerance::kLenient
+                            ? "lenient 45%-relative"
+                            : "strict 10%-relative");
           report.Fail(buf);
         }
         break;

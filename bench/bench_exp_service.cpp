@@ -28,7 +28,8 @@
 //
 // Writes BENCH_exp_service.json and BENCH_scheduler.json (see
 // bench_json.hpp); --smoke restricts the sweep for the ctest `perf`
-// label.
+// label.  `--trace-out FILE` attaches an obs::Tracer to the v2
+// stealing stress replay and dumps it as chrome://tracing JSON.
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -44,6 +45,7 @@
 #include "bignum/random.hpp"
 #include "core/exp_service.hpp"
 #include "core/schedule.hpp"
+#include "obs/trace.hpp"
 
 namespace {
 
@@ -233,12 +235,14 @@ struct StressStats {
 };
 
 StressStats RunStress(const StressTrace& trace, SchedulerKind kind,
-                      std::size_t workers, std::uint64_t unpair_timeout) {
+                      std::size_t workers, std::uint64_t unpair_timeout,
+                      mont::obs::Tracer* tracer = nullptr) {
   ExpService::Options options;
   options.workers = workers;
   options.scheduler = kind;
   options.unpair_timeout = unpair_timeout;
   options.engine_cache_capacity = 6;
+  options.tracer = tracer;
   DeterministicExecutor exec(options);
   for (const TenantJob& job : trace.jobs) {
     mont::core::ExpJobOptions job_options;
@@ -282,9 +286,15 @@ StressStats RunStress(const StressTrace& trace, SchedulerKind kind,
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  std::string trace_out;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
+    }
   }
+  mont::obs::Tracer tracer;
+  mont::obs::Tracer* const trace_ptr = trace_out.empty() ? nullptr : &tracer;
   const std::vector<std::size_t> lengths =
       smoke ? std::vector<std::size_t>{128}
             : std::vector<std::size_t>{128, 256};
@@ -372,7 +382,7 @@ int main(int argc, char** argv) {
   const StressStats v1 = RunStress(trace, SchedulerKind::kSharedQueue,
                                    stress_workers, unpair_timeout);
   const StressStats v2 = RunStress(trace, SchedulerKind::kStealing,
-                                   stress_workers, unpair_timeout);
+                                   stress_workers, unpair_timeout, trace_ptr);
   const double stress_speedup =
       v2.jobs_per_gigacycle / v1.jobs_per_gigacycle;
 
@@ -463,5 +473,9 @@ int main(int argc, char** argv) {
               "MMM issue, 3l+4 single);\nwall j/s = host-side service "
               "throughput.  JSON written to %s and %s\n", path.c_str(),
               sched_path.c_str());
+  if (trace_ptr != nullptr && tracer.WriteChromeJson(trace_out)) {
+    std::printf("trace: %zu events -> %s (load in ui.perfetto.dev)\n",
+                tracer.EventCount(), trace_out.c_str());
+  }
   return stress_speedup >= 1.2 ? 0 : 1;
 }

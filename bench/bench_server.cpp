@@ -27,7 +27,9 @@
 // regression without needing a calibrated host.
 //
 // Writes BENCH_server.json (bench_json.hpp); --smoke bounds the sweep
-// for the ctest `perf` label.
+// for the ctest `perf` label.  `--trace-out FILE` attaches an
+// obs::Tracer to the sweep's services and dumps the request-lifecycle
+// trace as chrome://tracing JSON.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -38,6 +40,7 @@
 
 #include "bench_json.hpp"
 #include "bignum/random.hpp"
+#include "obs/trace.hpp"
 #include "crypto/rsa.hpp"
 #include "server/client.hpp"
 #include "server/keystore.hpp"
@@ -161,7 +164,7 @@ struct SweepPoint {
 };
 
 SweepPoint RunSweepLevel(std::size_t threads, std::size_t per_thread,
-                         std::size_t workers) {
+                         std::size_t workers, mont::obs::Tracer* tracer) {
   server::Keystore keystore;
   server::TenantConfig tenant;
   tenant.name = "load";
@@ -171,6 +174,7 @@ SweepPoint RunSweepLevel(std::size_t threads, std::size_t per_thread,
   keystore.AddKey(1, 1, BenchKey());
   server::SigningService::Options options;
   options.service.workers = workers;
+  options.service.tracer = tracer;
   options.admission.queue_high_watermark = 2 * workers;
   server::SigningService service(std::move(keystore), options);
   server::InProcTransport transport(service);
@@ -253,9 +257,15 @@ SweepPoint RunSweepLevel(std::size_t threads, std::size_t per_thread,
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  std::string trace_out;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
+    }
   }
+  mont::obs::Tracer tracer;
+  mont::obs::Tracer* const trace_ptr = trace_out.empty() ? nullptr : &tracer;
   const std::size_t workers = 2;
   const std::size_t per_thread = smoke ? 6 : 24;
   const std::vector<std::size_t> levels =
@@ -273,7 +283,8 @@ int main(int argc, char** argv) {
               "ok", "refused", "goodput/s", "p50 us", "p95 us", "p99 us");
   std::vector<SweepPoint> points;
   for (const std::size_t threads : levels) {
-    const SweepPoint point = RunSweepLevel(threads, per_thread, workers);
+    const SweepPoint point =
+        RunSweepLevel(threads, per_thread, workers, trace_ptr);
     std::printf("%8zu %9zu %7zu %8zu %12.1f %10.1f %10.1f %10.1f\n",
                 point.threads, point.offered, point.ok, point.refused,
                 point.goodput_per_sec, point.p50_us, point.p95_us,
@@ -313,5 +324,9 @@ int main(int argc, char** argv) {
   const std::string path =
       mont::bench::WriteBenchJson("server", rows, {{"smoke", smoke}});
   std::printf("wrote %s\n", path.c_str());
+  if (trace_ptr != nullptr && tracer.WriteChromeJson(trace_out)) {
+    std::printf("trace: %zu events -> %s (load in ui.perfetto.dev)\n",
+                tracer.EventCount(), trace_out.c_str());
+  }
   return no_collapse ? 0 : 1;
 }

@@ -20,14 +20,23 @@
 //                            connections, splits each byte stream with
 //                            the same FrameReader the in-proc transport
 //                            uses, answers each frame through
-//                            HandleRequestSync, and closes the
-//                            connection on an oversize prefix after
+//                            HandleRequestSync (including the STATS verb
+//                            — the metrics registry as JSON), and closes
+//                            the connection on an oversize prefix after
 //                            answering FRAME_TOO_LARGE.  Serves until
-//                            killed.
+//                            killed, printing a one-line ops summary
+//                            (goodput, shed %, p95 latency) to stderr
+//                            every few seconds.
+//
+// `--trace-out FILE` (any mode) attaches an obs::Tracer to the service
+// and writes the captured job-lifecycle trace as chrome://tracing JSON
+// on exit — load it in https://ui.perfetto.dev.
 //
 // The adapter is deliberately thin: framing, the oversize check and the
 // status taxonomy all live in src/server/ and are identical between the
 // socket path and the in-process path the tests and bench exercise.
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -38,6 +47,8 @@
 #include "bignum/random.hpp"
 #include "crypto/pkcs1.hpp"
 #include "crypto/rsa.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "server/client.hpp"
 #include "server/keystore.hpp"
 #include "server/signing_service.hpp"
@@ -82,10 +93,12 @@ server::Keystore DemoKeystore(mont::crypto::RsaKeyPair* out_key) {
   return keystore;
 }
 
-int RunSmoke() {
+int RunSmoke(mont::obs::Tracer* tracer) {
   mont::crypto::RsaKeyPair key;
   server::Keystore keystore = DemoKeystore(&key);
-  server::SigningService service(std::move(keystore));
+  server::SigningService::Options options;
+  options.service.tracer = tracer;
+  server::SigningService service(std::move(keystore), options);
   server::InProcTransport transport(service);
   server::SigningClient client(transport);
 
@@ -115,18 +128,34 @@ int RunSmoke() {
                          "FRAME_TOO_LARGE\n");
     return 1;
   }
+  // 3. The STATS verb answers with the metrics registry as JSON.
+  server::SignRequest stats;
+  stats.type = server::RequestType::kStats;
+  stats.request_id = 77;
+  const server::SignResponse stats_response =
+      service.HandleRequestSync(server::EncodeSignRequest(stats));
+  const std::string stats_json(stats_response.payload.begin(),
+                               stats_response.payload.end());
+  if (stats_response.status != server::StatusCode::kOk ||
+      stats_response.request_id != 77 ||
+      stats_json.find("\"server.ok\"") == std::string::npos) {
+    std::fprintf(stderr, "smoke: STATS verb did not return metrics JSON\n");
+    return 1;
+  }
   service.Wait();
-  std::printf("smoke OK: 1 verified signature, oversize frame rejected\n");
+  std::printf("smoke OK: 1 verified signature, oversize frame rejected, "
+              "STATS served\n");
   return 0;
 }
 
-int RunDemo(std::size_t requests) {
+int RunDemo(std::size_t requests, mont::obs::Tracer* tracer) {
   std::printf("=== exp_server: multi-tenant RSA signing service ===\n\n");
   mont::crypto::RsaKeyPair key;
   server::Keystore keystore = DemoKeystore(&key);
 
   server::SigningService::Options options;
   options.service.workers = 2;
+  options.service.tracer = tracer;
   options.admission.queue_high_watermark = 8;
   server::SigningService service(std::move(keystore), options);
   server::InProcTransport transport(service);
@@ -186,6 +215,18 @@ int RunDemo(std::size_t requests) {
               static_cast<unsigned long long>(jobs.jobs_completed),
               static_cast<unsigned long long>(jobs.deadline_exceeded));
   std::printf("  signature verify failures %12zu\n", verify_failures);
+  const mont::obs::MetricsSnapshot metrics = service.StatsSnapshot();
+  const auto latency = metrics.histograms.find("server.latency_ticks");
+  if (latency != metrics.histograms.end() && latency->second.count > 0) {
+    std::printf("  latency p50 / p95 (ms)    %9.2f / %.2f\n",
+                static_cast<double>(latency->second.Percentile(0.5)) / 1e6,
+                static_cast<double>(latency->second.Percentile(0.95)) / 1e6);
+  }
+  const std::vector<std::string> violations =
+      service.registry().CheckInvariants(metrics);
+  for (const std::string& violation : violations) {
+    std::printf("  INVARIANT VIOLATED: %s\n", violation.c_str());
+  }
   std::printf("\nEvery refusal above is a *typed* status a client can act "
               "on — nothing\nwas silently dropped, and no signature skipped "
               "the Bellcore gate.\n");
@@ -194,7 +235,7 @@ int RunDemo(std::size_t requests) {
       jobs.jobs_submitted == jobs.jobs_completed + jobs.deadline_exceeded;
   const bool healthy_served = polite_ok > 0;
   return (verify_failures == 0 && counters.bad_signatures_released == 0 &&
-          conserved && healthy_served)
+          conserved && healthy_served && violations.empty())
              ? 0
              : 1;
 }
@@ -225,9 +266,49 @@ void ServeConnection(server::SigningService& service, int fd) {
   ::close(fd);
 }
 
-int RunTcp(std::uint16_t port) {
+// One-line ops summary every interval: goodput (signatures/s since the
+// last line), refused share of all requests, and p95 admit→release
+// latency — everything read from the shared metrics registry, i.e. the
+// same numbers a STATS client sees.
+void OpsLoop(server::SigningService& service, std::atomic<bool>& stop) {
+  constexpr auto kInterval = std::chrono::seconds(2);
+  std::uint64_t last_ok = 0;
+  while (!stop.load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_for(kInterval);
+    const mont::obs::MetricsSnapshot metrics = service.StatsSnapshot();
+    const std::uint64_t ok = metrics.CounterValue("server.ok");
+    const std::uint64_t requests = metrics.CounterValue("server.requests");
+    const std::uint64_t refused =
+        metrics.CounterValue("server.shed_overload") +
+        metrics.CounterValue("server.rejected_backpressure");
+    const double goodput =
+        static_cast<double>(ok - last_ok) /
+        std::chrono::duration<double>(kInterval).count();
+    last_ok = ok;
+    const double shed_pct =
+        requests > 0
+            ? 100.0 * static_cast<double>(refused) /
+                  static_cast<double>(requests)
+            : 0.0;
+    double p95_ms = 0.0;
+    const auto latency = metrics.histograms.find("server.latency_ticks");
+    if (latency != metrics.histograms.end() && latency->second.count > 0) {
+      p95_ms = static_cast<double>(latency->second.Percentile(0.95)) / 1e6;
+    }
+    std::fprintf(stderr,
+                 "ops: goodput %.1f sig/s | shed %.1f%% | p95 %.2f ms | "
+                 "in total: %llu ok / %llu requests\n",
+                 goodput, shed_pct, p95_ms,
+                 static_cast<unsigned long long>(ok),
+                 static_cast<unsigned long long>(requests));
+  }
+}
+
+int RunTcp(std::uint16_t port, mont::obs::Tracer* tracer) {
   mont::crypto::RsaKeyPair key;
-  server::SigningService service(DemoKeystore(&key));
+  server::SigningService::Options options;
+  options.service.tracer = tracer;
+  server::SigningService service(DemoKeystore(&key), options);
 
   const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listener < 0) {
@@ -248,11 +329,15 @@ int RunTcp(std::uint16_t port) {
   }
   std::printf("signing service listening on 127.0.0.1:%u "
               "(tenant 1 key 1; Ctrl-C to stop)\n", port);
+  std::atomic<bool> ops_stop{false};
+  std::thread ops_thread(OpsLoop, std::ref(service), std::ref(ops_stop));
   for (;;) {
     const int fd = ::accept(listener, nullptr, nullptr);
     if (fd < 0) break;
     std::thread(ServeConnection, std::ref(service), fd).detach();
   }
+  ops_stop.store(true, std::memory_order_relaxed);
+  ops_thread.join();
   ::close(listener);
   return 0;
 }
@@ -261,21 +346,51 @@ int RunTcp(std::uint16_t port) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc > 1 && std::strcmp(argv[1], "--smoke") == 0) {
-    return RunSmoke();
+  std::string trace_out;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else {
+      args.emplace_back(argv[i]);
+    }
   }
-  if (argc > 1 && std::strcmp(argv[1], "--tcp") == 0) {
+  mont::obs::Tracer tracer;
+  mont::obs::Tracer* const trace_ptr = trace_out.empty() ? nullptr : &tracer;
+
+  int rc;
+  if (!args.empty() && args[0] == "--smoke") {
+    rc = RunSmoke(trace_ptr);
+  } else if (!args.empty() && args[0] == "--tcp") {
 #ifdef MONT_HAVE_SOCKETS
-    const long port = argc > 2 ? std::strtol(argv[2], nullptr, 10) : 7451;
-    return RunTcp(static_cast<std::uint16_t>(port));
+    const long port =
+        args.size() > 1 ? std::strtol(args[1].c_str(), nullptr, 10) : 7451;
+    rc = RunTcp(static_cast<std::uint16_t>(port), trace_ptr);
 #else
     std::fprintf(stderr, "--tcp requires POSIX sockets (unavailable on this "
                          "platform); use the in-proc demo instead\n");
     return 1;
 #endif
+  } else {
+    const std::size_t requests =
+        args.empty()
+            ? 48
+            : static_cast<std::size_t>(
+                  std::strtoul(args[0].c_str(), nullptr, 10));
+    rc = RunDemo(requests, trace_ptr);
   }
-  const std::size_t requests =
-      argc > 1 ? static_cast<std::size_t>(std::strtoul(argv[1], nullptr, 10))
-               : 48;
-  return RunDemo(requests);
+
+  if (trace_ptr != nullptr) {
+    if (!tracer.WriteChromeJson(trace_out)) {
+      std::fprintf(stderr, "failed to write trace to %s\n", trace_out.c_str());
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "trace: %zu events (%llu dropped) -> %s "
+                 "(load in ui.perfetto.dev)\n",
+                 tracer.EventCount(),
+                 static_cast<unsigned long long>(tracer.DroppedEvents()),
+                 trace_out.c_str());
+  }
+  return rc;
 }

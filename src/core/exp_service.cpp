@@ -267,11 +267,23 @@ PairedExpResult PairedModExp(const MmmEngine& engine_a, const BigUInt& base_a,
 ExecutionCore::ExecutionCore(std::string engine_name,
                              EngineOptions engine_options,
                              std::size_t cache_capacity,
-                             std::uint64_t blind_seed)
+                             std::uint64_t blind_seed,
+                             obs::Registry* registry)
     : engine_name_(std::move(engine_name)),
       engine_options_(engine_options),
       blind_rng_(blind_seed),
       cache_(cache_capacity == 0 ? 1 : cache_capacity) {
+  if (registry != nullptr) {
+    metrics_.engine_cycles = registry->GetCounter("engine.cycles");
+    metrics_.paper_model_cycles =
+        registry->GetCounter("engine.paper_model_cycles");
+    metrics_.mmm_invocations = registry->GetCounter("engine.mmm_invocations");
+    metrics_.squarings = registry->GetCounter("engine.squarings");
+    metrics_.multiplications = registry->GetCounter("engine.multiplications");
+    metrics_.cache_hits = registry->GetCounter("engine.cache_hits");
+    metrics_.cache_misses = registry->GetCounter("engine.cache_misses");
+    metrics_.cache_evictions = registry->GetCounter("engine.cache_evictions");
+  }
   // Resolve the backend up front so a bad name or a capability mismatch
   // (e.g. a GF(2^m) service on a GF(p)-only backend) fails at
   // construction, not on the first worker thread.
@@ -334,7 +346,11 @@ std::shared_ptr<const MmmEngine> ExecutionCore::AcquireEngine(
   const std::string key = engine_name + ':' + modulus.ToHex();
   {
     std::lock_guard<std::mutex> lk(cache_mu_);
-    if (auto* hit = cache_.Get(key)) return *hit;
+    if (auto* hit = cache_.Get(key)) {
+      metrics_.cache_hits.Increment();
+      return *hit;
+    }
+    metrics_.cache_misses.Increment();
   }
   // The R^2-mod-N precomputation (and for the simulated backends the
   // netlist build) is the expensive step the cache amortizes — do it
@@ -344,8 +360,15 @@ std::shared_ptr<const MmmEngine> ExecutionCore::AcquireEngine(
   std::shared_ptr<const MmmEngine> engine =
       MakeEngine(engine_name, modulus, engine_options_);
   std::lock_guard<std::mutex> lk(cache_mu_);
-  if (cache_.Contains(key)) return *cache_.Get(key);
+  if (cache_.Contains(key)) {
+    // The race loser's second lookup counts as a hit, matching the
+    // LruCache-internal tallies the registry counters mirror.
+    metrics_.cache_hits.Increment();
+    return *cache_.Get(key);
+  }
+  const std::uint64_t evictions_before = cache_.Evictions();
   cache_.Put(key, engine);
+  metrics_.cache_evictions.Add(cache_.Evictions() - evictions_before);
   return engine;
 }
 
@@ -362,6 +385,14 @@ std::uint64_t ExecutionCore::CacheMisses() const {
 std::uint64_t ExecutionCore::CacheEvictions() const {
   std::lock_guard<std::mutex> lk(cache_mu_);
   return cache_.Evictions();
+}
+
+void ExecutionCore::PublishGroupStats(const EngineStats& stats) {
+  metrics_.engine_cycles.Add(stats.engine_cycles);
+  metrics_.paper_model_cycles.Add(stats.paper_model_cycles);
+  metrics_.mmm_invocations.Add(stats.mmm_invocations);
+  metrics_.squarings.Add(stats.squarings);
+  metrics_.multiplications.Add(stats.multiplications);
 }
 
 ExecutionCore::Outcome ExecutionCore::RunGroup(
@@ -402,6 +433,15 @@ ExecutionCore::Outcome ExecutionCore::RunGroup(
           result.stats.engine_cycles = paired.stats.engine_cycles;
         }
         outcome.paired = true;
+        // Publish once per group: per-job operation counts from both
+        // streams plus the *shared* issue accounting (counting it per
+        // result would double the array occupancy).
+        EngineStats group_stats = paired.stats_a;
+        group_stats += paired.stats_b;
+        group_stats.paired_issues = paired.stats.paired_issues;
+        group_stats.single_issues = paired.stats.single_issues;
+        group_stats.engine_cycles = paired.stats.engine_cycles;
+        PublishGroupStats(group_stats);
       }
     }
     if (!outcome.paired) {
@@ -412,6 +452,7 @@ ExecutionCore::Outcome ExecutionCore::RunGroup(
         result.value =
             RunSoloStream(*engine, group[i]->base,
                           EffectiveExponent(*group[i]), &result.stats);
+        PublishGroupStats(result.stats);
       }
     }
   } catch (...) {
@@ -424,13 +465,36 @@ ExecutionCore::Outcome ExecutionCore::RunGroup(
 // ExpService
 // ---------------------------------------------------------------------------
 
+namespace {
+
+/// Binds the jobs.*/issues.* handles and registers the conservation law
+/// shared by the threaded service and the deterministic executor.
+template <typename Metrics>
+void BindServiceMetrics(obs::Registry& registry, Metrics* metrics) {
+  metrics->jobs_submitted = registry.GetCounter("jobs.submitted");
+  metrics->jobs_completed = registry.GetCounter("jobs.completed");
+  metrics->jobs_cancelled = registry.GetCounter("jobs.cancelled");
+  metrics->pair_issues = registry.GetCounter("issues.paired");
+  metrics->single_issues = registry.GetCounter("issues.single");
+  registry.AddInvariant("jobs.conservation", {"jobs.submitted"},
+                        {"jobs.completed", "jobs.cancelled"});
+}
+
+}  // namespace
+
 ExpService::ExpService(Options options)
     : options_(std::move(options)),
+      owned_registry_(options_.registry == nullptr
+                          ? std::make_unique<obs::Registry>()
+                          : nullptr),
+      registry_(options_.registry != nullptr ? options_.registry
+                                             : owned_registry_.get()),
       core_(options_.engine_name, options_.engine_options,
-            options_.engine_cache_capacity, options_.blind_seed) {
+            options_.engine_cache_capacity, options_.blind_seed, registry_) {
   if (options_.workers == 0) options_.workers = 1;
   if (options_.max_batch == 0) options_.max_batch = 1;
   clock_ = options_.clock != nullptr ? options_.clock : &steady_clock_;
+  BindServiceMetrics(*registry_, &metrics_);
   if (options_.scheduler == SchedulerKind::kStealing) {
     StealScheduler::Config config;
     config.workers = options_.workers;
@@ -438,6 +502,8 @@ ExpService::ExpService(Options options)
     config.work_stealing = options_.work_stealing;
     config.unpair_timeout = options_.unpair_timeout;
     config.max_batch = options_.max_batch;
+    config.registry = registry_;
+    config.tracer = options_.tracer;
     sched_ = std::make_unique<StealScheduler>(config);
   }
   // The 3l+5-per-pair credit models the C-slow variant of the array
@@ -479,14 +545,21 @@ std::future<ExpService::Result> ExpService::Enqueue(Job job, std::uint64_t key,
   std::future<Result> future = job.promise.get_future();
   {
     std::lock_guard<std::mutex> lk(mu_);
+    const std::uint64_t now = NowTicks();
     job.id = next_id_++;
+    if (options_.tracer != nullptr && options_.tracer->enabled()) {
+      const std::uint64_t trace_id =
+          job.spec.options.trace_id != 0 ? job.spec.options.trace_id : job.id;
+      options_.tracer->Instant("job.submit", trace_id, 0, now,
+                               {{"job", job.id}, {"key", key}});
+    }
     if (sched_ != nullptr) {
-      sched_->Submit(job.id, key, pairable, NowTicks());
+      sched_->Submit(job.id, key, pairable, now);
     } else {
       queue_.Push(job.id, key);
     }
     pending_.emplace(job.id, std::move(job));
-    ++counters_.jobs_submitted;
+    metrics_.jobs_submitted.Increment();
   }
   cv_.notify_one();
   return future;
@@ -572,6 +645,13 @@ ExpService::SubmitPair(BigUInt modulus_a, BigUInt base_a, BigUInt exponent_a,
     std::lock_guard<std::mutex> lk(mu_);
     job_a.id = next_id_++;
     job_b.id = next_id_++;
+    if (options_.tracer != nullptr && options_.tracer->enabled()) {
+      const std::uint64_t now = NowTicks();
+      options_.tracer->Instant("job.submit", job_a.id, 0, now,
+                               {{"job", job_a.id}, {"bonded", 1}});
+      options_.tracer->Instant("job.submit", job_b.id, 0, now,
+                               {{"job", job_b.id}, {"bonded", 1}});
+    }
     if (sched_ != nullptr) {
       // The v2 scheduler forms the bonded group at submit time: a worker
       // can never observe one half without the other.
@@ -588,7 +668,7 @@ ExpService::SubmitPair(BigUInt modulus_a, BigUInt base_a, BigUInt exponent_a,
     }
     pending_.emplace(job_a.id, std::move(job_a));
     pending_.emplace(job_b.id, std::move(job_b));
-    counters_.jobs_submitted += 2;
+    metrics_.jobs_submitted.Add(2);
   }
   cv_.notify_all();
   return {std::move(first), std::move(second)};
@@ -615,11 +695,15 @@ void ExpService::Wait() {
 
 ExpService::Counters ExpService::Snapshot() const {
   Counters counters;
+  counters.jobs_submitted = metrics_.jobs_submitted.Value();
+  counters.jobs_completed = metrics_.jobs_completed.Value();
+  counters.deadline_exceeded = metrics_.jobs_cancelled.Value();
+  counters.pair_issues = metrics_.pair_issues.Value();
+  counters.single_issues = metrics_.single_issues.Value();
   {
     std::lock_guard<std::mutex> lk(mu_);
-    counters = counters_;
     if (sched_ != nullptr) {
-      const StealScheduler::Stats& stats = sched_->GetStats();
+      const StealScheduler::Stats stats = sched_->GetStats();
       counters.steals = stats.steals;
       counters.holds = stats.holds;
       counters.hold_pairs = stats.hold_pairs;
@@ -733,7 +817,11 @@ void ExpService::WorkerLoop(std::size_t index) {
         specs[i] = &unit.jobs[i].spec;
       }
       ExecutionCore::Outcome outcome;
+      obs::Tracer* const tracer = options_.tracer;
+      const bool tracing = tracer != nullptr && tracer->enabled();
+      std::uint64_t run_start = 0;
       if (!unit.jobs.empty()) {
+        if (tracing) run_start = NowTicks();
         outcome = core_.RunGroup(
             std::span<const ExecutionCore::JobSpec* const>(specs.data(),
                                                            unit.jobs.size()));
@@ -744,6 +832,28 @@ void ExpService::WorkerLoop(std::size_t index) {
         result.stolen = unit.issue.stolen;
         result.unpaired_by_timeout = unit.issue.unpaired_by_timeout;
       }
+      if (tracing) {
+        const std::uint64_t run_end = NowTicks();
+        for (std::size_t i = 0; i < unit.jobs.size(); ++i) {
+          const Job& job = unit.jobs[i];
+          const std::uint64_t trace_id = job.spec.options.trace_id != 0
+                                             ? job.spec.options.trace_id
+                                             : job.id;
+          const EngineStats& stats = outcome.results[i].stats;
+          tracer->Complete("job.run", trace_id, index, run_start, run_end,
+                           {{"mmm_invocations", stats.mmm_invocations},
+                            {"engine_cycles", stats.engine_cycles},
+                            {"paired", outcome.paired ? 1u : 0u},
+                            {"stolen", unit.issue.stolen ? 1u : 0u}});
+        }
+        for (const Job& job : expired) {
+          const std::uint64_t trace_id = job.spec.options.trace_id != 0
+                                             ? job.spec.options.trace_id
+                                             : job.id;
+          tracer->Instant("job.cancelled", trace_id, index, run_end,
+                          {{"job", job.id}});
+        }
+      }
       // Issue accounting records what actually ran — a 2-job group whose
       // backends could not co-schedule executes (and is counted) as two
       // solo issues, never as fictitious dual-channel throughput.
@@ -753,11 +863,11 @@ void ExpService::WorkerLoop(std::size_t index) {
       // observes its issue already counted.
       lk.lock();
       if (outcome.paired) {
-        ++counters_.pair_issues;
+        metrics_.pair_issues.Increment();
       } else {
-        counters_.single_issues += unit.jobs.size();
+        metrics_.single_issues.Add(unit.jobs.size());
       }
-      counters_.deadline_exceeded += expired.size();
+      metrics_.jobs_cancelled.Add(expired.size());
       // The scheduler's in-flight accounting (which gates the
       // hold-for-pairing heuristic) retires before the promises resolve,
       // so a caller submitting right after .get() sees an idle pool.
@@ -807,7 +917,7 @@ void ExpService::WorkerLoop(std::size_t index) {
       // jobs_completed / in_flight_ retire only after the callbacks, so
       // Wait() returning guarantees every completion hook has run.
       lk.lock();
-      counters_.jobs_completed += unit.jobs.size();
+      metrics_.jobs_completed.Add(unit.jobs.size());
       in_flight_ -= unit.jobs.size() + expired.size();
       const bool drained = QueueDrainedLocked();
       lk.unlock();
@@ -845,10 +955,16 @@ void ExpService::ContinuationLoop() {
 
 DeterministicExecutor::DeterministicExecutor(ExpService::Options options)
     : options_(std::move(options)),
+      owned_registry_(options_.registry == nullptr
+                          ? std::make_unique<obs::Registry>()
+                          : nullptr),
+      registry_(options_.registry != nullptr ? options_.registry
+                                             : owned_registry_.get()),
       core_(options_.engine_name, options_.engine_options,
-            options_.engine_cache_capacity, options_.blind_seed) {
+            options_.engine_cache_capacity, options_.blind_seed, registry_) {
   if (options_.workers == 0) options_.workers = 1;
   if (options_.max_batch == 0) options_.max_batch = 1;
+  BindServiceMetrics(*registry_, &metrics_);
   if (options_.scheduler == SchedulerKind::kStealing) {
     StealScheduler::Config config;
     config.workers = options_.workers;
@@ -856,9 +972,15 @@ DeterministicExecutor::DeterministicExecutor(ExpService::Options options)
     config.work_stealing = options_.work_stealing;
     config.unpair_timeout = options_.unpair_timeout;
     config.max_batch = options_.max_batch;
+    config.registry = registry_;
+    config.tracer = options_.tracer;
     sched_ = std::make_unique<StealScheduler>(config);
   }
   worker_busy_.assign(options_.workers, false);
+}
+
+std::uint64_t DeterministicExecutor::TraceId(const Job& job) {
+  return job.spec.options.trace_id != 0 ? job.spec.options.trace_id : job.id;
 }
 
 void DeterministicExecutor::Schedule(std::uint64_t tick,
@@ -874,7 +996,11 @@ void DeterministicExecutor::EnterQueue(Job job, std::uint64_t key,
                                        bool pairable) {
   job.submit_tick = now_;
   const std::uint64_t id = job.id;
-  ++counters_.jobs_submitted;
+  metrics_.jobs_submitted.Increment();
+  if (options_.tracer != nullptr && options_.tracer->enabled()) {
+    options_.tracer->Instant("job.submit", TraceId(job), 0, now_,
+                             {{"job", id}, {"key", key}});
+  }
   if (sched_ != nullptr) {
     sched_->Submit(id, key, pairable, now_);
   } else {
@@ -932,7 +1058,11 @@ void DeterministicExecutor::CancelIfQueued(std::uint64_t id) {
 }
 
 void DeterministicExecutor::FinishCancelled(Job job) {
-  ++counters_.deadline_exceeded;
+  metrics_.jobs_cancelled.Increment();
+  if (options_.tracer != nullptr && options_.tracer->enabled()) {
+    options_.tracer->Instant("job.cancelled", TraceId(job), 0, now_,
+                             {{"job", job.id}});
+  }
   JobRecord record;
   record.id = job.id;
   record.submit_tick = job.submit_tick;
@@ -982,7 +1112,13 @@ DeterministicExecutor::SubmitPairAt(std::uint64_t tick, BigUInt modulus_a,
   Schedule(tick, [this, job_a, job_b] {
     job_a->submit_tick = now_;
     job_b->submit_tick = now_;
-    counters_.jobs_submitted += 2;
+    metrics_.jobs_submitted.Add(2);
+    if (options_.tracer != nullptr && options_.tracer->enabled()) {
+      options_.tracer->Instant("job.submit", TraceId(*job_a), 0, now_,
+                               {{"job", job_a->id}, {"bonded", 1}});
+      options_.tracer->Instant("job.submit", TraceId(*job_b), 0, now_,
+                               {{"job", job_b->id}, {"bonded", 1}});
+    }
     if (sched_ != nullptr) {
       sched_->SubmitBonded(job_a->id, job_b->id, now_);
     } else {
@@ -1112,12 +1248,23 @@ void DeterministicExecutor::TryDispatch() {
         const std::uint64_t finish = start + duration;
         Schedule(finish, [this, unit, w] {
           if (unit->outcome.paired) {
-            ++counters_.pair_issues;
+            metrics_.pair_issues.Increment();
           } else {
-            counters_.single_issues += unit->jobs.size();
+            metrics_.single_issues.Add(unit->jobs.size());
           }
-          counters_.jobs_completed += unit->jobs.size();
+          metrics_.jobs_completed.Add(unit->jobs.size());
           if (sched_ != nullptr) sched_->OnGroupDone();
+          if (options_.tracer != nullptr && options_.tracer->enabled()) {
+            for (std::size_t i = 0; i < unit->jobs.size(); ++i) {
+              const EngineStats& stats = unit->outcome.results[i].stats;
+              options_.tracer->Complete(
+                  "job.run", TraceId(unit->jobs[i]), w, unit->start, now_,
+                  {{"mmm_invocations", stats.mmm_invocations},
+                   {"engine_cycles", stats.engine_cycles},
+                   {"paired", unit->outcome.paired ? 1u : 0u},
+                   {"stolen", unit->issue.stolen ? 1u : 0u}});
+            }
+          }
           for (std::size_t i = 0; i < unit->jobs.size(); ++i) {
             JobRecord record;
             record.id = unit->jobs[i].id;
@@ -1178,9 +1325,14 @@ void DeterministicExecutor::RunUntilIdle() {
 }
 
 ExpService::Counters DeterministicExecutor::Snapshot() const {
-  ExpService::Counters counters = counters_;
+  ExpService::Counters counters;
+  counters.jobs_submitted = metrics_.jobs_submitted.Value();
+  counters.jobs_completed = metrics_.jobs_completed.Value();
+  counters.deadline_exceeded = metrics_.jobs_cancelled.Value();
+  counters.pair_issues = metrics_.pair_issues.Value();
+  counters.single_issues = metrics_.single_issues.Value();
   if (sched_ != nullptr) {
-    const StealScheduler::Stats& stats = sched_->GetStats();
+    const StealScheduler::Stats stats = sched_->GetStats();
     counters.steals = stats.steals;
     counters.holds = stats.holds;
     counters.hold_pairs = stats.hold_pairs;

@@ -138,6 +138,11 @@ struct ExpJobOptions {
   /// already handed to an engine is never aborted mid-multiply — the
   /// deadline bounds queueing, not execution.
   std::uint64_t deadline = 0;
+  /// Trace id stamped on every span/instant this job emits (0 = use the
+  /// service-assigned job id).  Callers propagating a request through
+  /// several jobs (the RSA-CRT halves of one signing request) set the
+  /// request id here, so one id threads the whole lifecycle in a trace.
+  std::uint64_t trace_id = 0;
 };
 
 struct ExpResult {
@@ -173,8 +178,12 @@ struct ExpResult {
 /// paths cannot diverge.
 class ExecutionCore {
  public:
+  /// `registry` (may be null) receives the engine.* counters: cycle and
+  /// operation aggregates published per executed group, plus mirrors of
+  /// the engine-cache hit/miss/eviction tallies.
   ExecutionCore(std::string engine_name, EngineOptions engine_options,
-                std::size_t cache_capacity, std::uint64_t blind_seed);
+                std::size_t cache_capacity, std::uint64_t blind_seed,
+                obs::Registry* registry = nullptr);
 
   struct JobSpec {
     bignum::BigUInt modulus;
@@ -214,6 +223,9 @@ class ExecutionCore {
 
  private:
   bignum::BigUInt EffectiveExponent(const JobSpec& spec);
+  /// Publishes one executed group's EngineStats into the engine.*
+  /// counters (a pair's shared issue accounting is counted once).
+  void PublishGroupStats(const EngineStats& stats);
 
   std::string engine_name_;
   EngineOptions engine_options_;
@@ -223,6 +235,17 @@ class ExecutionCore {
 
   mutable std::mutex cache_mu_;  // independent of the service mutex
   mutable LruCache<std::string, std::shared_ptr<const MmmEngine>> cache_;
+
+  struct {
+    obs::Counter engine_cycles;
+    obs::Counter paper_model_cycles;
+    obs::Counter mmm_invocations;
+    obs::Counter squarings;
+    obs::Counter multiplications;
+    obs::Counter cache_hits;
+    obs::Counter cache_misses;
+    obs::Counter cache_evictions;
+  } metrics_;
 };
 
 /// Thread-safe batched/async exponentiation service.
@@ -276,6 +299,17 @@ class ExpService {
     /// group.  The chaos harness uses it to stall a worker; it must not
     /// call back into the service.  Null disables it.
     std::function<void(std::size_t worker)> worker_observer;
+
+    // --- observability -------------------------------------------------
+    /// Metrics registry absorbing every service counter (jobs.*,
+    /// issues.*, engine.*, sched.*) behind stable dotted names.  Null:
+    /// the service owns a private registry — Snapshot() and registry()
+    /// read the same counters either way.  Must outlive the service.
+    obs::Registry* registry = nullptr;
+    /// Span tracer for the job lifecycle (job.submit, sched.*, job.run,
+    /// job.cancelled).  Null disables tracing; a disabled tracer costs
+    /// one relaxed load per site.  Must outlive the service.
+    obs::Tracer* tracer = nullptr;
   };
 
   using JobOptions = ExpJobOptions;
@@ -333,6 +367,10 @@ class ExpService {
   /// Blocks until every job submitted so far has completed.
   void Wait();
 
+  /// Compat snapshot of the registry-backed counters.  The obs::Registry
+  /// (Options::registry, or the service's private one — see registry())
+  /// is the single source of truth; Snapshot() materialises this struct
+  /// from it so existing callers keep their field names.
   struct Counters {
     std::uint64_t jobs_submitted = 0;
     /// Jobs that executed to completion.  Conservation: on a drained
@@ -361,6 +399,14 @@ class ExpService {
   };
   Counters Snapshot() const;
 
+  /// The metrics registry every counter lives in: Options::registry when
+  /// provided, the service's private one otherwise.  Registered names:
+  /// jobs.submitted / jobs.completed / jobs.cancelled, issues.paired /
+  /// issues.single, engine.*, sched.* — plus the jobs.conservation
+  /// invariant (submitted == completed + cancelled on a drained
+  /// service).
+  obs::Registry& registry() const { return *registry_; }
+
   const Options& options() const { return options_; }
 
  private:
@@ -382,6 +428,10 @@ class ExpService {
   void ContinuationLoop();
 
   Options options_;
+  /// Backs registry() when Options::registry is null (declared before
+  /// core_, which publishes into it).
+  std::unique_ptr<obs::Registry> owned_registry_;
+  obs::Registry* registry_ = nullptr;
   ExecutionCore core_;
   SteadyClock steady_clock_;
   const Clock* clock_ = nullptr;
@@ -397,7 +447,14 @@ class ExpService {
   std::uint64_t next_solo_key_ = 0;
   std::size_t in_flight_ = 0;
   bool stop_ = false;
-  Counters counters_;
+  struct ServiceMetrics {
+    obs::Counter jobs_submitted;
+    obs::Counter jobs_completed;
+    obs::Counter jobs_cancelled;  // deadline_exceeded in the compat struct
+    obs::Counter pair_issues;
+    obs::Counter single_issues;
+  };
+  ServiceMetrics metrics_;
 
   std::mutex cont_mu_;  // guards the continuation queue only
   std::condition_variable cont_cv_;
@@ -466,10 +523,17 @@ class DeterministicExecutor {
   const std::vector<JobRecord>& Records() const { return records_; }
 
   ExpService::Counters Snapshot() const;
-  /// V2 scheduler stats (null under kSharedQueue).
+  /// V2 scheduler stats (null under kSharedQueue).  The pointee is a
+  /// snapshot refreshed by each call — copy it before the next call.
   const StealScheduler::Stats* SchedulerStats() const {
-    return sched_ ? &sched_->GetStats() : nullptr;
+    if (sched_ == nullptr) return nullptr;
+    sched_stats_ = sched_->GetStats();
+    return &sched_stats_;
   }
+
+  /// The metrics registry (Options::registry or the executor's private
+  /// one); same dotted names as the threaded service.
+  obs::Registry& registry() const { return *registry_; }
 
  private:
   struct Job {
@@ -491,6 +555,9 @@ class DeterministicExecutor {
   };
 
   void Schedule(std::uint64_t tick, std::function<void()> action);
+  /// The id stamped on this job's trace events (options.trace_id or the
+  /// executor-assigned job id).
+  static std::uint64_t TraceId(const Job& job);
   void EnterQueue(Job job, std::uint64_t key, bool pairable);
   /// Deadline event: if `id` is still queued (un-claimed, possibly held
   /// for pairing), releases it from the scheduler and resolves it
@@ -504,6 +571,8 @@ class DeterministicExecutor {
   void ScheduleHoldWake();
 
   ExpService::Options options_;
+  std::unique_ptr<obs::Registry> owned_registry_;
+  obs::Registry* registry_ = nullptr;
   ExecutionCore core_;
   std::unique_ptr<StealScheduler> sched_;  // kStealing
   PairingQueue queue_;                     // kSharedQueue
@@ -521,7 +590,14 @@ class DeterministicExecutor {
   std::uint64_t hold_wake_tick_ = 0;
   bool hold_wake_scheduled_ = false;
 
-  ExpService::Counters counters_;
+  struct {
+    obs::Counter jobs_submitted;
+    obs::Counter jobs_completed;
+    obs::Counter jobs_cancelled;
+    obs::Counter pair_issues;
+    obs::Counter single_issues;
+  } metrics_;
+  mutable StealScheduler::Stats sched_stats_;  // SchedulerStats() storage
   std::vector<JobRecord> records_;
 };
 

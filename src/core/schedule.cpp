@@ -30,6 +30,37 @@ StealScheduler::StealScheduler(Config config) : config_(config) {
   if (config_.workers == 0) config_.workers = 1;
   if (config_.max_batch == 0) config_.max_batch = 1;
   deques_.resize(config_.workers);
+  obs::Registry* registry = config_.registry;
+  if (registry == nullptr) {
+    owned_registry_ = std::make_unique<obs::Registry>();
+    registry = owned_registry_.get();
+  }
+  metrics_.dispatched_groups = registry->GetCounter("sched.dispatched_groups");
+  metrics_.pairs_formed = registry->GetCounter("sched.pairs_formed");
+  metrics_.bonded_groups = registry->GetCounter("sched.bonded_groups");
+  metrics_.holds = registry->GetCounter("sched.holds");
+  metrics_.hold_pairs = registry->GetCounter("sched.hold_pairs");
+  metrics_.unpair_timeouts = registry->GetCounter("sched.unpair_timeouts");
+  metrics_.steals = registry->GetCounter("sched.steals");
+  metrics_.batch_acquires = registry->GetCounter("sched.batch_acquires");
+  metrics_.cancelled = registry->GetCounter("sched.cancelled");
+  metrics_.max_batch_claimed = registry->GetGauge("sched.max_batch_claimed");
+}
+
+StealScheduler::Stats StealScheduler::GetStats() const {
+  Stats stats;
+  stats.dispatched_groups = metrics_.dispatched_groups.Value();
+  stats.pairs_formed = metrics_.pairs_formed.Value();
+  stats.bonded_groups = metrics_.bonded_groups.Value();
+  stats.holds = metrics_.holds.Value();
+  stats.hold_pairs = metrics_.hold_pairs.Value();
+  stats.unpair_timeouts = metrics_.unpair_timeouts.Value();
+  stats.steals = metrics_.steals.Value();
+  stats.batch_acquires = metrics_.batch_acquires.Value();
+  stats.max_batch_claimed =
+      static_cast<std::uint64_t>(metrics_.max_batch_claimed.Value());
+  stats.cancelled = metrics_.cancelled.Value();
+  return stats;
 }
 
 bool StealScheduler::RecordArrivalAndClassify(std::uint64_t key,
@@ -60,7 +91,7 @@ void StealScheduler::Dispatch(Group group) {
   }
   rr_cursor_ = (best + 1) % config_.workers;
   queued_jobs_ += group.count;
-  ++stats_.dispatched_groups;
+  metrics_.dispatched_groups.Increment();
   deques_[best].push_back(std::move(group));
   if (deques_[best].back().open_solo) {
     open_solos_[deques_[best].back().key] = &deques_[best].back();
@@ -92,8 +123,12 @@ void StealScheduler::Submit(std::uint64_t id, std::uint64_t key,
     // The held job leaves the hold count before the pair re-enters the
     // queued count, or Idle() would never come back true.
     --queued_jobs_;
-    ++stats_.pairs_formed;
-    ++stats_.hold_pairs;
+    metrics_.pairs_formed.Increment();
+    metrics_.hold_pairs.Increment();
+    if (config_.tracer != nullptr) {
+      config_.tracer->Instant("sched.pair", id, 0, now,
+                              {{"partner", pair.ids[0]}, {"key", key}});
+    }
     Dispatch(std::move(pair));
     return;
   }
@@ -107,7 +142,11 @@ void StealScheduler::Submit(std::uint64_t id, std::uint64_t key,
     group->open_solo = false;
     open_solos_.erase(open);
     ++queued_jobs_;
-    ++stats_.pairs_formed;
+    metrics_.pairs_formed.Increment();
+    if (config_.tracer != nullptr) {
+      config_.tracer->Instant("sched.pair", id, 0, now,
+                              {{"partner", group->ids[0]}, {"key", key}});
+    }
     return;
   }
   // 3. Lone job.  On a hot key, while the pool has other work to chew
@@ -120,7 +159,11 @@ void StealScheduler::Submit(std::uint64_t id, std::uint64_t key,
     held.ready_at = now + config_.unpair_timeout;
     waiting_.push_back(held);
     ++queued_jobs_;
-    ++stats_.holds;
+    metrics_.holds.Increment();
+    if (config_.tracer != nullptr) {
+      config_.tracer->Instant("sched.hold", id, 0, now,
+                              {{"key", key}, {"ready_at", held.ready_at}});
+    }
     return;
   }
   // 4. Cold key or idle pool: dispatch immediately, but leave the group
@@ -156,7 +199,7 @@ void StealScheduler::SubmitBonded(std::uint64_t id_a, std::uint64_t id_b,
   pair.count = 2;
   pair.bonded = true;
   pair.arrival = now;
-  ++stats_.bonded_groups;
+  metrics_.bonded_groups.Increment();
   Dispatch(std::move(pair));
 }
 
@@ -175,7 +218,7 @@ std::optional<StealScheduler::Issue> StealScheduler::PopGroup(
   issue.bonded = group.bonded && issue.count == 2;
   issue.stolen = stolen;
   issue.arrival = group.arrival;
-  if (stolen) ++stats_.steals;
+  if (stolen) metrics_.steals.Increment();
   queued_jobs_ -= issue.count;
   ++in_flight_groups_;
   return issue;
@@ -208,7 +251,11 @@ std::optional<StealScheduler::Issue> StealScheduler::Acquire(
       issue.unpaired_by_timeout = true;
       issue.arrival = ready->arrival;
       waiting_.erase(ready);
-      ++stats_.unpair_timeouts;
+      metrics_.unpair_timeouts.Increment();
+      if (config_.tracer != nullptr) {
+        config_.tracer->Instant("sched.unpair", issue.ids[0], worker, now,
+                                {{"held_since", issue.arrival}});
+      }
       --queued_jobs_;
       ++in_flight_groups_;
       return issue;
@@ -218,7 +265,13 @@ std::optional<StealScheduler::Issue> StealScheduler::Acquire(
       for (std::size_t i = 1; i < config_.workers; ++i) {
         const std::size_t victim = (worker + i) % config_.workers;
         if (deques_[victim].empty()) continue;
-        if (auto issue = PopGroup(victim, /*stolen=*/true)) return issue;
+        if (auto issue = PopGroup(victim, /*stolen=*/true)) {
+          if (config_.tracer != nullptr) {
+            config_.tracer->Instant("sched.steal", issue->ids[0], worker, now,
+                                    {{"victim", victim}});
+          }
+          return issue;
+        }
         popped_shell = true;
         break;
       }
@@ -234,7 +287,7 @@ bool StealScheduler::Cancel(std::uint64_t id) {
     if (it->id != id) continue;
     waiting_.erase(it);
     --queued_jobs_;
-    ++stats_.cancelled;
+    metrics_.cancelled.Increment();
     return true;
   }
   // Queued groups are tombstoned in place (open_solos_ holds pointers
@@ -250,7 +303,7 @@ bool StealScheduler::Cancel(std::uint64_t id) {
           group.open_solo = false;
         }
         --queued_jobs_;
-        ++stats_.cancelled;
+        metrics_.cancelled.Increment();
         return true;
       }
     }
@@ -276,9 +329,8 @@ std::size_t StealScheduler::AcquireBatch(std::size_t worker,
     ++claimed;
   }
   if (claimed > 1) {
-    ++stats_.batch_acquires;
-    stats_.max_batch_claimed = std::max<std::uint64_t>(
-        stats_.max_batch_claimed, claimed);
+    metrics_.batch_acquires.Increment();
+    metrics_.max_batch_claimed.RecordMax(static_cast<std::int64_t>(claimed));
   }
   return claimed;
 }

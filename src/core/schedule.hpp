@@ -36,10 +36,14 @@
 #include <cstddef>
 #include <deque>
 #include <list>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <utility>
 #include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace mont::core {
 
@@ -252,6 +256,14 @@ class StealScheduler {
     std::uint64_t unpair_timeout = 200'000;
     /// Upper bound of one adaptive batch claim (lower bound is 1).
     std::size_t max_batch = 8;
+    /// Metrics registry backing the sched.* counters.  When null the
+    /// scheduler owns a private registry; GetStats() reads the same
+    /// counters either way.
+    obs::Registry* registry = nullptr;
+    /// Span tracer for hold/pair/steal/unpair decision events (ticks are
+    /// the ones passed into Submit/Acquire, so DES replays trace
+    /// identically).  Null disables emission.
+    obs::Tracer* tracer = nullptr;
   };
 
   /// One acquired issue group: up to two job ids co-scheduled on one
@@ -268,6 +280,9 @@ class StealScheduler {
     std::uint64_t arrival = 0;
   };
 
+  /// Compat snapshot of the sched.* registry counters.  The registry is
+  /// the single source of truth; this struct is only materialised by
+  /// GetStats() so existing callers keep their field names.
   struct Stats {
     std::uint64_t dispatched_groups = 0;  ///< groups that entered a deque
     std::uint64_t pairs_formed = 0;       ///< opportunistic pairs (all paths)
@@ -330,7 +345,7 @@ class StealScheduler {
   std::size_t InFlightGroups() const { return in_flight_groups_; }
   std::size_t QueueDepth(std::size_t worker) const;
   std::size_t HeldJobs() const { return waiting_.size(); }
-  const Stats& GetStats() const { return stats_; }
+  Stats GetStats() const;
   const Config& GetConfig() const { return config_; }
 
  private:
@@ -384,7 +399,20 @@ class StealScheduler {
   std::size_t rr_cursor_ = 0;  // round-robin tie-break for dispatch
   std::size_t queued_jobs_ = 0;
   std::size_t in_flight_groups_ = 0;
-  Stats stats_;
+  /// Backs the sched.* handles when Config::registry is null.
+  std::unique_ptr<obs::Registry> owned_registry_;
+  struct {
+    obs::Counter dispatched_groups;
+    obs::Counter pairs_formed;
+    obs::Counter bonded_groups;
+    obs::Counter holds;
+    obs::Counter hold_pairs;
+    obs::Counter unpair_timeouts;
+    obs::Counter steals;
+    obs::Counter batch_acquires;
+    obs::Counter cancelled;
+    obs::Gauge max_batch_claimed;
+  } metrics_;
 };
 
 /// Least-recently-used cache, the policy behind the service's per-modulus

@@ -9,6 +9,7 @@
 
 #include "bignum/montgomery.hpp"
 #include "bignum/prime.hpp"
+#include "obs/trace.hpp"
 
 namespace mont::crypto {
 
@@ -283,6 +284,14 @@ std::vector<BigUInt> RsaSignBatch(const RsaKeyPair& key,
   const BigUInt dp = key.d % (key.p - BigUInt{1});
   const BigUInt dq = key.d % (key.q - BigUInt{1});
 
+  // When the service carries a tracer, the whole batch gets an rsa.batch
+  // span and each message's recombination an rsa.recombine instant; the
+  // half-jobs take message-index trace ids so their job.run spans
+  // correlate across the p/q halves.
+  obs::Tracer* const tracer = service.options().tracer;
+  const bool tracing = tracer != nullptr && tracer->enabled();
+  const std::uint64_t batch_start = tracing ? obs::Tracer::NowTicks() : 0;
+
   // Pipelined CRT: the p- and q-halves go in as *independent* jobs, so
   // each half completes on its own (the scheduler pairs equal-length
   // halves opportunistically — same message or across messages) and the
@@ -316,37 +325,45 @@ std::vector<BigUInt> RsaSignBatch(const RsaKeyPair& key,
   std::vector<std::future<BigUInt>> recombined;
   halves.reserve(messages.size());
   recombined.reserve(messages.size());
-  for (const BigUInt& message : messages) {
+  for (std::size_t index = 0; index < messages.size(); ++index) {
+    const BigUInt& message = messages[index];
     auto state = std::make_shared<MessageState>();
     state->message = message;
     recombined.push_back(state->signature.get_future());
+    const std::uint64_t trace_id = static_cast<std::uint64_t>(index) + 1;
     // Whichever half lands second owns the continuation handoff.  The
     // acq_rel decrement makes both halves' writes visible to it (and,
     // through the continuation queue, to the recombining thread).
-    const auto finish_half = [&service, context, state] {
+    const auto finish_half = [&service, context, state, tracer, trace_id] {
       if (state->remaining.fetch_sub(1, std::memory_order_acq_rel) != 1) {
         return;
       }
-      service.Post([context, state] {
+      service.Post([context, state, tracer, trace_id] {
         try {
           BigUInt sig = CrtRecombine(context->key, context->q_inv, state->mp,
                                      state->mq);
           VerifyCrtResult(*context->verify_engine, context->key,
                           state->message, sig, "RsaSignBatch");
+          if (tracer != nullptr && tracer->enabled()) {
+            tracer->Instant("rsa.recombine", trace_id, 0,
+                            obs::Tracer::NowTicks());
+          }
           state->signature.set_value(std::move(sig));
         } catch (...) {
           state->signature.set_exception(std::current_exception());
         }
       });
     };
+    core::ExpJobOptions job_options;
+    job_options.trace_id = trace_id;
     auto p_half = service.Submit(
-        key.p, message % key.p, dp,
+        key.p, message % key.p, dp, job_options,
         [state, finish_half](const core::ExpService::Result& result) {
           state->mp = result.value;
           finish_half();
         });
     auto q_half = service.Submit(
-        key.q, message % key.q, dq,
+        key.q, message % key.q, dq, job_options,
         [state, finish_half](const core::ExpService::Result& result) {
           state->mq = result.value;
           finish_half();
@@ -363,6 +380,11 @@ std::vector<BigUInt> RsaSignBatch(const RsaKeyPair& key,
   std::vector<BigUInt> signatures;
   signatures.reserve(messages.size());
   for (auto& future : recombined) signatures.push_back(future.get());
+  if (tracing) {
+    tracer->Complete(
+        "rsa.batch", 0, 0, batch_start, obs::Tracer::NowTicks(),
+        {{"messages", static_cast<std::uint64_t>(messages.size())}});
+  }
   return signatures;
 }
 

@@ -1,0 +1,216 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace mont::obs {
+
+namespace detail {
+
+std::size_t ThreadStripe() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t stripe =
+      next.fetch_add(1, std::memory_order_relaxed) & (kStripes - 1);
+  return stripe;
+}
+
+void HistogramCell::Record(std::uint64_t value) {
+  const std::size_t index = HistogramBucketIndex(value);
+  if (index >= kHistBuckets) {
+    overflow.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    buckets[index].fetch_add(1, std::memory_order_relaxed);
+  }
+  count.fetch_add(1, std::memory_order_relaxed);
+  sum.fetch_add(value, std::memory_order_relaxed);
+  std::uint64_t seen = min.load(std::memory_order_relaxed);
+  while (value < seen &&
+         !min.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+  seen = max.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace detail
+
+std::size_t HistogramBucketIndex(std::uint64_t value) {
+  // Exact buckets 0..3, then kHistSubBuckets linear sub-buckets per octave:
+  // for value with highest set bit m >= 2, the sub-bucket is the next two
+  // bits below the leading one.
+  if (value < 4) return static_cast<std::size_t>(value);
+  int major = 63;
+  while ((value >> major) == 0) --major;  // major >= 2
+  const std::uint64_t sub = (value >> (major - 2)) & 3;
+  return (static_cast<std::size_t>(major) - 1) * detail::kHistSubBuckets +
+         static_cast<std::size_t>(sub);
+}
+
+std::uint64_t HistogramBucketLowerBound(std::size_t index) {
+  if (index < 4) return index;
+  const std::size_t major = index / detail::kHistSubBuckets + 1;
+  const std::uint64_t sub = index % detail::kHistSubBuckets;
+  const std::uint64_t base = std::uint64_t{1} << major;
+  return base + sub * (base >> 2);
+}
+
+std::uint64_t HistogramSnapshot::Percentile(double p) const {
+  if (count == 0) return 0;
+  p = std::clamp(p, 0.0, 1.0);
+  // Rank of the p-quantile, 1-based; percentile(1.0) is the last recording.
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(p * static_cast<double>(count) + 0.5));
+  std::uint64_t seen = 0;
+  for (const auto& [lower_bound, bucket_count] : buckets) {
+    seen += bucket_count;
+    if (seen >= rank) return lower_bound;
+  }
+  return max;  // quantile falls in the overflow bucket
+}
+
+std::uint64_t MetricsSnapshot::CounterValue(const std::string& name) const {
+  const auto it = counters.find(name);
+  return it != counters.end() ? it->second : 0;
+}
+
+std::string MetricsSnapshot::RenderText() const {
+  std::ostringstream out;
+  for (const auto& [name, value] : counters) {
+    out << name << " = " << value << '\n';
+  }
+  for (const auto& [name, value] : gauges) {
+    out << name << " = " << value << '\n';
+  }
+  for (const auto& [name, hist] : histograms) {
+    out << name << " count=" << hist.count << " sum=" << hist.sum
+        << " min=" << (hist.count != 0 ? hist.min : 0) << " max=" << hist.max
+        << " p50=" << hist.Percentile(0.50) << " p95=" << hist.Percentile(0.95)
+        << " p99=" << hist.Percentile(0.99) << '\n';
+  }
+  return out.str();
+}
+
+std::string MetricsSnapshot::RenderJson() const {
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) out << ',';
+    first = false;
+    out << '"' << name << "\":" << value;
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    if (!first) out << ',';
+    first = false;
+    out << '"' << name << "\":" << value;
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, hist] : histograms) {
+    if (!first) out << ',';
+    first = false;
+    out << '"' << name << "\":{\"count\":" << hist.count
+        << ",\"sum\":" << hist.sum
+        << ",\"min\":" << (hist.count != 0 ? hist.min : 0)
+        << ",\"max\":" << hist.max << ",\"p50\":" << hist.Percentile(0.50)
+        << ",\"p95\":" << hist.Percentile(0.95)
+        << ",\"p99\":" << hist.Percentile(0.99)
+        << ",\"overflow\":" << hist.overflow << '}';
+  }
+  out << "}}";
+  return out.str();
+}
+
+Registry::~Registry() = default;
+
+Counter Registry::GetCounter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto& cell = counters_[name];
+  if (cell == nullptr) cell = std::make_unique<detail::CounterCell>();
+  return Counter(cell.get());
+}
+
+Gauge Registry::GetGauge(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto& cell = gauges_[name];
+  if (cell == nullptr) cell = std::make_unique<detail::GaugeCell>();
+  return Gauge(cell.get());
+}
+
+Histogram Registry::GetHistogram(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto& cell = histograms_[name];
+  if (cell == nullptr) cell = std::make_unique<detail::HistogramCell>();
+  return Histogram(cell.get());
+}
+
+void Registry::AddInvariant(const std::string& name,
+                            std::vector<std::string> lhs,
+                            std::vector<std::string> rhs) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  invariants_[name] = Invariant{std::move(lhs), std::move(rhs)};
+}
+
+std::vector<std::string> Registry::CheckInvariants(
+    const MetricsSnapshot& snapshot) const {
+  std::vector<std::string> violations;
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, invariant] : invariants_) {
+    std::uint64_t lhs = 0;
+    std::uint64_t rhs = 0;
+    for (const std::string& term : invariant.lhs) {
+      lhs += snapshot.CounterValue(term);
+    }
+    for (const std::string& term : invariant.rhs) {
+      rhs += snapshot.CounterValue(term);
+    }
+    if (lhs != rhs) {
+      std::ostringstream out;
+      out << "invariant '" << name << "' violated: ";
+      for (std::size_t i = 0; i < invariant.lhs.size(); ++i) {
+        out << (i != 0 ? " + " : "") << invariant.lhs[i];
+      }
+      out << " = " << lhs << " but ";
+      for (std::size_t i = 0; i < invariant.rhs.size(); ++i) {
+        out << (i != 0 ? " + " : "") << invariant.rhs[i];
+      }
+      out << " = " << rhs;
+      violations.push_back(out.str());
+    }
+  }
+  return violations;
+}
+
+MetricsSnapshot Registry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, cell] : counters_) {
+    snapshot.counters[name] = cell->Value();
+  }
+  for (const auto& [name, cell] : gauges_) {
+    snapshot.gauges[name] = cell->value.load(std::memory_order_relaxed);
+  }
+  for (const auto& [name, cell] : histograms_) {
+    HistogramSnapshot hist;
+    for (std::size_t i = 0; i < detail::kHistBuckets; ++i) {
+      const std::uint64_t bucket_count =
+          cell->buckets[i].load(std::memory_order_relaxed);
+      if (bucket_count != 0) {
+        hist.buckets.emplace_back(HistogramBucketLowerBound(i), bucket_count);
+      }
+    }
+    hist.overflow = cell->overflow.load(std::memory_order_relaxed);
+    hist.count = cell->count.load(std::memory_order_relaxed);
+    hist.sum = cell->sum.load(std::memory_order_relaxed);
+    const std::uint64_t raw_min = cell->min.load(std::memory_order_relaxed);
+    hist.min = hist.count != 0 ? raw_min : 0;
+    hist.max = cell->max.load(std::memory_order_relaxed);
+    snapshot.histograms[name] = std::move(hist);
+  }
+  return snapshot;
+}
+
+}  // namespace mont::obs

@@ -1,0 +1,189 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+namespace mont::obs {
+
+namespace {
+std::uint64_t NextTracerId() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace
+
+Tracer::Tracer(Options options)
+    : tracer_id_(NextTracerId()),
+      options_(options),
+      enabled_(options.start_enabled) {}
+
+Tracer::~Tracer() = default;
+
+Tracer::Shard& Tracer::LocalShard() {
+  // One-entry per-thread cache: re-resolving through the registry map
+  // (and its mutex) only happens the first time a given thread emits
+  // into a given tracer.  Keyed on tracer_id_, not `this` — a tracer
+  // constructed at a destroyed tracer's address would otherwise hit the
+  // stale cache and hand back a dangling shard.
+  thread_local std::uint64_t cached_tracer_id = 0;
+  thread_local Shard* cached_shard = nullptr;
+  if (cached_tracer_id == tracer_id_ && cached_shard != nullptr) {
+    return *cached_shard;
+  }
+
+  const std::lock_guard<std::mutex> lock(registry_mu_);
+  auto& shard = shards_[std::this_thread::get_id()];
+  if (shard == nullptr) {
+    shard = std::make_unique<Shard>();
+    shard->ring.resize(options_.ring_capacity);
+    shard->index = next_shard_index_++;
+  }
+  cached_tracer_id = tracer_id_;
+  cached_shard = shard.get();
+  return *cached_shard;
+}
+
+void Tracer::Emit(TraceEvent event, std::initializer_list<TraceArg> args) {
+  event.arg_count = 0;
+  for (const TraceArg& arg : args) {
+    if (event.arg_count == 4) break;
+    event.args[event.arg_count++] = arg;
+  }
+  Shard& shard = LocalShard();
+  const std::lock_guard<std::mutex> lock(shard.mu);
+  event.seq = shard.seq++;
+  if (shard.size == shard.ring.size()) {
+    ++shard.dropped;  // overwriting the oldest event
+  } else {
+    ++shard.size;
+  }
+  shard.ring[shard.head] = event;
+  shard.head = (shard.head + 1) % shard.ring.size();
+}
+
+void Tracer::Complete(const char* name, std::uint64_t id, std::uint64_t track,
+                      std::uint64_t start, std::uint64_t end,
+                      std::initializer_list<TraceArg> args) {
+  if (!enabled()) return;
+  TraceEvent event;
+  event.ts = start;
+  event.dur = end >= start ? end - start : 0;
+  event.id = id;
+  event.track = track;
+  event.kind = TraceEvent::Kind::kComplete;
+  event.name = name;
+  Emit(event, args);
+}
+
+void Tracer::Instant(const char* name, std::uint64_t id, std::uint64_t track,
+                     std::uint64_t ts, std::initializer_list<TraceArg> args) {
+  if (!enabled()) return;
+  TraceEvent event;
+  event.ts = ts;
+  event.id = id;
+  event.track = track;
+  event.kind = TraceEvent::Kind::kInstant;
+  event.name = name;
+  Emit(event, args);
+}
+
+std::size_t Tracer::EventCount() const {
+  std::size_t total = 0;
+  const std::lock_guard<std::mutex> registry_lock(registry_mu_);
+  for (const auto& [thread_id, shard] : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->size;
+  }
+  return total;
+}
+
+std::uint64_t Tracer::DroppedEvents() const {
+  std::uint64_t total = 0;
+  const std::lock_guard<std::mutex> registry_lock(registry_mu_);
+  for (const auto& [thread_id, shard] : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->dropped;
+  }
+  return total;
+}
+
+std::vector<TraceEvent> Tracer::SortedEvents() const {
+  struct Keyed {
+    std::uint64_t shard_index;
+    TraceEvent event;
+  };
+  std::vector<Keyed> keyed;
+  {
+    const std::lock_guard<std::mutex> registry_lock(registry_mu_);
+    for (const auto& [thread_id, shard] : shards_) {
+      const std::lock_guard<std::mutex> lock(shard->mu);
+      // Oldest-first within the ring: the oldest live event sits at
+      // `head` once the ring has wrapped, at 0 before.
+      const std::size_t capacity = shard->ring.size();
+      const std::size_t start =
+          shard->size == capacity ? shard->head : 0;
+      for (std::size_t i = 0; i < shard->size; ++i) {
+        keyed.push_back(
+            Keyed{shard->index, shard->ring[(start + i) % capacity]});
+      }
+    }
+  }
+  std::sort(keyed.begin(), keyed.end(), [](const Keyed& a, const Keyed& b) {
+    if (a.event.ts != b.event.ts) return a.event.ts < b.event.ts;
+    if (a.shard_index != b.shard_index) return a.shard_index < b.shard_index;
+    return a.event.seq < b.event.seq;
+  });
+  std::vector<TraceEvent> events;
+  events.reserve(keyed.size());
+  for (Keyed& k : keyed) events.push_back(k.event);
+  return events;
+}
+
+std::string Tracer::ExportChromeJson() const {
+  const std::vector<TraceEvent> events = SortedEvents();
+  std::ostringstream out;
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& event : events) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n{\"name\":\"" << (event.name != nullptr ? event.name : "?")
+        << "\",\"ph\":\""
+        << (event.kind == TraceEvent::Kind::kComplete ? "X" : "i")
+        << "\",\"ts\":" << event.ts;
+    if (event.kind == TraceEvent::Kind::kComplete) {
+      out << ",\"dur\":" << event.dur;
+    } else {
+      out << ",\"s\":\"t\"";
+    }
+    out << ",\"pid\":0,\"tid\":" << event.track << ",\"id\":" << event.id;
+    out << ",\"args\":{\"trace_id\":" << event.id;
+    for (std::uint8_t i = 0; i < event.arg_count; ++i) {
+      out << ",\"" << event.args[i].key << "\":" << event.args[i].value;
+    }
+    out << "}}";
+  }
+  out << "\n]}\n";
+  return out.str();
+}
+
+bool Tracer::WriteChromeJson(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << ExportChromeJson();
+  return static_cast<bool>(out);
+}
+
+void Tracer::Clear() {
+  const std::lock_guard<std::mutex> registry_lock(registry_mu_);
+  for (auto& [thread_id, shard] : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mu);
+    shard->head = 0;
+    shard->size = 0;
+    shard->dropped = 0;
+    // seq keeps counting — it only breaks ties within one shard.
+  }
+}
+
+}  // namespace mont::obs

@@ -7,8 +7,18 @@
 
 namespace mont::server {
 
-ChaosLayer::ChaosLayer(ChaosOptions options)
-    : options_(options), rng_(options.seed) {}
+ChaosLayer::ChaosLayer(ChaosOptions options, obs::Registry* registry)
+    : options_(options),
+      rng_(options.seed),
+      owned_registry_(registry == nullptr ? std::make_unique<obs::Registry>()
+                                          : nullptr) {
+  obs::Registry& reg = registry != nullptr ? *registry : *owned_registry_;
+  metrics_.worker_stalls = reg.GetCounter("chaos.worker_stalls");
+  metrics_.crt_corruptions = reg.GetCounter("chaos.crt_corruptions");
+  metrics_.requests_dropped = reg.GetCounter("chaos.requests_dropped");
+  metrics_.responses_dropped = reg.GetCounter("chaos.responses_dropped");
+  metrics_.frames_garbled = reg.GetCounter("chaos.frames_garbled");
+}
 
 bool ChaosLayer::Draw(double rate) {
   if (rate <= 0.0) return false;
@@ -24,10 +34,7 @@ void ChaosLayer::OnWorkerIssue(std::size_t worker) {
       static_cast<std::size_t>(options_.stall_worker) != worker) {
     return;
   }
-  {
-    std::lock_guard<std::mutex> lk(mu_);
-    ++counters_.worker_stalls;
-  }
+  metrics_.worker_stalls.Increment();
   if (options_.stall_micros > 0) {
     std::this_thread::sleep_for(std::chrono::microseconds(options_.stall_micros));
   }
@@ -36,7 +43,7 @@ void ChaosLayer::OnWorkerIssue(std::size_t worker) {
 bool ChaosLayer::ShouldCorruptCrtHalf() {
   std::lock_guard<std::mutex> lk(mu_);
   if (!Draw(options_.corrupt_crt_rate)) return false;
-  ++counters_.crt_corruptions;
+  metrics_.crt_corruptions.Increment();
   return true;
 }
 
@@ -59,14 +66,14 @@ void ChaosLayer::CorruptValue(bignum::BigUInt& value) {
 bool ChaosLayer::ShouldDropRequest() {
   std::lock_guard<std::mutex> lk(mu_);
   if (!Draw(options_.drop_request_rate)) return false;
-  ++counters_.requests_dropped;
+  metrics_.requests_dropped.Increment();
   return true;
 }
 
 bool ChaosLayer::ShouldDropResponse() {
   std::lock_guard<std::mutex> lk(mu_);
   if (!Draw(options_.drop_response_rate)) return false;
-  ++counters_.responses_dropped;
+  metrics_.responses_dropped.Increment();
   return true;
 }
 
@@ -79,7 +86,7 @@ bool ChaosLayer::MaybeGarbleFrame(std::vector<std::uint8_t>& frame) {
   const std::size_t index =
       lo + static_cast<std::size_t>(rng_.NextBelow(frame.size() - lo));
   frame[index] ^= static_cast<std::uint8_t>(1 + rng_.NextBelow(255));
-  ++counters_.frames_garbled;
+  metrics_.frames_garbled.Increment();
   return true;
 }
 
@@ -92,8 +99,13 @@ std::uint64_t ChaosLayer::SlowTenantDelayMicros(std::uint32_t tenant_id) const {
 }
 
 ChaosLayer::Counters ChaosLayer::Snapshot() const {
-  std::lock_guard<std::mutex> lk(mu_);
-  return counters_;
+  Counters counters;
+  counters.worker_stalls = metrics_.worker_stalls.Value();
+  counters.crt_corruptions = metrics_.crt_corruptions.Value();
+  counters.requests_dropped = metrics_.requests_dropped.Value();
+  counters.responses_dropped = metrics_.responses_dropped.Value();
+  counters.frames_garbled = metrics_.frames_garbled.Value();
+  return counters;
 }
 
 }  // namespace mont::server

@@ -28,10 +28,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <mutex>
 
 #include "bignum/biguint.hpp"
 #include "bignum/random.hpp"
+#include "obs/metrics.hpp"
 
 namespace mont::server {
 
@@ -54,7 +56,12 @@ struct ChaosOptions {
 
 class ChaosLayer {
  public:
-  explicit ChaosLayer(ChaosOptions options);
+  /// `registry` (may be null) receives the chaos.* injection counters;
+  /// with null the layer owns a private registry so Snapshot() always
+  /// works.  Pass the SigningService's registry to get one merged
+  /// chaos.* + server.* + jobs.* snapshot from the STATS verb.
+  explicit ChaosLayer(ChaosOptions options,
+                      obs::Registry* registry = nullptr);
 
   /// Worker hook (ExpService::Options::worker_observer): sleeps when
   /// `worker` is the stalled one.
@@ -72,6 +79,8 @@ class ChaosLayer {
   /// Transport-side delay for a tenant's request (microseconds, 0 = none).
   std::uint64_t SlowTenantDelayMicros(std::uint32_t tenant_id) const;
 
+  /// Compat snapshot of the chaos.* registry counters (the struct the
+  /// chaos suite predates the obs::Registry with).
   struct Counters {
     std::uint64_t worker_stalls = 0;
     std::uint64_t crt_corruptions = 0;
@@ -87,7 +96,15 @@ class ChaosLayer {
   ChaosOptions options_;
   mutable std::mutex mu_;
   bignum::Xoshiro256 rng_;
-  Counters counters_;
+  /// Backs the handles when no registry was supplied.
+  std::unique_ptr<obs::Registry> owned_registry_;
+  struct {
+    obs::Counter worker_stalls;
+    obs::Counter crt_corruptions;
+    obs::Counter requests_dropped;
+    obs::Counter responses_dropped;
+    obs::Counter frames_garbled;
+  } metrics_;
 };
 
 }  // namespace mont::server

@@ -32,9 +32,35 @@ SigningService::SigningService(Keystore keystore, Options options)
       options_(std::move(options)),
       max_frame_bytes_(options_.max_frame_bytes),
       chaos_(options_.chaos),
-      admission_(options_.admission) {
+      admission_(options_.admission),
+      owned_registry_(options_.service.registry == nullptr
+                          ? std::make_unique<obs::Registry>()
+                          : nullptr),
+      registry_(options_.service.registry != nullptr ? options_.service.registry
+                                                     : owned_registry_.get()),
+      tracer_(options_.service.tracer) {
   clock_ = options_.service.clock != nullptr ? options_.service.clock
                                              : &steady_clock_;
+  metrics_.requests = registry_->GetCounter("server.requests");
+  metrics_.pings = registry_->GetCounter("server.pings");
+  metrics_.stats_requests = registry_->GetCounter("server.stats_requests");
+  metrics_.admitted = registry_->GetCounter("server.admitted");
+  metrics_.ok = registry_->GetCounter("server.ok");
+  metrics_.rejected_backpressure =
+      registry_->GetCounter("server.rejected_backpressure");
+  metrics_.shed_overload = registry_->GetCounter("server.shed_overload");
+  metrics_.deadline_exceeded =
+      registry_->GetCounter("server.deadline_exceeded");
+  metrics_.retry_exhausted = registry_->GetCounter("server.retry_exhausted");
+  metrics_.shutdown_refused = registry_->GetCounter("server.shutdown_refused");
+  metrics_.malformed = registry_->GetCounter("server.malformed");
+  metrics_.unknown_tenant = registry_->GetCounter("server.unknown_tenant");
+  metrics_.unknown_key = registry_->GetCounter("server.unknown_key");
+  metrics_.faults_caught = registry_->GetCounter("server.faults_caught");
+  metrics_.internal_retries = registry_->GetCounter("server.internal_retries");
+  metrics_.bad_signatures_released =
+      registry_->GetCounter("server.bad_signatures_released");
+  metrics_.latency_ticks = registry_->GetHistogram("server.latency_ticks");
   for (const std::uint32_t tenant_id : keystore_.TenantIds()) {
     admission_.RegisterTenant(tenant_id, *keystore_.FindTenant(tenant_id));
   }
@@ -62,6 +88,9 @@ SigningService::SigningService(Keystore keystore, Options options)
     keys_[KeySlot(tenant_id, key_id)] = std::move(prepared);
   });
   auto service_options = options_.service;
+  // Every layer shares one registry: the ExpService's jobs.*/sched.*/
+  // engine.* counters land next to the server.* ones above.
+  service_options.registry = registry_;
   if (chaos_ != nullptr) {
     ChaosLayer* chaos = chaos_;
     service_options.worker_observer = [chaos](std::size_t worker) {
@@ -87,10 +116,7 @@ std::uint64_t SigningService::NowTicks() const { return clock_->Now(); }
 void SigningService::RespondRejected(const ResponseFn& respond,
                                      std::uint64_t request_id,
                                      StatusCode status, const char* detail) {
-  {
-    std::lock_guard<std::mutex> lk(mu_);
-    BumpLocked(status);
-  }
+  Bump(status);
   if (!respond) return;
   SignResponse response;
   response.status = status;
@@ -104,10 +130,7 @@ void SigningService::RespondRejected(const ResponseFn& respond,
 
 void SigningService::HandleRequest(std::vector<std::uint8_t> payload,
                                    ResponseFn respond) {
-  {
-    std::lock_guard<std::mutex> lk(mu_);
-    ++counters_.requests;
-  }
+  metrics_.requests.Increment();
   const auto request = DecodeSignRequest(payload);
   if (!request) {
     RespondRejected(respond, 0, StatusCode::kMalformedRequest,
@@ -115,13 +138,26 @@ void SigningService::HandleRequest(std::vector<std::uint8_t> payload,
     return;
   }
   if (request->type == RequestType::kPing) {
-    {
-      std::lock_guard<std::mutex> lk(mu_);
-      ++counters_.pings;
-    }
+    metrics_.pings.Increment();
     if (respond) {
       SignResponse response;
       response.request_id = request->request_id;
+      try {
+        respond(std::move(response));
+      } catch (...) {
+      }
+    }
+    return;
+  }
+  if (request->type == RequestType::kStats) {
+    // Deliberately bypasses admission: the ops view must stay readable
+    // while the service sheds load (STATS does no engine work).
+    metrics_.stats_requests.Increment();
+    if (respond) {
+      SignResponse response;
+      response.request_id = request->request_id;
+      const std::string json = registry_->Snapshot().RenderJson();
+      response.payload.assign(json.begin(), json.end());
       try {
         respond(std::move(response));
       } catch (...) {
@@ -163,8 +199,13 @@ void SigningService::HandleRequest(std::vector<std::uint8_t> payload,
                         : "backpressure: tenant budget exhausted");
     return;
   }
-  ++counters_.admitted;
+  metrics_.admitted.Increment();
   ++in_flight_;
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    tracer_->Instant("server.admit", request->request_id, 0, now,
+                     {{"tenant", request->tenant_id},
+                      {"key", request->key_id}});
+  }
 
   auto state = std::make_shared<RequestState>();
   state->request_id = request->request_id;
@@ -173,6 +214,7 @@ void SigningService::HandleRequest(std::vector<std::uint8_t> payload,
   state->em = std::move(em);
   state->deadline =
       request->deadline_ticks == 0 ? 0 : now + request->deadline_ticks;
+  state->admit_tick = now;
   state->respond = std::move(respond);
   SubmitHalvesLocked(state);
 }
@@ -192,9 +234,17 @@ void SigningService::SubmitHalvesLocked(
   state->remaining.store(2, std::memory_order_relaxed);
   state->p_cancelled = false;
   state->q_cancelled = false;
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    tracer_->Instant(
+        "crt.submit_halves", state->request_id, 0, NowTicks(),
+        {{"attempt", static_cast<std::uint64_t>(state->attempts)}});
+  }
   const crypto::RsaKeyPair& key = *state->key->key;
   core::ExpJobOptions job_options;
   job_options.deadline = state->deadline;
+  // Both half-jobs carry the request id as their trace id, so the
+  // engine-level job.run spans correlate with the server.* events.
+  job_options.trace_id = state->request_id;
   exp_->Submit(key.p, state->em % key.p, state->key->dp, job_options,
                [this, state](const core::ExpResult& result) {
                  state->mp = result.value;
@@ -213,6 +263,9 @@ void SigningService::OnHalfDone(const std::shared_ptr<RequestState>& state) {
   // acq_rel: the half that arrives second observes the first half's
   // mp/mq write before posting recombination.
   if (state->remaining.fetch_sub(1, std::memory_order_acq_rel) != 1) return;
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    tracer_->Instant("crt.join", state->request_id, 0, NowTicks());
+  }
   exp_->Post([this, state] { Recombine(state); });
 }
 
@@ -229,20 +282,35 @@ void SigningService::Recombine(const std::shared_ptr<RequestState>& state) {
     chaos_->CorruptValue(state->mp);
   }
   const PreparedKey& prepared = *state->key;
+  obs::Tracer* const tracer = tracer_;
+  const bool tracing = tracer != nullptr && tracer->enabled();
+  const std::uint64_t recombine_start = tracing ? NowTicks() : 0;
   const bignum::BigUInt signature =
       crypto::RsaCrtRecombine(*prepared.key, prepared.q_inv, state->mp,
                               state->mq);
-  if (!crypto::RsaCrtResultOk(*prepared.verify_engine, *prepared.key,
-                              state->em, signature)) {
+  const bool bellcore_ok = crypto::RsaCrtResultOk(
+      *prepared.verify_engine, *prepared.key, state->em, signature);
+  if (tracing) {
+    tracer->Complete("crt.recombine", state->request_id, 0, recombine_start,
+                     NowTicks(),
+                     {{"bellcore_ok", bellcore_ok ? std::uint64_t{1}
+                                                  : std::uint64_t{0}}});
+  }
+  if (!bellcore_ok) {
+    metrics_.faults_caught.Increment();
+    if (tracing) {
+      tracer->Instant(
+          "bellcore.fault", state->request_id, 0, NowTicks(),
+          {{"attempt", static_cast<std::uint64_t>(state->attempts)}});
+    }
     bool shutdown = false;
     bool retried = false;
     {
       std::lock_guard<std::mutex> lk(mu_);
-      ++counters_.faults_caught;
       shutdown = shutting_down_;
       if (!shutdown && state->attempts < options_.max_internal_retries) {
         ++state->attempts;
-        ++counters_.internal_retries;
+        metrics_.internal_retries.Increment();
         SubmitHalvesLocked(state);
         retried = true;
       }
@@ -269,10 +337,22 @@ void SigningService::Finish(const std::shared_ptr<RequestState>& state,
   response.status = status;
   response.request_id = state->request_id;
   response.payload = std::move(payload);
+  const std::uint64_t release_tick = NowTicks();
+  metrics_.latency_ticks.Record(release_tick >= state->admit_tick
+                                    ? release_tick - state->admit_tick
+                                    : 0);
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    tracer_->Instant(
+        "server.release", state->request_id, 0, release_tick,
+        {{"status", static_cast<std::uint64_t>(status)},
+         {"attempts", static_cast<std::uint64_t>(state->attempts)}});
+  }
+  // Bump before dropping in_flight_ so Wait()-then-Snapshot() observes
+  // the final status counter.
+  Bump(status);
   {
     std::lock_guard<std::mutex> lk(mu_);
     admission_.OnComplete(state->tenant_id);
-    BumpLocked(status);
     --in_flight_;
     if (in_flight_ == 0) idle_cv_.notify_all();
   }
@@ -284,34 +364,34 @@ void SigningService::Finish(const std::shared_ptr<RequestState>& state,
   }
 }
 
-void SigningService::BumpLocked(StatusCode status) {
+void SigningService::Bump(StatusCode status) {
   switch (status) {
     case StatusCode::kOk:
-      ++counters_.ok;
+      metrics_.ok.Increment();
       break;
     case StatusCode::kRejectedBackpressure:
-      ++counters_.rejected_backpressure;
+      metrics_.rejected_backpressure.Increment();
       break;
     case StatusCode::kShedOverload:
-      ++counters_.shed_overload;
+      metrics_.shed_overload.Increment();
       break;
     case StatusCode::kDeadlineExceeded:
-      ++counters_.deadline_exceeded;
+      metrics_.deadline_exceeded.Increment();
       break;
     case StatusCode::kInternalRetrying:
-      ++counters_.retry_exhausted;
+      metrics_.retry_exhausted.Increment();
       break;
     case StatusCode::kUnknownTenant:
-      ++counters_.unknown_tenant;
+      metrics_.unknown_tenant.Increment();
       break;
     case StatusCode::kUnknownKey:
-      ++counters_.unknown_key;
+      metrics_.unknown_key.Increment();
       break;
     case StatusCode::kMalformedRequest:
-      ++counters_.malformed;
+      metrics_.malformed.Increment();
       break;
     case StatusCode::kShuttingDown:
-      ++counters_.shutdown_refused;
+      metrics_.shutdown_refused.Increment();
       break;
     default:
       break;
@@ -329,8 +409,25 @@ void SigningService::Wait() {
 }
 
 SigningService::Counters SigningService::Snapshot() const {
-  std::lock_guard<std::mutex> lk(mu_);
-  return counters_;
+  Counters counters;
+  counters.requests = metrics_.requests.Value();
+  counters.pings = metrics_.pings.Value();
+  counters.stats_requests = metrics_.stats_requests.Value();
+  counters.admitted = metrics_.admitted.Value();
+  counters.ok = metrics_.ok.Value();
+  counters.rejected_backpressure = metrics_.rejected_backpressure.Value();
+  counters.shed_overload = metrics_.shed_overload.Value();
+  counters.deadline_exceeded = metrics_.deadline_exceeded.Value();
+  counters.retry_exhausted = metrics_.retry_exhausted.Value();
+  counters.shutdown_refused = metrics_.shutdown_refused.Value();
+  counters.malformed = metrics_.malformed.Value();
+  counters.unknown_tenant = metrics_.unknown_tenant.Value();
+  counters.unknown_key = metrics_.unknown_key.Value();
+  counters.faults_caught = metrics_.faults_caught.Value();
+  counters.internal_retries = metrics_.internal_retries.Value();
+  counters.bad_signatures_released =
+      metrics_.bad_signatures_released.Value();
+  return counters;
 }
 
 core::ExpService::Counters SigningService::ServiceSnapshot() const {

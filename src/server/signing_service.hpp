@@ -27,6 +27,16 @@
 // The service speaks decoded wire payloads (HandleRequest); framing, the
 // oversize check and chaos transport faults live in server/transport.hpp
 // and the TCP adapter (examples/exp_server.cpp).
+//
+// Observability: every counter lives in one obs::Registry
+// (Options::service.registry, or a service-owned one) under stable
+// dotted names — server.* here, jobs.*/sched.*/engine.* from the
+// ExpService below — and the STATS wire verb returns the merged snapshot
+// as JSON.  When Options::service.tracer is set, each admitted request
+// emits lifecycle events (server.admit → crt.submit_halves → crt.join →
+// crt.recombine → bellcore.fault? → server.release) carrying the
+// request id, and both CRT half-jobs propagate it as their trace id so
+// the engine-level job.run spans correlate.
 #pragma once
 
 #include <atomic>
@@ -41,6 +51,8 @@
 
 #include "core/exp_service.hpp"
 #include "crypto/pkcs1.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "crypto/rsa.hpp"
 #include "server/admission.hpp"
 #include "server/chaos.hpp"
@@ -55,6 +67,9 @@ class SigningService {
     /// ExpService configuration (workers, scheduler, engine).  The
     /// service installs its own worker_observer when a ChaosLayer is
     /// attached; engine defaults to the service default ("bit-serial").
+    /// `service.registry` (null = service-owned) also receives the
+    /// server.* counters and the server.latency_ticks histogram;
+    /// `service.tracer` additionally gets the request-lifecycle events.
     core::ExpService::Options service;
     AdmissionController::Config admission;
     /// Internal re-sign attempts after a Bellcore-detected fault before
@@ -98,9 +113,13 @@ class SigningService {
   /// ExpService has retired every job (so counter snapshots are stable).
   void Wait();
 
+  /// Compat snapshot of the server.* registry counters.  The registry
+  /// (registry()) is the storage; this struct is materialised per call
+  /// for tests that predate it.
   struct Counters {
     std::uint64_t requests = 0;  ///< decoded payloads seen (incl. pings)
     std::uint64_t pings = 0;
+    std::uint64_t stats_requests = 0;  ///< STATS verbs answered
     std::uint64_t admitted = 0;
     std::uint64_t ok = 0;
     std::uint64_t rejected_backpressure = 0;
@@ -127,6 +146,13 @@ class SigningService {
   Counters Snapshot() const;
   /// Underlying ExpService counters (deadline conservation etc.).
   core::ExpService::Counters ServiceSnapshot() const;
+  /// The metrics registry every counter lives in (server.* + the
+  /// ExpService's jobs.*/sched.*/engine.*): Options::service.registry
+  /// when that was set, the service's private one otherwise.  What the
+  /// STATS verb renders.
+  obs::Registry& registry() const { return *registry_; }
+  /// Merged metrics snapshot — the STATS verb's source of truth.
+  obs::MetricsSnapshot StatsSnapshot() const { return registry_->Snapshot(); }
 
   std::size_t MaxFrameBytes() const { return max_frame_bytes_; }
   const Keystore& keystore() const { return keystore_; }
@@ -151,6 +177,7 @@ class SigningService {
     const PreparedKey* key = nullptr;
     bignum::BigUInt em;        ///< PKCS#1 message representative
     std::uint64_t deadline = 0;  ///< absolute tick, 0 = none
+    std::uint64_t admit_tick = 0;  ///< for server.latency_ticks
     int attempts = 0;
     std::atomic<int> remaining{2};
     bignum::BigUInt mp, mq;
@@ -179,7 +206,10 @@ class SigningService {
   /// Retires an admitted request with its one response.
   void Finish(const std::shared_ptr<RequestState>& state, StatusCode status,
               std::vector<std::uint8_t> payload);
-  void BumpLocked(StatusCode status);
+  /// Maps a final status to its server.* counter.  Registry counters are
+  /// lock-free, so no lock is required (call sites that hold mu_ anyway
+  /// are fine too).
+  void Bump(StatusCode status);
 
   Keystore keystore_;
   Options options_;
@@ -189,10 +219,32 @@ class SigningService {
   ChaosLayer* chaos_ = nullptr;
   std::unordered_map<std::uint64_t, PreparedKey> keys_;
 
-  mutable std::mutex mu_;  // admission_, counters_, in_flight_, shutdown
+  mutable std::mutex mu_;  // admission_, in_flight_, shutdown
   std::condition_variable idle_cv_;
   AdmissionController admission_;
-  Counters counters_;
+  /// Backs registry() when Options::service.registry is null.
+  std::unique_ptr<obs::Registry> owned_registry_;
+  obs::Registry* registry_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;  ///< Options::service.tracer (may be null)
+  struct {
+    obs::Counter requests;
+    obs::Counter pings;
+    obs::Counter stats_requests;
+    obs::Counter admitted;
+    obs::Counter ok;
+    obs::Counter rejected_backpressure;
+    obs::Counter shed_overload;
+    obs::Counter deadline_exceeded;
+    obs::Counter retry_exhausted;
+    obs::Counter shutdown_refused;
+    obs::Counter malformed;
+    obs::Counter unknown_tenant;
+    obs::Counter unknown_key;
+    obs::Counter faults_caught;
+    obs::Counter internal_retries;
+    obs::Counter bad_signatures_released;
+    obs::Histogram latency_ticks;  ///< admit → release, service-clock ticks
+  } metrics_;
   std::size_t in_flight_ = 0;
   bool shutting_down_ = false;
 

@@ -143,7 +143,8 @@ std::optional<SignRequest> DecodeSignRequest(
   if (reader.Take(1) != kWireVersion) return std::nullopt;
   const std::uint64_t type = reader.Take(1);
   if (type != static_cast<std::uint64_t>(RequestType::kSign) &&
-      type != static_cast<std::uint64_t>(RequestType::kPing)) {
+      type != static_cast<std::uint64_t>(RequestType::kPing) &&
+      type != static_cast<std::uint64_t>(RequestType::kStats)) {
     return std::nullopt;
   }
   SignRequest request;

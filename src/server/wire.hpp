@@ -6,7 +6,7 @@
 // non-recoverable stream error — the TCP adapter answers FRAME_TOO_LARGE
 // and closes).  All integers are little-endian; no field is host-order.
 //
-// Request payload (kSign / kPing):
+// Request payload (kSign / kPing / kStats):
 //   u16 magic 'MS' | u8 version | u8 type | u64 request_id | u32 tenant_id
 //   | u32 key_id | u64 deadline_ticks (relative, 0 = none) | u32 msg_len
 //   | msg bytes
@@ -73,6 +73,11 @@ bool DefinitelyNotExecuted(StatusCode code);
 enum class RequestType : std::uint8_t {
   kSign = 1,
   kPing = 2,
+  /// Metrics snapshot: the kOk response payload is the service metrics
+  /// registry rendered as JSON (obs::MetricsSnapshot::RenderJson).  The
+  /// tenant/key/deadline/message fields are ignored; STATS bypasses
+  /// admission so it stays answerable under overload.
+  kStats = 3,
 };
 
 struct SignRequest {
